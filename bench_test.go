@@ -1,0 +1,540 @@
+// Package main_test is Rainbow's benchmark harness: one benchmark per
+// experiment in EXPERIMENTS.md (E1–E9), each regenerating a paper artifact
+// — the Figure-5 output panel, the Section-3 statistics, the quorum
+// message-traffic study, the protocol matrix of Figure 4, the replication /
+// availability panel of Figure A-1, and the network-simulator sweeps.
+//
+// Run all experiments once:
+//
+//	go test -bench=. -benchtime=1x -benchmem
+//
+// Each benchmark prints its table (go test -v shows it interleaved) and
+// reports the headline numbers as bench metrics so `benchstat` can compare
+// runs.
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/quorum"
+	"repro/internal/schema"
+	"repro/internal/simnet"
+	"repro/internal/wlg"
+)
+
+// benchTimeouts keeps protocol waits short so contention resolves quickly
+// under benchmark load.
+var benchTimeouts = schema.Timeouts{
+	Op: 500 * time.Millisecond, Vote: 500 * time.Millisecond,
+	Ack: 300 * time.Millisecond, Lock: 150 * time.Millisecond,
+	OrphanResolve: 50 * time.Millisecond,
+}
+
+// benchNet is the default simulated LAN: 200µs base, 100µs jitter.
+var benchNet = simnet.Config{BaseLatency: 200 * time.Microsecond, Jitter: 100 * time.Microsecond}
+
+func siteIDs(n int) []model.SiteID {
+	out := make([]model.SiteID, n)
+	for i := range out {
+		out[i] = model.SiteID(fmt.Sprintf("S%d", i+1))
+	}
+	return out
+}
+
+func nItems(n int) map[model.ItemID]int64 {
+	items := make(map[model.ItemID]int64, n)
+	for i := 0; i < n; i++ {
+		items[model.ItemID(fmt.Sprintf("i%02d", i))] = 100
+	}
+	return items
+}
+
+func newBenchInstance(b *testing.B, sites int, items int, protocols schema.Protocols, net simnet.Config) *core.Instance {
+	b.Helper()
+	inst, err := core.New(core.Options{
+		Sites:     siteIDs(sites),
+		Items:     nItems(items),
+		Protocols: protocols,
+		Timeouts:  benchTimeouts,
+		Net:       net,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(inst.Close)
+	return inst
+}
+
+// BenchmarkE1_TxProcessingOutput regenerates Figure 5: the full §3
+// statistics panel for the default QC+2PL+2PC configuration.
+func BenchmarkE1_TxProcessingOutput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		inst := newBenchInstance(b, 3, 8, schema.Protocols{RCP: "qc", CCP: "2pl", ACP: "2pc"}, benchNet)
+		res := inst.RunWorkload(context.Background(), wlg.Profile{
+			Transactions: 200, MPL: 4, OpsPerTx: 4, ReadFraction: 0.75, Retries: 3,
+		})
+		rep := inst.Report()
+		tot := rep.Totals()
+		if i == 0 {
+			b.Logf("\n%s", rep.Render())
+		}
+		b.ReportMetric(res.CommitRate(), "commit-rate")
+		b.ReportMetric(res.Throughput(), "tx/s")
+		b.ReportMetric(rep.MessagesPerCommit(), "msg/commit")
+		b.ReportMetric(float64(tot.Orphans), "orphans")
+		b.ReportMetric(rep.LoadImbalance(), "load-cv")
+		b.ReportMetric(float64(tot.Latency.Mean().Microseconds()), "mean-µs")
+		if err := inst.CheckSerializable(core.CommittedSet(res.Outcomes)); err != nil {
+			b.Fatalf("serializability: %v", err)
+		}
+		inst.Close()
+	}
+}
+
+// BenchmarkE2_QuorumMessageTraffic regenerates the quorum-consensus
+// message-traffic study (§3, ref [3]): msg/commit vs replication degree and
+// vs read fraction, ROWA vs QC.
+func BenchmarkE2_QuorumMessageTraffic(b *testing.B) {
+	run := func(n int, rcpName string, readFraction float64) float64 {
+		inst := newBenchInstance(b, n, 8, schema.Protocols{RCP: rcpName, CCP: "2pl", ACP: "2pc"}, benchNet)
+		inst.RunWorkload(context.Background(), wlg.Profile{
+			Transactions: 120, MPL: 2, OpsPerTx: 4, ReadFraction: readFraction, Retries: 3,
+		})
+		m := inst.Report().MessagesPerCommit()
+		inst.Close()
+		return m
+	}
+	for i := 0; i < b.N; i++ {
+		b.Log("copies  rowa-msg/tx  qc-msg/tx   (75% reads)")
+		for _, n := range []int{1, 3, 5, 7} {
+			rowa := run(n, "rowa", 0.75)
+			qc := run(n, "qc", 0.75)
+			if i == 0 {
+				b.Logf("%6d %12.1f %10.1f", n, rowa, qc)
+			}
+			if n == 5 {
+				b.ReportMetric(rowa, "rowa-n5-msg/tx")
+				b.ReportMetric(qc, "qc-n5-msg/tx")
+			}
+		}
+		b.Log("read%   rowa-msg/tx  qc-msg/tx   (5 copies)")
+		for _, rf := range []float64{0.1, 0.5, 0.9} {
+			rowa := run(5, "rowa", rf)
+			qc := run(5, "qc", rf)
+			if i == 0 {
+				b.Logf("%5.0f%% %12.1f %10.1f", rf*100, rowa, qc)
+			}
+		}
+	}
+}
+
+// BenchmarkE3_AbortBreakdown regenerates the per-cause abort statistics:
+// CCP aborts vs MPL under 2PL and TSO, and RCP aborts under failure.
+func BenchmarkE3_AbortBreakdown(b *testing.B) {
+	run := func(ccp string, mpl int) wlg.Result {
+		inst := newBenchInstance(b, 3, 4, schema.Protocols{RCP: "qc", CCP: ccp, ACP: "2pc"}, benchNet)
+		res := inst.RunWorkload(context.Background(), wlg.Profile{
+			Transactions: 100, MPL: mpl, OpsPerTx: 4, ReadFraction: 0.5, Retries: 0, HotItems: 4,
+		})
+		inst.Close()
+		return res
+	}
+	for i := 0; i < b.N; i++ {
+		b.Log("mpl    2pl-abort%   tso-abort%  (no retries, 4-item hotspot)")
+		for _, mpl := range []int{1, 4, 8, 16} {
+			r2 := run("2pl", mpl)
+			rt := run("tso", mpl)
+			a2 := float64(r2.Aborted) / float64(r2.Submitted)
+			at := float64(rt.Aborted) / float64(rt.Submitted)
+			if i == 0 {
+				b.Logf("%3d %11.2f %12.2f  (2pl causes %v, tso causes %v)", mpl, a2, at, r2.ByCause, rt.ByCause)
+			}
+			if mpl == 8 {
+				b.ReportMetric(a2, "2pl-abort-rate-mpl8")
+				b.ReportMetric(at, "tso-abort-rate-mpl8")
+			}
+		}
+		// RCP aborts: ROWA writes with one site crashed.
+		inst := newBenchInstance(b, 3, 4, schema.Protocols{RCP: "rowa", CCP: "2pl", ACP: "2pc"}, benchNet)
+		inst.Injector.Crash("S3")
+		res := inst.RunWorkload(context.Background(), wlg.Profile{
+			Transactions: 40, MPL: 2, OpsPerTx: 2, ReadFraction: 0.0001, Retries: 0,
+			Sites: siteIDs(2),
+		})
+		if i == 0 {
+			b.Logf("rowa writes with 1/3 sites down: aborted %d/%d, causes %v", res.Aborted, res.Submitted, res.ByCause)
+		}
+		b.ReportMetric(float64(res.ByCause[model.AbortRCP]), "rcp-aborts-under-failure")
+		inst.Close()
+	}
+}
+
+// BenchmarkE4_ThroughputResponse regenerates the throughput / response-time
+// measures: closed-loop MPL sweep for the three CCPs.
+func BenchmarkE4_ThroughputResponse(b *testing.B) {
+	run := func(ccp string, mpl int) wlg.Result {
+		inst := newBenchInstance(b, 3, 12, schema.Protocols{RCP: "qc", CCP: ccp, ACP: "2pc"}, benchNet)
+		res := inst.RunWorkload(context.Background(), wlg.Profile{
+			Transactions: 150, MPL: mpl, OpsPerTx: 3, ReadFraction: 0.8, Retries: 3,
+		})
+		inst.Close()
+		return res
+	}
+	for i := 0; i < b.N; i++ {
+		for _, ccp := range []string{"2pl", "tso", "mvtso"} {
+			b.Logf("%s:  mpl   tx/s   mean-latency   commit-rate", ccp)
+			for _, mpl := range []int{1, 2, 4, 8, 16} {
+				res := run(ccp, mpl)
+				if i == 0 {
+					b.Logf("    %4d %7.1f %12v %12.2f", mpl, res.Throughput(),
+						res.MeanLatency().Round(time.Microsecond), res.CommitRate())
+				}
+				if mpl == 8 {
+					b.ReportMetric(res.Throughput(), ccp+"-tx/s-mpl8")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkE5_FailureRecovery regenerates the fault-tolerance experiment:
+// orphan transactions under coordinator failure, 2PC (blocking) vs 3PC
+// (coordinator-less termination), plus QC vs ROWA availability.
+func BenchmarkE5_FailureRecovery(b *testing.B) {
+	// crashOnce fires a concurrent write burst at coordinator S1 and crashes
+	// it mid-flight. Whether the crash lands inside the narrow
+	// voted-but-undecided window is probabilistic, so crashRun retries until
+	// orphans are actually stranded.
+	attempt := 0
+	crashOnce := func(acpName string) (orphans int, drainedWithoutCoord bool, drainAfterRecovery time.Duration) {
+		inst := newBenchInstance(b, 3, 4, schema.Protocols{RCP: "qc", CCP: "2pl", ACP: acpName}, benchNet)
+		defer inst.Close()
+		ctx := context.Background()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			var wg sync.WaitGroup
+			for i := 0; i < 12; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					item := model.ItemID(fmt.Sprintf("i%02d", i%4))
+					inst.Submit(ctx, "S1", []model.Op{model.Write(item, int64(i))})
+				}(i)
+			}
+			wg.Wait()
+		}()
+		time.Sleep(time.Duration(2+attempt%5) * time.Millisecond)
+		inst.Injector.Crash("S1")
+		<-done
+		time.Sleep(200 * time.Millisecond)
+		orphans = inst.Orphans()
+		drainedWithoutCoord = inst.WaitOrphansDrained(1500 * time.Millisecond)
+		start := time.Now()
+		if err := inst.Injector.Recover("S1"); err != nil {
+			b.Fatal(err)
+		}
+		if !inst.WaitOrphansDrained(10 * time.Second) {
+			b.Fatalf("%s: orphans survived coordinator recovery", acpName)
+		}
+		return orphans, drainedWithoutCoord, time.Since(start)
+	}
+	crashRun := func(acpName string) (orphans int, drainedWithoutCoord bool, drainAfterRecovery time.Duration) {
+		for attempt = 0; attempt < 8; attempt++ {
+			orphans, drainedWithoutCoord, drainAfterRecovery = crashOnce(acpName)
+			if orphans > 0 {
+				return orphans, drainedWithoutCoord, drainAfterRecovery
+			}
+		}
+		return orphans, drainedWithoutCoord, drainAfterRecovery
+	}
+	for i := 0; i < b.N; i++ {
+		for _, acpName := range []string{"2pc", "3pc"} {
+			orphans, drained, drainLat := crashRun(acpName)
+			if i == 0 {
+				b.Logf("%s: orphans-during-outage=%d drained-without-coordinator=%v post-recovery-drain=%v",
+					acpName, orphans, drained, drainLat.Round(time.Millisecond))
+			}
+			tag := acpName + "-orphans"
+			b.ReportMetric(float64(orphans), tag)
+			if drained {
+				b.ReportMetric(1, acpName+"-coordless-drain")
+			} else {
+				b.ReportMetric(0, acpName+"-coordless-drain")
+			}
+		}
+		// Availability: QC vs ROWA with one of three sites down, 50% writes.
+		for _, rcpName := range []string{"qc", "rowa"} {
+			inst := newBenchInstance(b, 3, 4, schema.Protocols{RCP: rcpName, CCP: "2pl", ACP: "2pc"}, benchNet)
+			inst.Injector.Crash("S3")
+			res := inst.RunWorkload(context.Background(), wlg.Profile{
+				Transactions: 60, MPL: 3, OpsPerTx: 2, ReadFraction: 0.5, Retries: 2,
+				Sites: siteIDs(2),
+			})
+			if i == 0 {
+				b.Logf("%s commit rate with 1/3 sites down: %.2f (causes %v)", rcpName, res.CommitRate(), res.ByCause)
+			}
+			b.ReportMetric(res.CommitRate(), rcpName+"-commit-rate-1down")
+			inst.Close()
+		}
+	}
+}
+
+// BenchmarkE6_ProtocolMatrix regenerates Figure 4's promise: every
+// RCP × CCP × ACP combination runs the same workload.
+func BenchmarkE6_ProtocolMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.Log("protocols              commit%   tx/s  msg/commit")
+		for _, rcpName := range []string{"rowa", "qc"} {
+			for _, ccpName := range []string{"2pl", "tso", "mvtso"} {
+				for _, acpName := range []string{"2pc", "3pc"} {
+					inst := newBenchInstance(b, 3, 8,
+						schema.Protocols{RCP: rcpName, CCP: ccpName, ACP: acpName}, benchNet)
+					res := inst.RunWorkload(context.Background(), wlg.Profile{
+						Transactions: 120, MPL: 4, OpsPerTx: 4, ReadFraction: 0.75, Retries: 3,
+					})
+					rep := inst.Report()
+					name := rcpName + "/" + ccpName + "/" + acpName
+					if i == 0 {
+						b.Logf("%-22s %6.1f%% %6.1f %8.1f", name,
+							100*res.CommitRate(), res.Throughput(), rep.MessagesPerCommit())
+					}
+					if res.CommitRate() < 0.5 {
+						b.Errorf("%s: commit rate %.2f — matrix cell broken", name, res.CommitRate())
+					}
+					if err := inst.CheckSerializable(core.CommittedSet(res.Outcomes)); err != nil {
+						b.Errorf("%s: %v", name, err)
+					}
+					inst.Close()
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkE7_ReplicationAvailability regenerates Figure A-1: the vote /
+// quorum configuration table with closed-form availability, validated by a
+// measured run with one site down.
+func BenchmarkE7_ReplicationAvailability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.Log("n    p      qc-read  qc-write  rowa-read  rowa-write")
+		for _, n := range []int{3, 5, 7} {
+			sites := siteIDs(n)
+			qc := quorum.Majority(sites)
+			rowa := quorum.ReadOneWriteAll(sites)
+			for _, p := range []float64{0.5, 0.9, 0.99} {
+				if i == 0 {
+					b.Logf("%d %6.2f %8.3f %9.3f %10.3f %11.3f", n, p,
+						qc.ReadAvailability(p), qc.WriteAvailability(p),
+						rowa.ReadAvailability(p), rowa.WriteAvailability(p))
+				}
+				if n == 5 && p == 0.9 {
+					b.ReportMetric(qc.WriteAvailability(p), "qc-write-avail-n5-p90")
+					b.ReportMetric(rowa.WriteAvailability(p), "rowa-write-avail-n5-p90")
+				}
+			}
+		}
+		// Measured validation: commit rates with one of five sites down.
+		for _, rcpName := range []string{"qc", "rowa"} {
+			inst := newBenchInstance(b, 5, 4, schema.Protocols{RCP: rcpName, CCP: "2pl", ACP: "2pc"}, benchNet)
+			inst.Injector.Crash("S5")
+			res := inst.RunWorkload(context.Background(), wlg.Profile{
+				Transactions: 50, MPL: 2, OpsPerTx: 2, ReadFraction: 0.5, Retries: 2,
+				Sites: siteIDs(4),
+			})
+			if i == 0 {
+				b.Logf("measured %s commit rate, 1/5 down: %.2f", rcpName, res.CommitRate())
+			}
+			b.ReportMetric(res.CommitRate(), rcpName+"-measured-1of5down")
+			inst.Close()
+		}
+	}
+}
+
+// BenchmarkE8_ManualWorkload regenerates Figure A-2: manual transaction
+// composition and submission, measuring single-transaction latency and
+// message cost with and without local copies.
+func BenchmarkE8_ManualWorkload(b *testing.B) {
+	// Custom catalog: item "loc" has a copy at S1, item "rem" does not.
+	cat := schema.NewCatalog()
+	for _, id := range siteIDs(3) {
+		cat.Sites[id] = schema.SiteInfo{ID: id}
+	}
+	cat.PlaceCopies("loc", 10, "S1", "S2", "S3")
+	cat.PlaceCopies("rem", 20, "S2", "S3")
+	cat.Timeouts = benchTimeouts
+	inst, err := core.New(core.Options{Catalog: cat, Net: benchNet})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer inst.Close()
+	ctx := context.Background()
+
+	specsLocal := []wlg.Manual{{Kind: "r", Item: "loc"}, {Kind: "w", Item: "loc", Value: 1}}
+	specsRemote := []wlg.Manual{{Kind: "r", Item: "rem"}, {Kind: "w", Item: "rem", Value: 1}}
+
+	measure := func(specs []wlg.Manual) (time.Duration, float64) {
+		inst.ResetStats()
+		const reps = 20
+		var lat time.Duration
+		for j := 0; j < reps; j++ {
+			out, err := inst.SubmitManual(ctx, "S1", specs)
+			if err != nil || !out.Committed {
+				b.Fatalf("manual tx failed: %+v %v", out, err)
+			}
+			lat += time.Duration(out.LatencyNS)
+		}
+		msgs := float64(inst.Net.Stats().Delivered) / reps
+		return lat / reps, msgs
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		latLocal, msgsLocal := measure(specsLocal)
+		latRemote, msgsRemote := measure(specsRemote)
+		if i == 0 {
+			b.Logf("manual tx with local copy:   %v, %.1f msgs", latLocal.Round(time.Microsecond), msgsLocal)
+			b.Logf("manual tx remote-only item:  %v, %.1f msgs", latRemote.Round(time.Microsecond), msgsRemote)
+		}
+		b.ReportMetric(float64(latLocal.Microseconds()), "local-µs/tx")
+		b.ReportMetric(float64(latRemote.Microseconds()), "remote-µs/tx")
+		b.ReportMetric(msgsLocal, "local-msgs/tx")
+		b.ReportMetric(msgsRemote, "remote-msgs/tx")
+		if msgsRemote <= msgsLocal {
+			b.Errorf("remote-only tx (%f msgs) should cost more than local (%f)", msgsRemote, msgsLocal)
+		}
+	}
+}
+
+// BenchmarkE9_NetworkSimulation regenerates the network-simulator
+// experiment: commit rate and response time vs injected latency and loss.
+func BenchmarkE9_NetworkSimulation(b *testing.B) {
+	run := func(net simnet.Config) wlg.Result {
+		inst := newBenchInstance(b, 3, 8, schema.Protocols{RCP: "qc", CCP: "2pl", ACP: "2pc"}, net)
+		res := inst.RunWorkload(context.Background(), wlg.Profile{
+			Transactions: 60, MPL: 3, OpsPerTx: 3, ReadFraction: 0.75, Retries: 2,
+		})
+		inst.Close()
+		return res
+	}
+	for i := 0; i < b.N; i++ {
+		b.Log("latency    commit%   mean-latency")
+		for _, lat := range []time.Duration{0, time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond} {
+			res := run(simnet.Config{BaseLatency: lat})
+			if i == 0 {
+				b.Logf("%8v %8.1f%% %12v", lat, 100*res.CommitRate(), res.MeanLatency().Round(time.Microsecond))
+			}
+			if lat == 5*time.Millisecond {
+				b.ReportMetric(float64(res.MeanLatency().Microseconds()), "mean-µs-at-5ms")
+			}
+		}
+		b.Log("droprate   commit%   (no retransmission: loss maps to aborts)")
+		for _, drop := range []float64{0, 0.01, 0.05, 0.20} {
+			res := run(simnet.Config{DropRate: drop})
+			if i == 0 {
+				b.Logf("%7.0f%% %8.1f%%  causes %v", drop*100, 100*res.CommitRate(), res.ByCause)
+			}
+			if drop == 0.20 {
+				b.ReportMetric(res.CommitRate(), "commit-rate-20pct-drop")
+			}
+		}
+	}
+}
+
+// ---- Ablation benches (design choices called out in DESIGN.md) ----
+
+// BenchmarkA1_DeadlockHandlingAblation compares 2PL's waits-for-graph
+// deadlock detection against the timeout-only fallback on an
+// upgrade-deadlock-prone hotspot: detection aborts victims immediately,
+// timeouts stall every deadlocked transaction for the full lock timeout.
+func BenchmarkA1_DeadlockHandlingAblation(b *testing.B) {
+	run := func(noDetect bool) wlg.Result {
+		inst := newBenchInstance(b, 3, 4, schema.Protocols{
+			RCP: "qc", CCP: "2pl", ACP: "2pc", NoDeadlockDetection: noDetect,
+		}, benchNet)
+		res := inst.RunWorkload(context.Background(), wlg.Profile{
+			Transactions: 80, MPL: 6, OpsPerTx: 3, ReadFraction: 0.5, Retries: 4, HotItems: 2,
+		})
+		inst.Close()
+		return res
+	}
+	for i := 0; i < b.N; i++ {
+		det := run(false)
+		timeoutOnly := run(true)
+		if i == 0 {
+			b.Logf("detection:    %6.1f tx/s, mean %v, commit %.2f",
+				det.Throughput(), det.MeanLatency().Round(time.Microsecond), det.CommitRate())
+			b.Logf("timeout-only: %6.1f tx/s, mean %v, commit %.2f",
+				timeoutOnly.Throughput(), timeoutOnly.MeanLatency().Round(time.Microsecond), timeoutOnly.CommitRate())
+		}
+		b.ReportMetric(det.Throughput(), "detect-tx/s")
+		b.ReportMetric(timeoutOnly.Throughput(), "timeout-only-tx/s")
+		b.ReportMetric(float64(det.MeanLatency().Microseconds()), "detect-mean-µs")
+		b.ReportMetric(float64(timeoutOnly.MeanLatency().Microseconds()), "timeout-only-mean-µs")
+	}
+}
+
+// BenchmarkA2_RetryPolicyAblation sweeps the workload generator's restart
+// budget on a contended workload: goodput (committed work) rises with
+// retries while raw submission cost grows — the knob every classroom
+// assignment about abort handling turns.
+func BenchmarkA2_RetryPolicyAblation(b *testing.B) {
+	run := func(retries int) wlg.Result {
+		inst := newBenchInstance(b, 3, 4, schema.Protocols{RCP: "qc", CCP: "2pl", ACP: "2pc"}, benchNet)
+		res := inst.RunWorkload(context.Background(), wlg.Profile{
+			Transactions: 80, MPL: 6, OpsPerTx: 3, ReadFraction: 0.5, Retries: retries, HotItems: 2,
+		})
+		inst.Close()
+		return res
+	}
+	for i := 0; i < b.N; i++ {
+		b.Log("retries   commit%   restarts")
+		for _, r := range []int{0, 1, 3, 8} {
+			res := run(r)
+			if i == 0 {
+				b.Logf("%7d %8.1f%% %9d", r, 100*res.CommitRate(), res.Restarts)
+			}
+			if r == 0 {
+				b.ReportMetric(res.CommitRate(), "commit-rate-no-retries")
+			}
+			if r == 8 {
+				b.ReportMetric(res.CommitRate(), "commit-rate-8-retries")
+			}
+		}
+	}
+}
+
+// BenchmarkA3_ReadOnlyOptAblation measures the presumed-abort read-only
+// participant optimization: commit-protocol message savings on a read-heavy
+// workload (read-only quorum members skip phase 2 entirely).
+func BenchmarkA3_ReadOnlyOptAblation(b *testing.B) {
+	run := func(disable bool) float64 {
+		inst := newBenchInstance(b, 3, 8, schema.Protocols{
+			RCP: "qc", CCP: "2pl", ACP: "2pc", NoReadOnlyOpt: disable,
+		}, benchNet)
+		inst.RunWorkload(context.Background(), wlg.Profile{
+			Transactions: 120, MPL: 2, OpsPerTx: 4, ReadFraction: 0.9, Retries: 3,
+		})
+		m := inst.Report().MessagesPerCommit()
+		inst.Close()
+		return m
+	}
+	for i := 0; i < b.N; i++ {
+		with := run(false)
+		without := run(true)
+		if i == 0 {
+			b.Logf("msg/commit with read-only opt: %.1f, without: %.1f", with, without)
+		}
+		b.ReportMetric(with, "msg/commit-with-ro-opt")
+		b.ReportMetric(without, "msg/commit-without-ro-opt")
+		if with >= without {
+			b.Errorf("read-only optimization did not reduce messages: %.1f vs %.1f", with, without)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Command rainbow-home runs the Rainbow home host: the HTTP server exposing
+// the servlet middle tier (paper §2: the user reaches Rainbow through
+// "http://RainbowHomeHost:8080/..."). Clients configure an instance via
+// POST /NSRunnerlet and drive it through the other servlet endpoints; see
+// internal/httpapi for the full route list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (the paper's port 8080)")
+	flag.Parse()
+
+	srv := httpapi.NewServer()
+	defer srv.Close()
+
+	fmt.Printf("Rainbow home host listening on %s\n", *addr)
+	fmt.Println("servlets: /NSRunnerlet /NSlet /SiteRunnerlet /Sitelet /WLGlet/run /WLGlet/manual /PMlet /PMlet/render /Faultlet /Resetlet")
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "rainbow-home:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+// Command rainbow-ns runs a standalone Rainbow name server over TCP for
+// multi-process deployments: sites started with cmd/rainbow-site register
+// here and fetch the catalog. The catalog is loaded from an experiment
+// configuration file (the administrator's "Name Server Configuration" menu).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/config"
+	"repro/internal/model"
+	"repro/internal/nameserver"
+	"repro/internal/tcpnet"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7000", "name server listen address")
+	cfgPath := flag.String("config", "", "experiment configuration (JSON); empty = default demo catalog")
+	flag.Parse()
+
+	exp := config.Default()
+	if *cfgPath != "" {
+		var err error
+		exp, err = config.Load(*cfgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rainbow-ns:", err)
+			os.Exit(1)
+		}
+	}
+	cat, err := exp.BuildCatalog()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rainbow-ns:", err)
+		os.Exit(1)
+	}
+
+	net := tcpnet.New(map[model.SiteID]string{model.NameServerID: *addr})
+	ns, err := nameserver.New(net, cat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rainbow-ns:", err)
+		os.Exit(1)
+	}
+	defer ns.Close()
+
+	fmt.Printf("Rainbow name server on %s (%d sites, %d items, protocols %+v)\n",
+		*addr, len(cat.Sites), len(cat.Items), cat.Protocols)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}

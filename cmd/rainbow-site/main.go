@@ -1,0 +1,92 @@
+// Command rainbow-site runs one Rainbow site as its own process over TCP.
+// The site fetches its configuration from the name server (cmd/rainbow-ns),
+// registers its endpoint, and serves transaction processing traffic. The
+// catalog must include address entries for peer sites (the name server's
+// "id and end point specifications"); this binary derives the address book
+// from the same configuration file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/config"
+	"repro/internal/model"
+	"repro/internal/site"
+	"repro/internal/tcpnet"
+	"repro/internal/wal"
+)
+
+func main() {
+	id := flag.String("id", "", "site id (must appear in the configuration)")
+	addr := flag.String("addr", "127.0.0.1:0", "this site's listen address")
+	nsAddr := flag.String("ns", "127.0.0.1:7000", "name server address")
+	book := flag.String("peers", "", "comma-separated peer address book: S1=host:port,S2=host:port")
+	walPath := flag.String("wal", "", "WAL file path; empty = in-memory log")
+	cfgPath := flag.String("config", "", "experiment configuration (JSON); empty = fetch from name server")
+	flag.Parse()
+
+	if *id == "" {
+		fmt.Fprintln(os.Stderr, "rainbow-site: -id is required")
+		os.Exit(2)
+	}
+
+	addrs := map[model.SiteID]string{
+		model.NameServerID: *nsAddr,
+		model.SiteID(*id):  *addr,
+	}
+	if *book != "" {
+		for _, pair := range strings.Split(*book, ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "rainbow-site: malformed -peers entry %q\n", pair)
+				os.Exit(2)
+			}
+			addrs[model.SiteID(k)] = v
+		}
+	}
+	net := tcpnet.New(addrs)
+
+	var log wal.Log
+	if *walPath != "" {
+		fl, err := wal.OpenFile(*walPath, true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rainbow-site:", err)
+			os.Exit(1)
+		}
+		log = fl
+	}
+
+	cfg := site.Config{ID: model.SiteID(*id), Net: net, Log: log, Register: true, Addr: *addr}
+	if *cfgPath != "" {
+		exp, err := config.Load(*cfgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rainbow-site:", err)
+			os.Exit(1)
+		}
+		cat, err := exp.BuildCatalog()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rainbow-site:", err)
+			os.Exit(1)
+		}
+		cfg.Catalog = cat
+	}
+
+	st, err := site.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rainbow-site:", err)
+		os.Exit(1)
+	}
+	defer st.Close()
+
+	resolved, _ := net.Addr(model.SiteID(*id))
+	fmt.Printf("Rainbow site %s serving on %s (ns at %s)\n", *id, resolved, *nsAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}

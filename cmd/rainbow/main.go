@@ -1,0 +1,169 @@
+// Command rainbow is the command-line face of Rainbow — the replacement for
+// the original applet GUI. It drives an in-process Rainbow instance:
+//
+//	rainbow demo                      # default session: configure, run, report
+//	rainbow run -config exp.json     # run a saved experiment configuration
+//	rainbow init -config exp.json    # write the default configuration file
+//	rainbow matrix                    # run the full protocol matrix (Fig. 4)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/schema"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "demo":
+		err = runDemo()
+	case "run":
+		err = runConfig(os.Args[2:])
+	case "init":
+		err = runInit(os.Args[2:])
+	case "matrix":
+		err = runMatrix()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rainbow:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: rainbow <demo|run|init|matrix> [flags]
+  demo                 run the default Rainbow session and print the output panel
+  run  -config FILE    run a saved experiment configuration
+  init -config FILE    write the default configuration to FILE
+  matrix               run the same workload under every protocol combination`)
+}
+
+func runDemo() error {
+	exp := config.Default()
+	return execute(exp)
+}
+
+func runConfig(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	path := fs.String("config", "", "experiment configuration file (JSON)")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("run: -config is required")
+	}
+	exp, err := config.Load(*path)
+	if err != nil {
+		return err
+	}
+	return execute(exp)
+}
+
+func runInit(args []string) error {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	path := fs.String("config", "rainbow.json", "output path")
+	fs.Parse(args)
+	exp := config.Default()
+	if err := exp.Save(*path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote default configuration to %s\n", *path)
+	return nil
+}
+
+func execute(exp config.Experiment) error {
+	opts, err := exp.Options()
+	if err != nil {
+		return err
+	}
+	inst, err := core.New(opts)
+	if err != nil {
+		return err
+	}
+	defer inst.Close()
+
+	fmt.Printf("Rainbow instance %q: sites=%v protocols=%+v\n",
+		exp.Name, inst.SiteIDs(), inst.Catalog().Protocols)
+
+	stop := make(chan struct{})
+	var waitFaults func()
+	if len(exp.Faults) > 0 {
+		waitFaults = inst.Injector.Schedule(exp.Steps(), stop)
+		fmt.Printf("scheduled %d fault injections\n", len(exp.Faults))
+	}
+
+	// Sample commit progress during the run for the Display-menu chart.
+	sampler := monitor.NewSampler()
+	sampler.Probe("committed transactions", func() float64 {
+		return float64(inst.Report().Totals().Committed)
+	})
+	sampler.Probe("orphan transactions", func() float64 {
+		return float64(inst.Orphans())
+	})
+	sampler.Start(50 * time.Millisecond)
+
+	res := inst.RunWorkload(context.Background(), exp.Profile())
+	sampler.Stop()
+	close(stop)
+	if waitFaults != nil {
+		waitFaults()
+	}
+
+	fmt.Printf("\nworkload: %d submitted, %d committed, %d aborted (%d restarts) in %v\n",
+		res.Submitted, res.Committed, res.Aborted, res.Restarts, res.Elapsed.Round(time.Millisecond))
+	fmt.Println()
+	fmt.Print(inst.Report().Render())
+	fmt.Println()
+	fmt.Print(monitor.Chart(sampler.Get("committed transactions"), 60, 10))
+
+	if err := inst.CheckSerializable(core.CommittedSet(res.Outcomes)); err != nil {
+		return fmt.Errorf("serializability check FAILED: %w", err)
+	}
+	fmt.Println("serializability check: OK")
+	return nil
+}
+
+func runMatrix() error {
+	fmt.Println("protocol matrix: {rowa,qc} x {2pl,tso,mvtso} x {2pc,3pc}")
+	fmt.Printf("%-22s %10s %10s %12s %10s\n", "protocols", "commit%", "tx/s", "msg/commit", "mean")
+	for _, rcpName := range []string{"rowa", "qc"} {
+		for _, ccpName := range []string{"2pl", "tso", "mvtso"} {
+			for _, acpName := range []string{"2pc", "3pc"} {
+				exp := config.Default()
+				exp.Protocols = schema.Protocols{RCP: rcpName, CCP: ccpName, ACP: acpName}
+				exp.Workload = config.Workload{
+					Transactions: 150, MPL: 4, OpsPerTx: 4, ReadFraction: 0.75, Retries: 3,
+				}
+				opts, err := exp.Options()
+				if err != nil {
+					return err
+				}
+				inst, err := core.New(opts)
+				if err != nil {
+					return err
+				}
+				res := inst.RunWorkload(context.Background(), exp.Profile())
+				rep := inst.Report()
+				fmt.Printf("%-22s %9.1f%% %10.1f %12.1f %10v\n",
+					rcpName+"/"+ccpName+"/"+acpName,
+					100*res.CommitRate(), res.Throughput(), rep.MessagesPerCommit(),
+					res.MeanLatency().Round(time.Microsecond))
+				inst.Close()
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Partition demonstrates quorum consensus under a network partition — the
+// scenario weighted voting was invented for. Five sites split into a
+// majority side {S1,S2,S3} and a minority side {S4,S5}:
+//
+//   - transactions homed on the majority side keep committing (their
+//     quorums are intact);
+//   - transactions homed on the minority side abort with replication-level
+//     causes (no quorum is reachable), so the database cannot diverge;
+//   - after healing, the minority reads the majority's writes via version
+//     numbers — no explicit reconciliation step is needed.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/schema"
+)
+
+func main() {
+	sites := []model.SiteID{"S1", "S2", "S3", "S4", "S5"}
+	inst, err := core.New(core.Options{
+		Sites:     sites,
+		Items:     map[model.ItemID]int64{"x": 0},
+		Protocols: schema.Protocols{RCP: "qc", CCP: "2pl", ACP: "2pc"},
+		Timeouts: schema.Timeouts{
+			Op: 300 * time.Millisecond, Vote: 300 * time.Millisecond,
+			Ack: 200 * time.Millisecond, Lock: 150 * time.Millisecond,
+			OrphanResolve: 100 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inst.Close()
+	ctx := context.Background()
+
+	fmt.Println("before partition: write x=1 from S1")
+	out := inst.Submit(ctx, "S1", []model.Op{model.Write("x", 1)})
+	fmt.Printf("  committed=%v\n", out.Committed)
+
+	fmt.Println("\npartition: {S1,S2,S3} | {S4,S5}")
+	inst.Injector.Partition(
+		[]model.SiteID{"S1", "S2", "S3"},
+		[]model.SiteID{"S4", "S5"},
+	)
+
+	maj := inst.Submit(ctx, "S1", []model.Op{model.Write("x", 2), model.Read("x")})
+	fmt.Printf("  majority-side write: committed=%v reads=%v\n", maj.Committed, maj.Reads)
+
+	minW := inst.Submit(ctx, "S4", []model.Op{model.Write("x", 99)})
+	fmt.Printf("  minority-side write: committed=%v cause=%s\n", minW.Committed, minW.Cause)
+	minR := inst.Submit(ctx, "S4", []model.Op{model.Read("x")})
+	fmt.Printf("  minority-side read:  committed=%v cause=%s\n", minR.Committed, minR.Cause)
+
+	if !maj.Committed || minW.Committed || minR.Committed {
+		log.Fatal("unexpected partition behaviour")
+	}
+
+	fmt.Println("\nheal partition")
+	inst.Injector.Heal()
+	healed := inst.Submit(ctx, "S4", []model.Op{model.Read("x")})
+	fmt.Printf("  minority-side read after heal: x=%d committed=%v\n", healed.Reads["x"], healed.Committed)
+	if !healed.Committed || healed.Reads["x"] != 2 {
+		log.Fatal("stale read after heal: quorum intersection must surface x=2")
+	}
+	fmt.Println("\nthe minority never served stale data, and converged without reconciliation.")
+}

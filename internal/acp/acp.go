@@ -1,0 +1,122 @@
+// Package acp implements Rainbow's atomic commit protocols (ACPs):
+// two-phase commit (2PC, the paper's default) and three-phase commit (3PC,
+// the paper's suggested term-project replacement).
+//
+// The package provides both halves of each protocol: the coordinator state
+// machine run by a transaction's home site (Protocol.Commit) and the
+// participant state machine embedded in every site (Participant), including
+// WAL forcing rules, decision retries, presumed-abort decision serving,
+// crash recovery of in-doubt transactions, and 3PC's cooperative
+// termination protocol. Blocked in-doubt participants are the paper's
+// "orphan transactions" statistic.
+package acp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// TermState values reported by participants during cooperative termination.
+const (
+	StateNone         uint8 = iota // no trace of the transaction
+	StatePrepared                  // voted yes, uncertain
+	StatePreCommitted              // 3PC: received pre-commit
+	StateCommitted
+	StateAborted
+)
+
+// StateName renders a TermState for logs.
+func StateName(s uint8) string {
+	switch s {
+	case StateNone:
+		return "none"
+	case StatePrepared:
+		return "prepared"
+	case StatePreCommitted:
+		return "precommitted"
+	case StateCommitted:
+		return "committed"
+	case StateAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("state(%d)", s)
+	}
+}
+
+// Cohort is the coordinator's transport face: how it reaches participants.
+// The site implements it over the wire layer (with a loopback fast path for
+// itself).
+type Cohort interface {
+	// Prepare delivers phase-1 and returns the participant's vote.
+	Prepare(ctx context.Context, site model.SiteID, req wire.PrepareReq) (wire.VoteResp, error)
+	// PreCommit delivers the 3PC pre-commit and waits for its ack.
+	PreCommit(ctx context.Context, site model.SiteID, tx model.TxID) error
+	// Decide delivers the final decision and waits for its ack.
+	Decide(ctx context.Context, site model.SiteID, tx model.TxID, commit bool) error
+}
+
+// Options bounds the coordinator's waits.
+type Options struct {
+	// Vote bounds the wait for each participant's vote.
+	Vote time.Duration
+	// Ack bounds the wait for decision / pre-commit acknowledgements.
+	Ack time.Duration
+}
+
+// withDefaults fills zero timeouts so a zero Options never spins.
+func (o Options) withDefaults() Options {
+	if o.Vote == 0 {
+		o.Vote = 2 * time.Second
+	}
+	if o.Ack == 0 {
+		o.Ack = 2 * time.Second
+	}
+	return o
+}
+
+// Request describes one commit run.
+type Request struct {
+	Tx           model.TxID
+	TS           model.Timestamp
+	Coordinator  model.SiteID
+	Participants []model.SiteID
+	// WritesFor returns the write records a participant must install.
+	WritesFor func(model.SiteID) []model.WriteRecord
+	// NoReadOnlyOpt disables the read-only participant optimization
+	// (ablation knob; the optimization is on by default).
+	NoReadOnlyOpt bool
+}
+
+// Protocol is an atomic commit protocol, run by the coordinator.
+type Protocol interface {
+	// Name returns "2pc" or "3pc".
+	Name() string
+	// ThreePhase reports whether participants should run the 3PC machine.
+	ThreePhase() bool
+	// Commit drives the protocol to a decision. It returns the decision
+	// (true = commit); a false decision is accompanied by an error carrying
+	// the abort cause. onDecision fires exactly once, immediately after the
+	// decision is logged and before it is propagated, so the caller can
+	// serve decision requests for recovering participants.
+	Commit(ctx context.Context, c Cohort, log wal.Log, opts Options, req Request, onDecision func(commit bool)) (bool, error)
+}
+
+// New constructs a protocol by name.
+func New(name string) (Protocol, error) {
+	switch name {
+	case "2pc", "2PC", "":
+		return TwoPC{}, nil
+	case "3pc", "3PC":
+		return ThreePC{}, nil
+	default:
+		return nil, fmt.Errorf("acp: unknown atomic commit protocol %q", name)
+	}
+}
+
+// Names lists the available ACP names.
+func Names() []string { return []string{"2pc", "3pc"} }

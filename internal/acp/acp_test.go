@@ -1,0 +1,682 @@
+package acp
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// fakeCohort wires a coordinator to in-memory Participants, with per-site
+// failure switches.
+type fakeCohort struct {
+	mu           sync.Mutex
+	participants map[model.SiteID]*Participant
+	down         map[model.SiteID]bool
+	voteNo       map[model.SiteID]bool
+	// dropDecision suppresses decision delivery to a site (simulates the
+	// coordinator crashing after deciding).
+	dropDecision map[model.SiteID]bool
+	prepares     int
+	decisions    int
+	precommits   int
+}
+
+func newFakeCohort() *fakeCohort {
+	return &fakeCohort{
+		participants: make(map[model.SiteID]*Participant),
+		down:         make(map[model.SiteID]bool),
+		voteNo:       make(map[model.SiteID]bool),
+		dropDecision: make(map[model.SiteID]bool),
+	}
+}
+
+func (f *fakeCohort) add(site model.SiteID, a Applier) *Participant {
+	p := NewParticipant(site, wal.NewMemory(), a)
+	f.mu.Lock()
+	f.participants[site] = p
+	f.mu.Unlock()
+	return p
+}
+
+func (f *fakeCohort) Prepare(ctx context.Context, site model.SiteID, req wire.PrepareReq) (wire.VoteResp, error) {
+	f.mu.Lock()
+	f.prepares++
+	down, no := f.down[site], f.voteNo[site]
+	p := f.participants[site]
+	f.mu.Unlock()
+	if down {
+		<-ctx.Done()
+		return wire.VoteResp{}, ctx.Err()
+	}
+	if no {
+		return wire.VoteResp{Yes: false, Reason: "injected"}, nil
+	}
+	return p.HandlePrepare(req), nil
+}
+
+func (f *fakeCohort) PreCommit(ctx context.Context, site model.SiteID, tx model.TxID) error {
+	f.mu.Lock()
+	f.precommits++
+	down := f.down[site]
+	p := f.participants[site]
+	f.mu.Unlock()
+	if down {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	p.HandlePreCommit(tx)
+	return nil
+}
+
+func (f *fakeCohort) Decide(ctx context.Context, site model.SiteID, tx model.TxID, commit bool) error {
+	f.mu.Lock()
+	f.decisions++
+	blocked := f.down[site] || f.dropDecision[site]
+	p := f.participants[site]
+	f.mu.Unlock()
+	if blocked {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return p.HandleDecision(tx, commit)
+}
+
+// fakeApplier records what was committed/aborted.
+type fakeApplier struct {
+	mu        sync.Mutex
+	committed map[model.TxID][]model.WriteRecord
+	aborted   map[model.TxID]bool
+}
+
+func newApplier() *fakeApplier {
+	return &fakeApplier{committed: make(map[model.TxID][]model.WriteRecord), aborted: make(map[model.TxID]bool)}
+}
+
+func (a *fakeApplier) Commit(tx model.TxID, writes []model.WriteRecord) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.committed[tx] = writes
+	return nil
+}
+
+func (a *fakeApplier) Abort(tx model.TxID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.aborted[tx] = true
+}
+
+func (a *fakeApplier) wasCommitted(tx model.TxID) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.committed[tx]
+	return ok
+}
+
+func (a *fakeApplier) wasAborted(tx model.TxID) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.aborted[tx]
+}
+
+var testOpts = Options{Vote: 100 * time.Millisecond, Ack: 100 * time.Millisecond}
+
+func request(sites ...model.SiteID) Request {
+	return Request{
+		Tx:           model.TxID{Site: "S1", Seq: 1},
+		TS:           model.Timestamp{Time: 1, Site: "S1"},
+		Coordinator:  "S1",
+		Participants: sites,
+		WritesFor: func(s model.SiteID) []model.WriteRecord {
+			return []model.WriteRecord{{Item: "x", Value: 1, Version: 1}}
+		},
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for name, three := range map[string]bool{"2pc": false, "3pc": true, "": false} {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.ThreePhase() != three {
+			t.Errorf("New(%q).ThreePhase() = %v", name, p.ThreePhase())
+		}
+	}
+	if _, err := New("paxos-commit"); err == nil {
+		t.Error("unknown ACP accepted")
+	}
+}
+
+func TestStateName(t *testing.T) {
+	for s, want := range map[uint8]string{
+		StateNone: "none", StatePrepared: "prepared", StatePreCommitted: "precommitted",
+		StateCommitted: "committed", StateAborted: "aborted", 99: "state(99)",
+	} {
+		if got := StateName(s); got != want {
+			t.Errorf("StateName(%d) = %q", s, got)
+		}
+	}
+}
+
+func runProtocol(t *testing.T, proto Protocol, f *fakeCohort, req Request) (bool, error) {
+	t.Helper()
+	log := wal.NewMemory()
+	var recorded *bool
+	commit, err := proto.Commit(context.Background(), f, log, testOpts, req, func(c bool) { recorded = &c })
+	if recorded == nil {
+		t.Error("onDecision not invoked")
+	} else if *recorded != commit {
+		t.Errorf("onDecision(%v) but Commit returned %v", *recorded, commit)
+	}
+	return commit, err
+}
+
+func testCommitAllYes(t *testing.T, proto Protocol) {
+	f := newFakeCohort()
+	appliers := map[model.SiteID]*fakeApplier{}
+	for _, s := range []model.SiteID{"S1", "S2", "S3"} {
+		appliers[s] = newApplier()
+		f.add(s, appliers[s])
+	}
+	req := request("S1", "S2", "S3")
+	commit, err := runProtocol(t, proto, f, req)
+	if err != nil || !commit {
+		t.Fatalf("commit = %v, %v", commit, err)
+	}
+	for s, a := range appliers {
+		if !a.wasCommitted(req.Tx) {
+			t.Errorf("%s did not apply the commit", s)
+		}
+	}
+}
+
+func testAbortOnNoVote(t *testing.T, proto Protocol) {
+	f := newFakeCohort()
+	appliers := map[model.SiteID]*fakeApplier{}
+	for _, s := range []model.SiteID{"S1", "S2", "S3"} {
+		appliers[s] = newApplier()
+		f.add(s, appliers[s])
+	}
+	f.voteNo["S2"] = true
+	req := request("S1", "S2", "S3")
+	commit, err := runProtocol(t, proto, f, req)
+	if commit {
+		t.Fatal("committed despite a no vote")
+	}
+	if model.CauseOf(err) != model.AbortACP {
+		t.Errorf("cause = %v", model.CauseOf(err))
+	}
+	// The yes-voters must learn the abort.
+	if !appliers["S1"].wasAborted(req.Tx) || !appliers["S3"].wasAborted(req.Tx) {
+		t.Error("yes-voters not aborted")
+	}
+}
+
+func testAbortOnParticipantDown(t *testing.T, proto Protocol) {
+	f := newFakeCohort()
+	for _, s := range []model.SiteID{"S1", "S2"} {
+		f.add(s, newApplier())
+	}
+	f.down["S2"] = true
+	commit, err := runProtocol(t, proto, f, request("S1", "S2"))
+	if commit {
+		t.Fatal("committed with an unreachable participant")
+	}
+	if model.CauseOf(err) != model.AbortACP {
+		t.Errorf("cause = %v", model.CauseOf(err))
+	}
+}
+
+func TestTwoPCCommitAllYes(t *testing.T)    { testCommitAllYes(t, TwoPC{}) }
+func TestThreePCCommitAllYes(t *testing.T)  { testCommitAllYes(t, ThreePC{}) }
+func TestTwoPCAbortOnNoVote(t *testing.T)   { testAbortOnNoVote(t, TwoPC{}) }
+func TestThreePCAbortOnNoVote(t *testing.T) { testAbortOnNoVote(t, ThreePC{}) }
+func TestTwoPCAbortOnDown(t *testing.T)     { testAbortOnParticipantDown(t, TwoPC{}) }
+func TestThreePCAbortOnDown(t *testing.T)   { testAbortOnParticipantDown(t, ThreePC{}) }
+
+func TestThreePCSendsPreCommit(t *testing.T) {
+	f := newFakeCohort()
+	for _, s := range []model.SiteID{"S1", "S2"} {
+		f.add(s, newApplier())
+	}
+	if _, err := runProtocol(t, ThreePC{}, f, request("S1", "S2")); err != nil {
+		t.Fatal(err)
+	}
+	if f.precommits != 2 {
+		t.Errorf("precommits = %d, want 2", f.precommits)
+	}
+}
+
+func TestTwoPCSkipsPreCommit(t *testing.T) {
+	f := newFakeCohort()
+	for _, s := range []model.SiteID{"S1", "S2"} {
+		f.add(s, newApplier())
+	}
+	if _, err := runProtocol(t, TwoPC{}, f, request("S1", "S2")); err != nil {
+		t.Fatal(err)
+	}
+	if f.precommits != 0 {
+		t.Errorf("precommits = %d, want 0", f.precommits)
+	}
+}
+
+func TestCoordinatorLogsDecisionBeforeBroadcast(t *testing.T) {
+	f := newFakeCohort()
+	a := newApplier()
+	f.add("S1", a)
+	log := wal.NewMemory()
+	req := request("S1")
+	decided := false
+	_, err := (TwoPC{}).Commit(context.Background(), f, log, testOpts, req, func(commit bool) {
+		decided = true
+		// At decision time the decision record must already be durable.
+		recs, _ := log.ReadAll()
+		found := false
+		for _, r := range recs {
+			if r.Type == wal.RecDecision && r.Tx == req.Tx && r.Commit {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("decision not logged before onDecision")
+		}
+	})
+	if err != nil || !decided {
+		t.Fatalf("err = %v, decided = %v", err, decided)
+	}
+	// All acked → RecEnd present.
+	recs, _ := log.ReadAll()
+	if recs[len(recs)-1].Type != wal.RecEnd {
+		t.Errorf("last record = %v, want end", recs[len(recs)-1].Type)
+	}
+}
+
+func TestNoEndRecordWhenAckMissing(t *testing.T) {
+	f := newFakeCohort()
+	f.add("S1", newApplier())
+	f.add("S2", newApplier())
+	f.dropDecision["S2"] = true
+	log := wal.NewMemory()
+	commit, err := (TwoPC{}).Commit(context.Background(), f, log, testOpts, request("S1", "S2"), nil)
+	if err != nil || !commit {
+		t.Fatalf("commit failed: %v", err)
+	}
+	recs, _ := log.ReadAll()
+	for _, r := range recs {
+		if r.Type == wal.RecEnd {
+			t.Error("RecEnd written although an ack is missing")
+		}
+	}
+}
+
+// --- Participant ---
+
+func TestParticipantPrepareForcesLog(t *testing.T) {
+	log := wal.NewMemory()
+	p := NewParticipant("S2", log, newApplier())
+	req := wire.PrepareReq{
+		Tx: model.TxID{Site: "S1", Seq: 9}, Coordinator: "S1",
+		Participants: []model.SiteID{"S1", "S2"},
+		Writes:       []model.WriteRecord{{Item: "x", Value: 5, Version: 2}},
+	}
+	v := p.HandlePrepare(req)
+	if !v.Yes {
+		t.Fatalf("vote = %+v", v)
+	}
+	recs, _ := log.ReadAll()
+	if len(recs) != 1 || recs[0].Type != wal.RecPrepared || len(recs[0].Writes) != 1 {
+		t.Errorf("log = %+v", recs)
+	}
+	if p.HandleTermState(req.Tx) != StatePrepared {
+		t.Error("state not prepared")
+	}
+	if p.InDoubtCount() != 1 {
+		t.Error("in-doubt count wrong")
+	}
+}
+
+func TestParticipantDuplicatePrepareIdempotent(t *testing.T) {
+	p := NewParticipant("S2", wal.NewMemory(), newApplier())
+	req := wire.PrepareReq{Tx: model.TxID{Site: "S1", Seq: 9}, Writes: []model.WriteRecord{{Item: "x", Value: 1, Version: 1}}}
+	p.HandlePrepare(req)
+	v := p.HandlePrepare(req)
+	if !v.Yes {
+		t.Error("duplicate prepare should re-vote yes")
+	}
+	if p.InDoubtCount() != 1 {
+		t.Error("duplicate prepare duplicated state")
+	}
+}
+
+func TestParticipantDecisionAppliesOnce(t *testing.T) {
+	a := newApplier()
+	p := NewParticipant("S2", wal.NewMemory(), a)
+	tx := model.TxID{Site: "S1", Seq: 9}
+	p.HandlePrepare(wire.PrepareReq{Tx: tx, Writes: []model.WriteRecord{{Item: "x", Value: 1, Version: 1}}})
+	if err := p.HandleDecision(tx, true); err != nil {
+		t.Fatal(err)
+	}
+	if !a.wasCommitted(tx) {
+		t.Fatal("not committed")
+	}
+	// Duplicate decision: idempotent, no double apply.
+	a.mu.Lock()
+	delete(a.committed, tx)
+	a.mu.Unlock()
+	if err := p.HandleDecision(tx, true); err != nil {
+		t.Fatal(err)
+	}
+	if a.wasCommitted(tx) {
+		t.Error("decision applied twice")
+	}
+	if commit, known := p.Decision(tx); !known || !commit {
+		t.Error("decision not recorded")
+	}
+}
+
+func TestParticipantAbortDecision(t *testing.T) {
+	a := newApplier()
+	p := NewParticipant("S2", wal.NewMemory(), a)
+	tx := model.TxID{Site: "S1", Seq: 9}
+	p.HandlePrepare(wire.PrepareReq{Tx: tx, Writes: []model.WriteRecord{{Item: "x", Value: 1, Version: 1}}})
+	p.HandleDecision(tx, false)
+	if !a.wasAborted(tx) {
+		t.Error("not aborted")
+	}
+	if p.HandleTermState(tx) != StateAborted {
+		t.Error("term state not aborted")
+	}
+}
+
+func TestParticipantPrepareAfterDecisionVotesAccordingly(t *testing.T) {
+	p := NewParticipant("S2", wal.NewMemory(), newApplier())
+	tx := model.TxID{Site: "S1", Seq: 9}
+	p.HandleDecision(tx, false)
+	v := p.HandlePrepare(wire.PrepareReq{Tx: tx})
+	if v.Yes {
+		t.Error("prepare after abort decision voted yes")
+	}
+}
+
+func TestParticipantInDoubtAging(t *testing.T) {
+	p := NewParticipant("S2", wal.NewMemory(), newApplier())
+	tx := model.TxID{Site: "S1", Seq: 9}
+	p.HandlePrepare(wire.PrepareReq{Tx: tx, Writes: []model.WriteRecord{{Item: "x", Value: 1, Version: 1}}})
+	if got := p.InDoubt(time.Hour); len(got) != 0 {
+		t.Error("fresh prepare reported as aged orphan")
+	}
+	if got := p.InDoubt(0); len(got) != 1 || got[0] != tx {
+		t.Errorf("InDoubt(0) = %v", got)
+	}
+}
+
+// fakeResolver answers decision/state queries from maps.
+type fakeResolver struct {
+	mu        sync.Mutex
+	decisions map[model.SiteID]map[model.TxID]bool // site → tx → commit
+	states    map[model.SiteID]uint8
+	down      map[model.SiteID]bool
+}
+
+func newResolver() *fakeResolver {
+	return &fakeResolver{
+		decisions: make(map[model.SiteID]map[model.TxID]bool),
+		states:    make(map[model.SiteID]uint8),
+		down:      make(map[model.SiteID]bool),
+	}
+}
+
+func (r *fakeResolver) QueryDecision(_ context.Context, site model.SiteID, tx model.TxID) (bool, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.down[site] {
+		return false, false, errors.New("unreachable")
+	}
+	if m, ok := r.decisions[site]; ok {
+		if commit, ok := m[tx]; ok {
+			return true, commit, nil
+		}
+	}
+	return false, false, nil
+}
+
+func (r *fakeResolver) QueryTermState(_ context.Context, site model.SiteID, tx model.TxID) (uint8, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.down[site] {
+		return 0, errors.New("unreachable")
+	}
+	return r.states[site], nil
+}
+
+func TestResolveViaCoordinator(t *testing.T) {
+	a := newApplier()
+	p := NewParticipant("S2", wal.NewMemory(), a)
+	tx := model.TxID{Site: "S1", Seq: 1}
+	p.HandlePrepare(wire.PrepareReq{Tx: tx, Coordinator: "S1", Participants: []model.SiteID{"S1", "S2"}, Writes: []model.WriteRecord{{Item: "x", Value: 1, Version: 1}}})
+
+	r := newResolver()
+	r.decisions["S1"] = map[model.TxID]bool{tx: true}
+	if !p.Resolve(context.Background(), r, tx) {
+		t.Fatal("resolve failed with live coordinator")
+	}
+	if !a.wasCommitted(tx) {
+		t.Error("resolved commit not applied")
+	}
+}
+
+func TestResolve2PCBlocksWithoutCoordinator(t *testing.T) {
+	p := NewParticipant("S2", wal.NewMemory(), newApplier())
+	tx := model.TxID{Site: "S1", Seq: 1}
+	p.HandlePrepare(wire.PrepareReq{Tx: tx, Coordinator: "S1", Participants: []model.SiteID{"S1", "S2", "S3"}, Writes: []model.WriteRecord{{Item: "x", Value: 1, Version: 1}}})
+
+	r := newResolver()
+	r.down["S1"] = true // coordinator crashed; S3 uncertain too
+	if p.Resolve(context.Background(), r, tx) {
+		t.Fatal("2PC resolved without any decision source — safety violation")
+	}
+	if p.InDoubtCount() != 1 {
+		t.Error("orphan lost")
+	}
+}
+
+func TestResolve2PCViaPeer(t *testing.T) {
+	a := newApplier()
+	p := NewParticipant("S2", wal.NewMemory(), a)
+	tx := model.TxID{Site: "S1", Seq: 1}
+	p.HandlePrepare(wire.PrepareReq{Tx: tx, Coordinator: "S1", Participants: []model.SiteID{"S1", "S2", "S3"}, Writes: []model.WriteRecord{{Item: "x", Value: 1, Version: 1}}})
+
+	r := newResolver()
+	r.down["S1"] = true
+	r.decisions["S3"] = map[model.TxID]bool{tx: true} // peer learned commit
+	if !p.Resolve(context.Background(), r, tx) {
+		t.Fatal("2PC cooperative resolution failed")
+	}
+	if !a.wasCommitted(tx) {
+		t.Error("commit not applied")
+	}
+}
+
+func TestResolve3PCAllPreparedAborts(t *testing.T) {
+	a := newApplier()
+	p := NewParticipant("S2", wal.NewMemory(), a)
+	tx := model.TxID{Site: "S1", Seq: 1}
+	p.HandlePrepare(wire.PrepareReq{
+		Tx: tx, Coordinator: "S1",
+		Participants: []model.SiteID{"S1", "S2", "S3"}, ThreePhase: true,
+		Writes: []model.WriteRecord{{Item: "x", Value: 1, Version: 1}},
+	})
+
+	r := newResolver()
+	r.down["S1"] = true
+	r.states["S3"] = StatePrepared
+	if !p.Resolve(context.Background(), r, tx) {
+		t.Fatal("3PC termination did not resolve")
+	}
+	if !a.wasAborted(tx) {
+		t.Error("all-prepared cohort must abort")
+	}
+}
+
+func TestResolve3PCPreCommittedCommits(t *testing.T) {
+	a := newApplier()
+	p := NewParticipant("S2", wal.NewMemory(), a)
+	tx := model.TxID{Site: "S1", Seq: 1}
+	p.HandlePrepare(wire.PrepareReq{
+		Tx: tx, Coordinator: "S1",
+		Participants: []model.SiteID{"S1", "S2", "S3"}, ThreePhase: true,
+		Writes: []model.WriteRecord{{Item: "x", Value: 1, Version: 1}},
+	})
+	p.HandlePreCommit(tx)
+
+	r := newResolver()
+	r.down["S1"] = true
+	r.states["S3"] = StatePrepared
+	if !p.Resolve(context.Background(), r, tx) {
+		t.Fatal("3PC termination did not resolve")
+	}
+	if !a.wasCommitted(tx) {
+		t.Error("pre-committed member must drive commit")
+	}
+}
+
+func TestResolve3PCPeerCommittedWins(t *testing.T) {
+	a := newApplier()
+	p := NewParticipant("S2", wal.NewMemory(), a)
+	tx := model.TxID{Site: "S1", Seq: 1}
+	p.HandlePrepare(wire.PrepareReq{
+		Tx: tx, Coordinator: "S1",
+		Participants: []model.SiteID{"S1", "S2", "S3"}, ThreePhase: true,
+		Writes: []model.WriteRecord{{Item: "x", Value: 1, Version: 1}},
+	})
+	r := newResolver()
+	r.down["S1"] = true
+	r.states["S3"] = StateCommitted
+	p.Resolve(context.Background(), r, tx)
+	if !a.wasCommitted(tx) {
+		t.Error("peer's committed state must propagate")
+	}
+}
+
+func TestRestoreAndRestoreDecisions(t *testing.T) {
+	a := newApplier()
+	p := NewParticipant("S2", wal.NewMemory(), a)
+	tx := model.TxID{Site: "S1", Seq: 1}
+	p.Restore(wire.PrepareReq{
+		Tx: tx, Coordinator: "S1", Participants: []model.SiteID{"S1", "S2"},
+		Writes: []model.WriteRecord{{Item: "x", Value: 7, Version: 3}},
+	}, false)
+	if p.HandleTermState(tx) != StatePrepared {
+		t.Error("restored tx not prepared")
+	}
+
+	other := model.TxID{Site: "S9", Seq: 5}
+	p.RestoreDecisions([]wal.Record{{Type: wal.RecDecision, Tx: other, Commit: true}})
+	if commit, known := p.Decision(other); !known || !commit {
+		t.Error("decision table not restored")
+	}
+
+	// The restored in-doubt tx resolves and applies its writes.
+	r := newResolver()
+	r.decisions["S1"] = map[model.TxID]bool{tx: true}
+	p.Resolve(context.Background(), r, tx)
+	if got := a.committed[tx]; len(got) != 1 || got[0].Value != 7 {
+		t.Errorf("restored writes not applied: %v", got)
+	}
+}
+
+func TestRecordDecisionFirstWins(t *testing.T) {
+	p := NewParticipant("S1", wal.NewMemory(), newApplier())
+	tx := model.TxID{Site: "S1", Seq: 1}
+	p.RecordDecision(tx, true)
+	p.RecordDecision(tx, false) // late conflicting record must not overwrite
+	if commit, known := p.Decision(tx); !known || !commit {
+		t.Error("decision overwritten")
+	}
+}
+
+// --- Read-only participant optimization ---
+
+func TestReadOnlyParticipantSkipsPhase2(t *testing.T) {
+	f := newFakeCohort()
+	appliers := map[model.SiteID]*fakeApplier{}
+	for _, s := range []model.SiteID{"S1", "S2", "S3"} {
+		appliers[s] = newApplier()
+		f.add(s, appliers[s])
+	}
+	req := request("S1", "S2", "S3")
+	// S3 holds no writes: it must vote read-only and see no decision.
+	writesFor := req.WritesFor
+	req.WritesFor = func(s model.SiteID) []model.WriteRecord {
+		if s == "S3" {
+			return nil
+		}
+		return writesFor(s)
+	}
+	commit, err := runProtocol(t, TwoPC{}, f, req)
+	if err != nil || !commit {
+		t.Fatalf("commit = %v, %v", commit, err)
+	}
+	if f.decisions != 2 {
+		t.Errorf("decisions sent = %d, want 2 (read-only site excluded)", f.decisions)
+	}
+	// The read-only participant released its CC state at vote time.
+	if !appliers["S3"].wasAborted(req.Tx) {
+		t.Error("read-only participant did not release CC state")
+	}
+	if appliers["S3"].wasCommitted(req.Tx) {
+		t.Error("read-only participant applied a commit")
+	}
+	// Writers applied normally.
+	if !appliers["S1"].wasCommitted(req.Tx) || !appliers["S2"].wasCommitted(req.Tx) {
+		t.Error("writers did not apply")
+	}
+}
+
+func TestReadOnlyParticipantNeverOrphans(t *testing.T) {
+	p := NewParticipant("S2", wal.NewMemory(), newApplier())
+	v := p.HandlePrepare(wire.PrepareReq{Tx: model.TxID{Site: "S1", Seq: 9}})
+	if !v.Yes || !v.ReadOnly {
+		t.Fatalf("vote = %+v, want yes+read-only", v)
+	}
+	if p.InDoubtCount() != 0 {
+		t.Error("read-only vote left in-doubt state")
+	}
+	// Nothing was logged: no recovery work can exist.
+	if l := p.log.(*wal.MemoryLog); l.Len() != 0 {
+		t.Errorf("read-only vote forced %d log records", l.Len())
+	}
+}
+
+func TestReadOnlyOptDisabled(t *testing.T) {
+	p := NewParticipant("S2", wal.NewMemory(), newApplier())
+	v := p.HandlePrepare(wire.PrepareReq{Tx: model.TxID{Site: "S1", Seq: 9}, NoReadOnlyOpt: true})
+	if !v.Yes || v.ReadOnly {
+		t.Fatalf("vote = %+v, want plain yes with optimization disabled", v)
+	}
+	if p.InDoubtCount() != 1 {
+		t.Error("disabled optimization should leave a prepared state")
+	}
+}
+
+func TestAllReadOnlyCohortCommits(t *testing.T) {
+	f := newFakeCohort()
+	for _, s := range []model.SiteID{"S1", "S2"} {
+		f.add(s, newApplier())
+	}
+	req := request("S1", "S2")
+	req.WritesFor = func(model.SiteID) []model.WriteRecord { return nil }
+	commit, err := runProtocol(t, TwoPC{}, f, req)
+	if err != nil || !commit {
+		t.Fatalf("all-read-only commit = %v, %v", commit, err)
+	}
+	if f.decisions != 0 {
+		t.Errorf("decisions sent to an all-read-only cohort: %d", f.decisions)
+	}
+}

@@ -1,0 +1,314 @@
+package acp
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// Applier installs or discards a decided transaction's effects at a site.
+// cc.Manager satisfies this interface.
+type Applier interface {
+	Commit(tx model.TxID, writes []model.WriteRecord) error
+	Abort(tx model.TxID)
+}
+
+// Resolver lets a blocked participant query other sites for an outcome.
+// The site implements it over the wire layer.
+type Resolver interface {
+	// QueryDecision asks site for the outcome of tx (a DecisionReq).
+	QueryDecision(ctx context.Context, site model.SiteID, tx model.TxID) (known, commit bool, err error)
+	// QueryTermState asks a cohort peer for its commit-protocol state.
+	QueryTermState(ctx context.Context, site model.SiteID, tx model.TxID) (uint8, error)
+}
+
+// Participant is a site's half of the commit protocols: it votes on
+// prepares, holds prepared (in-doubt) transactions, applies decisions
+// exactly once, serves termination-state queries, and resolves in-doubt
+// transactions after coordinator failures. All methods are safe for
+// concurrent use.
+type Participant struct {
+	self model.SiteID
+	log  wal.Log
+
+	mu        sync.Mutex
+	applier   Applier
+	states    map[model.TxID]*ptx
+	decisions map[model.TxID]bool
+}
+
+type ptx struct {
+	state      uint8
+	req        wire.PrepareReq
+	preparedAt time.Time
+}
+
+// NewParticipant builds the participant half for a site. applier is the
+// site's CC manager (it installs writes and releases CC state).
+func NewParticipant(self model.SiteID, log wal.Log, applier Applier) *Participant {
+	return &Participant{
+		self:      self,
+		log:       log,
+		applier:   applier,
+		states:    make(map[model.TxID]*ptx),
+		decisions: make(map[model.TxID]bool),
+	}
+}
+
+// SetApplier swaps the applier (site recovery replaces the CC manager).
+func (p *Participant) SetApplier(a Applier) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.applier = a
+}
+
+// HandlePrepare processes phase 1: force the prepared record and vote yes.
+// A transaction already decided here votes according to that decision. A
+// participant holding no writes votes "read" (presumed-abort read-only
+// optimization): it releases its CC state at once, logs nothing, and takes
+// no part in phase 2 — it can never become an orphan.
+func (p *Participant) HandlePrepare(req wire.PrepareReq) wire.VoteResp {
+	p.mu.Lock()
+	if commit, ok := p.decisions[req.Tx]; ok {
+		p.mu.Unlock()
+		return wire.VoteResp{Yes: commit, Reason: "already decided"}
+	}
+	if _, dup := p.states[req.Tx]; dup {
+		p.mu.Unlock()
+		return wire.VoteResp{Yes: true, Reason: "already prepared"}
+	}
+	applier := p.applier
+	p.mu.Unlock()
+
+	if len(req.Writes) == 0 && !req.NoReadOnlyOpt {
+		if applier != nil {
+			applier.Abort(req.Tx) // release read locks / clear nothing-to-install state
+		}
+		return wire.VoteResp{Yes: true, ReadOnly: true}
+	}
+
+	// Force the prepared record before voting yes (the WAL rule that makes
+	// the yes-vote binding across crashes).
+	if err := p.log.Append(wal.Record{
+		Type:         wal.RecPrepared,
+		Tx:           req.Tx,
+		TS:           req.TS,
+		Coordinator:  req.Coordinator,
+		Participants: req.Participants,
+		ThreePhase:   req.ThreePhase,
+		Writes:       req.Writes,
+	}); err != nil {
+		return wire.VoteResp{Yes: false, Reason: "log force failed: " + err.Error()}
+	}
+
+	p.mu.Lock()
+	p.states[req.Tx] = &ptx{state: StatePrepared, req: req, preparedAt: time.Now()}
+	p.mu.Unlock()
+	return wire.VoteResp{Yes: true}
+}
+
+// HandlePreCommit moves a prepared transaction to the 3PC pre-committed
+// state. Unknown transactions are acknowledged idempotently.
+func (p *Participant) HandlePreCommit(tx model.TxID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.states[tx]; ok && st.state == StatePrepared {
+		st.state = StatePreCommitted
+	}
+}
+
+// HandleDecision applies the final outcome exactly once and acknowledges.
+// It is idempotent against duplicate deliveries, and it still applies when
+// the outcome was already recorded without application (the coordinator
+// records its decision in the table before delivering it to its own
+// participant half).
+func (p *Participant) HandleDecision(tx model.TxID, commit bool) error {
+	p.mu.Lock()
+	st, hasState := p.states[tx]
+	_, decided := p.decisions[tx]
+	delete(p.states, tx)
+	p.decisions[tx] = commit
+	applier := p.applier
+	p.mu.Unlock()
+
+	if decided && !hasState {
+		return nil // true duplicate: already applied (or never prepared here)
+	}
+
+	// Log before applying; Store.Apply is version-guarded so replay after a
+	// crash between these two steps is idempotent.
+	if !decided {
+		if err := p.log.Append(wal.Record{Type: wal.RecDecision, Tx: tx, Commit: commit}); err != nil {
+			return err
+		}
+	}
+	if st == nil {
+		// Decision for a transaction with no prepared state here (e.g. a
+		// retry after completion, or an abort before prepare). Release any
+		// CC state just in case.
+		if !commit && applier != nil {
+			applier.Abort(tx)
+		}
+		return nil
+	}
+	if applier == nil {
+		return nil
+	}
+	if commit {
+		return applier.Commit(tx, st.req.Writes)
+	}
+	applier.Abort(tx)
+	return nil
+}
+
+// HandleTermState reports the transaction's state for cooperative
+// termination.
+func (p *Participant) HandleTermState(tx model.TxID) uint8 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if commit, ok := p.decisions[tx]; ok {
+		if commit {
+			return StateCommitted
+		}
+		return StateAborted
+	}
+	if st, ok := p.states[tx]; ok {
+		return st.state
+	}
+	return StateNone
+}
+
+// Decision reports a locally known outcome (for decision-request serving).
+func (p *Participant) Decision(tx model.TxID) (commit, known bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	commit, known = p.decisions[tx]
+	return commit, known
+}
+
+// RecordDecision notes an outcome decided by the local coordinator so
+// decision requests can be served (the coordinator's half of the table).
+func (p *Participant) RecordDecision(tx model.TxID, commit bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.decisions[tx]; !ok {
+		p.decisions[tx] = commit
+	}
+}
+
+// InDoubt lists transactions prepared longer than age ago and still
+// undecided — the paper's orphan transactions.
+func (p *Participant) InDoubt(age time.Duration) []model.TxID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []model.TxID
+	cutoff := time.Now().Add(-age)
+	for tx, st := range p.states {
+		if st.preparedAt.Before(cutoff) {
+			out = append(out, tx)
+		}
+	}
+	return out
+}
+
+// InDoubtCount reports the current number of in-doubt transactions.
+func (p *Participant) InDoubtCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.states)
+}
+
+// Restore re-installs an in-doubt transaction found in the WAL during crash
+// recovery. The caller must already have re-protected its write set in the
+// CC layer (cc.Manager.Reinstate).
+func (p *Participant) Restore(req wire.PrepareReq, threePhase bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	req.ThreePhase = threePhase
+	p.states[req.Tx] = &ptx{state: StatePrepared, req: req, preparedAt: time.Now()}
+}
+
+// RestoreDecisions rebuilds the decision table from WAL records.
+func (p *Participant) RestoreDecisions(recs []wal.Record) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range recs {
+		if r.Type == wal.RecDecision {
+			p.decisions[r.Tx] = r.Commit
+		}
+	}
+}
+
+// Resolve tries to determine the outcome of an in-doubt transaction:
+// first by asking the coordinator (decision request; an answering
+// coordinator with no record means presumed abort), then — for 3PC — by the
+// cooperative termination protocol over the cohort. It returns true when
+// the transaction was decided and applied.
+func (p *Participant) Resolve(ctx context.Context, r Resolver, tx model.TxID) bool {
+	p.mu.Lock()
+	st, ok := p.states[tx]
+	if !ok {
+		p.mu.Unlock()
+		return true // already decided
+	}
+	req := st.req
+	threePhase := st.req.ThreePhase
+	p.mu.Unlock()
+
+	if known, commit, err := r.QueryDecision(ctx, req.Coordinator, tx); err == nil && known {
+		p.HandleDecision(tx, commit) //nolint:errcheck
+		return true
+	}
+
+	if !threePhase {
+		// 2PC: ask the rest of the cohort; any peer may know the outcome.
+		for _, peer := range req.Participants {
+			if peer == p.self || peer == req.Coordinator {
+				continue
+			}
+			if known, commit, err := r.QueryDecision(ctx, peer, tx); err == nil && known {
+				p.HandleDecision(tx, commit) //nolint:errcheck
+				return true
+			}
+		}
+		return false // blocked: a 2PC orphan
+	}
+	return p.terminate3PC(ctx, r, tx, req)
+}
+
+// terminate3PC runs the simplified cooperative termination protocol
+// (assumes site failures, not partitions — the paper's classroom setting):
+//
+//   - any cohort member committed/aborted → adopt that outcome;
+//   - any member pre-committed → commit (the coordinator may have
+//     committed; no member can still be unprepared);
+//   - all reachable members merely prepared → abort (the coordinator
+//     cannot have committed without a pre-commit round).
+func (p *Participant) terminate3PC(ctx context.Context, r Resolver, tx model.TxID, req wire.PrepareReq) bool {
+	anyPreCommitted := p.HandleTermState(tx) == StatePreCommitted
+	for _, peer := range req.Participants {
+		if peer == p.self {
+			continue
+		}
+		state, err := r.QueryTermState(ctx, peer, tx)
+		if err != nil {
+			continue // unreachable peer: skip (no partitions assumed)
+		}
+		switch state {
+		case StateCommitted:
+			p.HandleDecision(tx, true) //nolint:errcheck
+			return true
+		case StateAborted, StateNone:
+			p.HandleDecision(tx, false) //nolint:errcheck
+			return true
+		case StatePreCommitted:
+			anyPreCommitted = true
+		}
+	}
+	p.HandleDecision(tx, anyPreCommitted) //nolint:errcheck
+	return true
+}

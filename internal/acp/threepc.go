@@ -1,0 +1,76 @@
+package acp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/wal"
+)
+
+// ThreePC is three-phase commit: 2PC with a pre-commit round inserted
+// between voting and the decision. Because no participant can commit while
+// any cohort member is still merely prepared, a cohort that loses its
+// coordinator can terminate deterministically (Participant.Terminate) —
+// removing 2PC's blocking window in the absence of network partitions.
+type ThreePC struct{}
+
+// Name implements Protocol.
+func (ThreePC) Name() string { return "3pc" }
+
+// ThreePhase implements Protocol.
+func (ThreePC) ThreePhase() bool { return true }
+
+// Commit implements Protocol.
+func (ThreePC) Commit(ctx context.Context, c Cohort, log wal.Log, opts Options, req Request, onDecision func(bool)) (bool, error) {
+	opts = opts.withDefaults()
+	commit, cohort, voteErr := collectVotes(ctx, c, opts, req, true)
+
+	if commit {
+		// Phase 2: pre-commit broadcast. Participants that ack have moved
+		// to the pre-committed state; ones that don't will learn the
+		// outcome from the cohort during termination.
+		broadcastPreCommit(ctx, c, opts, req, cohort)
+	}
+
+	if err := log.Append(wal.Record{Type: wal.RecDecision, Tx: req.Tx, Commit: commit}); err != nil {
+		return false, fmt.Errorf("acp: 3pc decision log: %w", err)
+	}
+	if onDecision != nil {
+		onDecision(commit)
+	}
+
+	if broadcastDecision(ctx, c, opts, req, cohort, commit) {
+		log.Append(wal.Record{Type: wal.RecEnd, Tx: req.Tx}) //nolint:errcheck
+	}
+
+	if commit {
+		return true, nil
+	}
+	if voteErr != nil {
+		return false, voteErr
+	}
+	return false, model.Abortf(model.AbortACP, "3pc: aborted")
+}
+
+func broadcastPreCommit(ctx context.Context, c Cohort, opts Options, req Request, cohort []model.SiteID) {
+	acked := make(chan struct{}, len(cohort))
+	for _, site := range cohort {
+		go func(site model.SiteID) {
+			pctx, cancel := context.WithTimeout(ctx, opts.Ack)
+			defer cancel()
+			c.PreCommit(pctx, site, req.Tx) //nolint:errcheck
+			acked <- struct{}{}
+		}(site)
+	}
+	// Wait for the round to drain (bounded by opts.Ack per participant).
+	deadline := time.After(opts.Ack + 100*time.Millisecond)
+	for range cohort {
+		select {
+		case <-acked:
+		case <-deadline:
+			return
+		}
+	}
+}

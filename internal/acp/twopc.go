@@ -1,0 +1,128 @@
+package acp
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// TwoPC is the classic presumed-abort two-phase commit. The coordinator's
+// decision record is the commit point; participants that voted yes and hear
+// nothing are blocked (orphan transactions) until the coordinator answers a
+// decision request — the blocking behaviour experiment E5 measures.
+type TwoPC struct{}
+
+// Name implements Protocol.
+func (TwoPC) Name() string { return "2pc" }
+
+// ThreePhase implements Protocol.
+func (TwoPC) ThreePhase() bool { return false }
+
+// Commit implements Protocol.
+func (TwoPC) Commit(ctx context.Context, c Cohort, log wal.Log, opts Options, req Request, onDecision func(bool)) (bool, error) {
+	opts = opts.withDefaults()
+	commit, cohort, voteErr := collectVotes(ctx, c, opts, req, false)
+
+	// Force the decision record — the commit point. Under presumed abort an
+	// abort decision need not be forced, but logging it keeps the decision
+	// table complete for decision-request serving.
+	if err := log.Append(wal.Record{Type: wal.RecDecision, Tx: req.Tx, Commit: commit}); err != nil {
+		return false, fmt.Errorf("acp: 2pc decision log: %w", err)
+	}
+	if onDecision != nil {
+		onDecision(commit)
+	}
+
+	allAcked := broadcastDecision(ctx, c, opts, req, cohort, commit)
+	if allAcked {
+		// All phase-2 participants acknowledged: no recovery work remains.
+		log.Append(wal.Record{Type: wal.RecEnd, Tx: req.Tx}) //nolint:errcheck
+	}
+
+	if commit {
+		return true, nil
+	}
+	if voteErr != nil {
+		return false, voteErr
+	}
+	return false, model.Abortf(model.AbortACP, "2pc: aborted")
+}
+
+// collectVotes runs phase 1 concurrently and reports the decision plus the
+// phase-2 cohort (participants that voted read-only are released and
+// excluded). The returned error classifies a negative outcome (vote no,
+// unreachable participant, coordinator cancellation).
+func collectVotes(ctx context.Context, c Cohort, opts Options, req Request, threePhase bool) (bool, []model.SiteID, error) {
+	type voteResult struct {
+		site model.SiteID
+		resp wire.VoteResp
+		err  error
+	}
+	results := make(chan voteResult, len(req.Participants))
+	for _, site := range req.Participants {
+		go func(site model.SiteID) {
+			vctx, cancel := context.WithTimeout(ctx, opts.Vote)
+			defer cancel()
+			resp, err := c.Prepare(vctx, site, wire.PrepareReq{
+				Tx:            req.Tx,
+				TS:            req.TS,
+				Coordinator:   req.Coordinator,
+				Writes:        req.WritesFor(site),
+				Participants:  req.Participants,
+				ThreePhase:    threePhase,
+				NoReadOnlyOpt: req.NoReadOnlyOpt,
+			})
+			results <- voteResult{site: site, resp: resp, err: err}
+		}(site)
+	}
+
+	commit := true
+	var cohort []model.SiteID
+	var cause error
+	for range req.Participants {
+		r := <-results
+		switch {
+		case r.err != nil:
+			commit = false
+			cohort = append(cohort, r.site)
+			if cause == nil {
+				cause = model.Abortf(model.AbortACP, "prepare at %s failed: %v", r.site, r.err)
+			}
+		case !r.resp.Yes:
+			commit = false
+			cohort = append(cohort, r.site)
+			if cause == nil {
+				cause = model.Abortf(model.AbortACP, "%s voted no: %s", r.site, r.resp.Reason)
+			}
+		case r.resp.ReadOnly:
+			// Released at vote time; no phase 2 for this site.
+		default:
+			cohort = append(cohort, r.site)
+		}
+	}
+	return commit, cohort, cause
+}
+
+// broadcastDecision runs phase 2 concurrently over the voting cohort,
+// reporting whether every member acknowledged. Unacknowledged members
+// resolve later via decision requests.
+func broadcastDecision(ctx context.Context, c Cohort, opts Options, req Request, cohort []model.SiteID, commit bool) bool {
+	acked := make(chan bool, len(cohort))
+	for _, site := range cohort {
+		go func(site model.SiteID) {
+			actx, cancel := context.WithTimeout(ctx, opts.Ack)
+			defer cancel()
+			acked <- c.Decide(actx, site, req.Tx, commit) == nil
+		}(site)
+	}
+	all := true
+	for range cohort {
+		if !<-acked {
+			all = false
+		}
+	}
+	return all
+}

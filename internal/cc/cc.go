@@ -1,0 +1,99 @@
+// Package cc implements Rainbow's concurrency control protocols (CCPs).
+// Each Rainbow site runs one Manager guarding its local copies: every
+// remote read or pre-write sent by a replication control protocol passes
+// through it (paper §2.1: "copies are read ... or pre-written ... through
+// CCP").
+//
+// Three managers are provided, selectable by name from the catalog:
+//
+//   - "2pl"   — strict two-phase locking over internal/lock
+//   - "tso"   — basic timestamp ordering with strict pre-write intents
+//   - "mvtso" — multi-version timestamp ordering (the paper's suggested
+//     term-project extension)
+//
+// A Manager validates and buffers operations; writes become durable and
+// visible only when the atomic commit protocol calls Commit with the final
+// write records (which carry coordinator-assigned install versions).
+package cc
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// Manager is the per-site CCP interface.
+type Manager interface {
+	// Name returns the protocol name ("2pl", "tso", "mvtso").
+	Name() string
+
+	// Read returns the current value and version of the site's copy of
+	// item on behalf of tx. It may block (2PL queueing, TSO intent gating)
+	// and may abort with cause CC.
+	Read(ctx context.Context, tx model.TxID, ts model.Timestamp, item model.ItemID) (int64, model.Version, error)
+
+	// PreWrite validates a write intent and returns the copy's current
+	// version number (the QC coordinator derives the install version from
+	// the quorum maximum). The value is buffered, not applied.
+	PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error)
+
+	// Commit installs the transaction's write records into the store and
+	// releases all CC state held for tx.
+	Commit(tx model.TxID, writes []model.WriteRecord) error
+
+	// Abort discards tx's intents and releases all CC state.
+	Abort(tx model.TxID)
+
+	// Reinstate re-protects the write set of an in-doubt transaction during
+	// crash recovery, before the site serves new traffic.
+	Reinstate(tx model.TxID, ts model.Timestamp, writes []model.WriteRecord) error
+
+	// Stats reports CC event counters for the progress monitor.
+	Stats() Stats
+}
+
+// Stats counts CC events.
+type Stats struct {
+	Reads      uint64
+	PreWrites  uint64
+	Rejections uint64 // timestamp rejections (TSO/MVTSO)
+	Deadlocks  uint64 // 2PL only
+	Timeouts   uint64 // lock or intent wait timeouts
+	Waits      uint64
+}
+
+// Options configures manager construction.
+type Options struct {
+	// LockTimeout bounds 2PL lock waits and TSO intent waits. Zero means
+	// DefaultLockTimeout.
+	LockTimeout time.Duration
+	// DisableDeadlockDetection leaves 2PL deadlocks to timeouts.
+	DisableDeadlockDetection bool
+}
+
+// DefaultLockTimeout is the default bound on CC waits; it doubles as the
+// distributed-deadlock safety net.
+const DefaultLockTimeout = 2 * time.Second
+
+// New constructs a manager by protocol name over the site's store.
+func New(name string, store *storage.Store, opts Options) (Manager, error) {
+	if opts.LockTimeout == 0 {
+		opts.LockTimeout = DefaultLockTimeout
+	}
+	switch name {
+	case "2pl", "2PL", "":
+		return NewTwoPL(store, opts), nil
+	case "tso", "TSO":
+		return NewTSO(store, opts), nil
+	case "mvtso", "MVTSO":
+		return NewMVTSO(store, opts), nil
+	default:
+		return nil, fmt.Errorf("cc: unknown concurrency control protocol %q", name)
+	}
+}
+
+// Names lists the available CCP names.
+func Names() []string { return []string{"2pl", "tso", "mvtso"} }

@@ -1,0 +1,239 @@
+package cc
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// TSO is basic timestamp ordering with strict pre-write intents (Bernstein
+// et al.'s TO scheduler made strict so the ACP can always commit admitted
+// transactions):
+//
+//   - Read(ts) is rejected if ts < wts(item); otherwise, if a pending
+//     pre-write intent with a smaller timestamp exists, the read waits for
+//     it to resolve (it may need that writer's value); otherwise it reads
+//     and advances rts.
+//   - PreWrite(ts) is rejected if ts < rts(item) or ts < wts(item);
+//     otherwise an intent is buffered.
+//
+// Rejections abort with cause CC; the transaction restarts with a fresh
+// (larger) timestamp at the workload layer if configured.
+type TSO struct {
+	store *storage.Store
+	opts  Options
+
+	mu    sync.Mutex
+	items map[model.ItemID]*tsoItem
+	byTx  map[model.TxID]map[model.ItemID]bool
+	stats Stats
+}
+
+type tsoItem struct {
+	rts, wts model.Timestamp
+	intents  map[model.TxID]tsoIntent
+	changed  chan struct{}
+}
+
+type tsoIntent struct {
+	ts    model.Timestamp
+	value int64
+}
+
+// NewTSO builds the TSO manager over the site's store.
+func NewTSO(store *storage.Store, opts Options) *TSO {
+	return &TSO{
+		store: store,
+		opts:  opts,
+		items: make(map[model.ItemID]*tsoItem),
+		byTx:  make(map[model.TxID]map[model.ItemID]bool),
+	}
+}
+
+// Name implements Manager.
+func (m *TSO) Name() string { return "tso" }
+
+func (m *TSO) item(id model.ItemID) *tsoItem {
+	it := m.items[id]
+	if it == nil {
+		it = &tsoItem{intents: make(map[model.TxID]tsoIntent), changed: make(chan struct{})}
+		m.items[id] = it
+	}
+	return it
+}
+
+// minForeignIntent returns the smallest intent timestamp on it not owned by
+// tx, and whether one exists.
+func minForeignIntent(it *tsoItem, tx model.TxID) (model.Timestamp, bool) {
+	var min model.Timestamp
+	found := false
+	for owner, in := range it.intents {
+		if owner == tx {
+			continue
+		}
+		if !found || in.ts.Less(min) {
+			min = in.ts
+			found = true
+		}
+	}
+	return min, found
+}
+
+// Read implements Manager.
+func (m *TSO) Read(ctx context.Context, tx model.TxID, ts model.Timestamp, item model.ItemID) (int64, model.Version, error) {
+	ctx, cancel := context.WithTimeout(ctx, m.opts.LockTimeout)
+	defer cancel()
+	m.mu.Lock()
+	for {
+		it := m.item(item)
+		if own, ok := it.intents[tx]; ok {
+			// Read-your-writes on the buffered intent.
+			c, _ := m.store.Get(item)
+			m.stats.Reads++
+			m.mu.Unlock()
+			return own.value, c.Version, nil
+		}
+		if ts.Less(it.wts) {
+			m.stats.Rejections++
+			m.mu.Unlock()
+			return 0, 0, model.Abortf(model.AbortCC, "tso: read of %s at %s rejected, wts=%s", item, ts, it.wts)
+		}
+		if min, ok := minForeignIntent(it, tx); ok && min.Less(ts) {
+			// Strictness: a smaller-timestamped write is pending; wait.
+			ch := it.changed
+			m.stats.Waits++
+			m.mu.Unlock()
+			select {
+			case <-ch:
+				m.mu.Lock()
+				continue
+			case <-ctx.Done():
+				m.mu.Lock()
+				m.stats.Timeouts++
+				m.mu.Unlock()
+				return 0, 0, model.Abortf(model.AbortCC, "tso: read of %s at %s timed out waiting on pre-write intent", item, ts)
+			}
+		}
+		if it.rts.Less(ts) {
+			it.rts = ts
+		}
+		c, ok := m.store.Get(item)
+		if !ok {
+			m.mu.Unlock()
+			return 0, 0, model.Abortf(model.AbortRCP, "no copy of %s at this site", item)
+		}
+		m.stats.Reads++
+		m.mu.Unlock()
+		return c.Value, c.Version, nil
+	}
+}
+
+// PreWrite implements Manager. Conflicting pre-writes are serialized per
+// copy: a pre-write waits until no other transaction's intent is pending on
+// the item. This is what makes the version numbers handed to the quorum
+// coordinator unique — with two concurrent buffered intents both would see
+// the same base version, the coordinator would assign colliding install
+// versions, and one write would be silently lost at shared copies.
+func (m *TSO) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error) {
+	ctx, cancel := context.WithTimeout(ctx, m.opts.LockTimeout)
+	defer cancel()
+	m.mu.Lock()
+	it := m.item(item)
+	for {
+		if _, foreign := minForeignIntent(it, tx); !foreign {
+			break
+		}
+		ch := it.changed
+		m.stats.Waits++
+		m.mu.Unlock()
+		select {
+		case <-ch:
+			m.mu.Lock()
+			it = m.item(item)
+		case <-ctx.Done():
+			m.mu.Lock()
+			m.stats.Timeouts++
+			m.mu.Unlock()
+			return 0, model.Abortf(model.AbortCC, "tso: pre-write of %s at %s timed out on pending intent", item, ts)
+		}
+	}
+	defer m.mu.Unlock()
+	if ts.Less(it.rts) || ts.Less(it.wts) {
+		m.stats.Rejections++
+		return 0, model.Abortf(model.AbortCC, "tso: pre-write of %s at %s rejected, rts=%s wts=%s", item, ts, it.rts, it.wts)
+	}
+	it.intents[tx] = tsoIntent{ts: ts, value: value}
+	if m.byTx[tx] == nil {
+		m.byTx[tx] = make(map[model.ItemID]bool)
+	}
+	m.byTx[tx][item] = true
+	c, ok := m.store.Get(item)
+	if !ok {
+		delete(it.intents, tx)
+		delete(m.byTx[tx], item)
+		return 0, model.Abortf(model.AbortRCP, "no copy of %s at this site", item)
+	}
+	m.stats.PreWrites++
+	return c.Version, nil
+}
+
+// Commit implements Manager: install the final records, advance wts, and
+// resolve intents.
+func (m *TSO) Commit(tx model.TxID, writes []model.WriteRecord) error {
+	err := m.store.Apply(writes)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for item := range m.byTx[tx] {
+		it := m.item(item)
+		if in, ok := it.intents[tx]; ok {
+			if it.wts.Less(in.ts) {
+				it.wts = in.ts
+			}
+			delete(it.intents, tx)
+			close(it.changed)
+			it.changed = make(chan struct{})
+		}
+	}
+	delete(m.byTx, tx)
+	return err
+}
+
+// Abort implements Manager.
+func (m *TSO) Abort(tx model.TxID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for item := range m.byTx[tx] {
+		it := m.item(item)
+		if _, ok := it.intents[tx]; ok {
+			delete(it.intents, tx)
+			close(it.changed)
+			it.changed = make(chan struct{})
+		}
+	}
+	delete(m.byTx, tx)
+}
+
+// Reinstate implements Manager: reinstall pre-write intents for an in-doubt
+// transaction found during recovery.
+func (m *TSO) Reinstate(tx model.TxID, ts model.Timestamp, writes []model.WriteRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, w := range writes {
+		it := m.item(w.Item)
+		it.intents[tx] = tsoIntent{ts: ts, value: w.Value}
+		if m.byTx[tx] == nil {
+			m.byTx[tx] = make(map[model.ItemID]bool)
+		}
+		m.byTx[tx][w.Item] = true
+	}
+	return nil
+}
+
+// Stats implements Manager.
+func (m *TSO) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

@@ -1,0 +1,124 @@
+package cc
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/lock"
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// TwoPL is strict two-phase locking: reads take shared locks, pre-writes
+// take exclusive locks, and every lock is held until Commit or Abort. With
+// the lock manager's waits-for-graph detection, local deadlocks abort the
+// requester immediately; distributed deadlocks fall to the wait timeout.
+type TwoPL struct {
+	store *storage.Store
+	locks *lock.Manager
+
+	mu      sync.Mutex
+	intents map[model.TxID]map[model.ItemID]int64
+	stats   Stats
+}
+
+// NewTwoPL builds the 2PL manager over the site's store.
+func NewTwoPL(store *storage.Store, opts Options) *TwoPL {
+	return &TwoPL{
+		store: store,
+		locks: lock.New(lock.Options{
+			Timeout:                  opts.LockTimeout,
+			DisableDeadlockDetection: opts.DisableDeadlockDetection,
+		}),
+		intents: make(map[model.TxID]map[model.ItemID]int64),
+	}
+}
+
+// Name implements Manager.
+func (m *TwoPL) Name() string { return "2pl" }
+
+// Read implements Manager: S-lock then read the copy.
+func (m *TwoPL) Read(ctx context.Context, tx model.TxID, ts model.Timestamp, item model.ItemID) (int64, model.Version, error) {
+	if err := m.acquire(ctx, tx, item, lock.Shared); err != nil {
+		return 0, 0, err
+	}
+	c, ok := m.store.Get(item)
+	if !ok {
+		return 0, 0, model.Abortf(model.AbortRCP, "no copy of %s at this site", item)
+	}
+	m.mu.Lock()
+	m.stats.Reads++
+	val := c.Value
+	if own, ok := m.intents[tx][item]; ok {
+		val = own // read-your-writes on the buffered intent
+	}
+	m.mu.Unlock()
+	return val, c.Version, nil
+}
+
+// PreWrite implements Manager: X-lock, buffer the intent, report the
+// current version.
+func (m *TwoPL) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error) {
+	if err := m.acquire(ctx, tx, item, lock.Exclusive); err != nil {
+		return 0, err
+	}
+	c, ok := m.store.Get(item)
+	if !ok {
+		return 0, model.Abortf(model.AbortRCP, "no copy of %s at this site", item)
+	}
+	m.mu.Lock()
+	if m.intents[tx] == nil {
+		m.intents[tx] = make(map[model.ItemID]int64)
+	}
+	m.intents[tx][item] = value
+	m.stats.PreWrites++
+	m.mu.Unlock()
+	return c.Version, nil
+}
+
+func (m *TwoPL) acquire(ctx context.Context, tx model.TxID, item model.ItemID, mode lock.Mode) error {
+	return m.locks.Acquire(ctx, tx, item, mode)
+}
+
+// Commit implements Manager: install the final records, then release locks
+// (strict 2PL order: writes visible before any lock is released).
+func (m *TwoPL) Commit(tx model.TxID, writes []model.WriteRecord) error {
+	err := m.store.Apply(writes)
+	m.mu.Lock()
+	delete(m.intents, tx)
+	m.mu.Unlock()
+	m.locks.ReleaseAll(tx)
+	return err
+}
+
+// Abort implements Manager.
+func (m *TwoPL) Abort(tx model.TxID) {
+	m.mu.Lock()
+	delete(m.intents, tx)
+	m.mu.Unlock()
+	m.locks.ReleaseAll(tx)
+}
+
+// Reinstate implements Manager: re-acquire exclusive locks for an in-doubt
+// transaction during recovery. Recovery runs before the site admits new
+// work, so acquisition cannot block.
+func (m *TwoPL) Reinstate(tx model.TxID, ts model.Timestamp, writes []model.WriteRecord) error {
+	for _, w := range writes {
+		if err := m.locks.Acquire(context.Background(), tx, w.Item, lock.Exclusive); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats implements Manager, merging lock-manager counters.
+func (m *TwoPL) Stats() Stats {
+	m.mu.Lock()
+	s := m.stats
+	m.mu.Unlock()
+	ls := m.locks.Stats()
+	s.Waits = ls.Waits
+	s.Deadlocks = ls.Deadlocks
+	s.Timeouts = ls.Timeouts
+	return s
+}

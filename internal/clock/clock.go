@@ -1,0 +1,51 @@
+// Package clock provides the logical clock each Rainbow site uses to assign
+// transaction timestamps. Timestamps are Lamport clocks with a site-id
+// tie-break, giving the total order that timestamp-ordering concurrency
+// control requires across sites.
+package clock
+
+import (
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Clock is a Lamport clock bound to one site. The zero value is not usable;
+// use New.
+type Clock struct {
+	site model.SiteID
+
+	mu   sync.Mutex
+	time uint64
+}
+
+// New returns a clock for the given site starting at time 0.
+func New(site model.SiteID) *Clock {
+	return &Clock{site: site}
+}
+
+// Now ticks the clock and returns a fresh timestamp strictly greater than
+// any timestamp previously returned or witnessed.
+func (c *Clock) Now() model.Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.time++
+	return model.Timestamp{Time: c.time, Site: c.site}
+}
+
+// Witness advances the clock past an observed remote timestamp, preserving
+// the Lamport happened-before property for messages that carry timestamps.
+func (c *Clock) Witness(ts model.Timestamp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ts.Time > c.time {
+		c.time = ts.Time
+	}
+}
+
+// Peek returns the current time without ticking (for tests and monitors).
+func (c *Clock) Peek() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.time
+}

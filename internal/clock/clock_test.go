@@ -1,0 +1,80 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestNowMonotonic(t *testing.T) {
+	c := New("S1")
+	prev := c.Now()
+	for i := 0; i < 1000; i++ {
+		ts := c.Now()
+		if !prev.Less(ts) {
+			t.Fatalf("timestamp %v not after %v", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestWitnessAdvances(t *testing.T) {
+	c := New("S1")
+	c.Witness(model.Timestamp{Time: 100, Site: "S2"})
+	ts := c.Now()
+	if ts.Time <= 100 {
+		t.Errorf("Now after Witness(100) = %v, want > 100", ts.Time)
+	}
+}
+
+func TestWitnessNeverRewinds(t *testing.T) {
+	c := New("S1")
+	for i := 0; i < 50; i++ {
+		c.Now()
+	}
+	before := c.Peek()
+	c.Witness(model.Timestamp{Time: 1, Site: "S2"})
+	if c.Peek() != before {
+		t.Errorf("Witness of old timestamp changed clock: %d -> %d", before, c.Peek())
+	}
+}
+
+func TestConcurrentUnique(t *testing.T) {
+	c := New("S1")
+	const goroutines, per = 8, 500
+	out := make(chan model.Timestamp, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				out <- c.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	seen := make(map[model.Timestamp]bool)
+	for ts := range out {
+		if seen[ts] {
+			t.Fatalf("duplicate timestamp %v", ts)
+		}
+		seen[ts] = true
+	}
+	if len(seen) != goroutines*per {
+		t.Errorf("got %d unique timestamps, want %d", len(seen), goroutines*per)
+	}
+}
+
+func TestSiteTieBreak(t *testing.T) {
+	a, b := New("S1"), New("S2")
+	ta, tb := a.Now(), b.Now()
+	if ta.Time != tb.Time {
+		t.Fatalf("clocks out of sync in test setup")
+	}
+	if !ta.Less(tb) {
+		t.Error("equal times should order by site id")
+	}
+}

@@ -1,0 +1,151 @@
+package config
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// newInstance builds a core instance (indirection keeps the import local to
+// the end-to-end test).
+func newInstance(opts core.Options) (*core.Instance, error) { return core.New(opts) }
+
+func TestDefaultValid(t *testing.T) {
+	e := Default()
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	e := Default()
+	e.Name = "round-trip"
+	e.Workload.Zipf = 1.2
+	e.Faults = []Fault{{AfterMS: 100, Kind: "crash", Site: "S2"}}
+	path := filepath.Join(t.TempDir(), "exp.json")
+	if err := e.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, e)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/exp.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseGarbage(t *testing.T) {
+	if _, err := Parse([]byte("{nope")); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+}
+
+func TestParseValidates(t *testing.T) {
+	if _, err := Parse([]byte(`{"name":"x"}`)); err == nil {
+		t.Error("empty experiment accepted")
+	}
+}
+
+func TestValidateRejectsBadPlacement(t *testing.T) {
+	e := Default()
+	e.Placements = map[model.ItemID]Placement{
+		"a": {Votes: map[model.SiteID]int{"S1": 1}, ReadQuorum: 1, WriteQuorum: 1},
+		// r+w = 2 > 1 total? 1+1=2 > 1 ok; 2w=2 > 1 ok — actually valid.
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatalf("single-copy placement should be valid: %v", err)
+	}
+	e.Placements["a"] = Placement{Votes: map[model.SiteID]int{"ZZ": 1}, ReadQuorum: 1, WriteQuorum: 1}
+	if err := e.Validate(); err == nil {
+		t.Error("placement on unknown site accepted")
+	}
+}
+
+func TestBuildCatalogPlacements(t *testing.T) {
+	e := Default()
+	e.Placements = map[model.ItemID]Placement{
+		"a": {Votes: map[model.SiteID]int{"S1": 2, "S2": 1}, ReadQuorum: 2, WriteQuorum: 2},
+	}
+	cat, err := e.BuildCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Items["a"].Votes["S1"] != 2 || cat.Items["a"].ReadQuorum != 2 {
+		t.Errorf("placement not applied: %+v", cat.Items["a"])
+	}
+	// Unpinned items replicated everywhere.
+	if len(cat.Items["b"].Votes) != 3 {
+		t.Errorf("item b not replicated everywhere: %+v", cat.Items["b"])
+	}
+}
+
+func TestOptionsAndProfileConversion(t *testing.T) {
+	e := Default()
+	opts, err := e.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Catalog == nil || opts.Net.BaseLatency == 0 {
+		t.Errorf("options = %+v", opts)
+	}
+	p := e.Profile()
+	if p.Transactions != 200 || p.MPL != 4 || p.ReadFraction != 0.75 {
+		t.Errorf("profile = %+v", p)
+	}
+}
+
+func TestStepsConversion(t *testing.T) {
+	e := Default()
+	e.Faults = []Fault{
+		{AfterMS: 50, Kind: "crash", Site: "S1"},
+		{AfterMS: 150, Kind: "recover", Site: "S1"},
+		{AfterMS: 200, Kind: "partition", Groups: [][]model.SiteID{{"S1"}, {"S2", "S3"}}},
+	}
+	steps := e.Steps()
+	if len(steps) != 3 || steps[0].Kind != "crash" || steps[2].Groups == nil {
+		t.Errorf("steps = %+v", steps)
+	}
+	if steps[1].After.Milliseconds() != 150 {
+		t.Errorf("after = %v", steps[1].After)
+	}
+}
+
+func TestTimeoutsConversion(t *testing.T) {
+	e := Default()
+	ts := e.Timeouts()
+	if ts.Op.Milliseconds() != 1000 || ts.Lock.Milliseconds() != 500 {
+		t.Errorf("timeouts = %+v", ts)
+	}
+}
+
+// TestEndToEndFromConfig builds a live instance from a config and runs its
+// workload — the full "save a session, reload it, run it" loop.
+func TestEndToEndFromConfig(t *testing.T) {
+	e := Default()
+	e.Workload.Transactions = 20
+	e.Network.BaseLatencyUS = 0 // fast test
+	e.Network.JitterUS = 0
+	opts, err := e.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := newInstance(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	res := in.RunWorkload(t.Context(), e.Profile())
+	if res.Submitted != 20 || res.Committed == 0 {
+		t.Errorf("result = %+v", res)
+	}
+}

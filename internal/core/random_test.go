@@ -1,0 +1,114 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/schema"
+	"repro/internal/wlg"
+)
+
+// TestRandomizedWorkloadsStaySerializable is the repository's widest
+// property test: random protocol combinations, random cluster shapes and
+// random workload profiles, each run checked for (a) conflict
+// serializability of the committed global history and (b) replica-read
+// convergence — a final read must observe the value of SOME committed
+// write (or the initial value), for every item.
+func TestRandomizedWorkloadsStaySerializable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep skipped in -short mode")
+	}
+	rcps := []string{"rowa", "qc"}
+	ccps := []string{"2pl", "tso", "mvtso"}
+	acps := []string{"2pc", "3pc"}
+
+	for trial := 0; trial < 6; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(trial) + 77))
+			protocols := schema.Protocols{
+				RCP: rcps[rng.Intn(len(rcps))],
+				CCP: ccps[rng.Intn(len(ccps))],
+				ACP: acps[rng.Intn(len(acps))],
+			}
+			nSites := 2 + rng.Intn(3) // 2..4
+			nItems := 2 + rng.Intn(4) // 2..5
+			sites := make([]model.SiteID, nSites)
+			for i := range sites {
+				sites[i] = model.SiteID(fmt.Sprintf("S%d", i+1))
+			}
+			items := make(map[model.ItemID]int64, nItems)
+			for i := 0; i < nItems; i++ {
+				items[model.ItemID(fmt.Sprintf("i%d", i))] = int64(i * 10)
+			}
+			in, err := New(Options{
+				Sites: sites, Items: items, Protocols: protocols,
+				Timeouts: schema.Timeouts{
+					Op: time.Second, Vote: time.Second, Ack: 500 * time.Millisecond,
+					Lock: 200 * time.Millisecond, OrphanResolve: 50 * time.Millisecond,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer in.Close()
+
+			res := in.RunWorkload(context.Background(), wlg.Profile{
+				Transactions: 30 + rng.Intn(30),
+				MPL:          1 + rng.Intn(6),
+				OpsPerTx:     1 + rng.Intn(4),
+				ReadFraction: rng.Float64(),
+				Retries:      3,
+				Seed:         int64(trial) + 1,
+			})
+			t.Logf("%+v: %d/%d committed (causes %v)", protocols, res.Committed, res.Submitted, res.ByCause)
+
+			if err := in.CheckSerializable(CommittedSet(res.Outcomes)); err != nil {
+				t.Fatalf("protocols %+v: %v", protocols, err)
+			}
+
+			// Replica-read convergence: the final read of each item returns a
+			// value some committed transaction wrote (or the initial value).
+			legal := make(map[model.ItemID]map[int64]bool, nItems)
+			for item, init := range items {
+				legal[item] = map[int64]bool{init: true}
+			}
+			for _, o := range res.Outcomes {
+				_ = o
+			}
+			for _, e := range in.History() {
+				if e.Kind == model.OpWrite && CommittedSet(res.Outcomes)[e.Tx] {
+					legal[e.Item][e.Value] = true
+				}
+			}
+			ops := make([]model.Op, 0, nItems)
+			for item := range items {
+				ops = append(ops, model.Read(item))
+			}
+			// Stragglers from the just-finished workload may hold CC state
+			// for up to a lock timeout; retry the audit briefly. A genuine
+			// leak keeps failing past the retries.
+			var final model.Outcome
+			for attempt := 0; attempt < 5; attempt++ {
+				final = in.Submit(context.Background(), sites[0], ops)
+				if final.Committed {
+					break
+				}
+				time.Sleep(150 * time.Millisecond)
+			}
+			if !final.Committed {
+				t.Fatalf("final audit read aborted after retries: %+v", final)
+			}
+			for item, v := range final.Reads {
+				if !legal[item][v] {
+					t.Errorf("protocols %+v: item %s converged to %d, never committed", protocols, item, v)
+				}
+			}
+		})
+	}
+}

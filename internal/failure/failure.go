@@ -1,0 +1,176 @@
+// Package failure implements Rainbow's fault/recovery injector (paper §1:
+// "inject network and site failures and recoveries"). It operates on two
+// planes at once: the network simulator (a crashed site becomes unreachable,
+// partitions split the message space) and the site objects (a crashed site
+// loses its volatile state and later recovers from its WAL).
+//
+// Injections can be applied immediately or scheduled on a timeline relative
+// to a workload run — the mechanism behind experiment E5's
+// crash-during-commit scenarios.
+package failure
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// CrashableSite is the site-side interface the injector drives.
+// *site.Site implements it.
+type CrashableSite interface {
+	Crash()
+	Recover() error
+	Crashed() bool
+}
+
+// Fabric is the network-side interface. *simnet.Net implements it.
+type Fabric interface {
+	Pause(id model.SiteID)
+	Resume(id model.SiteID)
+	Partition(groups ...[]model.SiteID)
+	Heal()
+}
+
+// Injector coordinates fault injection across the fabric and the sites.
+type Injector struct {
+	fabric Fabric
+
+	mu    sync.Mutex
+	sites map[model.SiteID]CrashableSite
+	log   []Event
+}
+
+// Event records one injected fault or recovery for the experiment report.
+type Event struct {
+	At   time.Time
+	Kind string // "crash", "recover", "partition", "heal"
+	Site model.SiteID
+}
+
+// New builds an injector over the given network fabric.
+func New(fabric Fabric) *Injector {
+	return &Injector{fabric: fabric, sites: make(map[model.SiteID]CrashableSite)}
+}
+
+// Register makes a site crashable by id.
+func (in *Injector) Register(id model.SiteID, s CrashableSite) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sites[id] = s
+}
+
+// Crash fails a site: it becomes unreachable and loses volatile state.
+func (in *Injector) Crash(id model.SiteID) error {
+	in.mu.Lock()
+	s, ok := in.sites[id]
+	in.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("failure: unknown site %s", id)
+	}
+	in.fabric.Pause(id)
+	s.Crash()
+	in.record("crash", id)
+	return nil
+}
+
+// Recover brings a crashed site back through WAL recovery and reconnects it.
+func (in *Injector) Recover(id model.SiteID) error {
+	in.mu.Lock()
+	s, ok := in.sites[id]
+	in.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("failure: unknown site %s", id)
+	}
+	if err := s.Recover(); err != nil {
+		return err
+	}
+	in.fabric.Resume(id)
+	in.record("recover", id)
+	return nil
+}
+
+// Partition splits the network into the given groups.
+func (in *Injector) Partition(groups ...[]model.SiteID) {
+	in.fabric.Partition(groups...)
+	in.record("partition", "")
+}
+
+// Heal removes all partitions.
+func (in *Injector) Heal() {
+	in.fabric.Heal()
+	in.record("heal", "")
+}
+
+// Crashed reports whether a registered site is currently down.
+func (in *Injector) Crashed(id model.SiteID) bool {
+	in.mu.Lock()
+	s, ok := in.sites[id]
+	in.mu.Unlock()
+	return ok && s.Crashed()
+}
+
+// Log returns the injection events in order.
+func (in *Injector) Log() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Event, len(in.log))
+	copy(out, in.log)
+	return out
+}
+
+func (in *Injector) record(kind string, site model.SiteID) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.log = append(in.log, Event{At: time.Now(), Kind: kind, Site: site})
+}
+
+// Step is one scheduled injection.
+type Step struct {
+	// After is the delay from schedule start.
+	After time.Duration
+	// Kind is "crash", "recover", "partition" or "heal".
+	Kind string
+	// Site applies to crash/recover.
+	Site model.SiteID
+	// Groups applies to partition.
+	Groups [][]model.SiteID
+}
+
+// Schedule runs the steps on their timeline in a background goroutine,
+// returning a wait function that blocks until all steps have fired (or the
+// stop channel closes). Steps run in After-order regardless of input order.
+func (in *Injector) Schedule(steps []Step, stop <-chan struct{}) (wait func()) {
+	ordered := make([]Step, len(steps))
+	copy(ordered, steps)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].After < ordered[j].After })
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		start := time.Now()
+		for _, step := range ordered {
+			delay := step.After - time.Since(start)
+			if delay > 0 {
+				select {
+				case <-time.After(delay):
+				case <-stop:
+					return
+				}
+			}
+			switch step.Kind {
+			case "crash":
+				in.Crash(step.Site) //nolint:errcheck
+			case "recover":
+				in.Recover(step.Site) //nolint:errcheck
+			case "partition":
+				in.Partition(step.Groups...)
+			case "heal":
+				in.Heal()
+			}
+		}
+	}()
+	return func() { <-done }
+}

@@ -1,0 +1,200 @@
+package failure
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// fakeSite tracks crash/recover calls.
+type fakeSite struct {
+	mu      sync.Mutex
+	crashed bool
+	crashes int
+	recover int
+	failRec bool
+}
+
+func (f *fakeSite) Crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = true
+	f.crashes++
+}
+
+func (f *fakeSite) Recover() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failRec {
+		return errors.New("recovery failed")
+	}
+	f.crashed = false
+	f.recover++
+	return nil
+}
+
+func (f *fakeSite) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// fakeFabric tracks network-plane calls.
+type fakeFabric struct {
+	mu         sync.Mutex
+	paused     map[model.SiteID]bool
+	partitions int
+	heals      int
+}
+
+func newFabric() *fakeFabric { return &fakeFabric{paused: make(map[model.SiteID]bool)} }
+
+func (f *fakeFabric) Pause(id model.SiteID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.paused[id] = true
+}
+
+func (f *fakeFabric) Resume(id model.SiteID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.paused[id] = false
+}
+
+func (f *fakeFabric) Partition(groups ...[]model.SiteID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitions++
+}
+
+func (f *fakeFabric) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.heals++
+}
+
+func TestCrashAndRecover(t *testing.T) {
+	fab := newFabric()
+	in := New(fab)
+	s := &fakeSite{}
+	in.Register("A", s)
+
+	if err := in.Crash("A"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Crashed() || !fab.paused["A"] {
+		t.Error("crash did not hit both planes")
+	}
+	if !in.Crashed("A") {
+		t.Error("Crashed() = false")
+	}
+
+	if err := in.Recover("A"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Crashed() || fab.paused["A"] {
+		t.Error("recover did not hit both planes")
+	}
+}
+
+func TestRecoverFailureKeepsSitePaused(t *testing.T) {
+	fab := newFabric()
+	in := New(fab)
+	s := &fakeSite{failRec: true}
+	in.Register("A", s)
+	in.Crash("A")
+	if err := in.Recover("A"); err == nil {
+		t.Fatal("recovery error swallowed")
+	}
+	if !fab.paused["A"] {
+		t.Error("site resumed on the network despite failed recovery")
+	}
+}
+
+func TestUnknownSite(t *testing.T) {
+	in := New(newFabric())
+	if err := in.Crash("ghost"); err == nil {
+		t.Error("crash of unknown site accepted")
+	}
+	if err := in.Recover("ghost"); err == nil {
+		t.Error("recover of unknown site accepted")
+	}
+	if in.Crashed("ghost") {
+		t.Error("unknown site reported crashed")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	fab := newFabric()
+	in := New(fab)
+	in.Partition([]model.SiteID{"A"}, []model.SiteID{"B"})
+	in.Heal()
+	if fab.partitions != 1 || fab.heals != 1 {
+		t.Errorf("fabric calls = %d/%d", fab.partitions, fab.heals)
+	}
+}
+
+func TestLogRecordsEvents(t *testing.T) {
+	in := New(newFabric())
+	s := &fakeSite{}
+	in.Register("A", s)
+	in.Crash("A")
+	in.Recover("A")
+	in.Partition()
+	in.Heal()
+	log := in.Log()
+	if len(log) != 4 {
+		t.Fatalf("log = %v", log)
+	}
+	kinds := []string{log[0].Kind, log[1].Kind, log[2].Kind, log[3].Kind}
+	want := []string{"crash", "recover", "partition", "heal"}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("log[%d] = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestScheduleRunsInOrder(t *testing.T) {
+	fab := newFabric()
+	in := New(fab)
+	s := &fakeSite{}
+	in.Register("A", s)
+
+	stop := make(chan struct{})
+	wait := in.Schedule([]Step{
+		{After: 30 * time.Millisecond, Kind: "recover", Site: "A"},
+		{After: 5 * time.Millisecond, Kind: "crash", Site: "A"}, // out of order on purpose
+	}, stop)
+	wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashes != 1 || s.recover != 1 {
+		t.Errorf("crashes=%d recovers=%d", s.crashes, s.recover)
+	}
+	if s.crashed {
+		t.Error("final state should be recovered")
+	}
+}
+
+func TestScheduleStops(t *testing.T) {
+	in := New(newFabric())
+	s := &fakeSite{}
+	in.Register("A", s)
+	stop := make(chan struct{})
+	wait := in.Schedule([]Step{{After: time.Hour, Kind: "crash", Site: "A"}}, stop)
+	close(stop)
+	done := make(chan struct{})
+	go func() { wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("schedule did not stop")
+	}
+	if s.Crashed() {
+		t.Error("cancelled step executed")
+	}
+}

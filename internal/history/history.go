@@ -1,0 +1,298 @@
+// Package history implements Rainbow's execution-history capture and the
+// serializability checker used by the property tests and the monitor's
+// "observe local as well as global executions" facility (paper §1).
+//
+// Every successful copy operation is recorded as an event at its site:
+// reads carry the version they observed, writes the version they installed.
+// The checker builds the multiversion serialization graph (MVSG) over
+// committed transactions, per copy:
+//
+//   - ww: writes ordered by installed version;
+//   - wr: the writer of version v precedes every reader of version v;
+//   - rw: a reader of version v precedes the writer of the next version
+//     after v (the anti-dependency).
+//
+// Version-based edges — rather than wall-clock arrival order — are what
+// make the checker correct for the multi-version CCP, where a transaction
+// may legitimately read an old version after a newer one was installed and
+// still serialize before its writer. The history is serializable iff the
+// MVSG is acyclic.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+)
+
+// Event is one copy operation in a site's local execution.
+type Event struct {
+	// Seq orders events within one recorder (assigned on Record).
+	Seq  uint64
+	Site model.SiteID
+	Tx   model.TxID
+	Kind model.OpKind
+	Item model.ItemID
+	// Value is the value read or written.
+	Value int64
+	// Version is the copy version observed (reads) or installed (writes).
+	Version model.Version
+}
+
+// copyKey identifies one physical copy.
+type copyKey struct {
+	site model.SiteID
+	item model.ItemID
+}
+
+// Recorder captures one site's local execution history.
+type Recorder struct {
+	site model.SiteID
+	seq  atomic.Uint64
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder builds a recorder for site.
+func NewRecorder(site model.SiteID) *Recorder {
+	return &Recorder{site: site}
+}
+
+// Record appends one event.
+func (r *Recorder) Record(tx model.TxID, kind model.OpKind, item model.ItemID, value int64, version model.Version) {
+	e := Event{
+		Seq:     r.seq.Add(1),
+		Site:    r.site,
+		Tx:      tx,
+		Kind:    kind,
+		Item:    item,
+		Value:   value,
+		Version: version,
+	}
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events snapshots the recorded history.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Reset clears the history.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+}
+
+// Conflict is one MVSG edge with its witnessing copy.
+type Conflict struct {
+	From, To model.TxID
+	Site     model.SiteID
+	Item     model.ItemID
+	Kind     string // "ww", "wr" or "rw"
+}
+
+// Graph is the multiversion serialization graph of a (filtered) history.
+type Graph struct {
+	// Edges maps each transaction to its successors.
+	Edges map[model.TxID]map[model.TxID]bool
+	// Conflicts lists one witness per edge.
+	Conflicts []Conflict
+	// Violations lists structural problems found while building the graph
+	// (e.g. two committed writes installing the same version on one copy),
+	// which are serializability violations in themselves.
+	Violations []string
+}
+
+// BuildGraph constructs the MVSG over the given events, considering only
+// transactions in the committed set (aborted transactions' effects were
+// discarded and do not constrain serializability).
+func BuildGraph(events []Event, committed map[model.TxID]bool) *Graph {
+	byCopy := make(map[copyKey][]Event)
+	for _, e := range events {
+		if !committed[e.Tx] {
+			continue
+		}
+		k := copyKey{e.Site, e.Item}
+		byCopy[k] = append(byCopy[k], e)
+	}
+	g := &Graph{Edges: make(map[model.TxID]map[model.TxID]bool)}
+
+	// Deterministic copy order for stable output.
+	keys := make([]copyKey, 0, len(byCopy))
+	for k := range byCopy {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].site != keys[j].site {
+			return keys[i].site < keys[j].site
+		}
+		return keys[i].item < keys[j].item
+	})
+
+	for _, k := range keys {
+		evs := byCopy[k]
+		// Collect writes by version, reads by version.
+		writerOf := make(map[model.Version]model.TxID)
+		var writeVersions []model.Version
+		for _, e := range evs {
+			if e.Kind != model.OpWrite {
+				continue
+			}
+			if prev, dup := writerOf[e.Version]; dup && prev != e.Tx {
+				g.Violations = append(g.Violations, fmt.Sprintf(
+					"copy %s@%s: committed transactions %s and %s both installed version %d",
+					k.item, k.site, prev, e.Tx, e.Version))
+				continue
+			}
+			if _, dup := writerOf[e.Version]; !dup {
+				writerOf[e.Version] = e.Tx
+				writeVersions = append(writeVersions, e.Version)
+			}
+		}
+		sort.Slice(writeVersions, func(i, j int) bool { return writeVersions[i] < writeVersions[j] })
+
+		// ww edges along the version chain.
+		for i := 1; i < len(writeVersions); i++ {
+			from := writerOf[writeVersions[i-1]]
+			to := writerOf[writeVersions[i]]
+			if from != to && g.addEdge(from, to) {
+				g.Conflicts = append(g.Conflicts, Conflict{From: from, To: to, Site: k.site, Item: k.item, Kind: "ww"})
+			}
+		}
+
+		// nextWriteAfter returns the writer of the smallest version > v.
+		nextWriteAfter := func(v model.Version) (model.TxID, bool) {
+			i := sort.Search(len(writeVersions), func(i int) bool { return writeVersions[i] > v })
+			if i == len(writeVersions) {
+				return model.TxID{}, false
+			}
+			return writerOf[writeVersions[i]], true
+		}
+
+		for _, e := range evs {
+			if e.Kind != model.OpRead {
+				continue
+			}
+			// wr: writer of the observed version precedes the reader.
+			if w, ok := writerOf[e.Version]; ok && w != e.Tx {
+				if g.addEdge(w, e.Tx) {
+					g.Conflicts = append(g.Conflicts, Conflict{From: w, To: e.Tx, Site: k.site, Item: k.item, Kind: "wr"})
+				}
+			}
+			// rw: the reader precedes the writer of the next version.
+			if w, ok := nextWriteAfter(e.Version); ok && w != e.Tx {
+				if g.addEdge(e.Tx, w) {
+					g.Conflicts = append(g.Conflicts, Conflict{From: e.Tx, To: w, Site: k.site, Item: k.item, Kind: "rw"})
+				}
+			}
+		}
+	}
+	return g
+}
+
+func (g *Graph) addEdge(from, to model.TxID) bool {
+	m := g.Edges[from]
+	if m == nil {
+		m = make(map[model.TxID]bool)
+		g.Edges[from] = m
+	}
+	if m[to] {
+		return false
+	}
+	m[to] = true
+	return true
+}
+
+// Cycle returns a cycle in the graph, or nil if the graph is acyclic.
+func (g *Graph) Cycle() []model.TxID {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[model.TxID]int)
+	parent := make(map[model.TxID]model.TxID)
+
+	var nodes []model.TxID
+	for n := range g.Edges {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].String() < nodes[j].String() })
+
+	var cycleStart, cycleEnd model.TxID
+	var found bool
+	var dfs func(model.TxID) bool
+	dfs = func(u model.TxID) bool {
+		color[u] = gray
+		var succ []model.TxID
+		for v := range g.Edges[u] {
+			succ = append(succ, v)
+		}
+		sort.Slice(succ, func(i, j int) bool { return succ[i].String() < succ[j].String() })
+		for _, v := range succ {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				cycleStart, cycleEnd, found = v, u, true
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, n := range nodes {
+		if color[n] == white && dfs(n) {
+			break
+		}
+	}
+	if !found {
+		return nil
+	}
+	cycle := []model.TxID{cycleStart}
+	for v := cycleEnd; v != cycleStart; v = parent[v] {
+		cycle = append(cycle, v)
+	}
+	for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+		cycle[i], cycle[j] = cycle[j], cycle[i]
+	}
+	return cycle
+}
+
+// CheckSerializable merges per-site histories and verifies multiversion
+// serializability of the committed transactions. It returns nil when the
+// history is serializable and an error naming a conflict cycle or a
+// structural violation otherwise.
+func CheckSerializable(events []Event, committed map[model.TxID]bool) error {
+	g := BuildGraph(events, committed)
+	if len(g.Violations) > 0 {
+		return fmt.Errorf("history: %s", g.Violations[0])
+	}
+	if cycle := g.Cycle(); cycle != nil {
+		return fmt.Errorf("history: conflict cycle %v", cycle)
+	}
+	return nil
+}
+
+// Merge concatenates several recorders' histories.
+func Merge(recorders ...*Recorder) []Event {
+	var out []Event
+	for _, r := range recorders {
+		out = append(out, r.Events()...)
+	}
+	return out
+}

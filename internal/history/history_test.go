@@ -1,0 +1,200 @@
+package history
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func tid(seq uint64) model.TxID { return model.TxID{Site: "S", Seq: seq} }
+
+func TestRecorderOrdersEvents(t *testing.T) {
+	r := NewRecorder("S1")
+	r.Record(tid(1), model.OpRead, "x", 10, 0)
+	r.Record(tid(2), model.OpWrite, "x", 20, 1)
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Seq >= ev[1].Seq {
+		t.Errorf("events = %+v", ev)
+	}
+	if ev[0].Site != "S1" || ev[0].Item != "x" || ev[0].Value != 10 || ev[1].Version != 1 {
+		t.Errorf("event = %+v", ev[0])
+	}
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func committed(ids ...model.TxID) map[model.TxID]bool {
+	m := make(map[model.TxID]bool)
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+func TestSerialHistoryAcyclic(t *testing.T) {
+	r := NewRecorder("S1")
+	// t1 fully before t2: each writes version n, reads what it should.
+	r.Record(tid(1), model.OpRead, "x", 0, 0)
+	r.Record(tid(1), model.OpWrite, "x", 1, 1)
+	r.Record(tid(2), model.OpRead, "x", 1, 1)
+	r.Record(tid(2), model.OpWrite, "x", 2, 2)
+	if err := CheckSerializable(r.Events(), committed(tid(1), tid(2))); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLostUpdateCycleDetected(t *testing.T) {
+	r := NewRecorder("S1")
+	// Both read version 0, both install later versions: t1 → t2 via ww,
+	// t2's read of v0 → rw → t1, giving a cycle.
+	r.Record(tid(1), model.OpRead, "x", 0, 0)
+	r.Record(tid(2), model.OpRead, "x", 0, 0)
+	r.Record(tid(1), model.OpWrite, "x", 1, 1)
+	r.Record(tid(2), model.OpWrite, "x", 2, 2)
+	if err := CheckSerializable(r.Events(), committed(tid(1), tid(2))); err == nil {
+		t.Error("lost-update cycle not detected")
+	}
+}
+
+func TestAbortedTxIgnored(t *testing.T) {
+	r := NewRecorder("S1")
+	r.Record(tid(1), model.OpRead, "x", 0, 0)
+	r.Record(tid(2), model.OpRead, "x", 0, 0)
+	r.Record(tid(1), model.OpWrite, "x", 1, 1)
+	r.Record(tid(2), model.OpWrite, "x", 2, 2)
+	// Only t1 committed: the cycle involves an aborted tx and is irrelevant.
+	if err := CheckSerializable(r.Events(), committed(tid(1))); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadsDoNotConflict(t *testing.T) {
+	r := NewRecorder("S1")
+	r.Record(tid(1), model.OpRead, "x", 0, 0)
+	r.Record(tid(2), model.OpRead, "x", 0, 0)
+	g := BuildGraph(r.Events(), committed(tid(1), tid(2)))
+	if len(g.Conflicts) != 0 {
+		t.Errorf("read-read conflicts recorded: %v", g.Conflicts)
+	}
+}
+
+func TestOldVersionReadIsSerializable(t *testing.T) {
+	// The MVTSO pattern the wall-order checker would wrongly reject:
+	// t1 installs version 1; t2 then reads version 0 (an old version) —
+	// legitimate under multiversion TO, equivalent to serial t2, t1.
+	r := NewRecorder("S1")
+	r.Record(tid(1), model.OpWrite, "x", 10, 1)
+	r.Record(tid(2), model.OpRead, "x", 0, 0) // after the write in wall time
+	if err := CheckSerializable(r.Events(), committed(tid(1), tid(2))); err != nil {
+		t.Errorf("old-version read rejected: %v", err)
+	}
+	// The rw anti-dependency edge t2 → t1 must exist.
+	g := BuildGraph(r.Events(), committed(tid(1), tid(2)))
+	if !g.Edges[tid(2)][tid(1)] {
+		t.Error("rw edge reader→overwriter missing")
+	}
+}
+
+func TestOldReadPlusReverseDependencyIsCycle(t *testing.T) {
+	// t2 reads the version t1 overwrote (t2 → t1), but t2 also READS t1's
+	// write on another item (t1 → t2): no serial order exists.
+	r := NewRecorder("S1")
+	r.Record(tid(1), model.OpWrite, "x", 10, 1)
+	r.Record(tid(1), model.OpWrite, "y", 10, 1)
+	r.Record(tid(2), model.OpRead, "x", 0, 0)  // before t1 on x
+	r.Record(tid(2), model.OpRead, "y", 10, 1) // after t1 on y
+	if err := CheckSerializable(r.Events(), committed(tid(1), tid(2))); err == nil {
+		t.Error("mixed-version read cycle not detected")
+	}
+}
+
+func TestDifferentCopiesIndependent(t *testing.T) {
+	// Same item on different sites = different copies (replica consistency
+	// across copies is the RCP's job, not the conflict graph's).
+	r1 := NewRecorder("S1")
+	r2 := NewRecorder("S2")
+	r1.Record(tid(1), model.OpWrite, "x", 1, 1)
+	r2.Record(tid(2), model.OpWrite, "x", 2, 1)
+	g := BuildGraph(Merge(r1, r2), committed(tid(1), tid(2)))
+	if len(g.Conflicts) != 0 {
+		t.Errorf("cross-copy conflicts recorded: %v", g.Conflicts)
+	}
+}
+
+func TestCrossSiteCycleDetected(t *testing.T) {
+	// t1 before t2 on S1's copy of x, t2 before t1 on S2's copy of y.
+	r1 := NewRecorder("S1")
+	r2 := NewRecorder("S2")
+	r1.Record(tid(1), model.OpWrite, "x", 1, 1)
+	r1.Record(tid(2), model.OpWrite, "x", 2, 2)
+	r2.Record(tid(2), model.OpWrite, "y", 2, 1)
+	r2.Record(tid(1), model.OpWrite, "y", 1, 2)
+	if err := CheckSerializable(Merge(r1, r2), committed(tid(1), tid(2))); err == nil {
+		t.Error("cross-site cycle not detected")
+	}
+}
+
+func TestThreeTxCycle(t *testing.T) {
+	r := NewRecorder("S1")
+	// t1→t2 on x, t2→t3 on y, t3→t1 on z (all ww).
+	r.Record(tid(1), model.OpWrite, "x", 1, 1)
+	r.Record(tid(2), model.OpWrite, "x", 2, 2)
+	r.Record(tid(2), model.OpWrite, "y", 2, 1)
+	r.Record(tid(3), model.OpWrite, "y", 3, 2)
+	r.Record(tid(3), model.OpWrite, "z", 3, 1)
+	r.Record(tid(1), model.OpWrite, "z", 1, 2)
+	g := BuildGraph(r.Events(), committed(tid(1), tid(2), tid(3)))
+	cycle := g.Cycle()
+	if len(cycle) != 3 {
+		t.Errorf("cycle = %v, want length 3", cycle)
+	}
+}
+
+func TestWriteReadEdge(t *testing.T) {
+	r := NewRecorder("S1")
+	r.Record(tid(1), model.OpWrite, "x", 1, 1)
+	r.Record(tid(2), model.OpRead, "x", 1, 1)
+	g := BuildGraph(r.Events(), committed(tid(1), tid(2)))
+	if !g.Edges[tid(1)][tid(2)] {
+		t.Error("wr edge missing")
+	}
+	if g.Edges[tid(2)] != nil && g.Edges[tid(2)][tid(1)] {
+		t.Error("reverse edge should not exist")
+	}
+}
+
+func TestDuplicateVersionIsViolation(t *testing.T) {
+	// Two committed transactions installing the same version on one copy is
+	// the lost-write bug the serialized pre-write rule prevents; the checker
+	// must flag it even without a cycle.
+	r := NewRecorder("S1")
+	r.Record(tid(1), model.OpWrite, "x", 1, 1)
+	r.Record(tid(2), model.OpWrite, "x", 2, 1)
+	if err := CheckSerializable(r.Events(), committed(tid(1), tid(2))); err == nil {
+		t.Error("duplicate version not flagged")
+	}
+}
+
+func TestReadOfUnknownWriterTolerated(t *testing.T) {
+	// A read of a version whose writer is outside the observation window
+	// (e.g. installed before stats reset) contributes no wr edge but still
+	// anchors rw edges.
+	r := NewRecorder("S1")
+	r.Record(tid(2), model.OpRead, "x", 5, 7) // writer of v7 unknown
+	r.Record(tid(3), model.OpWrite, "x", 6, 9)
+	if err := CheckSerializable(r.Events(), committed(tid(2), tid(3))); err != nil {
+		t.Error(err)
+	}
+	g := BuildGraph(r.Events(), committed(tid(2), tid(3)))
+	if !g.Edges[tid(2)][tid(3)] {
+		t.Error("rw edge to later writer missing")
+	}
+}
+
+func TestEmptyHistorySerializable(t *testing.T) {
+	if err := CheckSerializable(nil, nil); err != nil {
+		t.Error(err)
+	}
+}

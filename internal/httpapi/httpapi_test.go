@@ -1,0 +1,228 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	return resp, out
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	return resp, buf.Bytes()
+}
+
+func start(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	// Start with a fast default config: empty body = Default(), but shrink
+	// the workload and latency for tests.
+	body := `{
+		"name": "test",
+		"sites": ["S1","S2","S3"],
+		"items": {"x": 10, "y": 20},
+		"protocols": {"RCP":"qc","CCP":"2pl","ACP":"2pc"},
+		"network": {"base_latency_us": 0},
+		"timeouts_ms": {"op":1000,"vote":1000,"ack":500,"lock":300,"orphan_resolve":50},
+		"workload": {"transactions": 20, "mpl": 2, "ops_per_tx": 3, "read_fraction": 0.5, "retries": 3}
+	}`
+	resp, out := post(t, ts.URL+"/NSRunnerlet", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("NSRunnerlet: %d %v", resp.StatusCode, out)
+	}
+}
+
+func TestEndpointsRequireInstance(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{"/NSlet", "/SiteRunnerlet", "/PMlet", "/PMlet/render"} {
+		resp, _ := get(t, ts.URL+path)
+		if resp.StatusCode != http.StatusConflict {
+			t.Errorf("GET %s before configure = %d, want 409", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestNSRunnerletStartsInstance(t *testing.T) {
+	_, ts := newTestServer(t)
+	start(t, ts)
+	resp, body := get(t, ts.URL+"/NSlet")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("NSlet: %d", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte(`"x"`)) {
+		t.Errorf("catalog missing items: %s", body)
+	}
+}
+
+func TestNSRunnerletDefaultConfig(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, out := post(t, ts.URL+"/NSRunnerlet", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty-body NSRunnerlet = %d %v", resp.StatusCode, out)
+	}
+	sites, ok := out["sites"].([]any)
+	if !ok || len(sites) != 3 {
+		t.Errorf("sites = %v", out["sites"])
+	}
+}
+
+func TestNSRunnerletRejectsBadConfig(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, _ := post(t, ts.URL+"/NSRunnerlet", `{"sites": [], "items": {}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad config = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSiteRunnerletListsSites(t *testing.T) {
+	_, ts := newTestServer(t)
+	start(t, ts)
+	resp, body := get(t, ts.URL+"/SiteRunnerlet")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("SiteRunnerlet: %d", resp.StatusCode)
+	}
+	var sites []map[string]any
+	if err := json.Unmarshal(body, &sites); err != nil || len(sites) != 3 {
+		t.Errorf("sites = %s", body)
+	}
+}
+
+func TestSiteletStats(t *testing.T) {
+	_, ts := newTestServer(t)
+	start(t, ts)
+	resp, body := get(t, ts.URL+"/Sitelet?site=S1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("Sitelet: %d", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte(`"stats"`)) || !bytes.Contains(body, []byte(`"store"`)) {
+		t.Errorf("sitelet body = %s", body)
+	}
+	resp, _ = get(t, ts.URL+"/Sitelet?site=ZZ")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown site = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestWLGletRunAndPMlet(t *testing.T) {
+	_, ts := newTestServer(t)
+	start(t, ts)
+	resp, out := post(t, ts.URL+"/WLGlet/run", `{"transactions": 15, "mpl": 3, "ops_per_tx": 2, "read_fraction": 0.5, "retries": 3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("WLGlet/run: %d %v", resp.StatusCode, out)
+	}
+	if out["submitted"].(float64) != 15 {
+		t.Errorf("submitted = %v", out["submitted"])
+	}
+	if out["committed"].(float64) == 0 {
+		t.Error("nothing committed")
+	}
+
+	resp, body := get(t, ts.URL+"/PMlet")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PMlet: %d", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte(`"totals"`)) {
+		t.Errorf("PMlet body = %s", body)
+	}
+
+	resp, text := get(t, ts.URL+"/PMlet/render")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(text, []byte("commit rate:")) {
+		t.Errorf("render = %d %s", resp.StatusCode, text)
+	}
+}
+
+func TestWLGletManual(t *testing.T) {
+	_, ts := newTestServer(t)
+	start(t, ts)
+	resp, out := post(t, ts.URL+"/WLGlet/manual",
+		`{"home": "S1", "ops": [{"Kind":"w","Item":"x","Value":99},{"Kind":"r","Item":"x"}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("manual: %d %v", resp.StatusCode, out)
+	}
+	if out["Committed"] != true {
+		t.Errorf("outcome = %v", out)
+	}
+	resp, _ = post(t, ts.URL+"/WLGlet/manual", `{"home": "S1", "ops": [{"Kind":"zap"}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid manual op = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestFaultletCrashRecover(t *testing.T) {
+	_, ts := newTestServer(t)
+	start(t, ts)
+	resp, _ := post(t, ts.URL+"/Faultlet", `{"kind":"crash","site":"S2"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("crash: %d", resp.StatusCode)
+	}
+	// SiteRunnerlet reflects the crash.
+	_, body := get(t, ts.URL+"/SiteRunnerlet")
+	if !bytes.Contains(body, []byte(`"crashed":true`)) {
+		t.Errorf("crash not visible: %s", body)
+	}
+	resp, _ = post(t, ts.URL+"/Faultlet", `{"kind":"recover","site":"S2"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recover: %d", resp.StatusCode)
+	}
+	resp, _ = post(t, ts.URL+"/Faultlet", `{"kind":"nuke"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown fault = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestResetlet(t *testing.T) {
+	_, ts := newTestServer(t)
+	start(t, ts)
+	post(t, ts.URL+"/WLGlet/run", `{"transactions": 5, "mpl": 1, "ops_per_tx": 2, "read_fraction": 1, "retries": 0}`)
+	resp, _ := post(t, ts.URL+"/Resetlet", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reset: %d", resp.StatusCode)
+	}
+	_, body := get(t, ts.URL+"/PMlet")
+	var pm map[string]any
+	json.Unmarshal(body, &pm)
+	if pm["totals"].(map[string]any)["Began"].(float64) != 0 {
+		t.Errorf("stats not reset: %s", body)
+	}
+}
+
+func TestReconfigureReplacesInstance(t *testing.T) {
+	_, ts := newTestServer(t)
+	start(t, ts)
+	post(t, ts.URL+"/WLGlet/run", `{"transactions": 5, "mpl": 1, "ops_per_tx": 2, "read_fraction": 1, "retries": 0}`)
+	start(t, ts) // reconfigure
+	_, body := get(t, ts.URL+"/PMlet")
+	var pm map[string]any
+	json.Unmarshal(body, &pm)
+	if pm["totals"].(map[string]any)["Began"].(float64) != 0 {
+		t.Error("reconfiguration kept old statistics")
+	}
+}

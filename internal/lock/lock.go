@@ -1,0 +1,355 @@
+// Package lock implements the lock manager used by Rainbow's two-phase
+// locking CCP: shared/exclusive item locks with FIFO queuing, lock
+// upgrades, waits-for-graph deadlock detection, and wait timeouts.
+//
+// Deadlock handling follows the classic local scheme: each blocked request
+// adds waits-for edges from the requester to every conflicting holder and
+// to conflicting waiters queued ahead of it; a cycle through the new edges
+// aborts the requester immediately (the requester is the victim). Timeouts
+// provide the safety net for distributed deadlocks that no single site can
+// see.
+package lock
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes.
+const (
+	Shared Mode = iota + 1
+	Exclusive
+)
+
+// String renders "S" or "X".
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Timeout bounds each wait; 0 disables timeouts. Timed-out requests
+	// abort with cause CC.
+	Timeout time.Duration
+	// DisableDeadlockDetection turns off waits-for cycle checking (leaving
+	// only timeouts), which lets classroom experiments observe undetected
+	// deadlocks.
+	DisableDeadlockDetection bool
+}
+
+// Stats counts lock-manager events for the progress monitor.
+type Stats struct {
+	Grants    uint64
+	Waits     uint64
+	Deadlocks uint64
+	Timeouts  uint64
+	Upgrades  uint64
+}
+
+// Manager is a per-site lock manager. All methods are safe for concurrent
+// use.
+type Manager struct {
+	opts Options
+
+	mu    sync.Mutex
+	items map[model.ItemID]*itemLock
+	// held tracks every item a transaction currently locks, for ReleaseAll.
+	held  map[model.TxID]map[model.ItemID]Mode
+	waits map[model.TxID]map[model.TxID]bool
+	stats Stats
+}
+
+type itemLock struct {
+	holders map[model.TxID]Mode
+	queue   []*waiter
+}
+
+type waiter struct {
+	tx      model.TxID
+	mode    Mode
+	upgrade bool
+	ready   chan error // buffered(1); receives nil on grant
+}
+
+// New returns a lock manager with the given options.
+func New(opts Options) *Manager {
+	return &Manager{
+		opts:  opts,
+		items: make(map[model.ItemID]*itemLock),
+		held:  make(map[model.TxID]map[model.ItemID]Mode),
+		waits: make(map[model.TxID]map[model.TxID]bool),
+	}
+}
+
+// Stats snapshots the event counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Holding returns the mode tx holds on item (0 if none).
+func (m *Manager) Holding(tx model.TxID, item model.ItemID) Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.held[tx][item]
+}
+
+// Acquire obtains item in the given mode for tx, blocking until granted,
+// deadlock-aborted, timed out, or ctx is done. Re-acquiring an equal or
+// weaker mode is a no-op; Shared→Exclusive upgrades are supported.
+func (m *Manager) Acquire(ctx context.Context, tx model.TxID, item model.ItemID, mode Mode) error {
+	if m.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.opts.Timeout)
+		defer cancel()
+	}
+
+	m.mu.Lock()
+	il := m.items[item]
+	if il == nil {
+		il = &itemLock{holders: make(map[model.TxID]Mode)}
+		m.items[item] = il
+	}
+
+	cur := il.holders[tx]
+	if cur >= mode {
+		m.mu.Unlock()
+		return nil // already held strongly enough
+	}
+	upgrade := cur == Shared && mode == Exclusive
+
+	// A new request is granted only if it is compatible with the holders
+	// AND does not jump queued conflicting waiters (FIFO fairness).
+	if holdersCompatible(il, tx, mode, upgrade) && !m.queueConflicts(il, tx, mode) {
+		m.grantLocked(item, il, tx, mode, upgrade)
+		m.mu.Unlock()
+		return nil
+	}
+
+	// Must wait: build waits-for edges to everything blocking us.
+	w := &waiter{tx: tx, mode: mode, upgrade: upgrade, ready: make(chan error, 1)}
+	blockers := m.blockers(il, tx, mode, upgrade)
+	if !m.opts.DisableDeadlockDetection {
+		if m.wouldDeadlock(tx, blockers) {
+			m.stats.Deadlocks++
+			m.mu.Unlock()
+			return model.Abortf(model.AbortCC, "deadlock: %s waiting for %s(%s)", tx, item, mode)
+		}
+	}
+	for _, b := range blockers {
+		m.addEdge(tx, b)
+	}
+	il.queue = append(il.queue, w)
+	m.stats.Waits++
+	m.mu.Unlock()
+
+	select {
+	case err := <-w.ready:
+		return err
+	case <-ctx.Done():
+		m.mu.Lock()
+		select {
+		case err := <-w.ready:
+			// Granted just as we timed out: accept the grant; the caller
+			// still owns the lock and will release it with the transaction.
+			m.mu.Unlock()
+			return err
+		default:
+		}
+		m.removeWaiter(il, w)
+		m.clearEdges(tx)
+		m.stats.Timeouts++
+		m.grantWaitersLocked(item, il)
+		m.mu.Unlock()
+		return model.Abortf(model.AbortCC, "lock timeout: %s on %s(%s)", tx, item, mode)
+	}
+}
+
+// ReleaseAll drops every lock tx holds and removes it from all wait queues,
+// then grants newly compatible waiters. Called at commit/abort (strict 2PL).
+func (m *Manager) ReleaseAll(tx model.TxID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for item := range m.held[tx] {
+		il := m.items[item]
+		if il == nil {
+			continue
+		}
+		delete(il.holders, tx)
+		m.grantWaitersLocked(item, il)
+	}
+	delete(m.held, tx)
+	// Remove tx from any queues (an aborting tx may still be queued).
+	for item, il := range m.items {
+		changed := false
+		for i := 0; i < len(il.queue); {
+			if il.queue[i].tx == tx {
+				il.queue[i].ready <- model.Abortf(model.AbortCC, "transaction released while waiting")
+				il.queue = append(il.queue[:i], il.queue[i+1:]...)
+				changed = true
+			} else {
+				i++
+			}
+		}
+		if changed {
+			m.grantWaitersLocked(item, il)
+		}
+	}
+	m.clearEdges(tx)
+	// Other transactions' edges pointing at tx are now stale; drop them.
+	for _, es := range m.waits {
+		delete(es, tx)
+	}
+}
+
+// holdersCompatible reports whether mode is compatible with the current
+// holder set (ignoring tx's own holding, which an upgrade replaces).
+func holdersCompatible(il *itemLock, tx model.TxID, mode Mode, upgrade bool) bool {
+	if upgrade {
+		// Upgrade is grantable only when tx is the sole holder.
+		if len(il.holders) != 1 {
+			return false
+		}
+		_, sole := il.holders[tx]
+		return sole
+	}
+	for h, hm := range il.holders {
+		if h == tx {
+			continue
+		}
+		if mode == Exclusive || hm == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// queueConflicts reports whether a conflicting waiter is already queued
+// (FIFO fairness for new requests only — waiters being granted from the
+// head of the queue are never blocked by waiters behind them).
+func (m *Manager) queueConflicts(il *itemLock, tx model.TxID, mode Mode) bool {
+	for _, q := range il.queue {
+		if q.tx == tx {
+			continue
+		}
+		if mode == Exclusive || q.mode == Exclusive {
+			return true
+		}
+	}
+	return false
+}
+
+// blockers lists the transactions tx would wait for on item.
+func (m *Manager) blockers(il *itemLock, tx model.TxID, mode Mode, upgrade bool) []model.TxID {
+	var out []model.TxID
+	for h, hm := range il.holders {
+		if h == tx {
+			continue
+		}
+		if upgrade || mode == Exclusive || hm == Exclusive {
+			out = append(out, h)
+		}
+	}
+	for _, q := range il.queue {
+		if q.tx == tx {
+			continue
+		}
+		if mode == Exclusive || q.mode == Exclusive {
+			out = append(out, q.tx)
+		}
+	}
+	return out
+}
+
+func (m *Manager) grantLocked(item model.ItemID, il *itemLock, tx model.TxID, mode Mode, upgrade bool) {
+	il.holders[tx] = mode
+	if m.held[tx] == nil {
+		m.held[tx] = make(map[model.ItemID]Mode)
+	}
+	m.held[tx][item] = mode
+	m.stats.Grants++
+	if upgrade {
+		m.stats.Upgrades++
+	}
+}
+
+// grantWaitersLocked grants queued waiters that became compatible, in FIFO
+// order, batching consecutive compatible shared requests.
+func (m *Manager) grantWaitersLocked(item model.ItemID, il *itemLock) {
+	for len(il.queue) > 0 {
+		w := il.queue[0]
+		if !holdersCompatible(il, w.tx, w.mode, w.upgrade) {
+			return
+		}
+		il.queue = il.queue[1:]
+		il.holders[w.tx] = w.mode
+		if m.held[w.tx] == nil {
+			m.held[w.tx] = make(map[model.ItemID]Mode)
+		}
+		m.held[w.tx][item] = w.mode
+		m.stats.Grants++
+		if w.upgrade {
+			m.stats.Upgrades++
+		}
+		m.clearEdges(w.tx)
+		w.ready <- nil
+	}
+}
+
+func (m *Manager) removeWaiter(il *itemLock, w *waiter) {
+	for i, q := range il.queue {
+		if q == w {
+			il.queue = append(il.queue[:i], il.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+func (m *Manager) addEdge(from, to model.TxID) {
+	if m.waits[from] == nil {
+		m.waits[from] = make(map[model.TxID]bool)
+	}
+	m.waits[from][to] = true
+}
+
+func (m *Manager) clearEdges(tx model.TxID) {
+	delete(m.waits, tx)
+}
+
+// wouldDeadlock reports whether adding edges tx→blockers closes a cycle in
+// the waits-for graph (DFS from each blocker looking for tx).
+func (m *Manager) wouldDeadlock(tx model.TxID, blockers []model.TxID) bool {
+	seen := make(map[model.TxID]bool)
+	var dfs func(model.TxID) bool
+	dfs = func(cur model.TxID) bool {
+		if cur == tx {
+			return true
+		}
+		if seen[cur] {
+			return false
+		}
+		seen[cur] = true
+		for next := range m.waits[cur] {
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range blockers {
+		if dfs(b) {
+			return true
+		}
+	}
+	return false
+}

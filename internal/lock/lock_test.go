@@ -1,0 +1,331 @@
+package lock
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func tx(seq uint64) model.TxID { return model.TxID{Site: "S", Seq: seq} }
+
+func mustAcquire(t *testing.T, m *Manager, id model.TxID, item model.ItemID, mode Mode) {
+	t.Helper()
+	if err := m.Acquire(context.Background(), id, item, mode); err != nil {
+		t.Fatalf("Acquire(%v, %v, %v): %v", id, item, mode, err)
+	}
+}
+
+func TestSharedLocksCompatible(t *testing.T) {
+	m := New(Options{})
+	mustAcquire(t, m, tx(1), "x", Shared)
+	mustAcquire(t, m, tx(2), "x", Shared)
+	mustAcquire(t, m, tx(3), "x", Shared)
+	if m.Holding(tx(2), "x") != Shared {
+		t.Error("tx2 should hold S")
+	}
+}
+
+func TestExclusiveBlocksShared(t *testing.T) {
+	m := New(Options{})
+	mustAcquire(t, m, tx(1), "x", Exclusive)
+
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(context.Background(), tx(2), "x", Shared) }()
+	select {
+	case err := <-done:
+		t.Fatalf("shared lock granted while X held: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	m.ReleaseAll(tx(1))
+	if err := <-done; err != nil {
+		t.Fatalf("shared lock not granted after release: %v", err)
+	}
+}
+
+func TestSharedBlocksExclusive(t *testing.T) {
+	m := New(Options{})
+	mustAcquire(t, m, tx(1), "x", Shared)
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(context.Background(), tx(2), "x", Exclusive) }()
+	select {
+	case <-done:
+		t.Fatal("X granted while S held by another tx")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(tx(1))
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReacquireIsNoop(t *testing.T) {
+	m := New(Options{})
+	mustAcquire(t, m, tx(1), "x", Exclusive)
+	mustAcquire(t, m, tx(1), "x", Exclusive)
+	mustAcquire(t, m, tx(1), "x", Shared) // weaker mode under X: no-op
+	if m.Holding(tx(1), "x") != Exclusive {
+		t.Error("X lock lost by weaker re-acquire")
+	}
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	m := New(Options{})
+	mustAcquire(t, m, tx(1), "x", Shared)
+	mustAcquire(t, m, tx(1), "x", Exclusive)
+	if m.Holding(tx(1), "x") != Exclusive {
+		t.Error("upgrade failed")
+	}
+	if m.Stats().Upgrades != 1 {
+		t.Errorf("Upgrades = %d", m.Stats().Upgrades)
+	}
+}
+
+func TestUpgradeWaitsForOtherReaders(t *testing.T) {
+	m := New(Options{})
+	mustAcquire(t, m, tx(1), "x", Shared)
+	mustAcquire(t, m, tx(2), "x", Shared)
+
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(context.Background(), tx(1), "x", Exclusive) }()
+	select {
+	case <-done:
+		t.Fatal("upgrade granted while another reader holds S")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(tx(2))
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if m.Holding(tx(1), "x") != Exclusive {
+		t.Error("upgrade not applied after release")
+	}
+}
+
+func TestUpgradeDeadlockDetected(t *testing.T) {
+	// Two readers both try to upgrade: a classic unresolvable deadlock.
+	m := New(Options{})
+	mustAcquire(t, m, tx(1), "x", Shared)
+	mustAcquire(t, m, tx(2), "x", Shared)
+
+	first := make(chan error, 1)
+	go func() { first <- m.Acquire(context.Background(), tx(1), "x", Exclusive) }()
+	time.Sleep(20 * time.Millisecond) // let tx1 queue
+
+	err := m.Acquire(context.Background(), tx(2), "x", Exclusive)
+	if model.CauseOf(err) != model.AbortCC {
+		t.Fatalf("second upgrade should deadlock-abort, got %v", err)
+	}
+	m.ReleaseAll(tx(2))
+	if err := <-first; err != nil {
+		t.Fatalf("first upgrade should be granted after victim releases: %v", err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	m := New(Options{})
+	mustAcquire(t, m, tx(1), "x", Exclusive)
+	mustAcquire(t, m, tx(2), "y", Exclusive)
+
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(context.Background(), tx(1), "y", Exclusive) }()
+	time.Sleep(20 * time.Millisecond) // tx1 now waits for tx2
+
+	err := m.Acquire(context.Background(), tx(2), "x", Exclusive)
+	if model.CauseOf(err) != model.AbortCC {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+	if m.Stats().Deadlocks != 1 {
+		t.Errorf("Deadlocks = %d", m.Stats().Deadlocks)
+	}
+	m.ReleaseAll(tx(2))
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreeWayDeadlock(t *testing.T) {
+	m := New(Options{})
+	mustAcquire(t, m, tx(1), "a", Exclusive)
+	mustAcquire(t, m, tx(2), "b", Exclusive)
+	mustAcquire(t, m, tx(3), "c", Exclusive)
+
+	e1 := make(chan error, 1)
+	e2 := make(chan error, 1)
+	go func() { e1 <- m.Acquire(context.Background(), tx(1), "b", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	go func() { e2 <- m.Acquire(context.Background(), tx(2), "c", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+
+	err := m.Acquire(context.Background(), tx(3), "a", Exclusive)
+	if model.CauseOf(err) != model.AbortCC {
+		t.Fatalf("3-cycle not detected: %v", err)
+	}
+	m.ReleaseAll(tx(3))
+	if err := <-e2; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(tx(2))
+	if err := <-e1; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	m := New(Options{Timeout: 30 * time.Millisecond})
+	mustAcquire(t, m, tx(1), "x", Exclusive)
+	start := time.Now()
+	err := m.Acquire(context.Background(), tx(2), "x", Exclusive)
+	if model.CauseOf(err) != model.AbortCC {
+		t.Fatalf("want CC abort on timeout, got %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("timed out too early: %v", d)
+	}
+	if m.Stats().Timeouts != 1 {
+		t.Errorf("Timeouts = %d", m.Stats().Timeouts)
+	}
+	// The holder is unaffected.
+	if m.Holding(tx(1), "x") != Exclusive {
+		t.Error("holder lost its lock on waiter timeout")
+	}
+}
+
+func TestDeadlockDetectionDisabledFallsBackToTimeout(t *testing.T) {
+	m := New(Options{Timeout: 30 * time.Millisecond, DisableDeadlockDetection: true})
+	mustAcquire(t, m, tx(1), "x", Exclusive)
+	mustAcquire(t, m, tx(2), "y", Exclusive)
+
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(context.Background(), tx(1), "y", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	err := m.Acquire(context.Background(), tx(2), "x", Exclusive)
+	if model.CauseOf(err) != model.AbortCC {
+		t.Fatalf("want timeout abort, got %v", err)
+	}
+	if m.Stats().Deadlocks != 0 {
+		t.Error("deadlock detection ran while disabled")
+	}
+	m.ReleaseAll(tx(2))
+	// tx1 either got y after tx2 released, or timed out itself first —
+	// both resolve the deadlock; neither may hang.
+	if err := <-done; err != nil && model.CauseOf(err) != model.AbortCC {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOFairnessWriterNotStarved(t *testing.T) {
+	m := New(Options{})
+	mustAcquire(t, m, tx(1), "x", Shared)
+
+	writer := make(chan error, 1)
+	go func() { writer <- m.Acquire(context.Background(), tx(2), "x", Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+
+	// A later shared request must queue behind the writer, not jump it.
+	reader := make(chan error, 1)
+	go func() { reader <- m.Acquire(context.Background(), tx(3), "x", Shared) }()
+	select {
+	case <-reader:
+		t.Fatal("late reader jumped the queued writer")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	m.ReleaseAll(tx(1))
+	if err := <-writer; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(tx(2))
+	if err := <-reader; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseAllRemovesQueuedWaiter(t *testing.T) {
+	m := New(Options{})
+	mustAcquire(t, m, tx(1), "x", Exclusive)
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(context.Background(), tx(2), "x", Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(tx(2)) // tx2 aborts while waiting
+	if err := <-done; model.CauseOf(err) != model.AbortCC {
+		t.Fatalf("queued waiter should be aborted by ReleaseAll, got %v", err)
+	}
+	// tx1 still holds; a fresh tx can wait normally.
+	m.ReleaseAll(tx(1))
+	mustAcquire(t, m, tx(3), "x", Exclusive)
+}
+
+func TestContextCancellation(t *testing.T) {
+	m := New(Options{})
+	mustAcquire(t, m, tx(1), "x", Exclusive)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(ctx, tx(2), "x", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; model.CauseOf(err) != model.AbortCC {
+		t.Fatalf("cancelled wait should CC-abort, got %v", err)
+	}
+}
+
+// TestStressInvariant hammers the manager with random lock/unlock cycles and
+// checks the core invariant after every grant: an exclusive holder is alone.
+func TestStressInvariant(t *testing.T) {
+	m := New(Options{Timeout: 100 * time.Millisecond})
+	items := []model.ItemID{"a", "b", "c", "d"}
+	var violations atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 200; i++ {
+				id := model.TxID{Site: "S", Seq: uint64(g*1000 + i)}
+				n := 1 + rng.Intn(3)
+				ok := true
+				for j := 0; j < n && ok; j++ {
+					item := items[rng.Intn(len(items))]
+					mode := Shared
+					if rng.Intn(2) == 0 {
+						mode = Exclusive
+					}
+					if err := m.Acquire(context.Background(), id, item, mode); err != nil {
+						ok = false
+						break
+					}
+					if mode == Exclusive && !m.soleHolder(id, item) {
+						violations.Add(1)
+					}
+				}
+				m.ReleaseAll(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Errorf("%d exclusivity violations", v)
+	}
+	// Everything released: all new requests must succeed immediately.
+	for _, item := range items {
+		mustAcquire(t, m, tx(999999), item, Exclusive)
+	}
+}
+
+// soleHolder checks the holder set under the manager's lock (test helper).
+func (m *Manager) soleHolder(id model.TxID, item model.ItemID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	il := m.items[item]
+	if il == nil {
+		return false
+	}
+	_, ok := il.holders[id]
+	return ok && len(il.holders) == 1
+}

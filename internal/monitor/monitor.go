@@ -1,0 +1,348 @@
+// Package monitor implements Rainbow's progress monitor (the PM in PMlet):
+// per-site transaction statistics, latency histograms, cluster aggregation,
+// and the rendering of the paper's "Tx processing output" panel (Figure 5)
+// with the full Section-3 statistics list — committed/aborted counts, abort
+// rates per cause (RCP/ACP/CCP), commit rate, message traffic per time
+// unit, throughput, response times, orphan transactions, round-trip
+// message counts, and load balance indicators.
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// histBuckets is the number of power-of-two latency buckets, covering
+// 1µs (bucket 0) to ~9h (bucket 44).
+const histBuckets = 45
+
+// Histogram is a fixed log2-bucket latency histogram. The zero value is
+// ready to use.
+type Histogram struct {
+	Count   uint64
+	SumNS   uint64
+	MaxNS   uint64
+	Buckets [histBuckets]uint64
+}
+
+func bucketOf(ns int64) int {
+	if ns < 1000 {
+		return 0
+	}
+	b := 0
+	for v := uint64(ns) / 1000; v > 0 && b < histBuckets-1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Observe adds one latency sample.
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.Count++
+	h.SumNS += uint64(ns)
+	if uint64(ns) > h.MaxNS {
+		h.MaxNS = uint64(ns)
+	}
+	h.Buckets[bucketOf(ns)]++
+}
+
+// Mean returns the mean latency.
+func (h *Histogram) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return time.Duration(h.SumNS / h.Count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q ≤ 1)
+// from the bucket boundaries.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b, n := range h.Buckets {
+		cum += n
+		if cum >= target {
+			// Upper edge of bucket b: 1µs << b.
+			return time.Duration(uint64(1000) << uint(b))
+		}
+	}
+	return time.Duration(h.MaxNS)
+}
+
+// Merge adds other into h.
+func (h *Histogram) Merge(other Histogram) {
+	h.Count += other.Count
+	h.SumNS += other.SumNS
+	if other.MaxNS > h.MaxNS {
+		h.MaxNS = other.MaxNS
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// SiteStats is a serializable snapshot of one site's counters.
+type SiteStats struct {
+	Site      model.SiteID
+	Began     uint64
+	Committed uint64
+	Aborted   uint64
+	// AbortsByCause keys abort counts by model.AbortCause.String().
+	AbortsByCause map[string]uint64
+	// Restarts counts workload-level restarts after CC rejections.
+	Restarts uint64
+	// RoundTrips counts request/response exchanges this site initiated.
+	RoundTrips uint64
+	// Orphans is the current number of in-doubt (blocked) transactions.
+	Orphans int
+	// Latency is the response-time distribution of finished transactions.
+	Latency Histogram
+	// WindowNS is the observation window covered by the counters.
+	WindowNS int64
+}
+
+// CommitRate returns committed / began.
+func (s SiteStats) CommitRate() float64 {
+	if s.Began == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Began)
+}
+
+// Throughput returns committed transactions per second over the window.
+func (s SiteStats) Throughput() float64 {
+	if s.WindowNS <= 0 {
+		return 0
+	}
+	return float64(s.Committed) / (float64(s.WindowNS) / 1e9)
+}
+
+// Collector gathers one site's statistics. All methods are safe for
+// concurrent use.
+type Collector struct {
+	site model.SiteID
+
+	mu      sync.Mutex
+	began   uint64
+	commits uint64
+	aborts  map[model.AbortCause]uint64
+	restart uint64
+	rtts    uint64
+	lat     Histogram
+	start   time.Time
+}
+
+// NewCollector builds a collector for site, starting its window now.
+func NewCollector(site model.SiteID) *Collector {
+	return &Collector{site: site, aborts: make(map[model.AbortCause]uint64), start: time.Now()}
+}
+
+// TxBegin counts an admitted transaction.
+func (c *Collector) TxBegin() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.began++
+}
+
+// TxDone counts a finished transaction and its latency.
+func (c *Collector) TxDone(committed bool, cause model.AbortCause, latency time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if committed {
+		c.commits++
+	} else {
+		c.aborts[cause]++
+	}
+	c.lat.Observe(int64(latency))
+}
+
+// TxRestart counts a workload-level restart (a CC-rejected transaction
+// resubmitted with a fresh timestamp).
+func (c *Collector) TxRestart() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.restart++
+}
+
+// AddRoundTrips counts n request/response exchanges.
+func (c *Collector) AddRoundTrips(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rtts += uint64(n)
+}
+
+// Snapshot returns the current counters; orphans is sampled by the caller
+// (it lives in the ACP participant).
+func (c *Collector) Snapshot(orphans int) SiteStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := SiteStats{
+		Site:          c.site,
+		Began:         c.began,
+		Committed:     c.commits,
+		Aborted:       0,
+		AbortsByCause: make(map[string]uint64, len(c.aborts)),
+		Restarts:      c.restart,
+		RoundTrips:    c.rtts,
+		Orphans:       orphans,
+		Latency:       c.lat,
+		WindowNS:      int64(time.Since(c.start)),
+	}
+	for cause, n := range c.aborts {
+		s.Aborted += n
+		s.AbortsByCause[cause.String()] = n
+	}
+	return s
+}
+
+// Reset zeroes the counters and restarts the window.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.began, c.commits, c.restart, c.rtts = 0, 0, 0, 0
+	c.aborts = make(map[model.AbortCause]uint64)
+	c.lat = Histogram{}
+	c.start = time.Now()
+}
+
+// NetStats is the transport-level traffic summary (filled from
+// simnet.Stats or tcpnet accounting).
+type NetStats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	Bytes     uint64
+}
+
+// Report is the cluster-wide statistics view: the data behind the paper's
+// Figure-5 output panel.
+type Report struct {
+	Sites []SiteStats
+	Net   NetStats
+	// WindowNS is the maximum site window (the observation period).
+	WindowNS int64
+}
+
+// Totals aggregates all site stats into one.
+func (r Report) Totals() SiteStats {
+	out := SiteStats{Site: "TOTAL", AbortsByCause: make(map[string]uint64)}
+	for _, s := range r.Sites {
+		out.Began += s.Began
+		out.Committed += s.Committed
+		out.Aborted += s.Aborted
+		out.Restarts += s.Restarts
+		out.RoundTrips += s.RoundTrips
+		out.Orphans += s.Orphans
+		for k, v := range s.AbortsByCause {
+			out.AbortsByCause[k] += v
+		}
+		out.Latency.Merge(s.Latency)
+		if s.WindowNS > out.WindowNS {
+			out.WindowNS = s.WindowNS
+		}
+	}
+	if r.WindowNS > out.WindowNS {
+		out.WindowNS = r.WindowNS
+	}
+	return out
+}
+
+// MessagesPerSecond returns delivered messages per second over the window.
+func (r Report) MessagesPerSecond() float64 {
+	w := r.Totals().WindowNS
+	if w <= 0 {
+		return 0
+	}
+	return float64(r.Net.Delivered) / (float64(w) / 1e9)
+}
+
+// LoadImbalance returns the coefficient of variation of per-site admitted
+// transaction counts — the paper's "load balance/imbalance indicator".
+// Zero means perfectly balanced.
+func (r Report) LoadImbalance() float64 {
+	if len(r.Sites) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, s := range r.Sites {
+		mean += float64(s.Began)
+	}
+	mean /= float64(len(r.Sites))
+	if mean == 0 {
+		return 0
+	}
+	varsum := 0.0
+	for _, s := range r.Sites {
+		d := float64(s.Began) - mean
+		varsum += d * d
+	}
+	return math.Sqrt(varsum/float64(len(r.Sites))) / mean
+}
+
+// MessagesPerCommit returns delivered messages per committed transaction —
+// the key series of the quorum-traffic experiment (E2).
+func (r Report) MessagesPerCommit() float64 {
+	t := r.Totals()
+	if t.Committed == 0 {
+		return 0
+	}
+	return float64(r.Net.Delivered) / float64(t.Committed)
+}
+
+// Render formats the report as the textual equivalent of the paper's
+// transaction-processing output window (Figure 5).
+func (r Report) Render() string {
+	t := r.Totals()
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Rainbow Tx Processing Output ===\n")
+	fmt.Fprintf(&b, "window: %v\n", time.Duration(t.WindowNS).Round(time.Millisecond))
+	fmt.Fprintf(&b, "transactions: began=%d committed=%d aborted=%d restarts=%d\n",
+		t.Began, t.Committed, t.Aborted, t.Restarts)
+	fmt.Fprintf(&b, "commit rate: %.3f\n", t.CommitRate())
+	causes := make([]string, 0, len(t.AbortsByCause))
+	for k := range t.AbortsByCause {
+		causes = append(causes, k)
+	}
+	sort.Strings(causes)
+	for _, k := range causes {
+		n := t.AbortsByCause[k]
+		rate := 0.0
+		if t.Began > 0 {
+			rate = float64(n) / float64(t.Began)
+		}
+		fmt.Fprintf(&b, "aborts[%s]: %d (rate %.3f)\n", k, n, rate)
+	}
+	fmt.Fprintf(&b, "throughput: %.1f tx/s\n", t.Throughput())
+	fmt.Fprintf(&b, "response time: mean=%v p95=%v max=%v\n",
+		t.Latency.Mean().Round(time.Microsecond),
+		t.Latency.Quantile(0.95).Round(time.Microsecond),
+		time.Duration(t.Latency.MaxNS).Round(time.Microsecond))
+	fmt.Fprintf(&b, "messages: sent=%d delivered=%d dropped=%d bytes=%d (%.1f msg/s, %.1f msg/commit)\n",
+		r.Net.Sent, r.Net.Delivered, r.Net.Dropped, r.Net.Bytes,
+		r.MessagesPerSecond(), r.MessagesPerCommit())
+	fmt.Fprintf(&b, "round trips: %d\n", t.RoundTrips)
+	fmt.Fprintf(&b, "orphan transactions: %d\n", t.Orphans)
+	fmt.Fprintf(&b, "load imbalance (cv of admissions): %.3f\n", r.LoadImbalance())
+	fmt.Fprintf(&b, "per-site:\n")
+	for _, s := range r.Sites {
+		fmt.Fprintf(&b, "  %-8s began=%-6d committed=%-6d aborted=%-5d orphans=%-3d mean=%v\n",
+			s.Site, s.Began, s.Committed, s.Aborted, s.Orphans,
+			s.Latency.Mean().Round(time.Microsecond))
+	}
+	return b.String()
+}

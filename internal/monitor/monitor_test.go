@@ -1,0 +1,179 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.95) != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	h.Observe(int64(time.Millisecond))
+	h.Observe(int64(2 * time.Millisecond))
+	h.Observe(int64(3 * time.Millisecond))
+	if h.Count != 3 {
+		t.Errorf("Count = %d", h.Count)
+	}
+	if m := h.Mean(); m != 2*time.Millisecond {
+		t.Errorf("Mean = %v", m)
+	}
+	if h.MaxNS != uint64(3*time.Millisecond) {
+		t.Errorf("Max = %d", h.MaxNS)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Count != 1 || h.SumNS != 0 {
+		t.Errorf("negative sample mishandled: %+v", h)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(int64(i) * int64(time.Microsecond))
+	}
+	p50, p95, p99 := h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)
+	if p50 > p95 || p95 > p99 {
+		t.Errorf("quantiles not ordered: %v %v %v", p50, p95, p99)
+	}
+	// p95 of ~1ms data must be within a bucket factor (2x) of the truth.
+	if p95 < 500*time.Microsecond || p95 > 4*time.Millisecond {
+		t.Errorf("p95 = %v, expected near 950µs", p95)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(int64(time.Millisecond))
+	b.Observe(int64(5 * time.Millisecond))
+	a.Merge(b)
+	if a.Count != 2 || a.MaxNS != uint64(5*time.Millisecond) {
+		t.Errorf("merge = %+v", a)
+	}
+}
+
+func TestCollectorCounters(t *testing.T) {
+	c := NewCollector("S1")
+	c.TxBegin()
+	c.TxBegin()
+	c.TxBegin()
+	c.TxDone(true, model.AbortNone, time.Millisecond)
+	c.TxDone(false, model.AbortCC, 2*time.Millisecond)
+	c.TxDone(false, model.AbortRCP, time.Millisecond)
+	c.TxRestart()
+	c.AddRoundTrips(7)
+
+	s := c.Snapshot(2)
+	if s.Began != 3 || s.Committed != 1 || s.Aborted != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.AbortsByCause["ccp"] != 1 || s.AbortsByCause["rcp"] != 1 {
+		t.Errorf("aborts = %v", s.AbortsByCause)
+	}
+	if s.Restarts != 1 || s.RoundTrips != 7 || s.Orphans != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if got := s.CommitRate(); got < 0.32 || got > 0.34 {
+		t.Errorf("commit rate = %v", got)
+	}
+	if s.Latency.Count != 3 {
+		t.Errorf("latency samples = %d", s.Latency.Count)
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector("S1")
+	c.TxBegin()
+	c.TxDone(true, model.AbortNone, time.Millisecond)
+	c.Reset()
+	s := c.Snapshot(0)
+	if s.Began != 0 || s.Committed != 0 || s.Latency.Count != 0 {
+		t.Errorf("reset failed: %+v", s)
+	}
+}
+
+func TestSiteStatsThroughput(t *testing.T) {
+	s := SiteStats{Committed: 100, WindowNS: int64(2 * time.Second)}
+	if got := s.Throughput(); got != 50 {
+		t.Errorf("Throughput = %v", got)
+	}
+	if (SiteStats{}).Throughput() != 0 {
+		t.Error("zero window should not divide by zero")
+	}
+	if (SiteStats{}).CommitRate() != 0 {
+		t.Error("zero began should not divide by zero")
+	}
+}
+
+func report() Report {
+	mk := func(site model.SiteID, began, committed uint64) SiteStats {
+		return SiteStats{
+			Site: site, Began: began, Committed: committed,
+			Aborted:       began - committed,
+			AbortsByCause: map[string]uint64{"ccp": began - committed},
+			WindowNS:      int64(time.Second),
+		}
+	}
+	return Report{
+		Sites: []SiteStats{mk("S1", 100, 90), mk("S2", 100, 80), mk("S3", 100, 85)},
+		Net:   NetStats{Sent: 1000, Delivered: 950, Dropped: 50, Bytes: 100000},
+	}
+}
+
+func TestReportTotals(t *testing.T) {
+	r := report()
+	tot := r.Totals()
+	if tot.Began != 300 || tot.Committed != 255 || tot.Aborted != 45 {
+		t.Errorf("totals = %+v", tot)
+	}
+	if tot.AbortsByCause["ccp"] != 45 {
+		t.Errorf("aborts = %v", tot.AbortsByCause)
+	}
+}
+
+func TestReportRates(t *testing.T) {
+	r := report()
+	if mps := r.MessagesPerSecond(); mps < 940 || mps > 960 {
+		t.Errorf("msg/s = %v", mps)
+	}
+	if mpc := r.MessagesPerCommit(); mpc < 3.7 || mpc > 3.8 {
+		t.Errorf("msg/commit = %v", mpc)
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	r := report()
+	if cv := r.LoadImbalance(); cv != 0 {
+		t.Errorf("balanced load should be cv=0, got %v", cv)
+	}
+	r.Sites[0].Began = 400
+	if cv := r.LoadImbalance(); cv <= 0 {
+		t.Error("imbalanced load should have cv > 0")
+	}
+	if (Report{}).LoadImbalance() != 0 {
+		t.Error("empty report should be 0")
+	}
+}
+
+func TestRenderContainsPaperStatistics(t *testing.T) {
+	out := report().Render()
+	// Every statistic of the paper's Section-3 list must appear.
+	for _, want := range []string{
+		"committed=", "aborted=", "commit rate:", "aborts[ccp]:",
+		"throughput:", "response time:", "messages:", "msg/s",
+		"round trips:", "orphan transactions:", "load imbalance",
+		"per-site:", "S1", "S2", "S3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+}

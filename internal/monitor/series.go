@@ -1,0 +1,200 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sample is one point of a sampled statistic series.
+type Sample struct {
+	At    time.Duration // offset from sampler start
+	Value float64
+}
+
+// Series is a named sequence of samples (throughput over time, orphan count
+// over time, …) — the data behind the GUI's Display-menu graphs.
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// Last returns the most recent sample value (0 when empty).
+func (s *Series) Last() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	return s.Samples[len(s.Samples)-1].Value
+}
+
+// Sampler periodically evaluates probe functions and accumulates series.
+type Sampler struct {
+	mu      sync.Mutex
+	start   time.Time
+	series  map[string]*Series
+	order   []string
+	probes  map[string]func() float64
+	stop    chan struct{}
+	stopped sync.WaitGroup
+	running bool
+}
+
+// NewSampler returns an idle sampler.
+func NewSampler() *Sampler {
+	return &Sampler{
+		series: make(map[string]*Series),
+		probes: make(map[string]func() float64),
+	}
+}
+
+// Probe registers a named statistic to sample. Must be called before Start.
+func (s *Sampler) Probe(name string, f func() float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.probes[name]; !dup {
+		s.order = append(s.order, name)
+	}
+	s.probes[name] = f
+	s.series[name] = &Series{Name: name}
+}
+
+// Start samples every interval until Stop. Starting a running sampler is a
+// no-op.
+func (s *Sampler) Start(interval time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		return
+	}
+	s.running = true
+	s.start = time.Now()
+	s.stop = make(chan struct{})
+	s.stopped.Add(1)
+	go func() {
+		defer s.stopped.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+				s.sampleOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts sampling (idempotent) after taking one final sample.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
+		return
+	}
+	s.running = false
+	close(s.stop)
+	s.mu.Unlock()
+	s.stopped.Wait()
+	s.sampleOnce()
+}
+
+func (s *Sampler) sampleOnce() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	at := time.Since(s.start)
+	for name, probe := range s.probes {
+		ser := s.series[name]
+		ser.Samples = append(ser.Samples, Sample{At: at, Value: probe()})
+	}
+}
+
+// Get returns a copy of the named series.
+func (s *Sampler) Get(name string) Series {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ser, ok := s.series[name]
+	if !ok {
+		return Series{Name: name}
+	}
+	out := Series{Name: name, Samples: make([]Sample, len(ser.Samples))}
+	copy(out.Samples, ser.Samples)
+	return out
+}
+
+// All returns every series in registration order.
+func (s *Sampler) All() []Series {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Series, 0, len(s.order))
+	for _, name := range s.order {
+		ser := s.series[name]
+		cp := Series{Name: name, Samples: make([]Sample, len(ser.Samples))}
+		copy(cp.Samples, ser.Samples)
+		out = append(out, cp)
+	}
+	return out
+}
+
+// Chart renders a series as a fixed-size ASCII chart — the terminal
+// stand-in for the Rainbow GUI's result graphs.
+func Chart(s Series, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 2 {
+		height = 2
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Name)
+	if len(s.Samples) == 0 {
+		b.WriteString("(no samples)\n")
+		return b.String()
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Samples {
+		min = math.Min(min, p.Value)
+		max = math.Max(max, p.Value)
+	}
+	if max == min {
+		max = min + 1
+	}
+	// Downsample/bucket samples into width columns (mean per bucket).
+	cols := make([]float64, width)
+	counts := make([]int, width)
+	span := s.Samples[len(s.Samples)-1].At - s.Samples[0].At
+	for _, p := range s.Samples {
+		c := 0
+		if span > 0 {
+			c = int(float64(width-1) * float64(p.At-s.Samples[0].At) / float64(span))
+		}
+		cols[c] += p.Value
+		counts[c]++
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c := 0; c < width; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		v := cols[c] / float64(counts[c])
+		r := int(float64(height-1) * (v - min) / (max - min))
+		grid[height-1-r][c] = '*'
+	}
+	fmt.Fprintf(&b, "%8.1f ┤%s\n", max, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(&b, "%8s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%8.1f ┤%s\n", min, string(grid[height-1]))
+	fmt.Fprintf(&b, "%8s └%s\n", "", strings.Repeat("─", width))
+	pad := width - 10
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%9s 0%s%v\n", "", strings.Repeat(" ", pad), span.Round(time.Millisecond))
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package monitor
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSamplerCollectsSeries(t *testing.T) {
+	var v atomic.Int64
+	s := NewSampler()
+	s.Probe("val", func() float64 { return float64(v.Load()) })
+	s.Start(5 * time.Millisecond)
+	for i := 1; i <= 5; i++ {
+		v.Store(int64(i * 10))
+		time.Sleep(8 * time.Millisecond)
+	}
+	s.Stop()
+	ser := s.Get("val")
+	if len(ser.Samples) < 3 {
+		t.Fatalf("samples = %d, want several", len(ser.Samples))
+	}
+	if ser.Last() != 50 {
+		t.Errorf("last = %v, want 50 (final sample on Stop)", ser.Last())
+	}
+	// Monotonic sample times.
+	for i := 1; i < len(ser.Samples); i++ {
+		if ser.Samples[i].At < ser.Samples[i-1].At {
+			t.Fatal("sample times not monotonic")
+		}
+	}
+}
+
+func TestSamplerStopIdempotent(t *testing.T) {
+	s := NewSampler()
+	s.Probe("x", func() float64 { return 1 })
+	s.Start(time.Millisecond)
+	s.Stop()
+	s.Stop() // must not panic or deadlock
+	s.Start(time.Millisecond)
+	s.Stop()
+}
+
+func TestSamplerUnknownSeries(t *testing.T) {
+	s := NewSampler()
+	ser := s.Get("nope")
+	if len(ser.Samples) != 0 || ser.Last() != 0 {
+		t.Errorf("unknown series = %+v", ser)
+	}
+}
+
+func TestSamplerAllPreservesOrder(t *testing.T) {
+	s := NewSampler()
+	s.Probe("b", func() float64 { return 1 })
+	s.Probe("a", func() float64 { return 2 })
+	all := s.All()
+	if len(all) != 2 || all[0].Name != "b" || all[1].Name != "a" {
+		t.Errorf("All() = %v", all)
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	ser := Series{Name: "throughput"}
+	for i := 0; i < 50; i++ {
+		ser.Samples = append(ser.Samples, Sample{
+			At:    time.Duration(i) * time.Millisecond,
+			Value: float64(i % 10),
+		})
+	}
+	out := Chart(ser, 40, 8)
+	if !strings.Contains(out, "throughput") {
+		t.Error("chart missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("chart has no data points")
+	}
+	if !strings.Contains(out, "9.0") || !strings.Contains(out, "0.0") {
+		t.Errorf("chart missing min/max labels:\n%s", out)
+	}
+}
+
+func TestChartEmptyAndConstant(t *testing.T) {
+	if out := Chart(Series{Name: "empty"}, 20, 5); !strings.Contains(out, "no samples") {
+		t.Errorf("empty chart = %q", out)
+	}
+	ser := Series{Name: "const", Samples: []Sample{{0, 5}, {time.Second, 5}}}
+	out := Chart(ser, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Error("constant series should still plot")
+	}
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	ser := Series{Name: "x", Samples: []Sample{{0, 1}}}
+	out := Chart(ser, 1, 1) // must not panic
+	if out == "" {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,149 @@
+// Package nameserver implements the Rainbow name server: the single
+// metadata authority of a Rainbow instance. It stores the registered sites
+// ("id and end point specifications"), the database fragmentation /
+// replication / distribution schema, and the selected transaction-processing
+// protocols; any site can query it over the wire layer (paper §2: "Any site
+// can query the name server to get pertinent information").
+package nameserver
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/schema"
+	"repro/internal/wire"
+)
+
+// CatalogResp carries the full catalog to a querying site.
+type CatalogResp struct {
+	Catalog schema.Catalog
+}
+
+// SetCatalogReq replaces the catalog (administrator traffic from the GUI /
+// NSlet path).
+type SetCatalogReq struct {
+	Catalog schema.Catalog
+}
+
+func init() {
+	gob.Register(CatalogResp{})
+	gob.Register(SetCatalogReq{})
+}
+
+// Server is the name server node.
+type Server struct {
+	peer *wire.Peer
+
+	mu      sync.Mutex
+	catalog *schema.Catalog
+}
+
+// New attaches a name server to the network at model.NameServerID with the
+// given initial catalog (nil starts empty).
+func New(net wire.Network, initial *schema.Catalog) (*Server, error) {
+	if initial == nil {
+		initial = schema.NewCatalog()
+	}
+	s := &Server{catalog: initial.Clone()}
+	peer, err := wire.NewPeer(net, model.NameServerID, s.serve)
+	if err != nil {
+		return nil, fmt.Errorf("nameserver: %w", err)
+	}
+	s.peer = peer
+	return s, nil
+}
+
+// Close detaches the server.
+func (s *Server) Close() error { return s.peer.Close() }
+
+// Catalog returns a deep copy of the current catalog (local, for tests and
+// the admin tooling co-located with the server).
+func (s *Server) Catalog() *schema.Catalog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.catalog.Clone()
+}
+
+// SetCatalog validates and installs a new catalog, bumping the epoch.
+func (s *Server) SetCatalog(c *schema.Catalog) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nc := c.Clone()
+	nc.Epoch = s.catalog.Epoch + 1
+	s.catalog = nc
+	return nil
+}
+
+func (s *Server) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+	switch kind {
+	case wire.KindPing:
+		return wire.KindOK, wire.OKBody{}, nil
+
+	case wire.KindGetCatalog:
+		s.mu.Lock()
+		cat := s.catalog.Clone()
+		s.mu.Unlock()
+		return wire.KindGetCatalog, CatalogResp{Catalog: *cat}, nil
+
+	case wire.KindSetCatalog:
+		var req SetCatalogReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return 0, nil, err
+		}
+		if err := s.SetCatalog(&req.Catalog); err != nil {
+			return 0, nil, err
+		}
+		return wire.KindOK, wire.OKBody{}, nil
+
+	case wire.KindRegisterSite:
+		var req wire.RegisterSiteReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return 0, nil, err
+		}
+		s.mu.Lock()
+		s.catalog.Sites[req.Site] = schema.SiteInfo{ID: req.Site, Addr: req.Addr}
+		s.catalog.Epoch++
+		s.mu.Unlock()
+		return wire.KindOK, wire.OKBody{}, nil
+
+	default:
+		return 0, nil, fmt.Errorf("nameserver: unhandled message kind %s", kind)
+	}
+}
+
+// ---- Client helpers used by sites and tooling ----
+
+// Fetch retrieves the catalog from the name server via peer.
+func Fetch(ctx context.Context, peer *wire.Peer) (*schema.Catalog, error) {
+	var resp CatalogResp
+	if err := peer.Call(ctx, model.NameServerID, wire.KindGetCatalog, wire.GetCatalogReq{}, &resp); err != nil {
+		return nil, fmt.Errorf("nameserver: fetch catalog: %w", err)
+	}
+	return &resp.Catalog, nil
+}
+
+// Push validates locally and installs a new catalog on the name server.
+func Push(ctx context.Context, peer *wire.Peer, c *schema.Catalog) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if err := peer.Call(ctx, model.NameServerID, wire.KindSetCatalog, SetCatalogReq{Catalog: *c}, nil); err != nil {
+		return fmt.Errorf("nameserver: push catalog: %w", err)
+	}
+	return nil
+}
+
+// Register records a site's endpoint with the name server.
+func Register(ctx context.Context, peer *wire.Peer, site model.SiteID, addr string) error {
+	req := wire.RegisterSiteReq{Site: site, Addr: addr}
+	if err := peer.Call(ctx, model.NameServerID, wire.KindRegisterSite, req, nil); err != nil {
+		return fmt.Errorf("nameserver: register %s: %w", site, err)
+	}
+	return nil
+}

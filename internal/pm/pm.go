@@ -1,0 +1,81 @@
+// Package pm is the progress-monitor client — the role PMlet plays in the
+// paper: it brings "progress related requests to and results back from both
+// the name server and the Rainbow sites" over the wire layer. It fetches
+// per-site statistics and execution histories remotely, aggregates them
+// into a cluster report, and can verify global serializability of a live
+// cluster, all without in-process access to the sites.
+package pm
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/model"
+	"repro/internal/monitor"
+	"repro/internal/site"
+	"repro/internal/wire"
+)
+
+// Client issues monitor queries through a wire peer.
+type Client struct {
+	Peer *wire.Peer
+}
+
+// FetchStats retrieves one site's statistics snapshot.
+func (c Client) FetchStats(ctx context.Context, id model.SiteID) (monitor.SiteStats, error) {
+	var resp site.StatsResp
+	if err := c.Peer.Call(ctx, id, wire.KindGetStats, wire.PingReq{}, &resp); err != nil {
+		return monitor.SiteStats{}, fmt.Errorf("pm: stats from %s: %w", id, err)
+	}
+	return resp.Stats, nil
+}
+
+// FetchHistory retrieves one site's local execution history.
+func (c Client) FetchHistory(ctx context.Context, id model.SiteID) ([]history.Event, error) {
+	var resp site.HistoryResp
+	if err := c.Peer.Call(ctx, id, wire.KindGetHistory, wire.PingReq{}, &resp); err != nil {
+		return nil, fmt.Errorf("pm: history from %s: %w", id, err)
+	}
+	return resp.Events, nil
+}
+
+// ResetStats zeroes one site's statistics window.
+func (c Client) ResetStats(ctx context.Context, id model.SiteID) error {
+	if err := c.Peer.Call(ctx, id, wire.KindResetStats, wire.PingReq{}, nil); err != nil {
+		return fmt.Errorf("pm: reset %s: %w", id, err)
+	}
+	return nil
+}
+
+// Report aggregates the statistics of the given sites into a cluster
+// report. Unreachable sites are skipped and returned in the second value
+// (a crashed site cannot answer — its absence is itself a finding).
+func (c Client) Report(ctx context.Context, ids []model.SiteID) (monitor.Report, []model.SiteID) {
+	var rep monitor.Report
+	var down []model.SiteID
+	for _, id := range ids {
+		st, err := c.FetchStats(ctx, id)
+		if err != nil {
+			down = append(down, id)
+			continue
+		}
+		rep.Sites = append(rep.Sites, st)
+	}
+	return rep, down
+}
+
+// CheckSerializable fetches every site's history and verifies the merged
+// global execution is (multiversion) conflict-serializable for the given
+// committed set.
+func (c Client) CheckSerializable(ctx context.Context, ids []model.SiteID, committed map[model.TxID]bool) error {
+	var events []history.Event
+	for _, id := range ids {
+		evs, err := c.FetchHistory(ctx, id)
+		if err != nil {
+			return err
+		}
+		events = append(events, evs...)
+	}
+	return history.CheckSerializable(events, committed)
+}

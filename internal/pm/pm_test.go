@@ -1,0 +1,111 @@
+package pm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/schema"
+	"repro/internal/wire"
+	"repro/internal/wlg"
+)
+
+func setup(t *testing.T) (*core.Instance, Client) {
+	t.Helper()
+	inst, err := core.New(core.Options{
+		Timeouts: schema.Timeouts{
+			Op: time.Second, Vote: time.Second, Ack: 500 * time.Millisecond,
+			Lock: 300 * time.Millisecond, OrphanResolve: 50 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := wire.NewPeer(inst.Net, "@pm", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { peer.Close(); inst.Close() })
+	return inst, Client{Peer: peer}
+}
+
+func ctx(t *testing.T) context.Context {
+	c, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return c
+}
+
+func TestFetchStatsOverWire(t *testing.T) {
+	inst, c := setup(t)
+	inst.Submit(ctx(t), "S1", []model.Op{model.Write("x", 1)})
+	st, err := c.FetchStats(ctx(t), "S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Site != "S1" || st.Began != 1 || st.Committed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFetchHistoryAndCheckSerializable(t *testing.T) {
+	inst, c := setup(t)
+	res := inst.RunWorkload(ctx(t), wlg.Profile{Transactions: 15, MPL: 2, Retries: 3})
+	if res.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	evs, err := c.FetchHistory(ctx(t), "S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Error("no history events over the wire")
+	}
+	if err := c.CheckSerializable(ctx(t), inst.SiteIDs(), core.CommittedSet(res.Outcomes)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResetStatsOverWire(t *testing.T) {
+	inst, c := setup(t)
+	inst.Submit(ctx(t), "S2", []model.Op{model.Write("y", 1)})
+	if err := c.ResetStats(ctx(t), "S2"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.FetchStats(ctx(t), "S2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Began != 0 {
+		t.Errorf("stats not reset: %+v", st)
+	}
+}
+
+func TestReportSkipsCrashedSites(t *testing.T) {
+	inst, c := setup(t)
+	inst.Submit(ctx(t), "S1", []model.Op{model.Write("x", 1)})
+	inst.Injector.Crash("S3")
+
+	shortCtx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	rep, down := c.Report(shortCtx, inst.SiteIDs())
+	if len(rep.Sites) != 2 {
+		t.Errorf("live sites = %d, want 2", len(rep.Sites))
+	}
+	if len(down) != 1 || down[0] != "S3" {
+		t.Errorf("down = %v", down)
+	}
+	if rep.Totals().Began == 0 {
+		t.Error("aggregation lost data")
+	}
+}
+
+func TestFetchStatsUnknownSite(t *testing.T) {
+	_, c := setup(t)
+	shortCtx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := c.FetchStats(shortCtx, "ZZ"); err == nil {
+		t.Error("stats from unknown site succeeded")
+	}
+}

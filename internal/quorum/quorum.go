@@ -1,0 +1,180 @@
+// Package quorum implements weighted-voting (Gifford) quorum machinery for
+// Rainbow's quorum-consensus replication control: vote assignments over an
+// item's copies, read/write quorum thresholds, greedy quorum construction,
+// intersection validation, and the closed-form availability analytics used
+// by experiment E7 (replication configuration panel).
+package quorum
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Assignment is a vote assignment for one replicated item: each copy-holding
+// site has a positive vote weight, and read/write operations must assemble
+// the respective quorum of votes.
+//
+// Correctness requires ReadQuorum+WriteQuorum > TotalVotes (read/write
+// intersection) and 2*WriteQuorum > TotalVotes (write/write intersection).
+type Assignment struct {
+	Votes       map[model.SiteID]int
+	ReadQuorum  int
+	WriteQuorum int
+}
+
+// Majority builds the default assignment: one vote per copy, read and write
+// quorums both a simple majority. This is the classic majority consensus.
+func Majority(sites []model.SiteID) Assignment {
+	votes := make(map[model.SiteID]int, len(sites))
+	for _, s := range sites {
+		votes[s] = 1
+	}
+	maj := len(sites)/2 + 1
+	return Assignment{Votes: votes, ReadQuorum: maj, WriteQuorum: maj}
+}
+
+// ReadOneWriteAll builds the ROWA-shaped assignment: one vote per copy,
+// read quorum 1, write quorum all. (Rainbow's ROWA protocol short-circuits
+// this, but the assignment is useful for analytics comparisons.)
+func ReadOneWriteAll(sites []model.SiteID) Assignment {
+	votes := make(map[model.SiteID]int, len(sites))
+	for _, s := range sites {
+		votes[s] = 1
+	}
+	return Assignment{Votes: votes, ReadQuorum: 1, WriteQuorum: len(sites)}
+}
+
+// TotalVotes sums the vote weights.
+func (a Assignment) TotalVotes() int {
+	t := 0
+	for _, v := range a.Votes {
+		t += v
+	}
+	return t
+}
+
+// Sites returns the copy-holding sites in sorted order.
+func (a Assignment) Sites() []model.SiteID {
+	out := make([]model.SiteID, 0, len(a.Votes))
+	for s := range a.Votes {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks the weighted-voting correctness conditions.
+func (a Assignment) Validate() error {
+	if len(a.Votes) == 0 {
+		return fmt.Errorf("quorum: no copies")
+	}
+	total := 0
+	for s, v := range a.Votes {
+		if v <= 0 {
+			return fmt.Errorf("quorum: site %s has non-positive vote %d", s, v)
+		}
+		total += v
+	}
+	if a.ReadQuorum <= 0 || a.WriteQuorum <= 0 {
+		return fmt.Errorf("quorum: quorums must be positive (r=%d w=%d)", a.ReadQuorum, a.WriteQuorum)
+	}
+	if a.ReadQuorum > total || a.WriteQuorum > total {
+		return fmt.Errorf("quorum: quorum exceeds total votes %d (r=%d w=%d)", total, a.ReadQuorum, a.WriteQuorum)
+	}
+	if a.ReadQuorum+a.WriteQuorum <= total {
+		return fmt.Errorf("quorum: r+w=%d must exceed total votes %d (read/write intersection)", a.ReadQuorum+a.WriteQuorum, total)
+	}
+	if 2*a.WriteQuorum <= total {
+		return fmt.Errorf("quorum: 2w=%d must exceed total votes %d (write/write intersection)", 2*a.WriteQuorum, total)
+	}
+	return nil
+}
+
+// VotesOf sums the votes of a site set.
+func (a Assignment) VotesOf(sites []model.SiteID) int {
+	t := 0
+	seen := make(map[model.SiteID]bool, len(sites))
+	for _, s := range sites {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		t += a.Votes[s]
+	}
+	return t
+}
+
+// IsReadQuorum reports whether the site set carries a read quorum.
+func (a Assignment) IsReadQuorum(sites []model.SiteID) bool {
+	return a.VotesOf(sites) >= a.ReadQuorum
+}
+
+// IsWriteQuorum reports whether the site set carries a write quorum.
+func (a Assignment) IsWriteQuorum(sites []model.SiteID) bool {
+	return a.VotesOf(sites) >= a.WriteQuorum
+}
+
+// Pick greedily selects sites until need votes are gathered, preferring
+// sites in the order given (the QC protocol passes the home site first for
+// locality, then the rest deterministically). exclude lists sites already
+// tried and failed. Returns the chosen set and whether the quorum is
+// reachable.
+func (a Assignment) Pick(need int, prefer []model.SiteID, exclude map[model.SiteID]bool) ([]model.SiteID, bool) {
+	var chosen []model.SiteID
+	got := 0
+	used := make(map[model.SiteID]bool)
+	take := func(s model.SiteID) {
+		if used[s] || exclude[s] {
+			return
+		}
+		if v, ok := a.Votes[s]; ok && got < need {
+			chosen = append(chosen, s)
+			used[s] = true
+			got += v
+		}
+	}
+	for _, s := range prefer {
+		take(s)
+	}
+	for _, s := range a.Sites() {
+		take(s)
+	}
+	return chosen, got >= need
+}
+
+// ReadAvailability returns the probability that a read quorum of live sites
+// exists when every site is independently up with probability p. Computed
+// by exact enumeration over the 2^n up/down states (n is small in Rainbow
+// configurations).
+func (a Assignment) ReadAvailability(p float64) float64 {
+	return a.availability(p, a.ReadQuorum)
+}
+
+// WriteAvailability is ReadAvailability for the write quorum.
+func (a Assignment) WriteAvailability(p float64) float64 {
+	return a.availability(p, a.WriteQuorum)
+}
+
+func (a Assignment) availability(p float64, need int) float64 {
+	sites := a.Sites()
+	n := len(sites)
+	total := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		votes := 0
+		prob := 1.0
+		for i, s := range sites {
+			if mask&(1<<i) != 0 {
+				votes += a.Votes[s]
+				prob *= p
+			} else {
+				prob *= 1 - p
+			}
+		}
+		if votes >= need {
+			total += prob
+		}
+	}
+	return total
+}

@@ -1,0 +1,254 @@
+package quorum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func sites(n int) []model.SiteID {
+	out := make([]model.SiteID, n)
+	for i := range out {
+		out[i] = model.SiteID(string(rune('A' + i)))
+	}
+	return out
+}
+
+func TestMajorityValid(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		a := Majority(sites(n))
+		if err := a.Validate(); err != nil {
+			t.Errorf("Majority(%d): %v", n, err)
+		}
+		if a.TotalVotes() != n {
+			t.Errorf("Majority(%d): total votes %d", n, a.TotalVotes())
+		}
+	}
+}
+
+func TestReadOneWriteAllValid(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		a := ReadOneWriteAll(sites(n))
+		if err := a.Validate(); err != nil {
+			t.Errorf("ROWA(%d): %v", n, err)
+		}
+		if a.ReadQuorum != 1 || a.WriteQuorum != n {
+			t.Errorf("ROWA(%d): r=%d w=%d", n, a.ReadQuorum, a.WriteQuorum)
+		}
+	}
+}
+
+func TestValidateRejectsBadAssignments(t *testing.T) {
+	ss := sites(3)
+	cases := []Assignment{
+		{}, // no copies
+		{Votes: map[model.SiteID]int{"A": 0}, ReadQuorum: 1, WriteQuorum: 1},  // zero vote
+		{Votes: map[model.SiteID]int{"A": -1}, ReadQuorum: 1, WriteQuorum: 1}, // negative vote
+		{Votes: Majority(ss).Votes, ReadQuorum: 0, WriteQuorum: 3},            // zero read quorum
+		{Votes: Majority(ss).Votes, ReadQuorum: 1, WriteQuorum: 4},            // quorum > total
+		{Votes: Majority(ss).Votes, ReadQuorum: 1, WriteQuorum: 2},            // r+w == total
+		{Votes: Majority(ss).Votes, ReadQuorum: 3, WriteQuorum: 1},            // 2w <= total
+	}
+	for i, a := range cases {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d: invalid assignment accepted: %+v", i, a)
+		}
+	}
+}
+
+func TestWeightedAssignment(t *testing.T) {
+	a := Assignment{
+		Votes:       map[model.SiteID]int{"A": 3, "B": 1, "C": 1},
+		ReadQuorum:  3,
+		WriteQuorum: 3,
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsWriteQuorum([]model.SiteID{"A"}) {
+		t.Error("A alone carries 3 votes and should be a write quorum")
+	}
+	if a.IsWriteQuorum([]model.SiteID{"B", "C"}) {
+		t.Error("B+C carry 2 votes and are not a write quorum")
+	}
+}
+
+func TestVotesOfIgnoresDuplicates(t *testing.T) {
+	a := Majority(sites(3))
+	if got := a.VotesOf([]model.SiteID{"A", "A", "A"}); got != 1 {
+		t.Errorf("VotesOf duplicates = %d, want 1", got)
+	}
+}
+
+func TestPickPrefersGivenOrder(t *testing.T) {
+	a := Majority(sites(5))
+	chosen, ok := a.Pick(a.ReadQuorum, []model.SiteID{"E", "D"}, nil)
+	if !ok {
+		t.Fatal("quorum not reachable")
+	}
+	if len(chosen) != 3 || chosen[0] != "E" || chosen[1] != "D" {
+		t.Errorf("chosen = %v", chosen)
+	}
+}
+
+func TestPickWithExclusions(t *testing.T) {
+	a := Majority(sites(3))
+	chosen, ok := a.Pick(a.WriteQuorum, nil, map[model.SiteID]bool{"A": true})
+	if !ok {
+		t.Fatal("quorum should be reachable with 2 of 3 sites")
+	}
+	for _, s := range chosen {
+		if s == "A" {
+			t.Error("excluded site chosen")
+		}
+	}
+	if _, ok := a.Pick(a.WriteQuorum, nil, map[model.SiteID]bool{"A": true, "B": true}); ok {
+		t.Error("quorum built from a single remaining site of three")
+	}
+}
+
+func TestPickUnknownPreferredSiteIgnored(t *testing.T) {
+	a := Majority(sites(3))
+	chosen, ok := a.Pick(a.ReadQuorum, []model.SiteID{"Z"}, nil)
+	if !ok || len(chosen) != 2 {
+		t.Errorf("chosen = %v ok=%v", chosen, ok)
+	}
+}
+
+// TestQuorumIntersectionProperty verifies the fundamental quorum property:
+// for any valid assignment, every write quorum intersects every read quorum
+// and every other write quorum. Checked by exhaustive subset enumeration.
+func TestQuorumIntersectionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		ss := sites(n)
+		votes := make(map[model.SiteID]int, n)
+		total := 0
+		for _, s := range ss {
+			v := 1 + rng.Intn(3)
+			votes[s] = v
+			total += v
+		}
+		w := total/2 + 1 + rng.Intn(total-total/2) // (total/2, total]
+		if w > total {
+			w = total
+		}
+		r := total - w + 1 + rng.Intn(w) // (total-w, total]
+		if r > total {
+			r = total
+		}
+		a := Assignment{Votes: votes, ReadQuorum: r, WriteQuorum: w}
+		if err := a.Validate(); err != nil {
+			return false
+		}
+		// Enumerate all subsets; every pair (writeQ, readQ) and
+		// (writeQ, writeQ) must share a site.
+		var subsets [][]model.SiteID
+		for mask := 0; mask < 1<<n; mask++ {
+			var sub []model.SiteID
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					sub = append(sub, ss[i])
+				}
+			}
+			subsets = append(subsets, sub)
+		}
+		intersects := func(a, b []model.SiteID) bool {
+			set := make(map[model.SiteID]bool, len(a))
+			for _, s := range a {
+				set[s] = true
+			}
+			for _, s := range b {
+				if set[s] {
+					return true
+				}
+			}
+			return false
+		}
+		for _, wq := range subsets {
+			if !a.IsWriteQuorum(wq) {
+				continue
+			}
+			for _, other := range subsets {
+				if a.IsReadQuorum(other) && !intersects(wq, other) {
+					return false
+				}
+				if a.IsWriteQuorum(other) && !intersects(wq, other) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAvailabilityBounds(t *testing.T) {
+	a := Majority(sites(5))
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		ra, wa := a.ReadAvailability(p), a.WriteAvailability(p)
+		if ra < 0 || ra > 1 || wa < 0 || wa > 1 {
+			t.Errorf("p=%v: availability out of range: r=%v w=%v", p, ra, wa)
+		}
+	}
+	if a.ReadAvailability(1) != 1 || a.WriteAvailability(1) != 1 {
+		t.Error("availability at p=1 should be 1")
+	}
+	if a.ReadAvailability(0) != 0 {
+		t.Error("majority availability at p=0 should be 0")
+	}
+}
+
+func TestAvailabilityMajorityClosedForm(t *testing.T) {
+	// For 3 copies, majority: P = p^3 + 3p^2(1-p).
+	a := Majority(sites(3))
+	p := 0.9
+	want := math.Pow(p, 3) + 3*math.Pow(p, 2)*(1-p)
+	if got := a.WriteAvailability(p); math.Abs(got-want) > 1e-12 {
+		t.Errorf("WriteAvailability(0.9) = %v, want %v", got, want)
+	}
+}
+
+func TestAvailabilityROWAShape(t *testing.T) {
+	// The paper-era motivation for QC: ROWA write availability collapses as
+	// n grows (p^n) while majority-QC write availability grows (for p>0.5).
+	p := 0.9
+	for _, n := range []int{3, 5, 7} {
+		rowa := ReadOneWriteAll(sites(n))
+		qc := Majority(sites(n))
+		if rowa.WriteAvailability(p) >= qc.WriteAvailability(p) {
+			t.Errorf("n=%d: ROWA write availability %v should be below QC %v",
+				n, rowa.WriteAvailability(p), qc.WriteAvailability(p))
+		}
+		// And ROWA read availability beats QC (any single copy serves).
+		if rowa.ReadAvailability(p) <= qc.ReadAvailability(p) {
+			t.Errorf("n=%d: ROWA read availability should beat QC", n)
+		}
+	}
+}
+
+func TestAvailabilityMonotoneInP(t *testing.T) {
+	a := Majority(sites(5))
+	prev := -1.0
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		cur := a.WriteAvailability(p)
+		if cur+1e-12 < prev {
+			t.Fatalf("availability not monotone at p=%v: %v < %v", p, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestSitesSorted(t *testing.T) {
+	a := Majority([]model.SiteID{"C", "A", "B"})
+	s := a.Sites()
+	if s[0] != "A" || s[1] != "B" || s[2] != "C" {
+		t.Errorf("Sites = %v", s)
+	}
+}

@@ -1,0 +1,140 @@
+package rcp
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/schema"
+)
+
+// QC is Gifford-style weighted-voting quorum consensus, Rainbow's default
+// RCP (paper §2.1: "QC starts by building a quorum (read or write) for the
+// first operation of the transaction").
+//
+// A logical read assembles a read quorum of copies and returns the value
+// carried by the highest version number in the quorum; a logical write
+// pre-writes a write quorum and installs max(version)+1 at its members.
+// Copies that fail to respond are replaced by other vote-holders; the
+// operation aborts with cause RCP only when the remaining copies cannot
+// carry a quorum.
+type QC struct{}
+
+// Name implements Protocol.
+func (QC) Name() string { return "qc" }
+
+// Read implements Protocol.
+func (QC) Read(ctx context.Context, acc CopyAccess, sess *Session, meta schema.ItemMeta) (int64, error) {
+	var (
+		mu      sync.Mutex
+		bestVal int64
+		bestVer model.Version
+		first   = true
+	)
+	err := buildQuorum(ctx, acc, sess, meta, meta.ReadQuorum, func(ctx context.Context, site model.SiteID) error {
+		v, ver, err := acc.ReadCopy(ctx, site, sess.Tx, sess.TS, meta.Item)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if first || ver > bestVer {
+			bestVal, bestVer, first = v, ver, false
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return bestVal, nil
+}
+
+// Write implements Protocol.
+func (QC) Write(ctx context.Context, acc CopyAccess, sess *Session, meta schema.ItemMeta, value int64) error {
+	var (
+		mu     sync.Mutex
+		maxVer model.Version
+		quorum []model.SiteID
+	)
+	err := buildQuorum(ctx, acc, sess, meta, meta.WriteQuorum, func(ctx context.Context, site model.SiteID) error {
+		ver, err := acc.PreWriteCopy(ctx, site, sess.Tx, sess.TS, meta.Item, value)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if ver > maxVer {
+			maxVer = ver
+		}
+		quorum = append(quorum, site)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	rec := model.WriteRecord{Item: meta.Item, Value: value, Version: maxVer + 1}
+	for _, site := range quorum {
+		sess.RecordWrite(site, rec)
+	}
+	return nil
+}
+
+// buildQuorum gathers `need` votes for one operation. It first picks the
+// minimal preferred vote set (assuming all sites up — this is what keeps QC
+// message counts near the quorum size, the property experiment E2
+// measures), issues the copy operation to the set concurrently, and
+// replaces failed members with the remaining vote-holders until the quorum
+// is complete or provably unreachable.
+//
+// The op callback is invoked concurrently across the sites of one round;
+// callbacks guard their own shared state.
+func buildQuorum(ctx context.Context, acc CopyAccess, sess *Session, meta schema.ItemMeta,
+	need int, op func(ctx context.Context, site model.SiteID) error) error {
+
+	assignment := meta.Assignment()
+	prefer := preferredOrder(acc, meta)
+	tried := make(map[model.SiteID]bool)
+	gotVotes := 0
+
+	for gotVotes < need {
+		// Select sites to cover the remaining votes, excluding failures and
+		// already-counted members.
+		round, ok := assignment.Pick(need-gotVotes, prefer, tried)
+		if !ok || len(round) == 0 {
+			return model.Abortf(model.AbortRCP,
+				"qc: quorum of %d votes unreachable for %s (%d gathered)", need, meta.Item, gotVotes)
+		}
+
+		type result struct {
+			site model.SiteID
+			err  error
+		}
+		results := make(chan result, len(round))
+		for _, site := range round {
+			tried[site] = true
+			sess.Attempt(site)
+			go func(site model.SiteID) {
+				results <- result{site: site, err: op(ctx, site)}
+			}(site)
+		}
+		collected := make([]result, 0, len(round))
+		for range round {
+			collected = append(collected, <-results)
+		}
+		for _, r := range collected {
+			switch {
+			case r.err == nil:
+				sess.Touch(r.site)
+				gotVotes += assignment.Votes[r.site]
+			case isCC(r.err):
+				// The remote CCP rejected the operation: the transaction is
+				// doomed; that site holds CC state to release.
+				sess.Touch(r.site)
+				return r.err
+			default:
+				// Unreachable copy: leave it excluded and re-pick.
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+// Package rcp implements Rainbow's replication control protocols (RCPs):
+// Read-One-Write-All (ROWA) and weighted-voting Quorum Consensus (QC, the
+// paper's default). The RCP runs at a transaction's home site and maps each
+// logical operation onto physical copy operations at other sites, which
+// pass through those sites' CCPs (paper §2.1).
+//
+// The RCP layer is where Rainbow classifies replication-level aborts: a
+// logical operation that cannot reach enough copies aborts the transaction
+// with cause RCP; a copy operation rejected by a remote CCP propagates its
+// CC abort unchanged.
+package rcp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/schema"
+)
+
+// CopyAccess is the home site's handle for operating on physical copies.
+// Implementations route to the local CCP directly or to remote sites over
+// the wire layer.
+type CopyAccess interface {
+	// Local returns the home site's id (preferred for read-one locality).
+	Local() model.SiteID
+	// ReadCopy reads the copy of item at site through that site's CCP.
+	ReadCopy(ctx context.Context, site model.SiteID, tx model.TxID, ts model.Timestamp, item model.ItemID) (int64, model.Version, error)
+	// PreWriteCopy pre-writes the copy of item at site through that site's
+	// CCP, returning the copy's current version.
+	PreWriteCopy(ctx context.Context, site model.SiteID, tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error)
+}
+
+// Session accumulates one transaction's replication state at its home site:
+// the set of sites touched (the future commit cohort) and the final write
+// records each participant must install.
+type Session struct {
+	Tx model.TxID
+	TS model.Timestamp
+
+	mu        sync.Mutex
+	touched   map[model.SiteID]bool
+	attempted map[model.SiteID]bool
+	writes    map[model.SiteID]map[model.ItemID]model.WriteRecord
+}
+
+// NewSession starts a session for one transaction.
+func NewSession(tx model.TxID, ts model.Timestamp) *Session {
+	return &Session{
+		Tx:        tx,
+		TS:        ts,
+		touched:   make(map[model.SiteID]bool),
+		attempted: make(map[model.SiteID]bool),
+		writes:    make(map[model.SiteID]map[model.ItemID]model.WriteRecord),
+	}
+}
+
+// Touch records that site holds CC state for the transaction.
+func (s *Session) Touch(site model.SiteID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touched[site] = true
+	s.attempted[site] = true
+}
+
+// Attempt records that a copy operation was SENT to site, whether or not a
+// response arrived. A request that times out at the coordinator may still
+// succeed late at the site, leaving CC state there; the home site must
+// release such sites at the end of the transaction even though they never
+// became participants.
+func (s *Session) Attempt(site model.SiteID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.attempted[site] = true
+}
+
+// Strays returns the attempted sites that did not become participants —
+// the set the home site must send releases to regardless of outcome.
+func (s *Session) Strays() []model.SiteID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []model.SiteID
+	for site := range s.attempted {
+		if !s.touched[site] {
+			out = append(out, site)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RecordWrite records the final write record site must install at commit.
+// A later write of the same item by the same transaction replaces the
+// earlier record.
+func (s *Session) RecordWrite(site model.SiteID, rec model.WriteRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touched[site] = true
+	if s.writes[site] == nil {
+		s.writes[site] = make(map[model.ItemID]model.WriteRecord)
+	}
+	s.writes[site][rec.Item] = rec
+}
+
+// Participants returns every touched site in sorted order — the atomic
+// commit cohort (read-only participants included: under strict CC they hold
+// read locks that only the commit protocol releases).
+func (s *Session) Participants() []model.SiteID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]model.SiteID, 0, len(s.touched))
+	for site := range s.touched {
+		out = append(out, site)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WritesFor returns the write records site must install, sorted by item.
+func (s *Session) WritesFor(site model.SiteID) []model.WriteRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.writes[site]
+	out := make([]model.WriteRecord, 0, len(m))
+	for _, r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Item < out[j].Item })
+	return out
+}
+
+// HasWrites reports whether any site has pending write records.
+func (s *Session) HasWrites() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.writes {
+		if len(m) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Protocol is a replication control protocol.
+type Protocol interface {
+	// Name returns "rowa" or "qc".
+	Name() string
+	// Read performs a logical read of the item described by meta.
+	Read(ctx context.Context, acc CopyAccess, sess *Session, meta schema.ItemMeta) (int64, error)
+	// Write performs a logical write: pre-writes enough copies and records
+	// the final write records (with install versions) in the session.
+	Write(ctx context.Context, acc CopyAccess, sess *Session, meta schema.ItemMeta, value int64) error
+}
+
+// New constructs a protocol by name.
+func New(name string) (Protocol, error) {
+	switch name {
+	case "qc", "QC", "":
+		return QC{}, nil
+	case "rowa", "ROWA":
+		return ROWA{}, nil
+	default:
+		return nil, fmt.Errorf("rcp: unknown replication control protocol %q", name)
+	}
+}
+
+// Names lists the available RCP names.
+func Names() []string { return []string{"rowa", "qc"} }
+
+// preferredOrder lists the copy sites for meta with the local site first,
+// then the rest sorted — the deterministic preference order both protocols
+// use.
+func preferredOrder(acc CopyAccess, meta schema.ItemMeta) []model.SiteID {
+	sites := meta.Sites()
+	local := acc.Local()
+	out := make([]model.SiteID, 0, len(sites))
+	if _, ok := meta.Votes[local]; ok {
+		out = append(out, local)
+	}
+	for _, s := range sites {
+		if s != local {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// isCC reports whether err is a protocol abort that must stop the
+// transaction (as opposed to a copy being unreachable, which the RCP may
+// route around).
+func isCC(err error) bool {
+	c := model.CauseOf(err)
+	return c == model.AbortCC || c == model.AbortACP || c == model.AbortInjected
+}

@@ -1,0 +1,383 @@
+package rcp
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/schema"
+)
+
+// fakeAccess is an in-memory CopyAccess: each site holds a copy with a
+// value and version; sites can be marked down or CC-rejecting; every copy
+// operation is counted (the message-economy assertions in these tests mirror
+// experiment E2).
+type fakeAccess struct {
+	local model.SiteID
+
+	mu     sync.Mutex
+	copies map[model.SiteID]struct {
+		val int64
+		ver model.Version
+	}
+	down     map[model.SiteID]bool
+	ccReject map[model.SiteID]bool
+	ops      int
+	perSite  map[model.SiteID]int
+}
+
+func newFake(local model.SiteID, sites ...model.SiteID) *fakeAccess {
+	f := &fakeAccess{
+		local: local,
+		copies: make(map[model.SiteID]struct {
+			val int64
+			ver model.Version
+		}),
+		down:     make(map[model.SiteID]bool),
+		ccReject: make(map[model.SiteID]bool),
+		perSite:  make(map[model.SiteID]int),
+	}
+	for _, s := range sites {
+		f.copies[s] = struct {
+			val int64
+			ver model.Version
+		}{val: 10, ver: 0}
+	}
+	return f
+}
+
+func (f *fakeAccess) set(site model.SiteID, val int64, ver model.Version) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.copies[site] = struct {
+		val int64
+		ver model.Version
+	}{val, ver}
+}
+
+func (f *fakeAccess) Local() model.SiteID { return f.local }
+
+func (f *fakeAccess) ReadCopy(_ context.Context, site model.SiteID, _ model.TxID, _ model.Timestamp, _ model.ItemID) (int64, model.Version, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	f.perSite[site]++
+	if f.down[site] {
+		return 0, 0, model.Abortf(model.AbortRCP, "site %s unreachable", site)
+	}
+	if f.ccReject[site] {
+		return 0, 0, model.Abortf(model.AbortCC, "rejected at %s", site)
+	}
+	c := f.copies[site]
+	return c.val, c.ver, nil
+}
+
+func (f *fakeAccess) PreWriteCopy(_ context.Context, site model.SiteID, _ model.TxID, _ model.Timestamp, _ model.ItemID, _ int64) (model.Version, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	f.perSite[site]++
+	if f.down[site] {
+		return 0, model.Abortf(model.AbortRCP, "site %s unreachable", site)
+	}
+	if f.ccReject[site] {
+		return 0, model.Abortf(model.AbortCC, "rejected at %s", site)
+	}
+	return f.copies[site].ver, nil
+}
+
+func meta3() schema.ItemMeta {
+	return schema.ItemMeta{
+		Item:        "x",
+		Votes:       map[model.SiteID]int{"S1": 1, "S2": 1, "S3": 1},
+		ReadQuorum:  2,
+		WriteQuorum: 2,
+	}
+}
+
+func sess() *Session {
+	return NewSession(model.TxID{Site: "S1", Seq: 1}, model.Timestamp{Time: 1, Site: "S1"})
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"rowa", "qc", ""} {
+		p, err := New(name)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if name == "" && p.Name() != "qc" {
+			t.Error("default RCP should be qc")
+		}
+	}
+	if _, err := New("chain"); err == nil {
+		t.Error("unknown RCP accepted")
+	}
+}
+
+// --- ROWA ---
+
+func TestROWAReadUsesOneCopyPreferLocal(t *testing.T) {
+	f := newFake("S2", "S1", "S2", "S3")
+	s := sess()
+	v, err := (ROWA{}).Read(context.Background(), f, s, meta3())
+	if err != nil || v != 10 {
+		t.Fatalf("read = %d, %v", v, err)
+	}
+	if f.ops != 1 || f.perSite["S2"] != 1 {
+		t.Errorf("ROWA read used %d ops (%v), want 1 local", f.ops, f.perSite)
+	}
+	p := s.Participants()
+	if len(p) != 1 || p[0] != "S2" {
+		t.Errorf("participants = %v", p)
+	}
+}
+
+func TestROWAReadFailsOverToNextCopy(t *testing.T) {
+	f := newFake("S1", "S1", "S2", "S3")
+	f.down["S1"] = true
+	v, err := (ROWA{}).Read(context.Background(), f, sess(), meta3())
+	if err != nil || v != 10 {
+		t.Fatalf("read = %d, %v", v, err)
+	}
+	if f.ops != 2 {
+		t.Errorf("ops = %d, want 2 (failover)", f.ops)
+	}
+}
+
+func TestROWAReadAllDown(t *testing.T) {
+	f := newFake("S1", "S1", "S2", "S3")
+	for s := range f.copies {
+		f.down[s] = true
+	}
+	_, err := (ROWA{}).Read(context.Background(), f, sess(), meta3())
+	if model.CauseOf(err) != model.AbortRCP {
+		t.Fatalf("want RCP abort, got %v", err)
+	}
+}
+
+func TestROWAReadCCRejectionPropagates(t *testing.T) {
+	f := newFake("S1", "S1", "S2", "S3")
+	f.ccReject["S1"] = true
+	_, err := (ROWA{}).Read(context.Background(), f, sess(), meta3())
+	if model.CauseOf(err) != model.AbortCC {
+		t.Fatalf("CC rejection must not be routed around: %v", err)
+	}
+	if f.ops != 1 {
+		t.Errorf("ops = %d: ROWA retried after CC rejection", f.ops)
+	}
+}
+
+func TestROWAWriteTouchesAllCopies(t *testing.T) {
+	f := newFake("S1", "S1", "S2", "S3")
+	f.set("S2", 5, 7) // stale copies with differing versions
+	s := sess()
+	if err := (ROWA{}).Write(context.Background(), f, s, meta3(), 42); err != nil {
+		t.Fatal(err)
+	}
+	if f.ops != 3 {
+		t.Errorf("ops = %d, want 3 (write-all)", f.ops)
+	}
+	for _, site := range []model.SiteID{"S1", "S2", "S3"} {
+		w := s.WritesFor(site)
+		if len(w) != 1 || w[0].Value != 42 || w[0].Version != 8 {
+			t.Errorf("%s writes = %v (want version max+1 = 8)", site, w)
+		}
+	}
+}
+
+func TestROWAWriteFailsIfAnyCopyDown(t *testing.T) {
+	f := newFake("S1", "S1", "S2", "S3")
+	f.down["S3"] = true
+	err := (ROWA{}).Write(context.Background(), f, sess(), meta3(), 42)
+	if model.CauseOf(err) != model.AbortRCP {
+		t.Fatalf("ROWA write with a down copy must RCP-abort: %v", err)
+	}
+}
+
+func TestROWAWriteCCWins(t *testing.T) {
+	f := newFake("S1", "S1", "S2", "S3")
+	f.down["S3"] = true
+	f.ccReject["S2"] = true
+	err := (ROWA{}).Write(context.Background(), f, sess(), meta3(), 1)
+	if model.CauseOf(err) != model.AbortCC {
+		t.Fatalf("CC rejection should take precedence: %v", err)
+	}
+}
+
+// --- QC ---
+
+func TestQCReadUsesQuorumMessages(t *testing.T) {
+	f := newFake("S1", "S1", "S2", "S3")
+	s := sess()
+	v, err := (QC{}).Read(context.Background(), f, s, meta3())
+	if err != nil || v != 10 {
+		t.Fatalf("read = %d, %v", v, err)
+	}
+	if f.ops != 2 {
+		t.Errorf("ops = %d, want read-quorum size 2", f.ops)
+	}
+	if len(s.Participants()) != 2 {
+		t.Errorf("participants = %v", s.Participants())
+	}
+}
+
+func TestQCReadReturnsMaxVersionValue(t *testing.T) {
+	f := newFake("S3", "S1", "S2", "S3")
+	f.set("S3", 10, 0) // local copy is stale
+	f.set("S1", 99, 5)
+	f.set("S2", 99, 5)
+	// Local-first preference picks S3 plus one other; the max-version value
+	// must win regardless of which copies answer.
+	v, err := (QC{}).Read(context.Background(), f, sess(), meta3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 99 {
+		t.Errorf("read = %d, want max-version value 99", v)
+	}
+}
+
+func TestQCReadRoutesAroundFailure(t *testing.T) {
+	f := newFake("S1", "S1", "S2", "S3")
+	f.down["S2"] = true
+	v, err := (QC{}).Read(context.Background(), f, sess(), meta3())
+	if err != nil || v != 10 {
+		t.Fatalf("read = %d, %v", v, err)
+	}
+	// 2 first round (S1,S2) + 1 replacement (S3).
+	if f.ops != 3 {
+		t.Errorf("ops = %d, want 3", f.ops)
+	}
+}
+
+func TestQCReadQuorumUnreachable(t *testing.T) {
+	f := newFake("S1", "S1", "S2", "S3")
+	f.down["S2"] = true
+	f.down["S3"] = true
+	_, err := (QC{}).Read(context.Background(), f, sess(), meta3())
+	if model.CauseOf(err) != model.AbortRCP {
+		t.Fatalf("want RCP abort, got %v", err)
+	}
+}
+
+func TestQCReadSingleSiteMinorityFails(t *testing.T) {
+	// Read quorum 2 with only one live site: must abort even though the
+	// live site keeps answering.
+	f := newFake("S1", "S1", "S2", "S3")
+	f.down["S2"] = true
+	f.down["S3"] = true
+	_, err := (QC{}).Read(context.Background(), f, sess(), meta3())
+	if err == nil {
+		t.Fatal("minority read quorum built")
+	}
+}
+
+func TestQCWriteInstallsMaxPlusOneAtQuorum(t *testing.T) {
+	f := newFake("S1", "S1", "S2", "S3")
+	f.set("S2", 5, 7)
+	s := sess()
+	if err := (QC{}).Write(context.Background(), f, s, meta3(), 42); err != nil {
+		t.Fatal(err)
+	}
+	if f.ops != 2 {
+		t.Errorf("ops = %d, want write-quorum size 2", f.ops)
+	}
+	// Exactly the quorum members carry write records, version = 7+1.
+	recs := 0
+	for _, site := range []model.SiteID{"S1", "S2", "S3"} {
+		for _, w := range s.WritesFor(site) {
+			recs++
+			if w.Version != 8 || w.Value != 42 {
+				t.Errorf("%s: record %+v, want v8", site, w)
+			}
+		}
+	}
+	if recs != 2 {
+		t.Errorf("write records at %d sites, want 2", recs)
+	}
+}
+
+func TestQCWriteCCRejectionStops(t *testing.T) {
+	f := newFake("S1", "S1", "S2", "S3")
+	f.ccReject["S2"] = true
+	err := (QC{}).Write(context.Background(), f, sess(), meta3(), 1)
+	if model.CauseOf(err) != model.AbortCC {
+		t.Fatalf("want CC abort, got %v", err)
+	}
+}
+
+func TestQCWeightedVotes(t *testing.T) {
+	// S1 carries 3 votes: alone it is a write quorum.
+	meta := schema.ItemMeta{
+		Item:        "x",
+		Votes:       map[model.SiteID]int{"S1": 3, "S2": 1, "S3": 1},
+		ReadQuorum:  3,
+		WriteQuorum: 3,
+	}
+	f := newFake("S1", "S1", "S2", "S3")
+	s := sess()
+	if err := (QC{}).Write(context.Background(), f, s, meta, 9); err != nil {
+		t.Fatal(err)
+	}
+	if f.ops != 1 {
+		t.Errorf("ops = %d, want 1 (weighted quorum met by local site)", f.ops)
+	}
+	if len(s.WritesFor("S1")) != 1 || len(s.WritesFor("S2")) != 0 {
+		t.Error("write records misplaced")
+	}
+}
+
+func TestQCWriteMinorityPartitionAborts(t *testing.T) {
+	f := newFake("S1", "S1", "S2", "S3")
+	f.down["S2"] = true
+	f.down["S3"] = true
+	err := (QC{}).Write(context.Background(), f, sess(), meta3(), 1)
+	if model.CauseOf(err) != model.AbortRCP {
+		t.Fatalf("minority write must RCP-abort: %v", err)
+	}
+}
+
+// --- Session ---
+
+func TestSessionParticipantsSortedAndDeduped(t *testing.T) {
+	s := sess()
+	s.Touch("S3")
+	s.Touch("S1")
+	s.Touch("S3")
+	s.RecordWrite("S2", model.WriteRecord{Item: "x", Value: 1, Version: 1})
+	p := s.Participants()
+	if len(p) != 3 || p[0] != "S1" || p[1] != "S2" || p[2] != "S3" {
+		t.Errorf("participants = %v", p)
+	}
+}
+
+func TestSessionLaterWriteReplacesEarlier(t *testing.T) {
+	s := sess()
+	s.RecordWrite("S1", model.WriteRecord{Item: "x", Value: 1, Version: 1})
+	s.RecordWrite("S1", model.WriteRecord{Item: "x", Value: 2, Version: 2})
+	s.RecordWrite("S1", model.WriteRecord{Item: "y", Value: 3, Version: 1})
+	w := s.WritesFor("S1")
+	if len(w) != 2 {
+		t.Fatalf("writes = %v", w)
+	}
+	if w[0].Item != "x" || w[0].Value != 2 || w[1].Item != "y" {
+		t.Errorf("writes = %v", w)
+	}
+}
+
+func TestSessionHasWrites(t *testing.T) {
+	s := sess()
+	if s.HasWrites() {
+		t.Error("fresh session has writes")
+	}
+	s.Touch("S1")
+	if s.HasWrites() {
+		t.Error("touch should not create writes")
+	}
+	s.RecordWrite("S1", model.WriteRecord{Item: "x"})
+	if !s.HasWrites() {
+		t.Error("HasWrites false after RecordWrite")
+	}
+}

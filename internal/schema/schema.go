@@ -1,0 +1,240 @@
+// Package schema defines the Rainbow catalog: the metadata the name server
+// stores and every site caches — site endpoint registrations, the database
+// schema (items, initial values), the replication/distribution schema (which
+// sites hold copies, with what votes and quorum thresholds), and the
+// protocol selection (RCP/CCP/ACP) for the Rainbow instance.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/quorum"
+)
+
+// SiteInfo is one site's registration entry.
+type SiteInfo struct {
+	ID model.SiteID
+	// Addr is the transport endpoint specification (host:port under tcpnet;
+	// informational under simnet).
+	Addr string
+}
+
+// ItemMeta describes one logical item: its initial value and its
+// replication schema.
+type ItemMeta struct {
+	Item    model.ItemID
+	Initial int64
+	// Votes maps each copy-holding site to its vote weight.
+	Votes map[model.SiteID]int
+	// ReadQuorum/WriteQuorum are the weighted-voting thresholds used by the
+	// QC replication protocol. ROWA ignores them.
+	ReadQuorum  int
+	WriteQuorum int
+}
+
+// Assignment converts the item's replication schema to a quorum.Assignment.
+func (m ItemMeta) Assignment() quorum.Assignment {
+	return quorum.Assignment{Votes: m.Votes, ReadQuorum: m.ReadQuorum, WriteQuorum: m.WriteQuorum}
+}
+
+// Sites returns the copy-holding sites in sorted order.
+func (m ItemMeta) Sites() []model.SiteID {
+	out := make([]model.SiteID, 0, len(m.Votes))
+	for s := range m.Votes {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Protocols selects the transaction-processing protocols for an instance
+// (paper Figure 4, the protocols-configuration panel).
+type Protocols struct {
+	// RCP: "rowa" or "qc" (default "qc", the paper's default).
+	RCP string
+	// CCP: "2pl", "tso" or "mvtso" (default "2pl").
+	CCP string
+	// ACP: "2pc" or "3pc" (default "2pc", the paper's default).
+	ACP string
+	// NoDeadlockDetection turns off 2PL's waits-for-graph cycle detection,
+	// leaving deadlocks to lock-wait timeouts — an ablation knob for
+	// classroom experiments on deadlock handling.
+	NoDeadlockDetection bool
+	// NoReadOnlyOpt disables the commit protocols' read-only participant
+	// optimization (participants without writes vote "read" and skip
+	// phase 2) — an ablation knob for message-cost experiments.
+	NoReadOnlyOpt bool
+}
+
+// Timeouts bounds protocol waits across the instance.
+type Timeouts struct {
+	// Op bounds one remote copy operation (read / pre-write).
+	Op time.Duration
+	// Vote bounds the coordinator's wait for each participant vote.
+	Vote time.Duration
+	// Ack bounds the coordinator's wait for decision acknowledgements.
+	Ack time.Duration
+	// Lock bounds CCP waits (lock waits, TSO intent gates).
+	Lock time.Duration
+	// OrphanResolve is the interval at which a recovering or in-doubt
+	// participant re-queries for a decision.
+	OrphanResolve time.Duration
+}
+
+// WithDefaults fills zero fields with defaults sized for the simulated
+// network.
+func (t Timeouts) WithDefaults() Timeouts {
+	def := func(d *time.Duration, v time.Duration) {
+		if *d == 0 {
+			*d = v
+		}
+	}
+	def(&t.Op, 2*time.Second)
+	def(&t.Vote, 2*time.Second)
+	def(&t.Ack, 2*time.Second)
+	def(&t.Lock, 2*time.Second)
+	def(&t.OrphanResolve, 500*time.Millisecond)
+	return t
+}
+
+// Catalog is the name server's full metadata set.
+type Catalog struct {
+	Sites     map[model.SiteID]SiteInfo
+	Items     map[model.ItemID]ItemMeta
+	Protocols Protocols
+	Timeouts  Timeouts
+	// Epoch increments on every catalog update so sites can detect staleness.
+	Epoch uint64
+}
+
+// NewCatalog returns an empty catalog with default protocols.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		Sites:     make(map[model.SiteID]SiteInfo),
+		Items:     make(map[model.ItemID]ItemMeta),
+		Protocols: Protocols{RCP: "qc", CCP: "2pl", ACP: "2pc"},
+	}
+}
+
+// Clone deep-copies the catalog.
+func (c *Catalog) Clone() *Catalog {
+	out := &Catalog{
+		Sites:     make(map[model.SiteID]SiteInfo, len(c.Sites)),
+		Items:     make(map[model.ItemID]ItemMeta, len(c.Items)),
+		Protocols: c.Protocols,
+		Timeouts:  c.Timeouts,
+		Epoch:     c.Epoch,
+	}
+	for k, v := range c.Sites {
+		out.Sites[k] = v
+	}
+	for k, v := range c.Items {
+		votes := make(map[model.SiteID]int, len(v.Votes))
+		for s, n := range v.Votes {
+			votes[s] = n
+		}
+		v.Votes = votes
+		out.Items[k] = v
+	}
+	return out
+}
+
+// SiteIDs returns registered sites in sorted order.
+func (c *Catalog) SiteIDs() []model.SiteID {
+	out := make([]model.SiteID, 0, len(c.Sites))
+	for s := range c.Sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ItemIDs returns configured items in sorted order.
+func (c *Catalog) ItemIDs() []model.ItemID {
+	out := make([]model.ItemID, 0, len(c.Items))
+	for i := range c.Items {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LocalItems returns the item→initial-value map for copies hosted at site,
+// used to initialize the site's store.
+func (c *Catalog) LocalItems(site model.SiteID) map[model.ItemID]int64 {
+	out := make(map[model.ItemID]int64)
+	for id, m := range c.Items {
+		if _, ok := m.Votes[site]; ok {
+			out[id] = m.Initial
+		}
+	}
+	return out
+}
+
+// Validate checks internal consistency: every copy placement names a
+// registered site, every item has a valid quorum assignment, and the
+// protocol names are known.
+func (c *Catalog) Validate() error {
+	switch c.Protocols.RCP {
+	case "rowa", "qc", "":
+	default:
+		return fmt.Errorf("schema: unknown RCP %q", c.Protocols.RCP)
+	}
+	switch c.Protocols.CCP {
+	case "2pl", "tso", "mvtso", "":
+	default:
+		return fmt.Errorf("schema: unknown CCP %q", c.Protocols.CCP)
+	}
+	switch c.Protocols.ACP {
+	case "2pc", "3pc", "":
+	default:
+		return fmt.Errorf("schema: unknown ACP %q", c.Protocols.ACP)
+	}
+	for id, m := range c.Items {
+		if id == "" {
+			return fmt.Errorf("schema: empty item id")
+		}
+		if m.Item != "" && m.Item != id {
+			return fmt.Errorf("schema: item %s keyed under %s", m.Item, id)
+		}
+		for s := range m.Votes {
+			if _, ok := c.Sites[s]; !ok {
+				return fmt.Errorf("schema: item %s places a copy on unregistered site %s", id, s)
+			}
+		}
+		if err := m.Assignment().Validate(); err != nil {
+			return fmt.Errorf("schema: item %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// ReplicateEverywhere places one copy of item on every registered site with
+// majority quorums — the default replication scheme for demos.
+func (c *Catalog) ReplicateEverywhere(item model.ItemID, initial int64) {
+	sites := c.SiteIDs()
+	a := quorum.Majority(sites)
+	c.Items[item] = ItemMeta{
+		Item:        item,
+		Initial:     initial,
+		Votes:       a.Votes,
+		ReadQuorum:  a.ReadQuorum,
+		WriteQuorum: a.WriteQuorum,
+	}
+}
+
+// PlaceCopies places copies of item on the given sites with one vote each
+// and majority quorums.
+func (c *Catalog) PlaceCopies(item model.ItemID, initial int64, sites ...model.SiteID) {
+	a := quorum.Majority(sites)
+	c.Items[item] = ItemMeta{
+		Item:        item,
+		Initial:     initial,
+		Votes:       a.Votes,
+		ReadQuorum:  a.ReadQuorum,
+		WriteQuorum: a.WriteQuorum,
+	}
+}

@@ -1,0 +1,167 @@
+package schema
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func catalogWithSites(n int) *Catalog {
+	c := NewCatalog()
+	for i := 0; i < n; i++ {
+		id := model.SiteID(string(rune('A' + i)))
+		c.Sites[id] = SiteInfo{ID: id}
+	}
+	return c
+}
+
+func TestNewCatalogDefaults(t *testing.T) {
+	c := NewCatalog()
+	if c.Protocols.RCP != "qc" || c.Protocols.CCP != "2pl" || c.Protocols.ACP != "2pc" {
+		t.Errorf("defaults = %+v", c.Protocols)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("empty catalog should validate: %v", err)
+	}
+}
+
+func TestReplicateEverywhere(t *testing.T) {
+	c := catalogWithSites(3)
+	c.ReplicateEverywhere("x", 100)
+	m := c.Items["x"]
+	if len(m.Votes) != 3 || m.ReadQuorum != 2 || m.WriteQuorum != 2 || m.Initial != 100 {
+		t.Errorf("meta = %+v", m)
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlaceCopies(t *testing.T) {
+	c := catalogWithSites(5)
+	c.PlaceCopies("x", 7, "A", "C", "E")
+	m := c.Items["x"]
+	if len(m.Votes) != 3 {
+		t.Errorf("votes = %v", m.Votes)
+	}
+	if _, ok := m.Votes["B"]; ok {
+		t.Error("copy placed on unrequested site")
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesUnregisteredSite(t *testing.T) {
+	c := catalogWithSites(2)
+	c.PlaceCopies("x", 0, "A", "B", "Z")
+	if err := c.Validate(); err == nil {
+		t.Error("copy on unregistered site accepted")
+	}
+}
+
+func TestValidateCatchesBadProtocols(t *testing.T) {
+	for _, mod := range []func(*Catalog){
+		func(c *Catalog) { c.Protocols.RCP = "paxos" },
+		func(c *Catalog) { c.Protocols.CCP = "occ" },
+		func(c *Catalog) { c.Protocols.ACP = "1pc" },
+	} {
+		c := catalogWithSites(1)
+		mod(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad protocol accepted: %+v", c.Protocols)
+		}
+	}
+}
+
+func TestValidateCatchesBadQuorum(t *testing.T) {
+	c := catalogWithSites(3)
+	c.Items["x"] = ItemMeta{
+		Item:        "x",
+		Votes:       map[model.SiteID]int{"A": 1, "B": 1, "C": 1},
+		ReadQuorum:  1,
+		WriteQuorum: 1, // write/write quorums don't intersect
+	}
+	if err := c.Validate(); err == nil {
+		t.Error("non-intersecting write quorum accepted")
+	}
+}
+
+func TestValidateCatchesKeyMismatch(t *testing.T) {
+	c := catalogWithSites(1)
+	c.Items["x"] = ItemMeta{Item: "y", Votes: map[model.SiteID]int{"A": 1}, ReadQuorum: 1, WriteQuorum: 1}
+	if err := c.Validate(); err == nil {
+		t.Error("item keyed under wrong id accepted")
+	}
+}
+
+func TestLocalItems(t *testing.T) {
+	c := catalogWithSites(3)
+	c.PlaceCopies("x", 10, "A", "B", "C")
+	c.PlaceCopies("y", 20, "A")
+	c.PlaceCopies("z", 30, "B", "C", "A")
+
+	la := c.LocalItems("A")
+	if len(la) != 3 || la["x"] != 10 || la["y"] != 20 || la["z"] != 30 {
+		t.Errorf("LocalItems(A) = %v", la)
+	}
+	lb := c.LocalItems("B")
+	if len(lb) != 2 {
+		t.Errorf("LocalItems(B) = %v", lb)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := catalogWithSites(2)
+	c.PlaceCopies("x", 1, "A", "B")
+	c.Epoch = 5
+	cl := c.Clone()
+	cl.Sites["Z"] = SiteInfo{ID: "Z"}
+	cl.Items["x"].Votes["A"] = 99
+	if _, ok := c.Sites["Z"]; ok {
+		t.Error("clone shares Sites map")
+	}
+	if c.Items["x"].Votes["A"] != 1 {
+		t.Error("clone shares Votes map")
+	}
+	if cl.Epoch != 5 {
+		t.Error("epoch not copied")
+	}
+}
+
+func TestSiteAndItemIDsSorted(t *testing.T) {
+	c := NewCatalog()
+	for _, id := range []model.SiteID{"S3", "S1", "S2"} {
+		c.Sites[id] = SiteInfo{ID: id}
+	}
+	c.PlaceCopies("b", 0, "S1")
+	c.PlaceCopies("a", 0, "S2")
+	s := c.SiteIDs()
+	if s[0] != "S1" || s[2] != "S3" {
+		t.Errorf("SiteIDs = %v", s)
+	}
+	it := c.ItemIDs()
+	if it[0] != "a" || it[1] != "b" {
+		t.Errorf("ItemIDs = %v", it)
+	}
+}
+
+func TestTimeoutsWithDefaults(t *testing.T) {
+	ts := Timeouts{}.WithDefaults()
+	if ts.Op == 0 || ts.Vote == 0 || ts.Ack == 0 || ts.Lock == 0 || ts.OrphanResolve == 0 {
+		t.Errorf("defaults not filled: %+v", ts)
+	}
+	custom := Timeouts{Op: time.Minute}.WithDefaults()
+	if custom.Op != time.Minute {
+		t.Error("explicit value overwritten")
+	}
+}
+
+func TestItemMetaSitesSorted(t *testing.T) {
+	m := ItemMeta{Votes: map[model.SiteID]int{"C": 1, "A": 1, "B": 1}}
+	s := m.Sites()
+	if len(s) != 3 || s[0] != "A" || s[2] != "C" {
+		t.Errorf("Sites = %v", s)
+	}
+}

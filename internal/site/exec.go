@@ -1,0 +1,257 @@
+package site
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/acp"
+	"repro/internal/model"
+	"repro/internal/rcp"
+	"repro/internal/wire"
+)
+
+// Execute runs a one-shot transaction with this site as its home site,
+// exactly as the paper describes (§2.1): the dedicated goroutine invokes
+// the RCP for each operation in order, then the home site runs the atomic
+// commit protocol over every touched site. It is Begin + ops + Commit over
+// the interactive Txn API.
+func (s *Site) Execute(ctx context.Context, ops []model.Op) model.Outcome {
+	t, err := s.Begin(ctx)
+	if err != nil {
+		return model.Outcome{Committed: false, Cause: model.AbortClient, HomeSite: s.id}
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case model.OpRead:
+			_, err = t.Read(op.Item)
+		case model.OpWrite:
+			err = t.Write(op.Item, op.Value)
+		default:
+			err = model.Abortf(model.AbortClient, "invalid op kind %d", op.Kind)
+			t.doomed = err
+		}
+		if err != nil {
+			return t.Abort()
+		}
+	}
+	return t.Commit()
+}
+
+// classify maps an execution error onto the paper's abort-cause taxonomy.
+func classify(err error) model.AbortCause {
+	switch c := model.CauseOf(err); c {
+	case model.AbortNone:
+		return model.AbortClient
+	case model.AbortClient:
+		// Context timeouts during RCP ops count as replication-level
+		// failures (copies unreachable).
+		if err == context.DeadlineExceeded || err == context.Canceled {
+			return model.AbortRCP
+		}
+		return model.AbortClient
+	default:
+		return c
+	}
+}
+
+// releaseEverywhere discards CC state for an aborted-before-commit
+// transaction at every touched site, plus any stray attempted sites where
+// a timed-out operation may have succeeded late (KindReleaseTx).
+func (s *Site) releaseEverywhere(sess *rcp.Session) {
+	for _, site := range append(sess.Participants(), sess.Strays()...) {
+		if site == s.id {
+			s.mu.Lock()
+			ccm := s.ccm
+			s.mu.Unlock()
+			ccm.Abort(sess.Tx)
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		s.peer.Cast(ctx, site, wire.KindReleaseTx, wire.ReleaseTxReq{Tx: sess.Tx}) //nolint:errcheck
+		cancel()
+	}
+}
+
+// releaseStrays sends releases to attempted-but-unenlisted sites only.
+func (s *Site) releaseStrays(sess *rcp.Session) {
+	for _, site := range sess.Strays() {
+		if site == s.id {
+			s.mu.Lock()
+			ccm := s.ccm
+			s.mu.Unlock()
+			ccm.Abort(sess.Tx)
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		s.peer.Cast(ctx, site, wire.KindReleaseTx, wire.ReleaseTxReq{Tx: sess.Tx}) //nolint:errcheck
+		cancel()
+	}
+}
+
+// mergeContexts returns a context cancelled when either input is.
+func mergeContexts(a, b context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(a)
+	stop := context.AfterFunc(b, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// ---- rcp.CopyAccess implementation ----
+
+// Local implements rcp.CopyAccess.
+func (s *Site) Local() model.SiteID { return s.id }
+
+// ReadCopy implements rcp.CopyAccess: a local fast path through the site's
+// own CCP, or a ReadCopy RPC to the remote site.
+func (s *Site) ReadCopy(ctx context.Context, site model.SiteID, tx model.TxID, ts model.Timestamp, item model.ItemID) (int64, model.Version, error) {
+	if site == s.id {
+		s.mu.Lock()
+		ccm := s.ccm
+		s.mu.Unlock()
+		v, ver, err := ccm.Read(ctx, tx, ts, item)
+		if err == nil {
+			s.hist.Record(tx, model.OpRead, item, v, ver)
+		}
+		return v, ver, err
+	}
+	var resp wire.ReadCopyResp
+	actx, cancel := s.attemptCtx(ctx)
+	defer cancel()
+	err := s.peer.Call(actx, site, wire.KindReadCopy, wire.ReadCopyReq{Tx: tx, TS: ts, Item: item}, &resp)
+	s.stats.AddRoundTrips(1)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.clock.Witness(model.Timestamp{Time: resp.Clock, Site: site})
+	return resp.Value, resp.Version, nil
+}
+
+// attemptCtx bounds one remote copy-operation attempt so a silent site does
+// not consume the whole operation budget.
+func (s *Site) attemptCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	s.mu.Lock()
+	op := s.timeouts.Op
+	s.mu.Unlock()
+	return context.WithTimeout(ctx, op)
+}
+
+// PreWriteCopy implements rcp.CopyAccess.
+func (s *Site) PreWriteCopy(ctx context.Context, site model.SiteID, tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error) {
+	if site == s.id {
+		s.mu.Lock()
+		ccm := s.ccm
+		s.mu.Unlock()
+		return ccm.PreWrite(ctx, tx, ts, item, value)
+	}
+	var resp wire.PreWriteResp
+	actx, cancel := s.attemptCtx(ctx)
+	defer cancel()
+	err := s.peer.Call(actx, site, wire.KindPreWrite, wire.PreWriteReq{Tx: tx, TS: ts, Item: item, Value: value}, &resp)
+	s.stats.AddRoundTrips(1)
+	if err != nil {
+		return 0, err
+	}
+	s.clock.Witness(model.Timestamp{Time: resp.Clock, Site: site})
+	return resp.Version, nil
+}
+
+// ---- acp.Cohort implementation ----
+
+// Prepare implements acp.Cohort.
+func (s *Site) Prepare(ctx context.Context, site model.SiteID, req wire.PrepareReq) (wire.VoteResp, error) {
+	if site == s.id {
+		s.mu.Lock()
+		part := s.part
+		s.mu.Unlock()
+		return part.HandlePrepare(req), nil
+	}
+	var resp wire.VoteResp
+	err := s.peer.Call(ctx, site, wire.KindPrepare, req, &resp)
+	s.stats.AddRoundTrips(1)
+	return resp, err
+}
+
+// PreCommit implements acp.Cohort.
+func (s *Site) PreCommit(ctx context.Context, site model.SiteID, tx model.TxID) error {
+	if site == s.id {
+		s.mu.Lock()
+		part := s.part
+		s.mu.Unlock()
+		part.HandlePreCommit(tx)
+		return nil
+	}
+	err := s.peer.Call(ctx, site, wire.KindPreCommit, wire.PreCommitReq{Tx: tx}, nil)
+	s.stats.AddRoundTrips(1)
+	return err
+}
+
+// Decide implements acp.Cohort.
+func (s *Site) Decide(ctx context.Context, site model.SiteID, tx model.TxID, commit bool) error {
+	if site == s.id {
+		s.mu.Lock()
+		part := s.part
+		s.mu.Unlock()
+		return part.HandleDecision(tx, commit)
+	}
+	err := s.peer.Call(ctx, site, wire.KindDecision, wire.DecisionMsg{Tx: tx, Commit: commit}, nil)
+	s.stats.AddRoundTrips(1)
+	return err
+}
+
+// ---- acp.Resolver implementation ----
+
+// QueryDecision implements acp.Resolver.
+func (s *Site) QueryDecision(ctx context.Context, site model.SiteID, tx model.TxID) (bool, bool, error) {
+	if site == s.id {
+		commit, known := s.localDecision(tx)
+		return known, commit, nil
+	}
+	var resp wire.DecisionResp
+	err := s.peer.Call(ctx, site, wire.KindDecisionReq, wire.DecisionReq{Tx: tx}, &resp)
+	s.stats.AddRoundTrips(1)
+	if err != nil {
+		return false, false, err
+	}
+	return resp.Known, resp.Commit, nil
+}
+
+// QueryTermState implements acp.Resolver.
+func (s *Site) QueryTermState(ctx context.Context, site model.SiteID, tx model.TxID) (uint8, error) {
+	if site == s.id {
+		s.mu.Lock()
+		part := s.part
+		s.mu.Unlock()
+		return part.HandleTermState(tx), nil
+	}
+	var resp wire.TermStateResp
+	err := s.peer.Call(ctx, site, wire.KindTermState, wire.TermStateReq{Tx: tx}, &resp)
+	s.stats.AddRoundTrips(1)
+	if err != nil {
+		return acp.StateNone, err
+	}
+	return resp.State, nil
+}
+
+// localDecision answers a decision request against local knowledge,
+// implementing presumed abort for transactions this site coordinated: if we
+// coordinated tx, it is not currently active, and no decision is logged,
+// the transaction must have aborted (a commit is always logged before being
+// announced).
+func (s *Site) localDecision(tx model.TxID) (commit, known bool) {
+	s.mu.Lock()
+	part := s.part
+	active := s.activeCoord[tx]
+	s.mu.Unlock()
+	if c, ok := part.Decision(tx); ok {
+		return c, true
+	}
+	if active {
+		return false, false // still deciding: caller must wait
+	}
+	if tx.Site == s.id {
+		return false, true // presumed abort
+	}
+	return false, false
+}
+
+var errCrashed = fmt.Errorf("site crashed")

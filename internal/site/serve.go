@@ -1,0 +1,145 @@
+package site
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// serve dispatches inbound requests. It runs on transport goroutines.
+func (s *Site) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+	s.mu.Lock()
+	if s.crashed {
+		// Belt and braces: the network layer already drops traffic to a
+		// crashed site; refuse anything that slips through.
+		s.mu.Unlock()
+		return 0, nil, errCrashed
+	}
+	ccm := s.ccm
+	part := s.part
+	runCtx := s.runCtx
+	timeouts := s.timeouts
+	s.mu.Unlock()
+
+	switch kind {
+	case wire.KindPing:
+		return wire.KindOK, wire.OKBody{}, nil
+
+	case wire.KindReadCopy:
+		var req wire.ReadCopyReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return 0, nil, err
+		}
+		if s.isReleased(req.Tx) {
+			return 0, nil, model.Abortf(model.AbortCC, "transaction %s already released", req.Tx)
+		}
+		s.clock.Witness(req.TS)
+		ctx, cancel := context.WithTimeout(runCtx, timeouts.Lock)
+		defer cancel()
+		v, ver, err := ccm.Read(ctx, req.Tx, req.TS, req.Item)
+		if err != nil {
+			return 0, nil, err
+		}
+		if s.isReleased(req.Tx) {
+			// The release raced past the in-flight read: undo and refuse.
+			ccm.Abort(req.Tx)
+			return 0, nil, model.Abortf(model.AbortCC, "transaction %s already released", req.Tx)
+		}
+		s.hist.Record(req.Tx, model.OpRead, req.Item, v, ver)
+		return wire.KindReadCopy, wire.ReadCopyResp{Value: v, Version: ver, Clock: s.clock.Peek()}, nil
+
+	case wire.KindPreWrite:
+		var req wire.PreWriteReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return 0, nil, err
+		}
+		if s.isReleased(req.Tx) {
+			return 0, nil, model.Abortf(model.AbortCC, "transaction %s already released", req.Tx)
+		}
+		s.clock.Witness(req.TS)
+		ctx, cancel := context.WithTimeout(runCtx, timeouts.Lock)
+		defer cancel()
+		ver, err := ccm.PreWrite(ctx, req.Tx, req.TS, req.Item, req.Value)
+		if err != nil {
+			return 0, nil, err
+		}
+		if s.isReleased(req.Tx) {
+			ccm.Abort(req.Tx)
+			return 0, nil, model.Abortf(model.AbortCC, "transaction %s already released", req.Tx)
+		}
+		return wire.KindPreWrite, wire.PreWriteResp{Version: ver, Clock: s.clock.Peek()}, nil
+
+	case wire.KindReleaseTx:
+		var req wire.ReleaseTxReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return 0, nil, err
+		}
+		s.tombstone(req.Tx)
+		ccm.Abort(req.Tx)
+		return wire.KindOK, wire.OKBody{}, nil
+
+	case wire.KindPrepare:
+		var req wire.PrepareReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return 0, nil, err
+		}
+		s.clock.Witness(req.TS)
+		return wire.KindVote, part.HandlePrepare(req), nil
+
+	case wire.KindPreCommit:
+		var req wire.PreCommitReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return 0, nil, err
+		}
+		part.HandlePreCommit(req.Tx)
+		return wire.KindAck, wire.AckMsg{Tx: req.Tx}, nil
+
+	case wire.KindDecision:
+		var req wire.DecisionMsg
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return 0, nil, err
+		}
+		if err := part.HandleDecision(req.Tx, req.Commit); err != nil {
+			return 0, nil, err
+		}
+		return wire.KindAck, wire.AckMsg{Tx: req.Tx}, nil
+
+	case wire.KindDecisionReq:
+		var req wire.DecisionReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return 0, nil, err
+		}
+		commit, known := s.localDecision(req.Tx)
+		return wire.KindDecision, wire.DecisionResp{Known: known, Commit: commit}, nil
+
+	case wire.KindTermState:
+		var req wire.TermStateReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return 0, nil, err
+		}
+		return wire.KindTermState, wire.TermStateResp{State: part.HandleTermState(req.Tx)}, nil
+
+	case wire.KindSubmitTx:
+		var req wire.SubmitTxReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return 0, nil, err
+		}
+		outcome := s.Execute(runCtx, req.Ops)
+		return wire.KindSubmitTx, wire.SubmitTxResp{Outcome: outcome}, nil
+
+	case wire.KindGetStats:
+		return wire.KindGetStats, StatsResp{Stats: s.Stats()}, nil
+
+	case wire.KindResetStats:
+		s.ResetStats()
+		return wire.KindOK, wire.OKBody{}, nil
+
+	case wire.KindGetHistory:
+		return wire.KindGetHistory, HistoryResp{Events: s.History()}, nil
+
+	default:
+		return 0, nil, fmt.Errorf("site %s: unhandled message kind %s", s.id, kind)
+	}
+}

@@ -1,0 +1,410 @@
+// Package site implements a Rainbow site: the full transaction-processing
+// node of the system. Each site is simultaneously
+//
+//   - a home site: it admits transactions, dedicates a goroutine to each
+//     (the paper's "one thread"), drives the RCP per operation, and runs
+//     the ACP as coordinator (paper §2.1);
+//   - a participant: it serves copy reads and pre-writes through its CCP,
+//     votes in commit protocols, applies decisions, and answers decision /
+//     termination-state queries;
+//   - a recoverable store: a crash discards all volatile state (locks,
+//     intents, commit-protocol states, in-flight coordination) while the
+//     WAL survives; recovery rebuilds the store, re-protects in-doubt
+//     transactions and resolves them through the commit protocol's
+//     termination paths.
+package site
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/acp"
+	"repro/internal/cc"
+	"repro/internal/clock"
+	"repro/internal/history"
+	"repro/internal/model"
+	"repro/internal/monitor"
+	"repro/internal/nameserver"
+	"repro/internal/rcp"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// StatsResp carries a site's statistics snapshot (PMlet traffic).
+type StatsResp struct {
+	Stats monitor.SiteStats
+}
+
+// HistoryResp carries a site's local execution history (PMlet traffic).
+type HistoryResp struct {
+	Events []history.Event
+}
+
+func init() {
+	gob.Register(StatsResp{})
+	gob.Register(HistoryResp{})
+}
+
+// Config configures a site.
+type Config struct {
+	ID  model.SiteID
+	Net wire.Network
+	// Log is the site's WAL; nil selects a fresh in-memory log.
+	Log wal.Log
+	// Catalog provides the configuration directly; when nil the site
+	// fetches it from the name server at start.
+	Catalog *schema.Catalog
+	// Register, when true, records the site's endpoint with the name
+	// server at start.
+	Register bool
+	// Addr is the endpoint specification reported on registration.
+	Addr string
+}
+
+// Site is one Rainbow site.
+type Site struct {
+	id    model.SiteID
+	peer  *wire.Peer
+	clock *clock.Clock
+	stats *monitor.Collector
+	hist  *history.Recorder
+
+	mu          sync.Mutex
+	log         wal.Log
+	catalog     *schema.Catalog
+	store       *storage.Store
+	ccm         cc.Manager
+	part        *acp.Participant
+	rcpProto    rcp.Protocol
+	acpProto    acp.Protocol
+	timeouts    schema.Timeouts
+	seq         uint64
+	activeCoord map[model.TxID]bool
+	// released tombstones aborted transactions so a straggling copy
+	// operation that races with its own ReleaseTx cannot leak CC state.
+	released  map[model.TxID]time.Time
+	crashed   bool
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	resolveWG sync.WaitGroup
+}
+
+// isReleased reports whether tx was already released/aborted here, and
+// lazily prunes old tombstones.
+func (s *Site) isReleased(tx model.TxID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.released[tx]
+	return ok
+}
+
+// tombstone marks tx released.
+func (s *Site) tombstone(tx model.TxID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.released) > 8192 {
+		cutoff := time.Now().Add(-time.Minute)
+		for t, at := range s.released {
+			if at.Before(cutoff) {
+				delete(s.released, t)
+			}
+		}
+	}
+	s.released[tx] = time.Now()
+}
+
+// New attaches a site to the network and brings it online. If the WAL
+// already contains records (a restart), recovery runs before the site
+// serves traffic.
+func New(cfg Config) (*Site, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("site: empty id")
+	}
+	log := cfg.Log
+	if log == nil {
+		log = wal.NewMemory()
+	}
+	s := &Site{
+		id:          cfg.ID,
+		clock:       clock.New(cfg.ID),
+		stats:       monitor.NewCollector(cfg.ID),
+		hist:        history.NewRecorder(cfg.ID),
+		log:         log,
+		activeCoord: make(map[model.TxID]bool),
+		released:    make(map[model.TxID]time.Time),
+	}
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+
+	peer, err := wire.NewPeer(cfg.Net, cfg.ID, s.serve)
+	if err != nil {
+		return nil, fmt.Errorf("site %s: %w", cfg.ID, err)
+	}
+	s.peer = peer
+
+	catalog := cfg.Catalog
+	if catalog == nil {
+		catalog, err = s.fetchCatalog()
+		if err != nil {
+			peer.Close()
+			return nil, fmt.Errorf("site %s: %w", cfg.ID, err)
+		}
+	}
+	if err := s.configure(catalog); err != nil {
+		peer.Close()
+		return nil, fmt.Errorf("site %s: %w", cfg.ID, err)
+	}
+
+	if cfg.Register {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := nameserver.Register(ctx, peer, cfg.ID, cfg.Addr); err != nil {
+			peer.Close()
+			return nil, err
+		}
+	}
+	s.startResolver()
+	return s, nil
+}
+
+// fetchCatalog retries the name server briefly to tolerate start ordering.
+func (s *Site) fetchCatalog() (*schema.Catalog, error) {
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		cat, err := nameserver.Fetch(ctx, s.peer)
+		cancel()
+		if err == nil {
+			return cat, nil
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("catalog fetch failed: %w", lastErr)
+}
+
+// configure (re)builds the site's protocol stack from a catalog, replaying
+// the WAL into the store. Called at start and during recovery.
+func (s *Site) configure(catalog *schema.Catalog) error {
+	timeouts := catalog.Timeouts.WithDefaults()
+
+	store := storage.New()
+	inDoubt, err := store.Recover(catalog.LocalItems(s.id), s.log)
+	if err != nil {
+		return err
+	}
+	ccm, err := cc.New(catalog.Protocols.CCP, store, cc.Options{
+		LockTimeout:              timeouts.Lock,
+		DisableDeadlockDetection: catalog.Protocols.NoDeadlockDetection,
+	})
+	if err != nil {
+		return err
+	}
+	rcpProto, err := rcp.New(catalog.Protocols.RCP)
+	if err != nil {
+		return err
+	}
+	acpProto, err := acp.New(catalog.Protocols.ACP)
+	if err != nil {
+		return err
+	}
+
+	part := acp.NewParticipant(s.id, s.log, &applierWithHistory{cc: ccm, hist: s.hist})
+	recs, err := s.log.ReadAll()
+	if err != nil {
+		return err
+	}
+	part.RestoreDecisions(recs)
+	for _, r := range inDoubt {
+		if err := ccm.Reinstate(r.Tx, r.TS, r.Writes); err != nil {
+			return err
+		}
+		part.Restore(wire.PrepareReq{
+			Tx:           r.Tx,
+			TS:           r.TS,
+			Coordinator:  r.Coordinator,
+			Participants: r.Participants,
+			Writes:       r.Writes,
+		}, r.ThreePhase)
+	}
+
+	s.mu.Lock()
+	s.catalog = catalog
+	s.store = store
+	s.ccm = ccm
+	s.part = part
+	s.rcpProto = rcpProto
+	s.acpProto = acpProto
+	s.timeouts = timeouts
+	// Transaction ids must never repeat across site incarnations: peers
+	// keep tombstones and decisions for the previous incarnation's ids.
+	// Seeding the sequence from the wall clock guarantees monotonicity
+	// across restarts (aborted transactions leave no WAL trace to scan).
+	if now := uint64(time.Now().UnixNano()); s.seq < now {
+		s.seq = now
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// applierWithHistory records committed writes in the execution history
+// before installing them through the CC manager.
+type applierWithHistory struct {
+	cc   cc.Manager
+	hist *history.Recorder
+}
+
+func (a *applierWithHistory) Commit(tx model.TxID, writes []model.WriteRecord) error {
+	for _, w := range writes {
+		a.hist.Record(tx, model.OpWrite, w.Item, w.Value, w.Version)
+	}
+	return a.cc.Commit(tx, writes)
+}
+
+func (a *applierWithHistory) Abort(tx model.TxID) { a.cc.Abort(tx) }
+
+// ID returns the site's id.
+func (s *Site) ID() model.SiteID { return s.id }
+
+// Stats snapshots the site's statistics including the current orphan count.
+func (s *Site) Stats() monitor.SiteStats {
+	s.mu.Lock()
+	part := s.part
+	s.mu.Unlock()
+	orphans := 0
+	if part != nil {
+		orphans = part.InDoubtCount()
+	}
+	return s.stats.Snapshot(orphans)
+}
+
+// ResetStats zeroes the statistics window.
+func (s *Site) ResetStats() { s.stats.Reset() }
+
+// History snapshots the site's local execution history.
+func (s *Site) History() []history.Event { return s.hist.Events() }
+
+// HistoryRecorder exposes the recorder for cluster-level merging.
+func (s *Site) HistoryRecorder() *history.Recorder { return s.hist }
+
+// Store returns the current copy store (for monitors and tests).
+func (s *Site) Store() *storage.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store
+}
+
+// Catalog returns the site's current catalog.
+func (s *Site) Catalog() *schema.Catalog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.catalog
+}
+
+// InDoubtCount reports the site's current number of blocked in-doubt
+// transactions (the paper's orphans).
+func (s *Site) InDoubtCount() int {
+	s.mu.Lock()
+	part := s.part
+	s.mu.Unlock()
+	if part == nil {
+		return 0
+	}
+	return part.InDoubtCount()
+}
+
+// Crash simulates a site failure: all volatile state is lost and the site
+// stops processing. The WAL survives. Use together with the network-level
+// pause so the crashed site is also unreachable.
+func (s *Site) Crash() {
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return
+	}
+	s.crashed = true
+	s.runCancel()
+	s.log.Close() // stale handler goroutines can no longer force records
+	s.mu.Unlock()
+	s.resolveWG.Wait()
+}
+
+// Crashed reports whether the site is currently down.
+func (s *Site) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// Recover brings a crashed site back: the WAL is replayed, committed writes
+// reinstalled, in-doubt transactions re-protected, and the resolver loop
+// restarted to drive them to an outcome.
+func (s *Site) Recover() error {
+	s.mu.Lock()
+	if !s.crashed {
+		s.mu.Unlock()
+		return fmt.Errorf("site %s: not crashed", s.id)
+	}
+	if ml, ok := s.log.(*wal.MemoryLog); ok {
+		ml.Reopen()
+	}
+	catalog := s.catalog
+	s.mu.Unlock()
+
+	if err := s.configure(catalog); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.crashed = false
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+	s.mu.Unlock()
+	s.startResolver()
+	return nil
+}
+
+// Close shuts the site down permanently.
+func (s *Site) Close() error {
+	s.mu.Lock()
+	crashed := s.crashed
+	s.crashed = true
+	s.runCancel()
+	s.mu.Unlock()
+	s.resolveWG.Wait()
+	if !crashed {
+		s.log.Close()
+	}
+	return s.peer.Close()
+}
+
+// startResolver runs the orphan-resolution loop: periodically try to decide
+// in-doubt transactions via decision requests / cooperative termination.
+func (s *Site) startResolver() {
+	s.mu.Lock()
+	ctx := s.runCtx
+	interval := s.timeouts.OrphanResolve
+	part := s.part
+	s.mu.Unlock()
+
+	s.resolveWG.Add(1)
+	go func() {
+		defer s.resolveWG.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				for _, tx := range part.InDoubt(interval) {
+					rctx, cancel := context.WithTimeout(ctx, interval)
+					part.Resolve(rctx, s, tx)
+					cancel()
+				}
+			}
+		}
+	}()
+}

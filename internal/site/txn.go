@@ -1,0 +1,204 @@
+package site
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/acp"
+	"repro/internal/model"
+	"repro/internal/rcp"
+	"repro/internal/schema"
+)
+
+// Txn is an interactive transaction at its home site: the caller interleaves
+// Read and Write calls with its own logic (computing transfer amounts from
+// balances just read, for example) and finishes with Commit or Abort. The
+// one-shot Execute API is built on top of it.
+type Txn struct {
+	s    *Site
+	tx   model.TxID
+	ts   model.Timestamp
+	sess *rcp.Session
+
+	catalog  *schema.Catalog
+	rcpProto rcp.Protocol
+	acpProto acp.Protocol
+	timeouts schema.Timeouts
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	start    time.Time
+	reads    map[model.ItemID]int64
+	doomed   error
+	finished bool
+}
+
+// Begin admits a new transaction at this home site, dedicating the calling
+// goroutine to it (paper §2.1). It fails if the site is crashed.
+func (s *Site) Begin(ctx context.Context) (*Txn, error) {
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return nil, model.Abortf(model.AbortClient, "site %s is down", s.id)
+	}
+	s.seq++
+	t := &Txn{
+		s:        s,
+		tx:       model.TxID{Site: s.id, Seq: s.seq},
+		ts:       s.clock.Now(),
+		catalog:  s.catalog,
+		rcpProto: s.rcpProto,
+		acpProto: s.acpProto,
+		timeouts: s.timeouts,
+		start:    time.Now(),
+		reads:    make(map[model.ItemID]int64),
+	}
+	runCtx := s.runCtx
+	s.mu.Unlock()
+
+	t.sess = rcp.NewSession(t.tx, t.ts)
+	t.ctx, t.cancel = mergeContexts(ctx, runCtx)
+	s.stats.TxBegin()
+	return t, nil
+}
+
+// ID returns the transaction's id.
+func (t *Txn) ID() model.TxID { return t.tx }
+
+// Read performs a logical read through the replication control protocol.
+// After any operation fails the transaction is doomed: further operations
+// return the same abort and Commit turns into Abort.
+func (t *Txn) Read(item model.ItemID) (int64, error) {
+	if err := t.usable(); err != nil {
+		return 0, err
+	}
+	meta, ok := t.catalog.Items[item]
+	if !ok {
+		t.doomed = model.Abortf(model.AbortClient, "unknown item %s", item)
+		return 0, t.doomed
+	}
+	opCtx, cancel := context.WithTimeout(t.ctx, 3*t.timeouts.Op)
+	defer cancel()
+	v, err := t.rcpProto.Read(opCtx, t.s, t.sess, meta)
+	if err != nil {
+		t.doomed = err
+		return 0, err
+	}
+	t.reads[item] = v
+	return v, nil
+}
+
+// Write performs a logical write through the replication control protocol.
+func (t *Txn) Write(item model.ItemID, value int64) error {
+	if err := t.usable(); err != nil {
+		return err
+	}
+	meta, ok := t.catalog.Items[item]
+	if !ok {
+		t.doomed = model.Abortf(model.AbortClient, "unknown item %s", item)
+		return t.doomed
+	}
+	opCtx, cancel := context.WithTimeout(t.ctx, 3*t.timeouts.Op)
+	defer cancel()
+	if err := t.rcpProto.Write(opCtx, t.s, t.sess, meta, value); err != nil {
+		t.doomed = err
+		return err
+	}
+	return nil
+}
+
+func (t *Txn) usable() error {
+	if t.finished {
+		return model.Abortf(model.AbortClient, "transaction %s already finished", t.tx)
+	}
+	return t.doomed
+}
+
+// finishedOutcome is returned by operations on an already-finished
+// transaction without touching the statistics again.
+func (t *Txn) finishedOutcome() model.Outcome {
+	return model.Outcome{Tx: t.tx, Committed: false, Cause: model.AbortClient, HomeSite: t.s.id}
+}
+
+// Commit drives the atomic commit protocol over every touched site and
+// returns the final outcome. A doomed transaction aborts instead.
+func (t *Txn) Commit() model.Outcome {
+	if t.finished {
+		return t.finishedOutcome()
+	}
+	if t.doomed != nil {
+		return t.Abort()
+	}
+	defer t.cancel()
+	t.finished = true
+
+	participants := t.sess.Participants()
+	if len(participants) == 0 {
+		return t.outcome(true, model.AbortNone)
+	}
+
+	s := t.s
+	s.mu.Lock()
+	s.activeCoord[t.tx] = true
+	part := s.part
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.activeCoord, t.tx)
+		s.mu.Unlock()
+	}()
+
+	req := acp.Request{
+		Tx:            t.tx,
+		TS:            t.ts,
+		Coordinator:   s.id,
+		Participants:  participants,
+		WritesFor:     t.sess.WritesFor,
+		NoReadOnlyOpt: t.catalog.Protocols.NoReadOnlyOpt,
+	}
+	committed, err := t.acpProto.Commit(t.ctx, s, s.log,
+		acp.Options{Vote: t.timeouts.Vote, Ack: t.timeouts.Ack},
+		req, func(commit bool) { part.RecordDecision(t.tx, commit) })
+
+	// Stray sites — attempted during quorum building but never enlisted —
+	// may hold CC state from operations that completed after the
+	// coordinator gave up on them; release them regardless of outcome.
+	s.releaseStrays(t.sess)
+
+	if !committed {
+		return t.outcome(false, classify(err))
+	}
+	return t.outcome(true, model.AbortNone)
+}
+
+// Abort discards the transaction, releasing CC state at every touched site.
+func (t *Txn) Abort() model.Outcome {
+	if t.finished {
+		return t.finishedOutcome()
+	}
+	t.finished = true
+	defer t.cancel()
+	t.s.releaseEverywhere(t.sess)
+	cause := model.AbortClient
+	if t.doomed != nil {
+		cause = classify(t.doomed)
+	}
+	return t.outcome(false, cause)
+}
+
+func (t *Txn) outcome(committed bool, cause model.AbortCause) model.Outcome {
+	latency := time.Since(t.start)
+	t.s.stats.TxDone(committed, cause, latency)
+	reads := t.reads
+	if !committed {
+		reads = nil
+	}
+	return model.Outcome{
+		Tx:        t.tx,
+		Committed: committed,
+		Cause:     cause,
+		LatencyNS: int64(latency),
+		Reads:     reads,
+		HomeSite:  t.s.id,
+	}
+}

@@ -1,0 +1,168 @@
+// Package storage implements a Rainbow site's local copy store: the
+// physical copies of database items placed on the site by the replication
+// schema, each carrying a value and a version number (quorum consensus
+// reads the max-version value of a quorum and installs max+1 on writes).
+//
+// The store is deliberately below concurrency control: all isolation is the
+// CCP's job (internal/cc); the store only provides atomic snapshots and
+// version-guarded installation, plus WAL-based crash recovery.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/wal"
+)
+
+// Copy is one physical copy of an item.
+type Copy struct {
+	Value   int64
+	Version model.Version
+}
+
+// Store holds a site's copies.
+type Store struct {
+	mu     sync.RWMutex
+	copies map[model.ItemID]Copy
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{copies: make(map[model.ItemID]Copy)}
+}
+
+// Init (re)creates the copies this site hosts with their initial values at
+// version 0, per the database schema in the name-server catalog.
+func (s *Store) Init(items map[model.ItemID]int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.copies = make(map[model.ItemID]Copy, len(items))
+	for item, v := range items {
+		s.copies[item] = Copy{Value: v}
+	}
+}
+
+// Get returns the current copy of an item.
+func (s *Store) Get(item model.ItemID) (Copy, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.copies[item]
+	return c, ok
+}
+
+// Has reports whether this site hosts a copy of item.
+func (s *Store) Has(item model.ItemID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.copies[item]
+	return ok
+}
+
+// Apply installs write records. Installation is version-guarded and
+// therefore idempotent: a record only takes effect if its version exceeds
+// the copy's current version, which makes WAL replay safe to repeat.
+func (s *Store) Apply(writes []model.WriteRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range writes {
+		c, ok := s.copies[w.Item]
+		if !ok {
+			return fmt.Errorf("storage: no copy of %s on this site", w.Item)
+		}
+		if w.Version > c.Version {
+			s.copies[w.Item] = Copy{Value: w.Value, Version: w.Version}
+		}
+	}
+	return nil
+}
+
+// Items returns the hosted item ids in sorted order.
+func (s *Store) Items() []model.ItemID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]model.ItemID, 0, len(s.copies))
+	for item := range s.copies {
+		out = append(out, item)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot returns a consistent copy of the whole store (for monitors,
+// tests and the GUI's display panels).
+func (s *Store) Snapshot() map[model.ItemID]Copy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[model.ItemID]Copy, len(s.copies))
+	for k, v := range s.copies {
+		out[k] = v
+	}
+	return out
+}
+
+// RecoveredTx describes an in-doubt transaction found during WAL replay: it
+// was prepared here but no decision record exists. The recovering site must
+// re-protect its write set and resolve the outcome via the commit protocol's
+// termination path.
+type RecoveredTx struct {
+	Tx           model.TxID
+	TS           model.Timestamp
+	Coordinator  model.SiteID
+	Participants []model.SiteID
+	ThreePhase   bool
+	Writes       []model.WriteRecord
+}
+
+// Recover rebuilds the store from initial values plus a WAL: committed
+// transactions' writes are re-installed (version-guarded, so replay is
+// idempotent even if the pre-crash process already applied them), and the
+// in-doubt transactions are returned for ACP-level resolution.
+func (s *Store) Recover(items map[model.ItemID]int64, log wal.Log) ([]RecoveredTx, error) {
+	recs, err := log.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("storage: recover: %w", err)
+	}
+	s.Init(items)
+
+	prepared := make(map[model.TxID]wal.Record)
+	var order []model.TxID
+	for _, r := range recs {
+		switch r.Type {
+		case wal.RecPrepared:
+			if _, dup := prepared[r.Tx]; !dup {
+				order = append(order, r.Tx)
+			}
+			prepared[r.Tx] = r
+		case wal.RecDecision:
+			p, ok := prepared[r.Tx]
+			if r.Commit && ok {
+				if err := s.Apply(p.Writes); err != nil {
+					return nil, err
+				}
+			}
+			delete(prepared, r.Tx)
+		case wal.RecEnd:
+			delete(prepared, r.Tx)
+		}
+	}
+
+	var inDoubt []RecoveredTx
+	for _, tx := range order {
+		p, ok := prepared[tx]
+		if !ok {
+			continue
+		}
+		inDoubt = append(inDoubt, RecoveredTx{
+			Tx:           p.Tx,
+			TS:           p.TS,
+			Coordinator:  p.Coordinator,
+			Participants: p.Participants,
+			ThreePhase:   p.ThreePhase,
+			Writes:       p.Writes,
+		})
+	}
+	return inDoubt, nil
+}

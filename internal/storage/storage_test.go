@@ -1,0 +1,222 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/wal"
+)
+
+func newStore(items map[model.ItemID]int64) *Store {
+	s := New()
+	s.Init(items)
+	return s
+}
+
+func TestInitAndGet(t *testing.T) {
+	s := newStore(map[model.ItemID]int64{"x": 10, "y": 20})
+	c, ok := s.Get("x")
+	if !ok || c.Value != 10 || c.Version != 0 {
+		t.Errorf("Get(x) = %+v, %v", c, ok)
+	}
+	if _, ok := s.Get("z"); ok {
+		t.Error("Get of unhosted item should report absence")
+	}
+	if !s.Has("y") || s.Has("z") {
+		t.Error("Has is wrong")
+	}
+}
+
+func TestApplyInstallsNewerVersions(t *testing.T) {
+	s := newStore(map[model.ItemID]int64{"x": 0})
+	if err := s.Apply([]model.WriteRecord{{Item: "x", Value: 5, Version: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := s.Get("x")
+	if c.Value != 5 || c.Version != 1 {
+		t.Errorf("copy = %+v", c)
+	}
+}
+
+func TestApplyIgnoresStaleVersions(t *testing.T) {
+	s := newStore(map[model.ItemID]int64{"x": 0})
+	s.Apply([]model.WriteRecord{{Item: "x", Value: 5, Version: 3}})
+	s.Apply([]model.WriteRecord{{Item: "x", Value: 99, Version: 2}}) // stale
+	c, _ := s.Get("x")
+	if c.Value != 5 || c.Version != 3 {
+		t.Errorf("stale write applied: %+v", c)
+	}
+	// Re-applying the same record (replay) is a no-op.
+	s.Apply([]model.WriteRecord{{Item: "x", Value: 5, Version: 3}})
+	c, _ = s.Get("x")
+	if c.Value != 5 || c.Version != 3 {
+		t.Errorf("idempotent replay broke copy: %+v", c)
+	}
+}
+
+func TestApplyUnknownItemFails(t *testing.T) {
+	s := newStore(map[model.ItemID]int64{"x": 0})
+	if err := s.Apply([]model.WriteRecord{{Item: "nope", Value: 1, Version: 1}}); err == nil {
+		t.Error("apply to unhosted item should fail")
+	}
+}
+
+func TestItemsSorted(t *testing.T) {
+	s := newStore(map[model.ItemID]int64{"c": 0, "a": 0, "b": 0})
+	items := s.Items()
+	if len(items) != 3 || items[0] != "a" || items[1] != "b" || items[2] != "c" {
+		t.Errorf("Items = %v", items)
+	}
+}
+
+func TestSnapshotIsIsolated(t *testing.T) {
+	s := newStore(map[model.ItemID]int64{"x": 1})
+	snap := s.Snapshot()
+	snap["x"] = Copy{Value: 999, Version: 999}
+	c, _ := s.Get("x")
+	if c.Value != 1 {
+		t.Error("snapshot shares memory with store")
+	}
+}
+
+func txid(seq uint64) model.TxID { return model.TxID{Site: "S1", Seq: seq} }
+
+func TestRecoverRedoesCommitted(t *testing.T) {
+	log := wal.NewMemory()
+	log.Append(wal.Record{Type: wal.RecPrepared, Tx: txid(1),
+		Writes: []model.WriteRecord{{Item: "x", Value: 7, Version: 1}}})
+	log.Append(wal.Record{Type: wal.RecDecision, Tx: txid(1), Commit: true})
+
+	s := New()
+	inDoubt, err := s.Recover(map[model.ItemID]int64{"x": 0}, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inDoubt) != 0 {
+		t.Errorf("in-doubt = %v", inDoubt)
+	}
+	c, _ := s.Get("x")
+	if c.Value != 7 || c.Version != 1 {
+		t.Errorf("committed write not redone: %+v", c)
+	}
+}
+
+func TestRecoverSkipsAborted(t *testing.T) {
+	log := wal.NewMemory()
+	log.Append(wal.Record{Type: wal.RecPrepared, Tx: txid(1),
+		Writes: []model.WriteRecord{{Item: "x", Value: 7, Version: 1}}})
+	log.Append(wal.Record{Type: wal.RecDecision, Tx: txid(1), Commit: false})
+
+	s := New()
+	inDoubt, err := s.Recover(map[model.ItemID]int64{"x": 0}, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inDoubt) != 0 {
+		t.Errorf("aborted tx reported in-doubt: %v", inDoubt)
+	}
+	c, _ := s.Get("x")
+	if c.Value != 0 || c.Version != 0 {
+		t.Errorf("aborted write applied: %+v", c)
+	}
+}
+
+func TestRecoverReportsInDoubt(t *testing.T) {
+	log := wal.NewMemory()
+	log.Append(wal.Record{
+		Type: wal.RecPrepared, Tx: txid(2),
+		TS:           model.Timestamp{Time: 5, Site: "S1"},
+		Coordinator:  "S9",
+		Participants: []model.SiteID{"S1", "S9"},
+		ThreePhase:   true,
+		Writes:       []model.WriteRecord{{Item: "x", Value: 3, Version: 2}},
+	})
+
+	s := New()
+	inDoubt, err := s.Recover(map[model.ItemID]int64{"x": 0}, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inDoubt) != 1 {
+		t.Fatalf("in-doubt = %v", inDoubt)
+	}
+	r := inDoubt[0]
+	if r.Tx != txid(2) || r.Coordinator != "S9" || !r.ThreePhase ||
+		len(r.Participants) != 2 || len(r.Writes) != 1 {
+		t.Errorf("recovered tx = %+v", r)
+	}
+	// The write must NOT be applied until the outcome is known.
+	c, _ := s.Get("x")
+	if c.Version != 0 {
+		t.Errorf("in-doubt write applied early: %+v", c)
+	}
+}
+
+func TestRecoverEndRecordClearsInDoubt(t *testing.T) {
+	log := wal.NewMemory()
+	log.Append(wal.Record{Type: wal.RecPrepared, Tx: txid(1),
+		Writes: []model.WriteRecord{{Item: "x", Value: 7, Version: 1}}})
+	log.Append(wal.Record{Type: wal.RecEnd, Tx: txid(1)})
+
+	s := New()
+	inDoubt, err := s.Recover(map[model.ItemID]int64{"x": 0}, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inDoubt) != 0 {
+		t.Errorf("RecEnd should clear in-doubt state: %v", inDoubt)
+	}
+}
+
+func TestRecoverMultipleTxOrder(t *testing.T) {
+	log := wal.NewMemory()
+	// Two committed writes to the same item: latest version wins.
+	log.Append(wal.Record{Type: wal.RecPrepared, Tx: txid(1),
+		Writes: []model.WriteRecord{{Item: "x", Value: 1, Version: 1}}})
+	log.Append(wal.Record{Type: wal.RecDecision, Tx: txid(1), Commit: true})
+	log.Append(wal.Record{Type: wal.RecPrepared, Tx: txid(2),
+		Writes: []model.WriteRecord{{Item: "x", Value: 2, Version: 2}}})
+	log.Append(wal.Record{Type: wal.RecDecision, Tx: txid(2), Commit: true})
+	// Plus two in-doubt transactions, reported in prepare order.
+	log.Append(wal.Record{Type: wal.RecPrepared, Tx: txid(4)})
+	log.Append(wal.Record{Type: wal.RecPrepared, Tx: txid(3)})
+
+	s := New()
+	inDoubt, err := s.Recover(map[model.ItemID]int64{"x": 0}, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := s.Get("x")
+	if c.Value != 2 || c.Version != 2 {
+		t.Errorf("copy after replay = %+v", c)
+	}
+	if len(inDoubt) != 2 || inDoubt[0].Tx != txid(4) || inDoubt[1].Tx != txid(3) {
+		t.Errorf("in-doubt order = %v", inDoubt)
+	}
+}
+
+func TestRecoverPropertyFinalStateMatchesOnline(t *testing.T) {
+	// Property: replaying a log of committed transactions yields the same
+	// store as applying them online, regardless of the version sequence.
+	f := func(vals []int64) bool {
+		log := wal.NewMemory()
+		online := newStore(map[model.ItemID]int64{"x": 0})
+		for i, v := range vals {
+			w := []model.WriteRecord{{Item: "x", Value: v, Version: model.Version(i + 1)}}
+			log.Append(wal.Record{Type: wal.RecPrepared, Tx: txid(uint64(i)), Writes: w})
+			log.Append(wal.Record{Type: wal.RecDecision, Tx: txid(uint64(i)), Commit: true})
+			online.Apply(w)
+		}
+		recovered := New()
+		if _, err := recovered.Recover(map[model.ItemID]int64{"x": 0}, log); err != nil {
+			return false
+		}
+		a, _ := online.Get("x")
+		b, _ := recovered.Get("x")
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

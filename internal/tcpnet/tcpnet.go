@@ -1,0 +1,258 @@
+// Package tcpnet implements wire.Network over real TCP connections with
+// gob framing. It supports the paper's multi-host deployment mode: each
+// Rainbow site, the name server, and the home-host tooling run as separate
+// processes and exchange the same envelopes as on the simulated network.
+//
+// Addressing uses a shared address book (SiteID → host:port). Attaching a
+// node starts a listener on its book address; ":0" addresses are resolved
+// on listen and recorded back into the book, which is how single-machine
+// tests obtain dynamic ports. In a real deployment the book comes from the
+// name-server configuration (the paper's "id and end point specifications").
+package tcpnet
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// Net is a TCP-backed wire.Network.
+type Net struct {
+	mu    sync.Mutex
+	book  map[model.SiteID]string
+	nodes map[model.SiteID]*endpoint
+}
+
+// New builds a TCP network with the given address book. The book may be
+// extended later via SetAddr (e.g. after registering with the name server).
+func New(book map[model.SiteID]string) *Net {
+	b := make(map[model.SiteID]string, len(book))
+	for k, v := range book {
+		b[k] = v
+	}
+	return &Net{book: b, nodes: make(map[model.SiteID]*endpoint)}
+}
+
+// SetAddr records or updates a node's address.
+func (n *Net) SetAddr(id model.SiteID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.book[id] = addr
+}
+
+// Addr returns the (possibly listen-resolved) address of a node.
+func (n *Net) Addr(id model.SiteID) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	a, ok := n.book[id]
+	return a, ok
+}
+
+// Attach implements wire.Network: it starts a listener on the node's book
+// address and serves inbound envelope streams.
+func (n *Net) Attach(id model.SiteID, h wire.Handler) (wire.Endpoint, error) {
+	if h == nil {
+		return nil, errors.New("tcpnet: nil handler")
+	}
+	n.mu.Lock()
+	addr, ok := n.book[id]
+	if !ok {
+		addr = "127.0.0.1:0"
+	}
+	if _, dup := n.nodes[id]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("tcpnet: %s already attached", id)
+	}
+	n.mu.Unlock()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s for %s: %w", addr, id, err)
+	}
+	ep := &endpoint{
+		id:      id,
+		net:     n,
+		ln:      ln,
+		handler: h,
+		conns:   make(map[model.SiteID]*outConn),
+	}
+	n.mu.Lock()
+	n.book[id] = ln.Addr().String()
+	n.nodes[id] = ep
+	n.mu.Unlock()
+
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+type endpoint struct {
+	id      model.SiteID
+	net     *Net
+	ln      net.Listener
+	handler wire.Handler
+
+	mu     sync.Mutex
+	conns  map[model.SiteID]*outConn
+	closed bool
+}
+
+type outConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+func (e *endpoint) ID() model.SiteID { return e.id }
+
+func (e *endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := e.conns
+	e.conns = make(map[model.SiteID]*outConn)
+	e.mu.Unlock()
+
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	e.net.mu.Lock()
+	delete(e.net.nodes, e.id)
+	e.net.mu.Unlock()
+	return e.ln.Close()
+}
+
+// Send implements wire.Endpoint: it lazily dials env.To and gob-encodes the
+// envelope on a cached connection. A stale connection is retried once.
+func (e *endpoint) Send(ctx context.Context, env *wire.Envelope) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return fmt.Errorf("tcpnet: %s detached", e.id)
+	}
+	c, err := e.conn(ctx, env.To)
+	if err != nil {
+		return err
+	}
+	if err := c.send(env); err != nil {
+		e.dropConn(env.To, c)
+		c, err = e.conn(ctx, env.To)
+		if err != nil {
+			return err
+		}
+		if err := c.send(env); err != nil {
+			e.dropConn(env.To, c)
+			return fmt.Errorf("tcpnet: send %s→%s: %w", e.id, env.To, err)
+		}
+	}
+	return nil
+}
+
+func (c *outConn) send(env *wire.Envelope) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(env)
+}
+
+func (e *endpoint) conn(ctx context.Context, to model.SiteID) (*outConn, error) {
+	e.mu.Lock()
+	if c, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	e.mu.Unlock()
+
+	addr, ok := e.net.Addr(to)
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: no address for %s", to)
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial %s (%s): %w", to, addr, err)
+	}
+	c := &outConn{conn: conn, enc: gob.NewEncoder(conn)}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("tcpnet: %s detached", e.id)
+	}
+	if existing, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	e.conns[to] = c
+	e.mu.Unlock()
+	// Dialed connections are bidirectional: replies (and any traffic the
+	// peer routes back on this socket) must be read too.
+	go e.readLoop(c, to)
+	return c, nil
+}
+
+func (e *endpoint) dropConn(to model.SiteID, c *outConn) {
+	e.mu.Lock()
+	if e.conns[to] == c {
+		delete(e.conns, to)
+	}
+	e.mu.Unlock()
+	c.conn.Close()
+}
+
+func (e *endpoint) acceptLoop() {
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go e.readLoop(&outConn{conn: conn, enc: gob.NewEncoder(conn)}, "")
+	}
+}
+
+// readLoop serves one connection (accepted or dialed). Every connection is
+// bidirectional: it is registered as the outbound route to whatever peer
+// sends on it ("newest route wins"), so replies travel back on the
+// connection the request arrived on — which keeps working across peer
+// restarts where a previously cached dialed connection would be silently
+// stale. from names the peer the connection was dialed to (empty for
+// accepted connections; learned from traffic).
+func (e *endpoint) readLoop(oc *outConn, from model.SiteID) {
+	defer func() {
+		e.mu.Lock()
+		if from != "" && e.conns[from] == oc {
+			delete(e.conns, from)
+		}
+		e.mu.Unlock()
+		oc.conn.Close()
+	}()
+	dec := gob.NewDecoder(oc.conn)
+	for {
+		var env wire.Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		if env.From != "" && env.From != from {
+			e.mu.Lock()
+			e.conns[env.From] = oc
+			e.mu.Unlock()
+			from = env.From
+		}
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		e.handler(&env)
+	}
+}

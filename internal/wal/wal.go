@@ -1,0 +1,229 @@
+// Package wal implements the per-site write-ahead log that makes Rainbow's
+// atomic commit protocols recoverable. Participants force a Prepared record
+// (carrying the transaction's write records) before voting yes, and a
+// Decision record when they learn the outcome; coordinators force their
+// decision before broadcasting it. Crash recovery replays the log to
+// rebuild committed state and to find in-doubt transactions.
+//
+// Two backends are provided: an in-memory log (used under the network
+// simulator, where a "crash" discards a site's volatile state but keeps its
+// log, exactly like a disk surviving a process crash) and a JSON-lines file
+// log for real multi-process deployments.
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// RecType discriminates log records.
+type RecType uint8
+
+// Record types.
+const (
+	// RecPrepared is forced by a participant before it votes yes (and by a
+	// coordinator for its own local cohort membership). It carries the
+	// write records needed to redo the transaction at commit.
+	RecPrepared RecType = iota + 1
+	// RecDecision is forced when the commit/abort outcome is known. On a
+	// coordinator it is the commit point.
+	RecDecision
+	// RecEnd marks that all cohort acknowledgements arrived and the
+	// transaction needs no further recovery work.
+	RecEnd
+)
+
+// String names the record type.
+func (t RecType) String() string {
+	switch t {
+	case RecPrepared:
+		return "prepared"
+	case RecDecision:
+		return "decision"
+	case RecEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("rectype(%d)", uint8(t))
+	}
+}
+
+// Record is one WAL entry. Fields are populated according to Type.
+type Record struct {
+	Type RecType
+	Tx   model.TxID
+	TS   model.Timestamp
+	// Coordinator and Participants describe the commit cohort (RecPrepared).
+	Coordinator  model.SiteID
+	Participants []model.SiteID
+	// ThreePhase records which ACP state machine governs the transaction.
+	ThreePhase bool
+	// Writes are the records to install on commit (RecPrepared).
+	Writes []model.WriteRecord
+	// Commit is the outcome (RecDecision).
+	Commit bool
+}
+
+// Log is an append-only record log.
+type Log interface {
+	// Append durably appends a record.
+	Append(Record) error
+	// ReadAll returns every record in append order.
+	ReadAll() ([]Record, error)
+	// Close releases resources. Appending after Close is an error.
+	Close() error
+}
+
+// ---- In-memory backend ----
+
+// MemoryLog is a Log kept in process memory. It survives the simulated site
+// crashes used by the failure injector (the site's volatile state is
+// discarded; the log object is handed to the recovered site).
+type MemoryLog struct {
+	mu     sync.Mutex
+	recs   []Record
+	closed bool
+}
+
+// NewMemory returns an empty in-memory log.
+func NewMemory() *MemoryLog { return &MemoryLog{} }
+
+// Append implements Log.
+func (l *MemoryLog) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: append to closed log")
+	}
+	// Deep-copy slices so callers cannot mutate logged state.
+	r.Writes = append([]model.WriteRecord(nil), r.Writes...)
+	r.Participants = append([]model.SiteID(nil), r.Participants...)
+	l.recs = append(l.recs, r)
+	return nil
+}
+
+// ReadAll implements Log.
+func (l *MemoryLog) ReadAll() ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.recs))
+	copy(out, l.recs)
+	return out, nil
+}
+
+// Close implements Log. A closed memory log can still be read (recovery
+// reads the log of a crashed site).
+func (l *MemoryLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}
+
+// Reopen makes a closed memory log appendable again, modelling the disk
+// being remounted by the recovered site.
+func (l *MemoryLog) Reopen() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = false
+}
+
+// Len returns the number of records (for tests and monitors).
+func (l *MemoryLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// ---- File backend ----
+
+// FileLog is a JSON-lines file-backed Log for real deployments.
+type FileLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	sync bool
+	path string
+}
+
+// OpenFile opens (creating if needed) a file log at path. When sync is
+// true every append is fsynced — the textbook force-write; when false the
+// log is flushed but not synced, trading durability for speed in classroom
+// experiments.
+func OpenFile(path string, sync bool) (*FileLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	return &FileLog{f: f, w: bufio.NewWriter(f), sync: sync, path: path}, nil
+}
+
+// Append implements Log.
+func (l *FileLog) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("wal: append to closed log %s", l.path)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("wal: marshal record: %w", err)
+	}
+	if _, err := l.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("wal: write %s: %w", l.path, err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush %s: %w", l.path, err)
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync %s: %w", l.path, err)
+		}
+	}
+	return nil
+}
+
+// ReadAll implements Log. It tolerates a torn final line (a crash mid-write)
+// by ignoring it, the standard recovery rule for line-framed logs.
+func (l *FileLog) ReadAll() ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f, err := os.Open(l.path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reopen %s: %w", l.path, err)
+	}
+	defer f.Close()
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			// Torn tail record: stop replay here.
+			break
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		return recs, fmt.Errorf("wal: scan %s: %w", l.path, err)
+	}
+	return recs, nil
+}
+
+// Close implements Log.
+func (l *FileLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	l.w.Flush()
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -1,0 +1,221 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func sampleRecord(seq uint64) Record {
+	return Record{
+		Type:         RecPrepared,
+		Tx:           model.TxID{Site: "S1", Seq: seq},
+		TS:           model.Timestamp{Time: seq, Site: "S1"},
+		Coordinator:  "S1",
+		Participants: []model.SiteID{"S1", "S2"},
+		Writes:       []model.WriteRecord{{Item: "x", Value: int64(seq), Version: model.Version(seq)}},
+	}
+}
+
+func testLogBehaviour(t *testing.T, l Log) {
+	t.Helper()
+	recs := []Record{
+		sampleRecord(1),
+		{Type: RecDecision, Tx: model.TxID{Site: "S1", Seq: 1}, Commit: true},
+		{Type: RecEnd, Tx: model.TxID{Site: "S1", Seq: 1}},
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := l.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("ReadAll returned %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !reflect.DeepEqual(got[i], recs[i]) {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestMemoryLog(t *testing.T) {
+	testLogBehaviour(t, NewMemory())
+}
+
+func TestFileLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "site.wal")
+	l, err := OpenFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	testLogBehaviour(t, l)
+}
+
+func TestFileLogSynced(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "site.wal")
+	l, err := OpenFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	testLogBehaviour(t, l)
+}
+
+func TestMemoryLogCloseRejectsAppends(t *testing.T) {
+	l := NewMemory()
+	l.Append(sampleRecord(1))
+	l.Close()
+	if err := l.Append(sampleRecord(2)); err == nil {
+		t.Error("append after close should fail")
+	}
+	// Reads still work: recovery reads the crashed site's log.
+	recs, err := l.ReadAll()
+	if err != nil || len(recs) != 1 {
+		t.Errorf("ReadAll after close: %v, %d records", err, len(recs))
+	}
+	l.Reopen()
+	if err := l.Append(sampleRecord(3)); err != nil {
+		t.Errorf("append after Reopen failed: %v", err)
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestMemoryLogIsolatesCallerSlices(t *testing.T) {
+	l := NewMemory()
+	writes := []model.WriteRecord{{Item: "x", Value: 1, Version: 1}}
+	l.Append(Record{Type: RecPrepared, Writes: writes})
+	writes[0].Value = 999
+	recs, _ := l.ReadAll()
+	if recs[0].Writes[0].Value != 1 {
+		t.Error("log shares memory with caller's slice")
+	}
+}
+
+func TestFileLogSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "site.wal")
+	l, err := OpenFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(sampleRecord(1))
+	l.Append(sampleRecord(2))
+	l.Close()
+
+	l2, err := OpenFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs, err := l2.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Tx.Seq != 2 {
+		t.Errorf("got %d records after reopen", len(recs))
+	}
+	// Appends continue after the existing tail.
+	l2.Append(sampleRecord(3))
+	recs, _ = l2.ReadAll()
+	if len(recs) != 3 {
+		t.Errorf("got %d records after append, want 3", len(recs))
+	}
+}
+
+func TestFileLogTornTailIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "site.wal")
+	l, err := OpenFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(sampleRecord(1))
+	l.Close()
+
+	// Simulate a crash mid-append: garbage partial line at the tail.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"Type":1,"Tx":{"Si`)
+	f.Close()
+
+	l2, err := OpenFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs, err := l2.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Errorf("torn tail should be ignored; got %d records", len(recs))
+	}
+}
+
+func TestFileLogAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "site.wal")
+	l, err := OpenFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := l.Append(sampleRecord(1)); err == nil {
+		t.Error("append after close should fail")
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double close should be a no-op, got %v", err)
+	}
+}
+
+func TestRecTypeString(t *testing.T) {
+	if RecPrepared.String() != "prepared" || RecDecision.String() != "decision" || RecEnd.String() != "end" {
+		t.Error("record type names wrong")
+	}
+	if RecType(77).String() == "" {
+		t.Error("unknown record type should render something")
+	}
+}
+
+func TestRecordRoundTripQuick(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "quick.wal")
+	l, err := OpenFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	n := 0
+	f := func(seq uint64, item string, val int64, commit bool) bool {
+		r := Record{
+			Type:   RecDecision,
+			Tx:     model.TxID{Site: "S", Seq: seq},
+			Writes: []model.WriteRecord{{Item: model.ItemID(item), Value: val}},
+			Commit: commit,
+		}
+		if err := l.Append(r); err != nil {
+			return false
+		}
+		n++
+		recs, err := l.ReadAll()
+		if err != nil || len(recs) != n {
+			return false
+		}
+		got := recs[n-1]
+		return got.Tx == r.Tx && got.Commit == r.Commit &&
+			len(got.Writes) == 1 && got.Writes[0] == r.Writes[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

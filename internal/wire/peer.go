@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+)
+
+// ErrClosed is returned by Peer operations after Close.
+var ErrClosed = errors.New("wire: peer closed")
+
+// ServeFunc handles one inbound request and returns the response kind and
+// body. Returning an error sends a KindError reply carrying the error's
+// abort cause (if any) to the caller. ServeFunc runs on transport
+// goroutines and must be safe for concurrent use.
+type ServeFunc func(from model.SiteID, kind MsgKind, payload []byte) (MsgKind, any, error)
+
+// Peer layers request/response RPC over a Network endpoint. Each Rainbow
+// node (name server, site, workload driver, monitor) owns one Peer.
+//
+// Outbound: Call sends a request and blocks for the correlated reply; Cast
+// sends one-way. Inbound: requests are dispatched to the ServeFunc and the
+// returned body is sent back as a reply.
+type Peer struct {
+	ep    Endpoint
+	serve ServeFunc
+
+	corr    atomic.Uint64
+	mu      sync.Mutex
+	pending map[uint64]chan *Envelope
+	closed  bool
+}
+
+// NewPeer attaches id to the network with the given request handler.
+// serve may be nil for pure-client peers (inbound requests then get a
+// generic error reply).
+func NewPeer(net Network, id model.SiteID, serve ServeFunc) (*Peer, error) {
+	p := &Peer{serve: serve, pending: make(map[uint64]chan *Envelope)}
+	ep, err := net.Attach(id, p.handle)
+	if err != nil {
+		return nil, err
+	}
+	p.ep = ep
+	return p, nil
+}
+
+// ID returns the peer's network address.
+func (p *Peer) ID() model.SiteID { return p.ep.ID() }
+
+// Close detaches the peer and fails all pending calls.
+func (p *Peer) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for corr, ch := range p.pending {
+		close(ch)
+		delete(p.pending, corr)
+	}
+	p.mu.Unlock()
+	return p.ep.Close()
+}
+
+// Call sends a request to `to` and blocks until the reply arrives, ctx is
+// done, or the peer closes. The reply payload is decoded into respBody when
+// respBody is non-nil. A KindError reply is converted back into the error
+// it carries (preserving abort causes).
+func (p *Peer) Call(ctx context.Context, to model.SiteID, kind MsgKind, body, respBody any) error {
+	payload, err := Marshal(body)
+	if err != nil {
+		return err
+	}
+	corr := p.corr.Add(1)
+	ch := make(chan *Envelope, 1)
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.pending[corr] = ch
+	p.mu.Unlock()
+
+	defer func() {
+		p.mu.Lock()
+		delete(p.pending, corr)
+		p.mu.Unlock()
+	}()
+
+	env := &Envelope{From: p.ep.ID(), To: to, Kind: kind, Corr: corr, Payload: payload}
+	if err := p.ep.Send(ctx, env); err != nil {
+		return err
+	}
+
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case reply, ok := <-ch:
+		if !ok {
+			return ErrClosed
+		}
+		if reply.Kind == KindError {
+			var eb ErrorBody
+			if err := Unmarshal(reply.Payload, &eb); err != nil {
+				return err
+			}
+			return eb.Err()
+		}
+		if respBody != nil {
+			return Unmarshal(reply.Payload, respBody)
+		}
+		return nil
+	}
+}
+
+// Cast sends a one-way message with no reply expected.
+func (p *Peer) Cast(ctx context.Context, to model.SiteID, kind MsgKind, body any) error {
+	payload, err := Marshal(body)
+	if err != nil {
+		return err
+	}
+	return p.ep.Send(ctx, &Envelope{From: p.ep.ID(), To: to, Kind: kind, Payload: payload})
+}
+
+// handle is the transport-facing inbound handler.
+func (p *Peer) handle(env *Envelope) {
+	if env.Reply {
+		p.mu.Lock()
+		ch, ok := p.pending[env.Corr]
+		if ok {
+			delete(p.pending, env.Corr)
+		}
+		p.mu.Unlock()
+		if ok {
+			ch <- env
+		}
+		return // late/duplicate replies are dropped
+	}
+
+	if env.Corr == 0 {
+		// One-way cast: dispatch, discard result.
+		if p.serve != nil {
+			p.serve(env.From, env.Kind, env.Payload) //nolint:errcheck
+		}
+		return
+	}
+
+	var (
+		kind MsgKind
+		body any
+		err  error
+	)
+	if p.serve == nil {
+		err = fmt.Errorf("node %s does not serve requests", p.ep.ID())
+	} else {
+		kind, body, err = p.serve(env.From, env.Kind, env.Payload)
+	}
+	if err != nil {
+		kind = KindError
+		body = ErrorBody{Cause: model.CauseOf(err), Reason: err.Error()}
+		if model.CauseOf(err) == model.AbortClient {
+			// Not a protocol abort; keep cause None so Err() re-creates a
+			// generic error rather than a spurious client abort.
+			body = ErrorBody{Cause: model.AbortNone, Reason: err.Error()}
+		}
+	}
+	payload, merr := Marshal(body)
+	if merr != nil {
+		payload, _ = Marshal(ErrorBody{Reason: merr.Error()})
+		kind = KindError
+	}
+	reply := &Envelope{
+		From: p.ep.ID(), To: env.From, Kind: kind,
+		Corr: env.Corr, Reply: true, Payload: payload,
+	}
+	// Replies are best-effort; the caller times out on loss.
+	p.ep.Send(context.Background(), reply) //nolint:errcheck
+}

@@ -1,0 +1,332 @@
+// Package wire defines Rainbow's wire protocol: typed message envelopes,
+// the gob body codec, the transport abstraction implemented by both the
+// simulated network (internal/simnet) and real TCP (internal/tcpnet), and a
+// request/response RPC peer with correlation IDs.
+//
+// Every message body — even on the in-process simulated network — is
+// gob-encoded into Envelope.Payload. This gives three properties the paper
+// depends on: (1) message sizes are real, so the "total number of messages
+// generated per time unit" and byte-traffic statistics are meaningful;
+// (2) no accidental pointer sharing between sites; (3) the simulated and
+// TCP transports carry byte-identical traffic.
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// MsgKind identifies the body type carried by an envelope. The receiver
+// decodes the payload according to the kind.
+type MsgKind uint16
+
+// Message kinds, grouped by subsystem.
+const (
+	// Generic.
+	KindError MsgKind = iota + 1
+	KindOK
+
+	// Name server (NSlet traffic).
+	KindRegisterSite
+	KindGetCatalog
+	KindSetCatalog
+	KindPing
+
+	// Data access through RCP/CCP (Section 2.1: copies are read or
+	// pre-written through the CCP).
+	KindReadCopy
+	KindPreWrite
+	KindReleaseTx
+
+	// Atomic commit protocols.
+	KindPrepare
+	KindVote
+	KindDecision
+	KindAck
+	KindDecisionReq
+	KindPreCommit // 3PC phase 2
+	KindTermState // cooperative termination: participant state query
+
+	// Progress monitor (PMlet traffic).
+	KindGetStats
+	KindResetStats
+	KindGetHistory
+
+	// Workload generator (WLGlet traffic).
+	KindSubmitTx
+)
+
+var kindNames = map[MsgKind]string{
+	KindError:        "Error",
+	KindOK:           "OK",
+	KindRegisterSite: "RegisterSite",
+	KindGetCatalog:   "GetCatalog",
+	KindSetCatalog:   "SetCatalog",
+	KindPing:         "Ping",
+	KindReadCopy:     "ReadCopy",
+	KindPreWrite:     "PreWrite",
+	KindReleaseTx:    "ReleaseTx",
+	KindPrepare:      "Prepare",
+	KindVote:         "Vote",
+	KindDecision:     "Decision",
+	KindAck:          "Ack",
+	KindDecisionReq:  "DecisionReq",
+	KindPreCommit:    "PreCommit",
+	KindTermState:    "TermState",
+	KindGetStats:     "GetStats",
+	KindResetStats:   "ResetStats",
+	KindGetHistory:   "GetHistory",
+	KindSubmitTx:     "SubmitTx",
+}
+
+// String names the kind for logs and traces.
+func (k MsgKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgKind(%d)", uint16(k))
+}
+
+// Envelope is the unit of transfer between Rainbow nodes.
+type Envelope struct {
+	From, To model.SiteID
+	Kind     MsgKind
+	// Corr correlates a reply with its request. Zero for one-way casts.
+	Corr uint64
+	// Reply marks response envelopes.
+	Reply bool
+	// Payload is the gob-encoded body; its type is determined by Kind.
+	Payload []byte
+}
+
+// Size returns the approximate on-wire size of the envelope in bytes,
+// counting addressing and header overhead plus the payload. Used by the
+// traffic statistics.
+func (e *Envelope) Size() int {
+	return len(e.From) + len(e.To) + 2 /*kind*/ + 8 /*corr*/ + 1 /*reply*/ + len(e.Payload)
+}
+
+// Marshal gob-encodes a message body into payload bytes.
+func Marshal(body any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(body); err != nil {
+		return nil, fmt.Errorf("wire: marshal %T: %w", body, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal gob-decodes payload bytes into the body pointed to by out.
+func Unmarshal(payload []byte, out any) error {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
+		return fmt.Errorf("wire: unmarshal %T: %w", out, err)
+	}
+	return nil
+}
+
+// Handler consumes inbound envelopes. Transports invoke it on their own
+// goroutines; handlers must be safe for concurrent use.
+type Handler func(env *Envelope)
+
+// Endpoint is one node's attachment to a network.
+type Endpoint interface {
+	// ID returns the node's address on the network.
+	ID() model.SiteID
+	// Send delivers env to env.To. Delivery is asynchronous and unreliable
+	// in the same sense as the underlying network: an error indicates only
+	// local failures (node detached, unknown destination); silent loss is
+	// possible on lossy networks.
+	Send(ctx context.Context, env *Envelope) error
+	// Close detaches the node. Subsequent Sends fail.
+	Close() error
+}
+
+// Network attaches nodes. Implemented by simnet.Net and tcpnet.Net.
+type Network interface {
+	// Attach registers a node and its inbound handler, returning its
+	// endpoint. Attaching an already-attached id is an error.
+	Attach(id model.SiteID, h Handler) (Endpoint, error)
+}
+
+// ---- Message bodies ----
+//
+// One struct per message kind. All fields exported for gob.
+
+// ErrorBody reports a remote failure, preserving the abort cause across the
+// wire so coordinators can classify aborts per protocol.
+type ErrorBody struct {
+	Cause  model.AbortCause
+	Reason string
+}
+
+// Err converts the body back into an error: an *model.AbortError when a
+// protocol abort crossed the wire, a generic error otherwise.
+func (b *ErrorBody) Err() error {
+	if b.Cause == model.AbortNone {
+		return fmt.Errorf("remote error: %s", b.Reason)
+	}
+	return &model.AbortError{Cause: b.Cause, Reason: b.Reason}
+}
+
+// OKBody is the empty success response.
+type OKBody struct{}
+
+// RegisterSiteReq registers a site with the name server.
+type RegisterSiteReq struct {
+	Site model.SiteID
+	Addr string // transport-specific endpoint specification
+}
+
+// GetCatalogReq asks the name server for the current catalog.
+type GetCatalogReq struct{}
+
+// PingReq checks liveness; the monitor uses it for load-balance probing.
+type PingReq struct{}
+
+// ReadCopyReq asks a site to read its local copy of Item on behalf of Tx,
+// passing through the site's CCP. The response is ReadCopyResp.
+type ReadCopyReq struct {
+	Tx   model.TxID
+	TS   model.Timestamp
+	Item model.ItemID
+}
+
+// ReadCopyResp returns the local copy's current value and version. Clock
+// carries the serving site's Lamport time so the coordinator can witness it
+// (clock gossip keeps lagging sites from issuing stale timestamps that
+// timestamp-ordering CCPs would reject).
+type ReadCopyResp struct {
+	Value   int64
+	Version model.Version
+	Clock   uint64
+}
+
+// PreWriteReq asks a site to pre-write its local copy of Item: pass through
+// the CCP, buffer the intent, and return the copy's current version number
+// (Section 2.1: copies are "pre-written (returning their current version
+// number) through CCP").
+type PreWriteReq struct {
+	Tx    model.TxID
+	TS    model.Timestamp
+	Item  model.ItemID
+	Value int64
+}
+
+// PreWriteResp returns the current (pre-write) version of the copy, plus
+// the serving site's Lamport time (see ReadCopyResp.Clock).
+type PreWriteResp struct {
+	Version model.Version
+	Clock   uint64
+}
+
+// ReleaseTxReq tells a participant to discard all CC state for an aborted
+// transaction that never reached the commit protocol.
+type ReleaseTxReq struct {
+	Tx model.TxID
+}
+
+// PrepareReq is 2PC/3PC phase 1: the coordinator ships each participant its
+// final write records (with install versions) and asks for a vote.
+type PrepareReq struct {
+	Tx          model.TxID
+	TS          model.Timestamp
+	Coordinator model.SiteID
+	// Writes are the records this participant must install on commit.
+	Writes []model.WriteRecord
+	// Participants lists all cohort members, enabling cooperative
+	// termination when the coordinator fails.
+	Participants []model.SiteID
+	// ThreePhase selects the 3PC state machine on the participant.
+	ThreePhase bool
+	// NoReadOnlyOpt disables the read-only participant optimization for
+	// this transaction (ablation knob).
+	NoReadOnlyOpt bool
+}
+
+// VoteResp is the participant's vote. ReadOnly is the presumed-abort
+// read-only optimization: a participant holding no writes for the
+// transaction votes "read", releases its CC state immediately, and is
+// excluded from phase 2.
+type VoteResp struct {
+	Yes      bool
+	ReadOnly bool
+	Reason   string
+}
+
+// PreCommitReq is 3PC phase 2 (the "prepared to commit" broadcast).
+type PreCommitReq struct {
+	Tx model.TxID
+}
+
+// DecisionMsg carries the final commit/abort decision.
+type DecisionMsg struct {
+	Tx     model.TxID
+	Commit bool
+}
+
+// AckMsg acknowledges a decision or pre-commit.
+type AckMsg struct {
+	Tx model.TxID
+}
+
+// DecisionReq asks the coordinator (or a peer, during cooperative
+// termination) for the outcome of an in-doubt transaction.
+type DecisionReq struct {
+	Tx model.TxID
+}
+
+// DecisionResp answers a DecisionReq. Known=false means the answerer does
+// not know the outcome either.
+type DecisionResp struct {
+	Known  bool
+	Commit bool
+}
+
+// TermStateReq asks a cohort member for its 3PC state during termination.
+type TermStateReq struct {
+	Tx model.TxID
+}
+
+// TermStateResp reports the member's commit-protocol state.
+type TermStateResp struct {
+	State uint8 // acp.TermState values
+}
+
+// SubmitTxReq submits a transaction for execution at a home site. The site
+// assigns the TxID.
+type SubmitTxReq struct {
+	Ops []model.Op
+}
+
+// SubmitTxResp returns the outcome of a synchronously executed transaction.
+type SubmitTxResp struct {
+	Outcome model.Outcome
+}
+
+func init() {
+	// Register bodies so gob handles them through any-typed surfaces too.
+	gob.Register(ErrorBody{})
+	gob.Register(OKBody{})
+	gob.Register(RegisterSiteReq{})
+	gob.Register(GetCatalogReq{})
+	gob.Register(PingReq{})
+	gob.Register(ReadCopyReq{})
+	gob.Register(ReadCopyResp{})
+	gob.Register(PreWriteReq{})
+	gob.Register(PreWriteResp{})
+	gob.Register(ReleaseTxReq{})
+	gob.Register(PrepareReq{})
+	gob.Register(VoteResp{})
+	gob.Register(PreCommitReq{})
+	gob.Register(DecisionMsg{})
+	gob.Register(AckMsg{})
+	gob.Register(DecisionReq{})
+	gob.Register(DecisionResp{})
+	gob.Register(TermStateReq{})
+	gob.Register(TermStateResp{})
+	gob.Register(SubmitTxReq{})
+	gob.Register(SubmitTxResp{})
+}

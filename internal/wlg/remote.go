@@ -1,0 +1,26 @@
+package wlg
+
+import (
+	"context"
+
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// RemoteSubmitter submits transactions to Rainbow sites over the wire layer
+// (the WLGlet path: "WLGlet transfers transaction processing related
+// requests to Rainbow sites"). It implements Submitter, so the same
+// Generator drives in-process instances and live remote clusters alike.
+type RemoteSubmitter struct {
+	Peer *wire.Peer
+}
+
+// Submit implements Submitter: a synchronous SubmitTx RPC to the home site.
+func (r RemoteSubmitter) Submit(ctx context.Context, home model.SiteID, ops []model.Op) model.Outcome {
+	var resp wire.SubmitTxResp
+	err := r.Peer.Call(ctx, home, wire.KindSubmitTx, wire.SubmitTxReq{Ops: ops}, &resp)
+	if err != nil {
+		return model.Outcome{Committed: false, Cause: model.CauseOf(err), HomeSite: home}
+	}
+	return resp.Outcome
+}

@@ -1,0 +1,354 @@
+// Package wlg implements Rainbow's workload generator (the WLG in WLGlet).
+// It supports the paper's two modes (§4.2): manual workload generation —
+// the user composes individual transactions and submits them — and
+// simulated workload generation, which synthesizes a stream of transactions
+// from a statistical profile (arrival process, operation mix, access skew)
+// and dispatches them across the Rainbow sites.
+package wlg
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Submitter executes one transaction at a chosen home site and reports its
+// outcome. The core instance implements it over site.Execute (in-process)
+// or over SubmitTx RPCs (remote).
+type Submitter interface {
+	Submit(ctx context.Context, home model.SiteID, ops []model.Op) model.Outcome
+}
+
+// Profile is the simulated-workload configuration panel.
+type Profile struct {
+	// Sites are the home sites transactions are dispatched to, round-robin
+	// (the balanced default) or uniformly at random when RandomHomes is set.
+	Sites       []model.SiteID
+	RandomHomes bool
+
+	// Items is the accessible database (sorted for determinism).
+	Items []model.ItemID
+
+	// Transactions is the total number of transactions to run (closed
+	// loop). In open-loop mode it bounds the stream length.
+	Transactions int
+
+	// MPL is the multiprogramming level: the number of concurrent
+	// client loops in closed-loop mode. Default 1.
+	MPL int
+
+	// ArrivalRate, when positive, switches to open-loop mode: transactions
+	// arrive in a Poisson process of this rate (tx/second) regardless of
+	// completions.
+	ArrivalRate float64
+
+	// OpsPerTx is the number of operations per transaction. Default 4.
+	OpsPerTx int
+
+	// ReadFraction is the probability an operation is a read. Default 0.75.
+	ReadFraction float64
+
+	// Zipf, when > 0, skews item access with the given Zipf s parameter
+	// (s > 1); otherwise access is uniform.
+	Zipf float64
+
+	// HotItems restricts all accesses to the first N items (a hotspot);
+	// 0 means no restriction.
+	HotItems int
+
+	// Retries is the number of times an aborted transaction is restarted
+	// with jittered backoff before being reported as aborted. 0 disables
+	// restarts.
+	Retries int
+
+	// Seed makes the workload reproducible; 0 selects a fixed default.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (p Profile) withDefaults() Profile {
+	if p.MPL <= 0 {
+		p.MPL = 1
+	}
+	if p.OpsPerTx <= 0 {
+		p.OpsPerTx = 4
+	}
+	if p.ReadFraction == 0 {
+		p.ReadFraction = 0.75
+	}
+	if p.Seed == 0 {
+		p.Seed = 619
+	}
+	if p.Transactions <= 0 {
+		p.Transactions = 100
+	}
+	sort.Slice(p.Items, func(i, j int) bool { return p.Items[i] < p.Items[j] })
+	return p
+}
+
+// Result summarizes one workload run.
+type Result struct {
+	Submitted  int
+	Committed  int
+	Aborted    int
+	Restarts   int
+	ByCause    map[model.AbortCause]int
+	Elapsed    time.Duration
+	Outcomes   []model.Outcome
+	LatencySum time.Duration
+}
+
+// CommitRate returns committed / submitted.
+func (r Result) CommitRate() float64 {
+	if r.Submitted == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Submitted)
+}
+
+// Throughput returns committed transactions per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Committed) / r.Elapsed.Seconds()
+}
+
+// MeanLatency returns the mean response time of finished transactions.
+func (r Result) MeanLatency() time.Duration {
+	if r.Submitted == 0 {
+		return 0
+	}
+	return r.LatencySum / time.Duration(r.Submitted)
+}
+
+// Generator produces and dispatches workloads.
+type Generator struct {
+	profile Profile
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	// itemPicker returns an index into profile.Items.
+	itemPicker func() int
+	seq        int
+}
+
+// New builds a generator for the given profile.
+func New(profile Profile) *Generator {
+	p := profile.withDefaults()
+	g := &Generator{profile: p, rng: rand.New(rand.NewSource(p.Seed))}
+	n := len(p.Items)
+	if p.HotItems > 0 && p.HotItems < n {
+		n = p.HotItems
+	}
+	if n <= 0 {
+		n = 1
+	}
+	if p.Zipf > 1 {
+		z := rand.NewZipf(g.rng, p.Zipf, 1, uint64(n-1))
+		g.itemPicker = func() int { return int(z.Uint64()) }
+	} else {
+		g.itemPicker = func() int { return g.rng.Intn(n) }
+	}
+	return g
+}
+
+// Profile returns the effective (default-filled) profile.
+func (g *Generator) Profile() Profile { return g.profile }
+
+// NextTx synthesizes the next transaction's operations. Writes use a value
+// derived from the generator sequence so committed values are traceable.
+func (g *Generator) NextTx() []model.Op {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.seq++
+	ops := make([]model.Op, 0, g.profile.OpsPerTx)
+	for i := 0; i < g.profile.OpsPerTx; i++ {
+		item := g.profile.Items[g.itemPicker()]
+		if g.rng.Float64() < g.profile.ReadFraction {
+			ops = append(ops, model.Read(item))
+		} else {
+			ops = append(ops, model.Write(item, int64(g.seq*100+i)))
+		}
+	}
+	return ops
+}
+
+// nextHome picks the home site for the n-th transaction.
+func (g *Generator) nextHome(n int) model.SiteID {
+	if g.profile.RandomHomes {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return g.profile.Sites[g.rng.Intn(len(g.profile.Sites))]
+	}
+	return g.profile.Sites[n%len(g.profile.Sites)]
+}
+
+// interarrival samples a Poisson interarrival gap.
+func (g *Generator) interarrival() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	u := g.rng.Float64()
+	for u == 0 {
+		u = g.rng.Float64()
+	}
+	gap := -math.Log(u) / g.profile.ArrivalRate
+	return time.Duration(gap * float64(time.Second))
+}
+
+// backoff returns the jittered restart delay for the k-th retry.
+func (g *Generator) backoff(k int) time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	max := 10 * (1 << uint(k))
+	if max > 320 {
+		max = 320
+	}
+	return time.Duration(g.rng.Intn(max)+1) * time.Millisecond
+}
+
+// Run executes the configured workload against sub and returns the result.
+// Closed-loop mode runs MPL concurrent clients, each submitting its next
+// transaction when the previous finishes; open-loop mode launches
+// transactions on a Poisson schedule.
+func (g *Generator) Run(ctx context.Context, sub Submitter) Result {
+	if g.profile.ArrivalRate > 0 {
+		return g.runOpen(ctx, sub)
+	}
+	return g.runClosed(ctx, sub)
+}
+
+func (g *Generator) runClosed(ctx context.Context, sub Submitter) Result {
+	p := g.profile
+	var (
+		mu       sync.Mutex
+		outcomes []model.Outcome
+		restarts int
+	)
+	next := make(chan int, p.Transactions)
+	for i := 0; i < p.Transactions; i++ {
+		next <- i
+	}
+	close(next)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < p.MPL; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := range next {
+				if ctx.Err() != nil {
+					return
+				}
+				out, r := g.submitWithRetry(ctx, sub, n)
+				mu.Lock()
+				outcomes = append(outcomes, out)
+				restarts += r
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return summarize(outcomes, restarts, time.Since(start))
+}
+
+func (g *Generator) runOpen(ctx context.Context, sub Submitter) Result {
+	p := g.profile
+	var (
+		mu       sync.Mutex
+		outcomes []model.Outcome
+		restarts int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for n := 0; n < p.Transactions && ctx.Err() == nil; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			out, r := g.submitWithRetry(ctx, sub, n)
+			mu.Lock()
+			outcomes = append(outcomes, out)
+			restarts += r
+			mu.Unlock()
+		}(n)
+		select {
+		case <-ctx.Done():
+		case <-time.After(g.interarrival()):
+		}
+	}
+	wg.Wait()
+	return summarize(outcomes, restarts, time.Since(start))
+}
+
+func (g *Generator) submitWithRetry(ctx context.Context, sub Submitter, n int) (model.Outcome, int) {
+	ops := g.NextTx()
+	home := g.nextHome(n)
+	out := sub.Submit(ctx, home, ops)
+	restarts := 0
+	for k := 0; !out.Committed && k < g.profile.Retries && ctx.Err() == nil; k++ {
+		// Only CC and ACP conflicts are worth restarting; RCP (quorum
+		// unreachable) and client failures will just fail again.
+		if out.Cause != model.AbortCC && out.Cause != model.AbortACP {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return out, restarts
+		case <-time.After(g.backoff(k)):
+		}
+		restarts++
+		out = sub.Submit(ctx, home, ops)
+	}
+	return out, restarts
+}
+
+func summarize(outcomes []model.Outcome, restarts int, elapsed time.Duration) Result {
+	r := Result{
+		Submitted: len(outcomes),
+		Restarts:  restarts,
+		ByCause:   make(map[model.AbortCause]int),
+		Elapsed:   elapsed,
+		Outcomes:  outcomes,
+	}
+	for _, o := range outcomes {
+		if o.Committed {
+			r.Committed++
+		} else {
+			r.Aborted++
+			r.ByCause[o.Cause]++
+		}
+		r.LatencySum += time.Duration(o.LatencyNS)
+	}
+	return r
+}
+
+// Manual composes a single transaction from textual operation specs — the
+// manual workload generation panel (Figure A-2). Each spec is either
+// {Kind: "r", Item: "x"} or {Kind: "w", Item: "x", Value: v}.
+type Manual struct {
+	Kind  string
+	Item  model.ItemID
+	Value int64
+}
+
+// Compose converts manual specs into operations.
+func Compose(specs []Manual) ([]model.Op, error) {
+	ops := make([]model.Op, 0, len(specs))
+	for _, s := range specs {
+		switch s.Kind {
+		case "r", "R", "read":
+			ops = append(ops, model.Read(s.Item))
+		case "w", "W", "write":
+			ops = append(ops, model.Write(s.Item, s.Value))
+		default:
+			return nil, model.Abortf(model.AbortClient, "manual op kind %q (want r or w)", s.Kind)
+		}
+	}
+	return ops, nil
+}

@@ -1,0 +1,292 @@
+package wlg
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// fakeSubmitter commits or aborts according to a script.
+type fakeSubmitter struct {
+	mu       sync.Mutex
+	calls    int
+	perHome  map[model.SiteID]int
+	inFlight atomic.Int32
+	maxInFly int32
+	// failFirst aborts the first k attempts of every transaction.
+	failFirst int
+	attempts  map[string]int
+	cause     model.AbortCause
+	delay     time.Duration
+}
+
+func newSub() *fakeSubmitter {
+	return &fakeSubmitter{perHome: make(map[model.SiteID]int), attempts: make(map[string]int), cause: model.AbortCC}
+}
+
+func key(ops []model.Op) string {
+	s := ""
+	for _, op := range ops {
+		s += op.String()
+	}
+	return s
+}
+
+func (f *fakeSubmitter) Submit(_ context.Context, home model.SiteID, ops []model.Op) model.Outcome {
+	cur := f.inFlight.Add(1)
+	defer f.inFlight.Add(-1)
+	f.mu.Lock()
+	if cur > f.maxInFly {
+		f.maxInFly = cur
+	}
+	f.calls++
+	f.perHome[home]++
+	f.attempts[key(ops)]++
+	attempt := f.attempts[key(ops)]
+	f.mu.Unlock()
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if attempt <= f.failFirst {
+		return model.Outcome{Committed: false, Cause: f.cause, HomeSite: home, LatencyNS: int64(time.Millisecond)}
+	}
+	return model.Outcome{Committed: true, HomeSite: home, LatencyNS: int64(time.Millisecond)}
+}
+
+func profile(n int) Profile {
+	return Profile{
+		Sites:        []model.SiteID{"A", "B", "C"},
+		Items:        []model.ItemID{"x", "y", "z", "u", "v"},
+		Transactions: n,
+	}
+}
+
+func TestClosedLoopRunsAllTransactions(t *testing.T) {
+	sub := newSub()
+	g := New(profile(30))
+	res := g.Run(context.Background(), sub)
+	if res.Submitted != 30 || res.Committed != 30 || res.Aborted != 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.CommitRate() != 1 {
+		t.Errorf("commit rate = %v", res.CommitRate())
+	}
+	if res.Throughput() <= 0 {
+		t.Error("throughput should be positive")
+	}
+}
+
+func TestRoundRobinHomesBalanced(t *testing.T) {
+	sub := newSub()
+	g := New(profile(30))
+	g.Run(context.Background(), sub)
+	for _, home := range []model.SiteID{"A", "B", "C"} {
+		if sub.perHome[home] != 10 {
+			t.Errorf("home %s got %d transactions, want 10", home, sub.perHome[home])
+		}
+	}
+}
+
+func TestRandomHomesCoverAllSites(t *testing.T) {
+	sub := newSub()
+	p := profile(120)
+	p.RandomHomes = true
+	New(p).Run(context.Background(), sub)
+	for _, home := range []model.SiteID{"A", "B", "C"} {
+		if sub.perHome[home] == 0 {
+			t.Errorf("home %s never used", home)
+		}
+	}
+}
+
+func TestMPLBoundsConcurrency(t *testing.T) {
+	sub := newSub()
+	sub.delay = 5 * time.Millisecond
+	p := profile(40)
+	p.MPL = 4
+	New(p).Run(context.Background(), sub)
+	if sub.maxInFly > 4 {
+		t.Errorf("in-flight reached %d with MPL=4", sub.maxInFly)
+	}
+	if sub.maxInFly < 2 {
+		t.Errorf("in-flight never exceeded 1 with MPL=4")
+	}
+}
+
+func TestOpMixRespectsReadFraction(t *testing.T) {
+	p := profile(1)
+	p.ReadFraction = 1.0
+	g := New(p)
+	for i := 0; i < 50; i++ {
+		for _, op := range g.NextTx() {
+			if op.Kind != model.OpRead {
+				t.Fatal("write generated with ReadFraction=1")
+			}
+		}
+	}
+	p.ReadFraction = 0.000001 // all writes (0 means default, so use epsilon)
+	g = New(p)
+	writes := 0
+	for i := 0; i < 50; i++ {
+		for _, op := range g.NextTx() {
+			if op.Kind == model.OpWrite {
+				writes++
+			}
+		}
+	}
+	if writes < 190 {
+		t.Errorf("writes = %d of 200 with ReadFraction≈0", writes)
+	}
+}
+
+func TestOpsPerTx(t *testing.T) {
+	p := profile(1)
+	p.OpsPerTx = 7
+	g := New(p)
+	if got := len(g.NextTx()); got != 7 {
+		t.Errorf("ops = %d", got)
+	}
+}
+
+func TestHotItemsRestrictAccess(t *testing.T) {
+	p := profile(1)
+	p.HotItems = 2
+	g := New(p)
+	// Items sorted: u,v,x,y,z → hot set {u,v}.
+	for i := 0; i < 100; i++ {
+		for _, op := range g.NextTx() {
+			if op.Item != "u" && op.Item != "v" {
+				t.Fatalf("access outside hot set: %v", op)
+			}
+		}
+	}
+}
+
+func TestZipfSkewsAccess(t *testing.T) {
+	p := profile(1)
+	p.Zipf = 1.5
+	g := New(p)
+	counts := make(map[model.ItemID]int)
+	for i := 0; i < 500; i++ {
+		for _, op := range g.NextTx() {
+			counts[op.Item]++
+		}
+	}
+	// First item (sorted: "u") must dominate under zipf 1.5.
+	max, maxItem := 0, model.ItemID("")
+	total := 0
+	for it, n := range counts {
+		total += n
+		if n > max {
+			max, maxItem = n, it
+		}
+	}
+	if maxItem != "u" {
+		t.Errorf("hottest item = %s, want first sorted item", maxItem)
+	}
+	if float64(max)/float64(total) < 0.4 {
+		t.Errorf("zipf skew too weak: max share %v", float64(max)/float64(total))
+	}
+}
+
+func TestRetriesRestartAbortedCC(t *testing.T) {
+	sub := newSub()
+	sub.failFirst = 2
+	p := profile(5)
+	p.Retries = 3
+	res := New(p).Run(context.Background(), sub)
+	if res.Committed != 5 {
+		t.Errorf("committed = %d, want 5 after retries", res.Committed)
+	}
+	if res.Restarts != 10 {
+		t.Errorf("restarts = %d, want 2 per tx = 10", res.Restarts)
+	}
+}
+
+func TestRetriesSkipRCPAborts(t *testing.T) {
+	sub := newSub()
+	sub.failFirst = 100
+	sub.cause = model.AbortRCP
+	p := profile(3)
+	p.Retries = 5
+	res := New(p).Run(context.Background(), sub)
+	if res.Restarts != 0 {
+		t.Errorf("RCP aborts restarted %d times; pointless retries", res.Restarts)
+	}
+	if res.Aborted != 3 || res.ByCause[model.AbortRCP] != 3 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestOpenLoopPoisson(t *testing.T) {
+	sub := newSub()
+	p := profile(20)
+	p.ArrivalRate = 1000 // fast arrivals to keep the test quick
+	res := New(p).Run(context.Background(), sub)
+	if res.Submitted != 20 || res.Committed != 20 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestContextCancellationStopsRun(t *testing.T) {
+	sub := newSub()
+	sub.delay = 10 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	p := profile(1000)
+	res := New(p).Run(ctx, sub)
+	if res.Submitted >= 1000 {
+		t.Error("cancellation did not stop the run")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	p := profile(1)
+	p.Seed = 42
+	a := New(p)
+	b := New(p)
+	for i := 0; i < 20; i++ {
+		ta, tb := a.NextTx(), b.NextTx()
+		if len(ta) != len(tb) {
+			t.Fatal("lengths differ")
+		}
+		for j := range ta {
+			if ta[j] != tb[j] {
+				t.Fatalf("tx %d op %d: %v vs %v", i, j, ta[j], tb[j])
+			}
+		}
+	}
+}
+
+func TestMeanLatency(t *testing.T) {
+	sub := newSub()
+	res := New(profile(10)).Run(context.Background(), sub)
+	if res.MeanLatency() != time.Millisecond {
+		t.Errorf("mean latency = %v", res.MeanLatency())
+	}
+	if (Result{}).MeanLatency() != 0 {
+		t.Error("empty result should have zero latency")
+	}
+}
+
+func TestComposeManual(t *testing.T) {
+	ops, err := Compose([]Manual{
+		{Kind: "r", Item: "x"},
+		{Kind: "w", Item: "y", Value: 7},
+		{Kind: "read", Item: "z"},
+		{Kind: "W", Item: "x", Value: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 4 || ops[0].Kind != model.OpRead || ops[1].Value != 7 || ops[3].Item != "x" {
+		t.Errorf("ops = %v", ops)
+	}
+	if _, err := Compose([]Manual{{Kind: "delete", Item: "x"}}); err == nil {
+		t.Error("invalid manual op accepted")
+	}
+}
