@@ -16,15 +16,21 @@ package main
 import (
 	"context"
 	"fmt"
+	"path/filepath"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lock"
 	"repro/internal/model"
 	"repro/internal/quorum"
 	"repro/internal/schema"
 	"repro/internal/simnet"
+	"repro/internal/storage"
+	"repro/internal/wal"
 	"repro/internal/wlg"
 )
 
@@ -536,5 +542,157 @@ func BenchmarkA3_ReadOnlyOptAblation(b *testing.B) {
 		if with >= without {
 			b.Errorf("read-only optimization did not reduce messages: %.1f vs %.1f", with, without)
 		}
+	}
+}
+
+// ---- Data-plane microbenchmarks (sharding / group-commit tentpole) ----
+//
+// Each benchmark runs the same parallel workload against a shard count of 1
+// (the pre-sharding global-mutex design) and the GOMAXPROCS-derived default,
+// so benchstat shows the contention win directly.
+
+// benchShardCounts returns the ablation points: the single-shard baseline
+// and a fixed sharded configuration (plus the host default when larger),
+// so the comparison exists even on single-core CI runners. The extra point
+// is capped at lock.MaxShards so the label matches the stripe count the
+// lock manager actually normalizes to.
+func benchShardCounts() []int {
+	out := []int{1, 8}
+	if def := storage.DefaultShards(); def > 8 {
+		if def > lock.MaxShards {
+			def = lock.MaxShards
+		}
+		out = append(out, def)
+	}
+	return out
+}
+
+// forceParallelism raises GOMAXPROCS to at least n for the benchmark (a
+// no-op on multicore hardware): on small CI runners the OS then timeslices
+// several threads over the cores, so critical sections really do get
+// preempted and lock contention — the thing these benchmarks measure —
+// exists at all.
+func forceParallelism(b *testing.B, n int) {
+	old := runtime.GOMAXPROCS(0)
+	if old >= n {
+		return
+	}
+	runtime.GOMAXPROCS(n)
+	b.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// BenchmarkStorageContention measures parallel copy reads and version-
+// guarded installs across the store's shards.
+func BenchmarkStorageContention(b *testing.B) {
+	const nItems = 1024
+	items := make(map[model.ItemID]int64, nItems)
+	ids := make([]model.ItemID, nItems)
+	for i := range ids {
+		ids[i] = model.ItemID(fmt.Sprintf("i%04d", i))
+		items[ids[i]] = 0
+	}
+	for _, shards := range benchShardCounts() {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			st := storage.NewSharded(shards)
+			st.Init(items)
+			var ctr atomic.Uint64
+			forceParallelism(b, 8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					n := ctr.Add(1)
+					item := ids[n%nItems]
+					if n%4 == 0 {
+						st.Apply([]model.WriteRecord{{Item: item, Value: int64(n), Version: model.Version(n)}})
+					} else {
+						st.Get(item)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkLockContention measures parallel two-item transactions (S or X,
+// acquired in global order, then ReleaseAll) across the lock-table stripes.
+func BenchmarkLockContention(b *testing.B) {
+	const nItems = 1024
+	ids := make([]model.ItemID, nItems)
+	for i := range ids {
+		ids[i] = model.ItemID(fmt.Sprintf("i%04d", i))
+	}
+	for _, shards := range benchShardCounts() {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			m := lock.New(lock.Options{Timeout: 5 * time.Second, Shards: shards})
+			var ctr atomic.Uint64
+			ctx := context.Background()
+			forceParallelism(b, 8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					n := ctr.Add(1)
+					id := model.TxID{Site: "B", Seq: n}
+					i, j := n%nItems, (n*31+17)%nItems
+					if i > j {
+						i, j = j, i // global lock order
+					}
+					mode := lock.Shared
+					if n%4 == 0 {
+						mode = lock.Exclusive
+					}
+					if err := m.Acquire(ctx, id, ids[i], mode); err == nil && j != i {
+						m.Acquire(ctx, id, ids[j], mode)
+					}
+					m.ReleaseAll(id)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkWALGroupCommit measures parallel Prepared-record forces against
+// a synced file log: "direct" is the pre-group-commit design (one
+// write/flush/fsync per append under a mutex), "group" parks concurrent
+// appenders on the committer and pays one force per batch.
+func BenchmarkWALGroupCommit(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts wal.FileOptions
+	}{
+		{"direct", wal.FileOptions{Sync: true, NoGroupCommit: true}},
+		{"group", wal.FileOptions{Sync: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			l, err := wal.OpenFileWith(filepath.Join(b.TempDir(), "bench.wal"), mode.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ctr atomic.Uint64
+			forceParallelism(b, 8)
+			b.SetParallelism(4) // many concurrent committers per core
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					n := ctr.Add(1)
+					err := l.Append(wal.Record{
+						Type:   wal.RecPrepared,
+						Tx:     model.TxID{Site: "B", Seq: n},
+						Writes: []model.WriteRecord{{Item: "x", Value: int64(n), Version: model.Version(n)}},
+					})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			flushes, records := l.BatchStats()
+			if flushes > 0 {
+				b.ReportMetric(float64(records)/float64(flushes), "recs/flush")
+			}
+			if err := l.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }

@@ -28,6 +28,7 @@ func main() {
 	book := flag.String("peers", "", "comma-separated peer address book: S1=host:port,S2=host:port")
 	walPath := flag.String("wal", "", "WAL file path; empty = in-memory log")
 	cfgPath := flag.String("config", "", "experiment configuration (JSON); empty = fetch from name server")
+	shards := flag.Int("shards", 0, "data-plane shard count (0 = GOMAXPROCS-derived)")
 	flag.Parse()
 
 	if *id == "" {
@@ -61,7 +62,7 @@ func main() {
 		log = fl
 	}
 
-	cfg := site.Config{ID: model.SiteID(*id), Net: net, Log: log, Register: true, Addr: *addr}
+	cfg := site.Config{ID: model.SiteID(*id), Net: net, Log: log, Register: true, Addr: *addr, Shards: *shards}
 	if *cfgPath != "" {
 		exp, err := config.Load(*cfgPath)
 		if err != nil {

@@ -72,6 +72,9 @@ type Options struct {
 	LockTimeout time.Duration
 	// DisableDeadlockDetection leaves 2PL deadlocks to timeouts.
 	DisableDeadlockDetection bool
+	// Shards stripes the 2PL lock table; <= 0 selects the
+	// GOMAXPROCS-derived default (matches the storage shard knob).
+	Shards int
 }
 
 // DefaultLockTimeout is the default bound on CC waits; it doubles as the

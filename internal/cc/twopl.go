@@ -29,6 +29,7 @@ func NewTwoPL(store *storage.Store, opts Options) *TwoPL {
 		locks: lock.New(lock.Options{
 			Timeout:                  opts.LockTimeout,
 			DisableDeadlockDetection: opts.DisableDeadlockDetection,
+			Shards:                   opts.Shards,
 		}),
 		intents: make(map[model.TxID]map[model.ItemID]int64),
 	}

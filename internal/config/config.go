@@ -42,6 +42,9 @@ type Experiment struct {
 	// Faults optionally schedules fault injections relative to workload
 	// start.
 	Faults []Fault `json:"faults,omitempty"`
+	// Shards sets each site's data-plane shard count (storage shards and
+	// lock stripes); 0/absent selects a GOMAXPROCS-derived default.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Placement mirrors schema.ItemMeta's replication fields.
@@ -150,6 +153,7 @@ func (e *Experiment) BuildCatalog() (*schema.Catalog, error) {
 		cat.Protocols = e.Protocols
 	}
 	cat.Timeouts = e.Timeouts()
+	cat.Shards = e.Shards
 	return cat, nil
 }
 
@@ -179,6 +183,7 @@ func (e *Experiment) Options() (core.Options, error) {
 			DropRate:    e.Network.DropRate,
 			Seed:        e.Network.Seed,
 		},
+		Shards: e.Shards,
 	}, nil
 }
 

@@ -40,6 +40,9 @@ type Options struct {
 	Catalog *schema.Catalog
 	// Net configures the network simulator.
 	Net simnet.Config
+	// Shards sets each site's data-plane shard count (storage shards and
+	// lock stripes); <= 0 selects a GOMAXPROCS-derived default.
+	Shards int
 }
 
 // Instance is a running Rainbow system.
@@ -95,7 +98,7 @@ func New(opts Options) (*Instance, error) {
 		cat:      cat.Clone(),
 	}
 	for _, id := range in.ids {
-		st, err := site.New(site.Config{ID: id, Net: net})
+		st, err := site.New(site.Config{ID: id, Net: net, Shards: opts.Shards})
 		if err != nil {
 			in.Close()
 			return nil, err

@@ -2,6 +2,24 @@
 // locking CCP: shared/exclusive item locks with FIFO queuing, lock
 // upgrades, waits-for-graph deadlock detection, and wait timeouts.
 //
+// The lock table is striped: items hash to a fixed power-of-two array of
+// shards, each with its own mutex, item map and per-transaction held set,
+// so requests for unrelated items never serialize on a global lock. A
+// striped registry records which shards each transaction touches, and
+// ReleaseAll walks exactly those shards in index order (one at a time),
+// which keeps the manager internally deadlock-free.
+//
+// The waits-for graph deliberately stays global, behind its own mutex: a
+// deadlock cycle routinely spans items in different shards (T1 holds x in
+// shard 0 and waits for y in shard 3 held by T2, which waits for x), so a
+// per-shard graph could never close a cross-shard cycle. The lock order is
+// always shard mutex → waits mutex. Each blocked request runs its cycle
+// check and publishes its edges in a single waits-mutex critical section,
+// so of two requests that come to block on each other — even in different
+// shards — the later one always sees the earlier one's edges and detects
+// the cycle; striping loses no local detection. Timeouts remain the safety
+// net for distributed deadlocks no single site can see.
+//
 // Deadlock handling follows the classic local scheme: each blocked request
 // adds waits-for edges from the requester to every conflicting holder and
 // to conflicting waiters queued ahead of it; a cycle through the new edges
@@ -12,10 +30,13 @@ package lock
 
 import (
 	"context"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/shard"
 )
 
 // Mode is a lock mode.
@@ -44,7 +65,18 @@ type Options struct {
 	// only timeouts), which lets classroom experiments observe undetected
 	// deadlocks.
 	DisableDeadlockDetection bool
+	// Shards is the lock-table stripe count, rounded up to a power of two
+	// and capped at MaxShards; <= 0 selects a GOMAXPROCS-derived default.
+	Shards int
 }
+
+// MaxShards bounds the stripe count; it also lets a transaction's
+// touched-shard set fit one uint64 bitmask (stripes beyond the core count
+// buy nothing anyway).
+const MaxShards = 64
+
+// txStripes is the stripe count of the touched-shard registry.
+const txStripes = 64
 
 // Stats counts lock-manager events for the progress monitor.
 type Stats struct {
@@ -55,17 +87,45 @@ type Stats struct {
 	Upgrades  uint64
 }
 
+// lockShard is one stripe of the lock table.
+type lockShard struct {
+	mu    sync.Mutex
+	items map[model.ItemID]*itemLock
+	// held tracks, per transaction, the items it locks in this shard (for
+	// ReleaseAll). Each item appears once: grants append it, and an
+	// upgrade replaces the mode in the item's holder entry without
+	// re-appending.
+	held map[model.TxID][]model.ItemID
+	// waiting tracks the items on which a transaction currently has a
+	// queued waiter, so ReleaseAll scans only those queues instead of every
+	// item in the shard.
+	waiting map[model.TxID]map[model.ItemID]bool
+}
+
 // Manager is a per-site lock manager. All methods are safe for concurrent
 // use.
 type Manager struct {
-	opts Options
+	opts   Options
+	shards []*lockShard
+	mask   uint32
 
-	mu    sync.Mutex
-	items map[model.ItemID]*itemLock
-	// held tracks every item a transaction currently locks, for ReleaseAll.
-	held  map[model.TxID]map[model.ItemID]Mode
-	waits map[model.TxID]map[model.TxID]bool
-	stats Stats
+	// waitsMu guards the global waits-for graph. Lock order: a shard mutex
+	// may be held when taking waitsMu, never the reverse.
+	waitsMu sync.Mutex
+	waits   map[model.TxID]map[model.TxID]bool
+
+	// txMu/txShards stripe a registry of which shards each transaction has
+	// touched (a bitmask), so ReleaseAll visits only those shards instead
+	// of walking the whole table. Keyed by the transaction's sequence
+	// number, which spreads uniformly.
+	txMu     [txStripes]sync.Mutex
+	txShards [txStripes]map[model.TxID]uint64
+
+	grants    atomic.Uint64
+	waitCount atomic.Uint64
+	deadlocks atomic.Uint64
+	timeouts  atomic.Uint64
+	upgrades  atomic.Uint64
 }
 
 type itemLock struct {
@@ -82,134 +142,224 @@ type waiter struct {
 
 // New returns a lock manager with the given options.
 func New(opts Options) *Manager {
-	return &Manager{
-		opts:  opts,
-		items: make(map[model.ItemID]*itemLock),
-		held:  make(map[model.TxID]map[model.ItemID]Mode),
-		waits: make(map[model.TxID]map[model.TxID]bool),
+	n := shard.Normalize(opts.Shards, MaxShards)
+	m := &Manager{
+		opts:   opts,
+		shards: make([]*lockShard, n),
+		mask:   uint32(n - 1),
+		waits:  make(map[model.TxID]map[model.TxID]bool),
 	}
+	for i := range m.shards {
+		m.shards[i] = &lockShard{
+			items:   make(map[model.ItemID]*itemLock),
+			held:    make(map[model.TxID][]model.ItemID),
+			waiting: make(map[model.TxID]map[model.ItemID]bool),
+		}
+	}
+	for i := range m.txShards {
+		m.txShards[i] = make(map[model.TxID]uint64)
+	}
+	return m
+}
+
+// markTouched records that tx has used shard idx; ReleaseAll later consumes
+// (and clears) the mask.
+func (m *Manager) markTouched(tx model.TxID, idx int) {
+	s := int(tx.Seq % txStripes)
+	bit := uint64(1) << uint(idx)
+	m.txMu[s].Lock()
+	if m.txShards[s][tx]&bit == 0 {
+		m.txShards[s][tx] |= bit
+	}
+	m.txMu[s].Unlock()
+}
+
+// takeTouched returns and clears tx's touched-shard mask.
+func (m *Manager) takeTouched(tx model.TxID) uint64 {
+	s := int(tx.Seq % txStripes)
+	m.txMu[s].Lock()
+	mask := m.txShards[s][tx]
+	delete(m.txShards[s], tx)
+	m.txMu[s].Unlock()
+	return mask
+}
+
+// ShardCount returns the lock-table stripe count.
+func (m *Manager) ShardCount() int { return len(m.shards) }
+
+func (m *Manager) shardIndexOf(item model.ItemID) int {
+	return int(shard.Hash(item) & m.mask)
+}
+
+func (m *Manager) shardOf(item model.ItemID) *lockShard {
+	return m.shards[m.shardIndexOf(item)]
 }
 
 // Stats snapshots the event counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Grants:    m.grants.Load(),
+		Waits:     m.waitCount.Load(),
+		Deadlocks: m.deadlocks.Load(),
+		Timeouts:  m.timeouts.Load(),
+		Upgrades:  m.upgrades.Load(),
+	}
 }
 
 // Holding returns the mode tx holds on item (0 if none).
 func (m *Manager) Holding(tx model.TxID, item model.ItemID) Mode {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.held[tx][item]
+	sh := m.shardOf(item)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	il := sh.items[item]
+	if il == nil {
+		return 0
+	}
+	return il.holders[tx]
 }
 
 // Acquire obtains item in the given mode for tx, blocking until granted,
 // deadlock-aborted, timed out, or ctx is done. Re-acquiring an equal or
 // weaker mode is a no-op; Shared→Exclusive upgrades are supported.
 func (m *Manager) Acquire(ctx context.Context, tx model.TxID, item model.ItemID, mode Mode) error {
+	idx := m.shardIndexOf(item)
+	sh := m.shards[idx]
+	sh.mu.Lock()
+	il := sh.items[item]
+	if il == nil {
+		il = &itemLock{holders: make(map[model.TxID]Mode)}
+		sh.items[item] = il
+	}
+
+	cur := il.holders[tx]
+	if cur >= mode {
+		sh.mu.Unlock()
+		return nil // already held strongly enough
+	}
+	// Mark before any grant or queue entry exists, so ReleaseAll can never
+	// miss this shard. Re-acquires returned above without marking: their
+	// original grant already set the bit.
+	m.markTouched(tx, idx)
+	upgrade := cur == Shared && mode == Exclusive
+
+	// A new request is granted only if it is compatible with the holders
+	// AND does not jump queued conflicting waiters (FIFO fairness).
+	if holdersCompatible(il, tx, mode, upgrade) && !queueConflicts(il, tx, mode) {
+		m.grantLocked(sh, item, il, tx, mode, upgrade)
+		sh.mu.Unlock()
+		return nil
+	}
+
+	// Must wait: build waits-for edges to everything blocking us. The
+	// deadlock check and the edge publication happen in one waitsMu
+	// critical section, while the shard is still locked, so a concurrent
+	// grant in this shard cannot clear edges before they exist.
+	w := &waiter{tx: tx, mode: mode, upgrade: upgrade, ready: make(chan error, 1)}
+	blockers := blockers(il, tx, mode, upgrade)
+	m.waitsMu.Lock()
+	if !m.opts.DisableDeadlockDetection && m.wouldDeadlockLocked(tx, blockers) {
+		m.waitsMu.Unlock()
+		m.deadlocks.Add(1)
+		sh.mu.Unlock()
+		return model.Abortf(model.AbortCC, "deadlock: %s waiting for %s(%s)", tx, item, mode)
+	}
+	for _, b := range blockers {
+		if m.waits[tx] == nil {
+			m.waits[tx] = make(map[model.TxID]bool)
+		}
+		m.waits[tx][b] = true
+	}
+	m.waitsMu.Unlock()
+	il.queue = append(il.queue, w)
+	if sh.waiting[tx] == nil {
+		sh.waiting[tx] = make(map[model.ItemID]bool)
+	}
+	sh.waiting[tx][item] = true
+	m.waitCount.Add(1)
+	sh.mu.Unlock()
+
+	// The timeout timer is armed only on this slow path; the fast-path
+	// grant above never pays for a timer.
 	if m.opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, m.opts.Timeout)
 		defer cancel()
 	}
 
-	m.mu.Lock()
-	il := m.items[item]
-	if il == nil {
-		il = &itemLock{holders: make(map[model.TxID]Mode)}
-		m.items[item] = il
-	}
-
-	cur := il.holders[tx]
-	if cur >= mode {
-		m.mu.Unlock()
-		return nil // already held strongly enough
-	}
-	upgrade := cur == Shared && mode == Exclusive
-
-	// A new request is granted only if it is compatible with the holders
-	// AND does not jump queued conflicting waiters (FIFO fairness).
-	if holdersCompatible(il, tx, mode, upgrade) && !m.queueConflicts(il, tx, mode) {
-		m.grantLocked(item, il, tx, mode, upgrade)
-		m.mu.Unlock()
-		return nil
-	}
-
-	// Must wait: build waits-for edges to everything blocking us.
-	w := &waiter{tx: tx, mode: mode, upgrade: upgrade, ready: make(chan error, 1)}
-	blockers := m.blockers(il, tx, mode, upgrade)
-	if !m.opts.DisableDeadlockDetection {
-		if m.wouldDeadlock(tx, blockers) {
-			m.stats.Deadlocks++
-			m.mu.Unlock()
-			return model.Abortf(model.AbortCC, "deadlock: %s waiting for %s(%s)", tx, item, mode)
-		}
-	}
-	for _, b := range blockers {
-		m.addEdge(tx, b)
-	}
-	il.queue = append(il.queue, w)
-	m.stats.Waits++
-	m.mu.Unlock()
-
 	select {
 	case err := <-w.ready:
 		return err
 	case <-ctx.Done():
-		m.mu.Lock()
+		sh.mu.Lock()
 		select {
 		case err := <-w.ready:
 			// Granted just as we timed out: accept the grant; the caller
 			// still owns the lock and will release it with the transaction.
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			return err
 		default:
 		}
-		m.removeWaiter(il, w)
+		removeWaiter(il, w)
+		clearWaiting(sh, tx, item)
 		m.clearEdges(tx)
-		m.stats.Timeouts++
-		m.grantWaitersLocked(item, il)
-		m.mu.Unlock()
+		m.timeouts.Add(1)
+		m.grantWaitersLocked(sh, item, il)
+		sh.mu.Unlock()
 		return model.Abortf(model.AbortCC, "lock timeout: %s on %s(%s)", tx, item, mode)
 	}
 }
 
 // ReleaseAll drops every lock tx holds and removes it from all wait queues,
 // then grants newly compatible waiters. Called at commit/abort (strict 2PL).
+// Only the shards tx actually touched are visited, one at a time in index
+// order, so the walk can never deadlock with concurrent acquisitions.
 func (m *Manager) ReleaseAll(tx model.TxID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for item := range m.held[tx] {
-		il := m.items[item]
-		if il == nil {
-			continue
+	mask := m.takeTouched(tx)
+	for mask != 0 {
+		idx := bits.TrailingZeros64(mask)
+		mask &^= uint64(1) << uint(idx)
+		sh := m.shards[idx]
+		sh.mu.Lock()
+		for _, item := range sh.held[tx] {
+			il := sh.items[item]
+			if il == nil {
+				continue
+			}
+			delete(il.holders, tx)
+			m.grantWaitersLocked(sh, item, il)
 		}
-		delete(il.holders, tx)
-		m.grantWaitersLocked(item, il)
-	}
-	delete(m.held, tx)
-	// Remove tx from any queues (an aborting tx may still be queued).
-	for item, il := range m.items {
-		changed := false
-		for i := 0; i < len(il.queue); {
-			if il.queue[i].tx == tx {
-				il.queue[i].ready <- model.Abortf(model.AbortCC, "transaction released while waiting")
-				il.queue = append(il.queue[:i], il.queue[i+1:]...)
-				changed = true
-			} else {
-				i++
+		delete(sh.held, tx)
+		// Remove tx from the queues it is waiting in (an aborting tx may
+		// still be queued); the waiting index names exactly those items.
+		for item := range sh.waiting[tx] {
+			il := sh.items[item]
+			if il == nil {
+				continue
+			}
+			changed := false
+			for i := 0; i < len(il.queue); {
+				if il.queue[i].tx == tx {
+					il.queue[i].ready <- model.Abortf(model.AbortCC, "transaction released while waiting")
+					il.queue = append(il.queue[:i], il.queue[i+1:]...)
+					changed = true
+				} else {
+					i++
+				}
+			}
+			if changed {
+				m.grantWaitersLocked(sh, item, il)
 			}
 		}
-		if changed {
-			m.grantWaitersLocked(item, il)
-		}
+		delete(sh.waiting, tx)
+		sh.mu.Unlock()
 	}
-	m.clearEdges(tx)
+	m.waitsMu.Lock()
+	delete(m.waits, tx)
 	// Other transactions' edges pointing at tx are now stale; drop them.
 	for _, es := range m.waits {
 		delete(es, tx)
 	}
+	m.waitsMu.Unlock()
 }
 
 // holdersCompatible reports whether mode is compatible with the current
@@ -237,7 +387,7 @@ func holdersCompatible(il *itemLock, tx model.TxID, mode Mode, upgrade bool) boo
 // queueConflicts reports whether a conflicting waiter is already queued
 // (FIFO fairness for new requests only — waiters being granted from the
 // head of the queue are never blocked by waiters behind them).
-func (m *Manager) queueConflicts(il *itemLock, tx model.TxID, mode Mode) bool {
+func queueConflicts(il *itemLock, tx model.TxID, mode Mode) bool {
 	for _, q := range il.queue {
 		if q.tx == tx {
 			continue
@@ -250,7 +400,7 @@ func (m *Manager) queueConflicts(il *itemLock, tx model.TxID, mode Mode) bool {
 }
 
 // blockers lists the transactions tx would wait for on item.
-func (m *Manager) blockers(il *itemLock, tx model.TxID, mode Mode, upgrade bool) []model.TxID {
+func blockers(il *itemLock, tx model.TxID, mode Mode, upgrade bool) []model.TxID {
 	var out []model.TxID
 	for h, hm := range il.holders {
 		if h == tx {
@@ -271,42 +421,46 @@ func (m *Manager) blockers(il *itemLock, tx model.TxID, mode Mode, upgrade bool)
 	return out
 }
 
-func (m *Manager) grantLocked(item model.ItemID, il *itemLock, tx model.TxID, mode Mode, upgrade bool) {
+// grantLocked records a grant; the caller holds sh.mu.
+func (m *Manager) grantLocked(sh *lockShard, item model.ItemID, il *itemLock, tx model.TxID, mode Mode, upgrade bool) {
 	il.holders[tx] = mode
-	if m.held[tx] == nil {
-		m.held[tx] = make(map[model.ItemID]Mode)
+	if !upgrade {
+		sh.held[tx] = append(sh.held[tx], item)
 	}
-	m.held[tx][item] = mode
-	m.stats.Grants++
+	m.grants.Add(1)
 	if upgrade {
-		m.stats.Upgrades++
+		m.upgrades.Add(1)
 	}
 }
 
 // grantWaitersLocked grants queued waiters that became compatible, in FIFO
-// order, batching consecutive compatible shared requests.
-func (m *Manager) grantWaitersLocked(item model.ItemID, il *itemLock) {
+// order, batching consecutive compatible shared requests. The caller holds
+// sh.mu.
+func (m *Manager) grantWaitersLocked(sh *lockShard, item model.ItemID, il *itemLock) {
 	for len(il.queue) > 0 {
 		w := il.queue[0]
 		if !holdersCompatible(il, w.tx, w.mode, w.upgrade) {
 			return
 		}
 		il.queue = il.queue[1:]
-		il.holders[w.tx] = w.mode
-		if m.held[w.tx] == nil {
-			m.held[w.tx] = make(map[model.ItemID]Mode)
-		}
-		m.held[w.tx][item] = w.mode
-		m.stats.Grants++
-		if w.upgrade {
-			m.stats.Upgrades++
-		}
+		clearWaiting(sh, w.tx, item)
+		m.grantLocked(sh, item, il, w.tx, w.mode, w.upgrade)
 		m.clearEdges(w.tx)
 		w.ready <- nil
 	}
 }
 
-func (m *Manager) removeWaiter(il *itemLock, w *waiter) {
+// clearWaiting drops item from tx's waiting index; the caller holds sh.mu.
+func clearWaiting(sh *lockShard, tx model.TxID, item model.ItemID) {
+	if ws := sh.waiting[tx]; ws != nil {
+		delete(ws, item)
+		if len(ws) == 0 {
+			delete(sh.waiting, tx)
+		}
+	}
+}
+
+func removeWaiter(il *itemLock, w *waiter) {
 	for i, q := range il.queue {
 		if q == w {
 			il.queue = append(il.queue[:i], il.queue[i+1:]...)
@@ -315,20 +469,16 @@ func (m *Manager) removeWaiter(il *itemLock, w *waiter) {
 	}
 }
 
-func (m *Manager) addEdge(from, to model.TxID) {
-	if m.waits[from] == nil {
-		m.waits[from] = make(map[model.TxID]bool)
-	}
-	m.waits[from][to] = true
-}
-
 func (m *Manager) clearEdges(tx model.TxID) {
+	m.waitsMu.Lock()
 	delete(m.waits, tx)
+	m.waitsMu.Unlock()
 }
 
-// wouldDeadlock reports whether adding edges tx→blockers closes a cycle in
-// the waits-for graph (DFS from each blocker looking for tx).
-func (m *Manager) wouldDeadlock(tx model.TxID, blockers []model.TxID) bool {
+// wouldDeadlockLocked reports whether adding edges tx→blockers closes a
+// cycle in the waits-for graph (DFS from each blocker looking for tx). The
+// caller holds waitsMu.
+func (m *Manager) wouldDeadlockLocked(tx model.TxID, blockers []model.TxID) bool {
 	seen := make(map[model.TxID]bool)
 	var dfs func(model.TxID) bool
 	dfs = func(cur model.TxID) bool {

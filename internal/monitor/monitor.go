@@ -114,6 +114,22 @@ type SiteStats struct {
 	Latency Histogram
 	// WindowNS is the observation window covered by the counters.
 	WindowNS int64
+	// Shards is the site's data-plane shard count (storage shards and lock
+	// stripes).
+	Shards int
+	// WALFlushes and WALRecords count WAL force-write cycles and the
+	// records they carried; records/flushes is the group-commit batch size.
+	WALFlushes uint64
+	WALRecords uint64
+}
+
+// WALBatchSize returns the mean group-commit batch size (records per
+// force-write cycle).
+func (s SiteStats) WALBatchSize() float64 {
+	if s.WALFlushes == 0 {
+		return 0
+	}
+	return float64(s.WALRecords) / float64(s.WALFlushes)
 }
 
 // CommitRate returns committed / began.
@@ -252,6 +268,11 @@ func (r Report) Totals() SiteStats {
 			out.AbortsByCause[k] += v
 		}
 		out.Latency.Merge(s.Latency)
+		out.WALFlushes += s.WALFlushes
+		out.WALRecords += s.WALRecords
+		if s.Shards > out.Shards {
+			out.Shards = s.Shards
+		}
 		if s.WindowNS > out.WindowNS {
 			out.WindowNS = s.WindowNS
 		}
@@ -337,6 +358,8 @@ func (r Report) Render() string {
 		r.MessagesPerSecond(), r.MessagesPerCommit())
 	fmt.Fprintf(&b, "round trips: %d\n", t.RoundTrips)
 	fmt.Fprintf(&b, "orphan transactions: %d\n", t.Orphans)
+	fmt.Fprintf(&b, "data plane: %d shards, wal %d records / %d flushes (%.1f recs/flush)\n",
+		t.Shards, t.WALRecords, t.WALFlushes, t.WALBatchSize())
 	fmt.Fprintf(&b, "load imbalance (cv of admissions): %.3f\n", r.LoadImbalance())
 	fmt.Fprintf(&b, "per-site:\n")
 	for _, s := range r.Sites {

@@ -106,6 +106,11 @@ type Catalog struct {
 	Items     map[model.ItemID]ItemMeta
 	Protocols Protocols
 	Timeouts  Timeouts
+	// Shards is the per-site data-plane shard count (storage shards and
+	// 2PL lock stripes); 0 selects each site's GOMAXPROCS-derived default.
+	// Carried in the catalog so sites that fetch their configuration from
+	// the name server honor the experiment's setting.
+	Shards int
 	// Epoch increments on every catalog update so sites can detect staleness.
 	Epoch uint64
 }
@@ -126,6 +131,7 @@ func (c *Catalog) Clone() *Catalog {
 		Items:     make(map[model.ItemID]ItemMeta, len(c.Items)),
 		Protocols: c.Protocols,
 		Timeouts:  c.Timeouts,
+		Shards:    c.Shards,
 		Epoch:     c.Epoch,
 	}
 	for k, v := range c.Sites {

@@ -1,0 +1,36 @@
+// Package shard holds the hashing and sizing helpers shared by the
+// sharded data-plane structures (the storage shard array and the lock-table
+// stripes), so the two always agree on item placement math.
+package shard
+
+import (
+	"runtime"
+
+	"repro/internal/model"
+)
+
+// Hash is FNV-1a over the item id, the shard-selection hash.
+func Hash(item model.ItemID) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(item); i++ {
+		h ^= uint32(item[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Normalize clamps n to [1, max] and rounds it up to a power of two (the
+// shard mask requires one). Non-positive n derives from GOMAXPROCS.
+func Normalize(n, max int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > max {
+		n = max
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

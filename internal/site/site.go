@@ -64,15 +64,19 @@ type Config struct {
 	Register bool
 	// Addr is the endpoint specification reported on registration.
 	Addr string
+	// Shards sets the data-plane shard count (storage shards and 2PL lock
+	// stripes); <= 0 selects a GOMAXPROCS-derived default.
+	Shards int
 }
 
 // Site is one Rainbow site.
 type Site struct {
-	id    model.SiteID
-	peer  *wire.Peer
-	clock *clock.Clock
-	stats *monitor.Collector
-	hist  *history.Recorder
+	id     model.SiteID
+	peer   *wire.Peer
+	clock  *clock.Clock
+	stats  *monitor.Collector
+	hist   *history.Recorder
+	shards int
 
 	mu          sync.Mutex
 	log         wal.Log
@@ -87,11 +91,16 @@ type Site struct {
 	activeCoord map[model.TxID]bool
 	// released tombstones aborted transactions so a straggling copy
 	// operation that races with its own ReleaseTx cannot leak CC state.
-	released  map[model.TxID]time.Time
-	crashed   bool
-	runCtx    context.Context
-	runCancel context.CancelFunc
-	resolveWG sync.WaitGroup
+	released map[model.TxID]time.Time
+	// walBaseFlushes/walBaseRecords snapshot the WAL's cumulative
+	// group-commit counters at the last ResetStats, so SiteStats reports
+	// them window-scoped like every other counter.
+	walBaseFlushes uint64
+	walBaseRecords uint64
+	crashed        bool
+	runCtx         context.Context
+	runCancel      context.CancelFunc
+	resolveWG      sync.WaitGroup
 }
 
 // isReleased reports whether tx was already released/aborted here, and
@@ -134,6 +143,7 @@ func New(cfg Config) (*Site, error) {
 		clock:       clock.New(cfg.ID),
 		stats:       monitor.NewCollector(cfg.ID),
 		hist:        history.NewRecorder(cfg.ID),
+		shards:      cfg.Shards,
 		log:         log,
 		activeCoord: make(map[model.TxID]bool),
 		released:    make(map[model.TxID]time.Time),
@@ -192,7 +202,13 @@ func (s *Site) fetchCatalog() (*schema.Catalog, error) {
 func (s *Site) configure(catalog *schema.Catalog) error {
 	timeouts := catalog.Timeouts.WithDefaults()
 
-	store := storage.New()
+	// Per-site config wins; otherwise the catalog's experiment-wide shard
+	// knob applies (this is how name-server-fetched sites receive it).
+	shards := s.shards
+	if shards <= 0 {
+		shards = catalog.Shards
+	}
+	store := storage.NewSharded(shards)
 	inDoubt, err := store.Recover(catalog.LocalItems(s.id), s.log)
 	if err != nil {
 		return err
@@ -200,6 +216,7 @@ func (s *Site) configure(catalog *schema.Catalog) error {
 	ccm, err := cc.New(catalog.Protocols.CCP, store, cc.Options{
 		LockTimeout:              timeouts.Lock,
 		DisableDeadlockDetection: catalog.Protocols.NoDeadlockDetection,
+		Shards:                   shards,
 	})
 	if err != nil {
 		return err
@@ -270,20 +287,41 @@ func (a *applierWithHistory) Abort(tx model.TxID) { a.cc.Abort(tx) }
 // ID returns the site's id.
 func (s *Site) ID() model.SiteID { return s.id }
 
-// Stats snapshots the site's statistics including the current orphan count.
+// Stats snapshots the site's statistics including the current orphan count
+// and the data-plane shard / WAL group-commit counters.
 func (s *Site) Stats() monitor.SiteStats {
 	s.mu.Lock()
 	part := s.part
+	store := s.store
+	log := s.log
+	baseFlushes, baseRecords := s.walBaseFlushes, s.walBaseRecords
 	s.mu.Unlock()
 	orphans := 0
 	if part != nil {
 		orphans = part.InDoubtCount()
 	}
-	return s.stats.Snapshot(orphans)
+	stats := s.stats.Snapshot(orphans)
+	if store != nil {
+		stats.Shards = store.ShardCount()
+	}
+	if bs, ok := log.(wal.BatchStats); ok {
+		flushes, records := bs.BatchStats()
+		stats.WALFlushes = flushes - baseFlushes
+		stats.WALRecords = records - baseRecords
+	}
+	return stats
 }
 
-// ResetStats zeroes the statistics window.
-func (s *Site) ResetStats() { s.stats.Reset() }
+// ResetStats zeroes the statistics window, including the WAL counters'
+// baseline.
+func (s *Site) ResetStats() {
+	s.stats.Reset()
+	s.mu.Lock()
+	if bs, ok := s.log.(wal.BatchStats); ok {
+		s.walBaseFlushes, s.walBaseRecords = bs.BatchStats()
+	}
+	s.mu.Unlock()
+}
 
 // History snapshots the site's local execution history.
 func (s *Site) History() []history.Event { return s.hist.Events() }

@@ -3,6 +3,13 @@
 // schema, each carrying a value and a version number (quorum consensus
 // reads the max-version value of a quorum and installs max+1 on writes).
 //
+// The store is sharded: copies are spread over a fixed power-of-two array
+// of shards by an item-ID hash, each shard guarded by its own RWMutex, so
+// concurrent transactions touching different items never contend on a
+// global lock. Whole-store operations (Init, Snapshot, Items, multi-shard
+// Apply) acquire shard locks in index order, which keeps them atomic with
+// respect to each other and internally deadlock-free.
+//
 // The store is deliberately below concurrency control: all isolation is the
 // CCP's job (internal/cc); the store only provides atomic snapshots and
 // version-guarded installation, plus WAL-based crash recovery.
@@ -14,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/model"
+	"repro/internal/shard"
 	"repro/internal/wal"
 )
 
@@ -23,57 +31,175 @@ type Copy struct {
 	Version model.Version
 }
 
-// Store holds a site's copies.
-type Store struct {
+// MaxShards bounds the shard count; beyond this the per-shard maps are so
+// small that more shards only waste memory.
+const MaxShards = 256
+
+// DefaultShards returns the default shard count: the smallest power of two
+// covering the available parallelism, capped at MaxShards.
+func DefaultShards() int {
+	return NormalizeShards(0)
+}
+
+// NormalizeShards clamps n to [1, MaxShards] and rounds it up to a power of
+// two (the shard mask requires one). Non-positive n selects DefaultShards.
+func NormalizeShards(n int) int {
+	return shard.Normalize(n, MaxShards)
+}
+
+// storeShard is one stripe of the store.
+type storeShard struct {
 	mu     sync.RWMutex
 	copies map[model.ItemID]Copy
 }
 
-// New returns an empty store.
-func New() *Store {
-	return &Store{copies: make(map[model.ItemID]Copy)}
+// Store holds a site's copies across a fixed set of shards.
+type Store struct {
+	shards []storeShard
+	mask   uint32
+}
+
+// New returns an empty store with the default shard count.
+func New() *Store { return NewSharded(0) }
+
+// NewSharded returns an empty store with n shards (normalized to a power of
+// two; n <= 0 selects the default).
+func NewSharded(n int) *Store {
+	n = NormalizeShards(n)
+	s := &Store{shards: make([]storeShard, n), mask: uint32(n - 1)}
+	for i := range s.shards {
+		s.shards[i].copies = make(map[model.ItemID]Copy)
+	}
+	return s
+}
+
+// ShardCount returns the number of shards.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+func (s *Store) shardOf(item model.ItemID) *storeShard {
+	return &s.shards[shard.Hash(item)&s.mask]
+}
+
+// lockAll write-locks every shard in index order (the store-wide lock
+// acquisition order; all multi-shard paths follow it).
+func (s *Store) lockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+}
+
+func (s *Store) unlockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// rlockAll read-locks every shard in index order.
+func (s *Store) rlockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+}
+
+func (s *Store) runlockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.RUnlock()
+	}
 }
 
 // Init (re)creates the copies this site hosts with their initial values at
 // version 0, per the database schema in the name-server catalog.
 func (s *Store) Init(items map[model.ItemID]int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.copies = make(map[model.ItemID]Copy, len(items))
+	s.lockAll()
+	defer s.unlockAll()
+	for i := range s.shards {
+		s.shards[i].copies = make(map[model.ItemID]Copy)
+	}
 	for item, v := range items {
-		s.copies[item] = Copy{Value: v}
+		s.shardOf(item).copies[item] = Copy{Value: v}
 	}
 }
 
 // Get returns the current copy of an item.
 func (s *Store) Get(item model.ItemID) (Copy, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	c, ok := s.copies[item]
+	sh := s.shardOf(item)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c, ok := sh.copies[item]
 	return c, ok
 }
 
 // Has reports whether this site hosts a copy of item.
 func (s *Store) Has(item model.ItemID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.copies[item]
+	sh := s.shardOf(item)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.copies[item]
 	return ok
 }
 
 // Apply installs write records. Installation is version-guarded and
 // therefore idempotent: a record only takes effect if its version exceeds
 // the copy's current version, which makes WAL replay safe to repeat.
+//
+// All shards touched by the write set are locked (in index order) for the
+// whole installation, so a Snapshot never observes half a transaction.
 func (s *Store) Apply(writes []model.WriteRecord) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if len(writes) == 0 {
+		return nil
+	}
+	// Fast path: a write set confined to one shard needs no ordering dance.
+	first := s.shardOf(writes[0].Item)
+	multi := false
+	for _, w := range writes[1:] {
+		if s.shardOf(w.Item) != first {
+			multi = true
+			break
+		}
+	}
+	if !multi {
+		first.mu.Lock()
+		defer first.mu.Unlock()
+		return applyLocked(first, writes)
+	}
+
+	// Group the writes per shard index (preserving per-item order), lock
+	// the touched shards in index order, then install each group.
+	grouped := make(map[int][]model.WriteRecord, 4)
 	for _, w := range writes {
-		c, ok := s.copies[w.Item]
+		idx := int(shard.Hash(w.Item) & s.mask)
+		grouped[idx] = append(grouped[idx], w)
+	}
+	order := make([]int, 0, len(grouped))
+	for idx := range grouped {
+		order = append(order, idx)
+	}
+	sort.Ints(order)
+	for _, idx := range order {
+		s.shards[idx].mu.Lock()
+	}
+	defer func() {
+		for _, idx := range order {
+			s.shards[idx].mu.Unlock()
+		}
+	}()
+	for _, idx := range order {
+		if err := applyLocked(&s.shards[idx], grouped[idx]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyLocked installs writes into sh, which the caller holds locked.
+func applyLocked(sh *storeShard, writes []model.WriteRecord) error {
+	for _, w := range writes {
+		c, ok := sh.copies[w.Item]
 		if !ok {
 			return fmt.Errorf("storage: no copy of %s on this site", w.Item)
 		}
 		if w.Version > c.Version {
-			s.copies[w.Item] = Copy{Value: w.Value, Version: w.Version}
+			sh.copies[w.Item] = Copy{Value: w.Value, Version: w.Version}
 		}
 	}
 	return nil
@@ -81,24 +207,33 @@ func (s *Store) Apply(writes []model.WriteRecord) error {
 
 // Items returns the hosted item ids in sorted order.
 func (s *Store) Items() []model.ItemID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]model.ItemID, 0, len(s.copies))
-	for item := range s.copies {
-		out = append(out, item)
+	s.rlockAll()
+	defer s.runlockAll()
+	var out []model.ItemID
+	for i := range s.shards {
+		for item := range s.shards[i].copies {
+			out = append(out, item)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Snapshot returns a consistent copy of the whole store (for monitors,
-// tests and the GUI's display panels).
+// tests and the GUI's display panels). All shards are read-locked in index
+// order for the duration, making the snapshot atomic against Apply.
 func (s *Store) Snapshot() map[model.ItemID]Copy {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[model.ItemID]Copy, len(s.copies))
-	for k, v := range s.copies {
-		out[k] = v
+	s.rlockAll()
+	defer s.runlockAll()
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].copies)
+	}
+	out := make(map[model.ItemID]Copy, n)
+	for i := range s.shards {
+		for k, v := range s.shards[i].copies {
+			out[k] = v
+		}
 	}
 	return out
 }

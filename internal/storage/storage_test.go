@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -219,4 +221,138 @@ func TestRecoverPropertyFinalStateMatchesOnline(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
 	}
+}
+
+func TestShardCountNormalization(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 9: 16, 300: MaxShards}
+	for in, want := range cases {
+		if got := NewSharded(in).ShardCount(); got != want {
+			t.Errorf("NewSharded(%d).ShardCount() = %d, want %d", in, got, want)
+		}
+	}
+	if got := New().ShardCount(); got != DefaultShards() {
+		t.Errorf("New().ShardCount() = %d, want default %d", got, DefaultShards())
+	}
+}
+
+// TestShardedBehaviourMatchesSingleShard checks that shard count is purely
+// a performance knob: every API call behaves identically at 1 and 16 shards.
+func TestShardedBehaviourMatchesSingleShard(t *testing.T) {
+	items := make(map[model.ItemID]int64)
+	for i := 0; i < 40; i++ {
+		items[model.ItemID(fmt.Sprintf("i%02d", i))] = int64(i)
+	}
+	one, many := NewSharded(1), NewSharded(16)
+	one.Init(items)
+	many.Init(items)
+	writes := []model.WriteRecord{
+		{Item: "i03", Value: 333, Version: 2},
+		{Item: "i27", Value: 777, Version: 1},
+		{Item: "i03", Value: 111, Version: 1}, // stale: must lose to version 2
+	}
+	if err := one.Apply(writes); err != nil {
+		t.Fatal(err)
+	}
+	if err := many.Apply(writes); err != nil {
+		t.Fatal(err)
+	}
+	snapOne, snapMany := one.Snapshot(), many.Snapshot()
+	if len(snapOne) != len(snapMany) {
+		t.Fatalf("snapshot sizes differ: %d vs %d", len(snapOne), len(snapMany))
+	}
+	for k, v := range snapOne {
+		if snapMany[k] != v {
+			t.Errorf("item %s: 1-shard %+v vs 16-shard %+v", k, v, snapMany[k])
+		}
+	}
+	itemsOne, itemsMany := one.Items(), many.Items()
+	for i := range itemsOne {
+		if itemsOne[i] != itemsMany[i] {
+			t.Fatalf("Items() order diverges at %d: %s vs %s", i, itemsOne[i], itemsMany[i])
+		}
+	}
+	if err := one.Apply([]model.WriteRecord{{Item: "nope", Version: 1}}); err == nil {
+		t.Error("apply of unhosted item should fail (1 shard)")
+	}
+	if err := many.Apply([]model.WriteRecord{{Item: "nope", Version: 1}}); err == nil {
+		t.Error("apply of unhosted item should fail (16 shards)")
+	}
+}
+
+// TestStoreConcurrentStress hammers every shard from many goroutines —
+// run with -race. Versions only grow, so after the storm each copy must
+// hold the value installed at its highest version.
+func TestStoreConcurrentStress(t *testing.T) {
+	const nItems, goroutines, iters = 64, 16, 300
+	items := make(map[model.ItemID]int64, nItems)
+	ids := make([]model.ItemID, nItems)
+	for i := range ids {
+		ids[i] = model.ItemID(fmt.Sprintf("i%02d", i))
+		items[ids[i]] = 0
+	}
+	s := NewSharded(8)
+	s.Init(items)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= iters; i++ {
+				a, b := ids[(g*7+i)%nItems], ids[(g*13+i*5)%nItems]
+				v := model.Version(i)
+				switch i % 4 {
+				case 0:
+					s.Snapshot()
+				case 1:
+					s.Get(a)
+					s.Has(b)
+				default:
+					// Cross-shard write set exercises the ordered multi-
+					// shard Apply path.
+					s.Apply([]model.WriteRecord{
+						{Item: a, Value: int64(i), Version: v},
+						{Item: b, Value: int64(i), Version: v},
+					})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		c, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("item %s vanished", id)
+		}
+		if c.Version > 0 && c.Value != int64(c.Version) {
+			t.Errorf("item %s: value %d does not match version %d", id, c.Value, c.Version)
+		}
+	}
+}
+
+// TestSnapshotAtomicAgainstApply checks that a snapshot never observes half
+// a cross-shard write set: both writes carry the same version, so any
+// snapshot must see them at equal versions.
+func TestSnapshotAtomicAgainstApply(t *testing.T) {
+	s := NewSharded(8)
+	// "a" and "h" land in different shards for any multi-shard layout that
+	// splits these ids; even if they collide the test remains valid.
+	s.Init(map[model.ItemID]int64{"a": 0, "h": 0})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for v := model.Version(1); v <= 500; v++ {
+			s.Apply([]model.WriteRecord{
+				{Item: "a", Value: int64(v), Version: v},
+				{Item: "h", Value: int64(v), Version: v},
+			})
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		snap := s.Snapshot()
+		if snap["a"].Version != snap["h"].Version {
+			t.Fatalf("snapshot tore a transaction: a@%d h@%d", snap["a"].Version, snap["h"].Version)
+		}
+	}
+	<-done
 }
