@@ -13,9 +13,11 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/model"
+	"repro/internal/schema"
 	"repro/internal/site"
 	"repro/internal/tcpnet"
 	"repro/internal/wal"
@@ -26,9 +28,13 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "this site's listen address")
 	nsAddr := flag.String("ns", "127.0.0.1:7000", "name server address")
 	book := flag.String("peers", "", "comma-separated peer address book: S1=host:port,S2=host:port")
-	walPath := flag.String("wal", "", "WAL file path; empty = in-memory log")
+	walPath := flag.String("wal", "", "WAL directory (segmented binary log); empty = in-memory log. An existing regular file is opened as a legacy JSON-lines log (no checkpointing)")
+	walCodec := flag.String("wal-codec", "binary", "segment record codec: binary or json")
+	walSegBytes := flag.Int64("wal-segment-bytes", 0, "segment rotation threshold; 0 derives one from -checkpoint-bytes (compaction reclaims whole segments, so several must fit per checkpoint)")
 	cfgPath := flag.String("config", "", "experiment configuration (JSON); empty = fetch from name server")
 	shards := flag.Int("shards", 0, "data-plane shard count (0 = GOMAXPROCS-derived)")
+	ckptBytes := flag.Int64("checkpoint-bytes", 4<<20, "checkpoint after this many WAL bytes appended (0 disables the bytes trigger)")
+	ckptInterval := flag.Duration("checkpoint-interval", 0, "periodic checkpoint interval (0 disables the timer)")
 	flag.Parse()
 
 	if *id == "" {
@@ -54,15 +60,48 @@ func main() {
 
 	var log wal.Log
 	if *walPath != "" {
-		fl, err := wal.OpenFile(*walPath, true)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rainbow-site:", err)
-			os.Exit(1)
+		if st, err := os.Stat(*walPath); err == nil && st.Mode().IsRegular() {
+			// A pre-segment single-file JSON log: keep serving it as-is. To
+			// migrate, move it into a directory as <dir>/00000000000000000000.seg
+			// and point -wal at the directory.
+			fl, err := wal.OpenFile(*walPath, true)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rainbow-site:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "rainbow-site: %s is a legacy JSON-lines WAL; checkpoint/compaction disabled\n", *walPath)
+			log = fl
+		} else {
+			codec, err := wal.CodecByName(*walCodec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rainbow-site:", err)
+				os.Exit(2)
+			}
+			segBytes := *walSegBytes
+			if segBytes <= 0 && *ckptBytes > 0 {
+				// Aim for ~4 segments per checkpoint window so compaction
+				// (whole segments only) can actually reclaim space.
+				segBytes = *ckptBytes / 4
+				if segBytes < 16<<10 {
+					segBytes = 16 << 10
+				}
+				if segBytes > wal.DefaultSegmentBytes {
+					segBytes = wal.DefaultSegmentBytes
+				}
+			}
+			sl, err := wal.OpenSegmented(*walPath, wal.SegmentOptions{Sync: true, Codec: codec, SegmentBytes: segBytes})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rainbow-site:", err)
+				os.Exit(1)
+			}
+			log = sl
 		}
-		log = fl
 	}
 
-	cfg := site.Config{ID: model.SiteID(*id), Net: net, Log: log, Register: true, Addr: *addr, Shards: *shards}
+	cfg := site.Config{
+		ID: model.SiteID(*id), Net: net, Log: log, Register: true, Addr: *addr, Shards: *shards,
+		Checkpoint: schema.CheckpointPolicy{Bytes: *ckptBytes, Interval: time.Duration(*ckptInterval)},
+	}
 	if *cfgPath != "" {
 		exp, err := config.Load(*cfgPath)
 		if err != nil {

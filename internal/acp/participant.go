@@ -34,6 +34,12 @@ type Resolver interface {
 type Participant struct {
 	self model.SiteID
 	log  wal.Log
+	// gate, when set, is the checkpoint manager's snapshot interlock: every
+	// decision's force-write + install runs under its read side, so a fuzzy
+	// snapshot (taken under the write side) never captures a decision record
+	// as durable without its effects. Set before the site serves traffic;
+	// nil means no checkpointing.
+	gate *sync.RWMutex
 
 	mu        sync.Mutex
 	applier   Applier
@@ -64,6 +70,22 @@ func (p *Participant) SetApplier(a Applier) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.applier = a
+}
+
+// UseGate installs the checkpoint manager's snapshot interlock. Must be
+// called before the participant serves traffic.
+func (p *Participant) UseGate(g *sync.RWMutex) { p.gate = g }
+
+func (p *Participant) gateRLock() {
+	if p.gate != nil {
+		p.gate.RLock()
+	}
+}
+
+func (p *Participant) gateRUnlock() {
+	if p.gate != nil {
+		p.gate.RUnlock()
+	}
 }
 
 // HandlePrepare processes phase 1: force the prepared record and vote yes.
@@ -125,8 +147,40 @@ func (p *Participant) HandlePreCommit(tx model.TxID) {
 // It is idempotent against duplicate deliveries, and it still applies when
 // the outcome was already recorded without application (the coordinator
 // records its decision in the table before delivering it to its own
-// participant half).
+// participant half). The force-write and the install happen under the
+// checkpoint gate as one unit.
 func (p *Participant) HandleDecision(tx model.TxID, commit bool) error {
+	p.gateRLock()
+	defer p.gateRUnlock()
+	return p.decide(tx, commit, true)
+}
+
+// ForceDecision is the coordinator's half of the WAL decision rule: it
+// forces the decision record (rec.Type must be RecDecision) and adopts the
+// outcome locally — decision table entry plus local apply/release — as one
+// unit under the checkpoint gate. Without the atomicity a fuzzy snapshot
+// could observe the record durable below its horizon while the local
+// install is still pending, and compaction would then strand the write set.
+//
+// Only the log force can fail the call: once the record is durable the
+// decision IS the outcome, so a local install error (a write-set/schema
+// mismatch) must not make the protocol report an abort or skip phase 2 —
+// the write set stays in the WAL and recovery's version-guarded redo
+// repairs the store.
+func (p *Participant) ForceDecision(rec wal.Record) error {
+	p.gateRLock()
+	defer p.gateRUnlock()
+	if err := p.log.Append(rec); err != nil {
+		return err
+	}
+	p.decide(rec.Tx, rec.Commit, false) //nolint:errcheck
+	return nil
+}
+
+// decide installs an outcome exactly once. logIt selects whether a decision
+// record still needs forcing (false when the caller already forced one).
+// Callers hold the checkpoint gate.
+func (p *Participant) decide(tx model.TxID, commit bool, logIt bool) error {
 	p.mu.Lock()
 	st, hasState := p.states[tx]
 	_, decided := p.decisions[tx]
@@ -141,7 +195,7 @@ func (p *Participant) HandleDecision(tx model.TxID, commit bool) error {
 
 	// Log before applying; Store.Apply is version-guarded so replay after a
 	// crash between these two steps is idempotent.
-	if !decided {
+	if logIt && !decided {
 		if err := p.log.Append(wal.Record{Type: wal.RecDecision, Tx: tx, Commit: commit}); err != nil {
 			return err
 		}
@@ -190,8 +244,11 @@ func (p *Participant) Decision(tx model.TxID) (commit, known bool) {
 	return commit, known
 }
 
-// RecordDecision notes an outcome decided by the local coordinator so
-// decision requests can be served (the coordinator's half of the table).
+// RecordDecision notes an already-known outcome in the decision table
+// without logging or applying anything. The production coordinator path is
+// ForceDecision (which also forces the record and installs locally under
+// the checkpoint gate); this remains for protocol-level tests and callers
+// that learned an outcome out of band.
 func (p *Participant) RecordDecision(tx model.TxID, commit bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -241,6 +298,32 @@ func (p *Participant) RestoreDecisions(recs []wal.Record) {
 			p.decisions[r.Tx] = r.Commit
 		}
 	}
+}
+
+// SeedDecisions preloads the decision table from a checkpoint snapshot
+// (records compacted below the snapshot's horizon live on only there).
+// WAL-derived entries win over snapshot entries, so call this before
+// RestoreDecisions.
+func (p *Participant) SeedDecisions(decs map[model.TxID]bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for tx, commit := range decs {
+		if _, ok := p.decisions[tx]; !ok {
+			p.decisions[tx] = commit
+		}
+	}
+}
+
+// DecisionTable returns a copy of the decision table; the checkpoint
+// manager embeds it in each snapshot.
+func (p *Participant) DecisionTable() map[model.TxID]bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[model.TxID]bool, len(p.decisions))
+	for tx, commit := range p.decisions {
+		out[tx] = commit
+	}
+	return out
 }
 
 // Resolve tries to determine the outcome of an in-doubt transaction:

@@ -3,9 +3,11 @@ package cc
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/lock"
 	"repro/internal/model"
+	"repro/internal/shard"
 	"repro/internal/storage"
 )
 
@@ -13,26 +15,50 @@ import (
 // take exclusive locks, and every lock is held until Commit or Abort. With
 // the lock manager's waits-for-graph detection, local deadlocks abort the
 // requester immediately; distributed deadlocks fall to the wait timeout.
+//
+// The intent buffer is striped by item hash — the same placement math as
+// the lock table and the store — so concurrent transactions touching
+// different items never contend on a global mutex anywhere on the 2PL path.
 type TwoPL struct {
 	store *storage.Store
 	locks *lock.Manager
 
+	intents []intentShard
+	mask    uint32
+
+	reads     atomic.Uint64
+	preWrites atomic.Uint64
+}
+
+// intentShard is one stripe of the buffered write intents, keyed tx → item
+// → value. A transaction's intents spread over the stripes of the items it
+// wrote.
+type intentShard struct {
 	mu      sync.Mutex
 	intents map[model.TxID]map[model.ItemID]int64
-	stats   Stats
 }
 
 // NewTwoPL builds the 2PL manager over the site's store.
 func NewTwoPL(store *storage.Store, opts Options) *TwoPL {
-	return &TwoPL{
+	n := shard.Normalize(opts.Shards, lock.MaxShards)
+	m := &TwoPL{
 		store: store,
 		locks: lock.New(lock.Options{
 			Timeout:                  opts.LockTimeout,
 			DisableDeadlockDetection: opts.DisableDeadlockDetection,
 			Shards:                   opts.Shards,
 		}),
-		intents: make(map[model.TxID]map[model.ItemID]int64),
+		intents: make([]intentShard, n),
+		mask:    uint32(n - 1),
 	}
+	for i := range m.intents {
+		m.intents[i].intents = make(map[model.TxID]map[model.ItemID]int64)
+	}
+	return m
+}
+
+func (m *TwoPL) stripeOf(item model.ItemID) *intentShard {
+	return &m.intents[shard.Hash(item)&m.mask]
 }
 
 // Name implements Manager.
@@ -47,13 +73,14 @@ func (m *TwoPL) Read(ctx context.Context, tx model.TxID, ts model.Timestamp, ite
 	if !ok {
 		return 0, 0, model.Abortf(model.AbortRCP, "no copy of %s at this site", item)
 	}
-	m.mu.Lock()
-	m.stats.Reads++
+	m.reads.Add(1)
 	val := c.Value
-	if own, ok := m.intents[tx][item]; ok {
+	sh := m.stripeOf(item)
+	sh.mu.Lock()
+	if own, ok := sh.intents[tx][item]; ok {
 		val = own // read-your-writes on the buffered intent
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	return val, c.Version, nil
 }
 
@@ -67,13 +94,14 @@ func (m *TwoPL) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp,
 	if !ok {
 		return 0, model.Abortf(model.AbortRCP, "no copy of %s at this site", item)
 	}
-	m.mu.Lock()
-	if m.intents[tx] == nil {
-		m.intents[tx] = make(map[model.ItemID]int64)
+	sh := m.stripeOf(item)
+	sh.mu.Lock()
+	if sh.intents[tx] == nil {
+		sh.intents[tx] = make(map[model.ItemID]int64)
 	}
-	m.intents[tx][item] = value
-	m.stats.PreWrites++
-	m.mu.Unlock()
+	sh.intents[tx][item] = value
+	sh.mu.Unlock()
+	m.preWrites.Add(1)
 	return c.Version, nil
 }
 
@@ -81,22 +109,49 @@ func (m *TwoPL) acquire(ctx context.Context, tx model.TxID, item model.ItemID, m
 	return m.locks.Acquire(ctx, tx, item, mode)
 }
 
+// clearIntents discards tx's buffered intents across all stripes (the
+// abort path, which has no write set to narrow the sweep).
+func (m *TwoPL) clearIntents(tx model.TxID) {
+	for i := range m.intents {
+		sh := &m.intents[i]
+		sh.mu.Lock()
+		delete(sh.intents, tx)
+		sh.mu.Unlock()
+	}
+}
+
 // Commit implements Manager: install the final records, then release locks
-// (strict 2PL order: writes visible before any lock is released).
+// (strict 2PL order: writes visible before any lock is released). Intents
+// are buffered only for pre-written items, and every pre-written item at
+// this site is in the commit's write set, so only the written items'
+// stripes need sweeping (deduplicated via a stripe bitmask — stripe count
+// is capped at lock.MaxShards = 64).
 func (m *TwoPL) Commit(tx model.TxID, writes []model.WriteRecord) error {
 	err := m.store.Apply(writes)
-	m.mu.Lock()
-	delete(m.intents, tx)
-	m.mu.Unlock()
+	if len(writes) == 0 {
+		m.clearIntents(tx)
+	} else {
+		var mask uint64
+		for _, w := range writes {
+			mask |= 1 << (shard.Hash(w.Item) & m.mask)
+		}
+		for i := range m.intents {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			sh := &m.intents[i]
+			sh.mu.Lock()
+			delete(sh.intents, tx)
+			sh.mu.Unlock()
+		}
+	}
 	m.locks.ReleaseAll(tx)
 	return err
 }
 
 // Abort implements Manager.
 func (m *TwoPL) Abort(tx model.TxID) {
-	m.mu.Lock()
-	delete(m.intents, tx)
-	m.mu.Unlock()
+	m.clearIntents(tx)
 	m.locks.ReleaseAll(tx)
 }
 
@@ -114,9 +169,7 @@ func (m *TwoPL) Reinstate(tx model.TxID, ts model.Timestamp, writes []model.Writ
 
 // Stats implements Manager, merging lock-manager counters.
 func (m *TwoPL) Stats() Stats {
-	m.mu.Lock()
-	s := m.stats
-	m.mu.Unlock()
+	s := Stats{Reads: m.reads.Load(), PreWrites: m.preWrites.Load()}
 	ls := m.locks.Stats()
 	s.Waits = ls.Waits
 	s.Deadlocks = ls.Deadlocks

@@ -1,0 +1,372 @@
+// Package checkpoint implements Rainbow's checkpoint & log-compaction
+// subsystem: fuzzy snapshots of the sharded copy store plus the decision
+// table, written atomically and validated by checksum, that bound both the
+// write-ahead log's on-disk volume and the amount of history crash recovery
+// must replay.
+//
+// A checkpoint at horizon H captures every effect of WAL records below H,
+// so recovery becomes load-latest-valid-snapshot + redo-from-H instead of
+// full-history replay, and the log can delete segments wholly below H —
+// except segments pinned by Prepared-but-undecided (in-doubt) transactions,
+// whose records must survive for 2PC/3PC termination.
+//
+// Snapshots are "fuzzy" in the classical sense: transaction processing
+// continues while one is taken. The only interlock is the manager's gate, a
+// reader-writer lock the decision pipeline holds in read mode around each
+// decision's force-write + install; the manager takes it in write mode just
+// long enough to read the durable LSN and copy the store, guaranteeing that
+// every decision below the horizon is fully installed in the snapshot.
+// Prepares, reads and pre-writes never touch the gate.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Decision is one decided transaction carried in a snapshot (the decision
+// table must survive compaction so recovered coordinators keep answering
+// peers' decision requests).
+type Decision struct {
+	Tx     model.TxID `json:"tx"`
+	Commit bool       `json:"commit"`
+}
+
+// Snapshot is one fuzzy checkpoint image.
+type Snapshot struct {
+	// Horizon is the first LSN recovery must redo on top of this snapshot:
+	// every record below it is fully reflected in Items and Decisions.
+	Horizon uint64 `json:"horizon"`
+	// Items are the store's copies at snapshot time.
+	Items map[model.ItemID]storage.Copy `json:"items"`
+	// Decisions is the participant's decision table at snapshot time.
+	Decisions []Decision `json:"decisions,omitempty"`
+}
+
+// DecisionMap converts the decision list back to the participant's table
+// form.
+func (s *Snapshot) DecisionMap() map[model.TxID]bool {
+	out := make(map[model.TxID]bool, len(s.Decisions))
+	for _, d := range s.Decisions {
+		out[d.Tx] = d.Commit
+	}
+	return out
+}
+
+// Store persists snapshots. Implementations must make Save atomic (a torn
+// or partial snapshot must never be returned by Latest) and tolerate
+// corrupt entries by falling back to older ones.
+type Store interface {
+	// Save durably stores a snapshot.
+	Save(*Snapshot) error
+	// Latest returns the newest valid snapshot, skipping torn or corrupt
+	// entries, or nil when none exists.
+	Latest() (*Snapshot, error)
+	// Horizons lists the horizons of stored valid snapshots in ascending
+	// order.
+	Horizons() ([]uint64, error)
+	// Prune removes all but the newest keep snapshots.
+	Prune(keep int) error
+}
+
+// ---- Directory-backed store ----
+
+const (
+	snapPrefix     = "checkpoint-"
+	snapSuffix     = ".snap"
+	snapHeaderSize = 16 // magic(8) + payload length(4) + payload CRC32(4)
+)
+
+var snapMagic = [8]byte{'R', 'B', 'W', 'S', 'N', 'A', 'P', '1'}
+
+// DirStore keeps snapshots as files in a directory (conventionally the
+// WAL's segment directory). Each file is a checksummed JSON image written
+// via temp file + fsync + rename, so a crash mid-checkpoint leaves either
+// the previous snapshot set intact or the new file complete — never a torn
+// visible snapshot. A torn or bit-rotted file fails validation and Latest
+// falls back to the next-newest one.
+type DirStore struct {
+	dir string
+	mu  sync.Mutex
+	// known caches validation verdicts per path. Snapshot files are
+	// immutable once renamed into place, so a verdict holds for the
+	// process lifetime; entries are dropped when files are pruned.
+	known map[string]bool
+}
+
+// NewDirStore returns a store over dir (created on first Save).
+func NewDirStore(dir string) *DirStore {
+	return &DirStore{dir: dir, known: make(map[string]bool)}
+}
+
+// checkValid validates path with the per-path cache.
+func (s *DirStore) checkValid(path string) bool {
+	if v, ok := s.known[path]; ok {
+		return v
+	}
+	_, err := validate(path)
+	s.known[path] = err == nil
+	return err == nil
+}
+
+func snapPath(dir string, horizon uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%020d%s", snapPrefix, horizon, snapSuffix))
+}
+
+// Save implements Store.
+func (s *DirStore) Save(snap *Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: mkdir %s: %w", s.dir, err)
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal snapshot: %w", err)
+	}
+	var hdr [snapHeaderSize]byte
+	copy(hdr[0:8], snapMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload))
+
+	final := snapPath(s.dir, snap.Horizon)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: create %s: %w", tmp, err)
+	}
+	if _, err := f.Write(hdr[:]); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return fmt.Errorf("checkpoint: write %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return fmt.Errorf("checkpoint: rename %s: %w", final, err)
+	}
+	wal.SyncDir(s.dir)
+	s.known[final] = true
+	return nil
+}
+
+// validate reads one snapshot file and checks its frame: a short file, bad
+// magic, bad length or CRC mismatch returns an error (the caller falls
+// back). The payload is returned undecoded — horizon listing only needs the
+// integrity check, not the full JSON parse.
+func validate(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hdr [snapHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: truncated header: %w", path, err)
+	}
+	if [8]byte(hdr[0:8]) != snapMagic {
+		return nil, fmt.Errorf("checkpoint: %s: bad magic", path)
+	}
+	length := binary.LittleEndian.Uint32(hdr[8:12])
+	sum := binary.LittleEndian.Uint32(hdr[12:16])
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: torn payload: %w", path, err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("checkpoint: %s: checksum mismatch", path)
+	}
+	return payload, nil
+}
+
+// load validates and decodes one snapshot file.
+func load(path string) (*Snapshot, error) {
+	payload, err := validate(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: decode: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// horizonFromName parses the horizon out of a snapshot filename
+// (checkpoint-%020d.snap — Save names files by horizon).
+func horizonFromName(path string) (uint64, bool) {
+	name := filepath.Base(path)
+	name = strings.TrimPrefix(name, snapPrefix)
+	name = strings.TrimSuffix(name, snapSuffix)
+	h, err := strconv.ParseUint(name, 10, 64)
+	return h, err == nil
+}
+
+// list returns snapshot file paths in ascending horizon (name) order.
+func (s *DirStore) list() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: list %s: %w", s.dir, err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, snapSuffix) {
+			out = append(out, filepath.Join(s.dir, name))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Latest implements Store: newest file first, falling back past any that
+// fail validation.
+func (s *DirStore) Latest() (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	paths, err := s.list()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(paths) - 1; i >= 0; i-- {
+		if snap, err := load(paths[i]); err == nil {
+			return snap, nil
+		}
+	}
+	return nil, nil
+}
+
+// Horizons implements Store (valid snapshots only). Integrity is checked
+// (magic + CRC) but the JSON body is not decoded: the horizon comes from
+// the filename, so listing stays cheap even with large store images.
+func (s *DirStore) Horizons() ([]uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	paths, err := s.list()
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, p := range paths {
+		h, ok := horizonFromName(p)
+		if !ok {
+			continue
+		}
+		if s.checkValid(p) {
+			out = append(out, h)
+		}
+	}
+	return out, nil
+}
+
+// Prune implements Store: keep the newest keep files (by name order),
+// remove the rest.
+func (s *DirStore) Prune(keep int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	paths, err := s.list()
+	if err != nil {
+		return err
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	var firstErr error
+	for i := 0; i < len(paths)-keep; i++ {
+		if err := os.Remove(paths[i]); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("checkpoint: prune %s: %w", paths[i], err)
+			continue
+		}
+		delete(s.known, paths[i])
+	}
+	if len(paths) > keep {
+		wal.SyncDir(s.dir)
+	}
+	return firstErr
+}
+
+// ---- In-memory store ----
+
+// MemStore keeps snapshots in process memory. Like wal.MemoryLog it
+// survives the failure injector's simulated crashes (the site's volatile
+// state is discarded; the store object is handed to the recovered site), so
+// simnet experiments exercise the full checkpoint/recovery path.
+type MemStore struct {
+	mu    sync.Mutex
+	snaps []*Snapshot // ascending horizon
+}
+
+// NewMemStore returns an empty in-memory snapshot store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Save implements Store. Snapshots are treated as immutable after Save.
+func (s *MemStore) Save(snap *Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.Search(len(s.snaps), func(i int) bool { return s.snaps[i].Horizon >= snap.Horizon })
+	if i < len(s.snaps) && s.snaps[i].Horizon == snap.Horizon {
+		s.snaps[i] = snap
+		return nil
+	}
+	s.snaps = append(s.snaps, nil)
+	copy(s.snaps[i+1:], s.snaps[i:])
+	s.snaps[i] = snap
+	return nil
+}
+
+// Latest implements Store.
+func (s *MemStore) Latest() (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.snaps) == 0 {
+		return nil, nil
+	}
+	return s.snaps[len(s.snaps)-1], nil
+}
+
+// Horizons implements Store.
+func (s *MemStore) Horizons() ([]uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, len(s.snaps))
+	for i, snap := range s.snaps {
+		out[i] = snap.Horizon
+	}
+	return out, nil
+}
+
+// Prune implements Store.
+func (s *MemStore) Prune(keep int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if keep < 1 {
+		keep = 1
+	}
+	if n := len(s.snaps) - keep; n > 0 {
+		s.snaps = append(s.snaps[:0:0], s.snaps[n:]...)
+	}
+	return nil
+}

@@ -1,0 +1,400 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+func sampleSnapshot(h uint64) *Snapshot {
+	return &Snapshot{
+		Horizon: h,
+		Items: map[model.ItemID]storage.Copy{
+			"x": {Value: int64(h), Version: model.Version(h)},
+		},
+		Decisions: []Decision{{Tx: model.TxID{Site: "S1", Seq: h}, Commit: true}},
+	}
+}
+
+func stores(t *testing.T) map[string]Store {
+	return map[string]Store{
+		"dir": NewDirStore(t.TempDir()),
+		"mem": NewMemStore(),
+	}
+}
+
+func TestStoreSaveLatestPrune(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if snap, err := s.Latest(); err != nil || snap != nil {
+				t.Fatalf("empty store Latest = %v, %v", snap, err)
+			}
+			for _, h := range []uint64{10, 20, 30} {
+				if err := s.Save(sampleSnapshot(h)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			snap, err := s.Latest()
+			if err != nil || snap == nil || snap.Horizon != 30 {
+				t.Fatalf("Latest = %+v, %v", snap, err)
+			}
+			if snap.Items["x"].Value != 30 || len(snap.Decisions) != 1 {
+				t.Errorf("snapshot content lost: %+v", snap)
+			}
+			hs, err := s.Horizons()
+			if err != nil || len(hs) != 3 || hs[0] != 10 || hs[2] != 30 {
+				t.Fatalf("Horizons = %v, %v", hs, err)
+			}
+			if err := s.Prune(2); err != nil {
+				t.Fatal(err)
+			}
+			hs, _ = s.Horizons()
+			if len(hs) != 2 || hs[0] != 20 {
+				t.Fatalf("after Prune(2): %v", hs)
+			}
+		})
+	}
+}
+
+// TestDirStoreTornSnapshotFallsBack is the crash-during-checkpoint case:
+// the newest snapshot file is torn (truncated mid-payload) or bit-rotted,
+// and Latest must fall back to the previous valid snapshot rather than
+// load garbage or give up.
+func TestDirStoreTornSnapshotFallsBack(t *testing.T) {
+	corruptions := map[string]func(t *testing.T, path string){
+		"truncated": func(t *testing.T, path string) {
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, st.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"bitrot": func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(b)/2] ^= 0x40
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"empty": func(t *testing.T, path string) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := NewDirStore(dir)
+			if err := s.Save(sampleSnapshot(10)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Save(sampleSnapshot(20)); err != nil {
+				t.Fatal(err)
+			}
+			corrupt(t, snapPath(dir, 20))
+
+			// Recovery happens in a fresh process: read through a fresh
+			// store (DirStore caches per-path validation verdicts, since
+			// snapshot files are immutable under normal operation).
+			r := NewDirStore(dir)
+			snap, err := r.Latest()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap == nil || snap.Horizon != 10 {
+				t.Fatalf("Latest after corruption = %+v, want fallback to horizon 10", snap)
+			}
+			if hs, _ := r.Horizons(); len(hs) != 1 || hs[0] != 10 {
+				t.Errorf("Horizons should skip the corrupt file: %v", hs)
+			}
+			// Latest always re-validates (defense in depth): even the store
+			// that wrote the file must not load the corrupt image.
+			if snap, err := s.Latest(); err != nil || snap == nil || snap.Horizon != 10 {
+				t.Errorf("writer-side Latest after corruption = %+v, %v", snap, err)
+			}
+		})
+	}
+}
+
+func TestDirStoreIgnoresStrayTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := NewDirStore(dir)
+	if err := s.Save(sampleSnapshot(5)); err != nil {
+		t.Fatal(err)
+	}
+	// A crash between temp-write and rename leaves a .tmp file behind.
+	if err := os.WriteFile(filepath.Join(dir, snapPrefix+"00000000000000000009"+snapSuffix+".tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Latest()
+	if err != nil || snap == nil || snap.Horizon != 5 {
+		t.Fatalf("Latest = %+v, %v", snap, err)
+	}
+}
+
+// populate appends n committed transactions through the log and applies
+// them to the store, mimicking the site's decision pipeline (gate held in
+// read mode around decision force + install).
+func populate(t *testing.T, m *Manager, st *storage.Store, l wal.Compactable, from, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		seq := uint64(from + i)
+		tx := model.TxID{Site: "S1", Seq: seq}
+		w := []model.WriteRecord{{Item: "x", Value: int64(seq), Version: model.Version(seq)}}
+		if err := l.Append(wal.Record{Type: wal.RecPrepared, Tx: tx, Coordinator: "S1", Writes: w}); err != nil {
+			t.Fatal(err)
+		}
+		gate := m.Gate()
+		gate.RLock()
+		err := l.Append(wal.Record{Type: wal.RecDecision, Tx: tx, Commit: true})
+		if err == nil {
+			err = st.Apply(w)
+		}
+		gate.RUnlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestManagerCheckpointBoundsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	items := map[model.ItemID]int64{"x": 0}
+	l, err := wal.OpenSegmented(dir, wal.SegmentOptions{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	st := storage.NewSharded(4)
+	st.Init(items)
+	snaps := NewDirStore(dir)
+	decisions := map[model.TxID]bool{}
+	m := NewManager(st, l, snaps, func() map[model.TxID]bool { return decisions }, Policy{})
+
+	populate(t, m, st, l, 1, 60)
+	decisions[model.TxID{Site: "S1", Seq: 60}] = true
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	populate(t, m, st, l, 61, 60)
+	sizeBefore := l.SizeBytes()
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Acceptance: after a checkpoint, on-disk WAL bytes shrink.
+	if after := l.SizeBytes(); after >= sizeBefore {
+		t.Errorf("WAL bytes did not shrink after checkpoint: %d -> %d", sizeBefore, after)
+	}
+	ms := m.Stats()
+	if ms.Checkpoints != 2 || ms.SegmentsCompacted == 0 {
+		t.Errorf("manager stats = %+v", ms)
+	}
+
+	// Crash/recover cycle: a fresh store recovers from the latest snapshot
+	// plus the retained records, reading strictly fewer records than were
+	// ever appended.
+	totalAppended := 240 + 2 // 120 txns * 2 records + 2 checkpoint records
+	snap, err := snaps.Latest()
+	if err != nil || snap == nil {
+		t.Fatalf("Latest = %v, %v", snap, err)
+	}
+	recs, err := l.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) >= totalAppended {
+		t.Errorf("recovery reads %d records, want strictly fewer than %d appended", len(recs), totalAppended)
+	}
+	st2 := storage.NewSharded(4)
+	inDoubt, err := st2.RecoverRecords(items, snap.Items, snap.Horizon, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inDoubt) != 0 {
+		t.Errorf("no in-doubt transactions expected, got %v", inDoubt)
+	}
+	c, ok := st2.Get("x")
+	if !ok || c.Value != 120 || c.Version != 120 {
+		t.Errorf("recovered copy = %+v, want value 120 @ v120", c)
+	}
+	if snap.DecisionMap()[model.TxID{Site: "S1", Seq: 60}] != true {
+		t.Error("decision table lost from snapshot")
+	}
+}
+
+// TestManagerInDoubtSurvivesCompaction: a transaction prepared before the
+// horizon and never decided must surface from recovery even after two
+// checkpoints compacted everything else below the horizon.
+func TestManagerInDoubtSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	items := map[model.ItemID]int64{"x": 0, "y": 0}
+	l, err := wal.OpenSegmented(dir, wal.SegmentOptions{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	st := storage.NewSharded(4)
+	st.Init(items)
+	snaps := NewDirStore(dir)
+	m := NewManager(st, l, snaps, nil, Policy{})
+
+	orphan := model.TxID{Site: "S2", Seq: 9999}
+	if err := l.Append(wal.Record{Type: wal.RecPrepared, Tx: orphan, Coordinator: "S2",
+		Participants: []model.SiteID{"S1", "S2"},
+		Writes:       []model.WriteRecord{{Item: "y", Value: 42, Version: 7}}}); err != nil {
+		t.Fatal(err)
+	}
+	populate(t, m, st, l, 1, 50)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	populate(t, m, st, l, 51, 50)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().SegmentsCompacted == 0 {
+		t.Fatal("compaction never removed a segment; test is vacuous")
+	}
+
+	snap, err := snaps.Latest()
+	if err != nil || snap == nil {
+		t.Fatal(err)
+	}
+	if orphanLSN := uint64(1); snap.Horizon <= orphanLSN {
+		t.Fatalf("horizon %d does not cover the orphan's prepare", snap.Horizon)
+	}
+	recs, err := l.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := storage.NewSharded(4)
+	inDoubt, err := st2.RecoverRecords(items, snap.Items, snap.Horizon, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inDoubt) != 1 || inDoubt[0].Tx != orphan {
+		t.Fatalf("in-doubt = %+v, want the orphan %v", inDoubt, orphan)
+	}
+	if inDoubt[0].Writes[0].Item != "y" || inDoubt[0].Coordinator != "S2" {
+		t.Errorf("orphan payload lost: %+v", inDoubt[0])
+	}
+	// The undecided write must NOT be installed.
+	if c, _ := st2.Get("y"); c.Value != 0 {
+		t.Errorf("in-doubt write leaked into the store: %+v", c)
+	}
+}
+
+// TestManagerTornNewestSnapshotRecovery glues the two halves together: the
+// newest snapshot is torn, recovery falls back to the previous snapshot,
+// and the WAL still holds every record needed from that older horizon
+// (compaction lags one checkpoint for exactly this reason).
+func TestManagerTornNewestSnapshotRecovery(t *testing.T) {
+	dir := t.TempDir()
+	items := map[model.ItemID]int64{"x": 0}
+	l, err := wal.OpenSegmented(dir, wal.SegmentOptions{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	st := storage.NewSharded(4)
+	st.Init(items)
+	snaps := NewDirStore(dir)
+	m := NewManager(st, l, snaps, nil, Policy{})
+
+	populate(t, m, st, l, 1, 40)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	populate(t, m, st, l, 41, 40)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	populate(t, m, st, l, 81, 10)
+
+	hs, err := snaps.Horizons()
+	if err != nil || len(hs) != 2 {
+		t.Fatalf("Horizons = %v, %v", hs, err)
+	}
+	// Tear the newest snapshot, as a crash mid-write would.
+	st2, err := os.Stat(snapPath(dir, hs[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(snapPath(dir, hs[1]), st2.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := snaps.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Horizon != hs[0] {
+		t.Fatalf("fallback snapshot horizon = %+v, want %d", snap, hs[0])
+	}
+	recs, err := l.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every record at or after the fallback horizon must still be present.
+	for want := snap.Horizon; want <= l.DurableLSN(); want++ {
+		found := false
+		for _, r := range recs {
+			if r.LSN == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("record %d (>= fallback horizon %d) was compacted away", want, snap.Horizon)
+		}
+	}
+	fresh := storage.NewSharded(4)
+	if _, err := fresh.RecoverRecords(items, snap.Items, snap.Horizon, recs); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := fresh.Get("x")
+	if !ok || c.Value != 90 {
+		t.Errorf("recovered value = %+v, want 90", c)
+	}
+}
+
+func TestManagerNoopWhenNothingAppended(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.OpenSegmented(dir, wal.SegmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	st := storage.New()
+	st.Init(map[model.ItemID]int64{"x": 0})
+	m := NewManager(st, l, NewDirStore(dir), nil, Policy{})
+	populate(t, m, st, l, 1, 3)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Checkpoints; got != 1 {
+		t.Errorf("idle re-checkpoint should be a no-op: %d checkpoints", got)
+	}
+}
+
+func TestPolicyEnabled(t *testing.T) {
+	if (Policy{}).Enabled() {
+		t.Error("zero policy should be disabled")
+	}
+	if !(Policy{Bytes: 1}).Enabled() || !(Policy{Interval: 1}).Enabled() {
+		t.Error("byte/interval policies should be enabled")
+	}
+}

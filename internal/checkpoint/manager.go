@@ -1,0 +1,250 @@
+package checkpoint
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Policy configures when checkpoints fire.
+type Policy struct {
+	// Bytes triggers a checkpoint once this many WAL bytes have been
+	// appended since the last one; 0 disables the bytes trigger.
+	Bytes int64
+	// Interval triggers periodic checkpoints; 0 disables the timer.
+	Interval time.Duration
+	// Retain is how many snapshots to keep; values < 2 select 2 (the
+	// previous snapshot is the fallback when the newest turns out torn, so
+	// compaction never outruns it).
+	Retain int
+}
+
+// Enabled reports whether any automatic trigger is configured. Manual
+// checkpoints work regardless.
+func (p Policy) Enabled() bool { return p.Bytes > 0 || p.Interval > 0 }
+
+func (p Policy) retain() int {
+	if p.Retain < 2 {
+		return 2
+	}
+	return p.Retain
+}
+
+// Stats is a snapshot of the manager's counters for the progress monitor.
+type Stats struct {
+	// Checkpoints counts completed checkpoints; Failures counts attempts
+	// that errored (snapshot write or log append).
+	Checkpoints uint64
+	Failures    uint64
+	// SegmentsCompacted counts WAL segments deleted by compaction.
+	SegmentsCompacted uint64
+	// LastHorizon is the horizon of the newest completed checkpoint.
+	LastHorizon uint64
+	// LastDuration is the wall time of the newest completed checkpoint.
+	LastDuration time.Duration
+}
+
+// Manager drives fuzzy checkpoints of one site's store: snapshot under the
+// gate, persist atomically, pin the horizon with a WAL checkpoint record,
+// prune old snapshots, compact the log. One Manager per site incarnation;
+// it is rebuilt (over the surviving snapshot store and log) on recovery.
+type Manager struct {
+	store     *storage.Store
+	log       wal.Compactable
+	snaps     Store
+	decisions func() map[model.TxID]bool
+	pol       Policy
+
+	// gate serializes fuzzy snapshots against the decision pipeline: every
+	// decision force-write + install runs under RLock, the snapshot step
+	// under Lock. See the package comment.
+	gate sync.RWMutex
+
+	// ckptMu serializes whole checkpoints (a manual trigger racing the
+	// background loop).
+	ckptMu sync.Mutex
+
+	mu        sync.Mutex
+	st        Stats
+	lastBytes uint64
+	lastAt    time.Time
+}
+
+// NewManager builds a manager. decisions supplies the participant's
+// decision table (may be nil when the site has none, e.g. in unit tests).
+func NewManager(store *storage.Store, log wal.Compactable, snaps Store, decisions func() map[model.TxID]bool, pol Policy) *Manager {
+	return &Manager{
+		store:     store,
+		log:       log,
+		snaps:     snaps,
+		decisions: decisions,
+		pol:       pol,
+		lastBytes: log.AppendedBytes(),
+		lastAt:    time.Now(),
+	}
+}
+
+// Gate returns the snapshot interlock; the site's decision pipeline holds
+// it in read mode around each decision's force-write + install.
+func (m *Manager) Gate() *sync.RWMutex { return &m.gate }
+
+// Stats returns the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.st
+}
+
+// Checkpoint takes one checkpoint now (the manual trigger and the
+// background loop both land here). A checkpoint with nothing new to capture
+// (no records since the last horizon) is a no-op.
+func (m *Manager) Checkpoint() error {
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	start := time.Now()
+	m.mu.Lock()
+	lastHorizon := m.st.LastHorizon
+	m.mu.Unlock()
+
+	m.gate.Lock()
+	horizon := m.log.DurableLSN() + 1
+	// Nothing but the previous checkpoint's own pin record (at LSN
+	// lastHorizon) has been appended: a new snapshot would capture nothing.
+	// Refresh the trigger baselines so an idle site stops re-taking the
+	// gate every poll tick, but still retry pruning/compaction — a previous
+	// checkpoint may have snapshotted successfully and then failed there,
+	// and a manual trigger on an idle site must be able to reclaim space.
+	if horizon <= lastHorizon+1 {
+		m.gate.Unlock()
+		m.mu.Lock()
+		m.lastBytes = m.log.AppendedBytes()
+		m.lastAt = time.Now()
+		m.mu.Unlock()
+		return m.pruneAndCompact()
+	}
+	items := m.store.Snapshot()
+	var decs map[model.TxID]bool
+	if m.decisions != nil {
+		decs = m.decisions()
+	}
+	m.gate.Unlock()
+
+	snap := &Snapshot{Horizon: horizon, Items: items, Decisions: decisionList(decs)}
+	if err := m.snaps.Save(snap); err != nil {
+		m.fail()
+		return err
+	}
+	// Pin the horizon in the log itself; recovery trusts the snapshot
+	// store, but the record documents the checkpoint in the record stream
+	// and is forced before any compaction may rely on it.
+	if err := m.log.Append(wal.Record{Type: wal.RecCheckpoint, Horizon: horizon}); err != nil {
+		m.fail()
+		return fmt.Errorf("checkpoint: pin record: %w", err)
+	}
+	// The checkpoint itself is durable from here on: count it and advance
+	// the trigger baselines even if pruning/compaction below goes wrong
+	// (those failures are counted separately so the monitor surfaces them).
+	m.mu.Lock()
+	m.st.Checkpoints++
+	m.st.LastHorizon = horizon
+	m.st.LastDuration = time.Since(start)
+	m.lastBytes = m.log.AppendedBytes()
+	m.lastAt = time.Now()
+	m.mu.Unlock()
+
+	return m.pruneAndCompact()
+}
+
+// pruneAndCompact trims the snapshot store to the retention count and
+// compacts the log below the SECOND-newest retained snapshot's horizon: if
+// the newest file is later found torn, recovery falls back to the previous
+// snapshot — whose redo records must still exist.
+func (m *Manager) pruneAndCompact() error {
+	if err := m.snaps.Prune(m.pol.retain()); err != nil {
+		m.fail()
+		return err
+	}
+	horizons, err := m.snaps.Horizons()
+	if err != nil {
+		m.fail()
+		return err
+	}
+	var compactH uint64
+	if len(horizons) >= 2 {
+		compactH = horizons[len(horizons)-2]
+	}
+	removed, err := m.log.Compact(compactH)
+	if err != nil {
+		m.fail()
+		return err
+	}
+	m.mu.Lock()
+	m.st.SegmentsCompacted += uint64(removed)
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *Manager) fail() {
+	m.mu.Lock()
+	m.st.Failures++
+	m.mu.Unlock()
+}
+
+// decisionList flattens the decision table deterministically.
+func decisionList(decs map[model.TxID]bool) []Decision {
+	if len(decs) == 0 {
+		return nil
+	}
+	out := make([]Decision, 0, len(decs))
+	for tx, commit := range decs {
+		out = append(out, Decision{Tx: tx, Commit: commit})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tx.Site != out[j].Tx.Site {
+			return out[i].Tx.Site < out[j].Tx.Site
+		}
+		return out[i].Tx.Seq < out[j].Tx.Seq
+	})
+	return out
+}
+
+// Run drives the automatic triggers until ctx is cancelled. It returns
+// immediately when no trigger is configured.
+func (m *Manager) Run(ctx context.Context) {
+	if !m.pol.Enabled() {
+		return
+	}
+	poll := 250 * time.Millisecond
+	if m.pol.Interval > 0 && m.pol.Interval < poll {
+		poll = m.pol.Interval
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if m.due() {
+				m.Checkpoint() //nolint:errcheck // counted in Stats.Failures
+			}
+		}
+	}
+}
+
+// due evaluates the byte and interval triggers.
+func (m *Manager) due() bool {
+	m.mu.Lock()
+	lastBytes, lastAt := m.lastBytes, m.lastAt
+	m.mu.Unlock()
+	if m.pol.Bytes > 0 && m.log.AppendedBytes()-lastBytes >= uint64(m.pol.Bytes) {
+		return true
+	}
+	return m.pol.Interval > 0 && time.Since(lastAt) >= m.pol.Interval
+}

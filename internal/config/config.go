@@ -45,6 +45,11 @@ type Experiment struct {
 	// Shards sets each site's data-plane shard count (storage shards and
 	// lock stripes); 0/absent selects a GOMAXPROCS-derived default.
 	Shards int `json:"shards,omitempty"`
+	// CheckpointBytes triggers a site checkpoint (fuzzy snapshot + WAL
+	// compaction) after this many WAL bytes; 0/absent disables the trigger.
+	CheckpointBytes int64 `json:"checkpoint_bytes,omitempty"`
+	// CheckpointIntervalMS triggers periodic checkpoints; 0/absent disables.
+	CheckpointIntervalMS int64 `json:"checkpoint_interval_ms,omitempty"`
 }
 
 // Placement mirrors schema.ItemMeta's replication fields.
@@ -154,7 +159,16 @@ func (e *Experiment) BuildCatalog() (*schema.Catalog, error) {
 	}
 	cat.Timeouts = e.Timeouts()
 	cat.Shards = e.Shards
+	cat.Checkpoint = e.Checkpoint()
 	return cat, nil
+}
+
+// Checkpoint converts the checkpoint fields to a schema policy.
+func (e *Experiment) Checkpoint() schema.CheckpointPolicy {
+	return schema.CheckpointPolicy{
+		Bytes:    e.CheckpointBytes,
+		Interval: time.Duration(e.CheckpointIntervalMS) * time.Millisecond,
+	}
 }
 
 // Timeouts converts TimeoutsMS to schema.Timeouts.

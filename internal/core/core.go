@@ -43,6 +43,9 @@ type Options struct {
 	// Shards sets each site's data-plane shard count (storage shards and
 	// lock stripes); <= 0 selects a GOMAXPROCS-derived default.
 	Shards int
+	// Checkpoint sets each site's checkpoint/compaction policy; zero falls
+	// back to the catalog's policy.
+	Checkpoint schema.CheckpointPolicy
 }
 
 // Instance is a running Rainbow system.
@@ -98,7 +101,7 @@ func New(opts Options) (*Instance, error) {
 		cat:      cat.Clone(),
 	}
 	for _, id := range in.ids {
-		st, err := site.New(site.Config{ID: id, Net: net, Shards: opts.Shards})
+		st, err := site.New(site.Config{ID: id, Net: net, Shards: opts.Shards, Checkpoint: opts.Checkpoint})
 		if err != nil {
 			in.Close()
 			return nil, err

@@ -121,6 +121,65 @@ type SiteStats struct {
 	// records they carried; records/flushes is the group-commit batch size.
 	WALFlushes uint64
 	WALRecords uint64
+	// WALSegments and WALBytes gauge the retained log volume (compaction
+	// shrinks both).
+	WALSegments int
+	WALBytes    uint64
+	// Checkpoints counts completed checkpoints and SegmentsCompacted the
+	// WAL segments deleted by them in the window.
+	Checkpoints       uint64
+	SegmentsCompacted uint64
+	// RecoveryRecords is the number of WAL records the site's last
+	// (re)start replayed and RecoveryNS how long recovery took — the
+	// bounded-recovery measures (full-history replay grows without bound;
+	// checkpointed replay stays near the bytes-since-last-checkpoint knob).
+	RecoveryRecords uint64
+	RecoveryNS      int64
+	// StoreShards carries per-shard occupancy and traffic, for spotting
+	// hash skew across the sharded store.
+	StoreShards []ShardStat
+}
+
+// ShardStat mirrors one storage shard's occupancy and traffic counters.
+type ShardStat struct {
+	Items    int
+	Hits     uint64
+	Installs uint64
+}
+
+// ShardSkew returns the coefficient of variation of per-shard lookup
+// traffic (0 = perfectly uniform hashing; rising values flag hot shards).
+func (s SiteStats) ShardSkew() float64 {
+	if len(s.StoreShards) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, sh := range s.StoreShards {
+		mean += float64(sh.Hits)
+	}
+	mean /= float64(len(s.StoreShards))
+	if mean == 0 {
+		return 0
+	}
+	varsum := 0.0
+	for _, sh := range s.StoreShards {
+		d := float64(sh.Hits) - mean
+		varsum += d * d
+	}
+	return math.Sqrt(varsum/float64(len(s.StoreShards))) / mean
+}
+
+// ShardOccupancy returns the min and max per-shard item counts.
+func (s SiteStats) ShardOccupancy() (min, max int) {
+	for i, sh := range s.StoreShards {
+		if i == 0 || sh.Items < min {
+			min = sh.Items
+		}
+		if sh.Items > max {
+			max = sh.Items
+		}
+	}
+	return min, max
 }
 
 // WALBatchSize returns the mean group-commit batch size (records per
@@ -270,6 +329,14 @@ func (r Report) Totals() SiteStats {
 		out.Latency.Merge(s.Latency)
 		out.WALFlushes += s.WALFlushes
 		out.WALRecords += s.WALRecords
+		out.WALSegments += s.WALSegments
+		out.WALBytes += s.WALBytes
+		out.Checkpoints += s.Checkpoints
+		out.SegmentsCompacted += s.SegmentsCompacted
+		out.RecoveryRecords += s.RecoveryRecords
+		if s.RecoveryNS > out.RecoveryNS {
+			out.RecoveryNS = s.RecoveryNS
+		}
 		if s.Shards > out.Shards {
 			out.Shards = s.Shards
 		}
@@ -360,12 +427,21 @@ func (r Report) Render() string {
 	fmt.Fprintf(&b, "orphan transactions: %d\n", t.Orphans)
 	fmt.Fprintf(&b, "data plane: %d shards, wal %d records / %d flushes (%.1f recs/flush)\n",
 		t.Shards, t.WALRecords, t.WALFlushes, t.WALBatchSize())
+	fmt.Fprintf(&b, "durability: %d checkpoints, %d segments compacted, wal %d segments / %d bytes retained\n",
+		t.Checkpoints, t.SegmentsCompacted, t.WALSegments, t.WALBytes)
+	fmt.Fprintf(&b, "recovery: replayed %d records in %v (last restart)\n",
+		t.RecoveryRecords, time.Duration(t.RecoveryNS).Round(time.Microsecond))
 	fmt.Fprintf(&b, "load imbalance (cv of admissions): %.3f\n", r.LoadImbalance())
 	fmt.Fprintf(&b, "per-site:\n")
 	for _, s := range r.Sites {
 		fmt.Fprintf(&b, "  %-8s began=%-6d committed=%-6d aborted=%-5d orphans=%-3d mean=%v\n",
 			s.Site, s.Began, s.Committed, s.Aborted, s.Orphans,
 			s.Latency.Mean().Round(time.Microsecond))
+		if len(s.StoreShards) > 0 {
+			min, max := s.ShardOccupancy()
+			fmt.Fprintf(&b, "           store shards: %d, occupancy %d-%d items, hit skew cv=%.3f\n",
+				len(s.StoreShards), min, max, s.ShardSkew())
+		}
 	}
 	return b.String()
 }

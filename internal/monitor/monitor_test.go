@@ -177,3 +177,51 @@ func TestRenderContainsPaperStatistics(t *testing.T) {
 		}
 	}
 }
+
+func TestRenderContainsDurabilityStatistics(t *testing.T) {
+	r := report()
+	r.Sites[0].Checkpoints = 3
+	r.Sites[0].SegmentsCompacted = 7
+	r.Sites[0].WALSegments = 2
+	r.Sites[0].WALBytes = 4096
+	r.Sites[0].RecoveryRecords = 12
+	r.Sites[0].RecoveryNS = int64(3 * time.Millisecond)
+	r.Sites[0].StoreShards = []ShardStat{{Items: 4, Hits: 10}, {Items: 5, Hits: 30}}
+	out := r.Render()
+	for _, want := range []string{
+		"durability:", "3 checkpoints", "7 segments compacted",
+		"recovery: replayed 12 records", "store shards: 2", "occupancy 4-5",
+		"hit skew",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShardSkewAndOccupancy(t *testing.T) {
+	var s SiteStats
+	if s.ShardSkew() != 0 {
+		t.Error("no shards should mean zero skew")
+	}
+	s.StoreShards = []ShardStat{{Items: 3, Hits: 50}, {Items: 9, Hits: 50}}
+	if got := s.ShardSkew(); got != 0 {
+		t.Errorf("uniform hits should give skew 0, got %f", got)
+	}
+	min, max := s.ShardOccupancy()
+	if min != 3 || max != 9 {
+		t.Errorf("occupancy = %d-%d, want 3-9", min, max)
+	}
+	s.StoreShards = []ShardStat{{Hits: 100}, {Hits: 0}}
+	if got := s.ShardSkew(); got <= 0.9 {
+		t.Errorf("fully skewed hits should give cv ~1, got %f", got)
+	}
+	// Totals carry the durability counters through.
+	r := report()
+	r.Sites[1].Checkpoints = 2
+	r.Sites[2].SegmentsCompacted = 4
+	tot := r.Totals()
+	if tot.Checkpoints != 2 || tot.SegmentsCompacted != 4 {
+		t.Errorf("totals lost durability counters: %+v", tot)
+	}
+}

@@ -69,6 +69,20 @@ type Protocols struct {
 	NoReadOnlyOpt bool
 }
 
+// CheckpointPolicy configures each site's checkpoint & log-compaction
+// subsystem. Zero values disable the corresponding automatic trigger
+// (manual checkpoints always work on logs that support compaction).
+type CheckpointPolicy struct {
+	// Bytes triggers a checkpoint once this many WAL bytes have been
+	// appended since the last one.
+	Bytes int64
+	// Interval triggers periodic checkpoints.
+	Interval time.Duration
+}
+
+// Enabled reports whether any automatic trigger is configured.
+func (p CheckpointPolicy) Enabled() bool { return p.Bytes > 0 || p.Interval > 0 }
+
 // Timeouts bounds protocol waits across the instance.
 type Timeouts struct {
 	// Op bounds one remote copy operation (read / pre-write).
@@ -111,6 +125,9 @@ type Catalog struct {
 	// Carried in the catalog so sites that fetch their configuration from
 	// the name server honor the experiment's setting.
 	Shards int
+	// Checkpoint is the per-site checkpoint/compaction policy, carried in
+	// the catalog for the same reason as Shards.
+	Checkpoint CheckpointPolicy
 	// Epoch increments on every catalog update so sites can detect staleness.
 	Epoch uint64
 }
@@ -127,12 +144,13 @@ func NewCatalog() *Catalog {
 // Clone deep-copies the catalog.
 func (c *Catalog) Clone() *Catalog {
 	out := &Catalog{
-		Sites:     make(map[model.SiteID]SiteInfo, len(c.Sites)),
-		Items:     make(map[model.ItemID]ItemMeta, len(c.Items)),
-		Protocols: c.Protocols,
-		Timeouts:  c.Timeouts,
-		Shards:    c.Shards,
-		Epoch:     c.Epoch,
+		Sites:      make(map[model.SiteID]SiteInfo, len(c.Sites)),
+		Items:      make(map[model.ItemID]ItemMeta, len(c.Items)),
+		Protocols:  c.Protocols,
+		Timeouts:   c.Timeouts,
+		Shards:     c.Shards,
+		Checkpoint: c.Checkpoint,
+		Epoch:      c.Epoch,
 	}
 	for k, v := range c.Sites {
 		out.Sites[k] = v

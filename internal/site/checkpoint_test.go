@@ -1,0 +1,264 @@
+package site
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/schema"
+	"repro/internal/simnet"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// TestSiteCheckpointBoundsRecovery is the acceptance scenario end to end on
+// a live cluster (in-memory WAL, as under the simulator): after checkpoints
+// the retained log shrinks, and a crash/recover cycle replays strictly
+// fewer records than were ever appended while preserving committed state.
+func TestSiteCheckpointBoundsRecovery(t *testing.T) {
+	c := newCluster(t, 3, defaultProtocols(), items())
+	a := c.sites["A"]
+	ctx := context.Background()
+
+	write := func(val int64) {
+		out := a.Execute(ctx, []model.Op{model.Write("x", val)})
+		if !out.Committed {
+			t.Fatalf("write did not commit: %+v", out)
+		}
+	}
+	for v := int64(1); v <= 20; v++ {
+		write(v)
+	}
+	if err := a.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(21); v <= 40; v++ {
+		write(v)
+	}
+	ml := a.log.(*wal.MemoryLog)
+	sizeBefore := ml.SizeBytes()
+	if err := a.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if after := ml.SizeBytes(); after >= sizeBefore {
+		t.Errorf("retained WAL did not shrink across checkpoint: %d -> %d", sizeBefore, after)
+	}
+	cs := a.CheckpointStats()
+	if cs.Checkpoints != 2 || cs.SegmentsCompacted == 0 {
+		t.Fatalf("checkpoint stats = %+v", cs)
+	}
+
+	_, appended := ml.BatchStats() // cumulative records ever appended
+	a.Crash()
+	if err := a.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	stats := a.Stats()
+	if stats.RecoveryRecords >= appended {
+		t.Errorf("recovery replayed %d records, want strictly fewer than the %d appended", stats.RecoveryRecords, appended)
+	}
+	if stats.RecoveryRecords == 0 {
+		t.Error("recovery replayed nothing; the tail after the horizon must replay")
+	}
+
+	out := a.Execute(ctx, []model.Op{model.Read("x")})
+	if !out.Committed || out.Reads["x"] != 40 {
+		t.Fatalf("post-recovery read = %+v, want x=40", out)
+	}
+	// The recovered site keeps processing and checkpointing.
+	write(41)
+	if err := a.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSiteInDoubtSurvivesCheckpointAndCompaction: a participant holding a
+// Prepared-but-undecided transaction checkpoints twice (compacting
+// everything else below the horizon), crashes and recovers — the in-doubt
+// transaction must still surface for termination, and its write set must
+// still be installable when the decision finally arrives.
+func TestSiteInDoubtSurvivesCheckpointAndCompaction(t *testing.T) {
+	c := newCluster(t, 2, defaultProtocols(), items())
+	a := c.sites["A"]
+	ctx := context.Background()
+
+	// An in-doubt transaction from an unreachable coordinator "Z": prepared
+	// here, never decided, resolver cannot learn an outcome.
+	orphan := model.TxID{Site: "Z", Seq: 77}
+	vote := a.part.HandlePrepare(wire.PrepareReq{
+		Tx:           orphan,
+		TS:           model.Timestamp{Time: 1, Site: "Z"},
+		Coordinator:  "Z",
+		Participants: []model.SiteID{"A", "Z"},
+		Writes:       []model.WriteRecord{{Item: "z", Value: 777, Version: 100}},
+	})
+	if !vote.Yes {
+		t.Fatalf("prepare rejected: %+v", vote)
+	}
+
+	for v := int64(1); v <= 15; v++ {
+		if out := a.Execute(ctx, []model.Op{model.Write("x", v)}); !out.Committed {
+			t.Fatalf("write did not commit: %+v", out)
+		}
+	}
+	if err := a.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(16); v <= 30; v++ {
+		if out := a.Execute(ctx, []model.Op{model.Write("x", v)}); !out.Committed {
+			t.Fatalf("write did not commit: %+v", out)
+		}
+	}
+	if err := a.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if cs := a.CheckpointStats(); cs.SegmentsCompacted == 0 {
+		t.Fatal("nothing compacted; the test would be vacuous")
+	}
+
+	a.Crash()
+	if err := a.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if n := a.InDoubtCount(); n != 1 {
+		t.Fatalf("in-doubt after recovery = %d, want 1", n)
+	}
+	// The write set survived compaction with the pinned Prepared record:
+	// delivering the decision installs it.
+	if err := a.part.HandleDecision(orphan, true); err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := a.Store().Get("z"); !ok || c.Value != 777 {
+		t.Fatalf("late decision install = %+v, want 777", c)
+	}
+	if n := a.InDoubtCount(); n != 0 {
+		t.Errorf("in-doubt after decision = %d, want 0", n)
+	}
+}
+
+// TestSiteIntervalCheckpointTrigger exercises the automatic trigger loop.
+func TestSiteIntervalCheckpointTrigger(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	cat := schema.NewCatalog()
+	cat.Sites["A"] = schema.SiteInfo{ID: "A"}
+	cat.ReplicateEverywhere("x", 0)
+	st, err := New(Config{
+		ID: "A", Net: net, Catalog: cat,
+		Checkpoint: schema.CheckpointPolicy{Interval: 30 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if out := st.Execute(context.Background(), []model.Op{model.Write("x", 9)}); !out.Committed {
+		t.Fatalf("write did not commit: %+v", out)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if st.CheckpointStats().Checkpoints >= 1 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("interval trigger never checkpointed: %+v", st.CheckpointStats())
+}
+
+// TestSiteRecoverySkipsSnapshotDecidedTx is the regression test for a
+// subtle recovery bug: transaction T's Prepared record survives compaction
+// only because it shares a segment with a genuine orphan's pin, while T's
+// Decision record was compacted away — so from the retained records alone T
+// looks in-doubt. The snapshot's decision table knows the outcome; recovery
+// must NOT re-lock T's write set.
+func TestSiteRecoverySkipsSnapshotDecidedTx(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: the two Prepared records share the first segment, the
+	// Decision lands in the next one.
+	l, err := wal.OpenSegmented(dir, wal.SegmentOptions{SegmentBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New(simnet.Config{})
+	cat := schema.NewCatalog()
+	cat.Sites["A"] = schema.SiteInfo{ID: "A"}
+	cat.ReplicateEverywhere("x", 0)
+	cat.ReplicateEverywhere("z", 0)
+	st, err := New(Config{ID: "A", Net: net, Catalog: cat, Log: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ctx := context.Background()
+
+	orphan := model.TxID{Site: "Z", Seq: 1}
+	decided := model.TxID{Site: "Z", Seq: 2}
+	prep := func(tx model.TxID, item model.ItemID, val int64) {
+		t.Helper()
+		v := st.part.HandlePrepare(wire.PrepareReq{
+			Tx: tx, TS: model.Timestamp{Time: tx.Seq, Site: "Z"},
+			Coordinator: "Z", Participants: []model.SiteID{"A", "Z"},
+			Writes: []model.WriteRecord{{Item: item, Value: val, Version: 50}},
+		})
+		if !v.Yes {
+			t.Fatalf("prepare %v rejected: %+v", tx, v)
+		}
+	}
+	prep(orphan, "z", 111)
+	prep(decided, "z", 555)
+	if err := st.part.HandleDecision(decided, true); err != nil {
+		t.Fatal(err)
+	}
+
+	for v := int64(1); v <= 12; v++ {
+		if out := st.Execute(ctx, []model.Op{model.Write("x", v)}); !out.Committed {
+			t.Fatalf("write: %+v", out)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(13); v <= 24; v++ {
+		if out := st.Execute(ctx, []model.Op{model.Write("x", v)}); !out.Committed {
+			t.Fatalf("write: %+v", out)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Precondition for a non-vacuous test: the decided transaction's
+	// Prepared record is retained (pinned segment) but its Decision record
+	// was compacted away.
+	recs, err := l.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPrep, sawDec := false, false
+	for _, r := range recs {
+		if r.Tx == decided {
+			switch r.Type {
+			case wal.RecPrepared:
+				sawPrep = true
+			case wal.RecDecision:
+				sawDec = true
+			}
+		}
+	}
+	if !sawPrep || sawDec {
+		t.Fatalf("layout precondition failed: prepared retained=%v decision retained=%v (tune SegmentBytes)", sawPrep, sawDec)
+	}
+
+	st.Crash()
+	if err := st.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// Only the genuine orphan is in doubt; the snapshot-decided transaction
+	// must not have been re-locked (a write to z would otherwise block on
+	// its reinstated exclusive lock until the resolver clears it).
+	if n := st.InDoubtCount(); n != 1 {
+		t.Fatalf("in-doubt after recovery = %d, want 1 (the orphan only)", n)
+	}
+	if c, _ := st.Store().Get("z"); c.Value != 555 {
+		t.Fatalf("decided transaction's effect lost: z = %+v, want 555", c)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/acp"
 	"repro/internal/cc"
+	"repro/internal/checkpoint"
 	"repro/internal/clock"
 	"repro/internal/history"
 	"repro/internal/model"
@@ -67,6 +68,15 @@ type Config struct {
 	// Shards sets the data-plane shard count (storage shards and 2PL lock
 	// stripes); <= 0 selects a GOMAXPROCS-derived default.
 	Shards int
+	// Checkpoint sets the checkpoint/compaction policy; zero values fall
+	// back to the catalog's policy. Checkpointing engages only when the WAL
+	// supports compaction (the segmented and in-memory logs; the legacy
+	// single-file JSON log does not).
+	Checkpoint schema.CheckpointPolicy
+	// Snapshots overrides the checkpoint snapshot store. Nil selects the
+	// WAL's segment directory for segmented logs and an in-memory store
+	// (surviving simulated crashes alongside the memory log) otherwise.
+	Snapshots checkpoint.Store
 }
 
 // Site is one Rainbow site.
@@ -78,17 +88,33 @@ type Site struct {
 	hist   *history.Recorder
 	shards int
 
+	// snaps is the checkpoint snapshot store; like the WAL it survives
+	// simulated crashes (set once at New).
+	snaps   checkpoint.Store
+	ckptCfg schema.CheckpointPolicy
+
 	mu          sync.Mutex
 	log         wal.Log
+	coordLog    wal.Log
 	catalog     *schema.Catalog
 	store       *storage.Store
 	ccm         cc.Manager
 	part        *acp.Participant
+	ckpt        *checkpoint.Manager
 	rcpProto    rcp.Protocol
 	acpProto    acp.Protocol
 	timeouts    schema.Timeouts
 	seq         uint64
 	activeCoord map[model.TxID]bool
+	// recoveryRecords/recoveryNS describe the last (re)start: how many
+	// retained WAL records were replayed and how long the rebuild took.
+	recoveryRecords uint64
+	recoveryNS      int64
+	// ckptAccum accumulates checkpoint counters from previous incarnations
+	// (each recovery builds a fresh manager); ckptBase window-scopes the
+	// accumulated totals for ResetStats.
+	ckptAccum checkpoint.Stats
+	ckptBase  checkpoint.Stats
 	// released tombstones aborted transactions so a straggling copy
 	// operation that races with its own ReleaseTx cannot leak CC state.
 	released map[model.TxID]time.Time
@@ -138,12 +164,23 @@ func New(cfg Config) (*Site, error) {
 	if log == nil {
 		log = wal.NewMemory()
 	}
+	snaps := cfg.Snapshots
+	if snaps == nil {
+		switch l := log.(type) {
+		case *wal.SegmentedLog:
+			snaps = checkpoint.NewDirStore(l.Dir())
+		case *wal.MemoryLog:
+			snaps = checkpoint.NewMemStore()
+		}
+	}
 	s := &Site{
 		id:          cfg.ID,
 		clock:       clock.New(cfg.ID),
 		stats:       monitor.NewCollector(cfg.ID),
 		hist:        history.NewRecorder(cfg.ID),
 		shards:      cfg.Shards,
+		snaps:       snaps,
+		ckptCfg:     cfg.Checkpoint,
 		log:         log,
 		activeCoord: make(map[model.TxID]bool),
 		released:    make(map[model.TxID]time.Time),
@@ -178,6 +215,7 @@ func New(cfg Config) (*Site, error) {
 		}
 	}
 	s.startResolver()
+	s.startCheckpointer()
 	return s, nil
 }
 
@@ -197,10 +235,15 @@ func (s *Site) fetchCatalog() (*schema.Catalog, error) {
 	return nil, fmt.Errorf("catalog fetch failed: %w", lastErr)
 }
 
-// configure (re)builds the site's protocol stack from a catalog, replaying
-// the WAL into the store. Called at start and during recovery.
+// configure (re)builds the site's protocol stack from a catalog. Recovery
+// is bounded: the newest valid checkpoint snapshot (torn ones are skipped)
+// seeds the store and decision table, and only the retained WAL records are
+// scanned — redo applies records at/after the snapshot's horizon, while
+// retained records below it surface in-doubt transactions for termination.
+// Called at start and during recovery.
 func (s *Site) configure(catalog *schema.Catalog) error {
 	timeouts := catalog.Timeouts.WithDefaults()
+	recoveryStart := time.Now()
 
 	// Per-site config wins; otherwise the catalog's experiment-wide shard
 	// knob applies (this is how name-server-fetched sites receive it).
@@ -209,7 +252,24 @@ func (s *Site) configure(catalog *schema.Catalog) error {
 		shards = catalog.Shards
 	}
 	store := storage.NewSharded(shards)
-	inDoubt, err := store.Recover(catalog.LocalItems(s.id), s.log)
+
+	var snap *checkpoint.Snapshot
+	if s.snaps != nil {
+		var err error
+		if snap, err = s.snaps.Latest(); err != nil {
+			return err
+		}
+	}
+	recs, err := s.log.ReadAll()
+	if err != nil {
+		return err
+	}
+	var snapItems map[model.ItemID]storage.Copy
+	var horizon uint64
+	if snap != nil {
+		snapItems, horizon = snap.Items, snap.Horizon
+	}
+	inDoubt, err := store.RecoverRecords(catalog.LocalItems(s.id), snapItems, horizon, recs)
 	if err != nil {
 		return err
 	}
@@ -231,12 +291,21 @@ func (s *Site) configure(catalog *schema.Catalog) error {
 	}
 
 	part := acp.NewParticipant(s.id, s.log, &applierWithHistory{cc: ccm, hist: s.hist})
-	recs, err := s.log.ReadAll()
-	if err != nil {
-		return err
+	var snapDecisions map[model.TxID]bool
+	if snap != nil {
+		snapDecisions = snap.DecisionMap()
+		part.SeedDecisions(snapDecisions)
 	}
 	part.RestoreDecisions(recs)
 	for _, r := range inDoubt {
+		// A transaction can look in-doubt from the retained records alone —
+		// its Prepared record pinned in a kept segment, its decision record
+		// compacted away — while the snapshot's decision table knows the
+		// outcome (and, for commits, the snapshot already carries its
+		// effects). Don't re-lock those; they are decided.
+		if _, decided := snapDecisions[r.Tx]; decided {
+			continue
+		}
 		if err := ccm.Reinstate(r.Tx, r.TS, r.Writes); err != nil {
 			return err
 		}
@@ -249,11 +318,34 @@ func (s *Site) configure(catalog *schema.Catalog) error {
 		}, r.ThreePhase)
 	}
 
+	// The checkpoint manager engages when the WAL supports compaction; its
+	// gate threads into the participant so fuzzy snapshots serialize with
+	// the decision pipeline.
+	var mgr *checkpoint.Manager
+	if cl, ok := s.log.(wal.Compactable); ok && s.snaps != nil {
+		pol := s.ckptCfg
+		if !pol.Enabled() {
+			pol = catalog.Checkpoint
+		}
+		mgr = checkpoint.NewManager(store, cl, s.snaps, part.DecisionTable,
+			checkpoint.Policy{Bytes: pol.Bytes, Interval: pol.Interval})
+		part.UseGate(mgr.Gate())
+	}
+
 	s.mu.Lock()
+	if s.ckpt != nil {
+		old := s.ckpt.Stats()
+		s.ckptAccum.Checkpoints += old.Checkpoints
+		s.ckptAccum.SegmentsCompacted += old.SegmentsCompacted
+	}
 	s.catalog = catalog
 	s.store = store
 	s.ccm = ccm
 	s.part = part
+	s.ckpt = mgr
+	s.coordLog = coordLog{Log: s.log, part: part}
+	s.recoveryRecords = uint64(len(recs))
+	s.recoveryNS = int64(time.Since(recoveryStart))
 	s.rcpProto = rcpProto
 	s.acpProto = acpProto
 	s.timeouts = timeouts
@@ -266,6 +358,24 @@ func (s *Site) configure(catalog *schema.Catalog) error {
 	}
 	s.mu.Unlock()
 	return nil
+}
+
+// coordLog is the WAL face handed to the atomic commit protocols when this
+// site coordinates: decision records route through the participant's
+// ForceDecision so the force-write and the local adoption (decision table +
+// install) are one unit under the checkpoint gate; everything else passes
+// straight through.
+type coordLog struct {
+	wal.Log
+	part *acp.Participant
+}
+
+// Append implements wal.Log.
+func (c coordLog) Append(r wal.Record) error {
+	if r.Type == wal.RecDecision {
+		return c.part.ForceDecision(r)
+	}
+	return c.Log.Append(r)
 }
 
 // applierWithHistory records committed writes in the execution history
@@ -287,14 +397,18 @@ func (a *applierWithHistory) Abort(tx model.TxID) { a.cc.Abort(tx) }
 // ID returns the site's id.
 func (s *Site) ID() model.SiteID { return s.id }
 
-// Stats snapshots the site's statistics including the current orphan count
-// and the data-plane shard / WAL group-commit counters.
+// Stats snapshots the site's statistics including the current orphan count,
+// the data-plane shard / WAL group-commit counters, the checkpoint and
+// log-volume gauges, and the last recovery's replay cost.
 func (s *Site) Stats() monitor.SiteStats {
 	s.mu.Lock()
 	part := s.part
 	store := s.store
 	log := s.log
+	ckpt := s.ckpt
 	baseFlushes, baseRecords := s.walBaseFlushes, s.walBaseRecords
+	ckptAccum, ckptBase := s.ckptAccum, s.ckptBase
+	recoveryRecords, recoveryNS := s.recoveryRecords, s.recoveryNS
 	s.mu.Unlock()
 	orphans := 0
 	if part != nil {
@@ -303,24 +417,81 @@ func (s *Site) Stats() monitor.SiteStats {
 	stats := s.stats.Snapshot(orphans)
 	if store != nil {
 		stats.Shards = store.ShardCount()
+		for _, sh := range store.ShardStats() {
+			stats.StoreShards = append(stats.StoreShards, monitor.ShardStat{
+				Items: sh.Items, Hits: sh.Hits, Installs: sh.Installs,
+			})
+		}
 	}
 	if bs, ok := log.(wal.BatchStats); ok {
 		flushes, records := bs.BatchStats()
 		stats.WALFlushes = flushes - baseFlushes
 		stats.WALRecords = records - baseRecords
 	}
+	if cl, ok := log.(wal.Compactable); ok {
+		stats.WALSegments = cl.Segments()
+		stats.WALBytes = cl.SizeBytes()
+	}
+	if ckpt != nil {
+		cs := ckpt.Stats()
+		ckptAccum.Checkpoints += cs.Checkpoints
+		ckptAccum.SegmentsCompacted += cs.SegmentsCompacted
+	}
+	stats.Checkpoints = ckptAccum.Checkpoints - min(ckptBase.Checkpoints, ckptAccum.Checkpoints)
+	stats.SegmentsCompacted = ckptAccum.SegmentsCompacted - min(ckptBase.SegmentsCompacted, ckptAccum.SegmentsCompacted)
+	stats.RecoveryRecords = recoveryRecords
+	stats.RecoveryNS = recoveryNS
 	return stats
 }
 
-// ResetStats zeroes the statistics window, including the WAL counters'
-// baseline.
+// ResetStats zeroes the statistics window, including the WAL, checkpoint
+// and per-shard counters' baselines.
 func (s *Site) ResetStats() {
 	s.stats.Reset()
 	s.mu.Lock()
 	if bs, ok := s.log.(wal.BatchStats); ok {
 		s.walBaseFlushes, s.walBaseRecords = bs.BatchStats()
 	}
+	s.ckptBase = s.ckptAccum
+	if s.ckpt != nil {
+		cs := s.ckpt.Stats()
+		s.ckptBase.Checkpoints += cs.Checkpoints
+		s.ckptBase.SegmentsCompacted += cs.SegmentsCompacted
+	}
+	store := s.store
 	s.mu.Unlock()
+	if store != nil {
+		store.ResetShardStats()
+	}
+}
+
+// Checkpoint takes a fuzzy snapshot of the store now, pins the replay
+// horizon, and compacts the WAL — the manual trigger next to the automatic
+// byte/interval policies.
+func (s *Site) Checkpoint() error {
+	s.mu.Lock()
+	ckpt := s.ckpt
+	crashed := s.crashed
+	s.mu.Unlock()
+	if crashed {
+		return fmt.Errorf("site %s is down", s.id)
+	}
+	if ckpt == nil {
+		return fmt.Errorf("site %s: WAL backend does not support checkpoints", s.id)
+	}
+	return ckpt.Checkpoint()
+}
+
+// CheckpointStats reports the checkpoint manager's counters (zero when
+// checkpointing is unsupported).
+func (s *Site) CheckpointStats() checkpoint.Stats {
+	s.mu.Lock()
+	ckpt := s.ckpt
+	s.mu.Unlock()
+	if ckpt == nil {
+		return checkpoint.Stats{}
+	}
+	return ckpt.Stats()
 }
 
 // History snapshots the site's local execution history.
@@ -401,6 +572,7 @@ func (s *Site) Recover() error {
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	s.mu.Unlock()
 	s.startResolver()
+	s.startCheckpointer()
 	return nil
 }
 
@@ -416,6 +588,24 @@ func (s *Site) Close() error {
 		s.log.Close()
 	}
 	return s.peer.Close()
+}
+
+// startCheckpointer runs the checkpoint manager's trigger loop for this
+// incarnation (a no-op when checkpointing is unsupported or no automatic
+// trigger is configured).
+func (s *Site) startCheckpointer() {
+	s.mu.Lock()
+	ctx := s.runCtx
+	ckpt := s.ckpt
+	s.mu.Unlock()
+	if ckpt == nil {
+		return
+	}
+	s.resolveWG.Add(1)
+	go func() {
+		defer s.resolveWG.Done()
+		ckpt.Run(ctx)
+	}()
 }
 
 // startResolver runs the orphan-resolution loop: periodically try to decide

@@ -140,7 +140,7 @@ func (t *Txn) Commit() model.Outcome {
 	s := t.s
 	s.mu.Lock()
 	s.activeCoord[t.tx] = true
-	part := s.part
+	coordLog := s.coordLog
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
@@ -156,9 +156,12 @@ func (t *Txn) Commit() model.Outcome {
 		WritesFor:     t.sess.WritesFor,
 		NoReadOnlyOpt: t.catalog.Protocols.NoReadOnlyOpt,
 	}
-	committed, err := t.acpProto.Commit(t.ctx, s, s.log,
+	// coordLog routes the decision force through the participant, which
+	// records the outcome and applies it locally under the checkpoint gate,
+	// so no separate onDecision bookkeeping is needed.
+	committed, err := t.acpProto.Commit(t.ctx, s, coordLog,
 		acp.Options{Vote: t.timeouts.Vote, Ack: t.timeouts.Ack},
-		req, func(commit bool) { part.RecordDecision(t.tx, commit) })
+		req, nil)
 
 	// Stray sites — attempted during quorum building but never enlisted —
 	// may hold CC state from operations that completed after the

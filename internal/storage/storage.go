@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 	"repro/internal/shard"
@@ -51,6 +52,11 @@ func NormalizeShards(n int) int {
 type storeShard struct {
 	mu     sync.RWMutex
 	copies map[model.ItemID]Copy
+	// hits counts point lookups (Get/Has), installs counts version-guarded
+	// writes that took effect — the per-shard traffic counters behind the
+	// monitor's hash-skew panel. Atomic so read paths never write-lock.
+	hits     atomic.Uint64
+	installs atomic.Uint64
 }
 
 // Store holds a site's copies across a fixed set of shards.
@@ -123,6 +129,7 @@ func (s *Store) Init(items map[model.ItemID]int64) {
 // Get returns the current copy of an item.
 func (s *Store) Get(item model.ItemID) (Copy, bool) {
 	sh := s.shardOf(item)
+	sh.hits.Add(1)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	c, ok := sh.copies[item]
@@ -132,6 +139,7 @@ func (s *Store) Get(item model.ItemID) (Copy, bool) {
 // Has reports whether this site hosts a copy of item.
 func (s *Store) Has(item model.ItemID) bool {
 	sh := s.shardOf(item)
+	sh.hits.Add(1)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	_, ok := sh.copies[item]
@@ -200,9 +208,42 @@ func applyLocked(sh *storeShard, writes []model.WriteRecord) error {
 		}
 		if w.Version > c.Version {
 			sh.copies[w.Item] = Copy{Value: w.Value, Version: w.Version}
+			sh.installs.Add(1)
 		}
 	}
 	return nil
+}
+
+// ShardStat is one shard's occupancy and traffic counters.
+type ShardStat struct {
+	// Items is the shard's current copy count.
+	Items int
+	// Hits counts point lookups served; Installs counts writes installed.
+	Hits     uint64
+	Installs uint64
+}
+
+// ShardStats reports per-shard occupancy and traffic, the data behind the
+// monitor's hash-skew indicator.
+func (s *Store) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n := len(sh.copies)
+		sh.mu.RUnlock()
+		out[i] = ShardStat{Items: n, Hits: sh.hits.Load(), Installs: sh.installs.Load()}
+	}
+	return out
+}
+
+// ResetShardStats zeroes the per-shard traffic counters (a new measurement
+// window; occupancy is a gauge and unaffected).
+func (s *Store) ResetShardStats() {
+	for i := range s.shards {
+		s.shards[i].hits.Store(0)
+		s.shards[i].installs.Store(0)
+	}
 }
 
 // Items returns the hosted item ids in sorted order.
@@ -260,7 +301,33 @@ func (s *Store) Recover(items map[model.ItemID]int64, log wal.Log) ([]RecoveredT
 	if err != nil {
 		return nil, fmt.Errorf("storage: recover: %w", err)
 	}
+	return s.RecoverRecords(items, nil, 0, recs)
+}
+
+// RecoverRecords rebuilds the store from initial values, an optional
+// checkpoint snapshot, and the retained WAL records. The snapshot is
+// installed first; redo then applies only decisions at or after horizon —
+// everything below it is already reflected in the snapshot (the checkpoint
+// manager's gate guarantees that). Retained records below the horizon are
+// still scanned: they are the pinned Prepared records of in-doubt
+// transactions, which are returned for ACP-level termination exactly like
+// in-doubt transactions from after the horizon.
+//
+// A nil snapshot with horizon 0 is the full-history replay path (the legacy
+// FileLog, or a site that never checkpointed).
+func (s *Store) RecoverRecords(items map[model.ItemID]int64, snapshot map[model.ItemID]Copy, horizon uint64, recs []wal.Record) ([]RecoveredTx, error) {
 	s.Init(items)
+	if len(snapshot) > 0 {
+		s.lockAll()
+		for item, c := range snapshot {
+			sh := s.shardOf(item)
+			// Install only items the current schema still places here.
+			if _, ok := sh.copies[item]; ok {
+				sh.copies[item] = c
+			}
+		}
+		s.unlockAll()
+	}
 
 	prepared := make(map[model.TxID]wal.Record)
 	var order []model.TxID
@@ -273,7 +340,7 @@ func (s *Store) Recover(items map[model.ItemID]int64, log wal.Log) ([]RecoveredT
 			prepared[r.Tx] = r
 		case wal.RecDecision:
 			p, ok := prepared[r.Tx]
-			if r.Commit && ok {
+			if r.Commit && ok && r.LSN >= horizon {
 				if err := s.Apply(p.Writes); err != nil {
 					return nil, err
 				}

@@ -356,3 +356,86 @@ func TestSnapshotAtomicAgainstApply(t *testing.T) {
 	}
 	<-done
 }
+
+func TestShardStats(t *testing.T) {
+	s := NewSharded(4)
+	items := map[model.ItemID]int64{}
+	for i := 0; i < 32; i++ {
+		items[model.ItemID(fmt.Sprintf("s%02d", i))] = 1
+	}
+	s.Init(items)
+	stats := s.ShardStats()
+	if len(stats) != s.ShardCount() {
+		t.Fatalf("got %d shard stats, want %d", len(stats), s.ShardCount())
+	}
+	total := 0
+	for _, sh := range stats {
+		total += sh.Items
+	}
+	if total != 32 {
+		t.Errorf("occupancy sums to %d, want 32", total)
+	}
+	for i := 0; i < 10; i++ {
+		s.Get("s00")
+	}
+	s.Apply([]model.WriteRecord{{Item: "s00", Value: 5, Version: 1}})
+	s.Apply([]model.WriteRecord{{Item: "s00", Value: 4, Version: 1}}) // stale: no install
+	var hits, installs uint64
+	for _, sh := range s.ShardStats() {
+		hits += sh.Hits
+		installs += sh.Installs
+	}
+	if hits != 10 {
+		t.Errorf("hits = %d, want 10", hits)
+	}
+	if installs != 1 {
+		t.Errorf("installs = %d, want 1 (stale write must not count)", installs)
+	}
+	s.ResetShardStats()
+	for _, sh := range s.ShardStats() {
+		if sh.Hits != 0 || sh.Installs != 0 {
+			t.Errorf("counters survive reset: %+v", sh)
+		}
+		_ = sh
+	}
+}
+
+func TestRecoverRecordsSnapshotAndHorizon(t *testing.T) {
+	items := map[model.ItemID]int64{"x": 0, "y": 0, "gone": 0}
+	snapshot := map[model.ItemID]Copy{
+		"x": {Value: 50, Version: 5},
+		// An item the schema no longer places here must be skipped.
+		"dropped": {Value: 1, Version: 1},
+	}
+	tx := func(seq uint64) model.TxID { return model.TxID{Site: "S", Seq: seq} }
+	recs := []wal.Record{
+		// Below the horizon: effects count as already captured by the
+		// snapshot, so redo must skip it — proven by y staying 0.
+		{LSN: 1, Type: wal.RecPrepared, Tx: tx(1), Writes: []model.WriteRecord{{Item: "y", Value: 999, Version: 9}}},
+		{LSN: 2, Type: wal.RecDecision, Tx: tx(1), Commit: true},
+		// At/after the horizon: must be redone.
+		{LSN: 10, Type: wal.RecPrepared, Tx: tx(2), Writes: []model.WriteRecord{{Item: "x", Value: 60, Version: 6}}},
+		{LSN: 11, Type: wal.RecDecision, Tx: tx(2), Commit: true},
+		// In-doubt from BELOW the horizon (its segment was pinned): must
+		// surface but not install.
+		{LSN: 3, Type: wal.RecPrepared, Tx: tx(3), Coordinator: "C",
+			Writes: []model.WriteRecord{{Item: "y", Value: 77, Version: 7}}},
+	}
+	s := NewSharded(2)
+	inDoubt, err := s.RecoverRecords(items, snapshot, 10, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := s.Get("x"); c.Value != 60 || c.Version != 6 {
+		t.Errorf("x = %+v, want redo result 60@v6", c)
+	}
+	if c, _ := s.Get("y"); c.Value != 0 {
+		t.Errorf("y = %+v: below-horizon decision must not re-apply and in-doubt must not install", c)
+	}
+	if s.Has("dropped") {
+		t.Error("snapshot resurrected an item the schema no longer hosts")
+	}
+	if len(inDoubt) != 1 || inDoubt[0].Tx != tx(3) {
+		t.Fatalf("inDoubt = %+v, want tx 3 only", inDoubt)
+	}
+}

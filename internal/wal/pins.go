@@ -1,0 +1,78 @@
+package wal
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// pinTracker maintains, per transaction, the first Prepared LSN and the
+// first Decision/End LSN ever appended — the inputs to compaction's
+// in-doubt pinning rule. Both Compactable backends (MemoryLog and
+// SegmentedLog) share it so the pinning semantics cannot drift between the
+// simulated and file-backed logs. Callers provide their own locking.
+type pinTracker struct {
+	prepared map[model.TxID]uint64
+	decided  map[model.TxID]uint64
+}
+
+func newPinTracker() pinTracker {
+	return pinTracker{
+		prepared: make(map[model.TxID]uint64),
+		decided:  make(map[model.TxID]uint64),
+	}
+}
+
+// track records one appended record.
+func (t *pinTracker) track(typ RecType, tx model.TxID, lsn uint64) {
+	switch typ {
+	case RecPrepared:
+		if _, ok := t.prepared[tx]; !ok {
+			t.prepared[tx] = lsn
+		}
+	case RecDecision, RecEnd:
+		if _, ok := t.decided[tx]; !ok {
+			t.decided[tx] = lsn
+		}
+	}
+}
+
+// pinned reports whether tx was prepared below horizon and still undecided
+// as of horizon — its Prepared record must survive compaction.
+func (t *pinTracker) pinned(tx model.TxID, horizon uint64) bool {
+	p, ok := t.prepared[tx]
+	if !ok || p >= horizon {
+		return false
+	}
+	d, ok := t.decided[tx]
+	return !ok || d >= horizon
+}
+
+// pins returns the sorted Prepared LSNs of every transaction pinned as of
+// horizon (segment-granular compaction checks ranges against them).
+func (t *pinTracker) pins(horizon uint64) []uint64 {
+	var out []uint64
+	for tx, p := range t.prepared {
+		if p < horizon && t.pinned(tx, horizon) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// prune drops entries for transactions fully resolved below horizon; they
+// can never be pinned by any future (monotonically increasing) horizon.
+func (t *pinTracker) prune(horizon uint64) {
+	for tx, p := range t.prepared {
+		if d, ok := t.decided[tx]; ok && d < horizon && p < horizon {
+			delete(t.prepared, tx)
+			delete(t.decided, tx)
+		}
+	}
+	for tx, d := range t.decided {
+		if _, ok := t.prepared[tx]; !ok && d < horizon {
+			delete(t.decided, tx)
+		}
+	}
+}

@@ -1,0 +1,699 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+)
+
+// ErrCorrupt marks a record whose checksum does not match its payload —
+// positive corruption detection, as opposed to the parse-failure heuristic
+// the legacy JSON-lines log relies on. A torn tail (an incomplete final
+// frame left by a crash mid-force) is NOT corruption and is truncated away;
+// ErrCorrupt means a fully framed record failed its CRC.
+var ErrCorrupt = errors.New("wal: corrupt record (crc mismatch)")
+
+// DefaultSegmentBytes is the rotation threshold when SegmentOptions leaves
+// SegmentBytes zero.
+const DefaultSegmentBytes = 4 << 20
+
+const (
+	segSuffix     = ".seg"
+	segHeaderSize = 24 // magic(8) + first LSN(8) + codec(1) + reserved(7)
+)
+
+var segMagic = [8]byte{'R', 'B', 'W', 'S', 'E', 'G', '1', 0}
+
+// SegmentOptions configures a SegmentedLog.
+type SegmentOptions struct {
+	// Sync fsyncs every force-write cycle (and every segment seal).
+	Sync bool
+	// Codec selects the record encoding for newly written segments; nil
+	// selects BinaryCodec. Existing segments are read with the codec named
+	// in their header regardless of this setting.
+	Codec Codec
+	// SegmentBytes is the rotation threshold; a segment is sealed once the
+	// next batch would push it past this size. <= 0 selects
+	// DefaultSegmentBytes. A single batch larger than the threshold still
+	// lands in one segment (batches never split).
+	SegmentBytes int64
+	// NoGroupCommit disables the committer goroutine (ablation knob).
+	NoGroupCommit bool
+}
+
+// segMeta describes one segment file.
+type segMeta struct {
+	path    string
+	codec   Codec
+	legacy  bool // headerless JSON-lines file from the pre-segment era
+	first   uint64
+	last    uint64 // == first-1 while empty
+	size    int64
+	records int
+}
+
+// segReq is one caller's pre-framed payload parked on the committer.
+type segReq struct {
+	payload []byte
+	metas   []segRecMeta
+	done    chan error // buffered(1)
+}
+
+// segRecMeta carries the tracking identity of one framed record.
+type segRecMeta struct {
+	typ RecType
+	tx  model.TxID
+}
+
+// SegmentedLog is the production file backend: an append-only sequence of
+// rotated segment files with length-prefixed, CRC32-checksummed binary
+// frames (a versioned header names each segment's codec; headerless
+// JSON-lines files from the legacy FileLog era are still readable). It
+// group-commits exactly like the legacy FileLog, assigns a log sequence
+// number to every record, and supports checkpoint-driven compaction:
+// segments wholly below the replay horizon are deleted unless they hold a
+// Prepared record of a still-undecided transaction.
+type SegmentedLog struct {
+	opts SegmentOptions
+	dir  string
+
+	// mu guards the open/closed lifecycle.
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+
+	// ioMu fences force-write cycles, rotation and compaction against
+	// ReadAll, so a reader never observes a half-written batch and never
+	// races a segment deletion.
+	ioMu    sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	active  segMeta
+	sealed  []segMeta
+	nextLSN uint64
+	// pins feeds Compact's in-doubt pinning rule (shared with MemoryLog).
+	pins pinTracker
+
+	durable   atomic.Uint64
+	size      atomic.Uint64
+	appended  atomic.Uint64
+	flushes   atomic.Uint64
+	records   atomic.Uint64
+	compacted atomic.Uint64
+
+	reqCh  chan *segReq
+	stopCh chan struct{}
+	doneCh chan struct{}
+}
+
+// OpenSegmented opens (creating if needed) a segmented log in dir. Existing
+// segments are scanned to rebuild the LSN sequence and the in-doubt pin
+// maps; a torn tail on the newest segment is truncated away; a fully framed
+// record with a bad CRC fails the open with ErrCorrupt. A fresh active
+// segment is always started, so mixed-codec directories reopen cleanly.
+func OpenSegmented(dir string, opts SegmentOptions) (*SegmentedLog, error) {
+	if opts.Codec == nil {
+		opts.Codec = BinaryCodec{}
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	l := &SegmentedLog{
+		opts:    opts,
+		dir:     dir,
+		nextLSN: 1,
+		pins:    newPinTracker(),
+	}
+
+	paths, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, path := range paths {
+		m, recs, err := l.scanSegment(path, i == len(paths)-1)
+		if err != nil {
+			return nil, err
+		}
+		if m.records == 0 {
+			if m.size > segHeaderSize {
+				// Bytes are present but nothing parsed: refuse to guess.
+				return nil, fmt.Errorf("wal: segment %s: unreadable (no records in %d bytes)", path, m.size)
+			}
+			// Nothing acknowledged ever lived here (a crash between segment
+			// creation and the first flush); drop the empty shell.
+			os.Remove(path) //nolint:errcheck
+			continue
+		}
+		for i := range recs {
+			l.pins.track(recs[i].Type, recs[i].Tx, recs[i].LSN)
+		}
+		l.nextLSN = m.last + 1
+		l.size.Add(uint64(m.size))
+		l.sealed = append(l.sealed, m)
+	}
+	l.durable.Store(l.nextLSN - 1)
+
+	if err := l.startSegmentLocked(); err != nil {
+		return nil, err
+	}
+	if !opts.NoGroupCommit {
+		l.reqCh = make(chan *segReq, 64)
+		l.stopCh = make(chan struct{})
+		l.doneCh = make(chan struct{})
+		go l.commitLoop()
+	}
+	return l, nil
+}
+
+// Dir returns the log's segment directory (checkpoint snapshots live next
+// to the segments).
+func (l *SegmentedLog) Dir() string { return l.dir }
+
+// listSegments returns the segment paths in name order; names are
+// zero-padded first-LSNs, so name order is LSN order.
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), segSuffix) {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func segName(first uint64) string {
+	return fmt.Sprintf("%020d%s", first, segSuffix)
+}
+
+// scanSegment reads a segment from disk, returning its metadata and
+// records. When tail is true (the newest segment) an incomplete final frame
+// is truncated away — it is the torn remnant of a crash mid-force and was
+// never acknowledged. First LSNs come from the segment header; headerless
+// legacy JSON-lines files continue the running sequence.
+func (l *SegmentedLog) scanSegment(path string, tail bool) (segMeta, []Record, error) {
+	m := segMeta{path: path, first: l.nextLSN}
+	f, err := os.Open(path)
+	if err != nil {
+		return m, nil, fmt.Errorf("wal: open segment %s: %w", path, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return m, nil, fmt.Errorf("wal: stat segment %s: %w", path, err)
+	}
+	if st.Size() == 0 {
+		m.last = m.first - 1
+		return m, nil, nil
+	}
+
+	var hdr [segHeaderSize]byte
+	n, err := io.ReadFull(f, hdr[:])
+	if err != nil && err != io.ErrUnexpectedEOF {
+		return m, nil, fmt.Errorf("wal: read segment header %s: %w", path, err)
+	}
+	switch {
+	case n >= 8 && [8]byte(hdr[0:8]) == segMagic:
+		if n < segHeaderSize {
+			if !tail {
+				return m, nil, fmt.Errorf("wal: segment %s: truncated header", path)
+			}
+			m.last = m.first - 1
+			return m, nil, nil // torn header: nothing acknowledged
+		}
+		first := binary.LittleEndian.Uint64(hdr[8:16])
+		codec, err := codecByID(hdr[16])
+		if err != nil {
+			return m, nil, fmt.Errorf("wal: segment %s: %w", path, err)
+		}
+		if first < l.nextLSN {
+			return m, nil, fmt.Errorf("wal: segment %s: first LSN %d overlaps sequence at %d", path, first, l.nextLSN)
+		}
+		m.first, m.codec = first, codec
+		recs, validSize, err := readFrames(f, m.first, codec, segHeaderSize, tail)
+		if err != nil {
+			return m, nil, fmt.Errorf("wal: segment %s: %w", path, err)
+		}
+		if validSize < st.Size() {
+			if err := os.Truncate(path, validSize); err != nil {
+				return m, nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+			}
+		}
+		m.size = validSize
+		m.records = len(recs)
+		m.last = m.first + uint64(len(recs)) - 1
+		return m, recs, nil
+	default:
+		// No magic: a legacy JSON-lines log (the pre-segment FileLog
+		// format) dropped into the directory. Read-only; LSNs continue the
+		// running sequence.
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return m, nil, err
+		}
+		recs, err := readLegacyLines(f, m.first)
+		if err != nil {
+			return m, nil, fmt.Errorf("wal: legacy segment %s: %w", path, err)
+		}
+		m.legacy = true
+		m.codec = JSONCodec{}
+		m.size = st.Size()
+		m.records = len(recs)
+		m.last = m.first + uint64(len(recs)) - 1
+		return m, recs, nil
+	}
+}
+
+// readFrames parses framed records from r starting at LSN first. offset is
+// the file position of the first frame (for torn-tail truncation
+// reporting); tail enables torn-tail tolerance. It returns the records and
+// the file size up to the end of the last complete frame.
+func readFrames(r io.Reader, first uint64, codec Codec, offset int64, tail bool) ([]Record, int64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var recs []Record
+	valid := offset
+	lsn := first
+	for {
+		var hdr [frameHeaderSize]byte
+		n, err := io.ReadFull(br, hdr[:])
+		if err == io.EOF {
+			return recs, valid, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			if tail {
+				return recs, valid, nil // torn frame header
+			}
+			return recs, valid, fmt.Errorf("truncated frame header at offset %d (n=%d)", valid, n)
+		}
+		if err != nil {
+			return recs, valid, err
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxFrameSize {
+			if tail {
+				return recs, valid, nil // garbage length in a torn tail
+			}
+			return recs, valid, fmt.Errorf("frame at offset %d: implausible length %d: %w", valid, length, ErrCorrupt)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if (err == io.ErrUnexpectedEOF || err == io.EOF) && tail {
+				return recs, valid, nil // torn payload
+			}
+			return recs, valid, fmt.Errorf("frame at offset %d: %w", valid, err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			// The frame is complete — its bytes are all present — so this is
+			// bitrot, not a torn write: refuse to silently drop forced data.
+			return recs, valid, fmt.Errorf("frame at offset %d (lsn %d): %w", valid, lsn, ErrCorrupt)
+		}
+		rec, err := codec.Decode(payload)
+		if err != nil {
+			return recs, valid, fmt.Errorf("frame at offset %d: %w", valid, err)
+		}
+		rec.LSN = lsn
+		lsn++
+		recs = append(recs, rec)
+		valid += int64(frameHeaderSize) + int64(length)
+	}
+}
+
+// readLegacyLines parses a headerless JSON-lines log, tolerating a torn
+// final line exactly like the legacy FileLog reader.
+func readLegacyLines(r io.Reader, first uint64) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lsn := first
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			break // torn tail line: stop replay here
+		}
+		rec.LSN = lsn
+		lsn++
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		return recs, err
+	}
+	return recs, nil
+}
+
+// startSegmentLocked creates a fresh active segment at nextLSN. Callers
+// hold ioMu or have exclusive ownership (Open).
+func (l *SegmentedLog) startSegmentLocked() error {
+	path := filepath.Join(l.dir, segName(l.nextLSN))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment %s: %w", path, err)
+	}
+	var hdr [segHeaderSize]byte
+	copy(hdr[0:8], segMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:16], l.nextLSN)
+	hdr[16] = l.opts.Codec.ID()
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write segment header %s: %w", path, err)
+	}
+	l.active = segMeta{
+		path:  path,
+		codec: l.opts.Codec,
+		first: l.nextLSN,
+		last:  l.nextLSN - 1,
+		size:  segHeaderSize,
+	}
+	l.size.Add(segHeaderSize)
+	SyncDir(l.dir)
+	return nil
+}
+
+// rotateLocked seals the active segment and starts a new one. ioMu held.
+func (l *SegmentedLog) rotateLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush %s: %w", l.active.path, err)
+	}
+	if l.opts.Sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync %s: %w", l.active.path, err)
+		}
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: close %s: %w", l.active.path, err)
+	}
+	l.sealed = append(l.sealed, l.active)
+	return l.startSegmentLocked()
+}
+
+// marshalFrames renders records as framed payloads plus tracking metadata;
+// marshalling happens in the caller's goroutine so the committer's cycle is
+// pure I/O.
+func (l *SegmentedLog) marshalFrames(recs []Record) ([]byte, []segRecMeta, error) {
+	var buf []byte
+	metas := make([]segRecMeta, 0, len(recs))
+	var scratch []byte
+	for i := range recs {
+		payload, err := l.opts.Codec.Append(scratch[:0], &recs[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		scratch = payload
+		buf = appendFrame(buf, payload)
+		metas = append(metas, segRecMeta{typ: recs[i].Type, tx: recs[i].Tx})
+	}
+	return buf, metas, nil
+}
+
+// Append implements Log.
+func (l *SegmentedLog) Append(r Record) error {
+	return l.AppendBatch([]Record{r})
+}
+
+// AppendBatch implements Log. With group commit enabled the call parks on
+// the committer and returns once its batch — possibly merged with other
+// concurrent appends — has been force-written.
+func (l *SegmentedLog) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	payload, metas, err := l.marshalFrames(recs)
+	if err != nil {
+		return err
+	}
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: append to closed log %s", l.dir)
+	}
+	if l.opts.NoGroupCommit {
+		defer l.mu.Unlock()
+		return l.force(payload, metas)
+	}
+	l.inflight.Add(1)
+	l.mu.Unlock()
+	defer l.inflight.Done()
+
+	req := &segReq{payload: payload, metas: metas, done: make(chan error, 1)}
+	l.reqCh <- req
+	return <-req.done
+}
+
+// force writes one batch through a rotate-if-needed / write / flush / fsync
+// cycle and assigns LSNs in commit order. Callers either hold l.mu
+// (no-group-commit path) or are the committer goroutine.
+func (l *SegmentedLog) force(payload []byte, metas []segRecMeta) error {
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	if l.active.records > 0 && l.active.size+int64(len(payload)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return fmt.Errorf("wal: write %s: %w", l.active.path, err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush %s: %w", l.active.path, err)
+	}
+	if l.opts.Sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync %s: %w", l.active.path, err)
+		}
+	}
+	for _, m := range metas {
+		l.pins.track(m.typ, m.tx, l.nextLSN)
+		l.nextLSN++
+	}
+	l.active.last = l.nextLSN - 1
+	l.active.records += len(metas)
+	l.active.size += int64(len(payload))
+	l.size.Add(uint64(len(payload)))
+	l.appended.Add(uint64(len(payload)))
+	l.durable.Store(l.nextLSN - 1)
+	l.flushes.Add(1)
+	l.records.Add(uint64(len(metas)))
+	return nil
+}
+
+// commitLoop is the group committer (same shape as the legacy FileLog's):
+// take the first parked request, greedily drain the rest, pay one
+// force-write for the merged batch.
+func (l *SegmentedLog) commitLoop() {
+	defer close(l.doneCh)
+	for {
+		select {
+		case req := <-l.reqCh:
+			l.commitBatch(req)
+		case <-l.stopCh:
+			for {
+				select {
+				case req := <-l.reqCh:
+					l.commitBatch(req)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (l *SegmentedLog) commitBatch(first *segReq) {
+	batch := []*segReq{first}
+	payload := first.payload
+	metas := first.metas
+drain:
+	for {
+		select {
+		case req := <-l.reqCh:
+			batch = append(batch, req)
+			payload = append(payload, req.payload...)
+			metas = append(metas, req.metas...)
+		default:
+			break drain
+		}
+	}
+	err := l.force(payload, metas)
+	for _, req := range batch {
+		req.done <- err
+	}
+}
+
+// ReadAll implements Log: every retained record across all segments in LSN
+// order. LSN gaps appear where compaction removed whole segments.
+func (l *SegmentedLog) ReadAll() ([]Record, error) {
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	var out []Record
+	for _, m := range l.sealed {
+		recs, err := readSegmentFile(m, false)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, recs...)
+	}
+	recs, err := readSegmentFile(l.active, true)
+	if err != nil {
+		return out, err
+	}
+	return append(out, recs...), nil
+}
+
+// readSegmentFile re-reads a known segment from disk.
+func readSegmentFile(m segMeta, tail bool) ([]Record, error) {
+	f, err := os.Open(m.path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reopen segment %s: %w", m.path, err)
+	}
+	defer f.Close()
+	if m.legacy {
+		recs, err := readLegacyLines(f, m.first)
+		if err != nil {
+			return nil, fmt.Errorf("wal: legacy segment %s: %w", m.path, err)
+		}
+		return recs, nil
+	}
+	if _, err := f.Seek(segHeaderSize, io.SeekStart); err != nil {
+		return nil, err
+	}
+	recs, _, err := readFrames(f, m.first, m.codec, segHeaderSize, tail)
+	if err != nil {
+		return recs, fmt.Errorf("wal: segment %s: %w", m.path, err)
+	}
+	return recs, nil
+}
+
+// DurableLSN implements Compactable.
+func (l *SegmentedLog) DurableLSN() uint64 { return l.durable.Load() }
+
+// AppendedBytes implements Compactable.
+func (l *SegmentedLog) AppendedBytes() uint64 { return l.appended.Load() }
+
+// SizeBytes implements Compactable.
+func (l *SegmentedLog) SizeBytes() uint64 { return l.size.Load() }
+
+// Segments implements Compactable (sealed segments plus the active one).
+func (l *SegmentedLog) Segments() int {
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	return len(l.sealed) + 1
+}
+
+// Compacted returns the lifetime count of segments removed by compaction.
+func (l *SegmentedLog) Compacted() uint64 { return l.compacted.Load() }
+
+// Compact implements Compactable: sealed segments whose records all lie
+// below horizon are deleted, except segments holding a Prepared record of a
+// transaction that was still undecided as of horizon — those are the
+// in-doubt pins recovery needs for 2PC/3PC termination.
+func (l *SegmentedLog) Compact(horizon uint64) (int, error) {
+	if horizon == 0 {
+		return 0, nil
+	}
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+
+	pins := l.pins.pins(horizon)
+	kept := l.sealed[:0]
+	removed := 0
+	var firstErr error
+	for _, m := range l.sealed {
+		if m.last >= horizon || pinInRange(pins, m.first, m.last) {
+			kept = append(kept, m)
+			continue
+		}
+		if err := os.Remove(m.path); err != nil && !os.IsNotExist(err) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("wal: compact %s: %w", m.path, err)
+			}
+			kept = append(kept, m)
+			continue
+		}
+		l.size.Add(^uint64(m.size - 1)) // subtract
+		removed++
+	}
+	l.sealed = kept
+	if removed > 0 {
+		SyncDir(l.dir)
+		l.compacted.Add(uint64(removed))
+	}
+	l.pins.prune(horizon)
+	return removed, firstErr
+}
+
+// pinInRange reports whether any pinned LSN falls in [first, last].
+func pinInRange(pins []uint64, first, last uint64) bool {
+	i := sort.Search(len(pins), func(i int) bool { return pins[i] >= first })
+	return i < len(pins) && pins[i] <= last
+}
+
+// BatchStats implements the BatchStats interface.
+func (l *SegmentedLog) BatchStats() (flushes, records uint64) {
+	return l.flushes.Load(), l.records.Load()
+}
+
+// Close implements Log: stop accepting appends, drain the committer, seal
+// the active segment.
+func (l *SegmentedLog) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+
+	if l.reqCh != nil {
+		l.inflight.Wait()
+		close(l.stopCh)
+		<-l.doneCh
+	}
+
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	flushErr := l.w.Flush()
+	var syncErr error
+	if l.opts.Sync && flushErr == nil {
+		syncErr = l.f.Sync()
+	}
+	closeErr := l.f.Close()
+	if flushErr != nil {
+		return fmt.Errorf("wal: flush %s on close: %w", l.active.path, flushErr)
+	}
+	if syncErr != nil {
+		return fmt.Errorf("wal: sync %s on close: %w", l.active.path, syncErr)
+	}
+	return closeErr
+}
+
+// SyncDir fsyncs a directory so file creations/removals/renames within it
+// are durable; best-effort (some filesystems reject directory fsync). The
+// checkpoint snapshot store shares it so WAL-segment and snapshot
+// durability behavior cannot diverge.
+func SyncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck
+		d.Close()
+	}
+}

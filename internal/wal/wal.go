@@ -47,6 +47,10 @@ const (
 	// RecEnd marks that all cohort acknowledgements arrived and the
 	// transaction needs no further recovery work.
 	RecEnd
+	// RecCheckpoint is written by the checkpoint manager after a fuzzy
+	// snapshot has been made durable. It pins the replay horizon: recovery
+	// loads the snapshot and redoes only records at or after Horizon.
+	RecCheckpoint
 )
 
 // String names the record type.
@@ -58,6 +62,8 @@ func (t RecType) String() string {
 		return "decision"
 	case RecEnd:
 		return "end"
+	case RecCheckpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("rectype(%d)", uint8(t))
 	}
@@ -77,6 +83,14 @@ type Record struct {
 	Writes []model.WriteRecord
 	// Commit is the outcome (RecDecision).
 	Commit bool
+	// Horizon is the replay horizon pinned by a checkpoint record
+	// (RecCheckpoint): the first LSN recovery must redo on top of the
+	// checkpoint's snapshot.
+	Horizon uint64 `json:",omitempty"`
+	// LSN is the record's log sequence number. It is a position, not
+	// payload: LSN-aware logs assign it at append time and report it on
+	// reads; it is never serialized.
+	LSN uint64 `json:"-"`
 }
 
 // Log is an append-only record log.
@@ -101,21 +115,72 @@ type BatchStats interface {
 	BatchStats() (flushes, records uint64)
 }
 
+// Compactable is implemented by logs that assign log sequence numbers and
+// support checkpoint-driven compaction (SegmentedLog and MemoryLog; the
+// legacy single-file FileLog does not). The checkpoint manager drives it:
+// a fuzzy snapshot at horizon H makes every record below H redundant for
+// redo, except Prepared records of still-undecided (in-doubt) transactions,
+// which must survive for ACP termination.
+type Compactable interface {
+	Log
+	// DurableLSN returns the LSN of the last durably appended record
+	// (0 when the log is empty). LSNs start at 1 and increase by one per
+	// record in append order.
+	DurableLSN() uint64
+	// AppendedBytes returns the cumulative bytes appended over the log's
+	// lifetime (monotone; compaction does not decrease it). The checkpoint
+	// manager's bytes-since-last-checkpoint trigger reads it.
+	AppendedBytes() uint64
+	// SizeBytes returns the currently retained log volume.
+	SizeBytes() uint64
+	// Segments returns the retained segment count (1 record = 1 unit for
+	// the in-memory log).
+	Segments() int
+	// Compact removes segments wholly below horizon that contain no
+	// Prepared record of a transaction still undecided as of horizon,
+	// returning how many were removed. Compact(0) is a no-op.
+	Compact(horizon uint64) (removed int, err error)
+}
+
 // ---- In-memory backend ----
 
 // MemoryLog is a Log kept in process memory. It survives the simulated site
 // crashes used by the failure injector (the site's volatile state is
-// discarded; the log object is handed to the recovered site).
+// discarded; the log object is handed to the recovered site). It is
+// Compactable — each record is its own "segment" — so simulated experiments
+// exercise the same checkpoint/compaction machinery as file-backed sites.
 type MemoryLog struct {
 	mu      sync.Mutex
 	recs    []Record
 	closed  bool
 	flushes uint64
 	records uint64
+
+	nextLSN  uint64
+	appended uint64
+	size     uint64
+	// pins feeds Compact's in-doubt pinning rule (shared with SegmentedLog).
+	pins pinTracker
 }
 
 // NewMemory returns an empty in-memory log.
-func NewMemory() *MemoryLog { return &MemoryLog{} }
+func NewMemory() *MemoryLog {
+	return &MemoryLog{nextLSN: 1, pins: newPinTracker()}
+}
+
+// estimateSize approximates a record's serialized footprint; the in-memory
+// log never marshals, but the checkpoint manager's bytes trigger and the
+// monitor's log-volume gauge still need a monotone byte signal.
+func estimateSize(r *Record) uint64 {
+	n := 48 + len(r.Tx.Site) + len(r.Coordinator) + len(r.TS.Site)
+	for _, p := range r.Participants {
+		n += 8 + len(p)
+	}
+	for _, w := range r.Writes {
+		n += 20 + len(w.Item)
+	}
+	return uint64(n)
+}
 
 // Append implements Log.
 func (l *MemoryLog) Append(r Record) error {
@@ -136,11 +201,69 @@ func (l *MemoryLog) AppendBatch(recs []Record) error {
 		// Deep-copy slices so callers cannot mutate logged state.
 		r.Writes = append([]model.WriteRecord(nil), r.Writes...)
 		r.Participants = append([]model.SiteID(nil), r.Participants...)
+		r.LSN = l.nextLSN
+		l.nextLSN++
+		l.pins.track(r.Type, r.Tx, r.LSN)
+		sz := estimateSize(&r)
+		l.appended += sz
+		l.size += sz
 		l.recs = append(l.recs, r)
 	}
 	l.flushes++
 	l.records += uint64(len(recs))
 	return nil
+}
+
+// DurableLSN implements Compactable.
+func (l *MemoryLog) DurableLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// AppendedBytes implements Compactable.
+func (l *MemoryLog) AppendedBytes() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// SizeBytes implements Compactable.
+func (l *MemoryLog) SizeBytes() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Segments implements Compactable: each retained record counts as one unit.
+func (l *MemoryLog) Segments() int { return l.Len() }
+
+// Compact implements Compactable: records below horizon are dropped unless
+// they are Prepared records of transactions undecided as of horizon (the
+// in-doubt pin — those must survive for commit-protocol termination).
+func (l *MemoryLog) Compact(horizon uint64) (int, error) {
+	if horizon == 0 {
+		return 0, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.recs[:0]
+	removed := 0
+	for _, r := range l.recs {
+		if r.LSN >= horizon || (r.Type == RecPrepared && l.pins.pinned(r.Tx, horizon)) {
+			kept = append(kept, r)
+			continue
+		}
+		l.size -= estimateSize(&r)
+		removed++
+	}
+	// Zero the tail so dropped records are collectable.
+	for i := len(kept); i < len(l.recs); i++ {
+		l.recs[i] = Record{}
+	}
+	l.recs = kept
+	l.pins.prune(horizon)
+	return removed, nil
 }
 
 // ReadAll implements Log.
