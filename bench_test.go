@@ -29,6 +29,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/quorum"
 	"repro/internal/schema"
+	"repro/internal/shard"
 	"repro/internal/simnet"
 	"repro/internal/storage"
 	"repro/internal/wal"
@@ -743,6 +744,141 @@ func BenchmarkWALAppend(b *testing.B) {
 	}
 }
 
+// ckptBenchStore builds an n-item store over the given shard count and
+// classifies the item ids per shard, so benchmarks can dirty an exact
+// number of shards.
+func ckptBenchStore(b *testing.B, nItems, shards int) (*storage.Store, [][]model.ItemID) {
+	b.Helper()
+	items := make(map[model.ItemID]int64, nItems)
+	perShard := make([][]model.ItemID, shards)
+	for i := 0; i < nItems; i++ {
+		id := model.ItemID(fmt.Sprintf("i%07d", i))
+		items[id] = 0
+		idx := int(shard.Hash(id) & uint32(shards-1))
+		perShard[idx] = append(perShard[idx], id)
+	}
+	st := storage.NewSharded(shards)
+	st.Init(items)
+	for idx, ids := range perShard {
+		if len(ids) == 0 {
+			b.Fatalf("shard %d received no items; enlarge the item pool", idx)
+		}
+	}
+	return st, perShard
+}
+
+// ckptAdvance commits one write per target shard through the log and store,
+// so the next checkpoint has exactly len(targets) dirty shards and a fresh
+// horizon to pin.
+func ckptAdvance(b *testing.B, st *storage.Store, l wal.Log, perShard [][]model.ItemID, targets []int, version uint64) {
+	b.Helper()
+	for _, idx := range targets {
+		id := perShard[idx][0]
+		w := []model.WriteRecord{{Item: id, Value: int64(version), Version: model.Version(version)}}
+		tx := model.TxID{Site: "B", Seq: version*uint64(len(perShard)) + uint64(idx)}
+		if err := l.Append(wal.Record{Type: wal.RecPrepared, Tx: tx, Coordinator: "B", Writes: w}); err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Append(wal.Record{Type: wal.RecDecision, Tx: tx, Commit: true}); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Apply(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpoint measures one checkpoint's cost as a function of how
+// many shards are dirty: a full snapshot copies the whole store every time
+// (cost tracks store size), a delta copies only the dirty shards (cost
+// tracks the write rate). The snap-items metric shows the captured volume
+// directly.
+func BenchmarkCheckpoint(b *testing.B) {
+	const shards = 64
+	for _, nItems := range []int{65536, 262144} {
+		for _, mode := range []struct {
+			name  string
+			dirty int // shards written per checkpoint interval
+			pol   checkpoint.Policy
+		}{
+			{"full", 4, checkpoint.Policy{Retain: 2}},
+			{"delta-dirty=4", 4, checkpoint.Policy{Retain: 2, DeltaMax: 1 << 30}},
+			{"delta-dirty=32", 32, checkpoint.Policy{Retain: 2, DeltaMax: 1 << 30}},
+		} {
+			b.Run(fmt.Sprintf("items=%d/%s", nItems, mode.name), func(b *testing.B) {
+				st, perShard := ckptBenchStore(b, nItems, shards)
+				l := wal.NewMemory()
+				mgr := checkpoint.NewManager(st, l, checkpoint.NewMemStore(), nil, mode.pol)
+				targets := make([]int, mode.dirty)
+				for i := range targets {
+					targets[i] = (i * shards) / mode.dirty
+				}
+				// Untimed warmup checkpoint: seeds the chain so delta modes
+				// measure deltas, not the initial full snapshot.
+				ckptAdvance(b, st, l, perShard, targets, 1)
+				if err := mgr.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ckptAdvance(b, st, l, perShard, targets, uint64(i+2))
+					if err := mgr.Checkpoint(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				cs := mgr.Stats()
+				b.ReportMetric(float64(cs.LastItems), "snap-items")
+				b.ReportMetric(float64(cs.LastDirtyShards), "dirty-shards")
+				b.ReportMetric(float64(cs.LastPause), "pause-ns")
+			})
+		}
+	}
+}
+
+// BenchmarkCheckpointPause measures the decision-pipeline stall a
+// checkpoint causes at a large (1M-item) store: the wall time the snapshot
+// gate is held. "nocow" is the pre-COW design (the whole capture is copied
+// under the gate); "cow" seals the dirty shards under the gate and copies
+// after releasing it, so the pause is O(shards) instead of O(data) — the
+// pause-ns metric is the acceptance number (≥10x lower under cow).
+func BenchmarkCheckpointPause(b *testing.B) {
+	const nItems = 1_000_000
+	const shards = 256
+	for _, mode := range []struct {
+		name string
+		pol  checkpoint.Policy
+	}{
+		{"nocow", checkpoint.Policy{Retain: 2, NoCOW: true}},
+		{"cow", checkpoint.Policy{Retain: 2, DeltaMax: 1 << 30}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			st, perShard := ckptBenchStore(b, nItems, shards)
+			l := wal.NewMemory()
+			mgr := checkpoint.NewManager(st, l, checkpoint.NewMemStore(), nil, mode.pol)
+			targets := []int{0, 64, 128, 192} // modest write rate between checkpoints
+			ckptAdvance(b, st, l, perShard, targets, 1)
+			if err := mgr.Checkpoint(); err != nil { // warmup: chain seed
+				b.Fatal(err)
+			}
+			var maxPause time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ckptAdvance(b, st, l, perShard, targets, uint64(i+2))
+				if err := mgr.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+				if p := mgr.Stats().LastPause; p > maxPause {
+					maxPause = p
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(maxPause), "pause-ns")
+			b.ReportMetric(float64(mgr.Stats().LastItems), "snap-items")
+		})
+	}
+}
+
 // BenchmarkRecovery measures a site store's crash-recovery path: full
 // WAL-history replay (the pre-checkpoint design) vs snapshot-plus-tail
 // recovery after checkpoints compacted the log. The replayed-recs metric
@@ -800,7 +936,7 @@ func BenchmarkRecovery(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				snap, err := snaps.Latest()
+				snap, err := checkpoint.Latest(snaps)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -35,6 +35,8 @@ func main() {
 	shards := flag.Int("shards", 0, "data-plane shard count (0 = GOMAXPROCS-derived)")
 	ckptBytes := flag.Int64("checkpoint-bytes", 4<<20, "checkpoint after this many WAL bytes appended (0 disables the bytes trigger)")
 	ckptInterval := flag.Duration("checkpoint-interval", 0, "periodic checkpoint interval (0 disables the timer)")
+	ckptDeltaMax := flag.Int("checkpoint-delta-max", 8, "consecutive delta (dirty-shards-only) snapshots before a full snapshot is forced (0 = defer to the config file's value, negative = every snapshot full)")
+	ckptCOW := flag.Bool("checkpoint-cow", true, "capture snapshots copy-on-write so the decision pipeline stalls O(shards), not O(data); false copies under the gate (ablation; a config file's checkpoint_no_cow also disables it)")
 	flag.Parse()
 
 	if *id == "" {
@@ -100,7 +102,10 @@ func main() {
 
 	cfg := site.Config{
 		ID: model.SiteID(*id), Net: net, Log: log, Register: true, Addr: *addr, Shards: *shards,
-		Checkpoint: schema.CheckpointPolicy{Bytes: *ckptBytes, Interval: time.Duration(*ckptInterval)},
+		Checkpoint: schema.CheckpointPolicy{
+			Bytes: *ckptBytes, Interval: time.Duration(*ckptInterval),
+			DeltaMax: *ckptDeltaMax, NoCOW: !*ckptCOW,
+		},
 	}
 	if *cfgPath != "" {
 		exp, err := config.Load(*cfgPath)

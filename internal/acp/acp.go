@@ -58,6 +58,12 @@ type Cohort interface {
 	PreCommit(ctx context.Context, site model.SiteID, tx model.TxID) error
 	// Decide delivers the final decision and waits for its ack.
 	Decide(ctx context.Context, site model.SiteID, tx model.TxID, commit bool) error
+	// End tells a participant the whole cohort acknowledged the decision,
+	// so it may retire its decision-table entry. Best-effort and
+	// fire-and-forget: the coordinator is the resort of record (it retains
+	// its own entry until every ack is in), so a lost end message costs
+	// only a lingering table entry, never a wrong resolution.
+	End(ctx context.Context, site model.SiteID, tx model.TxID) error
 }
 
 // Options bounds the coordinator's waits.

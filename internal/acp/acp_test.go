@@ -25,6 +25,7 @@ type fakeCohort struct {
 	prepares     int
 	decisions    int
 	precommits   int
+	ends         int
 }
 
 func newFakeCohort() *fakeCohort {
@@ -85,6 +86,20 @@ func (f *fakeCohort) Decide(ctx context.Context, site model.SiteID, tx model.TxI
 		return ctx.Err()
 	}
 	return p.HandleDecision(tx, commit)
+}
+
+func (f *fakeCohort) End(ctx context.Context, site model.SiteID, tx model.TxID) error {
+	f.mu.Lock()
+	f.ends++
+	down := f.down[site]
+	p := f.participants[site]
+	f.mu.Unlock()
+	if down {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	p.Retire(tx)
+	return nil
 }
 
 // fakeApplier records what was committed/aborted.

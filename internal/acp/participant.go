@@ -177,6 +177,32 @@ func (p *Participant) ForceDecision(rec wal.Record) error {
 	return nil
 }
 
+// ForceEnd is the coordinator's transaction-complete rule: it appends the
+// end record (rec.Type must be RecEnd) and retires the decision-table entry
+// as one unit under the checkpoint gate. RecEnd means every cohort member
+// acknowledged the decision, so no peer will ever ask for the outcome again
+// — keeping the entry would only make every future snapshot mirror a dead
+// decision. The gate atomicity gives recovery a clean invariant: a snapshot
+// whose horizon is above the end record's LSN no longer carries the
+// decision, and one below it retains the record, whose replay retires the
+// entry again (RestoreDecisions).
+func (p *Participant) ForceEnd(rec wal.Record) error {
+	p.gateRLock()
+	defer p.gateRUnlock()
+	if err := p.log.Append(rec); err != nil {
+		return err
+	}
+	p.Retire(rec.Tx)
+	return nil
+}
+
+// Retire drops a fully acknowledged transaction from the decision table.
+func (p *Participant) Retire(tx model.TxID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.decisions, tx)
+}
+
 // decide installs an outcome exactly once. logIt selects whether a decision
 // record still needs forcing (false when the caller already forced one).
 // Callers hold the checkpoint gate.
@@ -289,15 +315,28 @@ func (p *Participant) Restore(req wire.PrepareReq, threePhase bool) {
 	p.states[req.Tx] = &ptx{state: StatePrepared, req: req, preparedAt: time.Now()}
 }
 
-// RestoreDecisions rebuilds the decision table from WAL records.
+// RestoreDecisions rebuilds the decision table from WAL records. An end
+// record retires its transaction's entry again — the cohort had fully
+// acknowledged, so the decision need not be served after recovery either.
 func (p *Participant) RestoreDecisions(recs []wal.Record) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, r := range recs {
-		if r.Type == wal.RecDecision {
+		switch r.Type {
+		case wal.RecDecision:
 			p.decisions[r.Tx] = r.Commit
+		case wal.RecEnd:
+			delete(p.decisions, r.Tx)
 		}
 	}
+}
+
+// DecisionCount reports the decision table's current size (a durability
+// gauge: retirement keeps it bounded by the in-flight cohort count).
+func (p *Participant) DecisionCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.decisions)
 }
 
 // SeedDecisions preloads the decision table from a checkpoint snapshot

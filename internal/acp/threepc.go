@@ -43,6 +43,7 @@ func (ThreePC) Commit(ctx context.Context, c Cohort, log wal.Log, opts Options, 
 
 	if broadcastDecision(ctx, c, opts, req, cohort, commit) {
 		log.Append(wal.Record{Type: wal.RecEnd, Tx: req.Tx}) //nolint:errcheck
+		broadcastEnd(ctx, c, opts, req, cohort)
 	}
 
 	if commit {

@@ -39,7 +39,11 @@ func (TwoPC) Commit(ctx context.Context, c Cohort, log wal.Log, opts Options, re
 	allAcked := broadcastDecision(ctx, c, opts, req, cohort, commit)
 	if allAcked {
 		// All phase-2 participants acknowledged: no recovery work remains.
+		// The end record retires the coordinator's decision entry (via the
+		// site's ForceEnd routing), and the end round lets the cohort retire
+		// theirs, so checkpoints stop mirroring the dead decision.
 		log.Append(wal.Record{Type: wal.RecEnd, Tx: req.Tx}) //nolint:errcheck
+		broadcastEnd(ctx, c, opts, req, cohort)
 	}
 
 	if commit {
@@ -104,6 +108,22 @@ func collectVotes(ctx context.Context, c Cohort, opts Options, req Request, thre
 		}
 	}
 	return commit, cohort, cause
+}
+
+// broadcastEnd fans the cohort-fully-acknowledged signal out to the
+// participants, fire-and-forget: the goroutines detach from the caller's
+// context (the transaction is already committed and its context may die
+// with it) and each send is bounded by the ack timeout. Losses are
+// harmless — see Cohort.End.
+func broadcastEnd(ctx context.Context, c Cohort, opts Options, req Request, cohort []model.SiteID) {
+	base := context.WithoutCancel(ctx)
+	for _, site := range cohort {
+		go func(site model.SiteID) {
+			ectx, cancel := context.WithTimeout(base, opts.Ack)
+			defer cancel()
+			c.End(ectx, site, req.Tx) //nolint:errcheck // best-effort
+		}(site)
+	}
 }
 
 // broadcastDecision runs phase 2 concurrently over the voting cohort,

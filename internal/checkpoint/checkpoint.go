@@ -45,15 +45,56 @@ type Decision struct {
 	Commit bool       `json:"commit"`
 }
 
-// Snapshot is one fuzzy checkpoint image.
+// Snapshot is one fuzzy checkpoint image: either a full snapshot (Base 0,
+// Items covering the whole store) or a delta carrying only the shards
+// dirtied since the previous snapshot in its chain.
 type Snapshot struct {
-	// Horizon is the first LSN recovery must redo on top of this snapshot:
-	// every record below it is fully reflected in Items and Decisions.
+	// Horizon is the first LSN recovery must redo on top of this snapshot
+	// (composed with its chain for deltas): every record below it is fully
+	// reflected in the chain's Items and in Decisions.
 	Horizon uint64 `json:"horizon"`
-	// Items are the store's copies at snapshot time.
+	// Base is the horizon of the full snapshot this delta extends; 0 marks
+	// a full snapshot.
+	Base uint64 `json:"base,omitempty"`
+	// Prev is the horizon of the immediately preceding snapshot in the
+	// chain (Base for the first delta). Recovery walks Prev pointers back
+	// to the full snapshot; a torn link truncates the chain there.
+	Prev uint64 `json:"prev,omitempty"`
+	// Items are the captured copies: the whole store for a full snapshot,
+	// the dirty shards' contents for a delta.
 	Items map[model.ItemID]storage.Copy `json:"items"`
-	// Decisions is the participant's decision table at snapshot time.
+	// Decisions is the participant's full decision table at snapshot time
+	// (carried by deltas too — retirement keeps it small, and recovery then
+	// only ever needs the newest link's table).
 	Decisions []Decision `json:"decisions,omitempty"`
+}
+
+// Delta reports whether the snapshot is a delta in a chain.
+func (s *Snapshot) Delta() bool { return s.Base != 0 }
+
+// Compose overlays a snapshot chain — a full snapshot followed by its
+// consecutive deltas in horizon order — into one equivalent full snapshot.
+// Decisions come from the newest link (each link carries the whole table).
+// A nil or empty chain composes to nil.
+func Compose(chain []*Snapshot) *Snapshot {
+	if len(chain) == 0 {
+		return nil
+	}
+	last := chain[len(chain)-1]
+	if len(chain) == 1 {
+		return last
+	}
+	n := 0
+	for _, s := range chain {
+		n += len(s.Items)
+	}
+	items := make(map[model.ItemID]storage.Copy, n)
+	for _, s := range chain {
+		for k, v := range s.Items {
+			items[k] = v
+		}
+	}
+	return &Snapshot{Horizon: last.Horizon, Items: items, Decisions: last.Decisions}
 }
 
 // DecisionMap converts the decision list back to the participant's table
@@ -67,19 +108,86 @@ func (s *Snapshot) DecisionMap() map[model.TxID]bool {
 }
 
 // Store persists snapshots. Implementations must make Save atomic (a torn
-// or partial snapshot must never be returned by Latest) and tolerate
-// corrupt entries by falling back to older ones.
+// or partial snapshot must never appear in a chain) and tolerate corrupt
+// entries by falling back to older ones.
 type Store interface {
 	// Save durably stores a snapshot.
 	Save(*Snapshot) error
-	// Latest returns the newest valid snapshot, skipping torn or corrupt
-	// entries, or nil when none exists.
-	Latest() (*Snapshot, error)
-	// Horizons lists the horizons of stored valid snapshots in ascending
-	// order.
+	// LatestChain returns the newest recoverable snapshot chain — a full
+	// snapshot followed by its consecutive valid deltas in horizon order,
+	// ready for Compose. A torn or missing link truncates the chain just
+	// below it ("torn delta falls back one link"); a chain whose full base
+	// is unreadable is skipped entirely in favor of an older one. Nil when
+	// nothing recoverable exists.
+	LatestChain() ([]*Snapshot, error)
+	// Horizons lists the horizons of stored valid snapshots (full and
+	// delta) in ascending order.
 	Horizons() ([]uint64, error)
-	// Prune removes all but the newest keep snapshots.
+	// Prune removes the oldest snapshots, keeping at least the newest keep
+	// ones — extended backwards so a kept delta never loses the chain
+	// leading to its full base.
 	Prune(keep int) error
+}
+
+// Latest composes a store's newest recoverable chain into one full
+// snapshot image (nil when the store is empty).
+func Latest(s Store) (*Snapshot, error) {
+	chain, err := s.LatestChain()
+	if err != nil {
+		return nil, err
+	}
+	return Compose(chain), nil
+}
+
+// latestChain is the chain walk shared by the snapshot stores: among n
+// snapshots in ascending horizon order, find the newest recoverable chain.
+// at(i) loads candidate i, prev(h) loads the snapshot at horizon h; both
+// return nil for a torn or missing entry, which makes the walk fall back —
+// one candidate for a bad newest link, one link for a bad Prev target. The
+// length guard breaks cyclic Prev pointers in corrupt metadata.
+func latestChain(n int, at func(int) *Snapshot, prev func(uint64) *Snapshot) []*Snapshot {
+candidates:
+	for i := n - 1; i >= 0; i-- {
+		cur := at(i)
+		if cur == nil {
+			continue
+		}
+		chain := []*Snapshot{cur}
+		for cur.Delta() {
+			if len(chain) > n {
+				continue candidates
+			}
+			if cur = prev(cur.Prev); cur == nil {
+				continue candidates
+			}
+			chain = append(chain, cur)
+		}
+		// Reverse into horizon order: full base first.
+		for l, r := 0, len(chain)-1; l < r; l, r = l+1, r-1 {
+			chain[l], chain[r] = chain[r], chain[l]
+		}
+		return chain
+	}
+	return nil
+}
+
+// pruneCut is the chain-preserving prune rule shared by the snapshot
+// stores: of n snapshots in ascending horizon order, how many leading ones
+// may be removed while keeping at least keep and never separating a kept
+// delta (isDelta(i)) from the full snapshot that starts its chain. Chains
+// are contiguous in horizon order because the manager is the only writer.
+func pruneCut(n, keep int, isDelta func(int) bool) int {
+	if keep < 1 {
+		keep = 1
+	}
+	cut := n - keep
+	for cut > 0 && isDelta(cut) {
+		cut--
+	}
+	if cut < 0 {
+		return 0
+	}
+	return cut
 }
 
 // ---- Directory-backed store ----
@@ -87,6 +195,7 @@ type Store interface {
 const (
 	snapPrefix     = "checkpoint-"
 	snapSuffix     = ".snap"
+	deltaMark      = ".delta"
 	snapHeaderSize = 16 // magic(8) + payload length(4) + payload CRC32(4)
 )
 
@@ -122,8 +231,16 @@ func (s *DirStore) checkValid(path string) bool {
 	return err == nil
 }
 
-func snapPath(dir string, horizon uint64) string {
-	return filepath.Join(dir, fmt.Sprintf("%s%020d%s", snapPrefix, horizon, snapSuffix))
+// snapPath names a snapshot file: checkpoint-<horizon>.snap for full
+// snapshots, checkpoint-<horizon>.delta.snap for deltas. The horizon's
+// fixed-width encoding keeps lexical order == horizon order, and the delta
+// mark lets Prune respect chain boundaries without decoding payloads.
+func snapPath(dir string, horizon uint64, delta bool) string {
+	mark := ""
+	if delta {
+		mark = deltaMark
+	}
+	return filepath.Join(dir, fmt.Sprintf("%s%020d%s%s", snapPrefix, horizon, mark, snapSuffix))
 }
 
 // Save implements Store.
@@ -142,7 +259,7 @@ func (s *DirStore) Save(snap *Snapshot) error {
 	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload))
 
-	final := snapPath(s.dir, snap.Horizon)
+	final := snapPath(s.dir, snap.Horizon, snap.Delta())
 	tmp := final + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -212,14 +329,18 @@ func load(path string) (*Snapshot, error) {
 	return &snap, nil
 }
 
-// horizonFromName parses the horizon out of a snapshot filename
-// (checkpoint-%020d.snap — Save names files by horizon).
-func horizonFromName(path string) (uint64, bool) {
+// parseSnapName parses the horizon and delta mark out of a snapshot
+// filename (see snapPath).
+func parseSnapName(path string) (horizon uint64, delta, ok bool) {
 	name := filepath.Base(path)
 	name = strings.TrimPrefix(name, snapPrefix)
 	name = strings.TrimSuffix(name, snapSuffix)
+	if strings.HasSuffix(name, deltaMark) {
+		delta = true
+		name = strings.TrimSuffix(name, deltaMark)
+	}
 	h, err := strconv.ParseUint(name, 10, 64)
-	return h, err == nil
+	return h, delta, err == nil
 }
 
 // list returns snapshot file paths in ascending horizon (name) order.
@@ -242,21 +363,46 @@ func (s *DirStore) list() ([]string, error) {
 	return out, nil
 }
 
-// Latest implements Store: newest file first, falling back past any that
-// fail validation.
-func (s *DirStore) Latest() (*Snapshot, error) {
+// LatestChain implements Store: candidates newest-first; for each, the
+// chain is walked back through Prev pointers to its full base. A candidate
+// whose chain breaks (torn, missing or cyclic link) is skipped in favor of
+// the next-newest file — the torn-delta fallback.
+func (s *DirStore) LatestChain() ([]*Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	paths, err := s.list()
 	if err != nil {
 		return nil, err
 	}
-	for i := len(paths) - 1; i >= 0; i-- {
-		if snap, err := load(paths[i]); err == nil {
-			return snap, nil
+	byHorizon := make(map[uint64]string, len(paths))
+	for _, p := range paths {
+		if h, _, ok := parseSnapName(p); ok {
+			byHorizon[h] = p
 		}
 	}
-	return nil, nil
+	// loaded caches decode results across candidate walks (nil = bad file).
+	loaded := make(map[string]*Snapshot)
+	get := func(p string) *Snapshot {
+		if snap, ok := loaded[p]; ok {
+			return snap
+		}
+		snap, err := load(p)
+		if err != nil {
+			snap = nil
+		}
+		loaded[p] = snap
+		return snap
+	}
+	chain := latestChain(len(paths),
+		func(i int) *Snapshot { return get(paths[i]) },
+		func(h uint64) *Snapshot {
+			p, ok := byHorizon[h]
+			if !ok {
+				return nil // link pruned or never written
+			}
+			return get(p)
+		})
+	return chain, nil
 }
 
 // Horizons implements Store (valid snapshots only). Integrity is checked
@@ -271,7 +417,7 @@ func (s *DirStore) Horizons() ([]uint64, error) {
 	}
 	var out []uint64
 	for _, p := range paths {
-		h, ok := horizonFromName(p)
+		h, _, ok := parseSnapName(p)
 		if !ok {
 			continue
 		}
@@ -283,7 +429,10 @@ func (s *DirStore) Horizons() ([]uint64, error) {
 }
 
 // Prune implements Store: keep the newest keep files (by name order),
-// remove the rest.
+// extended backwards past any leading deltas so every kept delta retains
+// the chain down to its full base, and remove the rest. Chains are
+// contiguous in horizon order (the manager is the only writer), so "back
+// to the nearest full snapshot" is exactly chain-preserving.
 func (s *DirStore) Prune(keep int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -291,18 +440,19 @@ func (s *DirStore) Prune(keep int) error {
 	if err != nil {
 		return err
 	}
-	if keep < 1 {
-		keep = 1
-	}
+	cut := pruneCut(len(paths), keep, func(i int) bool {
+		_, delta, ok := parseSnapName(paths[i])
+		return ok && delta
+	})
 	var firstErr error
-	for i := 0; i < len(paths)-keep; i++ {
+	for i := 0; i < cut; i++ {
 		if err := os.Remove(paths[i]); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("checkpoint: prune %s: %w", paths[i], err)
 			continue
 		}
 		delete(s.known, paths[i])
 	}
-	if len(paths) > keep {
+	if cut > 0 {
 		wal.SyncDir(s.dir)
 	}
 	return firstErr
@@ -337,14 +487,20 @@ func (s *MemStore) Save(snap *Snapshot) error {
 	return nil
 }
 
-// Latest implements Store.
-func (s *MemStore) Latest() (*Snapshot, error) {
+// LatestChain implements Store. In-memory snapshots cannot tear, but the
+// chain walk still guards against missing links (e.g. after an external
+// prune) by falling back one candidate, mirroring DirStore.
+func (s *MemStore) LatestChain() ([]*Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.snaps) == 0 {
-		return nil, nil
+	byHorizon := make(map[uint64]*Snapshot, len(s.snaps))
+	for _, snap := range s.snaps {
+		byHorizon[snap.Horizon] = snap
 	}
-	return s.snaps[len(s.snaps)-1], nil
+	chain := latestChain(len(s.snaps),
+		func(i int) *Snapshot { return s.snaps[i] },
+		func(h uint64) *Snapshot { return byHorizon[h] })
+	return chain, nil
 }
 
 // Horizons implements Store.
@@ -358,15 +514,14 @@ func (s *MemStore) Horizons() ([]uint64, error) {
 	return out, nil
 }
 
-// Prune implements Store.
+// Prune implements Store, with the same chain-preserving extension as
+// DirStore: a kept delta keeps its whole chain down to the full base.
 func (s *MemStore) Prune(keep int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if keep < 1 {
-		keep = 1
-	}
-	if n := len(s.snaps) - keep; n > 0 {
-		s.snaps = append(s.snaps[:0:0], s.snaps[n:]...)
+	cut := pruneCut(len(s.snaps), keep, func(i int) bool { return s.snaps[i].Delta() })
+	if cut > 0 {
+		s.snaps = append(s.snaps[:0:0], s.snaps[cut:]...)
 	}
 	return nil
 }

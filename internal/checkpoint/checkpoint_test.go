@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -30,7 +31,7 @@ func stores(t *testing.T) map[string]Store {
 func TestStoreSaveLatestPrune(t *testing.T) {
 	for name, s := range stores(t) {
 		t.Run(name, func(t *testing.T) {
-			if snap, err := s.Latest(); err != nil || snap != nil {
+			if snap, err := Latest(s); err != nil || snap != nil {
 				t.Fatalf("empty store Latest = %v, %v", snap, err)
 			}
 			for _, h := range []uint64{10, 20, 30} {
@@ -38,7 +39,7 @@ func TestStoreSaveLatestPrune(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			snap, err := s.Latest()
+			snap, err := Latest(s)
 			if err != nil || snap == nil || snap.Horizon != 30 {
 				t.Fatalf("Latest = %+v, %v", snap, err)
 			}
@@ -101,13 +102,13 @@ func TestDirStoreTornSnapshotFallsBack(t *testing.T) {
 			if err := s.Save(sampleSnapshot(20)); err != nil {
 				t.Fatal(err)
 			}
-			corrupt(t, snapPath(dir, 20))
+			corrupt(t, snapPath(dir, 20, false))
 
 			// Recovery happens in a fresh process: read through a fresh
 			// store (DirStore caches per-path validation verdicts, since
 			// snapshot files are immutable under normal operation).
 			r := NewDirStore(dir)
-			snap, err := r.Latest()
+			snap, err := Latest(r)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -119,7 +120,7 @@ func TestDirStoreTornSnapshotFallsBack(t *testing.T) {
 			}
 			// Latest always re-validates (defense in depth): even the store
 			// that wrote the file must not load the corrupt image.
-			if snap, err := s.Latest(); err != nil || snap == nil || snap.Horizon != 10 {
+			if snap, err := Latest(s); err != nil || snap == nil || snap.Horizon != 10 {
 				t.Errorf("writer-side Latest after corruption = %+v, %v", snap, err)
 			}
 		})
@@ -136,7 +137,7 @@ func TestDirStoreIgnoresStrayTempFiles(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, snapPrefix+"00000000000000000009"+snapSuffix+".tmp"), []byte("torn"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	snap, err := s.Latest()
+	snap, err := Latest(s)
 	if err != nil || snap == nil || snap.Horizon != 5 {
 		t.Fatalf("Latest = %+v, %v", snap, err)
 	}
@@ -204,7 +205,7 @@ func TestManagerCheckpointBoundsRecovery(t *testing.T) {
 	// plus the retained records, reading strictly fewer records than were
 	// ever appended.
 	totalAppended := 240 + 2 // 120 txns * 2 records + 2 checkpoint records
-	snap, err := snaps.Latest()
+	snap, err := Latest(snaps)
 	if err != nil || snap == nil {
 		t.Fatalf("Latest = %v, %v", snap, err)
 	}
@@ -266,7 +267,7 @@ func TestManagerInDoubtSurvivesCompaction(t *testing.T) {
 		t.Fatal("compaction never removed a segment; test is vacuous")
 	}
 
-	snap, err := snaps.Latest()
+	snap, err := Latest(snaps)
 	if err != nil || snap == nil {
 		t.Fatal(err)
 	}
@@ -326,15 +327,15 @@ func TestManagerTornNewestSnapshotRecovery(t *testing.T) {
 		t.Fatalf("Horizons = %v, %v", hs, err)
 	}
 	// Tear the newest snapshot, as a crash mid-write would.
-	st2, err := os.Stat(snapPath(dir, hs[1]))
+	st2, err := os.Stat(snapPath(dir, hs[1], false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Truncate(snapPath(dir, hs[1]), st2.Size()-7); err != nil {
+	if err := os.Truncate(snapPath(dir, hs[1], false), st2.Size()-7); err != nil {
 		t.Fatal(err)
 	}
 
-	snap, err := snaps.Latest()
+	snap, err := Latest(snaps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -396,5 +397,343 @@ func TestPolicyEnabled(t *testing.T) {
 	}
 	if !(Policy{Bytes: 1}).Enabled() || !(Policy{Interval: 1}).Enabled() {
 		t.Error("byte/interval policies should be enabled")
+	}
+}
+
+// TestManagerDeltaChain drives an incremental policy through several
+// checkpoints: the first snapshot is full, later ones are deltas carrying
+// only dirty shards, a full is re-forced after DeltaMax deltas, and the
+// chain composes to the live store state.
+func TestManagerDeltaChain(t *testing.T) {
+	dir := t.TempDir()
+	items := map[model.ItemID]int64{}
+	for i := 0; i < 64; i++ {
+		items[model.ItemID(fmt.Sprintf("i%02d", i))] = 0
+	}
+	items["x"] = 0
+	l, err := wal.OpenSegmented(dir, wal.SegmentOptions{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	st := storage.NewSharded(16)
+	st.Init(items)
+	snaps := NewDirStore(dir)
+	m := NewManager(st, l, snaps, nil, Policy{DeltaMax: 2, Retain: 10})
+
+	// Checkpoint 1: full (nothing captured yet).
+	populate(t, m, st, l, 1, 10)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoints 2 and 3: deltas — only "x" is ever written, so the delta
+	// must carry far fewer items than the store holds.
+	populate(t, m, st, l, 11, 10)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	populate(t, m, st, l, 21, 10)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint 4: DeltaMax reached, full again.
+	populate(t, m, st, l, 31, 10)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ms := m.Stats()
+	if ms.Checkpoints != 4 || ms.Deltas != 2 {
+		t.Fatalf("stats = %+v, want 4 checkpoints / 2 deltas", ms)
+	}
+	if ms.LastItems != len(items) {
+		t.Errorf("final full snapshot carries %d items, want the whole store (%d)", ms.LastItems, len(items))
+	}
+
+	chain, err := snaps.LatestChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The newest snapshot is full, so the chain is just that one link.
+	if len(chain) != 1 || chain[0].Delta() {
+		t.Fatalf("chain after re-forced full = %d links (delta=%v)", len(chain), chain[0].Delta())
+	}
+
+	// Corrupt nothing, but check the intermediate chain shape on disk: the
+	// two middle snapshots must be deltas chained to the first full.
+	all, err := snaps.Horizons()
+	if err != nil || len(all) != 4 {
+		t.Fatalf("Horizons = %v, %v", all, err)
+	}
+	d2, err := load(snapPath(dir, all[1], true))
+	if err != nil {
+		t.Fatalf("middle snapshot not stored as a delta: %v", err)
+	}
+	if d2.Base != all[0] || d2.Prev != all[0] {
+		t.Errorf("first delta base/prev = %d/%d, want %d", d2.Base, d2.Prev, all[0])
+	}
+	if len(d2.Items) >= len(items) {
+		t.Errorf("delta carries %d items — not incremental (store has %d)", len(d2.Items), len(items))
+	}
+	d3, err := load(snapPath(dir, all[2], true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Base != all[0] || d3.Prev != all[1] {
+		t.Errorf("second delta base/prev = %d/%d, want %d/%d", d3.Base, d3.Prev, all[0], all[1])
+	}
+
+	// Compose the delta chain as recovery would have seen it before the
+	// second full: full + two deltas must equal the store state at d3.
+	sub := []*Snapshot{mustLoad(t, dir, all[0], false), d2, d3}
+	comp := Compose(sub)
+	if comp.Horizon != d3.Horizon || comp.Items["x"].Value != 30 {
+		t.Fatalf("composed chain = horizon %d x=%+v, want horizon %d x=30", comp.Horizon, comp.Items["x"], d3.Horizon)
+	}
+}
+
+func mustLoad(t *testing.T, dir string, h uint64, delta bool) *Snapshot {
+	t.Helper()
+	s, err := load(snapPath(dir, h, delta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestTornDeltaFallsBackOneLink: the newest delta is torn; LatestChain must
+// return the chain up to the previous link, and recovery from that
+// composed image plus the retained WAL reaches the full final state
+// (compaction lags one snapshot for exactly this).
+func TestTornDeltaFallsBackOneLink(t *testing.T) {
+	dir := t.TempDir()
+	items := map[model.ItemID]int64{"x": 0}
+	l, err := wal.OpenSegmented(dir, wal.SegmentOptions{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	st := storage.NewSharded(4)
+	st.Init(items)
+	snaps := NewDirStore(dir)
+	m := NewManager(st, l, snaps, nil, Policy{DeltaMax: 8, Retain: 10})
+
+	populate(t, m, st, l, 1, 20)
+	if err := m.Checkpoint(); err != nil { // full
+		t.Fatal(err)
+	}
+	populate(t, m, st, l, 21, 20)
+	if err := m.Checkpoint(); err != nil { // delta 1
+		t.Fatal(err)
+	}
+	populate(t, m, st, l, 41, 20)
+	if err := m.Checkpoint(); err != nil { // delta 2
+		t.Fatal(err)
+	}
+	populate(t, m, st, l, 61, 5)
+
+	hs, err := snaps.Horizons()
+	if err != nil || len(hs) != 3 {
+		t.Fatalf("Horizons = %v, %v", hs, err)
+	}
+	// Tear the newest delta mid-payload.
+	p := snapPath(dir, hs[2], true)
+	fi, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(p, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	chain, err := NewDirStore(dir).LatestChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 || chain[1].Horizon != hs[1] {
+		t.Fatalf("fallback chain = %d links ending at %d, want 2 ending at %d", len(chain), chain[len(chain)-1].Horizon, hs[1])
+	}
+	snap := Compose(chain)
+	recs, err := l.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := storage.NewSharded(4)
+	if _, err := fresh.RecoverRecords(items, snap.Items, snap.Horizon, recs); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := fresh.Get("x"); c.Value != 65 {
+		t.Errorf("recovered x = %+v, want 65 (snapshot 40 + redo 41..65)", c)
+	}
+}
+
+// TestCrashBetweenDeltaAndFull: the forced full snapshot is torn by a crash
+// mid-write; recovery must fall back to the preceding full+delta chain and
+// still reach the final state via WAL redo.
+func TestCrashBetweenDeltaAndFull(t *testing.T) {
+	dir := t.TempDir()
+	items := map[model.ItemID]int64{"x": 0}
+	l, err := wal.OpenSegmented(dir, wal.SegmentOptions{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	st := storage.NewSharded(4)
+	st.Init(items)
+	snaps := NewDirStore(dir)
+	m := NewManager(st, l, snaps, nil, Policy{DeltaMax: 2, Retain: 10})
+
+	populate(t, m, st, l, 1, 15)
+	if err := m.Checkpoint(); err != nil { // full 1
+		t.Fatal(err)
+	}
+	populate(t, m, st, l, 16, 15)
+	if err := m.Checkpoint(); err != nil { // delta 1
+		t.Fatal(err)
+	}
+	populate(t, m, st, l, 31, 15)
+	if err := m.Checkpoint(); err != nil { // delta 2
+		t.Fatal(err)
+	}
+	populate(t, m, st, l, 46, 15)
+	if err := m.Checkpoint(); err != nil { // full 2 (DeltaMax reached)
+		t.Fatal(err)
+	}
+	populate(t, m, st, l, 61, 5)
+
+	hs, err := snaps.Horizons()
+	if err != nil || len(hs) != 4 {
+		t.Fatalf("Horizons = %v, %v", hs, err)
+	}
+	// "Crash mid-full": the newest (full) snapshot file is torn.
+	p := snapPath(dir, hs[3], false)
+	fi, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(p, fi.Size()/3); err != nil {
+		t.Fatal(err)
+	}
+
+	chain, err := NewDirStore(dir).LatestChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 3 || chain[0].Delta() || !chain[2].Delta() || chain[2].Horizon != hs[2] {
+		t.Fatalf("fallback chain shape wrong: %d links, horizons %v", len(chain), hs)
+	}
+	snap := Compose(chain)
+	recs, err := l.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := storage.NewSharded(4)
+	if _, err := fresh.RecoverRecords(items, snap.Items, snap.Horizon, recs); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := fresh.Get("x"); c.Value != 65 {
+		t.Errorf("recovered x = %+v, want 65", c)
+	}
+}
+
+// TestPrunePreservesChain: pruning must never orphan a delta from its full
+// base — the cut extends back to the chain's full snapshot.
+func TestPrunePreservesChain(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			full := func(h uint64) *Snapshot { return sampleSnapshot(h) }
+			delta := func(h, base, prev uint64) *Snapshot {
+				sn := sampleSnapshot(h)
+				sn.Base, sn.Prev = base, prev
+				return sn
+			}
+			for _, sn := range []*Snapshot{
+				full(10), delta(20, 10, 10), delta(30, 10, 20),
+				full(40), delta(50, 40, 40),
+			} {
+				if err := s.Save(sn); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Keep 2 → the cut would land inside chain {40,50}; it must not
+			// split it, and chain {10,20,30} is removable in full.
+			if err := s.Prune(2); err != nil {
+				t.Fatal(err)
+			}
+			hs, err := s.Horizons()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(hs) != 2 || hs[0] != 40 || hs[1] != 50 {
+				t.Fatalf("after Prune(2): %v, want [40 50]", hs)
+			}
+			// Keep 1 → cut would land on the delta at 50; extend back to 40.
+			if err := s.Prune(1); err != nil {
+				t.Fatal(err)
+			}
+			hs, _ = s.Horizons()
+			if len(hs) != 2 || hs[0] != 40 {
+				t.Fatalf("Prune(1) split the chain: %v", hs)
+			}
+			chain, err := s.LatestChain()
+			if err != nil || len(chain) != 2 || chain[0].Horizon != 40 {
+				t.Fatalf("chain after pruning = %v, %v", chain, err)
+			}
+		})
+	}
+}
+
+// TestManagerRetiredDecisionLeavesSnapshots: a decision retired (cohort
+// fully acknowledged) before a checkpoint no longer appears in the next
+// snapshot, while an unacknowledged one survives.
+func TestManagerRetiredDecisionLeavesSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.OpenSegmented(dir, wal.SegmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	st := storage.NewSharded(4)
+	st.Init(map[model.ItemID]int64{"x": 0})
+	snaps := NewDirStore(dir)
+	decisions := map[model.TxID]bool{
+		{Site: "S1", Seq: 1}: true, // will retire
+		{Site: "S1", Seq: 2}: true, // unacked: stays
+	}
+	m := NewManager(st, l, snaps, func() map[model.TxID]bool {
+		out := make(map[model.TxID]bool, len(decisions))
+		for k, v := range decisions {
+			out[k] = v
+		}
+		return out
+	}, Policy{})
+
+	populate(t, m, st, l, 1, 5)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Latest(snaps)
+	if err != nil || snap == nil {
+		t.Fatal(err)
+	}
+	if len(snap.Decisions) != 2 {
+		t.Fatalf("first snapshot decisions = %+v, want both", snap.Decisions)
+	}
+
+	// The cohort of tx 1 fully acknowledges: the site retires the entry.
+	delete(decisions, model.TxID{Site: "S1", Seq: 1})
+	populate(t, m, st, l, 6, 5)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err = Latest(snaps)
+	if err != nil || snap == nil {
+		t.Fatal(err)
+	}
+	dm := snap.DecisionMap()
+	if _, ok := dm[model.TxID{Site: "S1", Seq: 1}]; ok {
+		t.Error("retired decision still mirrored into the new snapshot")
+	}
+	if _, ok := dm[model.TxID{Site: "S1", Seq: 2}]; !ok {
+		t.Error("unacknowledged decision lost from the new snapshot")
 	}
 }

@@ -12,7 +12,7 @@ import (
 	"repro/internal/wal"
 )
 
-// Policy configures when checkpoints fire.
+// Policy configures when checkpoints fire and how snapshots are captured.
 type Policy struct {
 	// Bytes triggers a checkpoint once this many WAL bytes have been
 	// appended since the last one; 0 disables the bytes trigger.
@@ -23,6 +23,18 @@ type Policy struct {
 	// previous snapshot is the fallback when the newest turns out torn, so
 	// compaction never outruns it).
 	Retain int
+	// DeltaMax bounds the consecutive delta snapshots taken before a full
+	// snapshot is forced; 0 or negative disables incremental checkpoints
+	// entirely (every snapshot is full — the pre-delta behavior). The first
+	// checkpoint of a manager's lifetime is always full, so a catalog or
+	// codec change (which rebuilds the manager) restarts the chain.
+	DeltaMax int
+	// NoCOW disables copy-on-write shard capture: the captured shards are
+	// copied while the snapshot gate is held, stalling the decision
+	// pipeline for the O(data) copy instead of the O(shards) seal — the
+	// pre-COW behavior, kept as an ablation knob for
+	// BenchmarkCheckpointPause.
+	NoCOW bool
 }
 
 // Enabled reports whether any automatic trigger is configured. Manual
@@ -38,9 +50,11 @@ func (p Policy) retain() int {
 
 // Stats is a snapshot of the manager's counters for the progress monitor.
 type Stats struct {
-	// Checkpoints counts completed checkpoints; Failures counts attempts
-	// that errored (snapshot write or log append).
+	// Checkpoints counts completed checkpoints; Deltas counts how many of
+	// them were delta snapshots; Failures counts attempts that errored
+	// (snapshot write or log append).
 	Checkpoints uint64
+	Deltas      uint64
 	Failures    uint64
 	// SegmentsCompacted counts WAL segments deleted by compaction.
 	SegmentsCompacted uint64
@@ -48,6 +62,14 @@ type Stats struct {
 	LastHorizon uint64
 	// LastDuration is the wall time of the newest completed checkpoint.
 	LastDuration time.Duration
+	// LastPause is how long the newest checkpoint held the snapshot gate —
+	// the decision-pipeline stall. Under copy-on-write capture this is the
+	// O(shards) seal flip; with Policy.NoCOW it includes the O(data) copy.
+	LastPause time.Duration
+	// LastDirtyShards and LastItems describe the newest snapshot's capture:
+	// how many shards were dirty and how many copies the snapshot carries.
+	LastDirtyShards int
+	LastItems       int
 }
 
 // Manager drives fuzzy checkpoints of one site's store: snapshot under the
@@ -74,6 +96,15 @@ type Manager struct {
 	st        Stats
 	lastBytes uint64
 	lastAt    time.Time
+	// lastEpoch is the store-capture epoch of the last successful snapshot:
+	// the next delta captures exactly the shards dirtied at or after it
+	// (0 — nothing captured yet — makes the first capture full).
+	lastEpoch uint64
+	// lastFull is the horizon of the chain's full snapshot and
+	// deltasSinceFull the chain length so far; a delta's Prev pointer is
+	// simply st.LastHorizon (the manager is the only snapshot writer).
+	lastFull        uint64
+	deltasSinceFull int
 }
 
 // NewManager builds a manager. decisions supplies the participant's
@@ -104,15 +135,31 @@ func (m *Manager) Stats() Stats {
 // Checkpoint takes one checkpoint now (the manual trigger and the
 // background loop both land here). A checkpoint with nothing new to capture
 // (no records since the last horizon) is a no-op.
+//
+// The snapshot gate is held only for the copy-on-write shard seal (plus the
+// decision-table copy), so the decision pipeline stalls for O(shards), not
+// O(data); the captured shards are collected and persisted after the gate
+// drops. A chain that has reached Policy.DeltaMax deltas — or a manager
+// whose epoch bookkeeping holds nothing yet (first checkpoint, recovery
+// rebuild) — writes a full snapshot; otherwise a delta carrying only the
+// dirty shards, chained to the previous snapshot via Prev/Base.
 func (m *Manager) Checkpoint() error {
 	m.ckptMu.Lock()
 	defer m.ckptMu.Unlock()
 	start := time.Now()
 	m.mu.Lock()
 	lastHorizon := m.st.LastHorizon
+	lastEpoch, lastFull, deltas := m.lastEpoch, m.lastFull, m.deltasSinceFull
 	m.mu.Unlock()
 
+	full := m.pol.DeltaMax <= 0 || lastFull == 0 || deltas >= m.pol.DeltaMax
+	since := lastEpoch
+	if full {
+		since = 0
+	}
+
 	m.gate.Lock()
+	gateStart := time.Now()
 	horizon := m.log.DurableLSN() + 1
 	// Nothing but the previous checkpoint's own pin record (at LSN
 	// lastHorizon) has been appended: a new snapshot would capture nothing.
@@ -128,14 +175,28 @@ func (m *Manager) Checkpoint() error {
 		m.mu.Unlock()
 		return m.pruneAndCompact()
 	}
-	items := m.store.Snapshot()
+	capture := m.store.BeginCapture(since)
+	var items map[model.ItemID]storage.Copy
+	if m.pol.NoCOW {
+		items = capture.Collect() // the O(data) copy under the gate
+	}
 	var decs map[model.TxID]bool
 	if m.decisions != nil {
 		decs = m.decisions()
 	}
+	pause := time.Since(gateStart)
 	m.gate.Unlock()
+	if items == nil {
+		items = capture.Collect()
+	}
 
 	snap := &Snapshot{Horizon: horizon, Items: items, Decisions: decisionList(decs)}
+	if !full {
+		snap.Base, snap.Prev = lastFull, lastHorizon
+	}
+	// Failures past this point leave lastEpoch untouched, so shards dirty
+	// before the failed capture still satisfy dirtyEpoch >= lastEpoch and
+	// are re-captured by the retry — nothing is lost to a failed attempt.
 	if err := m.snaps.Save(snap); err != nil {
 		m.fail()
 		return err
@@ -154,11 +215,30 @@ func (m *Manager) Checkpoint() error {
 	m.st.Checkpoints++
 	m.st.LastHorizon = horizon
 	m.st.LastDuration = time.Since(start)
+	m.st.LastPause = pause
+	m.st.LastDirtyShards = capture.Dirty
+	m.st.LastItems = len(items)
+	m.lastEpoch = capture.Epoch
+	if full {
+		m.lastFull, m.deltasSinceFull = horizon, 0
+	} else {
+		m.st.Deltas++
+		m.deltasSinceFull++
+	}
 	m.lastBytes = m.log.AppendedBytes()
 	m.lastAt = time.Now()
 	m.mu.Unlock()
 
 	return m.pruneAndCompact()
+}
+
+// PendingDirty reports how many store shards have been dirtied since the
+// last successful capture — the size of the next delta, a durability gauge.
+func (m *Manager) PendingDirty() int {
+	m.mu.Lock()
+	since := m.lastEpoch
+	m.mu.Unlock()
+	return m.store.DirtyShards(since)
 }
 
 // pruneAndCompact trims the snapshot store to the retention count and

@@ -50,6 +50,12 @@ type Experiment struct {
 	CheckpointBytes int64 `json:"checkpoint_bytes,omitempty"`
 	// CheckpointIntervalMS triggers periodic checkpoints; 0/absent disables.
 	CheckpointIntervalMS int64 `json:"checkpoint_interval_ms,omitempty"`
+	// CheckpointDeltaMax bounds consecutive delta (dirty-shards-only)
+	// snapshots between full ones; 0/absent makes every snapshot full.
+	CheckpointDeltaMax int `json:"checkpoint_delta_max,omitempty"`
+	// CheckpointNoCOW disables copy-on-write shard capture (the snapshot is
+	// then copied under the checkpoint gate) — an ablation knob.
+	CheckpointNoCOW bool `json:"checkpoint_no_cow,omitempty"`
 }
 
 // Placement mirrors schema.ItemMeta's replication fields.
@@ -168,6 +174,8 @@ func (e *Experiment) Checkpoint() schema.CheckpointPolicy {
 	return schema.CheckpointPolicy{
 		Bytes:    e.CheckpointBytes,
 		Interval: time.Duration(e.CheckpointIntervalMS) * time.Millisecond,
+		DeltaMax: e.CheckpointDeltaMax,
+		NoCOW:    e.CheckpointNoCOW,
 	}
 }
 

@@ -14,6 +14,13 @@
 //	GET  /PMlet/render  — the Figure-5 output panel as text
 //	POST /Faultlet      — inject a crash / recovery / partition / heal
 //	POST /Resetlet      — reset the statistics window
+//
+// Beyond the servlet surface, the durability pipeline is exposed REST-style:
+//
+//	POST /site/{id}/checkpoint — trigger a manual checkpoint on one site
+//
+// and /Sitelet carries a "durability" section (snapshot counts, replay
+// horizon, dirty-shard gauge, decision-table size, retained WAL volume).
 package httpapi
 
 import (
@@ -25,6 +32,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/monitor"
 	"repro/internal/wlg"
 )
 
@@ -61,6 +69,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /PMlet/render", s.handlePMRender)
 	mux.HandleFunc("POST /Faultlet", s.handleFault)
 	mux.HandleFunc("POST /Resetlet", s.handleReset)
+	mux.HandleFunc("POST /site/{id}/checkpoint", s.handleCheckpoint)
 	return mux
 }
 
@@ -158,9 +167,53 @@ func (s *Server) handleSite(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown site %q", id))
 		return
 	}
+	stats := st.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"stats": st.Stats(),
-		"store": st.Store().Snapshot(),
+		"stats":      stats,
+		"store":      st.Store().Snapshot(),
+		"durability": durabilityOf(stats),
+	})
+}
+
+// durabilityOf projects the durability counters out of a site's stats — the
+// checkpoint/WAL subset monitoring systems scrape without parsing the whole
+// statistics panel.
+func durabilityOf(stats monitor.SiteStats) map[string]any {
+	return map[string]any{
+		"checkpoints":        stats.Checkpoints,
+		"checkpoint_deltas":  stats.CheckpointDeltas,
+		"last_horizon":       stats.CheckpointHorizon,
+		"gate_pause_ns":      stats.CheckpointPauseNS,
+		"dirty_shards":       stats.DirtyShards,
+		"decisions":          stats.Decisions,
+		"segments_compacted": stats.SegmentsCompacted,
+		"wal_segments":       stats.WALSegments,
+		"wal_bytes":          stats.WALBytes,
+		"recovery_records":   stats.RecoveryRecords,
+	}
+}
+
+// handleCheckpoint triggers a manual checkpoint on one site — the REST face
+// of Site.Checkpoint, next to the automatic byte/interval policies.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	inst, err := s.current()
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	id := model.SiteID(r.PathValue("id"))
+	st, ok := inst.Site(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown site %q", id))
+		return
+	}
+	if err := st.Checkpoint(); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"durability": durabilityOf(st.Stats()),
 	})
 }
 

@@ -226,3 +226,60 @@ func TestReconfigureReplacesInstance(t *testing.T) {
 		t.Error("reconfiguration kept old statistics")
 	}
 }
+
+// TestCheckpointTriggerAndDurability: POST /site/{id}/checkpoint takes a
+// manual checkpoint, and the durability counters surface both there and on
+// the Sitelet stats endpoint.
+func TestCheckpointTriggerAndDurability(t *testing.T) {
+	_, ts := newTestServer(t)
+	start(t, ts)
+	// Generate some durable work so the checkpoint has records to cover.
+	if resp, out := post(t, ts.URL+"/WLGlet/run", `{"transactions": 10, "mpl": 2, "ops_per_tx": 2, "read_fraction": 0.2, "retries": 3}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("WLGlet/run: %d %v", resp.StatusCode, out)
+	}
+
+	resp, out := post(t, ts.URL+"/site/S1/checkpoint", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: %d %v", resp.StatusCode, out)
+	}
+	dur, ok := out["durability"].(map[string]any)
+	if !ok {
+		t.Fatalf("no durability section: %v", out)
+	}
+	if n, _ := dur["checkpoints"].(float64); n < 1 {
+		t.Errorf("checkpoints = %v, want >= 1", dur["checkpoints"])
+	}
+	if h, _ := dur["last_horizon"].(float64); h <= 0 {
+		t.Errorf("last_horizon = %v, want > 0", dur["last_horizon"])
+	}
+
+	// The Sitelet stats endpoint carries the same counters.
+	gresp, body := get(t, ts.URL+"/Sitelet?site=S1")
+	if gresp.StatusCode != http.StatusOK {
+		t.Fatalf("Sitelet: %d", gresp.StatusCode)
+	}
+	var sitelet map[string]any
+	if err := json.Unmarshal(body, &sitelet); err != nil {
+		t.Fatal(err)
+	}
+	sdur, ok := sitelet["durability"].(map[string]any)
+	if !ok {
+		t.Fatalf("Sitelet has no durability section: %s", body)
+	}
+	for _, key := range []string{"checkpoints", "last_horizon", "dirty_shards", "decisions", "wal_bytes"} {
+		if _, ok := sdur[key]; !ok {
+			t.Errorf("durability section missing %q: %v", key, sdur)
+		}
+	}
+
+	// Unknown site → 404; crashed site → 409.
+	if resp, _ := post(t, ts.URL+"/site/ZZ/checkpoint", ""); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown site checkpoint = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/Faultlet", `{"kind":"crash","site":"S1"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("crash injection failed: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/site/S1/checkpoint", ""); resp.StatusCode != http.StatusConflict {
+		t.Errorf("crashed site checkpoint = %d, want 409", resp.StatusCode)
+	}
+}

@@ -126,9 +126,21 @@ type SiteStats struct {
 	WALSegments int
 	WALBytes    uint64
 	// Checkpoints counts completed checkpoints and SegmentsCompacted the
-	// WAL segments deleted by them in the window.
+	// WAL segments deleted by them in the window; CheckpointDeltas is how
+	// many of the checkpoints were incremental (dirty-shards-only) deltas.
 	Checkpoints       uint64
+	CheckpointDeltas  uint64
 	SegmentsCompacted uint64
+	// CheckpointHorizon is the newest snapshot's replay horizon and
+	// CheckpointPauseNS how long taking it stalled the decision pipeline
+	// (the snapshot-gate hold); DirtyShards gauges the store shards dirtied
+	// since that snapshot — the size of the next delta.
+	CheckpointHorizon uint64
+	CheckpointPauseNS int64
+	DirtyShards       int
+	// Decisions is the decision table's current size; retirement on fully
+	// acknowledged cohorts keeps it from growing without bound.
+	Decisions int
 	// RecoveryRecords is the number of WAL records the site's last
 	// (re)start replayed and RecoveryNS how long recovery took — the
 	// bounded-recovery measures (full-history replay grows without bound;
@@ -332,7 +344,16 @@ func (r Report) Totals() SiteStats {
 		out.WALSegments += s.WALSegments
 		out.WALBytes += s.WALBytes
 		out.Checkpoints += s.Checkpoints
+		out.CheckpointDeltas += s.CheckpointDeltas
 		out.SegmentsCompacted += s.SegmentsCompacted
+		out.DirtyShards += s.DirtyShards
+		out.Decisions += s.Decisions
+		if s.CheckpointHorizon > out.CheckpointHorizon {
+			out.CheckpointHorizon = s.CheckpointHorizon
+		}
+		if s.CheckpointPauseNS > out.CheckpointPauseNS {
+			out.CheckpointPauseNS = s.CheckpointPauseNS
+		}
 		out.RecoveryRecords += s.RecoveryRecords
 		if s.RecoveryNS > out.RecoveryNS {
 			out.RecoveryNS = s.RecoveryNS
@@ -427,8 +448,11 @@ func (r Report) Render() string {
 	fmt.Fprintf(&b, "orphan transactions: %d\n", t.Orphans)
 	fmt.Fprintf(&b, "data plane: %d shards, wal %d records / %d flushes (%.1f recs/flush)\n",
 		t.Shards, t.WALRecords, t.WALFlushes, t.WALBatchSize())
-	fmt.Fprintf(&b, "durability: %d checkpoints, %d segments compacted, wal %d segments / %d bytes retained\n",
-		t.Checkpoints, t.SegmentsCompacted, t.WALSegments, t.WALBytes)
+	fmt.Fprintf(&b, "durability: %d checkpoints (%d deltas), %d segments compacted, wal %d segments / %d bytes retained\n",
+		t.Checkpoints, t.CheckpointDeltas, t.SegmentsCompacted, t.WALSegments, t.WALBytes)
+	fmt.Fprintf(&b, "checkpoint: horizon=%d gate-pause=%v dirty-shards=%d decisions=%d\n",
+		t.CheckpointHorizon, time.Duration(t.CheckpointPauseNS).Round(time.Microsecond),
+		t.DirtyShards, t.Decisions)
 	fmt.Fprintf(&b, "recovery: replayed %d records in %v (last restart)\n",
 		t.RecoveryRecords, time.Duration(t.RecoveryNS).Round(time.Microsecond))
 	fmt.Fprintf(&b, "load imbalance (cv of admissions): %.3f\n", r.LoadImbalance())

@@ -78,6 +78,15 @@ type CheckpointPolicy struct {
 	Bytes int64
 	// Interval triggers periodic checkpoints.
 	Interval time.Duration
+	// DeltaMax bounds the consecutive delta (dirty-shards-only) snapshots
+	// between full snapshots. 0 means unset — a site-local policy defers to
+	// the catalog's value; negative explicitly forces every snapshot full
+	// (overriding the catalog).
+	DeltaMax int
+	// NoCOW disables copy-on-write shard capture, copying the snapshot
+	// under the checkpoint gate instead (the decision pipeline stalls for
+	// the O(data) copy) — an ablation knob.
+	NoCOW bool
 }
 
 // Enabled reports whether any automatic trigger is configured.

@@ -262,3 +262,149 @@ func TestSiteRecoverySkipsSnapshotDecidedTx(t *testing.T) {
 		t.Fatalf("decided transaction's effect lost: z = %+v, want 555", c)
 	}
 }
+
+// TestSiteDeltaCheckpointsAndRecovery drives a site through an incremental
+// (delta) checkpoint chain and a crash/recover cycle: deltas are recorded,
+// the composed chain recovers the committed state, and the recovered site
+// keeps checkpointing.
+func TestSiteDeltaCheckpointsAndRecovery(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	cat := schema.NewCatalog()
+	cat.Sites["A"] = schema.SiteInfo{ID: "A"}
+	cat.ReplicateEverywhere("x", 0)
+	cat.ReplicateEverywhere("y", 0)
+	st, err := New(Config{
+		ID: "A", Net: net, Catalog: cat,
+		Checkpoint: schema.CheckpointPolicy{DeltaMax: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ctx := context.Background()
+
+	write := func(item model.ItemID, val int64) {
+		t.Helper()
+		if out := st.Execute(ctx, []model.Op{model.Write(item, val)}); !out.Committed {
+			t.Fatalf("write did not commit: %+v", out)
+		}
+	}
+	for v := int64(1); v <= 10; v++ {
+		write("x", v)
+	}
+	if err := st.Checkpoint(); err != nil { // full
+		t.Fatal(err)
+	}
+	for v := int64(11); v <= 20; v++ {
+		write("x", v)
+	}
+	write("y", 5)
+	if err := st.Checkpoint(); err != nil { // delta
+		t.Fatal(err)
+	}
+	cs := st.CheckpointStats()
+	if cs.Checkpoints != 2 || cs.Deltas != 1 {
+		t.Fatalf("checkpoint stats = %+v, want 2 checkpoints / 1 delta", cs)
+	}
+	if cs.LastPause <= 0 || cs.LastDirtyShards <= 0 {
+		t.Errorf("pause/dirty gauges not recorded: %+v", cs)
+	}
+
+	st.Crash()
+	if err := st.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	out := st.Execute(ctx, []model.Op{model.Read("x"), model.Read("y")})
+	if !out.Committed || out.Reads["x"] != 20 || out.Reads["y"] != 5 {
+		t.Fatalf("post-recovery reads = %+v, want x=20 y=5", out)
+	}
+	// The recovered site's first checkpoint restarts the chain with a full
+	// snapshot (the manager's epoch bookkeeping is rebuilt).
+	write("x", 21)
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if cs := st.CheckpointStats(); cs.Deltas != 0 {
+		t.Errorf("first post-recovery checkpoint must be full: %+v", cs)
+	}
+}
+
+// TestSiteDecisionRetirementEndToEnd: a committed transaction whose cohort
+// fully acknowledged (RecEnd) stops appearing in the decision table and in
+// new snapshots, and stays retired across recovery; a decision without an
+// end record survives both.
+func TestSiteDecisionRetirementEndToEnd(t *testing.T) {
+	c := newCluster(t, 2, defaultProtocols(), items())
+	a := c.sites["A"]
+	ctx := context.Background()
+
+	// A normally committed transaction: decision + RecEnd on the
+	// coordinator; the table must not retain it.
+	if out := a.Execute(ctx, []model.Op{model.Write("x", 7)}); !out.Committed {
+		t.Fatalf("write did not commit: %+v", out)
+	}
+	if n := a.part.DecisionCount(); n != 0 {
+		t.Fatalf("decision table after fully acked commit = %d entries, want 0 (retired)", n)
+	}
+	// The end broadcast reaches the rest of the cohort too (best-effort
+	// cast over the simulated network): participant B's entry retires.
+	bPart := c.sites["B"].part
+	deadline := time.Now().Add(2 * time.Second)
+	for bPart.DecisionCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("participant decision table never retired: %d entries", bPart.DecisionCount())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// An unacknowledged decision (delivered from a peer coordinator, no end
+	// record): must stay.
+	open := model.TxID{Site: "Z", Seq: 1}
+	if err := a.part.HandleDecision(open, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	a.Crash()
+	if err := a.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if commit, known := a.part.Decision(open); !known || commit {
+		t.Error("unacknowledged decision lost across checkpoint+recovery")
+	}
+	if n := a.part.DecisionCount(); n != 1 {
+		t.Errorf("decision table after recovery = %d entries, want only the open one", n)
+	}
+}
+
+// TestSiteCatalogTriggerSurvivesLocalCaptureKnobs guards the policy merge:
+// a site with only capture knobs set locally (rainbow-site's
+// -checkpoint-delta-max default, no local trigger) must still arm the
+// catalog's automatic trigger rather than silently dropping it.
+func TestSiteCatalogTriggerSurvivesLocalCaptureKnobs(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	cat := schema.NewCatalog()
+	cat.Sites["A"] = schema.SiteInfo{ID: "A"}
+	cat.ReplicateEverywhere("x", 0)
+	cat.Checkpoint = schema.CheckpointPolicy{Interval: 30 * time.Millisecond}
+	st, err := New(Config{
+		ID: "A", Net: net, Catalog: cat,
+		Checkpoint: schema.CheckpointPolicy{DeltaMax: 8}, // no local trigger
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if out := st.Execute(context.Background(), []model.Op{model.Write("x", 9)}); !out.Committed {
+		t.Fatalf("write did not commit: %+v", out)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if st.CheckpointStats().Checkpoints >= 1 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("catalog interval trigger dropped by local capture knobs: %+v", st.CheckpointStats())
+}

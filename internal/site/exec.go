@@ -198,6 +198,21 @@ func (s *Site) Decide(ctx context.Context, site model.SiteID, tx model.TxID, com
 	return err
 }
 
+// End implements acp.Cohort: the cohort-fully-acknowledged notification.
+// Fire-and-forget (Cast, no response awaited) — the participant retires its
+// decision-table entry on receipt; a lost message only leaves the entry
+// lingering until the site restarts without it.
+func (s *Site) End(ctx context.Context, site model.SiteID, tx model.TxID) error {
+	if site == s.id {
+		s.mu.Lock()
+		part := s.part
+		s.mu.Unlock()
+		part.Retire(tx)
+		return nil
+	}
+	return s.peer.Cast(ctx, site, wire.KindEndTx, wire.EndTxMsg{Tx: tx})
+}
+
 // ---- acp.Resolver implementation ----
 
 // QueryDecision implements acp.Resolver.

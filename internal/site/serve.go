@@ -106,6 +106,16 @@ func (s *Site) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire
 		}
 		return wire.KindAck, wire.AckMsg{Tx: req.Tx}, nil
 
+	case wire.KindEndTx:
+		var req wire.EndTxMsg
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return 0, nil, err
+		}
+		// The cohort fully acknowledged: the decision entry is dead weight
+		// (nobody will ask again); drop it so snapshots stop mirroring it.
+		part.Retire(req.Tx)
+		return wire.KindOK, wire.OKBody{}, nil
+
 	case wire.KindDecisionReq:
 		var req wire.DecisionReq
 		if err := wire.Unmarshal(payload, &req); err != nil {

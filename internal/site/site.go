@@ -253,10 +253,12 @@ func (s *Site) configure(catalog *schema.Catalog) error {
 	}
 	store := storage.NewSharded(shards)
 
+	// The newest recoverable snapshot chain (full + consecutive valid
+	// deltas; a torn delta falls back one link) composes into one image.
 	var snap *checkpoint.Snapshot
 	if s.snaps != nil {
 		var err error
-		if snap, err = s.snaps.Latest(); err != nil {
+		if snap, err = checkpoint.Latest(s.snaps); err != nil {
 			return err
 		}
 	}
@@ -323,12 +325,23 @@ func (s *Site) configure(catalog *schema.Catalog) error {
 	// the decision pipeline.
 	var mgr *checkpoint.Manager
 	if cl, ok := s.log.(wal.Compactable); ok && s.snaps != nil {
+		// Per-site knobs merge over the catalog's experiment-wide policy:
+		// the automatic triggers fall back as a pair (a site with no local
+		// trigger defers to the catalog's — even when its capture knobs are
+		// set, e.g. by rainbow-site's -checkpoint-delta-max default), and
+		// the capture knobs fall back field-wise. DeltaMax 0 defers,
+		// negative explicitly forces full snapshots; NoCOW merges as a
+		// union of disable requests.
 		pol := s.ckptCfg
 		if !pol.Enabled() {
-			pol = catalog.Checkpoint
+			pol.Bytes, pol.Interval = catalog.Checkpoint.Bytes, catalog.Checkpoint.Interval
 		}
+		if pol.DeltaMax == 0 {
+			pol.DeltaMax = catalog.Checkpoint.DeltaMax
+		}
+		pol.NoCOW = pol.NoCOW || catalog.Checkpoint.NoCOW
 		mgr = checkpoint.NewManager(store, cl, s.snaps, part.DecisionTable,
-			checkpoint.Policy{Bytes: pol.Bytes, Interval: pol.Interval})
+			checkpoint.Policy{Bytes: pol.Bytes, Interval: pol.Interval, DeltaMax: pol.DeltaMax, NoCOW: pol.NoCOW})
 		part.UseGate(mgr.Gate())
 	}
 
@@ -336,6 +349,7 @@ func (s *Site) configure(catalog *schema.Catalog) error {
 	if s.ckpt != nil {
 		old := s.ckpt.Stats()
 		s.ckptAccum.Checkpoints += old.Checkpoints
+		s.ckptAccum.Deltas += old.Deltas
 		s.ckptAccum.SegmentsCompacted += old.SegmentsCompacted
 	}
 	s.catalog = catalog
@@ -363,8 +377,10 @@ func (s *Site) configure(catalog *schema.Catalog) error {
 // coordLog is the WAL face handed to the atomic commit protocols when this
 // site coordinates: decision records route through the participant's
 // ForceDecision so the force-write and the local adoption (decision table +
-// install) are one unit under the checkpoint gate; everything else passes
-// straight through.
+// install) are one unit under the checkpoint gate, and end records route
+// through ForceEnd so the fully-acknowledged transaction's decision-table
+// entry retires under the same gate; everything else passes straight
+// through.
 type coordLog struct {
 	wal.Log
 	part *acp.Participant
@@ -372,8 +388,11 @@ type coordLog struct {
 
 // Append implements wal.Log.
 func (c coordLog) Append(r wal.Record) error {
-	if r.Type == wal.RecDecision {
+	switch r.Type {
+	case wal.RecDecision:
 		return c.part.ForceDecision(r)
+	case wal.RecEnd:
+		return c.part.ForceEnd(r)
 	}
 	return c.Log.Append(r)
 }
@@ -435,9 +454,17 @@ func (s *Site) Stats() monitor.SiteStats {
 	if ckpt != nil {
 		cs := ckpt.Stats()
 		ckptAccum.Checkpoints += cs.Checkpoints
+		ckptAccum.Deltas += cs.Deltas
 		ckptAccum.SegmentsCompacted += cs.SegmentsCompacted
+		stats.CheckpointHorizon = cs.LastHorizon
+		stats.CheckpointPauseNS = int64(cs.LastPause)
+		stats.DirtyShards = ckpt.PendingDirty()
+	}
+	if part != nil {
+		stats.Decisions = part.DecisionCount()
 	}
 	stats.Checkpoints = ckptAccum.Checkpoints - min(ckptBase.Checkpoints, ckptAccum.Checkpoints)
+	stats.CheckpointDeltas = ckptAccum.Deltas - min(ckptBase.Deltas, ckptAccum.Deltas)
 	stats.SegmentsCompacted = ckptAccum.SegmentsCompacted - min(ckptBase.SegmentsCompacted, ckptAccum.SegmentsCompacted)
 	stats.RecoveryRecords = recoveryRecords
 	stats.RecoveryNS = recoveryNS
@@ -456,6 +483,7 @@ func (s *Site) ResetStats() {
 	if s.ckpt != nil {
 		cs := s.ckpt.Stats()
 		s.ckptBase.Checkpoints += cs.Checkpoints
+		s.ckptBase.Deltas += cs.Deltas
 		s.ckptBase.SegmentsCompacted += cs.SegmentsCompacted
 	}
 	store := s.store

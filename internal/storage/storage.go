@@ -52,6 +52,14 @@ func NormalizeShards(n int) int {
 type storeShard struct {
 	mu     sync.RWMutex
 	copies map[model.ItemID]Copy
+	// sealed marks copies as referenced by an in-progress checkpoint
+	// capture: the next install must clone the map first (copy-on-write),
+	// so the capture can read the sealed map without holding any lock.
+	sealed bool
+	// dirtyEpoch is the store's capture epoch at the last install; a
+	// checkpoint delta carries exactly the shards whose dirtyEpoch is at or
+	// after the previous capture's epoch.
+	dirtyEpoch atomic.Uint64
 	// hits counts point lookups (Get/Has), installs counts version-guarded
 	// writes that took effect — the per-shard traffic counters behind the
 	// monitor's hash-skew panel. Atomic so read paths never write-lock.
@@ -63,6 +71,9 @@ type storeShard struct {
 type Store struct {
 	shards []storeShard
 	mask   uint32
+	// epoch is the capture epoch: incremented by BeginCapture, stamped into
+	// each shard's dirtyEpoch on install.
+	epoch atomic.Uint64
 }
 
 // New returns an empty store with the default shard count.
@@ -73,6 +84,7 @@ func New() *Store { return NewSharded(0) }
 func NewSharded(n int) *Store {
 	n = NormalizeShards(n)
 	s := &Store{shards: make([]storeShard, n), mask: uint32(n - 1)}
+	s.epoch.Store(1)
 	for i := range s.shards {
 		s.shards[i].copies = make(map[model.ItemID]Copy)
 	}
@@ -118,8 +130,12 @@ func (s *Store) runlockAll() {
 func (s *Store) Init(items map[model.ItemID]int64) {
 	s.lockAll()
 	defer s.unlockAll()
+	epoch := s.epoch.Load()
 	for i := range s.shards {
+		// Fresh maps: a sealed map stays with its capture untouched.
 		s.shards[i].copies = make(map[model.ItemID]Copy)
+		s.shards[i].sealed = false
+		s.shards[i].dirtyEpoch.Store(epoch)
 	}
 	for item, v := range items {
 		s.shardOf(item).copies[item] = Copy{Value: v}
@@ -168,7 +184,7 @@ func (s *Store) Apply(writes []model.WriteRecord) error {
 	if !multi {
 		first.mu.Lock()
 		defer first.mu.Unlock()
-		return applyLocked(first, writes)
+		return s.applyLocked(first, writes)
 	}
 
 	// Group the writes per shard index (preserving per-item order), lock
@@ -192,26 +208,121 @@ func (s *Store) Apply(writes []model.WriteRecord) error {
 		}
 	}()
 	for _, idx := range order {
-		if err := applyLocked(&s.shards[idx], grouped[idx]); err != nil {
+		if err := s.applyLocked(&s.shards[idx], grouped[idx]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// applyLocked installs writes into sh, which the caller holds locked.
-func applyLocked(sh *storeShard, writes []model.WriteRecord) error {
+// applyLocked installs writes into sh, which the caller holds locked. A
+// sealed shard is cloned before the first effective install (copy-on-write):
+// the sealed map belongs to an in-progress checkpoint capture and must stay
+// exactly as captured.
+func (s *Store) applyLocked(sh *storeShard, writes []model.WriteRecord) error {
 	for _, w := range writes {
 		c, ok := sh.copies[w.Item]
 		if !ok {
 			return fmt.Errorf("storage: no copy of %s on this site", w.Item)
 		}
 		if w.Version > c.Version {
+			if sh.sealed {
+				clone := make(map[model.ItemID]Copy, len(sh.copies))
+				for k, v := range sh.copies {
+					clone[k] = v
+				}
+				sh.copies = clone
+				sh.sealed = false
+			}
 			sh.copies[w.Item] = Copy{Value: w.Value, Version: w.Version}
 			sh.installs.Add(1)
+			sh.dirtyEpoch.Store(s.epoch.Load())
 		}
 	}
 	return nil
+}
+
+// Capture is one copy-on-write capture of the store, taken by the
+// checkpoint manager under its snapshot gate. BeginCapture only seals the
+// dirty shards — O(shards), no item data is touched — so the gate is
+// released before the O(data) Collect step runs. Installs arriving after
+// the seal clone their shard's map first, leaving the sealed maps frozen at
+// capture time.
+type Capture struct {
+	// Epoch is this capture's epoch; pass it as since to the next
+	// BeginCapture to capture exactly the shards dirtied in between.
+	Epoch uint64
+	// Dirty is the number of shards captured, Total the shard count.
+	Dirty int
+	Total int
+	parts []capturePart
+	items int
+}
+
+// capturePart pairs a sealed shard with the map reference captured from it
+// (the shard's live map may move on via a copy-on-write clone).
+type capturePart struct {
+	sh *storeShard
+	m  map[model.ItemID]Copy
+}
+
+// BeginCapture seals every shard whose last install happened at or after
+// epoch since (since 0 seals everything — a full capture) and returns the
+// sealed map set. It is O(shards): each dirty shard's lock is taken only to
+// flip the seal bit. The caller must exclude installs for the duration of
+// the call (the checkpoint gate does); reads never block on it.
+func (s *Store) BeginCapture(since uint64) *Capture {
+	c := &Capture{Epoch: s.epoch.Add(1), Total: len(s.shards)}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if sh.dirtyEpoch.Load() < since {
+			continue
+		}
+		sh.mu.Lock()
+		sh.sealed = true
+		c.parts = append(c.parts, capturePart{sh: sh, m: sh.copies})
+		c.items += len(sh.copies)
+		sh.mu.Unlock()
+		c.Dirty++
+	}
+	return c
+}
+
+// Collect copies the captured shards' contents into one map, then releases
+// the seals so later installs mutate in place again instead of paying a
+// copy-on-write clone for a capture that no longer needs the map. The copy
+// itself takes no locks: sealed maps are immutable — an install arriving
+// before its shard is unsealed clones the map before writing. Call Collect
+// exactly once per capture, and never overlap two captures of one store
+// (the checkpoint manager serializes them).
+func (c *Capture) Collect() map[model.ItemID]Copy {
+	out := make(map[model.ItemID]Copy, c.items)
+	for _, p := range c.parts {
+		for k, v := range p.m {
+			out[k] = v
+		}
+	}
+	for _, p := range c.parts {
+		p.sh.mu.Lock()
+		p.sh.sealed = false
+		p.sh.mu.Unlock()
+	}
+	return out
+}
+
+// Items returns the number of copies the capture holds.
+func (c *Capture) Items() int { return c.items }
+
+// DirtyShards counts shards with an install at or after epoch since — the
+// size of the next delta capture, surfaced as a durability gauge.
+func (s *Store) DirtyShards(since uint64) int {
+	n := 0
+	for i := range s.shards {
+		if s.shards[i].dirtyEpoch.Load() >= since {
+			n++
+		}
+	}
+	return n
 }
 
 // ShardStat is one shard's occupancy and traffic counters.

@@ -439,3 +439,116 @@ func TestRecoverRecordsSnapshotAndHorizon(t *testing.T) {
 		t.Fatalf("inDoubt = %+v, want tx 3 only", inDoubt)
 	}
 }
+
+// TestCaptureCopyOnWrite: a sealed shard's captured map must stay frozen at
+// capture time — installs arriving after the seal clone the map first.
+func TestCaptureCopyOnWrite(t *testing.T) {
+	s := NewSharded(4)
+	s.Init(map[model.ItemID]int64{"a": 1, "b": 2, "c": 3})
+
+	cap1 := s.BeginCapture(0) // full capture: everything dirty since Init
+	if cap1.Dirty == 0 || cap1.Total != 4 {
+		t.Fatalf("full capture = %d/%d shards", cap1.Dirty, cap1.Total)
+	}
+	// Mutate AFTER the seal but BEFORE Collect: the capture must not see it.
+	if err := s.Apply([]model.WriteRecord{{Item: "a", Value: 100, Version: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	got := cap1.Collect()
+	if got["a"].Value != 1 {
+		t.Errorf("capture saw a post-seal install: a = %+v", got["a"])
+	}
+	if len(got) != 3 {
+		t.Errorf("full capture has %d items, want 3", len(got))
+	}
+	// The live store did take the write.
+	if c, _ := s.Get("a"); c.Value != 100 {
+		t.Errorf("live store lost the install: %+v", c)
+	}
+
+	// Second capture since the first: only the shard dirtied by "a" is in.
+	cap2 := s.BeginCapture(cap1.Epoch)
+	if cap2.Dirty != 1 {
+		t.Errorf("delta capture sealed %d shards, want 1", cap2.Dirty)
+	}
+	delta := cap2.Collect()
+	if delta["a"].Value != 100 {
+		t.Errorf("delta capture missed the new value: %+v", delta["a"])
+	}
+	// A capture with nothing dirtied since is empty.
+	cap3 := s.BeginCapture(cap2.Epoch)
+	if cap3.Dirty != 0 || len(cap3.Collect()) != 0 {
+		t.Errorf("idle capture = %d shards, %d items", cap3.Dirty, cap3.Items())
+	}
+}
+
+// TestDirtyShardsGauge tracks the pending-delta gauge across captures.
+func TestDirtyShardsGauge(t *testing.T) {
+	s := NewSharded(8)
+	items := make(map[model.ItemID]int64)
+	for i := 0; i < 64; i++ {
+		items[model.ItemID(fmt.Sprintf("i%02d", i))] = 0
+	}
+	s.Init(items)
+	if got := s.DirtyShards(0); got != 8 {
+		t.Errorf("DirtyShards(0) = %d, want all 8", got)
+	}
+	c := s.BeginCapture(0)
+	if got := s.DirtyShards(c.Epoch); got != 0 {
+		t.Errorf("DirtyShards after capture = %d, want 0", got)
+	}
+	if err := s.Apply([]model.WriteRecord{{Item: "i00", Value: 1, Version: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DirtyShards(c.Epoch); got != 1 {
+		t.Errorf("DirtyShards after one install = %d, want 1", got)
+	}
+}
+
+// TestCaptureConcurrentApply hammers Apply/Get from many goroutines while
+// captures run, for the race detector; each Collect must be internally
+// consistent (only values that existed at or before its seal point per item
+// version monotonicity).
+func TestCaptureConcurrentApply(t *testing.T) {
+	s := NewSharded(8)
+	const nItems = 128
+	items := make(map[model.ItemID]int64, nItems)
+	ids := make([]model.ItemID, nItems)
+	for i := range ids {
+		ids[i] = model.ItemID(fmt.Sprintf("i%03d", i))
+		items[ids[i]] = 0
+	}
+	s.Init(items)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for v := 1; ; v++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				it := ids[(g*31+v)%nItems]
+				s.Apply([]model.WriteRecord{{Item: it, Value: int64(v), Version: model.Version(v)}}) //nolint:errcheck
+				s.Get(it)
+			}
+		}(g)
+	}
+	since := uint64(0)
+	for i := 0; i < 50; i++ {
+		c := s.BeginCapture(since)
+		snap := c.Collect()
+		for id, copyv := range snap {
+			if copyv.Version < 0 {
+				t.Fatalf("impossible version for %s: %+v", id, copyv)
+			}
+		}
+		since = c.Epoch
+	}
+	close(stop)
+	wg.Wait()
+}

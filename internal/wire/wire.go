@@ -58,6 +58,11 @@ const (
 
 	// Workload generator (WLGlet traffic).
 	KindSubmitTx
+
+	// Atomic commit protocols, continued. Appended after the original
+	// block so existing kinds keep their wire numbers (mixed-version
+	// clusters would otherwise misdispatch every kind after the insert).
+	KindEndTx // cohort fully acknowledged: retire the decision entry
 )
 
 var kindNames = map[MsgKind]string{
@@ -77,6 +82,7 @@ var kindNames = map[MsgKind]string{
 	KindDecisionReq:  "DecisionReq",
 	KindPreCommit:    "PreCommit",
 	KindTermState:    "TermState",
+	KindEndTx:        "EndTx",
 	KindGetStats:     "GetStats",
 	KindResetStats:   "ResetStats",
 	KindGetHistory:   "GetHistory",
@@ -272,6 +278,16 @@ type AckMsg struct {
 	Tx model.TxID
 }
 
+// EndTxMsg tells a participant the whole cohort acknowledged the decision
+// (the coordinator logged its end record): no one will ever ask for the
+// outcome again, so the participant may retire its decision-table entry.
+// Delivery is best-effort — a lost message only delays retirement until the
+// participant's next restart cannot even observe it (the entry merely
+// lingers, costing snapshot bytes, never correctness).
+type EndTxMsg struct {
+	Tx model.TxID
+}
+
 // DecisionReq asks the coordinator (or a peer, during cooperative
 // termination) for the outcome of an in-doubt transaction.
 type DecisionReq struct {
@@ -323,6 +339,7 @@ func init() {
 	gob.Register(PreCommitReq{})
 	gob.Register(DecisionMsg{})
 	gob.Register(AckMsg{})
+	gob.Register(EndTxMsg{})
 	gob.Register(DecisionReq{})
 	gob.Register(DecisionResp{})
 	gob.Register(TermStateReq{})

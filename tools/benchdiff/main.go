@@ -1,0 +1,139 @@
+// Command benchdiff compares two benchjson artifacts (see tools/benchjson)
+// and fails when the current run regressed against the committed baseline —
+// the CI gate that keeps the recovery/WAL/checkpoint wins won.
+//
+// Usage:
+//
+//	go run ./tools/benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json \
+//	    [-metric ns/op] [-threshold 0.25] [-match 'Recovery|WAL|Checkpoint']
+//
+// Every baseline benchmark whose name matches -match and carries the gated
+// metric must (a) still exist in the current run and (b) not exceed
+// baseline*(1+threshold) on that metric. A benchmark that disappears fails
+// the gate loudly: renames must refresh the baseline in the same change.
+// Current-run benchmarks without a baseline entry are reported as new (not
+// failures), so adding a benchmark does not require a two-step dance.
+// Improvements beyond the threshold are flagged as refresh candidates.
+//
+// Exit status: 0 = gate passed, 1 = regression or missing benchmark,
+// 2 = usage/IO error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// Result mirrors tools/benchjson's output schema.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func readResults(path string) (map[string]Result, []string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var list []Result
+	if err := json.Unmarshal(b, &list); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]Result, len(list))
+	var names []string
+	for _, r := range list {
+		if _, dup := byName[r.Name]; !dup {
+			names = append(names, r.Name)
+		}
+		byName[r.Name] = r // last run of a repeated bench wins, like benchstat's input order
+	}
+	return byName, names, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline artifact")
+	currentPath := flag.String("current", "", "fresh bench artifact to gate")
+	metric := flag.String("metric", "ns/op", "metric to gate on")
+	threshold := flag.Float64("threshold", 0.25, "relative regression tolerance (0.25 = +25%)")
+	match := flag.String("match", "Recovery|WAL|Checkpoint", "regexp selecting gated benchmark names")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	base, baseNames, err := readResults(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, curNames, err := readResults(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	fmt.Printf("%-60s %14s %14s %8s\n", "benchmark", "baseline", "current", "delta")
+	for _, name := range baseNames {
+		if !re.MatchString(name) {
+			continue
+		}
+		b := base[name]
+		bv, ok := b.Metrics[*metric]
+		if !ok || bv <= 0 {
+			continue // baseline carries no gated metric for this bench
+		}
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("%-60s %14.0f %14s %8s  MISSING (refresh the baseline when renaming)\n", name, bv, "-", "-")
+			failed = true
+			continue
+		}
+		cv, ok := c.Metrics[*metric]
+		if !ok {
+			fmt.Printf("%-60s %14.0f %14s %8s  NO %s IN CURRENT RUN\n", name, bv, "-", "-", *metric)
+			failed = true
+			continue
+		}
+		delta := cv/bv - 1
+		verdict := "ok"
+		switch {
+		case delta > *threshold:
+			verdict = fmt.Sprintf("REGRESSION (> +%.0f%%)", *threshold*100)
+			failed = true
+		case delta < -*threshold:
+			verdict = "improved — consider refreshing the baseline"
+		}
+		fmt.Printf("%-60s %14.0f %14.0f %+7.1f%%  %s\n", name, bv, cv, delta*100, verdict)
+	}
+	// New benchmarks (matched, in current, absent from baseline) are
+	// informational: they enter the gate when the baseline is refreshed.
+	var newNames []string
+	for _, name := range curNames {
+		if re.MatchString(name) {
+			if _, ok := base[name]; !ok {
+				newNames = append(newNames, name)
+			}
+		}
+	}
+	sort.Strings(newNames)
+	for _, name := range newNames {
+		fmt.Printf("%-60s %14s %14.0f %8s  new (no baseline)\n", name, "-", cur[name].Metrics[*metric], "-")
+	}
+
+	if failed {
+		fmt.Printf("\nbenchdiff: FAIL — %s regressions beyond +%.0f%% (or missing benches) against %s\n", *metric, *threshold*100, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: PASS — no %s regression beyond +%.0f%% against %s\n", *metric, *threshold*100, *baselinePath)
+}
