@@ -31,6 +31,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/shard"
 	"repro/internal/simnet"
+	"repro/internal/site"
 	"repro/internal/storage"
 	"repro/internal/wal"
 	"repro/internal/wlg"
@@ -963,6 +964,56 @@ func BenchmarkRecovery(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(replayed), "replayed-recs")
+		})
+	}
+}
+
+// BenchmarkReconfigure measures one live catalog reconfiguration of a
+// loaded site: epoch bump, decision-pipeline quiesce, forced full snapshot
+// at the current horizon, protocol-stack rebuild into a different shard
+// count, store restore — no restart, no lost data. The cost is O(store):
+// the forced snapshot plus the rebuild's restore dominate, which is why the
+// item-count subcases scale near-linearly.
+func BenchmarkReconfigure(b *testing.B) {
+	for _, n := range []int{16384, 65536} {
+		b.Run(fmt.Sprintf("items=%d", n), func(b *testing.B) {
+			cat := schema.NewCatalog()
+			cat.Sites["S1"] = schema.SiteInfo{ID: "S1"}
+			for i := 0; i < n; i++ {
+				cat.PlaceCopies(model.ItemID(fmt.Sprintf("i%06d", i)), int64(i), "S1")
+			}
+			cat.Timeouts = benchTimeouts
+			net := simnet.New(benchNet)
+			st, err := site.New(site.Config{ID: "S1", Net: net, Catalog: cat})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			// A little committed work so the forced snapshot covers a real
+			// horizon, not just initial values.
+			ctx := context.Background()
+			for v := int64(1); v <= 32; v++ {
+				if out := st.Execute(ctx, []model.Op{model.Write("i000000", v)}); !out.Committed {
+					b.Fatalf("seed write: %+v", out)
+				}
+			}
+			epoch := st.Epoch()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				next := st.Catalog().Clone()
+				epoch++
+				next.Epoch = epoch
+				next.Shards = 4 << (i % 2) // alternate 4 and 8
+				if err := st.Reconfigure(next); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if out := st.Execute(ctx, []model.Op{model.Read("i000000")}); !out.Committed || out.Reads["i000000"] != 32 {
+				b.Fatalf("post-bench read = %+v, want 32", out)
+			}
+			b.ReportMetric(float64(n), "items")
+			b.ReportMetric(float64(st.Reconfigures()), "reconfigs")
 		})
 	}
 }

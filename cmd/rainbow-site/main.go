@@ -37,6 +37,7 @@ func main() {
 	ckptInterval := flag.Duration("checkpoint-interval", 0, "periodic checkpoint interval (0 disables the timer)")
 	ckptDeltaMax := flag.Int("checkpoint-delta-max", 8, "consecutive delta (dirty-shards-only) snapshots before a full snapshot is forced (0 = defer to the config file's value, negative = every snapshot full)")
 	ckptCOW := flag.Bool("checkpoint-cow", true, "capture snapshots copy-on-write so the decision pipeline stalls O(shards), not O(data); false copies under the gate (ablation; a config file's checkpoint_no_cow also disables it)")
+	catalogPoll := flag.Duration("catalog-poll", 5*time.Second, "interval for probing the name server's catalog epoch; a moved epoch live-reconfigures the site (0 disables polling; pushed updates still apply)")
 	flag.Parse()
 
 	if *id == "" {
@@ -106,6 +107,7 @@ func main() {
 			Bytes: *ckptBytes, Interval: time.Duration(*ckptInterval),
 			DeltaMax: *ckptDeltaMax, NoCOW: !*ckptCOW,
 		},
+		CatalogPoll: *catalogPoll,
 	}
 	if *cfgPath != "" {
 		exp, err := config.Load(*cfgPath)

@@ -96,6 +96,10 @@ type Request struct {
 	// NoReadOnlyOpt disables the read-only participant optimization
 	// (ablation knob; the optimization is on by default).
 	NoReadOnlyOpt bool
+	// Epoch is the catalog epoch the transaction began under, carried in
+	// every prepare for the participants' epoch fence (see
+	// wire.PrepareReq.Epoch).
+	Epoch uint64
 }
 
 // Protocol is an atomic commit protocol, run by the coordinator.

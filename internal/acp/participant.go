@@ -114,7 +114,12 @@ func (p *Participant) HandlePrepare(req wire.PrepareReq) wire.VoteResp {
 	}
 
 	// Force the prepared record before voting yes (the WAL rule that makes
-	// the yes-vote binding across crashes).
+	// the yes-vote binding across crashes). The site's production entry
+	// point (votePrepare) holds the checkpoint gate's read side around
+	// this whole call, so a live reconfiguration quiescing the pipeline
+	// under the gate's write side cannot interleave between the site's
+	// prepare guards and this force — the gate is deliberately NOT taken
+	// here (it is not reentrant).
 	if err := p.log.Append(wal.Record{
 		Type:         wal.RecPrepared,
 		Tx:           req.Tx,
@@ -260,6 +265,30 @@ func (p *Participant) HandleTermState(tx model.TxID) uint8 {
 		return st.state
 	}
 	return StateNone
+}
+
+// Prepared reports whether the participant currently holds in-doubt
+// (prepared, undecided) state for tx. Online reconfiguration uses it to
+// tell which WAL-recovered in-doubt transactions are already carried in
+// memory — those keep their live protocol state (e.g. 3PC pre-committed)
+// instead of being reset to freshly-prepared.
+func (p *Participant) Prepared(tx model.TxID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.states[tx]
+	return ok
+}
+
+// InDoubtThreePhase reports whether tx is held in-doubt here under the 3PC
+// state machine. Decision serving uses it to suppress presumed abort: a
+// 3PC cohort can cooperatively commit without its coordinator, so a
+// recovered coordinator must not presume its own in-doubt 3PC transaction
+// aborted.
+func (p *Participant) InDoubtThreePhase(tx model.TxID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.states[tx]
+	return ok && st.req.ThreePhase
 }
 
 // Decision reports a locally known outcome (for decision-request serving).

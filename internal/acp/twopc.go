@@ -78,6 +78,7 @@ func collectVotes(ctx context.Context, c Cohort, opts Options, req Request, thre
 				Participants:  req.Participants,
 				ThreePhase:    threePhase,
 				NoReadOnlyOpt: req.NoReadOnlyOpt,
+				Epoch:         req.Epoch,
 			})
 			results <- voteResult{site: site, resp: resp, err: err}
 		}(site)

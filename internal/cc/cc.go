@@ -51,6 +51,14 @@ type Manager interface {
 	// crash recovery, before the site serves new traffic.
 	Reinstate(tx model.TxID, ts model.Timestamp, writes []model.WriteRecord) error
 
+	// HoldsIntents reports whether the manager currently buffers a
+	// pre-write intent from tx for every listed item. Prepare-time
+	// validation: a crash recovery or live reconfiguration between
+	// pre-write and prepare discards intents (and their protection), and
+	// preparing such a transaction could serialize two conflicting writers
+	// onto the same install version — the site votes no instead.
+	HoldsIntents(tx model.TxID, items []model.ItemID) bool
+
 	// Stats reports CC event counters for the progress monitor.
 	Stats() Stats
 }

@@ -279,6 +279,19 @@ func (m *MVTSO) Abort(tx model.TxID) {
 	delete(m.byTx, tx)
 }
 
+// HoldsIntents implements Manager.
+func (m *MVTSO) HoldsIntents(tx model.TxID, items []model.ItemID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	owned := m.byTx[tx]
+	for _, item := range items {
+		if !owned[item] {
+			return false
+		}
+	}
+	return true
+}
+
 // Reinstate implements Manager.
 func (m *MVTSO) Reinstate(tx model.TxID, ts model.Timestamp, writes []model.WriteRecord) error {
 	m.mu.Lock()

@@ -215,6 +215,19 @@ func (m *TSO) Abort(tx model.TxID) {
 	delete(m.byTx, tx)
 }
 
+// HoldsIntents implements Manager.
+func (m *TSO) HoldsIntents(tx model.TxID, items []model.ItemID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	owned := m.byTx[tx]
+	for _, item := range items {
+		if !owned[item] {
+			return false
+		}
+	}
+	return true
+}
+
 // Reinstate implements Manager: reinstall pre-write intents for an in-doubt
 // transaction found during recovery.
 func (m *TSO) Reinstate(tx model.TxID, ts model.Timestamp, writes []model.WriteRecord) error {

@@ -155,6 +155,20 @@ func (m *TwoPL) Abort(tx model.TxID) {
 	m.locks.ReleaseAll(tx)
 }
 
+// HoldsIntents implements Manager.
+func (m *TwoPL) HoldsIntents(tx model.TxID, items []model.ItemID) bool {
+	for _, item := range items {
+		sh := m.stripeOf(item)
+		sh.mu.Lock()
+		_, ok := sh.intents[tx][item]
+		sh.mu.Unlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // Reinstate implements Manager: re-acquire exclusive locks for an in-doubt
 // transaction during recovery. Recovery runs before the site admits new
 // work, so acquisition cannot block.

@@ -1,0 +1,251 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// newChainRig builds a manager over a segmented log + dir store, the setup
+// every delta-chain edge case shares.
+func newChainRig(t *testing.T, pol Policy) (*Manager, *storage.Store, *wal.SegmentedLog, *DirStore) {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := wal.OpenSegmented(dir, wal.SegmentOptions{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	st := storage.NewSharded(16)
+	st.Init(map[model.ItemID]int64{"x": 0, "y": 0})
+	snaps := NewDirStore(dir)
+	return NewManager(st, l, snaps, nil, pol), st, l, snaps
+}
+
+// TestDeltaMaxBoundaryExactlyHit: with DeltaMax=N the chain must be
+// full, delta x N, full — the N-th delta is still a delta (the boundary is
+// inclusive) and exactly the (N+1)-th checkpoint re-forces a full.
+func TestDeltaMaxBoundaryExactlyHit(t *testing.T) {
+	for _, deltaMax := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("deltaMax=%d", deltaMax), func(t *testing.T) {
+			m, st, l, snaps := newChainRig(t, Policy{DeltaMax: deltaMax, Retain: 16})
+			seq := 1
+			ckpt := func() Stats {
+				populate(t, m, st, l, seq, 3)
+				seq += 3
+				if err := m.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+				return m.Stats()
+			}
+			ckpt() // the chain's full
+			for i := 1; i <= deltaMax; i++ {
+				s := ckpt()
+				if s.Deltas != uint64(i) {
+					t.Fatalf("checkpoint %d: deltas = %d, want %d (boundary is inclusive)", i+1, s.Deltas, i)
+				}
+			}
+			// Exactly at the boundary: the next one is full again.
+			s := ckpt()
+			if s.Deltas != uint64(deltaMax) {
+				t.Fatalf("past boundary: deltas = %d, want still %d", s.Deltas, deltaMax)
+			}
+			if s.Checkpoints != uint64(deltaMax)+2 {
+				t.Fatalf("checkpoints = %d, want %d", s.Checkpoints, deltaMax+2)
+			}
+			// On-disk shape: horizons[0] full, 1..deltaMax deltas, last full.
+			hs, err := snaps.Horizons()
+			if err != nil || len(hs) != deltaMax+2 {
+				t.Fatalf("horizons = %v, %v", hs, err)
+			}
+			for i, h := range hs {
+				wantDelta := i > 0 && i < len(hs)-1
+				if _, err := load(snapPath(t.TempDir(), h, wantDelta)); err == nil {
+					t.Fatal("bogus path must not load") // guard against path mixups below
+				}
+				if _, err := load(snapPath(l.Dir(), h, wantDelta)); err != nil {
+					t.Errorf("snapshot %d (horizon %d): want delta=%v: %v", i, h, wantDelta, err)
+				}
+			}
+		})
+	}
+}
+
+// TestPruneRacesInProgressCapture: explicit Prune calls and store installs
+// racing live checkpoints must never leave the store unrecoverable — every
+// observable chain composes, and the final Latest image carries the final
+// value. (Run under -race: this is as much a data-race probe as an
+// invariant check.)
+func TestPruneRacesInProgressCapture(t *testing.T) {
+	m, st, l, snaps := newChainRig(t, Policy{DeltaMax: 2, Retain: 2})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// install appends one decided write through the gate, like the decision
+	// pipeline does.
+	install := func(seq uint64, item model.ItemID) {
+		tx := model.TxID{Site: "S1", Seq: seq}
+		w := []model.WriteRecord{{Item: item, Value: int64(seq), Version: model.Version(seq)}}
+		l.Append(wal.Record{Type: wal.RecPrepared, Tx: tx, Coordinator: "S1", Writes: w}) //nolint:errcheck
+		gate := m.Gate()
+		gate.RLock()
+		if err := l.Append(wal.Record{Type: wal.RecDecision, Tx: tx, Commit: true}); err == nil {
+			st.Apply(w) //nolint:errcheck
+		}
+		gate.RUnlock()
+	}
+	wg.Add(1)
+	go func() { // background writer racing the captures on another shard
+		defer wg.Done()
+		for seq := uint64(1_000_000); ; seq++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			install(seq, "y")
+		}
+	}()
+	wg.Add(1)
+	go func() { // pruner: races captures and the manager's own prune
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snaps.Prune(2) //nolint:errcheck
+			if chain, err := snaps.LatestChain(); err != nil {
+				t.Error(err)
+				return
+			} else if len(chain) > 0 && Compose(chain) == nil {
+				t.Error("non-empty chain composed to nil")
+				return
+			}
+		}
+	}()
+	// The main loop guarantees each checkpoint has something to capture (a
+	// fresh x install), so the race with the pruner and the writer is
+	// exercised on every iteration, not left to scheduler luck.
+	for i := 0; i < 40; i++ {
+		install(uint64(i+1), "x")
+		if err := m.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The final state must recover: one last checkpoint, then compose.
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Latest(snaps)
+	if err != nil || snap == nil {
+		hs, herr := snaps.Horizons()
+		t.Fatalf("Latest after race = %v, %v (horizons=%v %v, stats=%+v)", snap, err, hs, herr, m.Stats())
+	}
+	rec := storage.NewSharded(4)
+	recs, err := l.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.RecoverRecords(map[model.ItemID]int64{"x": 0, "y": 0}, snap.Items, snap.Horizon, recs); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := st.Get("x")
+	got, _ := rec.Get("x")
+	if got != want {
+		t.Fatalf("recovered x = %+v, want %+v", got, want)
+	}
+}
+
+// TestReconfigureBetweenDeltaAndForcedFull: a CheckpointFull (the
+// reconfigure-reason snapshot) landing while a delta chain is mid-flight —
+// after a delta, before the DeltaMax-forced full — must write a
+// self-contained full snapshot, restart the chain there, and keep every
+// older chain recoverable.
+func TestReconfigureBetweenDeltaAndForcedFull(t *testing.T) {
+	m, st, l, snaps := newChainRig(t, Policy{DeltaMax: 4, Retain: 16})
+	populate(t, m, st, l, 1, 5)
+	if err := m.Checkpoint(); err != nil { // full
+		t.Fatal(err)
+	}
+	populate(t, m, st, l, 6, 5)
+	if err := m.Checkpoint(); err != nil { // delta (1 of 4)
+		t.Fatal(err)
+	}
+	populate(t, m, st, l, 11, 5)
+	if err := m.CheckpointFull(); err != nil { // reconfigure arrives mid-chain
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.Checkpoints != 3 || s.Deltas != 1 {
+		t.Fatalf("stats = %+v, want 3 checkpoints / 1 delta", s)
+	}
+	chain, err := snaps.LatestChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 1 || chain[0].Delta() {
+		t.Fatalf("chain after forced full = %d links (delta at head: %v)", len(chain), chain[0].Delta())
+	}
+	if chain[0].Items["x"].Value != 15 {
+		t.Fatalf("forced full carries x=%+v, want 15", chain[0].Items["x"])
+	}
+	// The chain restarts at the forced full: the next delta's Base/Prev
+	// point at it, not at the pre-reconfigure full.
+	populate(t, m, st, l, 16, 5)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	chain, err = snaps.LatestChain()
+	if err != nil || len(chain) != 2 {
+		t.Fatalf("chain after post-reconfigure delta = %d links, %v", len(chain), err)
+	}
+	if !chain[1].Delta() || chain[1].Base != chain[0].Horizon {
+		t.Fatalf("new delta base = %d, want the forced full's horizon %d", chain[1].Base, chain[0].Horizon)
+	}
+	if comp := Compose(chain); comp.Items["x"].Value != 20 {
+		t.Fatalf("composed post-reconfigure chain x = %+v, want 20", comp.Items["x"])
+	}
+}
+
+// TestCheckpointFullOnIdleManagerStillSnapshots: unlike Checkpoint,
+// CheckpointFull must not take the idle shortcut — the reconfigure caller
+// is about to restore from the snapshot it asked for.
+func TestCheckpointFullOnIdleManagerStillSnapshots(t *testing.T) {
+	m, st, l, snaps := newChainRig(t, Policy{DeltaMax: 2})
+	populate(t, m, st, l, 1, 3)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing appended since: Checkpoint would no-op, CheckpointFull must
+	// still write a full image.
+	before, _ := snaps.Horizons()
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := snaps.Horizons(); len(after) != len(before) {
+		t.Fatalf("idle Checkpoint wrote a snapshot: %v -> %v", before, after)
+	}
+	if err := m.CheckpointFull(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := snaps.Horizons()
+	if len(after) != len(before)+1 {
+		t.Fatalf("idle CheckpointFull wrote nothing: %v -> %v", before, after)
+	}
+	chain, err := snaps.LatestChain()
+	if err != nil || len(chain) != 1 || chain[0].Delta() {
+		t.Fatalf("chain after idle forced full: %d links, %v", len(chain), err)
+	}
+	if chain[0].Items["x"].Value != 3 {
+		t.Fatalf("idle forced full x = %+v, want 3", chain[0].Items["x"])
+	}
+}

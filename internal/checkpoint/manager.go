@@ -85,8 +85,11 @@ type Manager struct {
 
 	// gate serializes fuzzy snapshots against the decision pipeline: every
 	// decision force-write + install runs under RLock, the snapshot step
-	// under Lock. See the package comment.
-	gate sync.RWMutex
+	// under Lock. See the package comment. The pointer may be replaced by
+	// ShareGate with an externally owned lock (the site shares one gate
+	// across manager incarnations so online reconfiguration can quiesce the
+	// pipeline with the same write lock a snapshot uses).
+	gate *sync.RWMutex
 
 	// ckptMu serializes whole checkpoints (a manual trigger racing the
 	// background loop).
@@ -116,14 +119,23 @@ func NewManager(store *storage.Store, log wal.Compactable, snaps Store, decision
 		snaps:     snaps,
 		decisions: decisions,
 		pol:       pol,
+		gate:      new(sync.RWMutex),
 		lastBytes: log.AppendedBytes(),
 		lastAt:    time.Now(),
 	}
 }
 
+// ShareGate replaces the manager's private snapshot interlock with an
+// externally owned one. A site owns one gate for its whole lifetime and
+// hands it to every manager incarnation (the manager is rebuilt on recovery
+// and reconfiguration) as well as to its decision pipeline; online catalog
+// reconfiguration then quiesces decisions by write-locking that same gate
+// across the stack rebuild. Call before the manager serves checkpoints.
+func (m *Manager) ShareGate(g *sync.RWMutex) { m.gate = g }
+
 // Gate returns the snapshot interlock; the site's decision pipeline holds
 // it in read mode around each decision's force-write + install.
-func (m *Manager) Gate() *sync.RWMutex { return &m.gate }
+func (m *Manager) Gate() *sync.RWMutex { return m.gate }
 
 // Stats returns the manager's counters.
 func (m *Manager) Stats() Stats {
@@ -143,7 +155,18 @@ func (m *Manager) Stats() Stats {
 // whose epoch bookkeeping holds nothing yet (first checkpoint, recovery
 // rebuild) — writes a full snapshot; otherwise a delta carrying only the
 // dirty shards, chained to the previous snapshot via Prev/Base.
-func (m *Manager) Checkpoint() error {
+func (m *Manager) Checkpoint() error { return m.checkpoint(false) }
+
+// CheckpointFull takes one full (whole-store, chain-restarting) snapshot
+// now, regardless of the delta chain's position — the reconfigure-reason
+// checkpoint. Online reconfiguration forces one immediately before
+// rebuilding the protocol stack so the rebuild restores from a single
+// self-contained image at the current horizon and only redoes records
+// appended after it; unlike Checkpoint it never takes the idle shortcut,
+// because the caller is about to rely on the snapshot it asked for.
+func (m *Manager) CheckpointFull() error { return m.checkpoint(true) }
+
+func (m *Manager) checkpoint(forceFull bool) error {
 	m.ckptMu.Lock()
 	defer m.ckptMu.Unlock()
 	start := time.Now()
@@ -152,7 +175,7 @@ func (m *Manager) Checkpoint() error {
 	lastEpoch, lastFull, deltas := m.lastEpoch, m.lastFull, m.deltasSinceFull
 	m.mu.Unlock()
 
-	full := m.pol.DeltaMax <= 0 || lastFull == 0 || deltas >= m.pol.DeltaMax
+	full := forceFull || m.pol.DeltaMax <= 0 || lastFull == 0 || deltas >= m.pol.DeltaMax
 	since := lastEpoch
 	if full {
 		since = 0
@@ -167,7 +190,7 @@ func (m *Manager) Checkpoint() error {
 	// gate every poll tick, but still retry pruning/compaction — a previous
 	// checkpoint may have snapshotted successfully and then failed there,
 	// and a manual trigger on an idle site must be able to reclaim space.
-	if horizon <= lastHorizon+1 {
+	if !forceFull && horizon <= lastHorizon+1 {
 		m.gate.Unlock()
 		m.mu.Lock()
 		m.lastBytes = m.log.AppendedBytes()

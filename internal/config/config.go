@@ -56,6 +56,15 @@ type Experiment struct {
 	// CheckpointNoCOW disables copy-on-write shard capture (the snapshot is
 	// then copied under the checkpoint gate) — an ablation knob.
 	CheckpointNoCOW bool `json:"checkpoint_no_cow,omitempty"`
+	// CatalogPollMS makes each site probe the name server's catalog epoch
+	// at this interval and live-reconfigure when it moved; 0/absent
+	// disables polling (sites still receive the name server's push).
+	CatalogPollMS int64 `json:"catalog_poll_ms,omitempty"`
+	// Epoch is the catalog version this experiment was derived from. When
+	// nonzero it acts as a compare-and-set token on catalog updates (POST
+	// /catalog, nameserver.SetCatalog): the update is rejected as stale
+	// unless it matches the server's current epoch.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Placement mirrors schema.ItemMeta's replication fields.
@@ -166,6 +175,7 @@ func (e *Experiment) BuildCatalog() (*schema.Catalog, error) {
 	cat.Timeouts = e.Timeouts()
 	cat.Shards = e.Shards
 	cat.Checkpoint = e.Checkpoint()
+	cat.Epoch = e.Epoch
 	return cat, nil
 }
 
@@ -205,7 +215,8 @@ func (e *Experiment) Options() (core.Options, error) {
 			DropRate:    e.Network.DropRate,
 			Seed:        e.Network.Seed,
 		},
-		Shards: e.Shards,
+		Shards:      e.Shards,
+		CatalogPoll: time.Duration(e.CatalogPollMS) * time.Millisecond,
 	}, nil
 }
 

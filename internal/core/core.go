@@ -8,7 +8,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/failure"
@@ -46,6 +48,11 @@ type Options struct {
 	// Checkpoint sets each site's checkpoint/compaction policy; zero falls
 	// back to the catalog's policy.
 	Checkpoint schema.CheckpointPolicy
+	// CatalogPoll, when positive, makes each site probe the name server's
+	// catalog epoch at this interval and live-reconfigure when it moved —
+	// the safety net under the name server's best-effort push (partitioned
+	// or crashed sites converge after healing/recovery). Zero disables.
+	CatalogPoll time.Duration
 }
 
 // Instance is a running Rainbow system.
@@ -56,6 +63,8 @@ type Instance struct {
 
 	sites map[model.SiteID]*site.Site
 	ids   []model.SiteID
+
+	catMu sync.Mutex
 	cat   *schema.Catalog
 }
 
@@ -101,7 +110,10 @@ func New(opts Options) (*Instance, error) {
 		cat:      cat.Clone(),
 	}
 	for _, id := range in.ids {
-		st, err := site.New(site.Config{ID: id, Net: net, Shards: opts.Shards, Checkpoint: opts.Checkpoint})
+		st, err := site.New(site.Config{
+			ID: id, Net: net, Shards: opts.Shards,
+			Checkpoint: opts.Checkpoint, CatalogPoll: opts.CatalogPoll,
+		})
 		if err != nil {
 			in.Close()
 			return nil, err
@@ -136,7 +148,84 @@ func (in *Instance) Site(id model.SiteID) (*site.Site, bool) {
 }
 
 // Catalog returns the instance's configuration.
-func (in *Instance) Catalog() *schema.Catalog { return in.cat.Clone() }
+func (in *Instance) Catalog() *schema.Catalog {
+	in.catMu.Lock()
+	defer in.catMu.Unlock()
+	return in.cat.Clone()
+}
+
+// UpdateCatalog installs a new catalog version at runtime: the name server
+// validates, epoch-stamps and pushes it (a nonzero Epoch on the submitted
+// catalog is a compare-and-set token — see nameserver.SetCatalog), and each
+// live site is reconfigured in place — no restart, committed data carried
+// across re-sharding. The site set is fixed for an instance's lifetime;
+// adding or removing sites needs a new instance. Crashed sites are skipped;
+// they converge through their catalog poll after recovery (Options.
+// CatalogPoll) or stay on their old epoch if polling is off. Returns the
+// stamped epoch.
+func (in *Instance) UpdateCatalog(cat *schema.Catalog) (uint64, error) {
+	cur := in.Catalog()
+	if len(cat.Sites) != len(cur.Sites) {
+		return 0, fmt.Errorf("core: the site set is fixed at instance creation")
+	}
+	for id := range cat.Sites {
+		if _, ok := in.sites[id]; !ok {
+			return 0, fmt.Errorf("core: the site set is fixed at instance creation (unknown site %s)", id)
+		}
+	}
+	if err := in.NS.SetCatalog(cat); err != nil {
+		return 0, err
+	}
+	stamped := in.NS.Catalog()
+	in.catMu.Lock()
+	// A concurrent UpdateCatalog may have stamped (and cached) a newer
+	// epoch between our SetCatalog and the Catalog() read; never regress.
+	if stamped.Epoch > in.cat.Epoch {
+		in.cat = stamped.Clone()
+	}
+	in.catMu.Unlock()
+	// The name server already pushed over the (simulated) wire; the direct
+	// calls below make the common no-fault path deterministic for callers
+	// that reconfigure and immediately submit load. Stale-epoch rejects
+	// mean the push won the race — fine either way.
+	for _, id := range in.ids {
+		st := in.sites[id]
+		if st.Crashed() {
+			continue
+		}
+		err := st.Reconfigure(stamped.Clone())
+		if err != nil && !errors.Is(err, site.ErrStaleEpoch) && !st.Crashed() {
+			// A site that crashed mid-call converges later like any other
+			// crashed site; only a live site's rebuild failure surfaces.
+			return stamped.Epoch, err
+		}
+	}
+	return stamped.Epoch, nil
+}
+
+// WaitEpoch polls until every live site runs catalog epoch at least e or
+// the timeout expires, returning whether they all converged. Crashed sites
+// are ignored (they converge after recovery via their poll loop).
+func (in *Instance) WaitEpoch(e uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		converged := true
+		for _, id := range in.ids {
+			st := in.sites[id]
+			if !st.Crashed() && st.Epoch() < e {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
 
 // Submit implements wlg.Submitter: execute one transaction at home.
 func (in *Instance) Submit(ctx context.Context, home model.SiteID, ops []model.Op) model.Outcome {
@@ -163,7 +252,7 @@ func (in *Instance) RunWorkload(ctx context.Context, profile wlg.Profile) wlg.Re
 		profile.Sites = in.SiteIDs()
 	}
 	if len(profile.Items) == 0 {
-		profile.Items = in.cat.ItemIDs()
+		profile.Items = in.Catalog().ItemIDs()
 	}
 	return wlg.New(profile).Run(ctx, in)
 }

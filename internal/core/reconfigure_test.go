@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/schema"
+)
+
+// TestUpdateCatalogReshardsCluster: an epoch bump through the instance API
+// re-shards every site live — no restart, committed data readable after,
+// epoch converged everywhere (push + direct reconfigure).
+func TestUpdateCatalogReshardsCluster(t *testing.T) {
+	in, err := New(Options{Items: map[model.ItemID]int64{"x": 1, "y": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	ctx := context.Background()
+
+	if out := in.Submit(ctx, "S1", []model.Op{model.Write("x", 50)}); !out.Committed {
+		t.Fatalf("write: %+v", out)
+	}
+
+	cat := in.Catalog()
+	cat.Shards = 8
+	epoch, err := in.UpdateCatalog(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch == 0 {
+		t.Fatal("epoch not stamped")
+	}
+	if !in.WaitEpoch(epoch, 2*time.Second) {
+		t.Fatal("sites did not converge on the new epoch")
+	}
+	for _, id := range in.SiteIDs() {
+		st, _ := in.Site(id)
+		if got := st.Store().ShardCount(); got != 8 {
+			t.Errorf("site %s shard count = %d, want 8", id, got)
+		}
+	}
+	out := in.Submit(ctx, "S2", []model.Op{model.Read("x")})
+	if !out.Committed || out.Reads["x"] != 50 {
+		t.Fatalf("post-reshard read = %+v, want x=50", out)
+	}
+}
+
+// TestUpdateCatalogCASRejectsStale: the instance surface propagates the
+// name server's compare-and-set semantics.
+func TestUpdateCatalogCASRejectsStale(t *testing.T) {
+	in, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	for _, shards := range []int{4, 8} {
+		cat := in.Catalog()
+		cat.Shards = shards
+		cat.Epoch = 0 // unconditional
+		if _, err := in.UpdateCatalog(cat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := in.Catalog()
+	stale.Epoch-- // the token an admin saw before the second update (nonzero: a real CAS)
+	if _, err := in.UpdateCatalog(stale); err == nil {
+		t.Fatal("stale CAS update accepted")
+	}
+}
+
+// TestUpdateCatalogRejectsSiteSetChange: sites are fixed for an instance's
+// lifetime.
+func TestUpdateCatalogRejectsSiteSetChange(t *testing.T) {
+	in, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	cat := in.Catalog()
+	cat.Sites["S9"] = schema.SiteInfo{ID: "S9"}
+	if _, err := in.UpdateCatalog(cat); err == nil {
+		t.Fatal("site-set change accepted")
+	}
+}
+
+// TestCrashedSiteConvergesViaPoll: a site that is down during an epoch bump
+// misses both the push and the direct call; after recovery its catalog poll
+// must bring it to the new epoch and shard count.
+func TestCrashedSiteConvergesViaPoll(t *testing.T) {
+	in, err := New(Options{CatalogPoll: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	ctx := context.Background()
+
+	if out := in.Submit(ctx, "S1", []model.Op{model.Write("x", 7)}); !out.Committed {
+		t.Fatalf("write: %+v", out)
+	}
+	if err := in.Injector.Crash("S3"); err != nil {
+		t.Fatal(err)
+	}
+	cat := in.Catalog()
+	cat.Shards = 8
+	epoch, err := in.UpdateCatalog(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Injector.Recover("S3"); err != nil {
+		t.Fatal(err)
+	}
+	s3, _ := in.Site("S3")
+	deadline := time.Now().Add(3 * time.Second)
+	for s3.Epoch() < epoch && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s3.Epoch() < epoch {
+		t.Fatalf("S3 stuck at epoch %d, want >= %d (poll did not converge)", s3.Epoch(), epoch)
+	}
+	if got := s3.Store().ShardCount(); got != 8 {
+		t.Errorf("S3 shard count after poll = %d, want 8", got)
+	}
+	out := in.Submit(ctx, "S3", []model.Op{model.Read("x")})
+	if !out.Committed || out.Reads["x"] != 7 {
+		t.Fatalf("post-poll read at S3 = %+v, want x=7", out)
+	}
+}

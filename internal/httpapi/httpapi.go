@@ -18,9 +18,18 @@
 // Beyond the servlet surface, the durability pipeline is exposed REST-style:
 //
 //	POST /site/{id}/checkpoint — trigger a manual checkpoint on one site
+//	POST /catalog              — install a new catalog version at runtime
+//	                             (epoch-stamped, live-reconfigures sites)
 //
 // and /Sitelet carries a "durability" section (snapshot counts, replay
-// horizon, dirty-shard gauge, decision-table size, retained WAL volume).
+// horizon, dirty-shard gauge, decision-table size, retained WAL volume,
+// catalog epoch / reconfiguration count).
+//
+// POST /catalog takes the same experiment-config JSON as /NSRunnerlet. A
+// nonzero "epoch" field is a compare-and-set token: the update is rejected
+// with 409 when it does not match the name server's current epoch, so
+// concurrent administrators cannot silently clobber each other. The site
+// set is fixed for the instance's lifetime.
 package httpapi
 
 import (
@@ -70,6 +79,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /Faultlet", s.handleFault)
 	mux.HandleFunc("POST /Resetlet", s.handleReset)
 	mux.HandleFunc("POST /site/{id}/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("POST /catalog", s.handleCatalogUpdate)
 	return mux
 }
 
@@ -190,7 +200,49 @@ func durabilityOf(stats monitor.SiteStats) map[string]any {
 		"wal_segments":       stats.WALSegments,
 		"wal_bytes":          stats.WALBytes,
 		"recovery_records":   stats.RecoveryRecords,
+		"epoch":              stats.Epoch,
+		"reconfigures":       stats.Reconfigures,
 	}
+}
+
+// handleCatalogUpdate installs a new catalog version on the running
+// instance: validate, epoch-stamp on the name server, live-reconfigure the
+// sites. A stale compare-and-set epoch (see the package comment) returns
+// 409 Conflict with the error body.
+func (s *Server) handleCatalogUpdate(w http.ResponseWriter, r *http.Request) {
+	inst, err := s.current()
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	var exp config.Experiment
+	if err := json.NewDecoder(r.Body).Decode(&exp); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := exp.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cat, err := exp.BuildCatalog()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	epoch, err := inst.UpdateCatalog(cat)
+	if err != nil {
+		status := http.StatusConflict // stale CAS epoch, fixed site set
+		if epoch != 0 {
+			// The catalog installed but a site rebuild failed.
+			status = http.StatusInternalServerError
+		}
+		writeErr(w, status, err)
+		return
+	}
+	s.mu.Lock()
+	s.exp = exp
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "updated", "epoch": epoch})
 }
 
 // handleCheckpoint triggers a manual checkpoint on one site — the REST face

@@ -3,6 +3,7 @@ package httpapi
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -281,5 +282,114 @@ func TestCheckpointTriggerAndDurability(t *testing.T) {
 	}
 	if resp, _ := post(t, ts.URL+"/site/S1/checkpoint", ""); resp.StatusCode != http.StatusConflict {
 		t.Errorf("crashed site checkpoint = %d, want 409", resp.StatusCode)
+	}
+}
+
+// catalogBody is a valid POST /catalog payload matching start()'s site set,
+// parameterized by shard count and CAS epoch.
+func catalogBody(shards int, epoch uint64) string {
+	return fmt.Sprintf(`{
+		"name": "resharded",
+		"sites": ["S1","S2","S3"],
+		"items": {"x": 10, "y": 20},
+		"protocols": {"RCP":"qc","CCP":"2pl","ACP":"2pc"},
+		"timeouts_ms": {"op":1000,"vote":1000,"ack":500,"lock":300,"orphan_resolve":50},
+		"shards": %d,
+		"epoch": %d
+	}`, shards, epoch)
+}
+
+// TestCatalogUpdateReshardsLive: POST /catalog live-reconfigures the
+// instance, the new epoch lands in the response and on the Sitelet
+// durability section, and data written before the bump stays readable.
+func TestCatalogUpdateReshardsLive(t *testing.T) {
+	_, ts := newTestServer(t)
+	start(t, ts)
+	if resp, out := post(t, ts.URL+"/WLGlet/manual", `{"home":"S1","ops":[{"kind":"write","item":"x","value":77}]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("manual write: %d %v", resp.StatusCode, out)
+	}
+
+	resp, out := post(t, ts.URL+"/catalog", catalogBody(8, 0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /catalog: %d %v", resp.StatusCode, out)
+	}
+	epoch, _ := out["epoch"].(float64)
+	if epoch < 1 {
+		t.Fatalf("stamped epoch = %v, want >= 1", out["epoch"])
+	}
+
+	_, body := get(t, ts.URL+"/Sitelet?site=S2")
+	var sitelet map[string]any
+	if err := json.Unmarshal(body, &sitelet); err != nil {
+		t.Fatal(err)
+	}
+	dur := sitelet["durability"].(map[string]any)
+	if got, _ := dur["epoch"].(float64); got != epoch {
+		t.Errorf("Sitelet durability epoch = %v, want %v", dur["epoch"], epoch)
+	}
+	if got, _ := dur["reconfigures"].(float64); got < 1 {
+		t.Errorf("Sitelet reconfigures = %v, want >= 1", dur["reconfigures"])
+	}
+	stats := sitelet["stats"].(map[string]any)
+	if got, _ := stats["Shards"].(float64); got != 8 {
+		t.Errorf("Sitelet stats shards = %v, want 8", stats["Shards"])
+	}
+	// Committed data survived the reshard.
+	if resp, out := post(t, ts.URL+"/WLGlet/manual", `{"home":"S3","ops":[{"kind":"read","item":"x"}]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-reshard read: %d %v", resp.StatusCode, out)
+	} else if reads, _ := out["Reads"].(map[string]any); reads["x"] != 77.0 {
+		t.Errorf("post-reshard x = %v, want 77 (%v)", reads["x"], out)
+	}
+}
+
+// TestCatalogUpdateStaleEpochRejected: a CAS epoch that no longer matches
+// the name server's current one returns 409 without reconfiguring anything.
+func TestCatalogUpdateStaleEpochRejected(t *testing.T) {
+	_, ts := newTestServer(t)
+	start(t, ts)
+	// Two unconditional updates move the epoch to at least 2.
+	for _, shards := range []int{2, 4} {
+		if resp, out := post(t, ts.URL+"/catalog", catalogBody(shards, 0)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("update: %d %v", resp.StatusCode, out)
+		}
+	}
+	resp, out := post(t, ts.URL+"/catalog", catalogBody(16, 1)) // stale token
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale CAS = %d %v, want 409", resp.StatusCode, out)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "stale") {
+		t.Errorf("error body = %v, want a stale-epoch message", out)
+	}
+	// Nothing was resharded.
+	_, body := get(t, ts.URL+"/Sitelet?site=S1")
+	var sitelet map[string]any
+	json.Unmarshal(body, &sitelet)
+	if got := sitelet["stats"].(map[string]any)["Shards"].(float64); got != 4 {
+		t.Errorf("shards after rejected update = %v, want 4", got)
+	}
+}
+
+// TestCatalogUpdateErrorPaths: no instance → 409; malformed JSON → 400;
+// invalid config → 400; site-set change → 409.
+func TestCatalogUpdateErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp, _ := post(t, ts.URL+"/catalog", catalogBody(2, 0)); resp.StatusCode != http.StatusConflict {
+		t.Errorf("no instance = %d, want 409", resp.StatusCode)
+	}
+	start(t, ts)
+	if resp, _ := post(t, ts.URL+"/catalog", `{not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/catalog", `{"sites":[],"items":{}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid config = %d, want 400", resp.StatusCode)
+	}
+	siteChange := `{
+		"name": "grown",
+		"sites": ["S1","S2","S3","S4"],
+		"items": {"x": 10},
+		"timeouts_ms": {"op":1000,"vote":1000,"ack":500,"lock":300,"orphan_resolve":50}
+	}`
+	if resp, out := post(t, ts.URL+"/catalog", siteChange); resp.StatusCode != http.StatusConflict {
+		t.Errorf("site-set change = %d %v, want 409", resp.StatusCode, out)
 	}
 }

@@ -147,6 +147,11 @@ type SiteStats struct {
 	// checkpointed replay stays near the bytes-since-last-checkpoint knob).
 	RecoveryRecords uint64
 	RecoveryNS      int64
+	// Epoch is the catalog version the site currently runs, and
+	// Reconfigures how many live (no-restart) catalog reconfigurations it
+	// has completed — the online re-sharding gauges.
+	Epoch        uint64
+	Reconfigures uint64
 	// StoreShards carries per-shard occupancy and traffic, for spotting
 	// hash skew across the sharded store.
 	StoreShards []ShardStat
@@ -358,6 +363,10 @@ func (r Report) Totals() SiteStats {
 		if s.RecoveryNS > out.RecoveryNS {
 			out.RecoveryNS = s.RecoveryNS
 		}
+		out.Reconfigures += s.Reconfigures
+		if s.Epoch > out.Epoch {
+			out.Epoch = s.Epoch
+		}
 		if s.Shards > out.Shards {
 			out.Shards = s.Shards
 		}
@@ -455,6 +464,7 @@ func (r Report) Render() string {
 		t.DirtyShards, t.Decisions)
 	fmt.Fprintf(&b, "recovery: replayed %d records in %v (last restart)\n",
 		t.RecoveryRecords, time.Duration(t.RecoveryNS).Round(time.Microsecond))
+	fmt.Fprintf(&b, "catalog: epoch=%d, %d live reconfigurations\n", t.Epoch, t.Reconfigures)
 	fmt.Fprintf(&b, "load imbalance (cv of admissions): %.3f\n", r.LoadImbalance())
 	fmt.Fprintf(&b, "per-site:\n")
 	for _, s := range r.Sites {

@@ -11,6 +11,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/schema"
@@ -28,9 +29,19 @@ type SetCatalogReq struct {
 	Catalog schema.Catalog
 }
 
+// CatalogPushMsg is the server-initiated half of catalog propagation: after
+// an update installs, the name server casts the stamped catalog to every
+// registered site so reconfiguration starts without waiting a poll tick.
+// Delivery is best-effort (a partitioned or crashed site misses it and
+// catches up through its poll loop).
+type CatalogPushMsg struct {
+	Catalog schema.Catalog
+}
+
 func init() {
 	gob.Register(CatalogResp{})
 	gob.Register(SetCatalogReq{})
+	gob.Register(CatalogPushMsg{})
 }
 
 // Server is the name server node.
@@ -67,17 +78,51 @@ func (s *Server) Catalog() *schema.Catalog {
 	return s.catalog.Clone()
 }
 
-// SetCatalog validates and installs a new catalog, bumping the epoch.
+// Epoch returns the current catalog epoch.
+func (s *Server) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.catalog.Epoch
+}
+
+// SetCatalog validates and installs a new catalog, bumping the epoch, then
+// pushes the stamped catalog to every registered site. A nonzero Epoch on
+// the submitted catalog is a compare-and-set token: the update is rejected
+// as stale unless it matches the current epoch, so two administrators
+// editing concurrently cannot silently clobber each other. Epoch 0 updates
+// unconditionally.
 func (s *Server) SetCatalog(c *schema.Catalog) error {
 	if err := c.Validate(); err != nil {
 		return err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if c.Epoch != 0 && c.Epoch != s.catalog.Epoch {
+		cur := s.catalog.Epoch
+		s.mu.Unlock()
+		return fmt.Errorf("nameserver: stale catalog epoch %d (current %d)", c.Epoch, cur)
+	}
 	nc := c.Clone()
 	nc.Epoch = s.catalog.Epoch + 1
 	s.catalog = nc
+	pushed := nc.Clone()
+	s.mu.Unlock()
+	s.push(pushed)
 	return nil
+}
+
+// push casts the new catalog to every registered site, best-effort,
+// concurrently and off the caller's lock: a transport that blocks dialing
+// an unreachable site (TCP connect up to the 1s bound) must stall neither
+// the update caller nor the other sites' deliveries. The poll loop covers
+// anything a cast misses.
+func (s *Server) push(c *schema.Catalog) {
+	for _, id := range c.SiteIDs() {
+		go func(id model.SiteID) {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			s.peer.Cast(ctx, id, wire.KindCatalogPush, CatalogPushMsg{Catalog: *c}) //nolint:errcheck // best-effort; poll catches up
+		}(id)
+	}
 }
 
 func (s *Server) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
@@ -90,6 +135,9 @@ func (s *Server) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wi
 		cat := s.catalog.Clone()
 		s.mu.Unlock()
 		return wire.KindGetCatalog, CatalogResp{Catalog: *cat}, nil
+
+	case wire.KindGetEpoch:
+		return wire.KindGetEpoch, wire.EpochResp{Epoch: s.Epoch()}, nil
 
 	case wire.KindSetCatalog:
 		var req SetCatalogReq
@@ -126,6 +174,16 @@ func Fetch(ctx context.Context, peer *wire.Peer) (*schema.Catalog, error) {
 		return nil, fmt.Errorf("nameserver: fetch catalog: %w", err)
 	}
 	return &resp.Catalog, nil
+}
+
+// FetchEpoch retrieves just the catalog epoch — the cheap probe a site's
+// catalog-poll loop issues every tick.
+func FetchEpoch(ctx context.Context, peer *wire.Peer) (uint64, error) {
+	var resp wire.EpochResp
+	if err := peer.Call(ctx, model.NameServerID, wire.KindGetEpoch, wire.GetEpochReq{}, &resp); err != nil {
+		return 0, fmt.Errorf("nameserver: fetch epoch: %w", err)
+	}
+	return resp.Epoch, nil
 }
 
 // Push validates locally and installs a new catalog on the name server.

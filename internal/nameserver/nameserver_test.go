@@ -146,3 +146,58 @@ func TestInitialCatalogCloned(t *testing.T) {
 		t.Error("server shares the caller's catalog")
 	}
 }
+
+func TestFetchEpochProbe(t *testing.T) {
+	srv, client := setup(t)
+	e, err := FetchEpoch(ctx(t), client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 0 {
+		t.Errorf("fresh epoch = %d, want 0", e)
+	}
+	if err := Register(ctx(t), client, "S1", "10.0.0.1:9001"); err != nil {
+		t.Fatal(err)
+	}
+	if e, err = FetchEpoch(ctx(t), client); err != nil || e != 1 {
+		t.Errorf("epoch after register = %d (%v), want 1", e, err)
+	}
+	if srv.Epoch() != 1 {
+		t.Errorf("server epoch = %d", srv.Epoch())
+	}
+}
+
+func TestSetCatalogStaleEpochRejected(t *testing.T) {
+	srv, client := setup(t)
+	if err := Register(ctx(t), client, "S1", "a:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(ctx(t), client, "S2", "a:2"); err != nil {
+		t.Fatal(err)
+	}
+	// Unconditional (epoch 0) update applies and stamps epoch 3.
+	c := srv.Catalog()
+	c.Epoch = 0
+	c.ReplicateEverywhere("x", 1)
+	if err := srv.SetCatalog(c); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Epoch() != 3 {
+		t.Fatalf("epoch after update = %d, want 3", srv.Epoch())
+	}
+	// A CAS with the epoch the first admin saw (2) is now stale.
+	stale := srv.Catalog()
+	stale.Epoch = 2
+	if err := srv.SetCatalog(stale); err == nil {
+		t.Fatal("stale CAS accepted")
+	}
+	// A CAS with the current epoch applies.
+	fresh := srv.Catalog() // Epoch 3
+	fresh.ReplicateEverywhere("y", 2)
+	if err := srv.SetCatalog(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Epoch() != 4 {
+		t.Errorf("epoch after CAS update = %d, want 4", srv.Epoch())
+	}
+}

@@ -51,6 +51,26 @@ func (QC) Read(ctx context.Context, acc CopyAccess, sess *Session, meta schema.I
 
 // Write implements Protocol.
 func (QC) Write(ctx context.Context, acc CopyAccess, sess *Session, meta schema.ItemMeta, value int64) error {
+	// A repeated write of an item this transaction already wrote is pinned
+	// to the original write quorum: every member re-pre-writes (their
+	// X-locks/intents are already ours, so this cannot block on strangers)
+	// and the recorded value is replaced in place, keeping the install
+	// version. Picking a fresh quorum here would be a correctness bug: a
+	// member of the old quorum outside the new one would keep the stale
+	// record, and commit would install two different values under the same
+	// version number on different copies.
+	if sites, prev, ok := sess.WriteQuorum(meta.Item); ok {
+		for _, site := range sites {
+			if _, err := acc.PreWriteCopy(ctx, site, sess.Tx, sess.TS, meta.Item, value); err != nil {
+				return err
+			}
+		}
+		rec := model.WriteRecord{Item: meta.Item, Value: value, Version: prev.Version}
+		for _, site := range sites {
+			sess.RecordWrite(site, rec)
+		}
+		return nil
+	}
 	var (
 		mu     sync.Mutex
 		maxVer model.Version

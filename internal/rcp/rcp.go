@@ -104,6 +104,28 @@ func (s *Session) RecordWrite(site model.SiteID, rec model.WriteRecord) {
 	s.writes[site][rec.Item] = rec
 }
 
+// WriteQuorum returns the sites already holding a write record for item —
+// the write quorum a previous logical write of this transaction built —
+// and that record. A repeated write MUST update exactly this set: building
+// a fresh quorum could leave a non-overlapping member of the old one with
+// the stale record, and commit would then install two different values
+// under one version number on different copies.
+func (s *Session) WriteQuorum(item model.ItemID) ([]model.SiteID, model.WriteRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sites []model.SiteID
+	var rec model.WriteRecord
+	found := false
+	for site, m := range s.writes {
+		if r, ok := m[item]; ok {
+			sites = append(sites, site)
+			rec, found = r, true
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	return sites, rec, found
+}
+
 // Participants returns every touched site in sorted order — the atomic
 // commit cohort (read-only participants included: under strict CC they hold
 // read locks that only the commit protocol releases).

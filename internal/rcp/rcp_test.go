@@ -381,3 +381,60 @@ func TestSessionHasWrites(t *testing.T) {
 		t.Error("HasWrites false after RecordWrite")
 	}
 }
+
+func TestQCRewriteSticksToOriginalQuorum(t *testing.T) {
+	f := newFake("S1", "S1", "S2", "S3")
+	f.down["S3"] = true
+	sess := NewSession(model.TxID{Site: "S1", Seq: 1}, model.Timestamp{Time: 1, Site: "S1"})
+	meta := meta3()
+
+	// First write lands on {S1, S2} (S3 down).
+	if err := (QC{}).Write(context.Background(), f, sess, meta, 100); err != nil {
+		t.Fatal(err)
+	}
+	sites, rec, ok := sess.WriteQuorum("x")
+	if !ok || len(sites) != 2 || rec.Value != 100 {
+		t.Fatalf("first write quorum = %v rec=%+v", sites, rec)
+	}
+
+	// Second write of the same item: re-pre-writes exactly the original
+	// quorum with the new value, keeping the install version — never a
+	// fresh quorum that could strand a stale record on an old member.
+	f.down["S3"] = false
+	if err := (QC{}).Write(context.Background(), f, sess, meta, 200); err != nil {
+		t.Fatal(err)
+	}
+	sites2, rec2, _ := sess.WriteQuorum("x")
+	if len(sites2) != 2 || sites2[0] != sites[0] || sites2[1] != sites[1] {
+		t.Fatalf("rewrite quorum changed: %v -> %v", sites, sites2)
+	}
+	if rec2.Value != 200 || rec2.Version != rec.Version {
+		t.Fatalf("rewrite record = %+v, want value 200 at version %d", rec2, rec.Version)
+	}
+	for _, site := range []model.SiteID{"S1", "S2", "S3"} {
+		w := sess.WritesFor(site)
+		holds := len(w) == 1 && w[0].Value == 200
+		inQuorum := site == sites[0] || site == sites[1]
+		if holds != inQuorum {
+			t.Errorf("site %s: writes=%v, in original quorum=%v", site, w, inQuorum)
+		}
+	}
+}
+
+func TestQCRewriteAbortsIfOriginalQuorumMemberDown(t *testing.T) {
+	f := newFake("S1", "S1", "S2", "S3")
+	f.down["S3"] = true
+	sess := NewSession(model.TxID{Site: "S1", Seq: 2}, model.Timestamp{Time: 2, Site: "S1"})
+	meta := meta3()
+	if err := (QC{}).Write(context.Background(), f, sess, meta, 100); err != nil {
+		t.Fatal(err)
+	}
+	// The original quorum loses a member; a fresh {S2,S3} quorum would be
+	// available, but diverting to it would strand S1's stale record — the
+	// rewrite must abort instead.
+	f.down["S3"] = false
+	f.down["S1"] = true
+	if err := (QC{}).Write(context.Background(), f, sess, meta, 200); err == nil {
+		t.Fatal("rewrite diverted to a fresh quorum instead of aborting")
+	}
+}

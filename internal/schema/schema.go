@@ -7,7 +7,9 @@ package schema
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/model"
@@ -205,6 +207,80 @@ func (c *Catalog) LocalItems(site model.SiteID) map[model.ItemID]int64 {
 		}
 	}
 	return out
+}
+
+// Diff summarizes what changed between two catalog versions. Sites use it
+// during online reconfiguration to decide whether an epoch bump needs a
+// full protocol-stack rebuild or is metadata-only (site registrations bump
+// the epoch too, and chasing those with a rebuild would force a snapshot
+// for nothing).
+type Diff struct {
+	// EpochFrom/EpochTo are the two catalogs' epochs.
+	EpochFrom, EpochTo uint64
+	// Sites marks changes to the site registrations (ids or endpoints).
+	Sites bool
+	// Items marks changes to the database/replication schema: items added,
+	// removed, re-placed, re-voted or re-quorumed.
+	Items bool
+	// Shards marks a data-plane shard-count change.
+	Shards bool
+	// Checkpoint marks a checkpoint/compaction policy change.
+	Checkpoint bool
+	// Protocols marks an RCP/CCP/ACP (or ablation-knob) change.
+	Protocols bool
+	// Timeouts marks a protocol-timeout change.
+	Timeouts bool
+}
+
+// Material reports whether the diff changes anything a site acts on. Pure
+// site-registration changes are immaterial: they alter the name server's
+// address book, not any site-local structure.
+func (d Diff) Material() bool {
+	return d.Items || d.Shards || d.Checkpoint || d.Protocols || d.Timeouts
+}
+
+// RequiresRebuild reports whether the diff needs the full quiesce +
+// snapshot + stack-rebuild path. A timeouts-only change is material but
+// adopts in place: it touches no store, CC or checkpoint structure, and a
+// forced O(store) snapshot plus fence-aborting every in-flight transaction
+// would be pure waste for it.
+func (d Diff) RequiresRebuild() bool {
+	return d.Items || d.Shards || d.Checkpoint || d.Protocols
+}
+
+// String renders the changed facets for reconfiguration logs.
+func (d Diff) String() string {
+	parts := []string{fmt.Sprintf("epoch %d->%d", d.EpochFrom, d.EpochTo)}
+	for _, f := range []struct {
+		on   bool
+		name string
+	}{
+		{d.Sites, "sites"}, {d.Items, "items"}, {d.Shards, "shards"},
+		{d.Checkpoint, "checkpoint"}, {d.Protocols, "protocols"}, {d.Timeouts, "timeouts"},
+	} {
+		if f.on {
+			parts = append(parts, f.name)
+		}
+	}
+	if len(parts) == 1 {
+		parts = append(parts, "no material change")
+	}
+	return strings.Join(parts, " ")
+}
+
+// DiffFrom computes what c changes relative to old.
+func (c *Catalog) DiffFrom(old *Catalog) Diff {
+	d := Diff{
+		EpochFrom:  old.Epoch,
+		EpochTo:    c.Epoch,
+		Shards:     c.Shards != old.Shards,
+		Checkpoint: c.Checkpoint != old.Checkpoint,
+		Protocols:  c.Protocols != old.Protocols,
+		Timeouts:   c.Timeouts != old.Timeouts,
+		Sites:      !reflect.DeepEqual(c.Sites, old.Sites),
+		Items:      !reflect.DeepEqual(c.Items, old.Items),
+	}
+	return d
 }
 
 // Validate checks internal consistency: every copy placement names a

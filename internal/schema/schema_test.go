@@ -1,6 +1,7 @@
 package schema
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -163,5 +164,81 @@ func TestItemMetaSitesSorted(t *testing.T) {
 	s := m.Sites()
 	if len(s) != 3 || s[0] != "A" || s[2] != "C" {
 		t.Errorf("Sites = %v", s)
+	}
+}
+
+func TestDiffFromFlagsChangedFacets(t *testing.T) {
+	base := NewCatalog()
+	base.Sites["S1"] = SiteInfo{ID: "S1"}
+	base.Sites["S2"] = SiteInfo{ID: "S2"}
+	base.ReplicateEverywhere("x", 1)
+	base.Epoch = 3
+
+	cases := []struct {
+		name   string
+		mutate func(*Catalog)
+		want   Diff
+	}{
+		{"none", func(c *Catalog) {}, Diff{EpochFrom: 3, EpochTo: 4}},
+		{"shards", func(c *Catalog) { c.Shards = 8 }, Diff{EpochFrom: 3, EpochTo: 4, Shards: true}},
+		{"checkpoint", func(c *Catalog) { c.Checkpoint.DeltaMax = 4 }, Diff{EpochFrom: 3, EpochTo: 4, Checkpoint: true}},
+		{"protocols", func(c *Catalog) { c.Protocols.ACP = "3pc" }, Diff{EpochFrom: 3, EpochTo: 4, Protocols: true}},
+		{"timeouts", func(c *Catalog) { c.Timeouts.Op = time.Second }, Diff{EpochFrom: 3, EpochTo: 4, Timeouts: true}},
+		{"sites", func(c *Catalog) { c.Sites["S3"] = SiteInfo{ID: "S3"} }, Diff{EpochFrom: 3, EpochTo: 4, Sites: true}},
+		{"items-added", func(c *Catalog) { c.ReplicateEverywhere("y", 2) }, Diff{EpochFrom: 3, EpochTo: 4, Items: true}},
+		{"items-revoted", func(c *Catalog) {
+			m := c.Items["x"]
+			votes := map[model.SiteID]int{"S1": 2, "S2": 1}
+			m.Votes, m.ReadQuorum, m.WriteQuorum = votes, 2, 2
+			c.Items["x"] = m
+		}, Diff{EpochFrom: 3, EpochTo: 4, Items: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			next := base.Clone()
+			next.Epoch++
+			tc.mutate(next)
+			if got := next.DiffFrom(base); got != tc.want {
+				t.Errorf("diff = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDiffMaterial(t *testing.T) {
+	if (Diff{Sites: true}).Material() {
+		t.Error("a pure site-registration diff must be immaterial")
+	}
+	if (Diff{}).Material() {
+		t.Error("empty diff must be immaterial")
+	}
+	for _, d := range []Diff{{Items: true}, {Shards: true}, {Checkpoint: true}, {Protocols: true}, {Timeouts: true}} {
+		if !d.Material() {
+			t.Errorf("%+v must be material", d)
+		}
+	}
+}
+
+func TestDiffString(t *testing.T) {
+	s := Diff{EpochFrom: 1, EpochTo: 2, Shards: true, Items: true}.String()
+	if !strings.Contains(s, "epoch 1->2") || !strings.Contains(s, "shards") || !strings.Contains(s, "items") {
+		t.Errorf("diff string = %q", s)
+	}
+	if s := (Diff{EpochFrom: 2, EpochTo: 3}).String(); !strings.Contains(s, "no material change") {
+		t.Errorf("immaterial diff string = %q", s)
+	}
+}
+
+func TestDiffRequiresRebuild(t *testing.T) {
+	if (Diff{Timeouts: true}).RequiresRebuild() {
+		t.Error("timeouts-only diff must not require a rebuild")
+	}
+	if (Diff{Sites: true}).RequiresRebuild() {
+		t.Error("registration diff must not require a rebuild")
+	}
+	for _, d := range []Diff{{Items: true}, {Shards: true}, {Checkpoint: true}, {Protocols: true}} {
+		if !d.RequiresRebuild() {
+			t.Errorf("%+v must require a rebuild", d)
+		}
 	}
 }

@@ -60,33 +60,51 @@ func classify(err error) model.AbortCause {
 // a timed-out operation may have succeeded late (KindReleaseTx).
 func (s *Site) releaseEverywhere(sess *rcp.Session) {
 	for _, site := range append(sess.Participants(), sess.Strays()...) {
-		if site == s.id {
-			s.mu.Lock()
-			ccm := s.ccm
-			s.mu.Unlock()
-			ccm.Abort(sess.Tx)
-			continue
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
-		s.peer.Cast(ctx, site, wire.KindReleaseTx, wire.ReleaseTxReq{Tx: sess.Tx}) //nolint:errcheck
-		cancel()
+		s.releaseAt(site, sess.Tx)
 	}
 }
 
 // releaseStrays sends releases to attempted-but-unenlisted sites only.
 func (s *Site) releaseStrays(sess *rcp.Session) {
 	for _, site := range sess.Strays() {
-		if site == s.id {
-			s.mu.Lock()
-			ccm := s.ccm
-			s.mu.Unlock()
-			ccm.Abort(sess.Tx)
-			continue
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
-		s.peer.Cast(ctx, site, wire.KindReleaseTx, wire.ReleaseTxReq{Tx: sess.Tx}) //nolint:errcheck
-		cancel()
+		s.releaseAt(site, sess.Tx)
 	}
+}
+
+// releaseAt releases one site's CC state for an aborted transaction. The
+// local path aborts directly; the remote path acknowledges and retries in
+// the background — a release silently lost to a partition or a paused link
+// would otherwise strand the remote intent (and its locks) forever, since
+// an unprepared transaction has no WAL trace for any recovery path to
+// clean up. Attempts are bounded, and the retry loop rides lifeCtx, NOT
+// the incarnation's runCtx: a simulated crash must not drop the pending
+// releases of already-aborted transactions (the fabric enforces fail-stop
+// by discarding a paused site's sends; retries flush after resume). Close
+// cancels lifeCtx, so no goroutine outlives the site object.
+func (s *Site) releaseAt(site model.SiteID, tx model.TxID) {
+	if site == s.id {
+		s.mu.Lock()
+		ccm := s.ccm
+		s.mu.Unlock()
+		ccm.Abort(tx)
+		return
+	}
+	life := s.lifeCtx
+	go func() {
+		for attempt := 0; attempt < 5; attempt++ {
+			ctx, cancel := context.WithTimeout(life, time.Second)
+			err := s.peer.Call(ctx, site, wire.KindReleaseTx, wire.ReleaseTxReq{Tx: tx}, nil)
+			cancel()
+			if err == nil || life.Err() != nil {
+				return
+			}
+			select {
+			case <-life.Done():
+				return
+			case <-time.After(time.Duration(attempt+1) * 200 * time.Millisecond):
+			}
+		}
+	}()
 }
 
 // mergeContexts returns a context cancelled when either input is.
@@ -160,15 +178,60 @@ func (s *Site) PreWriteCopy(ctx context.Context, site model.SiteID, tx model.TxI
 // Prepare implements acp.Cohort.
 func (s *Site) Prepare(ctx context.Context, site model.SiteID, req wire.PrepareReq) (wire.VoteResp, error) {
 	if site == s.id {
-		s.mu.Lock()
-		part := s.part
-		s.mu.Unlock()
-		return part.HandlePrepare(req), nil
+		return s.votePrepare(req), nil
 	}
 	var resp wire.VoteResp
 	err := s.peer.Call(ctx, site, wire.KindPrepare, req, &resp)
 	s.stats.AddRoundTrips(1)
 	return resp, err
+}
+
+// votePrepare validates phase 1 before handing it to the participant. Two
+// guards close the lost-protection window between pre-write and prepare:
+//
+//   - the epoch fence: a transaction begun under an epoch older than this
+//     site's last live rebuild votes no (Site.fence);
+//   - intent validation: the CC manager must still buffer a pre-write
+//     intent for every item in the shipped write set. A crash recovery (or
+//     a reconfiguration racing the fence) discards intents along with their
+//     lock protection; preparing such a transaction could let two
+//     conflicting writers install the same version with different values.
+//
+// Both guards are skipped for transactions the participant already tracks
+// (duplicate prepares, recovered in-doubt state, recorded decisions) —
+// those are the participant's own idempotency paths.
+//
+// The guards and the participant's force-write run as ONE unit under the
+// site gate's read side: a live rebuild takes the gate's write side, so it
+// either completes before the guards read the (new) fence and CC manager,
+// or waits until the prepare has fully forced and registered — it can
+// never interleave between a passed check and the force, which would let
+// an unprotected prepare slip into the new stack.
+func (s *Site) votePrepare(req wire.PrepareReq) wire.VoteResp {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	s.mu.Lock()
+	fence := s.fence
+	part := s.part
+	ccm := s.ccm
+	s.mu.Unlock()
+	if known := part.Prepared(req.Tx); !known {
+		if _, decided := part.Decision(req.Tx); !decided {
+			if req.Epoch < fence {
+				return wire.VoteResp{Yes: false, Reason: fmt.Sprintf("epoch fence: transaction epoch %d < rebuild epoch %d", req.Epoch, fence)}
+			}
+			if len(req.Writes) > 0 {
+				items := make([]model.ItemID, len(req.Writes))
+				for i, w := range req.Writes {
+					items[i] = w.Item
+				}
+				if !ccm.HoldsIntents(req.Tx, items) {
+					return wire.VoteResp{Yes: false, Reason: "pre-write intents lost (crash or reconfiguration between pre-write and prepare)"}
+				}
+			}
+		}
+	}
+	return part.HandlePrepare(req)
 }
 
 // PreCommit implements acp.Cohort.
@@ -252,6 +315,14 @@ func (s *Site) QueryTermState(ctx context.Context, site model.SiteID, tx model.T
 // coordinated tx, it is not currently active, and no decision is logged,
 // the transaction must have aborted (a commit is always logged before being
 // announced).
+//
+// Presumed abort is NOT sound for a 3PC transaction this site still holds
+// in-doubt: 3PC's cooperative termination can commit a transaction without
+// its crashed coordinator's participation, so a recovered coordinator that
+// presumed abort while a pre-committed cohort terminated to commit would
+// split the decision. Such a transaction answers "unknown" instead, and
+// the coordinator's own resolver learns the outcome through the same
+// cooperative termination as everyone else.
 func (s *Site) localDecision(tx model.TxID) (commit, known bool) {
 	s.mu.Lock()
 	part := s.part
@@ -264,6 +335,9 @@ func (s *Site) localDecision(tx model.TxID) (commit, known bool) {
 		return false, false // still deciding: caller must wait
 	}
 	if tx.Site == s.id {
+		if part.InDoubtThreePhase(tx) {
+			return false, false // 3PC: the cohort may yet commit without us
+		}
 		return false, true // presumed abort
 	}
 	return false, false

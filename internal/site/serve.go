@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/nameserver"
 	"repro/internal/wire"
 )
 
@@ -86,7 +87,7 @@ func (s *Site) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire
 			return 0, nil, err
 		}
 		s.clock.Witness(req.TS)
-		return wire.KindVote, part.HandlePrepare(req), nil
+		return wire.KindVote, s.votePrepare(req), nil
 
 	case wire.KindPreCommit:
 		var req wire.PreCommitReq
@@ -138,6 +139,18 @@ func (s *Site) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire
 		}
 		outcome := s.Execute(runCtx, req.Ops)
 		return wire.KindSubmitTx, wire.SubmitTxResp{Outcome: outcome}, nil
+
+	case wire.KindCatalogPush:
+		var req nameserver.CatalogPushMsg
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return 0, nil, err
+		}
+		// Reconfigure quiesces and rebuilds; never on a transport goroutine.
+		// Stale pushes (a racing poll already applied the epoch) are the
+		// expected no-op; real failures surface on the next poll tick.
+		cat := req.Catalog
+		go s.Reconfigure(&cat) //nolint:errcheck
+		return wire.KindOK, wire.OKBody{}, nil
 
 	case wire.KindGetStats:
 		return wire.KindGetStats, StatsResp{Stats: s.Stats()}, nil

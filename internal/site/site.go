@@ -77,6 +77,11 @@ type Config struct {
 	// WAL's segment directory for segmented logs and an in-memory store
 	// (surviving simulated crashes alongside the memory log) otherwise.
 	Snapshots checkpoint.Store
+	// CatalogPoll, when positive, makes the site probe the name server's
+	// catalog epoch at this interval and reconfigure itself live when the
+	// epoch moved — the pull half of online reconfiguration (the push half
+	// is the name server's catalog broadcast). Zero disables polling.
+	CatalogPoll time.Duration
 }
 
 // Site is one Rainbow site.
@@ -92,6 +97,19 @@ type Site struct {
 	// simulated crashes (set once at New).
 	snaps   checkpoint.Store
 	ckptCfg schema.CheckpointPolicy
+	poll    time.Duration
+
+	// gate is the site's snapshot/quiesce interlock, owned here for the
+	// site's whole lifetime and shared with every checkpoint-manager
+	// incarnation and the decision pipeline: record-forcing paths hold it
+	// in read mode, fuzzy snapshots take it in write mode for the O(shards)
+	// seal, and online reconfiguration write-locks it across the whole
+	// stack rebuild so the WAL read observes a quiescent record stream.
+	gate *sync.RWMutex
+
+	// reconfigMu serializes live reconfigurations with each other and with
+	// crash recovery (both rebuild the protocol stack).
+	reconfigMu sync.Mutex
 
 	mu          sync.Mutex
 	log         wal.Log
@@ -115,6 +133,23 @@ type Site struct {
 	// accumulated totals for ResetStats.
 	ckptAccum checkpoint.Stats
 	ckptBase  checkpoint.Stats
+	// reconfigures counts completed live catalog reconfigurations.
+	reconfigures uint64
+	// fence is the epoch fence: the catalog epoch of the last LIVE stack
+	// rebuild. A live rebuild discards concurrency-control state exactly
+	// like a crash, but unlike a crash the affected transactions keep
+	// running — so this site refuses to prepare any transaction begun
+	// under an older epoch (its locks here may be gone, and preparing it
+	// could let two conflicting writers commit the same version). Cold
+	// rebuilds (boot, crash recovery) leave the fence alone: there is no
+	// epoch marker separating pre-crash transactions, and registration
+	// skew must not fence freshly booted clusters.
+	fence uint64
+	// ckptCancel stops just the checkpoint trigger loop (reconfiguration
+	// swaps the manager under a running site; crash/close cancel runCtx,
+	// which this context descends from). ckptWG waits it out.
+	ckptCancel context.CancelFunc
+	ckptWG     sync.WaitGroup
 	// released tombstones aborted transactions so a straggling copy
 	// operation that races with its own ReleaseTx cannot leak CC state.
 	released map[model.TxID]time.Time
@@ -126,7 +161,15 @@ type Site struct {
 	crashed        bool
 	runCtx         context.Context
 	runCancel      context.CancelFunc
-	resolveWG      sync.WaitGroup
+	// lifeCtx spans the site OBJECT's lifetime (cancelled by Close only,
+	// not by simulated crashes): background release retries ride it, so a
+	// crash does not silently drop an aborted transaction's pending
+	// releases — the network fabric already enforces fail-stop by
+	// dropping a paused site's sends, and once the site resumes the
+	// retries flush, unsticking remote CC state the abort left behind.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
+	resolveWG  sync.WaitGroup
 }
 
 // isReleased reports whether tx was already released/aborted here, and
@@ -181,11 +224,14 @@ func New(cfg Config) (*Site, error) {
 		shards:      cfg.Shards,
 		snaps:       snaps,
 		ckptCfg:     cfg.Checkpoint,
+		poll:        cfg.CatalogPoll,
+		gate:        new(sync.RWMutex),
 		log:         log,
 		activeCoord: make(map[model.TxID]bool),
 		released:    make(map[model.TxID]time.Time),
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
 
 	peer, err := wire.NewPeer(cfg.Net, cfg.ID, s.serve)
 	if err != nil {
@@ -216,6 +262,7 @@ func New(cfg Config) (*Site, error) {
 	}
 	s.startResolver()
 	s.startCheckpointer()
+	s.startCatalogPoller()
 	return s, nil
 }
 
@@ -242,6 +289,15 @@ func (s *Site) fetchCatalog() (*schema.Catalog, error) {
 // retained records below it surface in-doubt transactions for termination.
 // Called at start and during recovery.
 func (s *Site) configure(catalog *schema.Catalog) error {
+	return s.rebuild(catalog, false)
+}
+
+// rebuild is the shared stack (re)build behind configure (cold: boot and
+// crash recovery, where the site serves no traffic and volatile state is
+// legitimately gone) and Reconfigure (live: the site keeps serving, the
+// participant survives the swap, and the rebuild runs under the site gate's
+// write side so the quiesced decision pipeline cannot race the WAL read).
+func (s *Site) rebuild(catalog *schema.Catalog, live bool) error {
 	timeouts := catalog.Timeouts.WithDefaults()
 	recoveryStart := time.Now()
 
@@ -250,6 +306,17 @@ func (s *Site) configure(catalog *schema.Catalog) error {
 	shards := s.shards
 	if shards <= 0 {
 		shards = catalog.Shards
+	}
+
+	if live {
+		// Quiesce the decision pipeline: every record-forcing path
+		// (prepare, decision, end) holds the gate's read side, so the write
+		// lock waits out in-flight forces and blocks new ones. Reads and
+		// pre-writes keep flowing against the old stack; from here the log
+		// is a stable stream whose effects at/after the forced snapshot's
+		// horizon are exactly what the new store must redo.
+		s.gate.Lock()
+		defer s.gate.Unlock()
 	}
 	store := storage.NewSharded(shards)
 
@@ -292,37 +359,73 @@ func (s *Site) configure(catalog *schema.Catalog) error {
 		return err
 	}
 
-	part := acp.NewParticipant(s.id, s.log, &applierWithHistory{cc: ccm, hist: s.hist})
-	var snapDecisions map[model.TxID]bool
-	if snap != nil {
-		snapDecisions = snap.DecisionMap()
-		part.SeedDecisions(snapDecisions)
-	}
-	part.RestoreDecisions(recs)
-	for _, r := range inDoubt {
-		// A transaction can look in-doubt from the retained records alone —
-		// its Prepared record pinned in a kept segment, its decision record
-		// compacted away — while the snapshot's decision table knows the
-		// outcome (and, for commits, the snapshot already carries its
-		// effects). Don't re-lock those; they are decided.
-		if _, decided := snapDecisions[r.Tx]; decided {
-			continue
+	var part *acp.Participant
+	if live {
+		// The participant survives a live reconfiguration: its decision
+		// table and in-doubt protocol states (including 3PC pre-committed)
+		// are current in memory, and keeping the object means handler
+		// goroutines that captured it before the swap keep routing through
+		// the NEW applier — no decision can install into the dead store.
+		part = s.part
+		for _, r := range inDoubt {
+			// The WAL surfaces a pinned Prepared record as in-doubt even
+			// when the live table already knows the outcome; skip those.
+			if _, decided := part.Decision(r.Tx); decided {
+				continue
+			}
+			// Re-protect the write set in the new CC manager. A transaction
+			// still held in memory keeps its live state; one found only in
+			// the WAL (compacted decision, pre-reconfigure incarnation) is
+			// restored as freshly prepared.
+			if err := ccm.Reinstate(r.Tx, r.TS, r.Writes); err != nil {
+				return err
+			}
+			if !part.Prepared(r.Tx) {
+				part.Restore(wire.PrepareReq{
+					Tx:           r.Tx,
+					TS:           r.TS,
+					Coordinator:  r.Coordinator,
+					Participants: r.Participants,
+					Writes:       r.Writes,
+				}, r.ThreePhase)
+			}
 		}
-		if err := ccm.Reinstate(r.Tx, r.TS, r.Writes); err != nil {
-			return err
+		part.SetApplier(&applierWithHistory{cc: ccm, hist: s.hist})
+	} else {
+		part = acp.NewParticipant(s.id, s.log, &applierWithHistory{cc: ccm, hist: s.hist})
+		part.UseGate(s.gate)
+		var snapDecisions map[model.TxID]bool
+		if snap != nil {
+			snapDecisions = snap.DecisionMap()
+			part.SeedDecisions(snapDecisions)
 		}
-		part.Restore(wire.PrepareReq{
-			Tx:           r.Tx,
-			TS:           r.TS,
-			Coordinator:  r.Coordinator,
-			Participants: r.Participants,
-			Writes:       r.Writes,
-		}, r.ThreePhase)
+		part.RestoreDecisions(recs)
+		for _, r := range inDoubt {
+			// A transaction can look in-doubt from the retained records
+			// alone — its Prepared record pinned in a kept segment, its
+			// decision record compacted away — while the snapshot's
+			// decision table knows the outcome (and, for commits, the
+			// snapshot already carries its effects). Don't re-lock those;
+			// they are decided.
+			if _, decided := snapDecisions[r.Tx]; decided {
+				continue
+			}
+			if err := ccm.Reinstate(r.Tx, r.TS, r.Writes); err != nil {
+				return err
+			}
+			part.Restore(wire.PrepareReq{
+				Tx:           r.Tx,
+				TS:           r.TS,
+				Coordinator:  r.Coordinator,
+				Participants: r.Participants,
+				Writes:       r.Writes,
+			}, r.ThreePhase)
+		}
 	}
 
-	// The checkpoint manager engages when the WAL supports compaction; its
-	// gate threads into the participant so fuzzy snapshots serialize with
-	// the decision pipeline.
+	// The checkpoint manager engages when the WAL supports compaction; the
+	// site-owned gate threads into it so fuzzy snapshots serialize with the
+	// decision pipeline across manager incarnations.
 	var mgr *checkpoint.Manager
 	if cl, ok := s.log.(wal.Compactable); ok && s.snaps != nil {
 		// Per-site knobs merge over the catalog's experiment-wide policy:
@@ -342,10 +445,17 @@ func (s *Site) configure(catalog *schema.Catalog) error {
 		pol.NoCOW = pol.NoCOW || catalog.Checkpoint.NoCOW
 		mgr = checkpoint.NewManager(store, cl, s.snaps, part.DecisionTable,
 			checkpoint.Policy{Bytes: pol.Bytes, Interval: pol.Interval, DeltaMax: pol.DeltaMax, NoCOW: pol.NoCOW})
-		part.UseGate(mgr.Gate())
+		mgr.ShareGate(s.gate)
 	}
 
 	s.mu.Lock()
+	if live && s.crashed {
+		// A crash won the race against this reconfiguration: its recovery
+		// owns the next rebuild; installing ours now would resurrect state
+		// read before the crash.
+		s.mu.Unlock()
+		return fmt.Errorf("crashed during reconfiguration")
+	}
 	if s.ckpt != nil {
 		old := s.ckpt.Stats()
 		s.ckptAccum.Checkpoints += old.Checkpoints
@@ -357,6 +467,9 @@ func (s *Site) configure(catalog *schema.Catalog) error {
 	s.ccm = ccm
 	s.part = part
 	s.ckpt = mgr
+	if live {
+		s.fence = catalog.Epoch
+	}
 	s.coordLog = coordLog{Log: s.log, part: part}
 	s.recoveryRecords = uint64(len(recs))
 	s.recoveryNS = int64(time.Since(recoveryStart))
@@ -371,6 +484,81 @@ func (s *Site) configure(catalog *schema.Catalog) error {
 		s.seq = now
 	}
 	s.mu.Unlock()
+	return nil
+}
+
+// ErrStaleEpoch rejects a Reconfigure whose catalog is not newer than the
+// site's current one (a reordered push, a duplicate poll, an administrator
+// replaying an old configuration).
+var ErrStaleEpoch = fmt.Errorf("stale catalog epoch")
+
+// Reconfigure applies a newer catalog version to a running site without a
+// restart: quiesce the decision pipeline under the checkpoint gate, force a
+// full snapshot at the current horizon, rebuild the protocol stack (shard
+// count, item placement, protocols, checkpoint policy) and restore the
+// store from that snapshot plus the records forced after it. Committed data
+// survives, in-doubt transactions carry across (still terminated via
+// 2PC/3PC), and reads/pre-writes keep being served throughout. Concurrency
+// control state of not-yet-prepared transactions does not survive the swap
+// — exactly the crash contract, minus the downtime and the log replay.
+func (s *Site) Reconfigure(catalog *schema.Catalog) error {
+	if err := catalog.Validate(); err != nil {
+		return fmt.Errorf("site %s: reconfigure: %w", s.id, err)
+	}
+	s.reconfigMu.Lock()
+	defer s.reconfigMu.Unlock()
+	s.mu.Lock()
+	cur := s.catalog
+	crashed := s.crashed
+	ckpt := s.ckpt
+	s.mu.Unlock()
+	if crashed {
+		return fmt.Errorf("site %s is down", s.id)
+	}
+	if catalog.Epoch <= cur.Epoch {
+		return fmt.Errorf("site %s: %w: got %d, have %d", s.id, ErrStaleEpoch, catalog.Epoch, cur.Epoch)
+	}
+	diff := catalog.DiffFrom(cur)
+	if !diff.Material() {
+		// The epoch moved without touching any site-local structure (site
+		// registrations do this): adopt the metadata, skip the rebuild.
+		s.mu.Lock()
+		s.catalog = catalog
+		s.mu.Unlock()
+		return nil
+	}
+	if !diff.RequiresRebuild() {
+		// Timeouts-only: adopt in place — no quiesce, no snapshot, no
+		// fence raise (nothing is wiped). New transactions pick the
+		// timeouts up at Begin; the running resolver ticker keeps its old
+		// OrphanResolve interval until the next rebuild.
+		s.mu.Lock()
+		s.catalog = catalog
+		s.timeouts = catalog.Timeouts.WithDefaults()
+		s.reconfigures++
+		s.mu.Unlock()
+		return nil
+	}
+
+	// Stop the trigger loop first so the old manager cannot race the
+	// rebuild, then force a full snapshot at the current horizon: the
+	// rebuild restores from one self-contained image and redoes only the
+	// records forced after it.
+	s.stopCheckpointer()
+	if ckpt != nil {
+		if err := ckpt.CheckpointFull(); err != nil {
+			s.startCheckpointer()
+			return fmt.Errorf("site %s: reconfigure snapshot: %w", s.id, err)
+		}
+	}
+	if err := s.rebuild(catalog, true); err != nil {
+		s.startCheckpointer() // the old stack stays installed
+		return fmt.Errorf("site %s: reconfigure: %w", s.id, err)
+	}
+	s.mu.Lock()
+	s.reconfigures++
+	s.mu.Unlock()
+	s.startCheckpointer()
 	return nil
 }
 
@@ -428,6 +616,11 @@ func (s *Site) Stats() monitor.SiteStats {
 	baseFlushes, baseRecords := s.walBaseFlushes, s.walBaseRecords
 	ckptAccum, ckptBase := s.ckptAccum, s.ckptBase
 	recoveryRecords, recoveryNS := s.recoveryRecords, s.recoveryNS
+	var epoch uint64
+	if s.catalog != nil {
+		epoch = s.catalog.Epoch
+	}
+	reconfigures := s.reconfigures
 	s.mu.Unlock()
 	orphans := 0
 	if part != nil {
@@ -468,6 +661,8 @@ func (s *Site) Stats() monitor.SiteStats {
 	stats.SegmentsCompacted = ckptAccum.SegmentsCompacted - min(ckptBase.SegmentsCompacted, ckptAccum.SegmentsCompacted)
 	stats.RecoveryRecords = recoveryRecords
 	stats.RecoveryNS = recoveryNS
+	stats.Epoch = epoch
+	stats.Reconfigures = reconfigures
 	return stats
 }
 
@@ -495,8 +690,15 @@ func (s *Site) ResetStats() {
 
 // Checkpoint takes a fuzzy snapshot of the store now, pins the replay
 // horizon, and compacts the WAL — the manual trigger next to the automatic
-// byte/interval policies.
+// byte/interval policies. It serializes with Reconfigure (reconfigMu): the
+// old manager snapshotting the frozen pre-reshard store at a post-rebuild
+// durable LSN would claim coverage of installs that only the new store
+// holds, and a recovery restoring that snapshot would lose them. (The
+// background trigger loop needs no such guard — Reconfigure stops it and
+// waits it out before rebuilding.)
 func (s *Site) Checkpoint() error {
+	s.reconfigMu.Lock()
+	defer s.reconfigMu.Unlock()
 	s.mu.Lock()
 	ckpt := s.ckpt
 	crashed := s.crashed
@@ -542,6 +744,35 @@ func (s *Site) Catalog() *schema.Catalog {
 	return s.catalog
 }
 
+// Epoch returns the epoch of the site's current catalog.
+func (s *Site) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.catalog == nil {
+		return 0
+	}
+	return s.catalog.Epoch
+}
+
+// Reconfigures counts completed live catalog reconfigurations.
+func (s *Site) Reconfigures() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reconfigures
+}
+
+// DecisionTable returns a copy of the participant's current decision table
+// (the soak harness's cross-site agreement invariant reads it).
+func (s *Site) DecisionTable() map[model.TxID]bool {
+	s.mu.Lock()
+	part := s.part
+	s.mu.Unlock()
+	if part == nil {
+		return nil
+	}
+	return part.DecisionTable()
+}
+
 // InDoubtCount reports the site's current number of blocked in-doubt
 // transactions (the paper's orphans).
 func (s *Site) InDoubtCount() int {
@@ -568,6 +799,7 @@ func (s *Site) Crash() {
 	s.log.Close() // stale handler goroutines can no longer force records
 	s.mu.Unlock()
 	s.resolveWG.Wait()
+	s.ckptWG.Wait()
 }
 
 // Crashed reports whether the site is currently down.
@@ -581,6 +813,11 @@ func (s *Site) Crashed() bool {
 // reinstalled, in-doubt transactions re-protected, and the resolver loop
 // restarted to drive them to an outcome.
 func (s *Site) Recover() error {
+	// Serialize with live reconfiguration: both rebuild the stack, and a
+	// reconfigure that lost the race against the crash must not install its
+	// pre-crash reads over the recovery's rebuild.
+	s.reconfigMu.Lock()
+	defer s.reconfigMu.Unlock()
 	s.mu.Lock()
 	if !s.crashed {
 		s.mu.Unlock()
@@ -601,6 +838,7 @@ func (s *Site) Recover() error {
 	s.mu.Unlock()
 	s.startResolver()
 	s.startCheckpointer()
+	s.startCatalogPoller()
 	return nil
 }
 
@@ -610,8 +848,10 @@ func (s *Site) Close() error {
 	crashed := s.crashed
 	s.crashed = true
 	s.runCancel()
+	s.lifeCancel()
 	s.mu.Unlock()
 	s.resolveWG.Wait()
+	s.ckptWG.Wait()
 	if !crashed {
 		s.log.Close()
 	}
@@ -620,20 +860,94 @@ func (s *Site) Close() error {
 
 // startCheckpointer runs the checkpoint manager's trigger loop for this
 // incarnation (a no-op when checkpointing is unsupported or no automatic
-// trigger is configured).
+// trigger is configured). The loop's context descends from runCtx (crash
+// and close still stop it) but has its own cancel so a live reconfiguration
+// can stop just this loop while the site keeps serving.
 func (s *Site) startCheckpointer() {
 	s.mu.Lock()
-	ctx := s.runCtx
 	ckpt := s.ckpt
+	// A crashed site starts nothing, and the WaitGroup Add happens inside
+	// the same critical section that checks crashed: Crash() flips the
+	// flag under s.mu BEFORE waiting on ckptWG, so the Add either
+	// happened-before that Wait (counted) or this start observes crashed
+	// and skips — never an Add racing a Wait-from-zero.
+	if ckpt == nil || s.crashed {
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.runCtx)
+	s.ckptCancel = cancel
+	s.ckptWG.Add(1)
 	s.mu.Unlock()
-	if ckpt == nil {
+	go func() {
+		defer s.ckptWG.Done()
+		ckpt.Run(ctx)
+	}()
+}
+
+// stopCheckpointer halts the background checkpoint loop and waits it out —
+// reconfiguration is about to replace the manager it drives.
+func (s *Site) stopCheckpointer() {
+	s.mu.Lock()
+	cancel := s.ckptCancel
+	s.ckptCancel = nil
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	s.ckptWG.Wait()
+}
+
+// startCatalogPoller runs the catalog staleness probe: every poll interval,
+// fetch the name server's epoch and reconfigure live when it moved past the
+// site's. The poll is the delivery guarantee behind the name server's
+// best-effort push — a site that was partitioned, crashed or simply missed
+// the cast converges as soon as it can reach the name server again.
+func (s *Site) startCatalogPoller() {
+	s.mu.Lock()
+	ctx := s.runCtx
+	interval := s.poll
+	s.mu.Unlock()
+	if interval <= 0 {
 		return
 	}
 	s.resolveWG.Add(1)
 	go func() {
 		defer s.resolveWG.Done()
-		ckpt.Run(ctx)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				s.pollCatalog(ctx)
+			}
+		}
 	}()
+}
+
+// pollCatalog performs one staleness probe tick.
+func (s *Site) pollCatalog(ctx context.Context) {
+	s.mu.Lock()
+	cur := s.catalog.Epoch
+	s.mu.Unlock()
+	ectx, cancel := context.WithTimeout(ctx, time.Second)
+	epoch, err := nameserver.FetchEpoch(ectx, s.peer)
+	cancel()
+	if err != nil || epoch <= cur {
+		return
+	}
+	fctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	cat, err := nameserver.Fetch(fctx, s.peer)
+	cancel()
+	if err != nil {
+		return
+	}
+	// A racing push may already have applied this epoch; the stale-epoch
+	// reject below is then the expected outcome, and real failures surface
+	// again next tick.
+	s.Reconfigure(cat) //nolint:errcheck
 }
 
 // startResolver runs the orphan-resolution loop: periodically try to decide

@@ -155,6 +155,9 @@ func (t *Txn) Commit() model.Outcome {
 		Participants:  participants,
 		WritesFor:     t.sess.WritesFor,
 		NoReadOnlyOpt: t.catalog.Protocols.NoReadOnlyOpt,
+		// The begin-time epoch, for the participants' epoch fence: a site
+		// that live-rebuilt past it refuses to prepare this transaction.
+		Epoch: t.catalog.Epoch,
 	}
 	// coordLog routes the decision force through the participant, which
 	// records the outcome and applies it locally under the checkpoint gate,
@@ -165,12 +168,18 @@ func (t *Txn) Commit() model.Outcome {
 
 	// Stray sites — attempted during quorum building but never enlisted —
 	// may hold CC state from operations that completed after the
-	// coordinator gave up on them; release them regardless of outcome.
-	s.releaseStrays(t.sess)
-
+	// coordinator gave up on them; release them regardless of outcome. On
+	// abort, release the participants as well: one whose prepare was lost
+	// to a fault holds pre-write/read CC state but no prepared record, so
+	// neither in-doubt resolution nor recovery will ever free it — and the
+	// abort decision that would have released it may have been lost to the
+	// same fault. The release is idempotent (the abort decision is
+	// durable; a participant that already applied it just no-ops).
 	if !committed {
+		s.releaseEverywhere(t.sess) // participants + strays
 		return t.outcome(false, classify(err))
 	}
+	s.releaseStrays(t.sess)
 	return t.outcome(true, model.AbortNone)
 }
 

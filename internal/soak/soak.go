@@ -1,0 +1,440 @@
+// Package soak is Rainbow's seeded fault-injection soak harness: it runs a
+// cluster under randomized transaction load while injecting partitions,
+// crashes-with-recovery, manual checkpoints and mid-flight catalog epoch
+// bumps (live re-sharding), then audits cluster-wide invariants:
+//
+//   - decision agreement — no two sites ever disagree on a transaction's
+//     outcome (atomicity across sites);
+//   - no committed write lost — every install is version-stamped, so the
+//     highest-version write in the merged execution history must still be
+//     the quorum-read value of its item after all faults, reconfigurations
+//     and recoveries (and per-(item,version) values must agree across all
+//     copies — versions are per-item serialization points);
+//   - in-doubt transactions terminate — the orphan count drains to zero
+//     once all sites are back (2PC decision requests / 3PC cooperative
+//     termination);
+//   - catalog convergence — every site ends on the name server's epoch;
+//   - checkpoint chains stay composable — the final audit repeats after
+//     crash-recovering every site, so the last full+delta chain plus the
+//     retained WAL must reproduce the same store.
+//
+// Every random choice — cluster shape, workload, fault schedule, epoch
+// bumps — derives from one seed, so a failure replays with the same event
+// plan (goroutine interleavings still vary; the plan does not). The test
+// wrapper prints failing seeds with a one-line replay command.
+package soak
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/schema"
+	"repro/internal/simnet"
+	"repro/internal/wlg"
+)
+
+// Options configures one soak run. Zero values select the short-profile
+// defaults sized for CI.
+type Options struct {
+	// Seed drives every random choice of the run.
+	Seed int64
+	// Sites is the cluster size (default 3).
+	Sites int
+	// Items is the database size (default 5).
+	Items int
+	// Rounds is the number of load+fault episodes (default 2).
+	Rounds int
+	// TxPerRound is the workload length per round (default 8).
+	TxPerRound int
+	// MPL is the workload's multiprogramming level (default 3).
+	MPL int
+	// Logf, when set, receives progress lines (the replay test wires it to
+	// t.Logf so a failing seed can be studied step by step).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Sites <= 0 {
+		o.Sites = 3
+	}
+	if o.Items <= 0 {
+		o.Items = 5
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 2
+	}
+	if o.TxPerRound <= 0 {
+		o.TxPerRound = 8
+	}
+	if o.MPL <= 0 {
+		o.MPL = 3
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Report summarizes one soak run for the logs.
+type Report struct {
+	Submitted, Committed            int
+	EpochBumps, Crashes, Partitions int
+	Checkpoints                     int
+	FinalEpoch                      uint64
+	ACP                             string
+}
+
+// step is one planned fault/admin event inside a round.
+type step struct {
+	after time.Duration
+	kind  string // "partition", "heal", "crash", "recover", "bump", "checkpoint"
+	site  model.SiteID
+	group [][]model.SiteID
+}
+
+// Run executes one seeded soak iteration and returns an error describing
+// the first violated invariant (nil when all hold).
+func Run(o Options) (Report, error) {
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	var rep Report
+
+	sites := make([]model.SiteID, o.Sites)
+	for i := range sites {
+		sites[i] = model.SiteID(fmt.Sprintf("S%d", i+1))
+	}
+	items := make(map[model.ItemID]int64, o.Items)
+	itemIDs := make([]model.ItemID, o.Items)
+	for i := 0; i < o.Items; i++ {
+		id := model.ItemID(fmt.Sprintf("i%d", i))
+		itemIDs[i] = id
+		items[id] = int64(100 + i)
+	}
+	// 3PC's simplified cooperative termination is only safe under
+	// fail-stop (the paper's classroom assumption): a crashed member's
+	// volatile pre-committed state — or a crashed coordinator's logged
+	// decision — can contradict a termination computed from a partial
+	// view once the member RECOVERS, and partitions diverge it the same
+	// way. Quorum-based termination (E3PC) would lift this; until then
+	// 3PC episodes soak reconfiguration and checkpoints while 2PC
+	// episodes add crashes and partitions (2PC's presumed abort and
+	// logged-decision serving stay sound under recovery).
+	acp := "2pc"
+	if rng.Intn(2) == 1 {
+		acp = "3pc"
+	}
+	rep.ACP = acp
+
+	in, err := core.New(core.Options{
+		Sites: sites, Items: items,
+		Protocols: schema.Protocols{RCP: "qc", CCP: "2pl", ACP: acp},
+		Timeouts: schema.Timeouts{
+			Op: 150 * time.Millisecond, Vote: 150 * time.Millisecond,
+			Ack: 100 * time.Millisecond, Lock: 100 * time.Millisecond,
+			OrphanResolve: 25 * time.Millisecond,
+		},
+		Net: simnet.Config{
+			BaseLatency: 200 * time.Microsecond,
+			Jitter:      100 * time.Microsecond,
+			Seed:        rng.Int63(),
+		},
+		Checkpoint: schema.CheckpointPolicy{
+			Interval: time.Duration(20+rng.Intn(20)) * time.Millisecond,
+			DeltaMax: 1 + rng.Intn(4),
+		},
+		CatalogPoll: 30 * time.Millisecond,
+	})
+	if err != nil {
+		return rep, err
+	}
+	defer in.Close()
+
+	for round := 0; round < o.Rounds; round++ {
+		steps := planRound(rng, sites, acp == "2pc", &rep)
+		profile := wlg.Profile{
+			Transactions: o.TxPerRound,
+			MPL:          o.MPL,
+			OpsPerTx:     1 + rng.Intn(3),
+			ReadFraction: 0.4,
+			Retries:      1,
+			RandomHomes:  true,
+			Seed:         rng.Int63(),
+		}
+		wctx, cancel := context.WithTimeout(context.Background(), 8*time.Second)
+		done := make(chan wlg.Result, 1)
+		go func() { done <- in.RunWorkload(wctx, profile) }()
+		start := time.Now()
+		for _, s := range steps {
+			if d := s.after - time.Since(start); d > 0 {
+				time.Sleep(d)
+			}
+			applyStep(in, rng, s, o.Logf)
+		}
+		res := <-done
+		cancel()
+		rep.Submitted += res.Submitted
+		rep.Committed += res.Committed
+		o.Logf("round %d: %d/%d committed, causes %v", round, res.Committed, res.Submitted, res.ByCause)
+	}
+
+	// Settle: heal, recover everyone, converge on the catalog, drain
+	// orphans — only then are the invariants expected to hold.
+	in.Injector.Heal()
+	for _, id := range sites {
+		if in.Injector.Crashed(id) {
+			if err := in.Injector.Recover(id); err != nil {
+				return rep, fmt.Errorf("settle recover %s: %w", id, err)
+			}
+		}
+	}
+	rep.FinalEpoch = in.NS.Epoch()
+	if !in.WaitEpoch(rep.FinalEpoch, 5*time.Second) {
+		return rep, fmt.Errorf("catalog did not converge: name server at epoch %d, sites at %v", rep.FinalEpoch, siteEpochs(in, sites))
+	}
+	if !in.WaitOrphansDrained(8 * time.Second) {
+		return rep, fmt.Errorf("in-doubt transactions did not terminate: %d orphans remain", in.Orphans())
+	}
+	if err := checkInvariants(in, sites, itemIDs); err != nil {
+		return rep, err
+	}
+
+	// Full-restart audit: crash and recover every site, then re-check —
+	// this forces recovery through the newest checkpoint chain plus the
+	// retained WAL, proving the chains written under faults and epoch
+	// bumps stay composable.
+	for _, id := range sites {
+		if err := in.Injector.Crash(id); err != nil {
+			return rep, fmt.Errorf("final crash %s: %w", id, err)
+		}
+	}
+	for _, id := range sites {
+		if err := in.Injector.Recover(id); err != nil {
+			return rep, fmt.Errorf("final recover %s: %w", id, err)
+		}
+	}
+	if !in.WaitOrphansDrained(8 * time.Second) {
+		return rep, fmt.Errorf("after full restart: %d orphans remain", in.Orphans())
+	}
+	if err := checkInvariants(in, sites, itemIDs); err != nil {
+		return rep, fmt.Errorf("after full restart: %w", err)
+	}
+	return rep, nil
+}
+
+// planRound draws a deterministic fault/admin schedule for one round. All
+// rng consumption happens here, before any concurrency, so a seed always
+// produces the same plan. Crashes and partitions are emitted as pairs
+// (fault, then undo) so a round cannot wedge the workload forever, and at
+// most one site is down at a time (a QC majority stays available). Crash
+// and partition injection is restricted to 2PC episodes — see the
+// fail-stop note in Run.
+func planRound(rng *rand.Rand, sites []model.SiteID, allowFaults bool, rep *Report) []step {
+	var steps []step
+	at := time.Duration(20+rng.Intn(40)) * time.Millisecond
+	events := 1 + rng.Intn(3)
+	for e := 0; e < events; e++ {
+		hold := time.Duration(40+rng.Intn(80)) * time.Millisecond
+		kinds := []string{"bump", "checkpoint"}
+		if allowFaults {
+			kinds = append(kinds, "crash", "partition")
+		}
+		switch kinds[rng.Intn(len(kinds))] {
+		case "bump":
+			steps = append(steps, step{after: at, kind: "bump"})
+			rep.EpochBumps++
+		case "crash":
+			victim := sites[rng.Intn(len(sites))]
+			steps = append(steps, step{after: at, kind: "crash", site: victim})
+			steps = append(steps, step{after: at + hold, kind: "recover", site: victim})
+			rep.Crashes++
+		case "checkpoint":
+			steps = append(steps, step{after: at, kind: "checkpoint", site: sites[rng.Intn(len(sites))]})
+			rep.Checkpoints++
+		case "partition":
+			shuffled := append([]model.SiteID(nil), sites...)
+			rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			cut := 1 + rng.Intn(len(shuffled)-1)
+			steps = append(steps, step{after: at, kind: "partition",
+				group: [][]model.SiteID{shuffled[:cut], shuffled[cut:]}})
+			steps = append(steps, step{after: at + hold, kind: "heal"})
+			rep.Partitions++
+		}
+		at += hold + time.Duration(10+rng.Intn(30))*time.Millisecond
+	}
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].after < steps[j].after })
+	return steps
+}
+
+// applyStep executes one planned event. Individual fault errors (a crash
+// racing a recover, a checkpoint on a down site) are logged, not fatal —
+// the invariants at the end are the verdict.
+func applyStep(in *core.Instance, rng *rand.Rand, s step, logf func(string, ...any)) {
+	switch s.kind {
+	case "crash":
+		logf("crash %s", s.site)
+		if err := in.Injector.Crash(s.site); err != nil {
+			logf("  (crash: %v)", err)
+		}
+	case "recover":
+		logf("recover %s", s.site)
+		if err := in.Injector.Recover(s.site); err != nil {
+			logf("  (recover: %v)", err)
+		}
+	case "partition":
+		logf("partition %v", s.group)
+		in.Injector.Partition(s.group...)
+	case "heal":
+		logf("heal")
+		in.Injector.Heal()
+	case "checkpoint":
+		if st, ok := in.Site(s.site); ok {
+			logf("checkpoint %s", s.site)
+			if err := st.Checkpoint(); err != nil {
+				logf("  (checkpoint: %v)", err)
+			}
+		}
+	case "bump":
+		cat := in.Catalog()
+		cat.Shards = 1 << rng.Intn(4) // 1..8
+		cat.Checkpoint.DeltaMax = 1 + rng.Intn(4)
+		epoch, err := in.UpdateCatalog(cat)
+		logf("epoch bump -> %d (shards=%d deltaMax=%d): %v", epoch, cat.Shards, cat.Checkpoint.DeltaMax, err)
+	}
+}
+
+func siteEpochs(in *core.Instance, sites []model.SiteID) map[model.SiteID]uint64 {
+	out := make(map[model.SiteID]uint64, len(sites))
+	for _, id := range sites {
+		if st, ok := in.Site(id); ok {
+			out[id] = st.Epoch()
+		}
+	}
+	return out
+}
+
+// dumpItem renders one item's full cross-site picture — every copy and
+// every history write event — so a divergence failure is self-diagnosing.
+func dumpItem(in *core.Instance, sites []model.SiteID, item model.ItemID) string {
+	var b strings.Builder
+	for _, id := range sites {
+		st, _ := in.Site(id)
+		cp, ok := st.Store().Get(item)
+		fmt.Fprintf(&b, "  %s: copy=%+v present=%v epoch=%d\n", id, cp, ok, st.Epoch())
+	}
+	for _, e := range in.History() {
+		if e.Item == item && e.Kind == model.OpWrite {
+			fmt.Fprintf(&b, "  history: site=%s tx=%v v%d=%d\n", e.Site, e.Tx, e.Version, e.Value)
+		}
+	}
+	return b.String()
+}
+
+// checkInvariants audits the settled cluster. See the package comment for
+// the invariant list.
+func checkInvariants(in *core.Instance, sites []model.SiteID, itemIDs []model.ItemID) error {
+	// 1. Decision agreement: any transaction known to several decision
+	// tables must carry the same verdict everywhere.
+	verdicts := make(map[model.TxID]bool)
+	owner := make(map[model.TxID]model.SiteID)
+	for _, id := range sites {
+		st, _ := in.Site(id)
+		for tx, commit := range st.DecisionTable() {
+			if prev, seen := verdicts[tx]; seen && prev != commit {
+				return fmt.Errorf("decision divergence on %v: %s says commit=%v, %s says commit=%v",
+					tx, owner[tx], prev, id, commit)
+			}
+			verdicts[tx], owner[tx] = commit, id
+		}
+	}
+
+	// 2a. Copy agreement: a version is a per-item serialization point, so
+	// two sites holding the same (item, version) must hold the same value.
+	type stamped struct {
+		val  int64
+		site model.SiteID
+	}
+	byVersion := make(map[model.ItemID]map[model.Version]stamped)
+	type copyAt struct {
+		val int64
+		ver model.Version
+	}
+	newest := make(map[model.ItemID]copyAt)
+	for _, id := range sites {
+		st, _ := in.Site(id)
+		for item, cp := range st.Store().Snapshot() {
+			if byVersion[item] == nil {
+				byVersion[item] = make(map[model.Version]stamped)
+			}
+			if prev, seen := byVersion[item][cp.Version]; seen && prev.val != cp.Value {
+				return fmt.Errorf("copy divergence on %s@v%d: %s has %d, %s has %d\n%s",
+					item, cp.Version, prev.site, prev.val, id, cp.Value, dumpItem(in, sites, item))
+			}
+			byVersion[item][cp.Version] = stamped{val: cp.Value, site: id}
+			if cur, ok := newest[item]; !ok || cp.Version > cur.ver {
+				newest[item] = copyAt{val: cp.Value, ver: cp.Version}
+			}
+		}
+	}
+
+	// 2b. No committed write lost: every history write event is an install
+	// of a committed transaction (the applier records before installing),
+	// so the highest-version event per item must still be reachable — no
+	// site may be "newest" with a version below it.
+	for _, e := range in.History() {
+		if e.Kind != model.OpWrite {
+			continue
+		}
+		cur, ok := newest[e.Item]
+		if !ok {
+			return fmt.Errorf("committed write lost: %s@v%d (value %d) has no surviving copy", e.Item, e.Version, e.Value)
+		}
+		if e.Version > cur.ver {
+			return fmt.Errorf("committed write lost: %s@v%d (value %d) newer than every surviving copy (max v%d)",
+				e.Item, e.Version, e.Value, cur.ver)
+		}
+		if e.Version == cur.ver && e.Value != cur.val {
+			return fmt.Errorf("committed write diverged: %s@v%d history says %d, newest copy says %d",
+				e.Item, e.Version, e.Value, cur.val)
+		}
+	}
+
+	// 2c. Quorum audit read: a fresh transaction's read quorum intersects
+	// the newest write's write quorum, so it must return the newest value.
+	// Stragglers from the workload can hold locks briefly; retry.
+	ops := make([]model.Op, 0, len(itemIDs))
+	for _, item := range itemIDs {
+		ops = append(ops, model.Read(item))
+	}
+	// The window must outlast the release-retry backoff (internal/site
+	// releaseAt: five 1s-bounded attempts) under the race detector's
+	// slowdown — a straggler's locks can legitimately take seconds to die.
+	var out model.Outcome
+	deadline := time.Now().Add(12 * time.Second)
+	for {
+		out = in.Submit(context.Background(), sites[0], ops)
+		if out.Committed || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !out.Committed {
+		return fmt.Errorf("final audit read would not commit: %+v", out)
+	}
+	for _, item := range itemIDs {
+		want, ok := newest[item]
+		if !ok {
+			continue
+		}
+		if got := out.Reads[item]; got != want.val {
+			return fmt.Errorf("quorum read of %s = %d, want newest committed value %d (v%d)",
+				item, got, want.val, want.ver)
+		}
+	}
+	return nil
+}

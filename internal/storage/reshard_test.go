@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/wal"
+)
+
+// TestSnapshotReshardsAcrossShardCounts: a snapshot captured from a store
+// with one shard count must restore losslessly into stores of any other
+// shard count — the storage half of online re-sharding (the snapshot is a
+// flat item map; placement is recomputed by the receiving store's hash).
+func TestSnapshotReshardsAcrossShardCounts(t *testing.T) {
+	initial := make(map[model.ItemID]int64, 64)
+	for i := 0; i < 64; i++ {
+		initial[model.ItemID(fmt.Sprintf("item-%02d", i))] = int64(i)
+	}
+	src := NewSharded(8)
+	src.Init(initial)
+	var writes []model.WriteRecord
+	for item := range initial {
+		writes = append(writes, model.WriteRecord{Item: item, Value: initial[item] * 10, Version: 3})
+	}
+	if err := src.Apply(writes); err != nil {
+		t.Fatal(err)
+	}
+	snap := src.Snapshot()
+
+	for _, shards := range []int{1, 2, 8, 32} {
+		t.Run(fmt.Sprintf("into-%d", shards), func(t *testing.T) {
+			dst := NewSharded(shards)
+			if _, err := dst.RecoverRecords(initial, snap, 5, nil); err != nil {
+				t.Fatal(err)
+			}
+			if got := dst.ShardCount(); got != shards {
+				t.Fatalf("shard count = %d, want %d", got, shards)
+			}
+			got := dst.Snapshot()
+			if len(got) != len(snap) {
+				t.Fatalf("restored %d items, want %d", len(got), len(snap))
+			}
+			for item, want := range snap {
+				if got[item] != want {
+					t.Errorf("item %s = %+v, want %+v", item, got[item], want)
+				}
+			}
+		})
+	}
+}
+
+// TestReshardRestoreAppliesRedoAndDropsUnplacedItems: restoring into a
+// different shard count composes with WAL redo at/after the horizon, and
+// snapshot items the new schema no longer places here are dropped.
+func TestReshardRestoreAppliesRedoAndDropsUnplacedItems(t *testing.T) {
+	snap := map[model.ItemID]Copy{
+		"a":    {Value: 10, Version: 2},
+		"b":    {Value: 20, Version: 2},
+		"gone": {Value: 99, Version: 9}, // no longer in the schema
+	}
+	// The new placement keeps a and b only; redo carries a decided write to
+	// b above the horizon and a below-horizon record that must NOT reapply
+	// as committed (it is only scanned for in-doubt detection).
+	recs := []wal.Record{
+		{LSN: 3, Type: wal.RecPrepared, Tx: model.TxID{Site: "S", Seq: 1},
+			Writes: []model.WriteRecord{{Item: "b", Value: 21, Version: 3}}},
+		{LSN: 4, Type: wal.RecDecision, Tx: model.TxID{Site: "S", Seq: 1}, Commit: true},
+		{LSN: 1, Type: wal.RecPrepared, Tx: model.TxID{Site: "S", Seq: 0},
+			Writes: []model.WriteRecord{{Item: "a", Value: 777, Version: 99}}},
+	}
+	dst := NewSharded(2)
+	inDoubt, err := dst.RecoverRecords(map[model.ItemID]int64{"a": 0, "b": 0}, snap, 3, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := dst.Get("b"); got.Value != 21 || got.Version != 3 {
+		t.Errorf("redo write lost across reshard: b = %+v", got)
+	}
+	if got, _ := dst.Get("a"); got.Value != 10 || got.Version != 2 {
+		t.Errorf("a = %+v, want the snapshot value (10, v2)", got)
+	}
+	if _, ok := dst.Get("gone"); ok {
+		t.Error("unplaced item survived the reshard restore")
+	}
+	if len(inDoubt) != 1 || inDoubt[0].Tx != (model.TxID{Site: "S", Seq: 0}) {
+		t.Errorf("in-doubt = %+v, want the undecided S.0", inDoubt)
+	}
+}

@@ -63,6 +63,11 @@ const (
 	// block so existing kinds keep their wire numbers (mixed-version
 	// clusters would otherwise misdispatch every kind after the insert).
 	KindEndTx // cohort fully acknowledged: retire the decision entry
+
+	// Online catalog reconfiguration (appended for the same wire-number
+	// stability reason).
+	KindGetEpoch    // lightweight catalog-version probe (site poll)
+	KindCatalogPush // name server -> site: a new catalog version exists
 )
 
 var kindNames = map[MsgKind]string{
@@ -83,6 +88,8 @@ var kindNames = map[MsgKind]string{
 	KindPreCommit:    "PreCommit",
 	KindTermState:    "TermState",
 	KindEndTx:        "EndTx",
+	KindGetEpoch:     "GetEpoch",
+	KindCatalogPush:  "CatalogPush",
 	KindGetStats:     "GetStats",
 	KindResetStats:   "ResetStats",
 	KindGetHistory:   "GetHistory",
@@ -250,6 +257,12 @@ type PrepareReq struct {
 	// NoReadOnlyOpt disables the read-only participant optimization for
 	// this transaction (ablation knob).
 	NoReadOnlyOpt bool
+	// Epoch is the catalog epoch the transaction began under. A
+	// participant whose stack was rebuilt live at a newer epoch votes no:
+	// the rebuild discarded CC state exactly like a crash, so a pre-bump
+	// transaction's locks may be gone and preparing it could serialize two
+	// conflicting writers onto one version (the epoch fence).
+	Epoch uint64
 }
 
 // VoteResp is the participant's vote. ReadOnly is the presumed-abort
@@ -286,6 +299,16 @@ type AckMsg struct {
 // lingers, costing snapshot bytes, never correctness).
 type EndTxMsg struct {
 	Tx model.TxID
+}
+
+// GetEpochReq asks the name server for the current catalog epoch only — the
+// cheap staleness probe behind each site's catalog-poll loop (the full
+// catalog is fetched only when the epoch moved).
+type GetEpochReq struct{}
+
+// EpochResp answers a GetEpochReq.
+type EpochResp struct {
+	Epoch uint64
 }
 
 // DecisionReq asks the coordinator (or a peer, during cooperative
@@ -340,6 +363,8 @@ func init() {
 	gob.Register(DecisionMsg{})
 	gob.Register(AckMsg{})
 	gob.Register(EndTxMsg{})
+	gob.Register(GetEpochReq{})
+	gob.Register(EpochResp{})
 	gob.Register(DecisionReq{})
 	gob.Register(DecisionResp{})
 	gob.Register(TermStateReq{})

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	go run ./tools/benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json \
-//	    [-metric ns/op] [-threshold 0.25] [-match 'Recovery|WAL|Checkpoint']
+//	    [-metric ns/op] [-threshold 0.25] [-match 'Recovery|WAL|Checkpoint'] \
+//	    [-ratios 'slowBench:fastBench,...'] [-ratio-threshold 0.4]
 //
 // Every baseline benchmark whose name matches -match and carries the gated
 // metric must (a) still exist in the current run and (b) not exceed
@@ -14,6 +15,16 @@
 // Current-run benchmarks without a baseline entry are reported as new (not
 // failures), so adding a benchmark does not require a two-step dance.
 // Improvements beyond the threshold are flagged as refresh candidates.
+//
+// -ratios adds the machine-invariant half of the gate: each pair names a
+// structurally slower benchmark and the optimized variant it is compared
+// against (full-vs-delta checkpoint, direct-vs-group WAL commit). The gate
+// checks the RATIO metric(slow)/metric(fast) — which cancels out runner
+// speed — and fails when the current ratio falls below
+// baseline_ratio*(1-ratio-threshold), i.e. when the optimization's relative
+// win shrank, even on hardware where absolute ns/op moved wholesale. Pairs
+// missing from the baseline are reported as new; pairs missing from the
+// current run fail.
 //
 // Exit status: 0 = gate passed, 1 = regression or missing benchmark,
 // 2 = usage/IO error.
@@ -26,6 +37,7 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strings"
 )
 
 // Result mirrors tools/benchjson's output schema.
@@ -61,6 +73,8 @@ func main() {
 	metric := flag.String("metric", "ns/op", "metric to gate on")
 	threshold := flag.Float64("threshold", 0.25, "relative regression tolerance (0.25 = +25%)")
 	match := flag.String("match", "Recovery|WAL|Checkpoint", "regexp selecting gated benchmark names")
+	ratios := flag.String("ratios", "", "comma-separated slow:fast benchmark pairs gated on their metric ratio (machine-invariant)")
+	ratioThreshold := flag.Float64("ratio-threshold", 0.4, "tolerated relative shrink of a slow/fast ratio (0.4 = the win may lose 40%)")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
@@ -131,9 +145,54 @@ func main() {
 		fmt.Printf("%-60s %14s %14.0f %8s  new (no baseline)\n", name, "-", cur[name].Metrics[*metric], "-")
 	}
 
+	if *ratios != "" {
+		fmt.Printf("\n%-60s %14s %14s %8s\n", "ratio (slow/fast)", "baseline", "current", "delta")
+		for _, pair := range strings.Split(*ratios, ",") {
+			slow, fast, ok := strings.Cut(strings.TrimSpace(pair), ":")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchdiff: malformed -ratios pair %q (want slow:fast)\n", pair)
+				os.Exit(2)
+			}
+			label := slow + " / " + fast
+			baseRatio, baseOK := ratioOf(base, slow, fast, *metric)
+			curRatio, curOK := ratioOf(cur, slow, fast, *metric)
+			switch {
+			case !baseOK && curOK:
+				fmt.Printf("%-60s %14s %14.2f %8s  new (no baseline)\n", label, "-", curRatio, "-")
+			case !curOK:
+				fmt.Printf("%-60s %14.2f %14s %8s  MISSING IN CURRENT RUN\n", label, baseRatio, "-", "-")
+				failed = true
+			default:
+				delta := curRatio/baseRatio - 1
+				verdict := "ok"
+				if curRatio < baseRatio*(1-*ratioThreshold) {
+					verdict = fmt.Sprintf("RATIO REGRESSION (win shrank > %.0f%%)", *ratioThreshold*100)
+					failed = true
+				}
+				fmt.Printf("%-60s %14.2f %14.2f %+7.1f%%  %s\n", label, baseRatio, curRatio, delta*100, verdict)
+			}
+		}
+	}
+
 	if failed {
-		fmt.Printf("\nbenchdiff: FAIL — %s regressions beyond +%.0f%% (or missing benches) against %s\n", *metric, *threshold*100, *baselinePath)
+		fmt.Printf("\nbenchdiff: FAIL — %s regressions beyond +%.0f%% (or missing benches / shrunk ratios) against %s\n", *metric, *threshold*100, *baselinePath)
 		os.Exit(1)
 	}
 	fmt.Printf("\nbenchdiff: PASS — no %s regression beyond +%.0f%% against %s\n", *metric, *threshold*100, *baselinePath)
+}
+
+// ratioOf computes metric(slow)/metric(fast) from one artifact; ok is false
+// when either side or its metric is absent or non-positive.
+func ratioOf(results map[string]Result, slow, fast, metric string) (float64, bool) {
+	s, okS := results[slow]
+	f, okF := results[fast]
+	if !okS || !okF {
+		return 0, false
+	}
+	sv, okS := s.Metrics[metric]
+	fv, okF := f.Metrics[metric]
+	if !okS || !okF || sv <= 0 || fv <= 0 {
+		return 0, false
+	}
+	return sv / fv, true
 }
