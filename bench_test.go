@@ -23,6 +23,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/acp"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/lock"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/site"
 	"repro/internal/storage"
 	"repro/internal/wal"
+	"repro/internal/wire"
 	"repro/internal/wlg"
 )
 
@@ -1016,4 +1018,162 @@ func BenchmarkReconfigure(b *testing.B) {
 			b.ReportMetric(float64(st.Reconfigures()), "reconfigs")
 		})
 	}
+}
+
+// termBench wires three acp.Participants into both halves of the protocol
+// over direct calls (no network), with a decision-drop switch that
+// simulates the coordinator crashing right after the pre-commit round —
+// the schedule quorum termination exists for.
+type termBench struct {
+	participants  map[model.SiteID]*acp.Participant
+	sites         []model.SiteID
+	dropDecisions atomic.Bool
+	down          map[model.SiteID]*atomic.Bool
+}
+
+type termApplier struct{}
+
+func (termApplier) Commit(model.TxID, []model.WriteRecord) error { return nil }
+func (termApplier) Abort(model.TxID)                             {}
+
+func newTermBench(n int) *termBench {
+	tb := &termBench{
+		participants: make(map[model.SiteID]*acp.Participant),
+		down:         make(map[model.SiteID]*atomic.Bool),
+	}
+	for i := 0; i < n; i++ {
+		id := model.SiteID(fmt.Sprintf("S%d", i+1))
+		tb.sites = append(tb.sites, id)
+		tb.participants[id] = acp.NewParticipant(id, wal.NewMemory(), termApplier{})
+		tb.down[id] = &atomic.Bool{}
+	}
+	return tb
+}
+
+func (tb *termBench) reachable(site model.SiteID) error {
+	if tb.down[site].Load() {
+		return fmt.Errorf("site %s down", site)
+	}
+	return nil
+}
+
+func (tb *termBench) Prepare(_ context.Context, site model.SiteID, req wire.PrepareReq) (wire.VoteResp, error) {
+	if err := tb.reachable(site); err != nil {
+		return wire.VoteResp{}, err
+	}
+	return tb.participants[site].HandlePrepare(req), nil
+}
+
+func (tb *termBench) PreCommit(_ context.Context, site model.SiteID, tx model.TxID) error {
+	if err := tb.reachable(site); err != nil {
+		return err
+	}
+	return tb.participants[site].HandlePreCommit(tx)
+}
+
+func (tb *termBench) Decide(_ context.Context, site model.SiteID, tx model.TxID, commit bool) error {
+	if tb.dropDecisions.Load() {
+		return fmt.Errorf("decision dropped")
+	}
+	if err := tb.reachable(site); err != nil {
+		return err
+	}
+	return tb.participants[site].HandleDecision(tx, commit)
+}
+
+func (tb *termBench) End(_ context.Context, site model.SiteID, tx model.TxID) error {
+	if err := tb.reachable(site); err != nil {
+		return err
+	}
+	tb.participants[site].Retire(tx)
+	return nil
+}
+
+func (tb *termBench) QueryDecision(_ context.Context, site model.SiteID, tx model.TxID, _ bool) (bool, bool, error) {
+	if err := tb.reachable(site); err != nil {
+		return false, false, err
+	}
+	commit, known := tb.participants[site].Decision(tx)
+	return known, commit, nil
+}
+
+func (tb *termBench) QueryTermination(_ context.Context, site model.SiteID, tx model.TxID, ballot model.Ballot) (wire.TermQueryResp, error) {
+	if err := tb.reachable(site); err != nil {
+		return wire.TermQueryResp{}, err
+	}
+	return tb.participants[site].HandleTermQuery(tx, ballot), nil
+}
+
+func (tb *termBench) SendPreDecide(_ context.Context, site model.SiteID, tx model.TxID, ballot model.Ballot, commit bool) (wire.TermPreDecideResp, error) {
+	if err := tb.reachable(site); err != nil {
+		return wire.TermPreDecideResp{}, err
+	}
+	return tb.participants[site].HandlePreDecide(tx, ballot, commit), nil
+}
+
+func (tb *termBench) SendDecision(_ context.Context, site model.SiteID, tx model.TxID, commit bool) error {
+	if err := tb.reachable(site); err != nil {
+		return err
+	}
+	return tb.participants[site].HandleDecision(tx, commit)
+}
+
+// BenchmarkThreePCTermination measures the quorum-terminated 3PC paths:
+// the fault-free commit round (vote + durable pre-commit quorum + decision)
+// and the one-crash path (coordinator lost after pre-commit; a surviving
+// member runs the election / pre-decision / decision quorums to
+// completion). Recorded in BENCH_baseline.json and gated by benchdiff.
+func BenchmarkThreePCTermination(b *testing.B) {
+	request := func(tb *termBench, seq uint64) acp.Request {
+		return acp.Request{
+			Tx:           model.TxID{Site: tb.sites[0], Seq: seq},
+			TS:           model.Timestamp{Time: seq, Site: tb.sites[0]},
+			Coordinator:  tb.sites[0],
+			Participants: tb.sites,
+			Voters:       tb.sites,
+			WritesFor: func(model.SiteID) []model.WriteRecord {
+				return []model.WriteRecord{{Item: "x", Value: int64(seq), Version: model.Version(seq)}}
+			},
+		}
+	}
+	opts := acp.Options{Vote: time.Second, Ack: time.Second}
+
+	b.Run("fault-free", func(b *testing.B) {
+		tb := newTermBench(3)
+		log := wal.NewMemory()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			commit, err := (acp.ThreePC{}).Commit(context.Background(), tb, log, opts, request(tb, uint64(i+1)), nil)
+			if err != nil || !commit {
+				b.Fatalf("commit = %v, %v", commit, err)
+			}
+		}
+	})
+
+	b.Run("one-crash", func(b *testing.B) {
+		tb := newTermBench(3)
+		log := wal.NewMemory()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := request(tb, uint64(i+1))
+			// The decision broadcast is lost (coordinator crash after the
+			// pre-commit round): every member is left in doubt.
+			tb.dropDecisions.Store(true)
+			commit, err := (acp.ThreePC{}).Commit(context.Background(), tb, log, opts, req, nil)
+			if err != nil || !commit {
+				b.Fatalf("commit = %v, %v", commit, err)
+			}
+			tb.dropDecisions.Store(false)
+			// The coordinator stays down; a surviving member terminates.
+			tb.down[req.Coordinator].Store(true)
+			if !tb.participants[tb.sites[1]].Resolve(context.Background(), tb, req.Tx) {
+				b.Fatal("quorum termination failed")
+			}
+			tb.down[req.Coordinator].Store(false)
+			// Drain the remaining members so per-iteration state is flat.
+			for _, s := range tb.sites {
+				tb.participants[s].Resolve(context.Background(), tb, req.Tx)
+			}
+		}
+	})
 }

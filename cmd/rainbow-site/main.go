@@ -37,6 +37,7 @@ func main() {
 	ckptInterval := flag.Duration("checkpoint-interval", 0, "periodic checkpoint interval (0 disables the timer)")
 	ckptDeltaMax := flag.Int("checkpoint-delta-max", 8, "consecutive delta (dirty-shards-only) snapshots before a full snapshot is forced (0 = defer to the config file's value, negative = every snapshot full)")
 	ckptCOW := flag.Bool("checkpoint-cow", true, "capture snapshots copy-on-write so the decision pipeline stalls O(shards), not O(data); false copies under the gate (ablation; a config file's checkpoint_no_cow also disables it)")
+	ckptDirtyItems := flag.Bool("checkpoint-dirty-items", true, "track dirty items per shard so delta snapshots carry only written items; false captures whole dirty shards (ablation; a config file's checkpoint_no_dirty_items also disables it)")
 	catalogPoll := flag.Duration("catalog-poll", 5*time.Second, "interval for probing the name server's catalog epoch; a moved epoch live-reconfigures the site (0 disables polling; pushed updates still apply)")
 	flag.Parse()
 
@@ -105,7 +106,7 @@ func main() {
 		ID: model.SiteID(*id), Net: net, Log: log, Register: true, Addr: *addr, Shards: *shards,
 		Checkpoint: schema.CheckpointPolicy{
 			Bytes: *ckptBytes, Interval: time.Duration(*ckptInterval),
-			DeltaMax: *ckptDeltaMax, NoCOW: !*ckptCOW,
+			DeltaMax: *ckptDeltaMax, NoCOW: !*ckptCOW, NoDirtyItems: !*ckptDirtyItems,
 		},
 		CatalogPoll: *catalogPoll,
 	}

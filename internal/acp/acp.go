@@ -21,13 +21,18 @@ import (
 	"repro/internal/wire"
 )
 
-// TermState values reported by participants during cooperative termination.
+// TermState values reported by participants during termination.
 const (
 	StateNone         uint8 = iota // no trace of the transaction
 	StatePrepared                  // voted yes, uncertain
-	StatePreCommitted              // 3PC: received pre-commit
+	StatePreCommitted              // 3PC: accepted a commit pre-decision
 	StateCommitted
 	StateAborted
+	// StatePreAborted is 3PC's symmetric pre-decision: the member accepted
+	// an elected initiator's abort pre-decision (quorum termination may
+	// only abort through it, exactly as it may only commit through
+	// pre-commit).
+	StatePreAborted
 )
 
 // StateName renders a TermState for logs.
@@ -43,10 +48,24 @@ func StateName(s uint8) string {
 		return "committed"
 	case StateAborted:
 		return "aborted"
+	case StatePreAborted:
+		return "preaborted"
 	default:
 		return fmt.Sprintf("state(%d)", s)
 	}
 }
+
+// ErrInDoubt is returned by a 3PC coordinator whose outcome could not be
+// resolved within the call: a pre-commit round that missed its quorum (or a
+// termination attempt that could not reach one) leaves the transaction
+// legitimately undecided — deciding unilaterally could contradict a quorum
+// termination on the other side of a partition. The caller must NOT release
+// the cohort's CC state (the transaction may yet commit); the participants'
+// resolver loops drive it to an outcome. The cause is AbortInDoubt, not
+// AbortACP: workload retry loops must not resubmit the work (the original
+// transaction may still commit — a blind retry would double-execute it) and
+// abort statistics must not count an unresolved outcome as a clean abort.
+var ErrInDoubt = &model.AbortError{Cause: model.AbortInDoubt, Reason: "3pc: outcome unresolved (pre-commit quorum unreachable); quorum termination will decide"}
 
 // Cohort is the coordinator's transport face: how it reaches participants.
 // The site implements it over the wire layer (with a loopback fast path for
@@ -54,7 +73,11 @@ func StateName(s uint8) string {
 type Cohort interface {
 	// Prepare delivers phase-1 and returns the participant's vote.
 	Prepare(ctx context.Context, site model.SiteID, req wire.PrepareReq) (wire.VoteResp, error)
-	// PreCommit delivers the 3PC pre-commit and waits for its ack.
+	// PreCommit delivers the 3PC pre-commit and waits for its ack. The ack
+	// means the participant FORCED its pre-committed state: the
+	// coordinator may decide commit only after a majority of the
+	// electorate acked (the commit quorum any later termination must
+	// intersect).
 	PreCommit(ctx context.Context, site model.SiteID, tx model.TxID) error
 	// Decide delivers the final decision and waits for its ack.
 	Decide(ctx context.Context, site model.SiteID, tx model.TxID, commit bool) error
@@ -100,6 +123,17 @@ type Request struct {
 	// every prepare for the participants' epoch fence (see
 	// wire.PrepareReq.Epoch).
 	Epoch uint64
+	// Voters is the 3PC termination electorate (see wire.PrepareReq.
+	// Voters): participants holding writes, or all participants when the
+	// read-only optimization is off. Leaving it empty DISABLES quorum
+	// termination for the transaction (in-doubt members then resolve only
+	// through known-decision queries, like legacy pre-electorate records)
+	// — 3PC callers must populate it.
+	Voters []model.SiteID
+	// IncarnationFor returns the incarnation number site reported when this
+	// transaction operated there (0 = unknown), for the participants'
+	// incarnation fence (see wire.PrepareReq.Incarnation). Nil skips it.
+	IncarnationFor func(model.SiteID) uint64
 }
 
 // Protocol is an atomic commit protocol, run by the coordinator.

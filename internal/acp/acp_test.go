@@ -22,18 +22,22 @@ type fakeCohort struct {
 	// dropDecision suppresses decision delivery to a site (simulates the
 	// coordinator crashing after deciding).
 	dropDecision map[model.SiteID]bool
-	prepares     int
-	decisions    int
-	precommits   int
-	ends         int
+	// dropPreCommit suppresses just the pre-commit round at a site (the
+	// site stays up for votes and decisions).
+	dropPreCommit map[model.SiteID]bool
+	prepares      int
+	decisions     int
+	precommits    int
+	ends          int
 }
 
 func newFakeCohort() *fakeCohort {
 	return &fakeCohort{
-		participants: make(map[model.SiteID]*Participant),
-		down:         make(map[model.SiteID]bool),
-		voteNo:       make(map[model.SiteID]bool),
-		dropDecision: make(map[model.SiteID]bool),
+		participants:  make(map[model.SiteID]*Participant),
+		down:          make(map[model.SiteID]bool),
+		voteNo:        make(map[model.SiteID]bool),
+		dropDecision:  make(map[model.SiteID]bool),
+		dropPreCommit: make(map[model.SiteID]bool),
 	}
 }
 
@@ -64,15 +68,14 @@ func (f *fakeCohort) Prepare(ctx context.Context, site model.SiteID, req wire.Pr
 func (f *fakeCohort) PreCommit(ctx context.Context, site model.SiteID, tx model.TxID) error {
 	f.mu.Lock()
 	f.precommits++
-	down := f.down[site]
+	down := f.down[site] || f.dropPreCommit[site]
 	p := f.participants[site]
 	f.mu.Unlock()
 	if down {
 		<-ctx.Done()
 		return ctx.Err()
 	}
-	p.HandlePreCommit(tx)
-	return nil
+	return p.HandlePreCommit(tx)
 }
 
 func (f *fakeCohort) Decide(ctx context.Context, site model.SiteID, tx model.TxID, commit bool) error {
@@ -171,7 +174,8 @@ func TestNewByName(t *testing.T) {
 func TestStateName(t *testing.T) {
 	for s, want := range map[uint8]string{
 		StateNone: "none", StatePrepared: "prepared", StatePreCommitted: "precommitted",
-		StateCommitted: "committed", StateAborted: "aborted", 99: "state(99)",
+		StateCommitted: "committed", StateAborted: "aborted",
+		StatePreAborted: "preaborted", 99: "state(99)",
 	} {
 		if got := StateName(s); got != want {
 			t.Errorf("StateName(%d) = %q", s, got)
@@ -431,28 +435,55 @@ func TestParticipantInDoubtAging(t *testing.T) {
 	}
 }
 
-// fakeResolver answers decision/state queries from maps.
+// fakeResolver routes termination traffic between real Participants (when
+// registered via addPeer) or answers from static maps, with per-site
+// unreachability switches — the harness behind the quorum-termination unit
+// matrix.
 type fakeResolver struct {
 	mu        sync.Mutex
+	peers     map[model.SiteID]*Participant
 	decisions map[model.SiteID]map[model.TxID]bool // site → tx → commit
-	states    map[model.SiteID]uint8
+	states    map[model.SiteID]uint8               // static fallback (no peer)
 	down      map[model.SiteID]bool
 }
 
 func newResolver() *fakeResolver {
 	return &fakeResolver{
+		peers:     make(map[model.SiteID]*Participant),
 		decisions: make(map[model.SiteID]map[model.TxID]bool),
 		states:    make(map[model.SiteID]uint8),
 		down:      make(map[model.SiteID]bool),
 	}
 }
 
-func (r *fakeResolver) QueryDecision(_ context.Context, site model.SiteID, tx model.TxID) (bool, bool, error) {
+// addPeer registers a real participant to serve site's termination traffic.
+func (r *fakeResolver) addPeer(site model.SiteID, p *Participant) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.peers[site] = p
+}
+
+func (r *fakeResolver) peer(site model.SiteID) (*Participant, bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.down[site] {
-		return false, false, errors.New("unreachable")
+		return nil, false, errors.New("unreachable")
 	}
+	p, ok := r.peers[site]
+	return p, ok, nil
+}
+
+func (r *fakeResolver) QueryDecision(_ context.Context, site model.SiteID, tx model.TxID, threePhase bool) (bool, bool, error) {
+	p, ok, err := r.peer(site)
+	if err != nil {
+		return false, false, err
+	}
+	if ok {
+		commit, known := p.Decision(tx)
+		return known, commit, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if m, ok := r.decisions[site]; ok {
 		if commit, ok := m[tx]; ok {
 			return true, commit, nil
@@ -461,13 +492,64 @@ func (r *fakeResolver) QueryDecision(_ context.Context, site model.SiteID, tx mo
 	return false, false, nil
 }
 
-func (r *fakeResolver) QueryTermState(_ context.Context, site model.SiteID, tx model.TxID) (uint8, error) {
+func (r *fakeResolver) QueryTermination(_ context.Context, site model.SiteID, tx model.TxID, ballot model.Ballot) (wire.TermQueryResp, error) {
+	p, ok, err := r.peer(site)
+	if err != nil {
+		return wire.TermQueryResp{}, err
+	}
+	if ok {
+		return p.HandleTermQuery(tx, ballot), nil
+	}
+	// Static fallback: emulate a stateless member from the states map.
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.down[site] {
-		return 0, errors.New("unreachable")
+	switch st := r.states[site]; st {
+	case StateCommitted:
+		return wire.TermQueryResp{Decided: true, Commit: true}, nil
+	case StateAborted:
+		return wire.TermQueryResp{Decided: true, Commit: false}, nil
+	default:
+		return wire.TermQueryResp{Accepted: true, State: st}, nil
 	}
-	return r.states[site], nil
+}
+
+func (r *fakeResolver) SendPreDecide(_ context.Context, site model.SiteID, tx model.TxID, ballot model.Ballot, commit bool) (wire.TermPreDecideResp, error) {
+	p, ok, err := r.peer(site)
+	if err != nil {
+		return wire.TermPreDecideResp{}, err
+	}
+	if ok {
+		return p.HandlePreDecide(tx, ballot, commit), nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch st := r.states[site]; st {
+	case StateNone:
+		return wire.TermPreDecideResp{Accepted: false}, nil
+	case StateCommitted:
+		return wire.TermPreDecideResp{Decided: true, Commit: true}, nil
+	case StateAborted:
+		return wire.TermPreDecideResp{Decided: true, Commit: false}, nil
+	default:
+		return wire.TermPreDecideResp{Accepted: true}, nil
+	}
+}
+
+func (r *fakeResolver) SendDecision(_ context.Context, site model.SiteID, tx model.TxID, commit bool) error {
+	p, ok, err := r.peer(site)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return p.HandleDecision(tx, commit)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.decisions[site] == nil {
+		r.decisions[site] = make(map[model.TxID]bool)
+	}
+	r.decisions[site][tx] = commit
+	return nil
 }
 
 func TestResolveViaCoordinator(t *testing.T) {
@@ -518,17 +600,35 @@ func TestResolve2PCViaPeer(t *testing.T) {
 	}
 }
 
-func TestResolve3PCAllPreparedAborts(t *testing.T) {
+// prepare3PC builds a participant holding tx in-doubt under the 3PC state
+// machine and registers it with the resolver as self.
+func prepare3PC(t *testing.T, r *fakeResolver, self model.SiteID, tx model.TxID) (*Participant, *fakeApplier) {
+	t.Helper()
 	a := newApplier()
-	p := NewParticipant("S2", wal.NewMemory(), a)
-	tx := model.TxID{Site: "S1", Seq: 1}
-	p.HandlePrepare(wire.PrepareReq{
+	p := NewParticipant(self, wal.NewMemory(), a)
+	v := p.HandlePrepare(wire.PrepareReq{
 		Tx: tx, Coordinator: "S1",
-		Participants: []model.SiteID{"S1", "S2", "S3"}, ThreePhase: true,
-		Writes: []model.WriteRecord{{Item: "x", Value: 1, Version: 1}},
+		Participants: []model.SiteID{"S1", "S2", "S3"},
+		Voters:       []model.SiteID{"S1", "S2", "S3"},
+		ThreePhase:   true,
+		Writes:       []model.WriteRecord{{Item: "x", Value: 1, Version: 1}},
 	})
+	if !v.Yes {
+		t.Fatalf("prepare vote = %+v", v)
+	}
+	r.addPeer(self, p)
+	return p, a
+}
 
+// --- 3PC quorum-termination matrix ---
+
+// Coordinator crashed before any pre-commit: every reachable member is
+// merely prepared, the election quorum (2 of 3) holds, and the
+// pre-decision must be abort.
+func TestResolve3PCAllPreparedAborts(t *testing.T) {
 	r := newResolver()
+	tx := model.TxID{Site: "S1", Seq: 1}
+	p, a := prepare3PC(t, r, "S2", tx)
 	r.down["S1"] = true
 	r.states["S3"] = StatePrepared
 	if !p.Resolve(context.Background(), r, tx) {
@@ -539,18 +639,16 @@ func TestResolve3PCAllPreparedAborts(t *testing.T) {
 	}
 }
 
+// Coordinator crashed after delivering at least one pre-commit: the
+// pre-committed member carries the highest accepted ballot, so termination
+// must commit (the coordinator may have decided commit).
 func TestResolve3PCPreCommittedCommits(t *testing.T) {
-	a := newApplier()
-	p := NewParticipant("S2", wal.NewMemory(), a)
-	tx := model.TxID{Site: "S1", Seq: 1}
-	p.HandlePrepare(wire.PrepareReq{
-		Tx: tx, Coordinator: "S1",
-		Participants: []model.SiteID{"S1", "S2", "S3"}, ThreePhase: true,
-		Writes: []model.WriteRecord{{Item: "x", Value: 1, Version: 1}},
-	})
-	p.HandlePreCommit(tx)
-
 	r := newResolver()
+	tx := model.TxID{Site: "S1", Seq: 1}
+	p, a := prepare3PC(t, r, "S2", tx)
+	if err := p.HandlePreCommit(tx); err != nil {
+		t.Fatal(err)
+	}
 	r.down["S1"] = true
 	r.states["S3"] = StatePrepared
 	if !p.Resolve(context.Background(), r, tx) {
@@ -562,20 +660,255 @@ func TestResolve3PCPreCommittedCommits(t *testing.T) {
 }
 
 func TestResolve3PCPeerCommittedWins(t *testing.T) {
-	a := newApplier()
-	p := NewParticipant("S2", wal.NewMemory(), a)
-	tx := model.TxID{Site: "S1", Seq: 1}
-	p.HandlePrepare(wire.PrepareReq{
-		Tx: tx, Coordinator: "S1",
-		Participants: []model.SiteID{"S1", "S2", "S3"}, ThreePhase: true,
-		Writes: []model.WriteRecord{{Item: "x", Value: 1, Version: 1}},
-	})
 	r := newResolver()
+	tx := model.TxID{Site: "S1", Seq: 1}
+	p, a := prepare3PC(t, r, "S2", tx)
 	r.down["S1"] = true
 	r.states["S3"] = StateCommitted
 	p.Resolve(context.Background(), r, tx)
 	if !a.wasCommitted(tx) {
 		t.Error("peer's committed state must propagate")
+	}
+}
+
+// A partition that splits the electorate below a majority must BLOCK —
+// deciding on a minority view is exactly the bug quorum termination
+// exists to prevent.
+func TestResolve3PCPartitionBelowQuorumBlocks(t *testing.T) {
+	r := newResolver()
+	tx := model.TxID{Site: "S1", Seq: 1}
+	p, a := prepare3PC(t, r, "S2", tx)
+	if err := p.HandlePreCommit(tx); err != nil {
+		t.Fatal(err)
+	}
+	r.down["S1"] = true
+	r.down["S3"] = true // only self reachable: 1 < quorum(3) = 2
+	if p.Resolve(context.Background(), r, tx) {
+		t.Fatal("terminated without an election quorum — safety violation")
+	}
+	if a.wasCommitted(tx) || a.wasAborted(tx) {
+		t.Error("no outcome may be applied without a quorum")
+	}
+	if p.InDoubtCount() != 1 {
+		t.Error("blocked transaction lost")
+	}
+}
+
+// Two real members, one merely prepared and one pre-committed: the
+// initiator that only holds prepared state must still terminate to COMMIT
+// once the quorum surfaces the peer's pre-commit, and both members must
+// agree.
+func TestResolve3PCQuorumAdoptsPeerPreCommit(t *testing.T) {
+	r := newResolver()
+	tx := model.TxID{Site: "S1", Seq: 1}
+	p2, a2 := prepare3PC(t, r, "S2", tx)
+	p3, a3 := prepare3PC(t, r, "S3", tx)
+	if err := p3.HandlePreCommit(tx); err != nil {
+		t.Fatal(err)
+	}
+	r.down["S1"] = true
+	if !p2.Resolve(context.Background(), r, tx) {
+		t.Fatal("3PC termination did not resolve")
+	}
+	if !a2.wasCommitted(tx) || !a3.wasCommitted(tx) {
+		t.Errorf("members disagree: S2 committed=%v S3 committed=%v",
+			a2.wasCommitted(tx), a3.wasCommitted(tx))
+	}
+}
+
+// A member that crashed with a LOGGED pre-commit rejoins termination with
+// that state (Restore + RestoreTermState), not as freshly prepared: its
+// recovered pre-commit must carry the election to commit.
+func TestResolve3PCRecoveredMemberRejoinsWithLoggedState(t *testing.T) {
+	r := newResolver()
+	tx := model.TxID{Site: "S1", Seq: 1}
+	a := newApplier()
+	p := NewParticipant("S2", wal.NewMemory(), a)
+	p.Restore(wire.PrepareReq{
+		Tx: tx, Coordinator: "S1",
+		Participants: []model.SiteID{"S1", "S2", "S3"},
+		Voters:       []model.SiteID{"S1", "S2", "S3"},
+		Writes:       []model.WriteRecord{{Item: "x", Value: 1, Version: 1}},
+	}, true)
+	b := model.Ballot{N: 0, Site: "S1"}
+	p.RestoreTermState(tx, StatePreCommitted, b, b)
+	r.addPeer("S2", p)
+	r.down["S1"] = true
+	r.states["S3"] = StatePrepared
+	if !p.Resolve(context.Background(), r, tx) {
+		t.Fatal("3PC termination did not resolve")
+	}
+	if !a.wasCommitted(tx) {
+		t.Error("recovered pre-commit must drive commit, not presumed abort")
+	}
+}
+
+// A stale pre-decision (lower ballot than the member's promise) must be
+// rejected: the promised-ballot fence is what stops a re-forming partition
+// from resurrecting a dead attempt against a newer one.
+func TestPreDecideBelowPromiseRejected(t *testing.T) {
+	r := newResolver()
+	tx := model.TxID{Site: "S1", Seq: 1}
+	p, _ := prepare3PC(t, r, "S2", tx)
+	q := p.HandleTermQuery(tx, model.Ballot{N: 5, Site: "S3"})
+	if !q.Accepted {
+		t.Fatalf("election query rejected: %+v", q)
+	}
+	resp := p.HandlePreDecide(tx, model.Ballot{N: 2, Site: "S4"}, true)
+	if resp.Accepted {
+		t.Fatal("pre-decision below the promised ballot accepted")
+	}
+	if resp := p.HandlePreDecide(tx, model.Ballot{N: 5, Site: "S3"}, false); !resp.Accepted {
+		t.Fatalf("pre-decision at the promised ballot rejected: %+v", resp)
+	}
+	if p.HandleTermState(tx) != StatePreAborted {
+		t.Errorf("state = %s, want preaborted", StateName(p.HandleTermState(tx)))
+	}
+}
+
+// A member with no trace of the transaction never voted yes — 3PC commit
+// is impossible without it — so a termination query makes it decide abort
+// unilaterally and DURABLY: the logged abort fences any late prepare, so
+// the member can never retroactively supply the missing yes vote.
+func TestTermQueryNoTraceMemberAbortsDurably(t *testing.T) {
+	log := wal.NewMemory()
+	p := NewParticipant("S2", log, newApplier())
+	tx := model.TxID{Site: "S1", Seq: 9}
+	q := p.HandleTermQuery(tx, model.Ballot{N: 1, Site: "S3"})
+	if !q.Decided || q.Commit {
+		t.Fatalf("no-trace election reply = %+v, want decided abort", q)
+	}
+	recs, _ := log.ReadAll()
+	var logged bool
+	for _, r := range recs {
+		if r.Type == wal.RecDecision && r.Tx == tx && !r.Commit {
+			logged = true
+		}
+	}
+	if !logged {
+		t.Fatal("unilateral abort not forced to the log")
+	}
+	// The fence: a late prepare for the same transaction must vote no.
+	if v := p.HandlePrepare(wire.PrepareReq{
+		Tx: tx, Coordinator: "S1", ThreePhase: true,
+		Writes: []model.WriteRecord{{Item: "x", Value: 1, Version: 1}},
+	}); v.Yes {
+		t.Fatal("late prepare voted yes after a unilateral termination abort")
+	}
+	// And a pre-commit can never be acknowledged.
+	if err := p.HandlePreCommit(tx); err == nil {
+		t.Fatal("pre-commit acked after a unilateral termination abort")
+	}
+}
+
+// A member that promised a termination-election ballot must NOT ack the
+// coordinator's (lower-ballot) pre-commit round: the election read this
+// member as merely prepared and may pre-decide abort — an ack here would
+// let the coordinator's commit quorum overlap that abort, splitting the
+// decision.
+func TestPreCommitFencedByElectionPromise(t *testing.T) {
+	r := newResolver()
+	tx := model.TxID{Site: "S1", Seq: 1}
+	p, _ := prepare3PC(t, r, "S2", tx)
+	if q := p.HandleTermQuery(tx, model.Ballot{N: 1, Site: "S3"}); !q.Accepted {
+		t.Fatalf("election query rejected: %+v", q)
+	}
+	if err := p.HandlePreCommit(tx); err == nil {
+		t.Fatal("pre-commit acked after promising a higher election ballot")
+	}
+	if p.HandleTermState(tx) != StatePrepared {
+		t.Errorf("state = %s, want prepared (the promised attempt owns it)", StateName(p.HandleTermState(tx)))
+	}
+	// The promised attempt's own pre-decision still lands.
+	if resp := p.HandlePreDecide(tx, model.Ballot{N: 1, Site: "S3"}, false); !resp.Accepted {
+		t.Fatalf("promised attempt's pre-decision rejected: %+v", resp)
+	}
+}
+
+// The durable pre-commit rule: HandlePreCommit must force a RecPreDecide
+// (ballot {0, coordinator}) before the ack.
+func TestPreCommitIsDurable(t *testing.T) {
+	log := wal.NewMemory()
+	p := NewParticipant("S2", log, newApplier())
+	tx := model.TxID{Site: "S1", Seq: 1}
+	p.HandlePrepare(wire.PrepareReq{
+		Tx: tx, Coordinator: "S1", ThreePhase: true,
+		Participants: []model.SiteID{"S1", "S2"},
+		Writes:       []model.WriteRecord{{Item: "x", Value: 1, Version: 1}},
+	})
+	if err := p.HandlePreCommit(tx); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := log.ReadAll()
+	var found bool
+	for _, r := range recs {
+		if r.Type == wal.RecPreDecide && r.Tx == tx && r.Commit && r.Ballot == (model.Ballot{N: 0, Site: "S1"}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pre-commit not forced as RecPreDecide: log = %+v", recs)
+	}
+}
+
+// ThreePC with the pre-commit quorum unreachable: the coordinator must
+// return ErrInDoubt WITHOUT logging any decision — and quorum termination
+// must later drive every member to the same outcome.
+func TestThreePCNoPreCommitQuorumLeavesInDoubt(t *testing.T) {
+	f := newFakeCohort()
+	appliers := map[model.SiteID]*fakeApplier{}
+	for _, s := range []model.SiteID{"S1", "S2", "S3"} {
+		appliers[s] = newApplier()
+		f.add(s, appliers[s])
+	}
+	f.dropPreCommit["S2"] = true
+	f.dropPreCommit["S3"] = true
+	req := request("S1", "S2", "S3")
+	req.Voters = []model.SiteID{"S1", "S2", "S3"}
+	log := wal.NewMemory()
+	commit, err := (ThreePC{}).Commit(context.Background(), f, log, testOpts, req, nil)
+	if commit {
+		t.Fatal("committed without a pre-commit quorum")
+	}
+	if !errors.Is(err, ErrInDoubt) {
+		t.Fatalf("err = %v, want ErrInDoubt", err)
+	}
+	recs, _ := log.ReadAll()
+	for _, r := range recs {
+		if r.Type == wal.RecDecision {
+			t.Fatal("a decision was logged although the outcome is unresolved")
+		}
+	}
+	for _, s := range []model.SiteID{"S1", "S2", "S3"} {
+		if appliers[s].wasCommitted(req.Tx) || appliers[s].wasAborted(req.Tx) {
+			t.Fatalf("%s applied an outcome while in doubt", s)
+		}
+	}
+
+	// Termination: wire the three real participants into a resolver and
+	// let the pre-committed member (S1 acked the pre-commit) initiate.
+	r := newResolver()
+	for _, s := range []model.SiteID{"S1", "S2", "S3"} {
+		r.addPeer(s, f.participants[s])
+	}
+	if !f.participants["S1"].Resolve(context.Background(), r, req.Tx) {
+		t.Fatal("quorum termination did not resolve")
+	}
+	var committed, aborted int
+	for _, s := range []model.SiteID{"S1", "S2", "S3"} {
+		// Drain the decision to the two members that were not the
+		// initiator (adoptDecision already broadcast; Resolve on them is a
+		// cheap no-op or decision adoption).
+		f.participants[s].Resolve(context.Background(), r, req.Tx)
+		if appliers[s].wasCommitted(req.Tx) {
+			committed++
+		}
+		if appliers[s].wasAborted(req.Tx) {
+			aborted++
+		}
+	}
+	if committed != 3 || aborted != 0 {
+		t.Errorf("termination split the cohort: %d committed, %d aborted (pre-commit at S1 must force commit)", committed, aborted)
 	}
 }
 

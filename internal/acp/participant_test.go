@@ -28,8 +28,13 @@ func TestForceEndRetiresDecision(t *testing.T) {
 	if err := p.ForceEnd(wal.Record{Type: wal.RecEnd, Tx: acked}); err != nil {
 		t.Fatal(err)
 	}
-	if _, known := p.Decision(acked); known {
-		t.Error("fully acknowledged decision not retired")
+	// The TABLE entry retires (snapshots stop mirroring it) — but stale
+	// queries still get the right answer from the bounded ended window.
+	if _, tabled := p.DecisionTable()[acked]; tabled {
+		t.Error("fully acknowledged decision not retired from the table")
+	}
+	if commit, known := p.Decision(acked); !known || !commit {
+		t.Error("retired outcome must stay answerable within the ended window")
 	}
 	if commit, known := p.Decision(unacked); !known || !commit {
 		t.Error("unacknowledged decision must survive retirement of others")
@@ -56,7 +61,7 @@ func TestRestoreDecisionsReplaysRetirement(t *testing.T) {
 		{Type: wal.RecDecision, Tx: open, Commit: false},
 		{Type: wal.RecEnd, Tx: ended},
 	})
-	if _, known := p.Decision(ended); known {
+	if _, tabled := p.DecisionTable()[ended]; tabled {
 		t.Error("replayed end record did not retire the decision")
 	}
 	if commit, known := p.Decision(open); !known || commit {

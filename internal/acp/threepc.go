@@ -9,11 +9,17 @@ import (
 	"repro/internal/wal"
 )
 
-// ThreePC is three-phase commit: 2PC with a pre-commit round inserted
-// between voting and the decision. Because no participant can commit while
-// any cohort member is still merely prepared, a cohort that loses its
-// coordinator can terminate deterministically (Participant.Terminate) —
-// removing 2PC's blocking window in the absence of network partitions.
+// ThreePC is three-phase commit with quorum-based (E3PC-style) termination:
+// 2PC with a pre-commit round inserted between voting and the decision.
+// The pre-commit round is durable at participants, and the coordinator may
+// decide commit only once a MAJORITY of the electorate has forced its
+// pre-commit — that majority is the commit quorum every later termination
+// election must intersect, which is what keeps a crashed-and-recovered
+// member (or a re-forming partition) from terminating against the
+// coordinator's decision. A cohort that loses its coordinator — or a
+// coordinator that cannot assemble the pre-commit quorum — terminates
+// through the participants' quorum termination protocol
+// (Participant.Resolve), never unilaterally.
 type ThreePC struct{}
 
 // Name implements Protocol.
@@ -27,51 +33,78 @@ func (ThreePC) Commit(ctx context.Context, c Cohort, log wal.Log, opts Options, 
 	opts = opts.withDefaults()
 	commit, cohort, voteErr := collectVotes(ctx, c, opts, req, true)
 
-	if commit {
-		// Phase 2: pre-commit broadcast. Participants that ack have moved
-		// to the pre-committed state; ones that don't will learn the
-		// outcome from the cohort during termination.
-		broadcastPreCommit(ctx, c, opts, req, cohort)
+	if !commit {
+		// No pre-commit was ever sent, so no quorum termination can reach
+		// a commit pre-decision (commit needs a pre-committed member at
+		// the highest ballot, and none exists at any): the abort is safe
+		// to decide unilaterally, exactly like 2PC's vote-phase abort.
+		if err := log.Append(wal.Record{Type: wal.RecDecision, Tx: req.Tx, Commit: false}); err != nil {
+			return false, fmt.Errorf("acp: 3pc decision log: %w", err)
+		}
+		if onDecision != nil {
+			onDecision(false)
+		}
+		if broadcastDecision(ctx, c, opts, req, cohort, false) {
+			log.Append(wal.Record{Type: wal.RecEnd, Tx: req.Tx}) //nolint:errcheck
+			broadcastEnd(ctx, c, opts, req, cohort)
+		}
+		if voteErr != nil {
+			return false, voteErr
+		}
+		return false, model.Abortf(model.AbortACP, "3pc: aborted")
 	}
 
-	if err := log.Append(wal.Record{Type: wal.RecDecision, Tx: req.Tx, Commit: commit}); err != nil {
+	// Phase 2: pre-commit broadcast. An ack means the participant FORCED
+	// its pre-committed state. The electorate equals the phase-2 cohort on
+	// the all-yes path (read-only voters were excluded from both), so the
+	// quorum is counted over the cohort.
+	acked := broadcastPreCommit(ctx, c, opts, req, cohort)
+	if quorum := len(cohort)/2 + 1; len(cohort) > 0 && acked < quorum {
+		// The commit quorum did not form — and an abort cannot be decided
+		// either: the members that DID force pre-commits could carry a
+		// later termination election to commit. The outcome belongs to
+		// quorum termination now; the caller must leave the cohort's
+		// prepared state alone.
+		return false, ErrInDoubt
+	}
+
+	if err := log.Append(wal.Record{Type: wal.RecDecision, Tx: req.Tx, Commit: true}); err != nil {
 		return false, fmt.Errorf("acp: 3pc decision log: %w", err)
 	}
 	if onDecision != nil {
-		onDecision(commit)
+		onDecision(true)
 	}
-
-	if broadcastDecision(ctx, c, opts, req, cohort, commit) {
+	if broadcastDecision(ctx, c, opts, req, cohort, true) {
 		log.Append(wal.Record{Type: wal.RecEnd, Tx: req.Tx}) //nolint:errcheck
 		broadcastEnd(ctx, c, opts, req, cohort)
 	}
-
-	if commit {
-		return true, nil
-	}
-	if voteErr != nil {
-		return false, voteErr
-	}
-	return false, model.Abortf(model.AbortACP, "3pc: aborted")
+	return true, nil
 }
 
-func broadcastPreCommit(ctx context.Context, c Cohort, opts Options, req Request, cohort []model.SiteID) {
-	acked := make(chan struct{}, len(cohort))
+// broadcastPreCommit fans the pre-commit out to the cohort and reports how
+// many members acknowledged (= durably pre-committed) within the ack
+// timeout.
+func broadcastPreCommit(ctx context.Context, c Cohort, opts Options, req Request, cohort []model.SiteID) int {
+	acked := make(chan bool, len(cohort))
 	for _, site := range cohort {
 		go func(site model.SiteID) {
 			pctx, cancel := context.WithTimeout(ctx, opts.Ack)
 			defer cancel()
-			c.PreCommit(pctx, site, req.Tx) //nolint:errcheck
-			acked <- struct{}{}
+			acked <- c.PreCommit(pctx, site, req.Tx) == nil
 		}(site)
 	}
 	// Wait for the round to drain (bounded by opts.Ack per participant).
 	deadline := time.After(opts.Ack + 100*time.Millisecond)
+	n := 0
 	for range cohort {
 		select {
-		case <-acked:
+		case ok := <-acked:
+			if ok {
+				n++
+			}
 		case <-deadline:
-			return
+			return n
 		}
 	}
+	return n
 }

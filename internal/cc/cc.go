@@ -59,6 +59,14 @@ type Manager interface {
 	// onto the same install version — the site votes no instead.
 	HoldsIntents(tx model.TxID, items []model.ItemID) bool
 
+	// Holders lists transactions that have held CC state here (locks,
+	// buffered intents) for longer than age without being committed or
+	// aborted. The site's CC janitor feeds it: state stranded by a home
+	// site's real process death (the in-process release retries die with
+	// the process) is found by its own age, and the holder's home is
+	// presumed-abort-queried to free it.
+	Holders(age time.Duration) []model.TxID
+
 	// Stats reports CC event counters for the progress monitor.
 	Stats() Stats
 }

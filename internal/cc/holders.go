@@ -1,0 +1,78 @@
+package cc
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// holderShards stripes the holder tracker by transaction-id hash so the
+// first-touch bookkeeping never becomes a global mutex on the CC hot path.
+const holderShards = 16
+
+// holderTracker records when each transaction first acquired CC state at
+// this site, shared by all three managers behind Manager.Holders (striped for 2PL's
+// lock-free hot path; TSO/MVTSO call it under their own mutex). touch is
+// one striped map insert per (tx, first op); drop runs on commit/abort.
+type holderTracker struct {
+	shards [holderShards]struct {
+		mu    sync.Mutex
+		first map[model.TxID]time.Time
+	}
+}
+
+func newHolderTracker() *holderTracker {
+	t := &holderTracker{}
+	for i := range t.shards {
+		t.shards[i].first = make(map[model.TxID]time.Time)
+	}
+	return t
+}
+
+func (t *holderTracker) shardOf(tx model.TxID) *struct {
+	mu    sync.Mutex
+	first map[model.TxID]time.Time
+} {
+	h := uint32(tx.Seq)
+	for i := 0; i < len(tx.Site); i++ {
+		h = h*31 + uint32(tx.Site[i])
+	}
+	return &t.shards[h%holderShards]
+}
+
+// touch records tx's first CC acquisition (later touches keep the original
+// timestamp).
+func (t *holderTracker) touch(tx model.TxID) {
+	sh := t.shardOf(tx)
+	sh.mu.Lock()
+	if _, ok := sh.first[tx]; !ok {
+		sh.first[tx] = time.Now()
+	}
+	sh.mu.Unlock()
+}
+
+// drop forgets tx (commit or abort released its CC state).
+func (t *holderTracker) drop(tx model.TxID) {
+	sh := t.shardOf(tx)
+	sh.mu.Lock()
+	delete(sh.first, tx)
+	sh.mu.Unlock()
+}
+
+// holders lists transactions first touched longer than age ago.
+func (t *holderTracker) holders(age time.Duration) []model.TxID {
+	cutoff := time.Now().Add(-age)
+	var out []model.TxID
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for tx, at := range sh.first {
+			if at.Before(cutoff) {
+				out = append(out, tx)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/storage"
@@ -40,7 +41,10 @@ type MVTSO struct {
 	mu    sync.Mutex
 	items map[model.ItemID]*mvItem
 	byTx  map[model.TxID]map[model.ItemID]bool
-	stats Stats
+	// holders records when each transaction first buffered an intent,
+	// feeding Holders (the CC janitor's age scan).
+	holders *holderTracker
+	stats   Stats
 }
 
 type mvVersion struct {
@@ -59,10 +63,11 @@ type mvItem struct {
 // NewMVTSO builds the MVTSO manager over the site's store.
 func NewMVTSO(store *storage.Store, opts Options) *MVTSO {
 	return &MVTSO{
-		store: store,
-		opts:  opts,
-		items: make(map[model.ItemID]*mvItem),
-		byTx:  make(map[model.TxID]map[model.ItemID]bool),
+		store:   store,
+		opts:    opts,
+		items:   make(map[model.ItemID]*mvItem),
+		byTx:    make(map[model.TxID]map[model.ItemID]bool),
+		holders: newHolderTracker(),
 	}
 }
 
@@ -214,6 +219,7 @@ func (m *MVTSO) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp,
 		m.byTx[tx] = make(map[model.ItemID]bool)
 	}
 	m.byTx[tx][item] = true
+	m.holders.touch(tx)
 	m.stats.PreWrites++
 	// Report the copy's LATEST committed store version, not the ts-visible
 	// one: the quorum coordinator derives the install version from the
@@ -258,6 +264,7 @@ func (m *MVTSO) Commit(tx model.TxID, writes []model.WriteRecord) error {
 		it.changed = make(chan struct{})
 	}
 	delete(m.byTx, tx)
+	m.holders.drop(tx)
 	return storeErr
 }
 
@@ -277,6 +284,12 @@ func (m *MVTSO) Abort(tx model.TxID) {
 		}
 	}
 	delete(m.byTx, tx)
+	m.holders.drop(tx)
+}
+
+// Holders implements Manager.
+func (m *MVTSO) Holders(age time.Duration) []model.TxID {
+	return m.holders.holders(age)
 }
 
 // HoldsIntents implements Manager.
@@ -307,6 +320,7 @@ func (m *MVTSO) Reinstate(tx model.TxID, ts model.Timestamp, writes []model.Writ
 		}
 		m.byTx[tx][w.Item] = true
 	}
+	m.holders.touch(tx)
 	return nil
 }
 

@@ -3,6 +3,7 @@ package cc
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/storage"
@@ -28,7 +29,10 @@ type TSO struct {
 	mu    sync.Mutex
 	items map[model.ItemID]*tsoItem
 	byTx  map[model.TxID]map[model.ItemID]bool
-	stats Stats
+	// holders records when each transaction first buffered an intent,
+	// feeding Holders (the CC janitor's age scan).
+	holders *holderTracker
+	stats   Stats
 }
 
 type tsoItem struct {
@@ -45,10 +49,11 @@ type tsoIntent struct {
 // NewTSO builds the TSO manager over the site's store.
 func NewTSO(store *storage.Store, opts Options) *TSO {
 	return &TSO{
-		store: store,
-		opts:  opts,
-		items: make(map[model.ItemID]*tsoItem),
-		byTx:  make(map[model.TxID]map[model.ItemID]bool),
+		store:   store,
+		opts:    opts,
+		items:   make(map[model.ItemID]*tsoItem),
+		byTx:    make(map[model.TxID]map[model.ItemID]bool),
+		holders: newHolderTracker(),
 	}
 }
 
@@ -169,6 +174,7 @@ func (m *TSO) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp, i
 		m.byTx[tx] = make(map[model.ItemID]bool)
 	}
 	m.byTx[tx][item] = true
+	m.holders.touch(tx)
 	c, ok := m.store.Get(item)
 	if !ok {
 		delete(it.intents, tx)
@@ -197,6 +203,7 @@ func (m *TSO) Commit(tx model.TxID, writes []model.WriteRecord) error {
 		}
 	}
 	delete(m.byTx, tx)
+	m.holders.drop(tx)
 	return err
 }
 
@@ -213,6 +220,12 @@ func (m *TSO) Abort(tx model.TxID) {
 		}
 	}
 	delete(m.byTx, tx)
+	m.holders.drop(tx)
+}
+
+// Holders implements Manager.
+func (m *TSO) Holders(age time.Duration) []model.TxID {
+	return m.holders.holders(age)
 }
 
 // HoldsIntents implements Manager.
@@ -241,6 +254,7 @@ func (m *TSO) Reinstate(tx model.TxID, ts model.Timestamp, writes []model.WriteR
 		}
 		m.byTx[tx][w.Item] = true
 	}
+	m.holders.touch(tx)
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/lock"
 	"repro/internal/model"
@@ -25,6 +26,7 @@ type TwoPL struct {
 
 	intents []intentShard
 	mask    uint32
+	holders *holderTracker
 
 	reads     atomic.Uint64
 	preWrites atomic.Uint64
@@ -50,6 +52,7 @@ func NewTwoPL(store *storage.Store, opts Options) *TwoPL {
 		}),
 		intents: make([]intentShard, n),
 		mask:    uint32(n - 1),
+		holders: newHolderTracker(),
 	}
 	for i := range m.intents {
 		m.intents[i].intents = make(map[model.TxID]map[model.ItemID]int64)
@@ -106,7 +109,11 @@ func (m *TwoPL) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp,
 }
 
 func (m *TwoPL) acquire(ctx context.Context, tx model.TxID, item model.ItemID, mode lock.Mode) error {
-	return m.locks.Acquire(ctx, tx, item, mode)
+	if err := m.locks.Acquire(ctx, tx, item, mode); err != nil {
+		return err
+	}
+	m.holders.touch(tx)
+	return nil
 }
 
 // clearIntents discards tx's buffered intents across all stripes (the
@@ -146,6 +153,7 @@ func (m *TwoPL) Commit(tx model.TxID, writes []model.WriteRecord) error {
 		}
 	}
 	m.locks.ReleaseAll(tx)
+	m.holders.drop(tx)
 	return err
 }
 
@@ -153,6 +161,12 @@ func (m *TwoPL) Commit(tx model.TxID, writes []model.WriteRecord) error {
 func (m *TwoPL) Abort(tx model.TxID) {
 	m.clearIntents(tx)
 	m.locks.ReleaseAll(tx)
+	m.holders.drop(tx)
+}
+
+// Holders implements Manager.
+func (m *TwoPL) Holders(age time.Duration) []model.TxID {
+	return m.holders.holders(age)
 }
 
 // HoldsIntents implements Manager.
@@ -178,6 +192,7 @@ func (m *TwoPL) Reinstate(tx model.TxID, ts model.Timestamp, writes []model.Writ
 			return err
 		}
 	}
+	m.holders.touch(tx)
 	return nil
 }
 

@@ -56,6 +56,10 @@ type Experiment struct {
 	// CheckpointNoCOW disables copy-on-write shard capture (the snapshot is
 	// then copied under the checkpoint gate) — an ablation knob.
 	CheckpointNoCOW bool `json:"checkpoint_no_cow,omitempty"`
+	// CheckpointNoDirtyItems disables per-item dirty tracking: delta
+	// snapshots carry whole dirty shards instead of just the written items
+	// — an ablation knob.
+	CheckpointNoDirtyItems bool `json:"checkpoint_no_dirty_items,omitempty"`
 	// CatalogPollMS makes each site probe the name server's catalog epoch
 	// at this interval and live-reconfigure when it moved; 0/absent
 	// disables polling (sites still receive the name server's push).
@@ -182,10 +186,11 @@ func (e *Experiment) BuildCatalog() (*schema.Catalog, error) {
 // Checkpoint converts the checkpoint fields to a schema policy.
 func (e *Experiment) Checkpoint() schema.CheckpointPolicy {
 	return schema.CheckpointPolicy{
-		Bytes:    e.CheckpointBytes,
-		Interval: time.Duration(e.CheckpointIntervalMS) * time.Millisecond,
-		DeltaMax: e.CheckpointDeltaMax,
-		NoCOW:    e.CheckpointNoCOW,
+		Bytes:        e.CheckpointBytes,
+		Interval:     time.Duration(e.CheckpointIntervalMS) * time.Millisecond,
+		DeltaMax:     e.CheckpointDeltaMax,
+		NoCOW:        e.CheckpointNoCOW,
+		NoDirtyItems: e.CheckpointNoDirtyItems,
 	}
 }
 

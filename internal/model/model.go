@@ -77,6 +77,36 @@ func (a Timestamp) String() string {
 	return strconv.FormatUint(a.Time, 10) + "@" + string(a.Site)
 }
 
+// Ballot is an E3PC termination-election epoch: a totally ordered
+// (attempt number, initiator) pair. The live coordinator's pre-commit round
+// runs at Ballot{0, coordinator}; termination elections pick strictly
+// higher ballots (attempt numbers start at 1), and the initiator component
+// breaks ties so no two initiators ever share a ballot. Quorum-based 3PC
+// termination stamps every election and pre-decision with its ballot so a
+// re-forming partition cannot resurrect a stale attempt against a newer
+// decision.
+type Ballot struct {
+	N    uint64
+	Site SiteID
+}
+
+// Less reports whether a precedes b in the total ballot order.
+func (a Ballot) Less(b Ballot) bool {
+	if a.N != b.N {
+		return a.N < b.N
+	}
+	return a.Site < b.Site
+}
+
+// IsZero reports whether the ballot is unset (below every coordinator
+// ballot).
+func (a Ballot) IsZero() bool { return a.N == 0 && a.Site == "" }
+
+// String renders the ballot as "n@site".
+func (a Ballot) String() string {
+	return strconv.FormatUint(a.N, 10) + "@" + string(a.Site)
+}
+
 // OpKind distinguishes read and write operations.
 type OpKind uint8
 
@@ -166,6 +196,13 @@ const (
 	AbortACP                        // atomic commitment: negative vote or commit-protocol timeout
 	AbortInjected                   // explicitly injected by the failure injector
 	AbortClient                     // client/session cancelled the transaction
+	// AbortInDoubt is NOT a clean abort: the commit protocol could not
+	// resolve the outcome within the call (3PC's pre-commit quorum was
+	// unreachable) and quorum termination will decide it later — possibly
+	// as a COMMIT. Callers must not blindly resubmit the work (the
+	// original transaction may still take effect) and must not count it
+	// as a protocol abort.
+	AbortInDoubt
 )
 
 // String names the cause for reports.
@@ -183,6 +220,8 @@ func (c AbortCause) String() string {
 		return "injected"
 	case AbortClient:
 		return "client"
+	case AbortInDoubt:
+		return "indoubt"
 	default:
 		return "unknown"
 	}

@@ -32,10 +32,11 @@ func (QC) Read(ctx context.Context, acc CopyAccess, sess *Session, meta schema.I
 		first   = true
 	)
 	err := buildQuorum(ctx, acc, sess, meta, meta.ReadQuorum, func(ctx context.Context, site model.SiteID) error {
-		v, ver, err := acc.ReadCopy(ctx, site, sess.Tx, sess.TS, meta.Item)
+		v, ver, inc, err := acc.ReadCopy(ctx, site, sess.Tx, sess.TS, meta.Item)
 		if err != nil {
 			return err
 		}
+		sess.SawIncarnation(site, inc)
 		mu.Lock()
 		if first || ver > bestVer {
 			bestVal, bestVer, first = v, ver, false
@@ -61,9 +62,11 @@ func (QC) Write(ctx context.Context, acc CopyAccess, sess *Session, meta schema.
 	// version number on different copies.
 	if sites, prev, ok := sess.WriteQuorum(meta.Item); ok {
 		for _, site := range sites {
-			if _, err := acc.PreWriteCopy(ctx, site, sess.Tx, sess.TS, meta.Item, value); err != nil {
+			_, inc, err := acc.PreWriteCopy(ctx, site, sess.Tx, sess.TS, meta.Item, value)
+			if err != nil {
 				return err
 			}
+			sess.SawIncarnation(site, inc)
 		}
 		rec := model.WriteRecord{Item: meta.Item, Value: value, Version: prev.Version}
 		for _, site := range sites {
@@ -77,10 +80,11 @@ func (QC) Write(ctx context.Context, acc CopyAccess, sess *Session, meta schema.
 		quorum []model.SiteID
 	)
 	err := buildQuorum(ctx, acc, sess, meta, meta.WriteQuorum, func(ctx context.Context, site model.SiteID) error {
-		ver, err := acc.PreWriteCopy(ctx, site, sess.Tx, sess.TS, meta.Item, value)
+		ver, inc, err := acc.PreWriteCopy(ctx, site, sess.Tx, sess.TS, meta.Item, value)
 		if err != nil {
 			return err
 		}
+		sess.SawIncarnation(site, inc)
 		mu.Lock()
 		if ver > maxVer {
 			maxVer = ver

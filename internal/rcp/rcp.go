@@ -26,11 +26,15 @@ import (
 type CopyAccess interface {
 	// Local returns the home site's id (preferred for read-one locality).
 	Local() model.SiteID
-	// ReadCopy reads the copy of item at site through that site's CCP.
-	ReadCopy(ctx context.Context, site model.SiteID, tx model.TxID, ts model.Timestamp, item model.ItemID) (int64, model.Version, error)
+	// ReadCopy reads the copy of item at site through that site's CCP. The
+	// returned incarnation is the serving site's incarnation number (0 if
+	// the transport predates it); the session records it so the prepare can
+	// be fenced against a crash recovery at that site in between.
+	ReadCopy(ctx context.Context, site model.SiteID, tx model.TxID, ts model.Timestamp, item model.ItemID) (int64, model.Version, uint64, error)
 	// PreWriteCopy pre-writes the copy of item at site through that site's
-	// CCP, returning the copy's current version.
-	PreWriteCopy(ctx context.Context, site model.SiteID, tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error)
+	// CCP, returning the copy's current version plus the serving site's
+	// incarnation number.
+	PreWriteCopy(ctx context.Context, site model.SiteID, tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, uint64, error)
 }
 
 // Session accumulates one transaction's replication state at its home site:
@@ -44,6 +48,12 @@ type Session struct {
 	touched   map[model.SiteID]bool
 	attempted map[model.SiteID]bool
 	writes    map[model.SiteID]map[model.ItemID]model.WriteRecord
+	// incs records, per site, the incarnation number the site reported on
+	// this transaction's FIRST copy operation there. The prepare echoes it
+	// so the site can reject exactly when it crash-recovered (or was
+	// live-rebuilt) after protecting the operation — the CC state backing
+	// the prepare died with the old incarnation.
+	incs map[model.SiteID]uint64
 }
 
 // NewSession starts a session for one transaction.
@@ -54,6 +64,7 @@ func NewSession(tx model.TxID, ts model.Timestamp) *Session {
 		touched:   make(map[model.SiteID]bool),
 		attempted: make(map[model.SiteID]bool),
 		writes:    make(map[model.SiteID]map[model.ItemID]model.WriteRecord),
+		incs:      make(map[model.SiteID]uint64),
 	}
 }
 
@@ -84,6 +95,43 @@ func (s *Session) Strays() []model.SiteID {
 	var out []model.SiteID
 	for site := range s.attempted {
 		if !s.touched[site] {
+			out = append(out, site)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SawIncarnation records the incarnation number site reported on a copy
+// operation. The first observation wins: if the site restarts mid-
+// transaction, later operations would report a newer incarnation, but the
+// protection of the EARLIER operations is what the prepare must verify.
+func (s *Session) SawIncarnation(site model.SiteID, inc uint64) {
+	if inc == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.incs[site]; !ok {
+		s.incs[site] = inc
+	}
+}
+
+// IncarnationFor returns the incarnation recorded for site (0 = none).
+func (s *Session) IncarnationFor(site model.SiteID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.incs[site]
+}
+
+// WriteSites returns the sites holding write records — the 3PC termination
+// electorate (read-only participants are excluded from quorum counting).
+func (s *Session) WriteSites() []model.SiteID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]model.SiteID, 0, len(s.writes))
+	for site, m := range s.writes {
+		if len(m) > 0 {
 			out = append(out, site)
 		}
 	}

@@ -58,7 +58,26 @@ func (f *fakeAccess) set(site model.SiteID, val int64, ver model.Version) {
 
 func (f *fakeAccess) Local() model.SiteID { return f.local }
 
-func (f *fakeAccess) ReadCopy(_ context.Context, site model.SiteID, _ model.TxID, _ model.Timestamp, _ model.ItemID) (int64, model.Version, error) {
+// fakeIncarnation is the incarnation number every fake site reports (the
+// session-recording tests assert it round-trips).
+const fakeIncarnation = 7
+
+func (f *fakeAccess) ReadCopy(_ context.Context, site model.SiteID, _ model.TxID, _ model.Timestamp, _ model.ItemID) (int64, model.Version, uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	f.perSite[site]++
+	if f.down[site] {
+		return 0, 0, 0, model.Abortf(model.AbortRCP, "site %s unreachable", site)
+	}
+	if f.ccReject[site] {
+		return 0, 0, 0, model.Abortf(model.AbortCC, "rejected at %s", site)
+	}
+	c := f.copies[site]
+	return c.val, c.ver, fakeIncarnation, nil
+}
+
+func (f *fakeAccess) PreWriteCopy(_ context.Context, site model.SiteID, _ model.TxID, _ model.Timestamp, _ model.ItemID, _ int64) (model.Version, uint64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.ops++
@@ -69,22 +88,7 @@ func (f *fakeAccess) ReadCopy(_ context.Context, site model.SiteID, _ model.TxID
 	if f.ccReject[site] {
 		return 0, 0, model.Abortf(model.AbortCC, "rejected at %s", site)
 	}
-	c := f.copies[site]
-	return c.val, c.ver, nil
-}
-
-func (f *fakeAccess) PreWriteCopy(_ context.Context, site model.SiteID, _ model.TxID, _ model.Timestamp, _ model.ItemID, _ int64) (model.Version, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.ops++
-	f.perSite[site]++
-	if f.down[site] {
-		return 0, model.Abortf(model.AbortRCP, "site %s unreachable", site)
-	}
-	if f.ccReject[site] {
-		return 0, model.Abortf(model.AbortCC, "rejected at %s", site)
-	}
-	return f.copies[site].ver, nil
+	return f.copies[site].ver, fakeIncarnation, nil
 }
 
 func meta3() schema.ItemMeta {

@@ -24,8 +24,9 @@ func (ROWA) Read(ctx context.Context, acc CopyAccess, sess *Session, meta schema
 	var lastErr error
 	for _, site := range preferredOrder(acc, meta) {
 		sess.Attempt(site)
-		v, _, err := acc.ReadCopy(ctx, site, sess.Tx, sess.TS, meta.Item)
+		v, _, inc, err := acc.ReadCopy(ctx, site, sess.Tx, sess.TS, meta.Item)
 		if err == nil {
+			sess.SawIncarnation(site, inc)
 			sess.Touch(site)
 			return v, nil
 		}
@@ -50,14 +51,15 @@ func (ROWA) Write(ctx context.Context, acc CopyAccess, sess *Session, meta schem
 	type result struct {
 		site model.SiteID
 		ver  model.Version
+		inc  uint64
 		err  error
 	}
 	results := make(chan result, len(sites))
 	for _, site := range sites {
 		sess.Attempt(site)
 		go func(site model.SiteID) {
-			ver, err := acc.PreWriteCopy(ctx, site, sess.Tx, sess.TS, meta.Item, value)
-			results <- result{site: site, ver: ver, err: err}
+			ver, inc, err := acc.PreWriteCopy(ctx, site, sess.Tx, sess.TS, meta.Item, value)
+			results <- result{site: site, ver: ver, inc: inc, err: err}
 		}(site)
 	}
 
@@ -67,6 +69,7 @@ func (ROWA) Write(ctx context.Context, acc CopyAccess, sess *Session, meta schem
 		r := <-results
 		switch {
 		case r.err == nil:
+			sess.SawIncarnation(r.site, r.inc)
 			sess.Touch(r.site)
 			if r.ver > maxVer {
 				maxVer = r.ver

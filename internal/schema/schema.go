@@ -89,6 +89,10 @@ type CheckpointPolicy struct {
 	// under the checkpoint gate instead (the decision pipeline stalls for
 	// the O(data) copy) — an ablation knob.
 	NoCOW bool
+	// NoDirtyItems disables per-item dirty tracking: delta snapshots then
+	// carry whole dirty shards instead of just the written items — the
+	// pre-item (shard-granular) behavior, kept as an ablation knob.
+	NoDirtyItems bool
 }
 
 // Enabled reports whether any automatic trigger is configured.

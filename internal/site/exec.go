@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/acp"
 	"repro/internal/model"
 	"repro/internal/rcp"
 	"repro/internal/wire"
@@ -120,17 +119,20 @@ func mergeContexts(a, b context.Context) (context.Context, context.CancelFunc) {
 func (s *Site) Local() model.SiteID { return s.id }
 
 // ReadCopy implements rcp.CopyAccess: a local fast path through the site's
-// own CCP, or a ReadCopy RPC to the remote site.
-func (s *Site) ReadCopy(ctx context.Context, site model.SiteID, tx model.TxID, ts model.Timestamp, item model.ItemID) (int64, model.Version, error) {
+// own CCP, or a ReadCopy RPC to the remote site. The third return value is
+// the serving site's incarnation number, recorded in the session for the
+// prepare-time incarnation fence.
+func (s *Site) ReadCopy(ctx context.Context, site model.SiteID, tx model.TxID, ts model.Timestamp, item model.ItemID) (int64, model.Version, uint64, error) {
 	if site == s.id {
 		s.mu.Lock()
 		ccm := s.ccm
+		inc := s.incarnation
 		s.mu.Unlock()
 		v, ver, err := ccm.Read(ctx, tx, ts, item)
 		if err == nil {
 			s.hist.Record(tx, model.OpRead, item, v, ver)
 		}
-		return v, ver, err
+		return v, ver, inc, err
 	}
 	var resp wire.ReadCopyResp
 	actx, cancel := s.attemptCtx(ctx)
@@ -138,10 +140,10 @@ func (s *Site) ReadCopy(ctx context.Context, site model.SiteID, tx model.TxID, t
 	err := s.peer.Call(actx, site, wire.KindReadCopy, wire.ReadCopyReq{Tx: tx, TS: ts, Item: item}, &resp)
 	s.stats.AddRoundTrips(1)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	s.clock.Witness(model.Timestamp{Time: resp.Clock, Site: site})
-	return resp.Value, resp.Version, nil
+	return resp.Value, resp.Version, resp.Incarnation, nil
 }
 
 // attemptCtx bounds one remote copy-operation attempt so a silent site does
@@ -154,12 +156,14 @@ func (s *Site) attemptCtx(ctx context.Context) (context.Context, context.CancelF
 }
 
 // PreWriteCopy implements rcp.CopyAccess.
-func (s *Site) PreWriteCopy(ctx context.Context, site model.SiteID, tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error) {
+func (s *Site) PreWriteCopy(ctx context.Context, site model.SiteID, tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, uint64, error) {
 	if site == s.id {
 		s.mu.Lock()
 		ccm := s.ccm
+		inc := s.incarnation
 		s.mu.Unlock()
-		return ccm.PreWrite(ctx, tx, ts, item, value)
+		ver, err := ccm.PreWrite(ctx, tx, ts, item, value)
+		return ver, inc, err
 	}
 	var resp wire.PreWriteResp
 	actx, cancel := s.attemptCtx(ctx)
@@ -167,10 +171,10 @@ func (s *Site) PreWriteCopy(ctx context.Context, site model.SiteID, tx model.TxI
 	err := s.peer.Call(actx, site, wire.KindPreWrite, wire.PreWriteReq{Tx: tx, TS: ts, Item: item, Value: value}, &resp)
 	s.stats.AddRoundTrips(1)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	s.clock.Witness(model.Timestamp{Time: resp.Clock, Site: site})
-	return resp.Version, nil
+	return resp.Version, resp.Incarnation, nil
 }
 
 // ---- acp.Cohort implementation ----
@@ -186,18 +190,25 @@ func (s *Site) Prepare(ctx context.Context, site model.SiteID, req wire.PrepareR
 	return resp, err
 }
 
-// votePrepare validates phase 1 before handing it to the participant. Two
-// guards close the lost-protection window between pre-write and prepare:
+// votePrepare validates phase 1 before handing it to the participant. Four
+// guards close the lost-protection window between copy operations and
+// prepare:
 //
+//   - the incarnation fence: the prepare echoes the incarnation number
+//     this site reported when the transaction first operated here; a crash
+//     recovery (or live rebuild) in between bumped it, so the CC
+//     protection backing this prepare is gone — vote no, deterministically
+//     and regardless of what state the new incarnation happens to hold;
 //   - the epoch fence: a transaction begun under an epoch older than this
 //     site's last live rebuild votes no (Site.fence);
+//   - the release tombstone: a transaction this site already released (an
+//     abort, or the CC janitor's presumed-abort cleanup) must not prepare —
+//     its read locks are gone, so even a read-only yes could commit a
+//     stale read;
 //   - intent validation: the CC manager must still buffer a pre-write
-//     intent for every item in the shipped write set. A crash recovery (or
-//     a reconfiguration racing the fence) discards intents along with their
-//     lock protection; preparing such a transaction could let two
-//     conflicting writers install the same version with different values.
+//     intent for every item in the shipped write set.
 //
-// Both guards are skipped for transactions the participant already tracks
+// All guards are skipped for transactions the participant already tracks
 // (duplicate prepares, recovered in-doubt state, recorded decisions) —
 // those are the participant's own idempotency paths.
 //
@@ -206,19 +217,28 @@ func (s *Site) Prepare(ctx context.Context, site model.SiteID, req wire.PrepareR
 // either completes before the guards read the (new) fence and CC manager,
 // or waits until the prepare has fully forced and registered — it can
 // never interleave between a passed check and the force, which would let
-// an unprotected prepare slip into the new stack.
+// an unprotected prepare slip into the new stack. (The CC janitor's
+// check-then-release runs under the gate's write side for the same
+// reason.)
 func (s *Site) votePrepare(req wire.PrepareReq) wire.VoteResp {
 	s.gate.RLock()
 	defer s.gate.RUnlock()
 	s.mu.Lock()
 	fence := s.fence
+	incarnation := s.incarnation
 	part := s.part
 	ccm := s.ccm
 	s.mu.Unlock()
 	if known := part.Prepared(req.Tx); !known {
 		if _, decided := part.Decision(req.Tx); !decided {
+			if req.Incarnation != 0 && req.Incarnation != incarnation {
+				return wire.VoteResp{Yes: false, Reason: fmt.Sprintf("incarnation fence: transaction operated under incarnation %d, site is at %d", req.Incarnation, incarnation)}
+			}
 			if req.Epoch < fence {
 				return wire.VoteResp{Yes: false, Reason: fmt.Sprintf("epoch fence: transaction epoch %d < rebuild epoch %d", req.Epoch, fence)}
+			}
+			if s.isReleased(req.Tx) {
+				return wire.VoteResp{Yes: false, Reason: "transaction already released at this site"}
 			}
 			if len(req.Writes) > 0 {
 				items := make([]model.ItemID, len(req.Writes))
@@ -234,18 +254,50 @@ func (s *Site) votePrepare(req wire.PrepareReq) wire.VoteResp {
 	return part.HandlePrepare(req)
 }
 
-// PreCommit implements acp.Cohort.
+// PreCommit implements acp.Cohort: a nil return promises the participant
+// FORCED its pre-committed state (the coordinator's commit quorum counts
+// on it).
 func (s *Site) PreCommit(ctx context.Context, site model.SiteID, tx model.TxID) error {
 	if site == s.id {
-		s.mu.Lock()
-		part := s.part
-		s.mu.Unlock()
-		part.HandlePreCommit(tx)
-		return nil
+		return s.handlePreCommit(tx)
 	}
 	err := s.peer.Call(ctx, site, wire.KindPreCommit, wire.PreCommitReq{Tx: tx}, nil)
 	s.stats.AddRoundTrips(1)
 	return err
+}
+
+// handlePreCommit forces the participant's pre-commit transition under the
+// site gate's read side (like every record-forcing path, so reconfiguration
+// and fuzzy snapshots observe a quiescent record stream).
+func (s *Site) handlePreCommit(tx model.TxID) error {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	s.mu.Lock()
+	part := s.part
+	s.mu.Unlock()
+	return part.HandlePreCommit(tx)
+}
+
+// handleTermQuery serves a quorum-termination election query under the
+// gate's read side (it may force a RecElect promise).
+func (s *Site) handleTermQuery(tx model.TxID, ballot model.Ballot) wire.TermQueryResp {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	s.mu.Lock()
+	part := s.part
+	s.mu.Unlock()
+	return part.HandleTermQuery(tx, ballot)
+}
+
+// handlePreDecide serves a quorum-termination pre-decision under the
+// gate's read side (it forces a RecPreDecide on acceptance).
+func (s *Site) handlePreDecide(tx model.TxID, ballot model.Ballot, commit bool) wire.TermPreDecideResp {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	s.mu.Lock()
+	part := s.part
+	s.mu.Unlock()
+	return part.HandlePreDecide(tx, ballot, commit)
 }
 
 // Decide implements acp.Cohort.
@@ -279,13 +331,13 @@ func (s *Site) End(ctx context.Context, site model.SiteID, tx model.TxID) error 
 // ---- acp.Resolver implementation ----
 
 // QueryDecision implements acp.Resolver.
-func (s *Site) QueryDecision(ctx context.Context, site model.SiteID, tx model.TxID) (bool, bool, error) {
+func (s *Site) QueryDecision(ctx context.Context, site model.SiteID, tx model.TxID, threePhase bool) (bool, bool, error) {
 	if site == s.id {
-		commit, known := s.localDecision(tx)
+		commit, known := s.localDecision(tx, threePhase)
 		return known, commit, nil
 	}
 	var resp wire.DecisionResp
-	err := s.peer.Call(ctx, site, wire.KindDecisionReq, wire.DecisionReq{Tx: tx}, &resp)
+	err := s.peer.Call(ctx, site, wire.KindDecisionReq, wire.DecisionReq{Tx: tx, ThreePhase: threePhase}, &resp)
 	s.stats.AddRoundTrips(1)
 	if err != nil {
 		return false, false, err
@@ -293,37 +345,56 @@ func (s *Site) QueryDecision(ctx context.Context, site model.SiteID, tx model.Tx
 	return resp.Known, resp.Commit, nil
 }
 
-// QueryTermState implements acp.Resolver.
-func (s *Site) QueryTermState(ctx context.Context, site model.SiteID, tx model.TxID) (uint8, error) {
+// QueryTermination implements acp.Resolver (the election leg of quorum
+// termination), with a loopback fast path so the initiator's own state
+// participates uniformly.
+func (s *Site) QueryTermination(ctx context.Context, site model.SiteID, tx model.TxID, ballot model.Ballot) (wire.TermQueryResp, error) {
 	if site == s.id {
-		s.mu.Lock()
-		part := s.part
-		s.mu.Unlock()
-		return part.HandleTermState(tx), nil
+		return s.handleTermQuery(tx, ballot), nil
 	}
-	var resp wire.TermStateResp
-	err := s.peer.Call(ctx, site, wire.KindTermState, wire.TermStateReq{Tx: tx}, &resp)
+	var resp wire.TermQueryResp
+	err := s.peer.Call(ctx, site, wire.KindTermQuery, wire.TermQueryReq{Tx: tx, Ballot: ballot}, &resp)
 	s.stats.AddRoundTrips(1)
 	if err != nil {
-		return acp.StateNone, err
+		return wire.TermQueryResp{}, err
 	}
-	return resp.State, nil
+	return resp, nil
+}
+
+// SendPreDecide implements acp.Resolver (the pre-decision leg of quorum
+// termination).
+func (s *Site) SendPreDecide(ctx context.Context, site model.SiteID, tx model.TxID, ballot model.Ballot, commit bool) (wire.TermPreDecideResp, error) {
+	if site == s.id {
+		return s.handlePreDecide(tx, ballot, commit), nil
+	}
+	var resp wire.TermPreDecideResp
+	err := s.peer.Call(ctx, site, wire.KindTermPreDecide, wire.TermPreDecideReq{Tx: tx, Ballot: ballot, Commit: commit}, &resp)
+	s.stats.AddRoundTrips(1)
+	if err != nil {
+		return wire.TermPreDecideResp{}, err
+	}
+	return resp, nil
+}
+
+// SendDecision implements acp.Resolver: deliver a termination decision.
+func (s *Site) SendDecision(ctx context.Context, site model.SiteID, tx model.TxID, commit bool) error {
+	return s.Decide(ctx, site, tx, commit)
 }
 
 // localDecision answers a decision request against local knowledge,
-// implementing presumed abort for transactions this site coordinated: if we
-// coordinated tx, it is not currently active, and no decision is logged,
-// the transaction must have aborted (a commit is always logged before being
-// announced).
+// implementing presumed abort for 2PC transactions this site coordinated:
+// if we coordinated tx, it is not currently active, and no decision is
+// logged, the transaction must have aborted (a commit is always logged
+// before being announced).
 //
-// Presumed abort is NOT sound for a 3PC transaction this site still holds
-// in-doubt: 3PC's cooperative termination can commit a transaction without
-// its crashed coordinator's participation, so a recovered coordinator that
-// presumed abort while a pre-committed cohort terminated to commit would
-// split the decision. Such a transaction answers "unknown" instead, and
-// the coordinator's own resolver learns the outcome through the same
-// cooperative termination as everyone else.
-func (s *Site) localDecision(tx model.TxID) (commit, known bool) {
+// Presumed abort is NEVER sound for a 3PC transaction: the cohort can
+// commit by quorum termination without its coordinator, so a recovered
+// coordinator with no record — even one that was never a cohort member and
+// so holds no in-doubt state to warn it — must answer "unknown" and let
+// quorum termination decide the outcome. The requester marks 3PC queries
+// (it knows from its prepared record); the in-doubt check below
+// additionally covers member coordinators queried without the mark.
+func (s *Site) localDecision(tx model.TxID, threePhase bool) (commit, known bool) {
 	s.mu.Lock()
 	part := s.part
 	active := s.activeCoord[tx]
@@ -335,7 +406,7 @@ func (s *Site) localDecision(tx model.TxID) (commit, known bool) {
 		return false, false // still deciding: caller must wait
 	}
 	if tx.Site == s.id {
-		if part.InDoubtThreePhase(tx) {
+		if threePhase || part.InDoubtThreePhase(tx) {
 			return false, false // 3PC: the cohort may yet commit without us
 		}
 		return false, true // presumed abort

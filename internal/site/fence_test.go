@@ -134,7 +134,7 @@ func TestOwn3PCInDoubtNotPresumedAborted(t *testing.T) {
 	}); !v.Yes {
 		t.Fatal(v)
 	}
-	if commit, known := a.localDecision(own2pc); !known || commit {
+	if commit, known := a.localDecision(own2pc, false); !known || commit {
 		t.Errorf("2PC own in-doubt decision = (%v,%v), want presumed abort (false,true)", commit, known)
 	}
 
@@ -146,7 +146,12 @@ func TestOwn3PCInDoubtNotPresumedAborted(t *testing.T) {
 	}); !v.Yes {
 		t.Fatal(v)
 	}
-	if _, known := a.localDecision(own3pc); known {
+	if _, known := a.localDecision(own3pc, false); known {
 		t.Error("3PC own in-doubt transaction must not be presumed aborted")
+	}
+	// A marked 3PC query never gets presumed abort, even with no local
+	// trace at all (a recovered non-member coordinator).
+	if _, known := a.localDecision(model.TxID{Site: "A", Seq: 32}, true); known {
+		t.Error("marked 3PC query answered with presumed abort")
 	}
 }

@@ -22,6 +22,10 @@ func (s *Site) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire
 	part := s.part
 	runCtx := s.runCtx
 	timeouts := s.timeouts
+	// The incarnation is captured together with the CC manager so the
+	// number reported on copy-operation responses names the incarnation
+	// that actually protects the operation.
+	incarnation := s.incarnation
 	s.mu.Unlock()
 
 	switch kind {
@@ -49,7 +53,7 @@ func (s *Site) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire
 			return 0, nil, model.Abortf(model.AbortCC, "transaction %s already released", req.Tx)
 		}
 		s.hist.Record(req.Tx, model.OpRead, req.Item, v, ver)
-		return wire.KindReadCopy, wire.ReadCopyResp{Value: v, Version: ver, Clock: s.clock.Peek()}, nil
+		return wire.KindReadCopy, wire.ReadCopyResp{Value: v, Version: ver, Clock: s.clock.Peek(), Incarnation: incarnation}, nil
 
 	case wire.KindPreWrite:
 		var req wire.PreWriteReq
@@ -70,7 +74,7 @@ func (s *Site) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire
 			ccm.Abort(req.Tx)
 			return 0, nil, model.Abortf(model.AbortCC, "transaction %s already released", req.Tx)
 		}
-		return wire.KindPreWrite, wire.PreWriteResp{Version: ver, Clock: s.clock.Peek()}, nil
+		return wire.KindPreWrite, wire.PreWriteResp{Version: ver, Clock: s.clock.Peek(), Incarnation: incarnation}, nil
 
 	case wire.KindReleaseTx:
 		var req wire.ReleaseTxReq
@@ -94,8 +98,26 @@ func (s *Site) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire
 		if err := wire.Unmarshal(payload, &req); err != nil {
 			return 0, nil, err
 		}
-		part.HandlePreCommit(req.Tx)
+		// The ack promises a FORCED pre-commit (the coordinator counts it
+		// toward the commit quorum); a failed force must not ack.
+		if err := s.handlePreCommit(req.Tx); err != nil {
+			return 0, nil, err
+		}
 		return wire.KindAck, wire.AckMsg{Tx: req.Tx}, nil
+
+	case wire.KindTermQuery:
+		var req wire.TermQueryReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return 0, nil, err
+		}
+		return wire.KindTermQuery, s.handleTermQuery(req.Tx, req.Ballot), nil
+
+	case wire.KindTermPreDecide:
+		var req wire.TermPreDecideReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return 0, nil, err
+		}
+		return wire.KindTermPreDecide, s.handlePreDecide(req.Tx, req.Ballot, req.Commit), nil
 
 	case wire.KindDecision:
 		var req wire.DecisionMsg
@@ -122,10 +144,14 @@ func (s *Site) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire
 		if err := wire.Unmarshal(payload, &req); err != nil {
 			return 0, nil, err
 		}
-		commit, known := s.localDecision(req.Tx)
+		commit, known := s.localDecision(req.Tx, req.ThreePhase)
 		return wire.KindDecision, wire.DecisionResp{Known: known, Commit: commit}, nil
 
 	case wire.KindTermState:
+		// Legacy cooperative-termination probe: nothing in this version
+		// sends it (quorum termination replaced the cooperative protocol),
+		// but the kind keeps its wire number and this answer keeps
+		// mixed-version peers from erroring.
 		var req wire.TermStateReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
 			return 0, nil, err

@@ -135,6 +135,14 @@ type Site struct {
 	ckptBase  checkpoint.Stats
 	// reconfigures counts completed live catalog reconfigurations.
 	reconfigures uint64
+	// incarnation identifies this protocol-stack incarnation: bumped on
+	// EVERY rebuild (boot, crash recovery, live reconfiguration), reported
+	// on copy-operation responses and echoed back in prepares, so a
+	// prepare whose CC protection died with a previous incarnation is
+	// rejected exactly (not just by the conservative intent heuristic or
+	// the epoch fence). Wall-clock seeded, so it is monotone across real
+	// process restarts without needing its own durable record.
+	incarnation uint64
 	// fence is the epoch fence: the catalog epoch of the last LIVE stack
 	// rebuild. A live rebuild discards concurrency-control state exactly
 	// like a crash, but unlike a crash the affected transactions keep
@@ -386,8 +394,10 @@ func (s *Site) rebuild(catalog *schema.Catalog, live bool) error {
 					TS:           r.TS,
 					Coordinator:  r.Coordinator,
 					Participants: r.Participants,
+					Voters:       r.Voters,
 					Writes:       r.Writes,
 				}, r.ThreePhase)
+				restoreTermState(part, r)
 			}
 		}
 		part.SetApplier(&applierWithHistory{cc: ccm, hist: s.hist})
@@ -418,8 +428,10 @@ func (s *Site) rebuild(catalog *schema.Catalog, live bool) error {
 				TS:           r.TS,
 				Coordinator:  r.Coordinator,
 				Participants: r.Participants,
+				Voters:       r.Voters,
 				Writes:       r.Writes,
 			}, r.ThreePhase)
+			restoreTermState(part, r)
 		}
 	}
 
@@ -443,12 +455,22 @@ func (s *Site) rebuild(catalog *schema.Catalog, live bool) error {
 			pol.DeltaMax = catalog.Checkpoint.DeltaMax
 		}
 		pol.NoCOW = pol.NoCOW || catalog.Checkpoint.NoCOW
+		pol.NoDirtyItems = pol.NoDirtyItems || catalog.Checkpoint.NoDirtyItems
+		store.TrackDirtyItems(!pol.NoDirtyItems)
 		mgr = checkpoint.NewManager(store, cl, s.snaps, part.DecisionTable,
 			checkpoint.Policy{Bytes: pol.Bytes, Interval: pol.Interval, DeltaMax: pol.DeltaMax, NoCOW: pol.NoCOW})
 		mgr.ShareGate(s.gate)
 	}
 
+	// A fresh incarnation for the fresh stack: any CC protection granted by
+	// the previous incarnation is gone, so prepares carrying its number
+	// must be rejected. Wall-clock seeding keeps it monotone across real
+	// process restarts; max() guards against clock steps within one.
+	incarnation := uint64(time.Now().UnixNano())
 	s.mu.Lock()
+	if incarnation <= s.incarnation {
+		incarnation = s.incarnation + 1
+	}
 	if live && s.crashed {
 		// A crash won the race against this reconfiguration: its recovery
 		// owns the next rebuild; installing ours now would resurrect state
@@ -467,6 +489,7 @@ func (s *Site) rebuild(catalog *schema.Catalog, live bool) error {
 	s.ccm = ccm
 	s.part = part
 	s.ckpt = mgr
+	s.incarnation = incarnation
 	if live {
 		s.fence = catalog.Epoch
 	}
@@ -485,6 +508,32 @@ func (s *Site) rebuild(catalog *schema.Catalog, live bool) error {
 	}
 	s.mu.Unlock()
 	return nil
+}
+
+// restoreTermState re-installs a recovered 3PC transaction's logged
+// termination state (promised ballot, accepted pre-decision) so the member
+// rejoins quorum termination where it left off instead of as freshly
+// prepared.
+func restoreTermState(part *acp.Participant, r storage.RecoveredTx) {
+	if !r.ThreePhase {
+		return
+	}
+	state := acp.StatePrepared
+	if !r.EB.IsZero() {
+		if r.PreDecide {
+			state = acp.StatePreCommitted
+		} else {
+			state = acp.StatePreAborted
+		}
+	}
+	part.RestoreTermState(r.Tx, state, r.EA, r.EB)
+}
+
+// Incarnation returns the site's current stack-incarnation number.
+func (s *Site) Incarnation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.incarnation
 }
 
 // ErrStaleEpoch rejects a Reconfigure whose catalog is not newer than the
@@ -974,7 +1023,91 @@ func (s *Site) startResolver() {
 					part.Resolve(rctx, s, tx)
 					cancel()
 				}
+				s.janitorSweep(ctx)
 			}
 		}
 	}()
+}
+
+// janitorAge is the stranded-holder threshold the CC janitor applies,
+// derived from the lock timeout: CC state older than this that never
+// prepared cannot belong to a healthy transaction (operations and lock
+// waits are all bounded well below it).
+func janitorAge(t schema.Timeouts) time.Duration {
+	return 10 * t.Lock
+}
+
+// janitorSweep is the CC-level janitor: unprepared CC state (locks,
+// buffered intents) stranded at this site — its home aborted and the
+// release was lost, or the home process died outright, taking its
+// in-process release retries with it — is found by age and freed by
+// presumed-abort-querying the home. Site-local cleanup: it survives a real
+// home-process death, unlike the home's bounded retry loop.
+//
+// Safety: prepared (in-doubt) transactions are the ACP termination path's
+// property and are never touched. The final not-prepared re-check and the
+// release run under the site gate's WRITE side, which votePrepare's
+// check+force excludes — a prepare racing the janitor either lands before
+// (the re-check sees it and skips) or after (the tombstone makes it vote
+// no); it can never interleave. A presumed-abort answer for a transaction
+// that is merely slow costs that transaction an abort at prepare time —
+// never an inconsistency.
+func (s *Site) janitorSweep(ctx context.Context) {
+	s.mu.Lock()
+	ccm := s.ccm
+	part := s.part
+	timeouts := s.timeouts
+	s.mu.Unlock()
+	if ccm == nil || part == nil {
+		return
+	}
+	// One bounded query per UNREACHABLE home per sweep: a dead home with
+	// many stranded transactions must not serialize N timeouts.Op waits
+	// through the resolver goroutine (in-doubt resolution shares it).
+	deadHomes := make(map[model.SiteID]bool)
+	for _, tx := range ccm.Holders(janitorAge(timeouts)) {
+		if part.Prepared(tx) {
+			continue // in-doubt: ACP termination owns it
+		}
+		s.mu.Lock()
+		active := s.activeCoord[tx]
+		s.mu.Unlock()
+		if active {
+			continue // our own commit round is running
+		}
+		var known bool
+		if _, decided := part.Decision(tx); decided {
+			// Outcome known locally: whatever unprepared state remains is
+			// stray (a decided cohort member would have been prepared).
+			known = true
+		} else if tx.Site == s.id {
+			_, known = s.localDecision(tx, false)
+		} else {
+			if deadHomes[tx.Site] {
+				continue // already timed out this sweep: retry next tick
+			}
+			qctx, cancel := context.WithTimeout(ctx, timeouts.Op)
+			var err error
+			known, _, err = s.QueryDecision(qctx, tx.Site, tx, false)
+			cancel()
+			if err != nil {
+				deadHomes[tx.Site] = true
+				continue // home unreachable: retry next tick
+			}
+		}
+		if !known {
+			continue // the home is alive and still deciding — leave it
+		}
+		// The outcome is known (an abort, a presumed abort, or a commit
+		// that never enlisted this site — a participant would hold a
+		// prepared record, checked above). Either way the unprepared state
+		// is garbage. Tombstone, then re-check under the gate's write side
+		// so no prepare can interleave.
+		s.gate.Lock()
+		if !part.Prepared(tx) {
+			s.tombstone(tx)
+			ccm.Abort(tx)
+		}
+		s.gate.Unlock()
+	}
 }

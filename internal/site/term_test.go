@@ -1,0 +1,239 @@
+package site
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/nameserver"
+	"repro/internal/schema"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// newClusterTimeouts is newCluster with caller-chosen protocol timeouts
+// (the janitor test needs a small lock timeout so the derived holder age
+// threshold is test-sized).
+func newClusterTimeouts(t *testing.T, n int, timeouts schema.Timeouts) *cluster {
+	t.Helper()
+	net := simnet.New(simnet.Config{})
+	cat := schema.NewCatalog()
+	var ids []model.SiteID
+	for i := 0; i < n; i++ {
+		id := model.SiteID(string(rune('A' + i)))
+		ids = append(ids, id)
+		cat.Sites[id] = schema.SiteInfo{ID: id}
+	}
+	for item, initial := range items() {
+		cat.ReplicateEverywhere(item, initial)
+	}
+	cat.Protocols = defaultProtocols()
+	cat.Timeouts = timeouts
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := nameserver.New(net, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &cluster{net: net, ns: ns, sites: make(map[model.SiteID]*Site), ids: ids}
+	for _, id := range ids {
+		st, err := New(Config{ID: id, Net: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.sites[id] = st
+	}
+	t.Cleanup(func() {
+		for _, st := range c.sites {
+			st.Close()
+		}
+		ns.Close()
+	})
+	return c
+}
+
+// TestVotePrepareIncarnationFence: a prepare carrying a stale incarnation
+// number is rejected deterministically — even while matching intents ARE
+// buffered (the exactness the conservative intent heuristic lacks) — and a
+// crash recovery bumps the incarnation.
+func TestVotePrepareIncarnationFence(t *testing.T) {
+	c := newCluster(t, 2, defaultProtocols(), items())
+	a := c.sites["A"]
+	inc := a.Incarnation()
+	if inc == 0 {
+		t.Fatal("incarnation not assigned at boot")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	tx := model.TxID{Site: "B", Seq: 50}
+	if _, err := a.ccm.PreWrite(ctx, tx, model.Timestamp{Time: 1, Site: "B"}, "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Stale incarnation: rejected despite live intents.
+	v := a.votePrepare(wire.PrepareReq{
+		Tx: tx, Coordinator: "B", Participants: []model.SiteID{"A", "B"},
+		Writes:      []model.WriteRecord{{Item: "x", Value: 1, Version: 1}},
+		Incarnation: inc - 1,
+	})
+	if v.Yes || !strings.Contains(v.Reason, "incarnation fence") {
+		t.Fatalf("stale-incarnation prepare = %+v, want incarnation-fence no", v)
+	}
+	// Current incarnation: accepted.
+	v = a.votePrepare(wire.PrepareReq{
+		Tx: tx, Coordinator: "B", Participants: []model.SiteID{"A", "B"},
+		Writes:      []model.WriteRecord{{Item: "x", Value: 1, Version: 1}},
+		Incarnation: inc,
+	})
+	if !v.Yes {
+		t.Fatalf("current-incarnation prepare = %+v, want yes", v)
+	}
+
+	a.Crash()
+	if err := a.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Incarnation(); got <= inc {
+		t.Errorf("incarnation after crash recovery = %d, want > %d", got, inc)
+	}
+}
+
+// TestCopyOpsReportIncarnation: read and pre-write responses carry the
+// serving site's incarnation (the number the session echoes into
+// prepares).
+func TestCopyOpsReportIncarnation(t *testing.T) {
+	c := newCluster(t, 2, defaultProtocols(), items())
+	a, b := c.sites["A"], c.sites["B"]
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	tx := model.TxID{Site: "A", Seq: 60}
+	ts := model.Timestamp{Time: 1, Site: "A"}
+	if _, _, inc, err := a.ReadCopy(ctx, "B", tx, ts, "x"); err != nil || inc != b.Incarnation() {
+		t.Fatalf("remote read incarnation = %d, %v; want %d", inc, err, b.Incarnation())
+	}
+	if _, inc, err := a.PreWriteCopy(ctx, "B", tx, ts, "y", 9); err != nil || inc != b.Incarnation() {
+		t.Fatalf("remote pre-write incarnation = %d, %v; want %d", inc, err, b.Incarnation())
+	}
+	b.Decide(ctx, "B", tx, false) //nolint:errcheck // release the probe state
+}
+
+// TestJanitorReleasesStrandedState: unprepared CC state whose home has no
+// record of the transaction (the home process died and took its release
+// retries with it) is presumed-abort-queried and released by the holding
+// site's own janitor — and the tombstone makes a late prepare vote no.
+func TestJanitorReleasesStrandedState(t *testing.T) {
+	c := newClusterTimeouts(t, 2, schema.Timeouts{
+		Op: time.Second, Vote: time.Second, Ack: 500 * time.Millisecond,
+		Lock:          40 * time.Millisecond, // janitor age = 400ms
+		OrphanResolve: 30 * time.Millisecond,
+	})
+	b := c.sites["B"]
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	tx := model.TxID{Site: "A", Seq: 12345} // home A has never heard of it
+	if _, err := b.ccm.PreWrite(ctx, tx, model.Timestamp{Time: 1, Site: "A"}, "x", 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.ccm.Holders(0); len(got) != 1 {
+		t.Fatalf("holders = %v, want the stranded transaction", got)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(b.ccm.Holders(0)) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("janitor never released the stranded state: holders = %v", b.ccm.Holders(0))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The tombstone fences a late prepare for the janitored transaction.
+	v := b.votePrepare(wire.PrepareReq{
+		Tx: tx, Coordinator: "A", Participants: []model.SiteID{"A", "B"},
+		Writes: []model.WriteRecord{{Item: "x", Value: 7, Version: 1}},
+	})
+	if v.Yes {
+		t.Fatalf("late prepare after janitor release voted yes: %+v", v)
+	}
+
+	// The freed lock is actually usable again.
+	free := model.TxID{Site: "B", Seq: 1}
+	if _, err := b.ccm.PreWrite(ctx, free, model.Timestamp{Time: 2, Site: "B"}, "x", 8); err != nil {
+		t.Fatalf("lock still held after janitor release: %v", err)
+	}
+	b.ccm.Abort(free)
+}
+
+// TestRecovered3PCMemberTerminatesWithLoggedPreCommit: a member that
+// crashes holding a LOGGED pre-commit rejoins quorum termination with it
+// after recovery, and the whole cohort converges on COMMIT — the exact
+// fail-recover schedule the old volatile pre-commit state got wrong.
+func TestRecovered3PCMemberTerminatesWithLoggedPreCommit(t *testing.T) {
+	c := newCluster(t, 3, defaultProtocols(), items())
+	sites := []model.SiteID{"A", "B", "C"}
+	tx := model.TxID{Site: "A", Seq: 99}
+	ts := model.Timestamp{Time: 5, Site: "A"}
+	writes := []model.WriteRecord{{Item: "x", Value: 42, Version: 1}}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for _, id := range sites {
+		st := c.sites[id]
+		if _, err := st.ccm.PreWrite(ctx, tx, ts, "x", 42); err != nil {
+			t.Fatal(err)
+		}
+		v := st.votePrepare(wire.PrepareReq{
+			Tx: tx, TS: ts, Coordinator: "A",
+			Participants: sites, Voters: sites, ThreePhase: true,
+			Writes: writes, Incarnation: st.Incarnation(),
+		})
+		if !v.Yes {
+			t.Fatalf("%s vote = %+v", id, v)
+		}
+	}
+	b := c.sites["B"]
+	if err := b.PreCommit(ctx, "B", tx); err != nil {
+		t.Fatal(err)
+	}
+	// The coordinator "crashes" before deciding; B crashes with its logged
+	// pre-commit and recovers.
+	b.Crash()
+	if err := b.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if b.InDoubtCount() != 1 {
+		t.Fatalf("recovered member lost its in-doubt state: %d", b.InDoubtCount())
+	}
+
+	// The resolver loops must drive every member to the SAME outcome —
+	// commit, because B's pre-commit is the highest-ballot evidence.
+	deadline := time.Now().Add(8 * time.Second)
+	for {
+		drained := true
+		for _, id := range sites {
+			if c.sites[id].InDoubtCount() != 0 {
+				drained = false
+			}
+		}
+		if drained {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("termination did not drain: A=%d B=%d C=%d",
+				c.sites["A"].InDoubtCount(), c.sites["B"].InDoubtCount(), c.sites["C"].InDoubtCount())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	for _, id := range sites {
+		st := c.sites[id]
+		if cp, ok := st.Store().Get("x"); !ok || cp.Value != 42 || cp.Version != 1 {
+			t.Errorf("%s: x = %+v, want 42@v1 (commit must install everywhere)", id, cp)
+		}
+		if commit, known := st.part.Decision(tx); !known || !commit {
+			t.Errorf("%s: decision = (%v,%v), want known commit", id, commit, known)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package site
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"repro/internal/acp"
@@ -148,16 +149,27 @@ func (t *Txn) Commit() model.Outcome {
 		s.mu.Unlock()
 	}()
 
+	// The termination electorate: participants holding writes. With the
+	// read-only optimization off every participant logs a prepared record
+	// and may carry termination state, so all of them count.
+	voters := t.sess.WriteSites()
+	if t.catalog.Protocols.NoReadOnlyOpt {
+		voters = participants
+	}
 	req := acp.Request{
 		Tx:            t.tx,
 		TS:            t.ts,
 		Coordinator:   s.id,
 		Participants:  participants,
+		Voters:        voters,
 		WritesFor:     t.sess.WritesFor,
 		NoReadOnlyOpt: t.catalog.Protocols.NoReadOnlyOpt,
 		// The begin-time epoch, for the participants' epoch fence: a site
 		// that live-rebuilt past it refuses to prepare this transaction.
 		Epoch: t.catalog.Epoch,
+		// Per-site incarnations observed during copy operations, for the
+		// participants' incarnation fence.
+		IncarnationFor: t.sess.IncarnationFor,
 	}
 	// coordLog routes the decision force through the participant, which
 	// records the outcome and applies it locally under the checkpoint gate,
@@ -176,6 +188,14 @@ func (t *Txn) Commit() model.Outcome {
 	// same fault. The release is idempotent (the abort decision is
 	// durable; a participant that already applied it just no-ops).
 	if !committed {
+		if errors.Is(err, acp.ErrInDoubt) {
+			// 3PC could not assemble its pre-commit quorum: the outcome is
+			// legitimately unresolved and belongs to quorum termination.
+			// The cohort's prepared state MUST survive (the transaction
+			// may yet commit); only strays are safe to release.
+			s.releaseStrays(t.sess)
+			return t.outcome(false, classify(err))
+		}
 		s.releaseEverywhere(t.sess) // participants + strays
 		return t.outcome(false, classify(err))
 	}

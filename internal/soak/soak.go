@@ -116,15 +116,13 @@ func Run(o Options) (Report, error) {
 		itemIDs[i] = id
 		items[id] = int64(100 + i)
 	}
-	// 3PC's simplified cooperative termination is only safe under
-	// fail-stop (the paper's classroom assumption): a crashed member's
-	// volatile pre-committed state — or a crashed coordinator's logged
-	// decision — can contradict a termination computed from a partial
-	// view once the member RECOVERS, and partitions diverge it the same
-	// way. Quorum-based termination (E3PC) would lift this; until then
-	// 3PC episodes soak reconfiguration and checkpoints while 2PC
-	// episodes add crashes and partitions (2PC's presumed abort and
-	// logged-decision serving stay sound under recovery).
+	// Both protocols soak the full fault matrix. 3PC termination is
+	// quorum-based (E3PC): participants log their pre-commit/pre-abort
+	// transitions and election promises, termination decides only through
+	// majority quorums of the write electorate, and recovered members
+	// rejoin with their logged state — so crashes and partitions DURING
+	// 3PC episodes (including the crash-everyone recomposition) are fair
+	// game, not excluded like under the old cooperative termination.
 	acp := "2pc"
 	if rng.Intn(2) == 1 {
 		acp = "3pc"
@@ -156,7 +154,7 @@ func Run(o Options) (Report, error) {
 	defer in.Close()
 
 	for round := 0; round < o.Rounds; round++ {
-		steps := planRound(rng, sites, acp == "2pc", &rep)
+		steps := planRound(rng, sites, &rep)
 		profile := wlg.Profile{
 			Transactions: o.TxPerRound,
 			MPL:          o.MPL,
@@ -230,20 +228,19 @@ func Run(o Options) (Report, error) {
 // planRound draws a deterministic fault/admin schedule for one round. All
 // rng consumption happens here, before any concurrency, so a seed always
 // produces the same plan. Crashes and partitions are emitted as pairs
-// (fault, then undo) so a round cannot wedge the workload forever, and at
-// most one site is down at a time (a QC majority stays available). Crash
-// and partition injection is restricted to 2PC episodes — see the
-// fail-stop note in Run.
-func planRound(rng *rand.Rand, sites []model.SiteID, allowFaults bool, rep *Report) []step {
+// (fault, then undo) so a round cannot wedge the workload forever, and
+// single-crash events take down at most one site at a time (a QC majority
+// stays available); the crash-all event deliberately breaks that rule —
+// every site goes down mid-round and recomposes from its WAL, exercising
+// recovery straight through in-flight 2PC and 3PC episodes (termination
+// state included).
+func planRound(rng *rand.Rand, sites []model.SiteID, rep *Report) []step {
 	var steps []step
 	at := time.Duration(20+rng.Intn(40)) * time.Millisecond
 	events := 1 + rng.Intn(3)
 	for e := 0; e < events; e++ {
 		hold := time.Duration(40+rng.Intn(80)) * time.Millisecond
-		kinds := []string{"bump", "checkpoint"}
-		if allowFaults {
-			kinds = append(kinds, "crash", "partition")
-		}
+		kinds := []string{"bump", "checkpoint", "crash", "partition", "crashall"}
 		switch kinds[rng.Intn(len(kinds))] {
 		case "bump":
 			steps = append(steps, step{after: at, kind: "bump"})
@@ -253,6 +250,13 @@ func planRound(rng *rand.Rand, sites []model.SiteID, allowFaults bool, rep *Repo
 			steps = append(steps, step{after: at, kind: "crash", site: victim})
 			steps = append(steps, step{after: at + hold, kind: "recover", site: victim})
 			rep.Crashes++
+		case "crashall":
+			// Crash-everyone recomposition: the whole cluster goes down
+			// mid-episode (possibly mid-termination) and comes back from
+			// logs alone.
+			steps = append(steps, step{after: at, kind: "crashall"})
+			steps = append(steps, step{after: at + hold, kind: "recoverall"})
+			rep.Crashes += len(sites)
 		case "checkpoint":
 			steps = append(steps, step{after: at, kind: "checkpoint", site: sites[rng.Intn(len(sites))]})
 			rep.Checkpoints++
@@ -280,6 +284,23 @@ func applyStep(in *core.Instance, rng *rand.Rand, s step, logf func(string, ...a
 		logf("crash %s", s.site)
 		if err := in.Injector.Crash(s.site); err != nil {
 			logf("  (crash: %v)", err)
+		}
+	case "crashall":
+		logf("crash ALL")
+		for _, id := range in.SiteIDs() {
+			if err := in.Injector.Crash(id); err != nil {
+				logf("  (crash %s: %v)", id, err)
+			}
+		}
+	case "recoverall":
+		logf("recover ALL")
+		for _, id := range in.SiteIDs() {
+			if !in.Injector.Crashed(id) {
+				continue
+			}
+			if err := in.Injector.Recover(id); err != nil {
+				logf("  (recover %s: %v)", id, err)
+			}
 		}
 	case "recover":
 		logf("recover %s", s.site)

@@ -1,0 +1,168 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/wal"
+)
+
+// TestRecoverRecordsSurfacesTermState: an in-doubt 3PC transaction's
+// electorate, promised ballot and accepted pre-decision ride the recovered
+// record set, and the highest-ballot pre-decision wins regardless of
+// append order.
+func TestRecoverRecordsSurfacesTermState(t *testing.T) {
+	tx := model.TxID{Site: "S1", Seq: 3}
+	recs := []wal.Record{
+		{
+			Type: wal.RecPrepared, Tx: tx,
+			TS:           model.Timestamp{Time: 3, Site: "S1"},
+			Coordinator:  "S1",
+			Participants: []model.SiteID{"S1", "S2", "S3"},
+			Voters:       []model.SiteID{"S1", "S2"},
+			ThreePhase:   true,
+			Writes:       []model.WriteRecord{{Item: "x", Value: 9, Version: 1}},
+		},
+		{Type: wal.RecPreDecide, Tx: tx, Commit: true, Ballot: model.Ballot{N: 0, Site: "S1"}},
+		{Type: wal.RecElect, Tx: tx, Ballot: model.Ballot{N: 4, Site: "S3"}},
+		// A stale (lower-ballot) pre-decision logged AFTER the higher one
+		// above must not win.
+		{Type: wal.RecPreDecide, Tx: tx, Commit: false, Ballot: model.Ballot{N: 2, Site: "S2"}},
+	}
+	for i := range recs {
+		recs[i].LSN = uint64(i + 1)
+	}
+	s := NewSharded(4)
+	inDoubt, err := s.RecoverRecords(map[model.ItemID]int64{"x": 1}, nil, 0, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inDoubt) != 1 {
+		t.Fatalf("in-doubt = %d, want 1", len(inDoubt))
+	}
+	r := inDoubt[0]
+	if got, want := fmt.Sprintf("%v", r.Voters), "[S1 S2]"; got != want {
+		t.Errorf("voters = %s, want %s", got, want)
+	}
+	if r.EA != (model.Ballot{N: 4, Site: "S3"}) {
+		t.Errorf("EA = %+v, want 4@S3", r.EA)
+	}
+	if r.EB != (model.Ballot{N: 2, Site: "S2"}) || r.PreDecide {
+		t.Errorf("EB/PreDecide = %+v/%v, want 2@S2 pre-abort", r.EB, r.PreDecide)
+	}
+
+	// A decision retires the term state entirely.
+	recs = append(recs, wal.Record{Type: wal.RecDecision, Tx: tx, Commit: true, LSN: 5})
+	s2 := NewSharded(4)
+	inDoubt, err = s2.RecoverRecords(map[model.ItemID]int64{"x": 1}, nil, 0, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inDoubt) != 0 {
+		t.Fatalf("decided transaction still in doubt: %+v", inDoubt)
+	}
+}
+
+func applyOne(t *testing.T, s *Store, item model.ItemID, val int64, ver model.Version) {
+	t.Helper()
+	if err := s.Apply([]model.WriteRecord{{Item: item, Value: val, Version: ver}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaCaptureItemGranular: a delta capture of a hot shard carries only
+// the items written since the previous capture, not the whole shard map.
+func TestDeltaCaptureItemGranular(t *testing.T) {
+	s := NewSharded(1) // one shard: everything is "hot"
+	items := make(map[model.ItemID]int64)
+	for i := 0; i < 64; i++ {
+		items[model.ItemID(fmt.Sprintf("i%02d", i))] = 0
+	}
+	s.Init(items)
+	for i := 0; i < 64; i++ {
+		applyOne(t, s, model.ItemID(fmt.Sprintf("i%02d", i)), 1, 1)
+	}
+	full := s.BeginCapture(0)
+	if got := len(full.Collect()); got != 64 {
+		t.Fatalf("full capture = %d items, want 64", got)
+	}
+
+	applyOne(t, s, "i07", 2, 2)
+	applyOne(t, s, "i21", 2, 2)
+	delta := s.BeginCapture(full.Epoch)
+	got := delta.Collect()
+	if len(got) != 2 {
+		t.Fatalf("delta capture = %d items (%v), want exactly the 2 written", len(got), got)
+	}
+	if got["i07"].Version != 2 || got["i21"].Version != 2 {
+		t.Errorf("delta carries wrong copies: %v", got)
+	}
+	if delta.Items() != 2 {
+		t.Errorf("capture.Items() = %d, want 2", delta.Items())
+	}
+
+	// The next delta sees only what was written after THIS capture.
+	applyOne(t, s, "i42", 2, 2)
+	delta2 := s.BeginCapture(delta.Epoch)
+	if got := delta2.Collect(); len(got) != 1 || got["i42"].Version != 2 {
+		t.Fatalf("second delta = %v, want just i42", got)
+	}
+}
+
+// TestDeltaCaptureRetryAfterFailureKeepsItems: the sweep prunes only
+// entries below since — a failed snapshot attempt retries with the SAME
+// since, and every item it needs must still be there.
+func TestDeltaCaptureRetryAfterFailureKeepsItems(t *testing.T) {
+	s := NewSharded(1)
+	s.Init(map[model.ItemID]int64{"a": 0, "b": 0})
+	full := s.BeginCapture(0)
+	full.Collect()
+
+	applyOne(t, s, "a", 1, 1)
+	// First attempt (fails downstream, by assumption): same-since retry
+	// must still see "a".
+	first := s.BeginCapture(full.Epoch)
+	first.Collect()
+	retry := s.BeginCapture(full.Epoch)
+	if got := retry.Collect(); len(got) != 1 || got["a"].Version != 1 {
+		t.Fatalf("retry capture = %v, want item a", got)
+	}
+}
+
+// TestDeltaCaptureShardGranularAblation: with item tracking off, a delta
+// falls back to whole dirty shards (the pre-item behavior).
+func TestDeltaCaptureShardGranularAblation(t *testing.T) {
+	s := NewSharded(1)
+	s.TrackDirtyItems(false)
+	s.Init(map[model.ItemID]int64{"a": 0, "b": 0, "c": 0})
+	full := s.BeginCapture(0)
+	full.Collect()
+	applyOne(t, s, "a", 1, 1)
+	delta := s.BeginCapture(full.Epoch)
+	if got := delta.Collect(); len(got) != 3 {
+		t.Fatalf("shard-granular delta = %d items, want the whole shard (3)", len(got))
+	}
+}
+
+// TestDeltaCaptureCOWInstallDuringCapture: an install landing between
+// BeginCapture and Collect clones the sealed map; the capture stays frozen
+// and the new write belongs to the NEXT delta.
+func TestDeltaCaptureCOWInstallDuringCapture(t *testing.T) {
+	s := NewSharded(1)
+	s.Init(map[model.ItemID]int64{"a": 0, "b": 0})
+	full := s.BeginCapture(0)
+	full.Collect()
+	applyOne(t, s, "a", 1, 1)
+
+	delta := s.BeginCapture(full.Epoch)
+	applyOne(t, s, "b", 5, 1) // lands after the seal
+	got := delta.Collect()
+	if len(got) != 1 || got["a"].Version != 1 {
+		t.Fatalf("capture polluted by post-seal install: %v", got)
+	}
+	next := s.BeginCapture(delta.Epoch)
+	if got := next.Collect(); len(got) != 1 || got["b"].Value != 5 {
+		t.Fatalf("post-seal install lost from next delta: %v", got)
+	}
+}

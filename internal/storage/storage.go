@@ -60,6 +60,13 @@ type storeShard struct {
 	// checkpoint delta carries exactly the shards whose dirtyEpoch is at or
 	// after the previous capture's epoch.
 	dirtyEpoch atomic.Uint64
+	// dirty maps each written item to the capture epoch of its last
+	// install (one map insert per install). Delta captures read it so a
+	// hot shard's delta carries only its written items, not the whole
+	// shard map; entries below the capture's since-epoch are pruned during
+	// the sweep. Nil when item-granular tracking is disabled (the
+	// shard-granular ablation).
+	dirty map[model.ItemID]uint64
 	// hits counts point lookups (Get/Has), installs counts version-guarded
 	// writes that took effect — the per-shard traffic counters behind the
 	// monitor's hash-skew panel. Atomic so read paths never write-lock.
@@ -72,8 +79,12 @@ type Store struct {
 	shards []storeShard
 	mask   uint32
 	// epoch is the capture epoch: incremented by BeginCapture, stamped into
-	// each shard's dirtyEpoch on install.
+	// each shard's dirtyEpoch (and dirty-item entry) on install.
 	epoch atomic.Uint64
+	// itemDirty enables per-item dirty tracking (on by default); see
+	// storeShard.dirty. TrackDirtyItems(false) selects the shard-granular
+	// ablation.
+	itemDirty bool
 }
 
 // New returns an empty store with the default shard count.
@@ -83,12 +94,32 @@ func New() *Store { return NewSharded(0) }
 // two; n <= 0 selects the default).
 func NewSharded(n int) *Store {
 	n = NormalizeShards(n)
-	s := &Store{shards: make([]storeShard, n), mask: uint32(n - 1)}
+	s := &Store{shards: make([]storeShard, n), mask: uint32(n - 1), itemDirty: true}
 	s.epoch.Store(1)
 	for i := range s.shards {
 		s.shards[i].copies = make(map[model.ItemID]Copy)
+		s.shards[i].dirty = make(map[model.ItemID]uint64)
 	}
 	return s
+}
+
+// TrackDirtyItems toggles per-item dirty tracking (on by default). With it
+// off, delta captures fall back to whole dirty shards — the pre-item
+// behavior, kept as an ablation knob (`-checkpoint-dirty-items=false`).
+// Call before the store serves traffic.
+func (s *Store) TrackDirtyItems(enable bool) {
+	s.lockAll()
+	defer s.unlockAll()
+	s.itemDirty = enable
+	for i := range s.shards {
+		if enable {
+			if s.shards[i].dirty == nil {
+				s.shards[i].dirty = make(map[model.ItemID]uint64)
+			}
+		} else {
+			s.shards[i].dirty = nil
+		}
+	}
 }
 
 // ShardCount returns the number of shards.
@@ -136,6 +167,9 @@ func (s *Store) Init(items map[model.ItemID]int64) {
 		s.shards[i].copies = make(map[model.ItemID]Copy)
 		s.shards[i].sealed = false
 		s.shards[i].dirtyEpoch.Store(epoch)
+		if s.itemDirty {
+			s.shards[i].dirty = make(map[model.ItemID]uint64)
+		}
 	}
 	for item, v := range items {
 		s.shardOf(item).copies[item] = Copy{Value: v}
@@ -236,7 +270,11 @@ func (s *Store) applyLocked(sh *storeShard, writes []model.WriteRecord) error {
 			}
 			sh.copies[w.Item] = Copy{Value: w.Value, Version: w.Version}
 			sh.installs.Add(1)
-			sh.dirtyEpoch.Store(s.epoch.Load())
+			epoch := s.epoch.Load()
+			sh.dirtyEpoch.Store(epoch)
+			if sh.dirty != nil {
+				sh.dirty[w.Item] = epoch
+			}
 		}
 	}
 	return nil
@@ -260,19 +298,30 @@ type Capture struct {
 }
 
 // capturePart pairs a sealed shard with the map reference captured from it
-// (the shard's live map may move on via a copy-on-write clone).
+// (the shard's live map may move on via a copy-on-write clone). For
+// item-granular delta captures, items narrows the capture to the shard's
+// written items; nil means the whole map (full captures, or the
+// shard-granular ablation).
 type capturePart struct {
-	sh *storeShard
-	m  map[model.ItemID]Copy
+	sh    *storeShard
+	m     map[model.ItemID]Copy
+	items []model.ItemID
 }
 
 // BeginCapture seals every shard whose last install happened at or after
 // epoch since (since 0 seals everything — a full capture) and returns the
-// sealed map set. It is O(shards): each dirty shard's lock is taken only to
-// flip the seal bit. The caller must exclude installs for the duration of
-// the call (the checkpoint gate does); reads never block on it.
+// sealed map set. Each dirty shard's lock is taken only to flip the seal
+// bit — and, on item-granular delta captures, to sweep its dirty-item set:
+// the delta then carries exactly the items written since the previous
+// capture, not the whole shard map, so the gate-held work is O(shards +
+// items written), never O(store). Entries below since are pruned during
+// the sweep (no earlier capture can need them; a failed attempt retries
+// with the same since, which the sweep preserves). The caller must exclude
+// installs for the duration of the call (the checkpoint gate does); reads
+// never block on it.
 func (s *Store) BeginCapture(since uint64) *Capture {
 	c := &Capture{Epoch: s.epoch.Add(1), Total: len(s.shards)}
+	itemGranular := s.itemDirty && since > 0
 	for i := range s.shards {
 		sh := &s.shards[i]
 		if sh.dirtyEpoch.Load() < since {
@@ -280,8 +329,21 @@ func (s *Store) BeginCapture(since uint64) *Capture {
 		}
 		sh.mu.Lock()
 		sh.sealed = true
-		c.parts = append(c.parts, capturePart{sh: sh, m: sh.copies})
-		c.items += len(sh.copies)
+		part := capturePart{sh: sh, m: sh.copies}
+		if itemGranular && sh.dirty != nil {
+			part.items = make([]model.ItemID, 0, len(sh.dirty))
+			for item, epoch := range sh.dirty {
+				if epoch >= since {
+					part.items = append(part.items, item)
+				} else {
+					delete(sh.dirty, item)
+				}
+			}
+			c.items += len(part.items)
+		} else {
+			c.items += len(sh.copies)
+		}
+		c.parts = append(c.parts, part)
 		sh.mu.Unlock()
 		c.Dirty++
 	}
@@ -298,6 +360,14 @@ func (s *Store) BeginCapture(since uint64) *Capture {
 func (c *Capture) Collect() map[model.ItemID]Copy {
 	out := make(map[model.ItemID]Copy, c.items)
 	for _, p := range c.parts {
+		if p.items != nil {
+			for _, item := range p.items {
+				if v, ok := p.m[item]; ok {
+					out[item] = v
+				}
+			}
+			continue
+		}
 		for k, v := range p.m {
 			out[k] = v
 		}
@@ -399,8 +469,18 @@ type RecoveredTx struct {
 	TS           model.Timestamp
 	Coordinator  model.SiteID
 	Participants []model.SiteID
-	ThreePhase   bool
-	Writes       []model.WriteRecord
+	// Voters is the 3PC termination electorate recorded with the prepare.
+	Voters     []model.SiteID
+	ThreePhase bool
+	Writes     []model.WriteRecord
+	// EA is the highest termination ballot this site promised (RecElect /
+	// RecPreDecide records), EB the ballot of the last pre-decision it
+	// accepted, and PreDecide that pre-decision's direction (valid only
+	// when EB is set): 3PC members rejoin quorum termination with exactly
+	// the state they logged. A logged pre-decision counts even if the ack
+	// never left the pre-crash process (logged-means-accepted).
+	EA, EB    model.Ballot
+	PreDecide bool
 }
 
 // Recover rebuilds the store from initial values plus a WAL: committed
@@ -441,6 +521,19 @@ func (s *Store) RecoverRecords(items map[model.ItemID]int64, snapshot map[model.
 	}
 
 	prepared := make(map[model.TxID]wal.Record)
+	type termState struct {
+		ea, eb    model.Ballot
+		preDecide bool
+	}
+	terms := make(map[model.TxID]*termState)
+	term := func(tx model.TxID) *termState {
+		t, ok := terms[tx]
+		if !ok {
+			t = &termState{}
+			terms[tx] = t
+		}
+		return t
+	}
 	var order []model.TxID
 	for _, r := range recs {
 		switch r.Type {
@@ -449,6 +542,20 @@ func (s *Store) RecoverRecords(items map[model.ItemID]int64, snapshot map[model.
 				order = append(order, r.Tx)
 			}
 			prepared[r.Tx] = r
+		case wal.RecElect:
+			if t := term(r.Tx); t.ea.Less(r.Ballot) {
+				t.ea = r.Ballot
+			}
+		case wal.RecPreDecide:
+			// The highest-ballot pre-decision wins (appends can land out of
+			// ballot order when an election races a stale pre-decision).
+			t := term(r.Tx)
+			if t.eb.Less(r.Ballot) || (t.eb.IsZero() && r.Ballot.IsZero()) {
+				t.eb, t.preDecide = r.Ballot, r.Commit
+			}
+			if t.ea.Less(r.Ballot) {
+				t.ea = r.Ballot
+			}
 		case wal.RecDecision:
 			p, ok := prepared[r.Tx]
 			if r.Commit && ok && r.LSN >= horizon {
@@ -457,8 +564,10 @@ func (s *Store) RecoverRecords(items map[model.ItemID]int64, snapshot map[model.
 				}
 			}
 			delete(prepared, r.Tx)
+			delete(terms, r.Tx)
 		case wal.RecEnd:
 			delete(prepared, r.Tx)
+			delete(terms, r.Tx)
 		}
 	}
 
@@ -468,14 +577,19 @@ func (s *Store) RecoverRecords(items map[model.ItemID]int64, snapshot map[model.
 		if !ok {
 			continue
 		}
-		inDoubt = append(inDoubt, RecoveredTx{
+		rec := RecoveredTx{
 			Tx:           p.Tx,
 			TS:           p.TS,
 			Coordinator:  p.Coordinator,
 			Participants: p.Participants,
+			Voters:       p.Voters,
 			ThreePhase:   p.ThreePhase,
 			Writes:       p.Writes,
-		})
+		}
+		if t, ok := terms[tx]; ok {
+			rec.EA, rec.EB, rec.PreDecide = t.ea, t.eb, t.preDecide
+		}
+		inDoubt = append(inDoubt, rec)
 	}
 	return inDoubt, nil
 }

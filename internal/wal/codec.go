@@ -77,8 +77,11 @@ func appendFrame(buf, payload []byte) []byte {
 
 // ---- Binary codec ----
 
-// binaryVersion is the binary record-encoding version byte.
-const binaryVersion = 1
+// binaryVersion is the binary record-encoding version byte. Version 2
+// appended the termination electorate (Voters) and the election Ballot;
+// version-1 records (written before quorum-based 3PC termination) decode
+// with those fields zero.
+const binaryVersion = 2
 
 // BinaryCodec is the compact length-delimited binary record encoding:
 // varint-encoded integers and length-prefixed strings, roughly 3-4x smaller
@@ -123,6 +126,13 @@ func (BinaryCodec) Append(buf []byte, r *Record) ([]byte, error) {
 		buf = binary.AppendUvarint(buf, uint64(w.Version))
 	}
 	buf = binary.AppendUvarint(buf, r.Horizon)
+	// Version-2 fields.
+	buf = binary.AppendUvarint(buf, uint64(len(r.Voters)))
+	for _, p := range r.Voters {
+		buf = appendString(buf, string(p))
+	}
+	buf = binary.AppendUvarint(buf, r.Ballot.N)
+	buf = appendString(buf, string(r.Ballot.Site))
 	return buf, nil
 }
 
@@ -188,8 +198,9 @@ func (d *binReader) string() string {
 // Decode implements Codec.
 func (BinaryCodec) Decode(payload []byte) (Record, error) {
 	d := &binReader{b: payload}
-	if v := d.byte(); d.err == nil && v != binaryVersion {
-		return Record{}, fmt.Errorf("wal: unsupported binary record version %d", v)
+	version := d.byte()
+	if d.err == nil && (version < 1 || version > binaryVersion) {
+		return Record{}, fmt.Errorf("wal: unsupported binary record version %d", version)
 	}
 	var r Record
 	r.Type = RecType(d.byte())
@@ -226,6 +237,20 @@ func (BinaryCodec) Decode(payload []byte) (Record, error) {
 		}
 	}
 	r.Horizon = d.uvarint()
+	if version >= 2 {
+		if n := d.uvarint(); d.err == nil && n > 0 {
+			if n > uint64(len(d.b)) {
+				d.fail()
+			} else {
+				r.Voters = make([]model.SiteID, 0, n)
+				for i := uint64(0); i < n && d.err == nil; i++ {
+					r.Voters = append(r.Voters, model.SiteID(d.string()))
+				}
+			}
+		}
+		r.Ballot.N = d.uvarint()
+		r.Ballot.Site = model.SiteID(d.string())
+	}
 	if d.err != nil {
 		return Record{}, d.err
 	}

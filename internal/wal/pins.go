@@ -6,30 +6,33 @@ import (
 	"repro/internal/model"
 )
 
-// pinTracker maintains, per transaction, the first Prepared LSN and the
-// first Decision/End LSN ever appended — the inputs to compaction's
-// in-doubt pinning rule. Both Compactable backends (MemoryLog and
-// SegmentedLog) share it so the pinning semantics cannot drift between the
-// simulated and file-backed logs. Callers provide their own locking.
+// pinTracker maintains, per transaction, the LSNs of its recovery-critical
+// records (Prepared, plus the 3PC termination Elect/PreDecide records) and
+// the first Decision/End LSN ever appended — the inputs to compaction's
+// in-doubt pinning rule. An in-doubt transaction's termination state is as
+// load-bearing as its Prepared record: dropping a logged pre-decision would
+// let a recovered member rejoin quorum termination with a stale ballot.
+// Both Compactable backends (MemoryLog and SegmentedLog) share it so the
+// pinning semantics cannot drift between the simulated and file-backed
+// logs. Callers provide their own locking.
 type pinTracker struct {
-	prepared map[model.TxID]uint64
-	decided  map[model.TxID]uint64
+	held    map[model.TxID][]uint64
+	decided map[model.TxID]uint64
 }
 
 func newPinTracker() pinTracker {
 	return pinTracker{
-		prepared: make(map[model.TxID]uint64),
-		decided:  make(map[model.TxID]uint64),
+		held:    make(map[model.TxID][]uint64),
+		decided: make(map[model.TxID]uint64),
 	}
 }
 
-// track records one appended record.
+// track records one appended record. LSNs arrive in append order, so each
+// transaction's held list stays sorted.
 func (t *pinTracker) track(typ RecType, tx model.TxID, lsn uint64) {
 	switch typ {
-	case RecPrepared:
-		if _, ok := t.prepared[tx]; !ok {
-			t.prepared[tx] = lsn
-		}
+	case RecPrepared, RecElect, RecPreDecide:
+		t.held[tx] = append(t.held[tx], lsn)
 	case RecDecision, RecEnd:
 		if _, ok := t.decided[tx]; !ok {
 			t.decided[tx] = lsn
@@ -37,24 +40,31 @@ func (t *pinTracker) track(typ RecType, tx model.TxID, lsn uint64) {
 	}
 }
 
-// pinned reports whether tx was prepared below horizon and still undecided
-// as of horizon — its Prepared record must survive compaction.
+// pinned reports whether tx holds recovery-critical records below horizon
+// and was still undecided as of horizon — those records must survive
+// compaction.
 func (t *pinTracker) pinned(tx model.TxID, horizon uint64) bool {
-	p, ok := t.prepared[tx]
-	if !ok || p >= horizon {
+	h, ok := t.held[tx]
+	if !ok || len(h) == 0 || h[0] >= horizon {
 		return false
 	}
 	d, ok := t.decided[tx]
 	return !ok || d >= horizon
 }
 
-// pins returns the sorted Prepared LSNs of every transaction pinned as of
-// horizon (segment-granular compaction checks ranges against them).
+// pins returns the sorted held LSNs (below horizon) of every transaction
+// pinned as of horizon (segment-granular compaction checks ranges against
+// them).
 func (t *pinTracker) pins(horizon uint64) []uint64 {
 	var out []uint64
-	for tx, p := range t.prepared {
-		if p < horizon && t.pinned(tx, horizon) {
-			out = append(out, p)
+	for tx, h := range t.held {
+		if len(h) == 0 || h[0] >= horizon || !t.pinned(tx, horizon) {
+			continue
+		}
+		for _, lsn := range h {
+			if lsn < horizon {
+				out = append(out, lsn)
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -64,14 +74,15 @@ func (t *pinTracker) pins(horizon uint64) []uint64 {
 // prune drops entries for transactions fully resolved below horizon; they
 // can never be pinned by any future (monotonically increasing) horizon.
 func (t *pinTracker) prune(horizon uint64) {
-	for tx, p := range t.prepared {
-		if d, ok := t.decided[tx]; ok && d < horizon && p < horizon {
-			delete(t.prepared, tx)
+	for tx, h := range t.held {
+		d, ok := t.decided[tx]
+		if ok && d < horizon && len(h) > 0 && h[len(h)-1] < horizon {
+			delete(t.held, tx)
 			delete(t.decided, tx)
 		}
 	}
 	for tx, d := range t.decided {
-		if _, ok := t.prepared[tx]; !ok && d < horizon {
+		if _, ok := t.held[tx]; !ok && d < horizon {
 			delete(t.decided, tx)
 		}
 	}

@@ -51,6 +51,21 @@ const (
 	// snapshot has been made durable. It pins the replay horizon: recovery
 	// loads the snapshot and redoes only records at or after Horizon.
 	RecCheckpoint
+	// RecElect is forced by a 3PC participant before it answers a
+	// termination-election query: Ballot is the new election epoch the
+	// member promised (its "ea"). The promise must survive a crash —
+	// otherwise a recovered member could accept a pre-decision from an
+	// attempt older than one it already helped elect, and two quorums could
+	// decide differently.
+	RecElect
+	// RecPreDecide is forced by a 3PC participant before it acknowledges a
+	// pre-commit (Ballot{0, coordinator}, the live coordinator's round) or
+	// a termination pre-decision (an elected initiator's ballot). Commit
+	// carries the pre-decision's direction; Ballot is the accepted attempt
+	// (the member's "eb"). Pre-committed state is durable, not volatile:
+	// a recovered member rejoins termination with its logged state instead
+	// of a presumed-abort guess.
+	RecPreDecide
 )
 
 // String names the record type.
@@ -64,6 +79,10 @@ func (t RecType) String() string {
 		return "end"
 	case RecCheckpoint:
 		return "checkpoint"
+	case RecElect:
+		return "elect"
+	case RecPreDecide:
+		return "predecide"
 	default:
 		return fmt.Sprintf("rectype(%d)", uint8(t))
 	}
@@ -77,12 +96,22 @@ type Record struct {
 	// Coordinator and Participants describe the commit cohort (RecPrepared).
 	Coordinator  model.SiteID
 	Participants []model.SiteID
+	// Voters lists the termination electorate (RecPrepared, 3PC): the
+	// cohort members that hold writes (or all participants when the
+	// read-only optimization is off). Quorum-based termination counts its
+	// majorities over this set — read-only participants release at vote
+	// time and must not dilute the quorum arithmetic.
+	Voters []model.SiteID `json:",omitempty"`
 	// ThreePhase records which ACP state machine governs the transaction.
 	ThreePhase bool
 	// Writes are the records to install on commit (RecPrepared).
 	Writes []model.WriteRecord
-	// Commit is the outcome (RecDecision).
+	// Commit is the outcome (RecDecision) or the pre-decision direction
+	// (RecPreDecide).
 	Commit bool
+	// Ballot is the termination-election epoch (RecElect: the promised
+	// "ea"; RecPreDecide: the accepted attempt "eb").
+	Ballot model.Ballot
 	// Horizon is the replay horizon pinned by a checkpoint record
 	// (RecCheckpoint): the first LSN recovery must redo on top of the
 	// checkpoint's snapshot.
@@ -172,8 +201,11 @@ func NewMemory() *MemoryLog {
 // log never marshals, but the checkpoint manager's bytes trigger and the
 // monitor's log-volume gauge still need a monotone byte signal.
 func estimateSize(r *Record) uint64 {
-	n := 48 + len(r.Tx.Site) + len(r.Coordinator) + len(r.TS.Site)
+	n := 48 + len(r.Tx.Site) + len(r.Coordinator) + len(r.TS.Site) + len(r.Ballot.Site)
 	for _, p := range r.Participants {
+		n += 8 + len(p)
+	}
+	for _, p := range r.Voters {
 		n += 8 + len(p)
 	}
 	for _, w := range r.Writes {
@@ -201,6 +233,7 @@ func (l *MemoryLog) AppendBatch(recs []Record) error {
 		// Deep-copy slices so callers cannot mutate logged state.
 		r.Writes = append([]model.WriteRecord(nil), r.Writes...)
 		r.Participants = append([]model.SiteID(nil), r.Participants...)
+		r.Voters = append([]model.SiteID(nil), r.Voters...)
 		r.LSN = l.nextLSN
 		l.nextLSN++
 		l.pins.track(r.Type, r.Tx, r.LSN)
@@ -250,7 +283,8 @@ func (l *MemoryLog) Compact(horizon uint64) (int, error) {
 	kept := l.recs[:0]
 	removed := 0
 	for _, r := range l.recs {
-		if r.LSN >= horizon || (r.Type == RecPrepared && l.pins.pinned(r.Tx, horizon)) {
+		pinnable := r.Type == RecPrepared || r.Type == RecElect || r.Type == RecPreDecide
+		if r.LSN >= horizon || (pinnable && l.pins.pinned(r.Tx, horizon)) {
 			kept = append(kept, r)
 			continue
 		}

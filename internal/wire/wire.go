@@ -68,32 +68,39 @@ const (
 	// stability reason).
 	KindGetEpoch    // lightweight catalog-version probe (site poll)
 	KindCatalogPush // name server -> site: a new catalog version exists
+
+	// Quorum-based (E3PC) 3PC termination (appended for wire-number
+	// stability).
+	KindTermQuery     // election: promise a ballot, report state + eb
+	KindTermPreDecide // elected initiator's pre-decision broadcast
 )
 
 var kindNames = map[MsgKind]string{
-	KindError:        "Error",
-	KindOK:           "OK",
-	KindRegisterSite: "RegisterSite",
-	KindGetCatalog:   "GetCatalog",
-	KindSetCatalog:   "SetCatalog",
-	KindPing:         "Ping",
-	KindReadCopy:     "ReadCopy",
-	KindPreWrite:     "PreWrite",
-	KindReleaseTx:    "ReleaseTx",
-	KindPrepare:      "Prepare",
-	KindVote:         "Vote",
-	KindDecision:     "Decision",
-	KindAck:          "Ack",
-	KindDecisionReq:  "DecisionReq",
-	KindPreCommit:    "PreCommit",
-	KindTermState:    "TermState",
-	KindEndTx:        "EndTx",
-	KindGetEpoch:     "GetEpoch",
-	KindCatalogPush:  "CatalogPush",
-	KindGetStats:     "GetStats",
-	KindResetStats:   "ResetStats",
-	KindGetHistory:   "GetHistory",
-	KindSubmitTx:     "SubmitTx",
+	KindError:         "Error",
+	KindOK:            "OK",
+	KindRegisterSite:  "RegisterSite",
+	KindGetCatalog:    "GetCatalog",
+	KindSetCatalog:    "SetCatalog",
+	KindPing:          "Ping",
+	KindReadCopy:      "ReadCopy",
+	KindPreWrite:      "PreWrite",
+	KindReleaseTx:     "ReleaseTx",
+	KindPrepare:       "Prepare",
+	KindVote:          "Vote",
+	KindDecision:      "Decision",
+	KindAck:           "Ack",
+	KindDecisionReq:   "DecisionReq",
+	KindPreCommit:     "PreCommit",
+	KindTermState:     "TermState",
+	KindEndTx:         "EndTx",
+	KindGetEpoch:      "GetEpoch",
+	KindCatalogPush:   "CatalogPush",
+	KindTermQuery:     "TermQuery",
+	KindTermPreDecide: "TermPreDecide",
+	KindGetStats:      "GetStats",
+	KindResetStats:    "ResetStats",
+	KindGetHistory:    "GetHistory",
+	KindSubmitTx:      "SubmitTx",
 }
 
 // String names the kind for logs and traces.
@@ -215,6 +222,12 @@ type ReadCopyResp struct {
 	Value   int64
 	Version model.Version
 	Clock   uint64
+	// Incarnation is the serving site's incarnation number (bumped on every
+	// stack rebuild). The home site records it in the transaction's session
+	// and echoes it in the prepare, so a site that crashed and recovered
+	// between this operation and the prepare rejects the prepare exactly —
+	// its CC protection for the operation died with the old incarnation.
+	Incarnation uint64
 }
 
 // PreWriteReq asks a site to pre-write its local copy of Item: pass through
@@ -233,6 +246,9 @@ type PreWriteReq struct {
 type PreWriteResp struct {
 	Version model.Version
 	Clock   uint64
+	// Incarnation is the serving site's incarnation number — see
+	// ReadCopyResp.Incarnation.
+	Incarnation uint64
 }
 
 // ReleaseTxReq tells a participant to discard all CC state for an aborted
@@ -263,6 +279,20 @@ type PrepareReq struct {
 	// transaction's locks may be gone and preparing it could serialize two
 	// conflicting writers onto one version (the epoch fence).
 	Epoch uint64
+	// Voters is the 3PC termination electorate: the cohort members that
+	// hold writes (all participants when the read-only optimization is
+	// off). Quorum termination counts majorities over this fixed set;
+	// read-only participants release at vote time and hold no termination
+	// state, so counting them would let a quorum form that cannot
+	// intersect the pre-commit quorum. Empty for 2PC.
+	Voters []model.SiteID
+	// Incarnation is the target site's incarnation number observed when
+	// this transaction operated there (first copy operation wins). The
+	// site rejects the prepare when its current incarnation differs: a
+	// crash recovery in between discarded the CC protection this prepare
+	// relies on. Zero means unknown (no copy op recorded one) and skips
+	// the check — the intent validation below still applies.
+	Incarnation uint64
 }
 
 // VoteResp is the participant's vote. ReadOnly is the presumed-abort
@@ -312,9 +342,15 @@ type EpochResp struct {
 }
 
 // DecisionReq asks the coordinator (or a peer, during cooperative
-// termination) for the outcome of an in-doubt transaction.
+// termination) for the outcome of an in-doubt transaction. ThreePhase
+// marks a query about a 3PC transaction: the answerer must then never
+// apply presumed abort — a 3PC cohort can commit by quorum termination
+// without its coordinator, so an answerer with no record (a recovered
+// coordinator that never logged, a stray peer) answers "unknown" instead
+// of "abort". 2PC queries keep presumed abort.
 type DecisionReq struct {
-	Tx model.TxID
+	Tx         model.TxID
+	ThreePhase bool
 }
 
 // DecisionResp answers a DecisionReq. Known=false means the answerer does
@@ -332,6 +368,55 @@ type TermStateReq struct {
 // TermStateResp reports the member's commit-protocol state.
 type TermStateResp struct {
 	State uint8 // acp.TermState values
+}
+
+// TermQueryReq is quorum termination's election message: the initiator
+// asks a cohort member to promise Ballot and report its termination state.
+// A member with live state promises only ballots above its current "ea"
+// (and forces the promise before answering).
+type TermQueryReq struct {
+	Tx     model.TxID
+	Ballot model.Ballot
+}
+
+// TermQueryResp answers a TermQueryReq.
+type TermQueryResp struct {
+	// Accepted reports whether the member promised the ballot. EA returns
+	// the member's current promise either way, so a rejected initiator can
+	// retry with a higher attempt number.
+	Accepted bool
+	EA       model.Ballot
+	// State is the member's commit-protocol state (acp.TermState values).
+	// A member with NO trace of the transaction never answers Accepted:
+	// it unilaterally decides abort — durably — and replies Decided (its
+	// yes vote was never cast, so no commit can exist anywhere, and the
+	// logged abort fences a late prepare from casting it retroactively).
+	// EB is the ballot of the attempt the member last accepted a
+	// pre-decision under.
+	State uint8
+	EB    model.Ballot
+	// Decided/Commit short-circuit the election: the member already knows
+	// the outcome.
+	Decided bool
+	Commit  bool
+}
+
+// TermPreDecideReq is the elected initiator's pre-decision broadcast:
+// members that still honor Ballot force the pre-decision (their new "eb")
+// and acknowledge; once a quorum has accepted, the initiator may decide.
+type TermPreDecideReq struct {
+	Tx     model.TxID
+	Ballot model.Ballot
+	Commit bool
+}
+
+// TermPreDecideResp answers a TermPreDecideReq.
+type TermPreDecideResp struct {
+	Accepted bool
+	// Decided/Commit report an already-known outcome (the pre-decision is
+	// then moot and the initiator adopts the decision instead).
+	Decided bool
+	Commit  bool
 }
 
 // SubmitTxReq submits a transaction for execution at a home site. The site
@@ -369,6 +454,10 @@ func init() {
 	gob.Register(DecisionResp{})
 	gob.Register(TermStateReq{})
 	gob.Register(TermStateResp{})
+	gob.Register(TermQueryReq{})
+	gob.Register(TermQueryResp{})
+	gob.Register(TermPreDecideReq{})
+	gob.Register(TermPreDecideResp{})
 	gob.Register(SubmitTxReq{})
 	gob.Register(SubmitTxResp{})
 }
