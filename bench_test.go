@@ -34,6 +34,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/site"
 	"repro/internal/storage"
+	"repro/internal/tcpnet"
 	"repro/internal/wal"
 	"repro/internal/wire"
 	"repro/internal/wlg"
@@ -1176,4 +1177,59 @@ func BenchmarkThreePCTermination(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkNetBatching measures the coalescing TCP sender: parallel pings
+// between two peers over a real loopback socket. batch=1 flushes one
+// buffered write (≈ one syscall) per envelope — the pre-coalescing design;
+// batch=128 lets the writer goroutine drain its whole queue into
+// multi-envelope frames; legacy coalesces writes but speaks the original
+// per-envelope gob framing with no slice dispatch. env/flush is the
+// measured envelopes-per-write-syscall ratio.
+func BenchmarkNetBatching(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts tcpnet.Options
+	}{
+		{"batch=1", tcpnet.Options{MaxBatch: 1}},
+		{"batch=128", tcpnet.Options{}},
+		{"legacy", tcpnet.Options{LegacyFraming: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			net := tcpnet.NewWithOptions(map[model.SiteID]string{}, mode.opts)
+			srv, err := wire.NewPeer(net, "S1",
+				func(model.SiteID, wire.MsgKind, []byte) (wire.MsgKind, any, error) {
+					return wire.KindOK, wire.OKBody{}, nil
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			cli, err := wire.NewPeer(net, "C1", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cli.Close()
+
+			ctx := context.Background()
+			forceParallelism(b, 8)
+			// Coalescing needs concurrent outstanding calls: closed-loop
+			// clients are synchronous, so parallelism is the batch the
+			// writer goroutine can actually drain per flush.
+			b.SetParallelism(16)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					var resp wire.OKBody
+					if err := cli.Call(ctx, "S1", wire.KindPing, wire.PingReq{}, &resp); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			if st := net.NetStats(); st.SentFlushes > 0 {
+				b.ReportMetric(float64(st.SentEnvelopes)/float64(st.SentFlushes), "env/flush")
+			}
+		})
+	}
 }

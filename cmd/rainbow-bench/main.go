@@ -1,0 +1,253 @@
+// Command rainbow-bench is a closed-loop load generator for measuring the
+// per-shard command pipelines and the coalescing TCP transport end to end.
+// It assembles a full multi-site Rainbow cluster in one process — name
+// server and sites wired over real loopback TCP sockets, so every remote
+// copy operation pays genuine framing and syscall costs — then drives it
+// with N closed-loop clients issuing Zipfian-skewed transactions for a
+// fixed duration, and reports committed throughput with p50/p99 latency.
+//
+// Results are appended to a JSON file in the same format tools/benchjson
+// emits (BENCH_load.json by default), so before/after comparisons of the
+// pipeline and transport knobs stay machine-readable:
+//
+//	rainbow-bench -pipeline=false -out BENCH_load_before.json
+//	rainbow-bench -pipeline=true  -out BENCH_load_after.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/model"
+	"repro/internal/monitor"
+	"repro/internal/nameserver"
+	"repro/internal/schema"
+	"repro/internal/site"
+	"repro/internal/tcpnet"
+	"repro/internal/wlg"
+)
+
+// result mirrors tools/benchjson's Result so the load file concatenates
+// with the benchmark archives.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	nSites := flag.Int("sites", 3, "number of sites in the cluster")
+	clients := flag.Int("clients", 16, "closed-loop client goroutines")
+	duration := flag.Duration("duration", 5*time.Second, "measured load duration")
+	zipf := flag.Float64("zipf", 1.2, "Zipf s parameter for item skew (<= 1 selects uniform access)")
+	readRate := flag.Float64("read-rate", 0.75, "probability an operation is a read")
+	opsPerTx := flag.Int("ops", 4, "operations per transaction")
+	items := flag.Int("items", 256, "database size (items, replicated everywhere)")
+	hot := flag.Int("hot", 0, "restrict access to the first N items (0 = all)")
+	shards := flag.Int("shards", 0, "per-site data-plane shard count (0 = GOMAXPROCS-derived)")
+	rcp := flag.String("rcp", "qc", "replica control protocol (roap/qc)")
+	ccp := flag.String("ccp", "2pl", "concurrency control protocol (2pl/tso/mvtso)")
+	acp := flag.String("acp", "2pc", "atomic commitment protocol (2pc/3pc)")
+	pipeOn := flag.Bool("pipeline", true, "per-shard command pipelines (false = synchronous ablation)")
+	pipeDepth := flag.Int("pipeline-depth", 0, "per-shard pipeline queue bound (0 = default)")
+	pipeBatch := flag.Int("pipeline-max-batch", 0, "pipeline sequencer batch cap (0 = default)")
+	netLegacy := flag.Bool("net-legacy", false, "legacy single-envelope framing (false = coalesced frames)")
+	netMaxBatch := flag.Int("net-max-batch", 0, "envelopes per transport flush (1 = pre-coalescing one write per envelope, 0 = default)")
+	netFlushDelay := flag.Duration("net-flush-delay", 0, "transport writer linger before flushing a non-full batch")
+	seed := flag.Int64("seed", 619, "workload seed")
+	name := flag.String("name", "LoadZipfClosed", "benchmark name recorded in the output")
+	out := flag.String("out", "BENCH_load.json", "output JSON file (benchjson format); empty disables")
+	flag.Parse()
+
+	res, err := run(benchConfig{
+		sites: *nSites, clients: *clients, duration: *duration,
+		zipf: *zipf, readRate: *readRate, opsPerTx: *opsPerTx,
+		items: *items, hot: *hot, shards: *shards,
+		protocols: schema.Protocols{RCP: *rcp, CCP: *ccp, ACP: *acp},
+		pipeline:  schema.PipelinePolicy{Disable: !*pipeOn, Depth: *pipeDepth, MaxBatch: *pipeBatch},
+		netOpts:   tcpnet.Options{LegacyFraming: *netLegacy, MaxBatch: *netMaxBatch, FlushDelay: *netFlushDelay},
+		seed:      *seed, name: *name,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rainbow-bench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: %d clients, %d sites, zipf %.2f, %s\n", *name, *clients, *nSites, *zipf, *duration)
+	fmt.Printf("  committed %d aborted %d  throughput %.1f tx/s\n",
+		int64(res.Metrics["committed"]), int64(res.Metrics["aborted"]), res.Metrics["tx/s"])
+	fmt.Printf("  latency p50 %.2fms p99 %.2fms\n", res.Metrics["p50-ms"], res.Metrics["p99-ms"])
+	fmt.Printf("  pipeline mean batch %.2f  net envelopes/flush %.2f\n",
+		res.Metrics["pipe-batch"], res.Metrics["net-coalesce"])
+
+	if *out != "" {
+		if err := appendResult(*out, res); err != nil {
+			fmt.Fprintln(os.Stderr, "rainbow-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+type benchConfig struct {
+	sites, clients       int
+	duration             time.Duration
+	zipf, readRate       float64
+	opsPerTx, items, hot int
+	shards               int
+	protocols            schema.Protocols
+	pipeline             schema.PipelinePolicy
+	netOpts              tcpnet.Options
+	seed                 int64
+	name                 string
+}
+
+func run(bc benchConfig) (result, error) {
+	exp := config.Default()
+	exp.Name = bc.name
+	exp.Sites = exp.Sites[:0]
+	for i := 0; i < bc.sites; i++ {
+		exp.Sites = append(exp.Sites, model.SiteID(fmt.Sprintf("S%d", i+1)))
+	}
+	exp.Items = make(map[model.ItemID]int64, bc.items)
+	itemIDs := make([]model.ItemID, 0, bc.items)
+	for i := 0; i < bc.items; i++ {
+		id := model.ItemID(fmt.Sprintf("i%04d", i))
+		exp.Items[id] = 100
+		itemIDs = append(itemIDs, id)
+	}
+	exp.Protocols = bc.protocols
+	exp.Shards = bc.shards
+	exp.PipelineDisable = bc.pipeline.Disable
+	exp.PipelineDepth = bc.pipeline.Depth
+	exp.PipelineMaxBatch = bc.pipeline.MaxBatch
+	cat, err := exp.BuildCatalog()
+	if err != nil {
+		return result{}, err
+	}
+
+	// One tcpnet.Net hosts every node in-process; each attach gets its own
+	// loopback listener, so inter-site traffic crosses real sockets.
+	net := tcpnet.NewWithOptions(map[model.SiteID]string{}, bc.netOpts)
+	ns, err := nameserver.New(net, cat)
+	if err != nil {
+		return result{}, err
+	}
+	defer ns.Close()
+
+	sites := make(map[model.SiteID]*site.Site, bc.sites)
+	var siteList []*site.Site
+	for _, id := range exp.Sites {
+		st, err := site.New(site.Config{
+			ID: id, Net: net, Catalog: cat.Clone(), Shards: bc.shards,
+			Pipeline: bc.pipeline,
+		})
+		if err != nil {
+			for _, s := range siteList {
+				s.Close()
+			}
+			return result{}, err
+		}
+		sites[id] = st
+		siteList = append(siteList, st)
+	}
+	defer func() {
+		for _, s := range siteList {
+			s.Close()
+		}
+	}()
+
+	gen := wlg.New(wlg.Profile{
+		Sites: exp.Sites, Items: itemIDs,
+		OpsPerTx: bc.opsPerTx, ReadFraction: bc.readRate,
+		Zipf: bc.zipf, HotItems: bc.hot, Seed: bc.seed,
+		Transactions: 1, // unused: the closed loop below is duration-bound
+	})
+
+	type clientStats struct {
+		committed, aborted int64
+		lats               []time.Duration
+	}
+	stats := make([]clientStats, bc.clients)
+	deadline := time.Now().Add(bc.duration)
+	var wg sync.WaitGroup
+	for c := 0; c < bc.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cs := &stats[c]
+			for n := c; time.Now().Before(deadline); n += bc.clients {
+				ops := gen.NextTx()
+				home := sites[exp.Sites[n%len(exp.Sites)]]
+				start := time.Now()
+				outcome := home.Execute(context.Background(), ops)
+				cs.lats = append(cs.lats, time.Since(start))
+				if outcome.Committed {
+					cs.committed++
+				} else {
+					cs.aborted++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var committed, aborted int64
+	var lats []time.Duration
+	for i := range stats {
+		committed += stats[i].committed
+		aborted += stats[i].aborted
+		lats = append(lats, stats[i].lats...)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+
+	var totals monitor.SiteStats
+	for _, st := range siteList {
+		s := st.Stats()
+		totals.PipeSubmitted += s.PipeSubmitted
+		totals.PipeBatches += s.PipeBatches
+		totals.NetSentEnvelopes += s.NetSentEnvelopes
+		totals.NetSendFlushes += s.NetSendFlushes
+	}
+
+	metrics := map[string]float64{
+		"committed":    float64(committed),
+		"aborted":      float64(aborted),
+		"tx/s":         float64(committed) / bc.duration.Seconds(),
+		"p50-ms":       pctlMS(lats, 0.50),
+		"p99-ms":       pctlMS(lats, 0.99),
+		"pipe-batch":   totals.PipeBatchSize(),
+		"net-coalesce": totals.NetCoalescing(),
+	}
+	return result{Name: bc.name, Iterations: committed + aborted, Metrics: metrics}, nil
+}
+
+// pctlMS returns the q-th percentile of sorted latencies in milliseconds.
+func pctlMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// appendResult merges res into the (possibly existing) benchjson-format
+// array at path.
+func appendResult(path string, res result) error {
+	var results []result
+	if b, err := os.ReadFile(path); err == nil {
+		json.Unmarshal(b, &results) //nolint:errcheck // unreadable file: start fresh
+	}
+	results = append(results, res)
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1028,3 +1028,152 @@ func TestAllReadOnlyCohortCommits(t *testing.T) {
 		t.Errorf("decisions sent to an all-read-only cohort: %d", f.decisions)
 	}
 }
+
+// --- 3PC termination leader preference ---
+
+// ballotCountingResolver wraps a fakeResolver and records election traffic:
+// how many termination queries went out and which distinct ballots they
+// carried (one ballot == one election attempt somewhere in the electorate).
+type ballotCountingResolver struct {
+	*fakeResolver
+	cmu     sync.Mutex
+	queries int
+	ballots map[model.Ballot]bool
+}
+
+func newBallotCounter(r *fakeResolver) *ballotCountingResolver {
+	return &ballotCountingResolver{fakeResolver: r, ballots: make(map[model.Ballot]bool)}
+}
+
+func (c *ballotCountingResolver) QueryTermination(ctx context.Context, site model.SiteID, tx model.TxID, ballot model.Ballot) (wire.TermQueryResp, error) {
+	c.cmu.Lock()
+	c.queries++
+	c.ballots[ballot] = true
+	c.cmu.Unlock()
+	return c.fakeResolver.QueryTermination(ctx, site, tx, ballot)
+}
+
+func (c *ballotCountingResolver) counts() (queries, ballots int) {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	return c.queries, len(c.ballots)
+}
+
+// A member that promised a termination ballot from a LOWER-id voter knows
+// the preferred initiator is live and electing: it must sit out its own
+// attempts (no election traffic at all) until the deferral budget runs out,
+// then elect anyway so a stalled initiator cannot block termination.
+func TestTerminationDefersToLowerInitiator(t *testing.T) {
+	r := newResolver()
+	tx := model.TxID{Site: "S1", Seq: 21}
+	p, a := prepare3PC(t, r, "S3", tx)
+	r.down["S1"] = true // coordinator gone: Resolve goes to quorum termination
+	r.states["S2"] = StatePrepared
+
+	// S2 (lower id, the preferred initiator) ran an election round: S3
+	// promised its ballot.
+	if resp := p.HandleTermQuery(tx, model.Ballot{N: 5, Site: "S2"}); !resp.Accepted {
+		t.Fatalf("promise refused: %+v", resp)
+	}
+
+	cr := newBallotCounter(r)
+	for i := 0; i < termDeferMax; i++ {
+		if p.Resolve(context.Background(), cr, tx) {
+			t.Fatalf("attempt %d: resolved while deferring to S2", i+1)
+		}
+		if q, _ := cr.counts(); q != 0 {
+			t.Fatalf("attempt %d: deferring member sent %d election queries", i+1, q)
+		}
+	}
+	// Budget exhausted: S2 must have stalled, so S3 now initiates and (with
+	// S2 answerable and every member merely prepared) terminates with abort.
+	if !p.Resolve(context.Background(), cr, tx) {
+		t.Fatal("post-deferral election did not resolve")
+	}
+	if q, b := cr.counts(); q == 0 || b != 1 {
+		t.Errorf("post-deferral election: %d queries, %d ballots, want >0 queries from exactly 1 ballot", q, b)
+	}
+	if !a.wasAborted(tx) {
+		t.Error("termination outcome not applied")
+	}
+}
+
+// The preference is asymmetric: a member that promised a HIGHER-id
+// initiator's ballot does not defer — the lowest live voter goes first.
+func TestTerminationNoDeferenceToHigherInitiator(t *testing.T) {
+	r := newResolver()
+	tx := model.TxID{Site: "S1", Seq: 22}
+	p, a := prepare3PC(t, r, "S2", tx)
+	r.down["S1"] = true
+	r.states["S3"] = StatePrepared
+
+	if resp := p.HandleTermQuery(tx, model.Ballot{N: 5, Site: "S3"}); !resp.Accepted {
+		t.Fatalf("promise refused: %+v", resp)
+	}
+	cr := newBallotCounter(r)
+	if !p.Resolve(context.Background(), cr, tx) {
+		t.Fatal("preferred (lowest live) initiator deferred")
+	}
+	if q, _ := cr.counts(); q == 0 {
+		t.Error("no election traffic from the preferred initiator")
+	}
+	if !a.wasAborted(tx) {
+		t.Error("termination outcome not applied")
+	}
+}
+
+// Concurrent terminations must converge — and with the leader preference,
+// cheaply: racing initiators stop outbidding each other once they promise
+// the preferred (lowest-id) member's ballot, so the electorate burns a
+// bounded number of ballots instead of duelling round after round.
+func TestConcurrentTerminationsConverge(t *testing.T) {
+	r := newResolver()
+	tx := model.TxID{Site: "S0", Seq: 23}
+	voters := []model.SiteID{"S1", "S2", "S3"}
+	parts := make(map[model.SiteID]*Participant, len(voters))
+	apps := make(map[model.SiteID]*fakeApplier, len(voters))
+	for _, self := range voters {
+		a := newApplier()
+		p := NewParticipant(self, wal.NewMemory(), a)
+		v := p.HandlePrepare(wire.PrepareReq{
+			Tx: tx, Coordinator: "S0",
+			Participants: append([]model.SiteID{"S0"}, voters...),
+			Voters:       voters,
+			ThreePhase:   true,
+			Writes:       []model.WriteRecord{{Item: "x", Value: 1, Version: 1}},
+		})
+		if !v.Yes {
+			t.Fatalf("%s prepare vote = %+v", self, v)
+		}
+		r.addPeer(self, p)
+		parts[self], apps[self] = p, a
+	}
+	r.down["S0"] = true // coordinator crashed before any pre-commit
+
+	cr := newBallotCounter(r)
+	var wg sync.WaitGroup
+	for _, self := range voters {
+		wg.Add(1)
+		go func(p *Participant) {
+			defer wg.Done()
+			for !p.Resolve(context.Background(), cr, tx) {
+				time.Sleep(time.Millisecond)
+			}
+		}(parts[self])
+	}
+	wg.Wait()
+
+	for _, self := range voters {
+		if !apps[self].wasAborted(tx) {
+			t.Errorf("%s did not apply the abort", self)
+		}
+		if apps[self].wasCommitted(tx) {
+			t.Errorf("%s committed against the electorate's abort", self)
+		}
+	}
+	// Three racing initiators start at most one ballot each; the preference
+	// caps the duel well below a multi-round bidding war.
+	if _, b := cr.counts(); b > 2*len(voters) {
+		t.Errorf("concurrent termination burned %d ballots, want <= %d", b, 2*len(voters))
+	}
+}

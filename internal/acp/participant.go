@@ -90,6 +90,10 @@ type ptx struct {
 	// initiates (volatile: it only affects liveness, never safety — a
 	// reused attempt number is fenced by the promised-ballot order).
 	nextN uint64
+	// deferred counts termination attempts this member has yielded to a
+	// lower-id initiator it promised (volatile leader preference; see
+	// deferToLowerInitiator).
+	deferred uint8
 }
 
 // NewParticipant builds the participant half for a site. applier is the
@@ -753,6 +757,10 @@ func (p *Participant) terminateQuorum(ctx context.Context, r Resolver, tx model.
 	}
 	quorum := len(voters)/2 + 1
 
+	if p.deferToLowerInitiator(tx) {
+		return false // leader preference: let the lower-id initiator finish
+	}
+
 	// Pick a ballot above everything this member has seen.
 	p.mu.Lock()
 	st, ok := p.states[tx]
@@ -876,6 +884,37 @@ func (p *Participant) adoptDecision(ctx context.Context, r Resolver, tx model.Tx
 		}(site)
 	}
 	wg.Wait()
+}
+
+// termDeferMax bounds how many resolve attempts a member yields to a
+// lower-id initiator before electing anyway. Deferral is liveness-only
+// (the ballot order fences everything), so the budget just has to be small
+// enough that a preferred initiator dying mid-election cannot block the
+// electorate for long.
+const termDeferMax = 2
+
+// deferToLowerInitiator implements the election leader preference: when
+// concurrent members race to terminate the same transaction, their duelling
+// ballots invalidate each other and termination converges only after extra
+// rounds. A member that has already PROMISED a termination ballot from a
+// lower-id voter knows a preferred initiator is live and mid-election, so
+// it sits out a bounded number of its own attempts — the lowest live voter
+// initiates first, and the others join its quorum instead of outbidding it.
+func (p *Participant) deferToLowerInitiator(tx model.TxID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.states[tx]
+	if !ok {
+		return false
+	}
+	if st.ea.N == 0 || st.ea.Site == p.self || st.ea.Site > p.self {
+		return false // no promise, or it is ours / from a less-preferred site
+	}
+	if st.deferred >= termDeferMax {
+		return false // preferred initiator stalled: elect anyway
+	}
+	st.deferred++
+	return true
 }
 
 // bumpAttempt raises the member's next attempt seed past ballots observed

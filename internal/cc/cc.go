@@ -18,6 +18,7 @@ package cc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -39,6 +40,16 @@ type Manager interface {
 	// version number (the QC coordinator derives the install version from
 	// the quorum maximum). The value is buffered, not applied.
 	PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error)
+
+	// TryRead is Read's non-blocking variant, used by the per-shard
+	// pipeline sequencers (which must never park on CC waits): it grants or
+	// rejects exactly like Read when no wait is needed, and returns
+	// ErrWouldBlock — leaving no CC state behind — where Read would block,
+	// so the caller can spill the operation to the blocking path.
+	TryRead(tx model.TxID, ts model.Timestamp, item model.ItemID) (int64, model.Version, error)
+
+	// TryPreWrite is PreWrite's non-blocking variant; see TryRead.
+	TryPreWrite(tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error)
 
 	// Commit installs the transaction's write records into the store and
 	// releases all CC state held for tx.
@@ -96,6 +107,12 @@ type Options struct {
 // DefaultLockTimeout is the default bound on CC waits; it doubles as the
 // distributed-deadlock safety net.
 const DefaultLockTimeout = 2 * time.Second
+
+// ErrWouldBlock is returned by TryRead/TryPreWrite where the blocking
+// variant would park (a lock queue, a pending foreign intent). It is not an
+// abort: the operation left no state behind and may be retried through the
+// blocking path.
+var ErrWouldBlock = errors.New("cc: would block")
 
 // New constructs a manager by protocol name over the site's store.
 func New(name string, store *storage.Store, opts Options) (Manager, error) {

@@ -157,6 +157,35 @@ func (m *MVTSO) Read(ctx context.Context, tx model.TxID, ts model.Timestamp, ite
 	}
 }
 
+// TryRead implements Manager: Read without the pending-intent wait — a
+// foreign intent that would create the version this read should observe
+// answers ErrWouldBlock instead of parking.
+func (m *MVTSO) TryRead(tx model.TxID, ts model.Timestamp, item model.ItemID) (int64, model.Version, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	it, err := m.item(item)
+	if err != nil {
+		return 0, 0, err
+	}
+	if own, ok := it.intents[tx]; ok {
+		v := it.versions[it.visible(ts)]
+		m.stats.Reads++
+		return own.value, v.ver, nil
+	}
+	vi := it.visible(ts)
+	v := &it.versions[vi]
+	for owner, in := range it.intents {
+		if owner != tx && in.ts.Less(ts) && v.ts.Less(in.ts) {
+			return 0, 0, ErrWouldBlock
+		}
+	}
+	if v.rts.Less(ts) {
+		v.rts = ts
+	}
+	m.stats.Reads++
+	return v.value, v.ver, nil
+}
+
 // PreWrite implements Manager. As in TSO, conflicting pre-writes serialize
 // per copy (wait until no foreign intent is pending) so the version numbers
 // reported to the quorum coordinator are unique.
@@ -225,6 +254,47 @@ func (m *MVTSO) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp,
 	// one: the quorum coordinator derives the install version from the
 	// maximum reported base, which must exceed every version already
 	// installed at the quorum or two writers would collide.
+	c, ok := m.store.Get(item)
+	if !ok {
+		delete(it.intents, tx)
+		delete(m.byTx[tx], item)
+		return 0, model.Abortf(model.AbortRCP, "no copy of %s at this site", item)
+	}
+	return c.Version, nil
+}
+
+// TryPreWrite implements Manager: PreWrite without the per-copy
+// serialization wait — any pending foreign intent answers ErrWouldBlock.
+func (m *MVTSO) TryPreWrite(tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	it, err := m.item(item)
+	if err != nil {
+		return 0, err
+	}
+	for owner := range it.intents {
+		if owner != tx {
+			return 0, ErrWouldBlock
+		}
+	}
+	// Tail-of-chain admission rules as in PreWrite (see that method's
+	// comment for why mid-chain inserts are rejected).
+	tail := it.versions[len(it.versions)-1]
+	if ts.Less(tail.ts) {
+		m.stats.Rejections++
+		return 0, model.Abortf(model.AbortCC, "mvtso: pre-write of %s at %s rejected, newer version at %s", item, ts, tail.ts)
+	}
+	if ts.Less(tail.rts) {
+		m.stats.Rejections++
+		return 0, model.Abortf(model.AbortCC, "mvtso: pre-write of %s at %s rejected, version read at %s", item, ts, tail.rts)
+	}
+	it.intents[tx] = tsoIntent{ts: ts, value: value}
+	if m.byTx[tx] == nil {
+		m.byTx[tx] = make(map[model.ItemID]bool)
+	}
+	m.byTx[tx][item] = true
+	m.holders.touch(tx)
+	m.stats.PreWrites++
 	c, ok := m.store.Get(item)
 	if !ok {
 		delete(it.intents, tx)

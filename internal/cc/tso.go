@@ -135,6 +135,37 @@ func (m *TSO) Read(ctx context.Context, tx model.TxID, ts model.Timestamp, item 
 	}
 }
 
+// TryRead implements Manager: Read without the strictness wait — a pending
+// smaller-timestamped foreign intent answers ErrWouldBlock instead of
+// parking on the intent gate.
+func (m *TSO) TryRead(tx model.TxID, ts model.Timestamp, item model.ItemID) (int64, model.Version, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	it := m.item(item)
+	if own, ok := it.intents[tx]; ok {
+		// Read-your-writes on the buffered intent.
+		c, _ := m.store.Get(item)
+		m.stats.Reads++
+		return own.value, c.Version, nil
+	}
+	if ts.Less(it.wts) {
+		m.stats.Rejections++
+		return 0, 0, model.Abortf(model.AbortCC, "tso: read of %s at %s rejected, wts=%s", item, ts, it.wts)
+	}
+	if min, ok := minForeignIntent(it, tx); ok && min.Less(ts) {
+		return 0, 0, ErrWouldBlock
+	}
+	if it.rts.Less(ts) {
+		it.rts = ts
+	}
+	c, ok := m.store.Get(item)
+	if !ok {
+		return 0, 0, model.Abortf(model.AbortRCP, "no copy of %s at this site", item)
+	}
+	m.stats.Reads++
+	return c.Value, c.Version, nil
+}
+
 // PreWrite implements Manager. Conflicting pre-writes are serialized per
 // copy: a pre-write waits until no other transaction's intent is pending on
 // the item. This is what makes the version numbers handed to the quorum
@@ -165,6 +196,35 @@ func (m *TSO) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp, i
 		}
 	}
 	defer m.mu.Unlock()
+	if ts.Less(it.rts) || ts.Less(it.wts) {
+		m.stats.Rejections++
+		return 0, model.Abortf(model.AbortCC, "tso: pre-write of %s at %s rejected, rts=%s wts=%s", item, ts, it.rts, it.wts)
+	}
+	it.intents[tx] = tsoIntent{ts: ts, value: value}
+	if m.byTx[tx] == nil {
+		m.byTx[tx] = make(map[model.ItemID]bool)
+	}
+	m.byTx[tx][item] = true
+	m.holders.touch(tx)
+	c, ok := m.store.Get(item)
+	if !ok {
+		delete(it.intents, tx)
+		delete(m.byTx[tx], item)
+		return 0, model.Abortf(model.AbortRCP, "no copy of %s at this site", item)
+	}
+	m.stats.PreWrites++
+	return c.Version, nil
+}
+
+// TryPreWrite implements Manager: PreWrite without the per-copy
+// serialization wait — any pending foreign intent answers ErrWouldBlock.
+func (m *TSO) TryPreWrite(tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	it := m.item(item)
+	if _, foreign := minForeignIntent(it, tx); foreign {
+		return 0, ErrWouldBlock
+	}
 	if ts.Less(it.rts) || ts.Less(it.wts) {
 		m.stats.Rejections++
 		return 0, model.Abortf(model.AbortCC, "tso: pre-write of %s at %s rejected, rts=%s wts=%s", item, ts, it.rts, it.wts)

@@ -72,6 +72,22 @@ func (m *TwoPL) Read(ctx context.Context, tx model.TxID, ts model.Timestamp, ite
 	if err := m.acquire(ctx, tx, item, lock.Shared); err != nil {
 		return 0, 0, err
 	}
+	return m.finishRead(tx, item)
+}
+
+// TryRead implements Manager: grant the S-lock on the lock manager's fast
+// path or report would-block without queueing.
+func (m *TwoPL) TryRead(tx model.TxID, ts model.Timestamp, item model.ItemID) (int64, model.Version, error) {
+	if err := m.locks.TryAcquire(tx, item, lock.Shared); err != nil {
+		return 0, 0, ErrWouldBlock
+	}
+	m.holders.touch(tx)
+	return m.finishRead(tx, item)
+}
+
+// finishRead is the post-acquire half of Read: fetch the copy and overlay
+// the transaction's own buffered intent (read-your-writes).
+func (m *TwoPL) finishRead(tx model.TxID, item model.ItemID) (int64, model.Version, error) {
 	c, ok := m.store.Get(item)
 	if !ok {
 		return 0, 0, model.Abortf(model.AbortRCP, "no copy of %s at this site", item)
@@ -93,6 +109,22 @@ func (m *TwoPL) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp,
 	if err := m.acquire(ctx, tx, item, lock.Exclusive); err != nil {
 		return 0, err
 	}
+	return m.finishPreWrite(tx, item, value)
+}
+
+// TryPreWrite implements Manager: grant the X-lock on the lock manager's
+// fast path or report would-block without queueing.
+func (m *TwoPL) TryPreWrite(tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error) {
+	if err := m.locks.TryAcquire(tx, item, lock.Exclusive); err != nil {
+		return 0, ErrWouldBlock
+	}
+	m.holders.touch(tx)
+	return m.finishPreWrite(tx, item, value)
+}
+
+// finishPreWrite is the post-acquire half of PreWrite: buffer the intent
+// and report the copy's current version.
+func (m *TwoPL) finishPreWrite(tx model.TxID, item model.ItemID, value int64) (model.Version, error) {
 	c, ok := m.store.Get(item)
 	if !ok {
 		return 0, model.Abortf(model.AbortRCP, "no copy of %s at this site", item)

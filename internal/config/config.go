@@ -60,6 +60,16 @@ type Experiment struct {
 	// snapshots carry whole dirty shards instead of just the written items
 	// — an ablation knob.
 	CheckpointNoDirtyItems bool `json:"checkpoint_no_dirty_items,omitempty"`
+	// PipelineDisable turns off the per-shard command pipelines on every
+	// site: copy operations run the synchronous per-request path — the
+	// batching-experiment ablation knob.
+	PipelineDisable bool `json:"pipeline_disable,omitempty"`
+	// PipelineDepth bounds each per-shard pipeline queue; 0/absent selects
+	// the default.
+	PipelineDepth int `json:"pipeline_depth,omitempty"`
+	// PipelineMaxBatch caps one drained pipeline batch; 0/absent selects the
+	// default.
+	PipelineMaxBatch int `json:"pipeline_max_batch,omitempty"`
 	// CatalogPollMS makes each site probe the name server's catalog epoch
 	// at this interval and live-reconfigure when it moved; 0/absent
 	// disables polling (sites still receive the name server's push).
@@ -179,8 +189,18 @@ func (e *Experiment) BuildCatalog() (*schema.Catalog, error) {
 	cat.Timeouts = e.Timeouts()
 	cat.Shards = e.Shards
 	cat.Checkpoint = e.Checkpoint()
+	cat.Pipeline = e.Pipeline()
 	cat.Epoch = e.Epoch
 	return cat, nil
+}
+
+// Pipeline converts the pipeline fields to a schema policy.
+func (e *Experiment) Pipeline() schema.PipelinePolicy {
+	return schema.PipelinePolicy{
+		Disable:  e.PipelineDisable,
+		Depth:    e.PipelineDepth,
+		MaxBatch: e.PipelineMaxBatch,
+	}
 }
 
 // Checkpoint converts the checkpoint fields to a schema policy.

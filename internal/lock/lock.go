@@ -30,6 +30,7 @@ package lock
 
 import (
 	"context"
+	"errors"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,11 @@ import (
 	"repro/internal/model"
 	"repro/internal/shard"
 )
+
+// ErrWouldBlock is returned by TryAcquire where Acquire would queue. The
+// request leaves no lock state behind: no grant, no waiter, no waits-for
+// edge.
+var ErrWouldBlock = errors.New("lock: would block")
 
 // Mode is a lock mode.
 type Mode uint8
@@ -307,6 +313,37 @@ func (m *Manager) Acquire(ctx context.Context, tx model.TxID, item model.ItemID,
 		sh.mu.Unlock()
 		return model.Abortf(model.AbortCC, "lock timeout: %s on %s(%s)", tx, item, mode)
 	}
+}
+
+// TryAcquire is Acquire's non-blocking variant, used by the per-shard
+// pipeline sequencers: it grants on exactly Acquire's fast path (mode
+// compatible with the holders and no queued conflicting waiter) and returns
+// ErrWouldBlock where Acquire would queue — never a timer, never a
+// waits-for edge. A would-block answer leaves no trace, so the caller can
+// retry through the blocking Acquire without double-registering anything.
+func (m *Manager) TryAcquire(tx model.TxID, item model.ItemID, mode Mode) error {
+	idx := m.shardIndexOf(item)
+	sh := m.shards[idx]
+	sh.mu.Lock()
+	il := sh.items[item]
+	if il == nil {
+		il = &itemLock{holders: make(map[model.TxID]Mode)}
+		sh.items[item] = il
+	}
+	cur := il.holders[tx]
+	if cur >= mode {
+		sh.mu.Unlock()
+		return nil // already held strongly enough
+	}
+	upgrade := cur == Shared && mode == Exclusive
+	if holdersCompatible(il, tx, mode, upgrade) && !queueConflicts(il, tx, mode) {
+		m.markTouched(tx, idx)
+		m.grantLocked(sh, item, il, tx, mode, upgrade)
+		sh.mu.Unlock()
+		return nil
+	}
+	sh.mu.Unlock()
+	return ErrWouldBlock
 }
 
 // ReleaseAll drops every lock tx holds and removes it from all wait queues,

@@ -155,6 +155,47 @@ type SiteStats struct {
 	// StoreShards carries per-shard occupancy and traffic, for spotting
 	// hash skew across the sharded store.
 	StoreShards []ShardStat
+	// Per-shard command-pipeline gauges (all zero when the pipeline is
+	// disabled). PipeDepth is the operations queued right now across all
+	// sequencers; PipeSubmitted/PipeBatches give the mean admit batch size;
+	// PipeMaxBatch is the largest batch drained; PipeStalls counts Submits
+	// that found their queue full (backpressure), PipeSpills contended
+	// operations that left their sequencer for a blocking-path goroutine.
+	PipeDepth     int
+	PipeSubmitted uint64
+	PipeBatches   uint64
+	PipeMaxBatch  uint64
+	PipeStalls    uint64
+	PipeSpills    uint64
+	// Coalescing-transport gauges (filled under the tcpnet backend; zero on
+	// the simulated network). Envelopes per flush is the send-syscall
+	// amortization; NetRecvFrames counts decoded multi-envelope frames;
+	// NetSendSheds counts sends dropped under backpressure; NetLegacyConns
+	// counts accepted connections speaking the old single-envelope framing.
+	NetSentEnvelopes uint64
+	NetSendFlushes   uint64
+	NetRecvEnvelopes uint64
+	NetRecvFrames    uint64
+	NetSendSheds     uint64
+	NetLegacyConns   uint64
+}
+
+// PipeBatchSize returns the mean pipeline admit-batch size (operations per
+// drained batch).
+func (s SiteStats) PipeBatchSize() float64 {
+	if s.PipeBatches == 0 {
+		return 0
+	}
+	return float64(s.PipeSubmitted) / float64(s.PipeBatches)
+}
+
+// NetCoalescing returns the mean envelopes per transport flush (the send
+// syscalls saved by the coalescing sender).
+func (s SiteStats) NetCoalescing() float64 {
+	if s.NetSendFlushes == 0 {
+		return 0
+	}
+	return float64(s.NetSentEnvelopes) / float64(s.NetSendFlushes)
 }
 
 // ShardStat mirrors one storage shard's occupancy and traffic counters.
@@ -359,6 +400,20 @@ func (r Report) Totals() SiteStats {
 		if s.CheckpointPauseNS > out.CheckpointPauseNS {
 			out.CheckpointPauseNS = s.CheckpointPauseNS
 		}
+		out.PipeDepth += s.PipeDepth
+		out.PipeSubmitted += s.PipeSubmitted
+		out.PipeBatches += s.PipeBatches
+		if s.PipeMaxBatch > out.PipeMaxBatch {
+			out.PipeMaxBatch = s.PipeMaxBatch
+		}
+		out.PipeStalls += s.PipeStalls
+		out.PipeSpills += s.PipeSpills
+		out.NetSentEnvelopes += s.NetSentEnvelopes
+		out.NetSendFlushes += s.NetSendFlushes
+		out.NetRecvEnvelopes += s.NetRecvEnvelopes
+		out.NetRecvFrames += s.NetRecvFrames
+		out.NetSendSheds += s.NetSendSheds
+		out.NetLegacyConns += s.NetLegacyConns
 		out.RecoveryRecords += s.RecoveryRecords
 		if s.RecoveryNS > out.RecoveryNS {
 			out.RecoveryNS = s.RecoveryNS
@@ -457,6 +512,16 @@ func (r Report) Render() string {
 	fmt.Fprintf(&b, "orphan transactions: %d\n", t.Orphans)
 	fmt.Fprintf(&b, "data plane: %d shards, wal %d records / %d flushes (%.1f recs/flush)\n",
 		t.Shards, t.WALRecords, t.WALFlushes, t.WALBatchSize())
+	if t.PipeBatches > 0 || t.PipeSpills > 0 {
+		fmt.Fprintf(&b, "pipeline: %d ops / %d batches (%.1f ops/batch, max %d), depth=%d stalls=%d spills=%d\n",
+			t.PipeSubmitted, t.PipeBatches, t.PipeBatchSize(), t.PipeMaxBatch,
+			t.PipeDepth, t.PipeStalls, t.PipeSpills)
+	}
+	if t.NetSendFlushes > 0 {
+		fmt.Fprintf(&b, "net coalescing: %d envelopes / %d flushes (%.1f env/flush), %d frames in, sheds=%d legacy-conns=%d\n",
+			t.NetSentEnvelopes, t.NetSendFlushes, t.NetCoalescing(),
+			t.NetRecvFrames, t.NetSendSheds, t.NetLegacyConns)
+	}
 	fmt.Fprintf(&b, "durability: %d checkpoints (%d deltas), %d segments compacted, wal %d segments / %d bytes retained\n",
 		t.Checkpoints, t.CheckpointDeltas, t.SegmentsCompacted, t.WALSegments, t.WALBytes)
 	fmt.Fprintf(&b, "checkpoint: horizon=%d gate-pause=%v dirty-shards=%d decisions=%d\n",

@@ -1,0 +1,190 @@
+// Package pipeline implements the per-shard single-writer command pipelines
+// behind a Rainbow site's copy-operation hot path. Incoming operations are
+// demuxed by item shard onto bounded per-shard input queues, each drained by
+// one sequencer goroutine that processes operations in batches: the
+// sequencer blocks for the first queued operation, greedily drains the rest
+// of the queue (up to a batch cap), and hands the whole slice to the
+// handler. Downstream costs that amortize across a batch — site-state
+// snapshots, tombstone checks, clock witnessing, reply flushes on the
+// coalescing transport — are then paid once per batch instead of once per
+// operation, and shard-local state is touched by exactly one goroutine, so
+// the contended-shard path sheds its mutex ping-pong.
+//
+// Backpressure is by bounded queue: Submit tries a non-blocking enqueue
+// first and then blocks (counted as a stall) until the sequencer frees a
+// slot or the caller's context is done. The queue is never unbounded and
+// the sequencer never blocks on Submit, so the two cannot deadlock.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by Submit after Close; callers fall back to their
+// direct (unpipelined) path.
+var ErrClosed = errors.New("pipeline: closed")
+
+// Handler processes one drained batch on the shard's sequencer goroutine.
+// It is invoked by one goroutine per shard (never concurrently for the same
+// shard) and must not block indefinitely: slow work belongs on a spill
+// goroutine, or it stalls every operation queued behind the batch.
+type Handler[T any] func(shard int, batch []T)
+
+// Defaults for construction knobs (<= 0 selects these).
+const (
+	DefaultQueueDepth = 256
+	DefaultMaxBatch   = 64
+)
+
+// Pipeline is a set of per-shard sequencers. The shard count is fixed at
+// construction; items are mapped to shards by the caller (sites use the
+// shared shard.Hash so placement agrees with the storage and lock stripes).
+type Pipeline[T any] struct {
+	handler  Handler[T]
+	maxBatch int
+	queues   []chan T
+	wg       sync.WaitGroup
+
+	// closeMu serializes Submit's enqueue with Close's channel close: Submit
+	// holds the read side across the send so Close cannot close a channel
+	// mid-send (send on closed channel panics). The sequencers keep draining
+	// until close, so a blocked Submit always completes and the write lock
+	// is never starved behind a dead queue.
+	closeMu sync.RWMutex
+	closed  bool
+
+	submitted atomic.Uint64
+	batches   atomic.Uint64
+	stalls    atomic.Uint64
+	maxSeen   atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of pipeline counters.
+type Stats struct {
+	Shards    int    // sequencer count
+	Depth     int    // operations currently queued across all shards
+	Submitted uint64 // operations accepted by Submit
+	Batches   uint64 // batches handed to the handler
+	MaxBatch  uint64 // largest batch drained so far
+	Stalls    uint64 // Submits that found their queue full and blocked
+}
+
+// New builds and starts a pipeline with the given shard count. depth bounds
+// each per-shard queue and maxBatch caps one drained batch; non-positive
+// values select the defaults. shards must be a power of two >= 1 (callers
+// normalize via the shared shard package).
+func New[T any](shards, depth, maxBatch int, h Handler[T]) *Pipeline[T] {
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	p := &Pipeline[T]{
+		handler:  h,
+		maxBatch: maxBatch,
+		queues:   make([]chan T, shards),
+	}
+	for i := range p.queues {
+		p.queues[i] = make(chan T, depth)
+		p.wg.Add(1)
+		go p.sequence(i, p.queues[i])
+	}
+	return p
+}
+
+// Shards returns the sequencer count (a power of two; callers mask hashes
+// with Shards()-1).
+func (p *Pipeline[T]) Shards() int { return len(p.queues) }
+
+// Submit enqueues op onto its shard's queue. It returns ErrClosed after
+// Close, or the context error if the queue stays full until ctx is done.
+func (p *Pipeline[T]) Submit(ctx context.Context, shard int, op T) error {
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	ch := p.queues[shard]
+	select {
+	case ch <- op:
+		p.submitted.Add(1)
+		return nil
+	default:
+	}
+	// Queue full: block — this is the backpressure that keeps a flooded
+	// shard from buffering unboundedly.
+	p.stalls.Add(1)
+	select {
+	case ch <- op:
+		p.submitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// sequence is one shard's sequencer: block for the first operation, drain
+// greedily up to the batch cap, hand the batch to the handler, repeat.
+// Close drains the queue (every accepted operation is handled) before the
+// goroutine exits.
+func (p *Pipeline[T]) sequence(shard int, ch chan T) {
+	defer p.wg.Done()
+	batch := make([]T, 0, p.maxBatch)
+	for op := range ch {
+		batch = append(batch[:0], op)
+	drain:
+		for len(batch) < p.maxBatch {
+			select {
+			case next, ok := <-ch:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, next)
+			default:
+				break drain
+			}
+		}
+		p.batches.Add(1)
+		if n := uint64(len(batch)); n > p.maxSeen.Load() {
+			p.maxSeen.Store(n) // single writer per shard; cross-shard race only loses a high-water tie
+		}
+		p.handler(shard, batch)
+	}
+}
+
+// Close stops the pipeline: subsequent Submits fail with ErrClosed, queued
+// operations are drained through the handler, and Close returns once every
+// sequencer has exited.
+func (p *Pipeline[T]) Close() {
+	p.closeMu.Lock()
+	if p.closed {
+		p.closeMu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	for _, ch := range p.queues {
+		close(ch)
+	}
+	p.closeMu.Unlock()
+	p.wg.Wait()
+}
+
+// Stats snapshots the pipeline counters.
+func (p *Pipeline[T]) Stats() Stats {
+	st := Stats{
+		Shards:    len(p.queues),
+		Submitted: p.submitted.Load(),
+		Batches:   p.batches.Load(),
+		MaxBatch:  p.maxSeen.Load(),
+		Stalls:    p.stalls.Load(),
+	}
+	for _, ch := range p.queues {
+		st.Depth += len(ch)
+	}
+	return st
+}

@@ -1,0 +1,237 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAllOpsHandledOnce submits a known set of operations across shards and
+// verifies every one reaches the handler exactly once, on its own shard.
+func TestAllOpsHandledOnce(t *testing.T) {
+	const shards, ops = 4, 1000
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	p := New(shards, 8, 16, func(shard int, batch []int) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, op := range batch {
+			if op%shards != shard {
+				t.Errorf("op %d handled on shard %d, want %d", op, shard, op%shards)
+			}
+			seen[op]++
+		}
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < ops; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := p.Submit(context.Background(), i%shards, i); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	p.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != ops {
+		t.Fatalf("handled %d distinct ops, want %d", len(seen), ops)
+	}
+	for op, n := range seen {
+		if n != 1 {
+			t.Errorf("op %d handled %d times", op, n)
+		}
+	}
+}
+
+// TestBatching verifies the sequencer drains greedily: with the sequencer
+// stalled, queued operations arrive as one batch, capped at maxBatch.
+func TestBatching(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	var batches [][]int
+	var mu sync.Mutex
+	p := New(1, 64, 8, func(_ int, batch []int) {
+		entered <- struct{}{}
+		<-block
+		mu.Lock()
+		batches = append(batches, append([]int(nil), batch...))
+		mu.Unlock()
+	})
+	defer p.Close()
+
+	// Park the sequencer in the handler with just op 0, then queue 20 more
+	// behind it: they must drain as ceil(20/8) = 3 capped batches.
+	if err := p.Submit(context.Background(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	for i := 1; i < 21; i++ {
+		if err := p.Submit(context.Background(), 0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(block)
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		mu.Lock()
+		total := 0
+		for _, b := range batches {
+			total += len(b)
+		}
+		done := total == 21
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("not all ops handled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(batches) != 4 { // 1 (the blocker) + 3 drained
+		t.Errorf("got %d batches, want 4: %v", len(batches), batches)
+	}
+	for _, b := range batches {
+		if len(b) > 8 {
+			t.Errorf("batch exceeds cap: %d ops", len(b))
+		}
+	}
+	if st := p.Stats(); st.MaxBatch != 8 || st.Batches != 4 || st.Submitted != 21 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestSubmitAfterCloseFails verifies ErrClosed and that Close drains what
+// was accepted.
+func TestSubmitAfterCloseFails(t *testing.T) {
+	var handled atomic.Int64
+	p := New(2, 4, 4, func(_ int, batch []int) { handled.Add(int64(len(batch))) })
+	for i := 0; i < 6; i++ {
+		if err := p.Submit(context.Background(), i%2, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if got := handled.Load(); got != 6 {
+		t.Errorf("Close drained %d ops, want 6", got)
+	}
+	if err := p.Submit(context.Background(), 0, 9); err != ErrClosed {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestBackpressureBlocksAndCounts fills a queue behind a stalled sequencer:
+// Submit must block (counted as a stall), not drop, and unblock when the
+// sequencer drains; a context cancellation must abort a blocked Submit.
+func TestBackpressureBlocksAndCounts(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	p := New(1, 2, 2, func(_ int, batch []int) {
+		entered <- struct{}{}
+		<-block
+	})
+	defer p.Close()
+
+	// Park the sequencer in the handler with op 0, then fill the depth-2
+	// queue behind it: the shard is saturated.
+	if err := p.Submit(context.Background(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	for i := 1; i < 3; i++ {
+		if err := p.Submit(context.Background(), 0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := p.Submit(ctx, 0, 99); err != context.DeadlineExceeded {
+		t.Errorf("Submit on full queue = %v, want deadline exceeded", err)
+	}
+	if st := p.Stats(); st.Stalls == 0 {
+		t.Error("full-queue Submit not counted as a stall")
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- p.Submit(context.Background(), 0, 100) }()
+	close(block) // sequencer drains; the blocked Submit must complete
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("blocked Submit after drain: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Submit deadlocked on a draining queue")
+	}
+}
+
+// TestSequencerSingleWriter proves the single-writer guarantee: handlers for
+// the same shard never overlap (checked with a per-shard reentrancy flag),
+// even under heavy concurrent submission. Run with -race.
+func TestSequencerSingleWriter(t *testing.T) {
+	const shards = 4
+	var inHandler [shards]atomic.Bool
+	var total atomic.Int64
+	p := New(shards, 16, 8, func(shard int, batch []int) {
+		if !inHandler[shard].CompareAndSwap(false, true) {
+			t.Errorf("concurrent handler invocations on shard %d", shard)
+		}
+		total.Add(int64(len(batch)))
+		inHandler[shard].Store(false)
+	})
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := p.Submit(context.Background(), (g+i)%shards, i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.Close()
+	if got := total.Load(); got != goroutines*per {
+		t.Errorf("handled %d ops, want %d", got, goroutines*per)
+	}
+}
+
+// TestConcurrentSubmitClose races Submit against Close: no panic (send on
+// closed channel), every Submit either succeeds (and is handled) or returns
+// ErrClosed. Run with -race.
+func TestConcurrentSubmitClose(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		var handled, accepted atomic.Int64
+		p := New(2, 8, 8, func(_ int, batch []int) { handled.Add(int64(len(batch))) })
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					if err := p.Submit(context.Background(), i%2, i); err != nil {
+						return
+					}
+					accepted.Add(1)
+				}
+			}()
+		}
+		time.Sleep(time.Duration(round%5) * time.Millisecond)
+		p.Close()
+		wg.Wait()
+		if handled.Load() != accepted.Load() {
+			t.Fatalf("round %d: accepted %d but handled %d", round, accepted.Load(), handled.Load())
+		}
+	}
+}

@@ -98,6 +98,21 @@ type CheckpointPolicy struct {
 // Enabled reports whether any automatic trigger is configured.
 func (p CheckpointPolicy) Enabled() bool { return p.Bytes > 0 || p.Interval > 0 }
 
+// PipelinePolicy configures each site's per-shard command pipelines (the
+// copy-operation hot path). The zero value enables the pipeline with
+// default sizing; Disable is the ablation knob that restores the
+// pre-pipeline synchronous serve path.
+type PipelinePolicy struct {
+	// Disable turns the per-shard pipelines off: copy operations run the
+	// synchronous per-request path — an ablation knob for batching
+	// experiments.
+	Disable bool
+	// Depth bounds each per-shard input queue; <= 0 selects the default.
+	Depth int
+	// MaxBatch caps one drained batch; <= 0 selects the default.
+	MaxBatch int
+}
+
 // Timeouts bounds protocol waits across the instance.
 type Timeouts struct {
 	// Op bounds one remote copy operation (read / pre-write).
@@ -143,6 +158,9 @@ type Catalog struct {
 	// Checkpoint is the per-site checkpoint/compaction policy, carried in
 	// the catalog for the same reason as Shards.
 	Checkpoint CheckpointPolicy
+	// Pipeline is the per-site command-pipeline policy, carried in the
+	// catalog for the same reason as Shards.
+	Pipeline PipelinePolicy
 	// Epoch increments on every catalog update so sites can detect staleness.
 	Epoch uint64
 }
@@ -165,6 +183,7 @@ func (c *Catalog) Clone() *Catalog {
 		Timeouts:   c.Timeouts,
 		Shards:     c.Shards,
 		Checkpoint: c.Checkpoint,
+		Pipeline:   c.Pipeline,
 		Epoch:      c.Epoch,
 	}
 	for k, v := range c.Sites {
@@ -230,6 +249,8 @@ type Diff struct {
 	Shards bool
 	// Checkpoint marks a checkpoint/compaction policy change.
 	Checkpoint bool
+	// Pipeline marks a command-pipeline policy change.
+	Pipeline bool
 	// Protocols marks an RCP/CCP/ACP (or ablation-knob) change.
 	Protocols bool
 	// Timeouts marks a protocol-timeout change.
@@ -240,7 +261,7 @@ type Diff struct {
 // site-registration changes are immaterial: they alter the name server's
 // address book, not any site-local structure.
 func (d Diff) Material() bool {
-	return d.Items || d.Shards || d.Checkpoint || d.Protocols || d.Timeouts
+	return d.Items || d.Shards || d.Checkpoint || d.Pipeline || d.Protocols || d.Timeouts
 }
 
 // RequiresRebuild reports whether the diff needs the full quiesce +
@@ -249,7 +270,7 @@ func (d Diff) Material() bool {
 // forced O(store) snapshot plus fence-aborting every in-flight transaction
 // would be pure waste for it.
 func (d Diff) RequiresRebuild() bool {
-	return d.Items || d.Shards || d.Checkpoint || d.Protocols
+	return d.Items || d.Shards || d.Checkpoint || d.Pipeline || d.Protocols
 }
 
 // String renders the changed facets for reconfiguration logs.
@@ -260,7 +281,8 @@ func (d Diff) String() string {
 		name string
 	}{
 		{d.Sites, "sites"}, {d.Items, "items"}, {d.Shards, "shards"},
-		{d.Checkpoint, "checkpoint"}, {d.Protocols, "protocols"}, {d.Timeouts, "timeouts"},
+		{d.Checkpoint, "checkpoint"}, {d.Pipeline, "pipeline"},
+		{d.Protocols, "protocols"}, {d.Timeouts, "timeouts"},
 	} {
 		if f.on {
 			parts = append(parts, f.name)
@@ -279,6 +301,7 @@ func (c *Catalog) DiffFrom(old *Catalog) Diff {
 		EpochTo:    c.Epoch,
 		Shards:     c.Shards != old.Shards,
 		Checkpoint: c.Checkpoint != old.Checkpoint,
+		Pipeline:   c.Pipeline != old.Pipeline,
 		Protocols:  c.Protocols != old.Protocols,
 		Timeouts:   c.Timeouts != old.Timeouts,
 		Sites:      !reflect.DeepEqual(c.Sites, old.Sites),

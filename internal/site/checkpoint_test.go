@@ -2,6 +2,7 @@ package site
 
 import (
 	"context"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -166,14 +167,48 @@ func TestSiteIntervalCheckpointTrigger(t *testing.T) {
 
 // TestSiteRecoverySkipsSnapshotDecidedTx is the regression test for a
 // subtle recovery bug: transaction T's Prepared record survives compaction
-// only because it shares a segment with a genuine orphan's pin, while T's
-// Decision record was compacted away — so from the retained records alone T
-// looks in-doubt. The snapshot's decision table knows the outcome; recovery
-// must NOT re-lock T's write set.
+// only because it shares a retained segment with a genuine orphan's pin,
+// while T's Decision record was compacted away — so from the retained
+// records alone T looks in-doubt. The snapshot's decision table knows the
+// outcome; recovery must NOT re-lock T's write set.
+//
+// Sparse rewriting (record-granular pinning) makes this layout impossible
+// for binary segments — a rewrite sheds decided transactions' records — but
+// legacy JSON-lines segments are kept whole when pinned, so logs from the
+// pre-segment era can still present it. The test builds exactly that: both
+// Prepared records pre-seeded in a legacy segment.
 func TestSiteRecoverySkipsSnapshotDecidedTx(t *testing.T) {
 	dir := t.TempDir()
-	// Tiny segments: the two Prepared records share the first segment, the
-	// Decision lands in the next one.
+	orphan := model.TxID{Site: "Z", Seq: 1}
+	decided := model.TxID{Site: "Z", Seq: 2}
+
+	// A legacy (headerless JSON-lines) segment holding the two Prepared
+	// records; compaction keeps it whole as long as the orphan pins it.
+	fl, err := wal.OpenFile(filepath.Join(dir, "00000000000000000000.seg"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := []struct {
+		tx   model.TxID
+		item model.ItemID
+		val  int64
+	}{{orphan, "y", 111}, {decided, "z", 555}}
+	for _, sr := range seeded {
+		if err := fl.Append(wal.Record{
+			Type: wal.RecPrepared, Tx: sr.tx,
+			TS:          model.Timestamp{Time: sr.tx.Seq, Site: "Z"},
+			Coordinator: "Z", Participants: []model.SiteID{"A", "Z"},
+			Writes: []model.WriteRecord{{Item: sr.item, Value: sr.val, Version: 50}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tiny segments so the Decision record's binary segment seals (and
+	// compacts) quickly.
 	l, err := wal.OpenSegmented(dir, wal.SegmentOptions{SegmentBytes: 100})
 	if err != nil {
 		t.Fatal(err)
@@ -182,7 +217,9 @@ func TestSiteRecoverySkipsSnapshotDecidedTx(t *testing.T) {
 	cat := schema.NewCatalog()
 	cat.Sites["A"] = schema.SiteInfo{ID: "A"}
 	cat.ReplicateEverywhere("x", 0)
+	cat.ReplicateEverywhere("y", 0)
 	cat.ReplicateEverywhere("z", 0)
+	// New replays the log: both transactions come back in-doubt.
 	st, err := New(Config{ID: "A", Net: net, Catalog: cat, Log: l})
 	if err != nil {
 		t.Fatal(err)
@@ -190,21 +227,9 @@ func TestSiteRecoverySkipsSnapshotDecidedTx(t *testing.T) {
 	defer st.Close()
 	ctx := context.Background()
 
-	orphan := model.TxID{Site: "Z", Seq: 1}
-	decided := model.TxID{Site: "Z", Seq: 2}
-	prep := func(tx model.TxID, item model.ItemID, val int64) {
-		t.Helper()
-		v := st.part.HandlePrepare(wire.PrepareReq{
-			Tx: tx, TS: model.Timestamp{Time: tx.Seq, Site: "Z"},
-			Coordinator: "Z", Participants: []model.SiteID{"A", "Z"},
-			Writes: []model.WriteRecord{{Item: item, Value: val, Version: 50}},
-		})
-		if !v.Yes {
-			t.Fatalf("prepare %v rejected: %+v", tx, v)
-		}
+	if n := st.InDoubtCount(); n != 2 {
+		t.Fatalf("in-doubt after seeded open = %d, want 2", n)
 	}
-	prep(orphan, "z", 111)
-	prep(decided, "z", 555)
 	if err := st.part.HandleDecision(decided, true); err != nil {
 		t.Fatal(err)
 	}
@@ -227,8 +252,8 @@ func TestSiteRecoverySkipsSnapshotDecidedTx(t *testing.T) {
 	}
 
 	// Precondition for a non-vacuous test: the decided transaction's
-	// Prepared record is retained (pinned segment) but its Decision record
-	// was compacted away.
+	// Prepared record is retained (whole-kept legacy segment, pinned by the
+	// orphan) but its Decision record was compacted away.
 	recs, err := l.ReadAll()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,267 @@
+package site
+
+import (
+	"context"
+
+	"repro/internal/cc"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/schema"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// The copy-operation hot path (reads and pre-writes — the paper's RCP
+// traffic, the bulk of every workload) runs through per-shard single-writer
+// pipelines instead of the synchronous serve path: the transport hands the
+// request to serveAsync, which decodes it and demuxes it by item shard onto
+// a bounded queue; one sequencer goroutine per shard drains operations in
+// batches and runs copyBatch, which pays the site-state snapshot, tombstone
+// scans, clock witnessing and reply flush once per batch. Admission uses the
+// CC managers' non-blocking TryRead/TryPreWrite so a contended operation
+// never stalls its whole shard: it spills to a goroutine running the
+// original blocking path, exactly preserving the synchronous semantics.
+//
+// Everything else (prepares, decisions, control traffic) keeps the
+// synchronous path: those force WAL records under the checkpoint gate and
+// already batch at the group-commit layer.
+
+// copyOp is one queued copy operation. Exactly one of read/write is set,
+// selected by kind.
+type copyOp struct {
+	from  model.SiteID
+	kind  wire.MsgKind
+	read  wire.ReadCopyReq
+	write wire.PreWriteReq
+	reply wire.ReplyFunc
+}
+
+func (o *copyOp) tx() model.TxID {
+	if o.kind == wire.KindReadCopy {
+		return o.read.Tx
+	}
+	return o.write.Tx
+}
+
+func (o *copyOp) ts() model.Timestamp {
+	if o.kind == wire.KindReadCopy {
+		return o.read.TS
+	}
+	return o.write.TS
+}
+
+// copyResult carries one operation's admission outcome between copyBatch's
+// passes.
+type copyResult struct {
+	value   int64
+	ver     model.Version
+	err     error
+	ok      bool // admitted, pending the tombstone re-check
+	raced   bool // admitted but a release raced past: undo and refuse
+	spilled bool // would block: runs the blocking path on a spill goroutine
+}
+
+// serveAsync is the wire.AsyncServeFunc half of the site: it claims
+// KindReadCopy/KindPreWrite requests for the pipeline and declines the rest
+// (false sends the transport down the synchronous serve path). Decode
+// happens here — the pipeline's first stage — on the transport goroutine,
+// so a malformed payload is refused without occupying a queue slot.
+func (s *Site) serveAsync(from model.SiteID, kind wire.MsgKind, payload []byte, reply wire.ReplyFunc) bool {
+	if kind != wire.KindReadCopy && kind != wire.KindPreWrite {
+		return false
+	}
+	p := s.pipe.Load()
+	if p == nil {
+		return false // pipeline disabled or not built yet
+	}
+	op := copyOp{from: from, kind: kind, reply: reply}
+	var item model.ItemID
+	if kind == wire.KindReadCopy {
+		if err := wire.Unmarshal(payload, &op.read); err != nil {
+			reply(0, nil, err)
+			return true
+		}
+		item = op.read.Item
+	} else {
+		if err := wire.Unmarshal(payload, &op.write); err != nil {
+			reply(0, nil, err)
+			return true
+		}
+		item = op.write.Item
+	}
+	// Same placement function as the storage shards and lock stripes, so one
+	// sequencer owns each item's hot path end to end.
+	sh := int(shard.Hash(item)) & (p.Shards() - 1)
+	// lifeCtx (not runCtx) bounds a blocked Submit: it is set once at New and
+	// cancelled only by Close, so it needs no lock here; a crash leaves the
+	// sequencers draining, which frees the slot anyway.
+	if err := p.Submit(s.lifeCtx, sh, op); err != nil {
+		return false // closing/swapping: the synchronous path still works
+	}
+	return true
+}
+
+// copyBatch processes one drained batch on its shard's sequencer goroutine.
+// The per-operation costs of the synchronous path that don't depend on the
+// operation — the site-state snapshot under s.mu, the release-tombstone
+// lookups, the clock witness and peek — are paid once per batch.
+func (s *Site) copyBatch(_ int, batch []copyOp) {
+	s.mu.Lock()
+	crashed := s.crashed
+	ccm := s.ccm
+	runCtx := s.runCtx
+	timeouts := s.timeouts
+	incarnation := s.incarnation
+	released := make([]bool, len(batch))
+	for i := range batch {
+		_, released[i] = s.released[batch[i].tx()]
+	}
+	s.mu.Unlock()
+
+	if crashed || ccm == nil {
+		for i := range batch {
+			batch[i].reply(0, nil, errCrashed)
+		}
+		return
+	}
+
+	// One Witness covers the whole batch: the clock only ever advances to
+	// the maximum observed time, so witnessing the batch's newest timestamp
+	// is equivalent to witnessing each in turn.
+	var maxTS model.Timestamp
+	for i := range batch {
+		if ts := batch[i].ts(); maxTS.Less(ts) {
+			maxTS = ts
+		}
+	}
+	s.clock.Witness(maxTS)
+
+	results := make([]copyResult, len(batch))
+	for i := range batch {
+		op := &batch[i]
+		if released[i] {
+			results[i].err = model.Abortf(model.AbortCC, "transaction %s already released", op.tx())
+			continue
+		}
+		if op.kind == wire.KindReadCopy {
+			v, ver, err := ccm.TryRead(op.read.Tx, op.read.TS, op.read.Item)
+			if err == cc.ErrWouldBlock {
+				results[i].spilled = true
+				continue
+			}
+			results[i] = copyResult{value: v, ver: ver, err: err, ok: err == nil}
+		} else {
+			ver, err := ccm.TryPreWrite(op.write.Tx, op.write.TS, op.write.Item, op.write.Value)
+			if err == cc.ErrWouldBlock {
+				results[i].spilled = true
+				continue
+			}
+			results[i] = copyResult{ver: ver, err: err, ok: err == nil}
+		}
+	}
+
+	// Re-check tombstones for the admitted operations under one lock: a
+	// release that raced past the admit must win — undo and refuse, exactly
+	// like the synchronous path's post-admit check.
+	s.mu.Lock()
+	for i := range batch {
+		if results[i].ok {
+			if _, raced := s.released[batch[i].tx()]; raced {
+				results[i].ok = false
+				results[i].raced = true
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	// Peek after Witness(maxTS): every reply's Clock is >= its request's
+	// timestamp, as the synchronous path guarantees.
+	clockNow := s.clock.Peek()
+	for i := range batch {
+		op := &batch[i]
+		r := &results[i]
+		switch {
+		case r.spilled:
+			s.pipeSpills.Add(1)
+			go s.spillCopy(*op, ccm, runCtx, timeouts, incarnation)
+		case r.raced:
+			ccm.Abort(op.tx())
+			op.reply(0, nil, model.Abortf(model.AbortCC, "transaction %s already released", op.tx()))
+		case r.err != nil:
+			op.reply(0, nil, r.err)
+		case op.kind == wire.KindReadCopy:
+			s.hist.Record(op.read.Tx, model.OpRead, op.read.Item, r.value, r.ver)
+			op.reply(wire.KindReadCopy, wire.ReadCopyResp{
+				Value: r.value, Version: r.ver, Clock: clockNow, Incarnation: incarnation,
+			}, nil)
+		default:
+			op.reply(wire.KindPreWrite, wire.PreWriteResp{
+				Version: r.ver, Clock: clockNow, Incarnation: incarnation,
+			}, nil)
+		}
+	}
+}
+
+// spillCopy runs one contended operation through the original blocking CC
+// path off the sequencer goroutine, so a lock wait or timestamp-intent gate
+// never stalls the operations queued behind it. The stack captured at batch
+// time rides along: a spill that straddles a reconfiguration behaves like
+// any in-flight synchronous operation against the old incarnation.
+func (s *Site) spillCopy(op copyOp, ccm cc.Manager, runCtx context.Context, timeouts schema.Timeouts, incarnation uint64) {
+	ctx, cancel := context.WithTimeout(runCtx, timeouts.Lock)
+	defer cancel()
+	if op.kind == wire.KindReadCopy {
+		v, ver, err := ccm.Read(ctx, op.read.Tx, op.read.TS, op.read.Item)
+		if err != nil {
+			op.reply(0, nil, err)
+			return
+		}
+		if s.isReleased(op.read.Tx) {
+			ccm.Abort(op.read.Tx)
+			op.reply(0, nil, model.Abortf(model.AbortCC, "transaction %s already released", op.read.Tx))
+			return
+		}
+		s.hist.Record(op.read.Tx, model.OpRead, op.read.Item, v, ver)
+		op.reply(wire.KindReadCopy, wire.ReadCopyResp{
+			Value: v, Version: ver, Clock: s.clock.Peek(), Incarnation: incarnation,
+		}, nil)
+		return
+	}
+	ver, err := ccm.PreWrite(ctx, op.write.Tx, op.write.TS, op.write.Item, op.write.Value)
+	if err != nil {
+		op.reply(0, nil, err)
+		return
+	}
+	if s.isReleased(op.write.Tx) {
+		ccm.Abort(op.write.Tx)
+		op.reply(0, nil, model.Abortf(model.AbortCC, "transaction %s already released", op.write.Tx))
+		return
+	}
+	op.reply(wire.KindPreWrite, wire.PreWriteResp{
+		Version: ver, Clock: s.clock.Peek(), Incarnation: incarnation,
+	}, nil)
+}
+
+// swapPipeline installs the pipeline for a freshly (re)built stack and
+// closes the previous one. Called after rebuild releases s.mu: Close waits
+// out in-flight batches, which take s.mu — closing under it would deadlock.
+// Old-pipeline batches still draining capture the CURRENT stack at batch
+// time, so they behave like the synchronous path's in-flight operations.
+func (s *Site) swapPipeline(pol schema.PipelinePolicy, shards int) {
+	var next *pipeline.Pipeline[copyOp]
+	if !pol.Disable {
+		next = pipeline.New[copyOp](shards, pol.Depth, pol.MaxBatch, s.copyBatch)
+	}
+	if old := s.pipe.Swap(next); old != nil {
+		old.Close()
+	}
+}
+
+// PipelineStats snapshots the current pipeline's counters plus the spill
+// count (zeros when the pipeline is disabled).
+func (s *Site) PipelineStats() (pipeline.Stats, uint64) {
+	if p := s.pipe.Load(); p != nil {
+		return p.Stats(), s.pipeSpills.Load()
+	}
+	return pipeline.Stats{}, s.pipeSpills.Load()
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/cc"
 	"repro/internal/model"
 	"repro/internal/nameserver"
+	"repro/internal/schema"
 	"repro/internal/wire"
 )
 
@@ -37,23 +39,11 @@ func (s *Site) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire
 		if err := wire.Unmarshal(payload, &req); err != nil {
 			return 0, nil, err
 		}
-		if s.isReleased(req.Tx) {
-			return 0, nil, model.Abortf(model.AbortCC, "transaction %s already released", req.Tx)
-		}
-		s.clock.Witness(req.TS)
-		ctx, cancel := context.WithTimeout(runCtx, timeouts.Lock)
-		defer cancel()
-		v, ver, err := ccm.Read(ctx, req.Tx, req.TS, req.Item)
+		resp, err := s.readCopy(ccm, runCtx, timeouts, incarnation, req)
 		if err != nil {
 			return 0, nil, err
 		}
-		if s.isReleased(req.Tx) {
-			// The release raced past the in-flight read: undo and refuse.
-			ccm.Abort(req.Tx)
-			return 0, nil, model.Abortf(model.AbortCC, "transaction %s already released", req.Tx)
-		}
-		s.hist.Record(req.Tx, model.OpRead, req.Item, v, ver)
-		return wire.KindReadCopy, wire.ReadCopyResp{Value: v, Version: ver, Clock: s.clock.Peek(), Incarnation: incarnation}, nil
+		return wire.KindReadCopy, resp, nil
 
 	case wire.KindPreWrite:
 		var req wire.PreWriteReq
@@ -191,4 +181,29 @@ func (s *Site) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire
 	default:
 		return 0, nil, fmt.Errorf("site %s: unhandled message kind %s", s.id, kind)
 	}
+}
+
+// readCopy is the synchronous ReadCopy path, shared by serve and the
+// pipeline ablation: tombstone check, clock witness, blocking CC admission
+// under the lock timeout, and the release re-check that undoes a read a
+// concurrent release raced past. The caller passes the site-state snapshot
+// it captured under s.mu so one serve dispatch reads it exactly once.
+func (s *Site) readCopy(ccm cc.Manager, runCtx context.Context, timeouts schema.Timeouts, incarnation uint64, req wire.ReadCopyReq) (wire.ReadCopyResp, error) {
+	if s.isReleased(req.Tx) {
+		return wire.ReadCopyResp{}, model.Abortf(model.AbortCC, "transaction %s already released", req.Tx)
+	}
+	s.clock.Witness(req.TS)
+	ctx, cancel := context.WithTimeout(runCtx, timeouts.Lock)
+	defer cancel()
+	v, ver, err := ccm.Read(ctx, req.Tx, req.TS, req.Item)
+	if err != nil {
+		return wire.ReadCopyResp{}, err
+	}
+	if s.isReleased(req.Tx) {
+		// The release raced past the in-flight read: undo and refuse.
+		ccm.Abort(req.Tx)
+		return wire.ReadCopyResp{}, model.Abortf(model.AbortCC, "transaction %s already released", req.Tx)
+	}
+	s.hist.Record(req.Tx, model.OpRead, req.Item, v, ver)
+	return wire.ReadCopyResp{Value: v, Version: ver, Clock: s.clock.Peek(), Incarnation: incarnation}, nil
 }

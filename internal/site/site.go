@@ -19,6 +19,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/acp"
@@ -29,9 +30,11 @@ import (
 	"repro/internal/model"
 	"repro/internal/monitor"
 	"repro/internal/nameserver"
+	"repro/internal/pipeline"
 	"repro/internal/rcp"
 	"repro/internal/schema"
 	"repro/internal/storage"
+	"repro/internal/tcpnet"
 	"repro/internal/wal"
 	"repro/internal/wire"
 )
@@ -73,6 +76,9 @@ type Config struct {
 	// supports compaction (the segmented and in-memory logs; the legacy
 	// single-file JSON log does not).
 	Checkpoint schema.CheckpointPolicy
+	// Pipeline sets the per-shard command-pipeline policy for the copy-
+	// operation hot path; zero fields fall back to the catalog's policy.
+	Pipeline schema.PipelinePolicy
 	// Snapshots overrides the checkpoint snapshot store. Nil selects the
 	// WAL's segment directory for segmented logs and an in-memory store
 	// (surviving simulated crashes alongside the memory log) otherwise.
@@ -86,7 +92,11 @@ type Config struct {
 
 // Site is one Rainbow site.
 type Site struct {
-	id     model.SiteID
+	id model.SiteID
+	// net is the transport the site attached through; Stats probes it for
+	// optional coalescing-sender counters (the tcpnet backend implements
+	// them; the simulated network does not).
+	net    wire.Network
 	peer   *wire.Peer
 	clock  *clock.Clock
 	stats  *monitor.Collector
@@ -97,7 +107,16 @@ type Site struct {
 	// simulated crashes (set once at New).
 	snaps   checkpoint.Store
 	ckptCfg schema.CheckpointPolicy
+	pipeCfg schema.PipelinePolicy
 	poll    time.Duration
+
+	// pipe is the per-shard command pipeline for the copy-operation hot path
+	// (nil when disabled); swapped whole on every stack rebuild. Atomic
+	// because serveAsync reads it on transport goroutines. pipeSpills counts
+	// contended operations that left their sequencer for a blocking-path
+	// goroutine.
+	pipe       atomic.Pointer[pipeline.Pipeline[copyOp]]
+	pipeSpills atomic.Uint64
 
 	// gate is the site's snapshot/quiesce interlock, owned here for the
 	// site's whole lifetime and shared with every checkpoint-manager
@@ -226,12 +245,14 @@ func New(cfg Config) (*Site, error) {
 	}
 	s := &Site{
 		id:          cfg.ID,
+		net:         cfg.Net,
 		clock:       clock.New(cfg.ID),
 		stats:       monitor.NewCollector(cfg.ID),
 		hist:        history.NewRecorder(cfg.ID),
 		shards:      cfg.Shards,
 		snaps:       snaps,
 		ckptCfg:     cfg.Checkpoint,
+		pipeCfg:     cfg.Pipeline,
 		poll:        cfg.CatalogPoll,
 		gate:        new(sync.RWMutex),
 		log:         log,
@@ -259,6 +280,9 @@ func New(cfg Config) (*Site, error) {
 		peer.Close()
 		return nil, fmt.Errorf("site %s: %w", cfg.ID, err)
 	}
+	// The stack exists: copy operations may now take the pipelined path
+	// (serveAsync declines everything until rebuild installs a pipeline).
+	peer.SetAsyncServe(s.serveAsync)
 
 	if cfg.Register {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -507,6 +531,20 @@ func (s *Site) rebuild(catalog *schema.Catalog, live bool) error {
 		s.seq = now
 	}
 	s.mu.Unlock()
+
+	// Install the new stack's command pipeline, merging the site-local
+	// policy over the catalog's (field-wise, like the checkpoint policy).
+	// Outside s.mu: closing the displaced pipeline waits out in-flight
+	// batches, which take s.mu.
+	pol := s.pipeCfg
+	pol.Disable = pol.Disable || catalog.Pipeline.Disable
+	if pol.Depth <= 0 {
+		pol.Depth = catalog.Pipeline.Depth
+	}
+	if pol.MaxBatch <= 0 {
+		pol.MaxBatch = catalog.Pipeline.MaxBatch
+	}
+	s.swapPipeline(pol, store.ShardCount())
 	return nil
 }
 
@@ -712,6 +750,22 @@ func (s *Site) Stats() monitor.SiteStats {
 	stats.RecoveryNS = recoveryNS
 	stats.Epoch = epoch
 	stats.Reconfigures = reconfigures
+	ps, spills := s.PipelineStats()
+	stats.PipeDepth = ps.Depth
+	stats.PipeSubmitted = ps.Submitted
+	stats.PipeBatches = ps.Batches
+	stats.PipeMaxBatch = ps.MaxBatch
+	stats.PipeStalls = ps.Stalls
+	stats.PipeSpills = spills
+	if ns, ok := s.net.(interface{ NetStats() tcpnet.Stats }); ok {
+		n := ns.NetStats()
+		stats.NetSentEnvelopes = n.SentEnvelopes
+		stats.NetSendFlushes = n.SentFlushes
+		stats.NetRecvEnvelopes = n.RecvEnvelopes
+		stats.NetRecvFrames = n.RecvFrames
+		stats.NetSendSheds = n.SendSheds
+		stats.NetLegacyConns = n.LegacyConns
+	}
 	return stats
 }
 
@@ -899,6 +953,11 @@ func (s *Site) Close() error {
 	s.runCancel()
 	s.lifeCancel()
 	s.mu.Unlock()
+	// Drain and stop the command pipeline (queued operations get their
+	// crashed-refusal replies); blocked Submits error out on lifeCtx.
+	if p := s.pipe.Swap(nil); p != nil {
+		p.Close()
+	}
 	s.resolveWG.Wait()
 	s.ckptWG.Wait()
 	if !crashed {

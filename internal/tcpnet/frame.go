@@ -1,0 +1,165 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// Batched framing. A connection direction that speaks it starts with the
+// 8-byte magic preamble, then carries a stream of length-prefixed
+// multi-envelope frames:
+//
+//	[u32 frameLen][u32 count][count × ([u32 envLen][envLen bytes])]
+//
+// frameLen counts everything after the frameLen field itself, so a receiver
+// reads one length, then the whole frame in one ReadFull, then slices the
+// envelopes out of the buffer with no further syscalls. Envelopes use a
+// compact ad-hoc binary encoding (below) rather than gob: inside a frame
+// each envelope must be independently decodable from its own bytes, and a
+// fresh gob stream per envelope would resend type definitions every time.
+//
+// The magic is absent on legacy connections, which carry the original
+// self-delimiting gob stream of single envelopes; receivers sniff the first
+// eight bytes to tell the two apart, so old peers interoperate (see
+// Options.LegacyFraming for the outbound half).
+
+// frameMagic opens every batched connection direction. It must not be a
+// plausible gob stream prefix: gob messages start with a small uvarint
+// length, so a first byte >= 0x80 (multi-byte uvarint of absurd size,
+// rejected by gob) cannot be confused with legacy traffic.
+var frameMagic = [8]byte{0xFB, 'b', 'w', 'F', 'r', 'm', '0', '1'}
+
+// maxFrameBytes bounds one frame (a garbage length prefix would otherwise
+// drive huge allocations); maxFrameEnvelopes bounds the envelope count.
+const (
+	maxFrameBytes     = 64 << 20
+	maxFrameEnvelopes = 1 << 16
+)
+
+// appendEnvelope serializes env onto buf: uvarint-length-prefixed From, To
+// and Payload, uvarint Kind and Corr, and a flags byte (bit 0 = Reply).
+func appendEnvelope(buf []byte, env *wire.Envelope) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(env.From)))
+	buf = append(buf, env.From...)
+	buf = binary.AppendUvarint(buf, uint64(len(env.To)))
+	buf = append(buf, env.To...)
+	buf = binary.AppendUvarint(buf, uint64(env.Kind))
+	buf = binary.AppendUvarint(buf, env.Corr)
+	var flags byte
+	if env.Reply {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(env.Payload)))
+	return append(buf, env.Payload...)
+}
+
+// decodeEnvelope parses one envelope from its frame slot. The payload is
+// copied out of the frame buffer (the buffer is reused across frames while
+// handlers may retain the envelope).
+func decodeEnvelope(b []byte) (*wire.Envelope, error) {
+	env := &wire.Envelope{}
+	readStr := func() (string, error) {
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < n {
+			return "", fmt.Errorf("tcpnet: truncated envelope")
+		}
+		s := string(b[sz : sz+int(n)])
+		b = b[sz+int(n):]
+		return s, nil
+	}
+	readUvarint := func() (uint64, error) {
+		v, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return 0, fmt.Errorf("tcpnet: truncated envelope")
+		}
+		b = b[sz:]
+		return v, nil
+	}
+	from, err := readStr()
+	if err != nil {
+		return nil, err
+	}
+	to, err := readStr()
+	if err != nil {
+		return nil, err
+	}
+	kind, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	corr, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, fmt.Errorf("tcpnet: truncated envelope")
+	}
+	flags := b[0]
+	b = b[1:]
+	plen, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < plen {
+		return nil, fmt.Errorf("tcpnet: truncated envelope payload")
+	}
+	env.From = model.SiteID(from)
+	env.To = model.SiteID(to)
+	env.Kind = wire.MsgKind(kind)
+	env.Corr = corr
+	env.Reply = flags&1 != 0
+	if plen > 0 {
+		env.Payload = append([]byte(nil), b[sz:sz+int(plen)]...)
+	}
+	return env, nil
+}
+
+// appendFrame frames a batch of envelopes onto buf.
+func appendFrame(buf []byte, batch []*wire.Envelope) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // frameLen placeholder
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(batch)))
+	for _, env := range batch {
+		lenAt := len(buf)
+		buf = append(buf, 0, 0, 0, 0) // envLen placeholder
+		buf = appendEnvelope(buf, env)
+		binary.LittleEndian.PutUint32(buf[lenAt:], uint32(len(buf)-lenAt-4))
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// decodeFrame parses the body of one frame (everything after the frameLen
+// prefix) into envelopes.
+func decodeFrame(b []byte) ([]*wire.Envelope, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("tcpnet: truncated frame header")
+	}
+	count := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if count == 0 || count > maxFrameEnvelopes {
+		return nil, fmt.Errorf("tcpnet: bad frame envelope count %d", count)
+	}
+	envs := make([]*wire.Envelope, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("tcpnet: truncated frame")
+		}
+		n := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < n {
+			return nil, fmt.Errorf("tcpnet: truncated frame")
+		}
+		env, err := decodeEnvelope(b[:n])
+		if err != nil {
+			return nil, err
+		}
+		envs = append(envs, env)
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("tcpnet: %d trailing bytes in frame", len(b))
+	}
+	return envs, nil
+}

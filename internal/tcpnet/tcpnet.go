@@ -1,7 +1,24 @@
-// Package tcpnet implements wire.Network over real TCP connections with
-// gob framing. It supports the paper's multi-host deployment mode: each
-// Rainbow site, the name server, and the home-host tooling run as separate
-// processes and exchange the same envelopes as on the simulated network.
+// Package tcpnet implements wire.Network over real TCP connections. It
+// supports the paper's multi-host deployment mode: each Rainbow site, the
+// name server, and the home-host tooling run as separate processes and
+// exchange the same envelopes as on the simulated network.
+//
+// The send path is flush-coalescing: Send enqueues onto a bounded
+// per-connection queue drained by one writer goroutine, which encodes every
+// queued envelope into a single buffered write — one syscall carries many
+// envelopes, which is what keeps chatty 2PC/3PC rounds and coalesced
+// pipeline replies off the per-message write(2) cost. On the wire the
+// batch travels as one length-prefixed multi-envelope frame (see frame.go);
+// the receive side reads a whole frame in one ReadFull and dispatches the
+// decoded envelopes as a slice. Connections fall back to the legacy
+// single-envelope gob framing when the peer does not open with the frame
+// magic, so old peers interoperate (outbound legacy speak is a knob:
+// Options.LegacyFraming).
+//
+// Backpressure is by bounded queue: a Send finding the queue full blocks
+// briefly (a stall) and then sheds with an error rather than buffering
+// unboundedly behind a slow reader — the wire.Endpoint contract is
+// explicitly unreliable, and protocol layers already retry on loss.
 //
 // Addressing uses a shared address book (SiteID → host:port). Attaching a
 // node starts a listener on its book address; ":0" addresses are resolved
@@ -11,32 +28,106 @@
 package tcpnet
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/wire"
 )
 
+// Options tunes the transport's batching behavior. The zero value selects
+// the defaults (batched framing on).
+type Options struct {
+	// LegacyFraming makes outbound connections speak the original
+	// single-envelope gob framing with no magic preamble, for clusters with
+	// peers that predate multi-envelope frames (their gob decoders would
+	// reject the preamble). Inbound legacy traffic is always accepted
+	// regardless of this knob. Flush coalescing still applies — a gob
+	// stream batches into one write just as well — only the frame format
+	// and slice dispatch are lost.
+	LegacyFraming bool
+	// SendQueue bounds each connection's send queue; <= 0 selects 1024.
+	SendQueue int
+	// MaxBatch caps the envelopes encoded into one flush; <= 0 selects 128.
+	MaxBatch int
+	// FlushDelay, when positive, lets the writer wait up to this long for
+	// more envelopes before flushing a non-full batch — trading latency for
+	// larger batches. Zero flushes as soon as the queue is drained.
+	FlushDelay time.Duration
+	// SendStall bounds how long a Send blocks on a full queue before
+	// shedding the envelope; <= 0 selects 1s.
+	SendStall time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SendQueue <= 0 {
+		o.SendQueue = 1024
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 128
+	}
+	if o.SendStall <= 0 {
+		o.SendStall = time.Second
+	}
+	return o
+}
+
+// Stats counts transport events; the flushes-vs-envelopes ratio is the
+// syscalls-per-operation measurement the batching exists to improve.
+type Stats struct {
+	SentEnvelopes uint64 // envelopes handed to the writer goroutines
+	SentFlushes   uint64 // buffered-write flushes (≈ write syscalls)
+	SentBatches   uint64 // batches encoded (== flushes unless a batch exceeded the buffer)
+	MaxSendBatch  uint64 // largest single batch
+	SendSheds     uint64 // envelopes shed on a full queue after SendStall
+	SendStalls    uint64 // Sends that found their queue full and blocked
+	RecvEnvelopes uint64 // envelopes decoded inbound
+	RecvFrames    uint64 // multi-envelope frames decoded inbound
+	LegacyConns   uint64 // inbound connections negotiated down to gob framing
+}
+
 // Net is a TCP-backed wire.Network.
 type Net struct {
+	opts Options
+
 	mu    sync.Mutex
 	book  map[model.SiteID]string
 	nodes map[model.SiteID]*endpoint
+
+	sentEnvelopes atomic.Uint64
+	sentFlushes   atomic.Uint64
+	sentBatches   atomic.Uint64
+	maxSendBatch  atomic.Uint64
+	sendSheds     atomic.Uint64
+	sendStalls    atomic.Uint64
+	recvEnvelopes atomic.Uint64
+	recvFrames    atomic.Uint64
+	legacyConns   atomic.Uint64
 }
 
-// New builds a TCP network with the given address book. The book may be
-// extended later via SetAddr (e.g. after registering with the name server).
+// New builds a TCP network with the given address book and default options.
+// The book may be extended later via SetAddr (e.g. after registering with
+// the name server).
 func New(book map[model.SiteID]string) *Net {
+	return NewWithOptions(book, Options{})
+}
+
+// NewWithOptions builds a TCP network with explicit batching options.
+func NewWithOptions(book map[model.SiteID]string, opts Options) *Net {
 	b := make(map[model.SiteID]string, len(book))
 	for k, v := range book {
 		b[k] = v
 	}
-	return &Net{book: b, nodes: make(map[model.SiteID]*endpoint)}
+	return &Net{opts: opts.withDefaults(), book: b, nodes: make(map[model.SiteID]*endpoint)}
 }
 
 // SetAddr records or updates a node's address.
@@ -54,9 +145,31 @@ func (n *Net) Addr(id model.SiteID) (string, bool) {
 	return a, ok
 }
 
+// NetStats snapshots the transport counters.
+func (n *Net) NetStats() Stats {
+	return Stats{
+		SentEnvelopes: n.sentEnvelopes.Load(),
+		SentFlushes:   n.sentFlushes.Load(),
+		SentBatches:   n.sentBatches.Load(),
+		MaxSendBatch:  n.maxSendBatch.Load(),
+		SendSheds:     n.sendSheds.Load(),
+		SendStalls:    n.sendStalls.Load(),
+		RecvEnvelopes: n.recvEnvelopes.Load(),
+		RecvFrames:    n.recvFrames.Load(),
+		LegacyConns:   n.legacyConns.Load(),
+	}
+}
+
 // Attach implements wire.Network: it starts a listener on the node's book
 // address and serves inbound envelope streams.
 func (n *Net) Attach(id model.SiteID, h wire.Handler) (wire.Endpoint, error) {
+	return n.AttachBatch(id, h, nil)
+}
+
+// AttachBatch implements wire.BatchNetwork: bh, when non-nil, receives each
+// decoded multi-envelope frame as one slice (legacy connections still
+// dispatch per envelope through h).
+func (n *Net) AttachBatch(id model.SiteID, h wire.Handler, bh wire.BatchHandler) (wire.Endpoint, error) {
 	if h == nil {
 		return nil, errors.New("tcpnet: nil handler")
 	}
@@ -80,6 +193,7 @@ func (n *Net) Attach(id model.SiteID, h wire.Handler) (wire.Endpoint, error) {
 		net:     n,
 		ln:      ln,
 		handler: h,
+		batch:   bh,
 		conns:   make(map[model.SiteID]*outConn),
 	}
 	n.mu.Lock()
@@ -96,16 +210,41 @@ type endpoint struct {
 	net     *Net
 	ln      net.Listener
 	handler wire.Handler
+	batch   wire.BatchHandler
 
 	mu     sync.Mutex
 	conns  map[model.SiteID]*outConn
 	closed bool
 }
 
+// outConn is one connection's send half: a bounded queue drained by a
+// writer goroutine that encodes every drained envelope into one buffered
+// write. dialedTo is set on dialed connections (the writer redials once on
+// a write failure, mirroring the old send-retry semantics); accepted
+// connections cannot be redialed and die on error.
 type outConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+	ep       *endpoint
+	conn     net.Conn
+	batched  bool // multi-envelope framing (vs legacy gob)
+	dialedTo model.SiteID
+
+	sendCh   chan *wire.Envelope
+	done     chan struct{}
+	killOnce sync.Once
+	dead     atomic.Bool
+}
+
+func (e *endpoint) newOutConn(conn net.Conn, batched bool, dialedTo model.SiteID) *outConn {
+	c := &outConn{
+		ep:       e,
+		conn:     conn,
+		batched:  batched,
+		dialedTo: dialedTo,
+		sendCh:   make(chan *wire.Envelope, e.net.opts.SendQueue),
+		done:     make(chan struct{}),
+	}
+	go c.writeLoop()
+	return c
 }
 
 func (e *endpoint) ID() model.SiteID { return e.id }
@@ -122,7 +261,7 @@ func (e *endpoint) Close() error {
 	e.mu.Unlock()
 
 	for _, c := range conns {
-		c.conn.Close()
+		c.kill()
 	}
 	e.net.mu.Lock()
 	delete(e.net.nodes, e.id)
@@ -130,8 +269,20 @@ func (e *endpoint) Close() error {
 	return e.ln.Close()
 }
 
-// Send implements wire.Endpoint: it lazily dials env.To and gob-encodes the
-// envelope on a cached connection. A stale connection is retried once.
+// kill marks the connection dead and closes the socket; the writer and read
+// loops exit on their next operation.
+func (c *outConn) kill() {
+	c.killOnce.Do(func() {
+		c.dead.Store(true)
+		close(c.done)
+		c.conn.Close()
+	})
+}
+
+// Send implements wire.Endpoint: it lazily dials env.To and enqueues the
+// envelope on the connection's send queue (the writer goroutine delivers
+// it, coalesced with its queue neighbors, in one flush). A connection found
+// dead is dropped and redialed once.
 func (e *endpoint) Send(ctx context.Context, env *wire.Envelope) error {
 	e.mu.Lock()
 	closed := e.closed
@@ -143,13 +294,16 @@ func (e *endpoint) Send(ctx context.Context, env *wire.Envelope) error {
 	if err != nil {
 		return err
 	}
-	if err := c.send(env); err != nil {
+	if err := c.enqueue(ctx, env); err != nil {
+		if !c.dead.Load() {
+			return err // backpressure shed on a live connection
+		}
 		e.dropConn(env.To, c)
 		c, err = e.conn(ctx, env.To)
 		if err != nil {
 			return err
 		}
-		if err := c.send(env); err != nil {
+		if err := c.enqueue(ctx, env); err != nil {
 			e.dropConn(env.To, c)
 			return fmt.Errorf("tcpnet: send %s→%s: %w", e.id, env.To, err)
 		}
@@ -157,12 +311,177 @@ func (e *endpoint) Send(ctx context.Context, env *wire.Envelope) error {
 	return nil
 }
 
-func (c *outConn) send(env *wire.Envelope) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.enc.Encode(env)
+var errConnDead = errors.New("tcpnet: connection dead")
+
+// enqueue puts env on the send queue: non-blocking first, then a bounded
+// stall, then shed. The bounded queue plus bounded stall is what makes a
+// slow reader shed load instead of deadlocking or buffering unboundedly.
+func (c *outConn) enqueue(ctx context.Context, env *wire.Envelope) error {
+	if c.dead.Load() {
+		return errConnDead
+	}
+	select {
+	case c.sendCh <- env:
+		c.ep.net.sentEnvelopes.Add(1)
+		return nil
+	default:
+	}
+	c.ep.net.sendStalls.Add(1)
+	stall := time.NewTimer(c.ep.net.opts.SendStall)
+	defer stall.Stop()
+	select {
+	case c.sendCh <- env:
+		c.ep.net.sentEnvelopes.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-stall.C:
+		c.ep.net.sendSheds.Add(1)
+		return fmt.Errorf("tcpnet: send queue to %s full, envelope shed", env.To)
+	}
 }
 
+// writeLoop is the connection's writer goroutine: block for the first
+// queued envelope, drain greedily up to the batch cap (optionally waiting
+// FlushDelay for stragglers), encode the whole batch, flush once.
+func (c *outConn) writeLoop() {
+	opts := c.ep.net.opts
+	var (
+		flushes countingWriter
+		bw      *bufio.Writer
+		enc     *gob.Encoder // legacy framing only
+		scratch []byte
+	)
+	rebind := func() {
+		flushes = countingWriter{w: c.conn}
+		bw = bufio.NewWriterSize(&flushes, 64<<10)
+		enc = gob.NewEncoder(bw)
+	}
+	rebind()
+	if c.batched {
+		if _, err := c.conn.Write(frameMagic[:]); err != nil {
+			c.kill()
+			return
+		}
+	}
+	batch := make([]*wire.Envelope, 0, opts.MaxBatch)
+	for {
+		var env *wire.Envelope
+		select {
+		case env = <-c.sendCh:
+		case <-c.done:
+			return
+		}
+		batch = append(batch[:0], env)
+	drain:
+		for len(batch) < opts.MaxBatch {
+			select {
+			case next := <-c.sendCh:
+				batch = append(batch, next)
+			default:
+				if opts.FlushDelay <= 0 || len(batch) >= opts.MaxBatch {
+					break drain
+				}
+				t := time.NewTimer(opts.FlushDelay)
+				select {
+				case next := <-c.sendCh:
+					t.Stop()
+					batch = append(batch, next)
+				case <-t.C:
+					break drain
+				}
+			}
+		}
+		if err := c.writeBatch(bw, enc, &scratch, batch); err != nil {
+			if !c.redial() {
+				c.kill()
+				return
+			}
+			rebind()
+			if c.writeBatch(bw, enc, &scratch, batch) != nil {
+				c.kill()
+				return
+			}
+		}
+		n := c.ep.net
+		n.sentBatches.Add(1)
+		n.sentFlushes.Add(flushes.take())
+		if l := uint64(len(batch)); l > n.maxSendBatch.Load() {
+			n.maxSendBatch.Store(l)
+		}
+	}
+}
+
+// writeBatch encodes one drained batch and flushes it.
+func (c *outConn) writeBatch(bw *bufio.Writer, enc *gob.Encoder, scratch *[]byte, batch []*wire.Envelope) error {
+	if c.batched {
+		*scratch = appendFrame((*scratch)[:0], batch)
+		if _, err := bw.Write(*scratch); err != nil {
+			return err
+		}
+	} else {
+		for _, env := range batch {
+			if err := enc.Encode(env); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// redial replaces a failed dialed connection in place: the old socket is
+// closed, a fresh one dialed, its read loop started, and the registered
+// route updated if it still points here. Accepted connections (no dial
+// address) and detached endpoints return false.
+func (c *outConn) redial() bool {
+	if c.dialedTo == "" || c.dead.Load() {
+		return false
+	}
+	addr, ok := c.ep.net.Addr(c.dialedTo)
+	if !ok {
+		return false
+	}
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return false
+	}
+	c.ep.mu.Lock()
+	if c.ep.closed || c.dead.Load() || c.ep.conns[c.dialedTo] != c {
+		c.ep.mu.Unlock()
+		conn.Close()
+		return false
+	}
+	old := c.conn
+	c.conn = conn
+	c.ep.mu.Unlock()
+	old.Close()
+	if c.batched {
+		if _, err := conn.Write(frameMagic[:]); err != nil {
+			return false
+		}
+	}
+	go c.ep.readLoop(c, c.dialedTo)
+	return true
+}
+
+// countingWriter counts the writes that reach the socket (≈ syscalls).
+type countingWriter struct {
+	w      io.Writer
+	writes uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.writes++
+	return c.w.Write(p)
+}
+
+func (c *countingWriter) take() uint64 {
+	n := c.writes
+	c.writes = 0
+	return n
+}
+
+// conn returns the cached connection to `to`, dialing one if needed.
 func (e *endpoint) conn(ctx context.Context, to model.SiteID) (*outConn, error) {
 	e.mu.Lock()
 	if c, ok := e.conns[to]; ok {
@@ -180,16 +499,16 @@ func (e *endpoint) conn(ctx context.Context, to model.SiteID) (*outConn, error) 
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: dial %s (%s): %w", to, addr, err)
 	}
-	c := &outConn{conn: conn, enc: gob.NewEncoder(conn)}
+	c := e.newOutConn(conn, !e.net.opts.LegacyFraming, to)
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		conn.Close()
+		c.kill()
 		return nil, fmt.Errorf("tcpnet: %s detached", e.id)
 	}
 	if existing, ok := e.conns[to]; ok {
 		e.mu.Unlock()
-		conn.Close()
+		c.kill()
 		return existing, nil
 	}
 	e.conns[to] = c
@@ -206,7 +525,7 @@ func (e *endpoint) dropConn(to model.SiteID, c *outConn) {
 		delete(e.conns, to)
 	}
 	e.mu.Unlock()
-	c.conn.Close()
+	c.kill()
 }
 
 func (e *endpoint) acceptLoop() {
@@ -215,37 +534,120 @@ func (e *endpoint) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		go e.readLoop(&outConn{conn: conn, enc: gob.NewEncoder(conn)}, "")
+		// The out half's framing is decided by the handshake the read loop
+		// performs: a peer that opened with the frame magic speaks batched
+		// framing, so we reply in kind; anything else gets legacy gob.
+		go e.serveAccepted(conn)
 	}
 }
 
-// readLoop serves one connection (accepted or dialed). Every connection is
+// serveAccepted sniffs the peer's framing and runs the read loop. The
+// outConn for the reply direction is created after the sniff so its writer
+// speaks what the peer understands.
+func (e *endpoint) serveAccepted(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	batched, err := sniffMagic(br)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if !batched {
+		e.net.legacyConns.Add(1)
+	}
+	oc := e.newOutConn(conn, batched, "")
+	e.readConn(oc, br, "", batched)
+}
+
+// sniffMagic peeks the first eight bytes of a connection: the frame magic
+// selects batched framing (and is consumed); anything else is the start of
+// a legacy gob stream (left unconsumed).
+func sniffMagic(br *bufio.Reader) (bool, error) {
+	head, err := br.Peek(len(frameMagic))
+	if err != nil {
+		return false, err
+	}
+	if !bytes.Equal(head, frameMagic[:]) {
+		return false, nil
+	}
+	br.Discard(len(frameMagic))
+	return true, nil
+}
+
+// readLoop serves one dialed connection's inbound half: sniff the framing
+// the peer chose for its direction (an old acceptor replies raw gob even
+// when we dialed batched), then decode until the connection dies.
+func (e *endpoint) readLoop(oc *outConn, from model.SiteID) {
+	br := bufio.NewReaderSize(oc.conn, 64<<10)
+	batched, err := sniffMagic(br)
+	if err != nil {
+		oc.conn.Close()
+		return
+	}
+	e.readConn(oc, br, from, batched)
+}
+
+// readConn decodes one connection's inbound stream. Every connection is
 // bidirectional: it is registered as the outbound route to whatever peer
 // sends on it ("newest route wins"), so replies travel back on the
 // connection the request arrived on — which keeps working across peer
 // restarts where a previously cached dialed connection would be silently
 // stale. from names the peer the connection was dialed to (empty for
 // accepted connections; learned from traffic).
-func (e *endpoint) readLoop(oc *outConn, from model.SiteID) {
+func (e *endpoint) readConn(oc *outConn, br *bufio.Reader, from model.SiteID, batched bool) {
+	conn := oc.conn
 	defer func() {
 		e.mu.Lock()
-		if from != "" && e.conns[from] == oc {
+		if from != "" && e.conns[from] == oc && oc.conn == conn {
 			delete(e.conns, from)
 		}
 		e.mu.Unlock()
-		oc.conn.Close()
+		conn.Close()
 	}()
-	dec := gob.NewDecoder(oc.conn)
+
+	var (
+		dec      *gob.Decoder
+		frameBuf []byte
+	)
+	if !batched {
+		dec = gob.NewDecoder(br)
+	}
 	for {
-		var env wire.Envelope
-		if err := dec.Decode(&env); err != nil {
-			return
+		var envs []*wire.Envelope
+		if batched {
+			var hdr [4]byte
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				return
+			}
+			n := uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24
+			if n < 4 || n > maxFrameBytes {
+				return // torn or garbage frame length: drop the connection
+			}
+			if uint32(cap(frameBuf)) < n {
+				frameBuf = make([]byte, n)
+			}
+			frameBuf = frameBuf[:n]
+			if _, err := io.ReadFull(br, frameBuf); err != nil {
+				return // torn frame: the sender re-sends on a fresh connection
+			}
+			decoded, err := decodeFrame(frameBuf)
+			if err != nil {
+				return
+			}
+			envs = decoded
+			e.net.recvFrames.Add(1)
+		} else {
+			var env wire.Envelope
+			if err := dec.Decode(&env); err != nil {
+				return
+			}
+			envs = []*wire.Envelope{&env}
 		}
-		if env.From != "" && env.From != from {
+		e.net.recvEnvelopes.Add(uint64(len(envs)))
+		if f := envs[0].From; f != "" && f != from {
 			e.mu.Lock()
-			e.conns[env.From] = oc
+			e.conns[f] = oc
 			e.mu.Unlock()
-			from = env.From
+			from = f
 		}
 		e.mu.Lock()
 		closed := e.closed
@@ -253,6 +655,12 @@ func (e *endpoint) readLoop(oc *outConn, from model.SiteID) {
 		if closed {
 			return
 		}
-		e.handler(&env)
+		if e.batch != nil && len(envs) > 1 {
+			e.batch(envs)
+			continue
+		}
+		for _, env := range envs {
+			e.handler(env)
+		}
 	}
 }

@@ -31,10 +31,23 @@ const DefaultSegmentBytes = 4 << 20
 
 const (
 	segSuffix     = ".seg"
-	segHeaderSize = 24 // magic(8) + first LSN(8) + codec(1) + reserved(7)
+	segTmpSuffix  = ".seg-rewrite"
+	segHeaderSize = 24 // magic(8) + first LSN(8) + codec(1) + flags(1) + reserved(6)
 )
 
+// segFlagSparse (header flags bit) marks a segment rewritten by compaction
+// down to its pinned records: frames are no longer LSN-dense, so each one is
+// prefixed with its explicit 8-byte LSN. Pre-flag segments carry a zero
+// flags byte (it was reserved) and parse as dense.
+const segFlagSparse = 1 << 0
+
 var segMagic = [8]byte{'R', 'B', 'W', 'S', 'E', 'G', '1', 0}
+
+// errRedundantSparse marks a sparse segment whose LSN range was already
+// covered by the preceding (dense) segment — the leftover of a crash between
+// a sparse rewrite's rename and the removal of the original. The original
+// is a superset, so the leftover is simply deleted at open.
+var errRedundantSparse = errors.New("wal: redundant sparse rewrite leftover")
 
 // SegmentOptions configures a SegmentedLog.
 type SegmentOptions struct {
@@ -58,6 +71,7 @@ type segMeta struct {
 	path    string
 	codec   Codec
 	legacy  bool // headerless JSON-lines file from the pre-segment era
+	sparse  bool // compaction rewrite: pinned records only, explicit LSNs
 	first   uint64
 	last    uint64 // == first-1 while empty
 	size    int64
@@ -112,6 +126,7 @@ type SegmentedLog struct {
 	flushes   atomic.Uint64
 	records   atomic.Uint64
 	compacted atomic.Uint64
+	rewrites  atomic.Uint64
 
 	reqCh  chan *segReq
 	stopCh chan struct{}
@@ -146,6 +161,10 @@ func OpenSegmented(dir string, opts SegmentOptions) (*SegmentedLog, error) {
 	}
 	for i, path := range paths {
 		m, recs, err := l.scanSegment(path, i == len(paths)-1)
+		if err == errRedundantSparse {
+			os.Remove(path) //nolint:errcheck
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -193,7 +212,15 @@ func listSegments(dir string) ([]string, error) {
 	}
 	var out []string
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), segSuffix) {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), segTmpSuffix) {
+			// An interrupted sparse rewrite; the original segment survives.
+			os.Remove(filepath.Join(dir, e.Name())) //nolint:errcheck
+			continue
+		}
+		if strings.HasSuffix(e.Name(), segSuffix) {
 			out = append(out, filepath.Join(dir, e.Name()))
 		}
 	}
@@ -245,11 +272,24 @@ func (l *SegmentedLog) scanSegment(path string, tail bool) (segMeta, []Record, e
 		if err != nil {
 			return m, nil, fmt.Errorf("wal: segment %s: %w", path, err)
 		}
+		sparse := hdr[17]&segFlagSparse != 0
 		if first < l.nextLSN {
+			if sparse {
+				// A crash between a sparse rewrite's rename and the removal of
+				// the original left both behind; the original (scanned first —
+				// lower first LSN, lower name) is a superset of this one.
+				return m, nil, errRedundantSparse
+			}
 			return m, nil, fmt.Errorf("wal: segment %s: first LSN %d overlaps sequence at %d", path, first, l.nextLSN)
 		}
-		m.first, m.codec = first, codec
-		recs, validSize, err := readFrames(f, m.first, codec, segHeaderSize, tail)
+		m.first, m.codec, m.sparse = first, codec, sparse
+		var recs []Record
+		var validSize int64
+		if sparse {
+			recs, validSize, err = readSparseFrames(f, first, codec, segHeaderSize)
+		} else {
+			recs, validSize, err = readFrames(f, m.first, codec, segHeaderSize, tail)
+		}
 		if err != nil {
 			return m, nil, fmt.Errorf("wal: segment %s: %w", path, err)
 		}
@@ -261,6 +301,9 @@ func (l *SegmentedLog) scanSegment(path string, tail bool) (segMeta, []Record, e
 		m.size = validSize
 		m.records = len(recs)
 		m.last = m.first + uint64(len(recs)) - 1
+		if sparse && len(recs) > 0 {
+			m.last = recs[len(recs)-1].LSN
+		}
 		return m, recs, nil
 	default:
 		// No magic: a legacy JSON-lines log (the pre-segment FileLog
@@ -334,6 +377,55 @@ func readFrames(r io.Reader, first uint64, codec Codec, offset int64, tail bool)
 		lsn++
 		recs = append(recs, rec)
 		valid += int64(frameHeaderSize) + int64(length)
+	}
+}
+
+// readSparseFrames parses a sparse (compaction-rewritten) segment: every
+// frame is prefixed with its explicit 8-byte LSN, and LSNs must be strictly
+// increasing starting at the header's first LSN. Sparse segments are written
+// whole (temp file + rename), never appended to, so there is no torn-tail
+// tolerance: any truncation or checksum failure is corruption.
+func readSparseFrames(r io.Reader, first uint64, codec Codec, offset int64) ([]Record, int64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var recs []Record
+	valid := offset
+	prev := first - 1
+	for {
+		var pre [8 + frameHeaderSize]byte
+		n, err := io.ReadFull(br, pre[:])
+		if err == io.EOF {
+			return recs, valid, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return recs, valid, fmt.Errorf("truncated sparse frame at offset %d (n=%d)", valid, n)
+		}
+		if err != nil {
+			return recs, valid, err
+		}
+		lsn := binary.LittleEndian.Uint64(pre[0:8])
+		length := binary.LittleEndian.Uint32(pre[8:12])
+		sum := binary.LittleEndian.Uint32(pre[12:16])
+		if lsn <= prev {
+			return recs, valid, fmt.Errorf("sparse frame at offset %d: LSN %d not after %d: %w", valid, lsn, prev, ErrCorrupt)
+		}
+		if length > maxFrameSize {
+			return recs, valid, fmt.Errorf("sparse frame at offset %d: implausible length %d: %w", valid, length, ErrCorrupt)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return recs, valid, fmt.Errorf("sparse frame at offset %d: %w", valid, err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, valid, fmt.Errorf("sparse frame at offset %d (lsn %d): %w", valid, lsn, ErrCorrupt)
+		}
+		rec, err := codec.Decode(payload)
+		if err != nil {
+			return recs, valid, fmt.Errorf("sparse frame at offset %d: %w", valid, err)
+		}
+		rec.LSN = lsn
+		prev = lsn
+		recs = append(recs, rec)
+		valid += 8 + int64(frameHeaderSize) + int64(length)
 	}
 }
 
@@ -577,7 +669,12 @@ func readSegmentFile(m segMeta, tail bool) ([]Record, error) {
 	if _, err := f.Seek(segHeaderSize, io.SeekStart); err != nil {
 		return nil, err
 	}
-	recs, _, err := readFrames(f, m.first, m.codec, segHeaderSize, tail)
+	var recs []Record
+	if m.sparse {
+		recs, _, err = readSparseFrames(f, m.first, m.codec, segHeaderSize)
+	} else {
+		recs, _, err = readFrames(f, m.first, m.codec, segHeaderSize, tail)
+	}
 	if err != nil {
 		return recs, fmt.Errorf("wal: segment %s: %w", m.path, err)
 	}
@@ -603,10 +700,19 @@ func (l *SegmentedLog) Segments() int {
 // Compacted returns the lifetime count of segments removed by compaction.
 func (l *SegmentedLog) Compacted() uint64 { return l.compacted.Load() }
 
+// Rewrites returns the lifetime count of pinned segments compaction rewrote
+// down to their pinned records (sparse segments).
+func (l *SegmentedLog) Rewrites() uint64 { return l.rewrites.Load() }
+
 // Compact implements Compactable: sealed segments whose records all lie
-// below horizon are deleted, except segments holding a Prepared record of a
-// transaction that was still undecided as of horizon — those are the
-// in-doubt pins recovery needs for 2PC/3PC termination.
+// below horizon are deleted, except where a segment holds recovery-critical
+// records (Prepared/Elect/PreDecide) of a transaction still undecided as of
+// horizon — the in-doubt pins 2PC/3PC termination needs. Pinning is
+// record-granular: instead of retaining a whole segment for a handful of
+// pinned records, the segment is rewritten down to just those records as a
+// sparse segment (explicit per-frame LSNs), so one long-lived orphan bounds
+// retained log space by its own records, not by every segment it shares
+// with unrelated traffic.
 func (l *SegmentedLog) Compact(horizon uint64) (int, error) {
 	if horizon == 0 {
 		return 0, nil
@@ -619,8 +725,21 @@ func (l *SegmentedLog) Compact(horizon uint64) (int, error) {
 	removed := 0
 	var firstErr error
 	for _, m := range l.sealed {
-		if m.last >= horizon || pinInRange(pins, m.first, m.last) {
+		if m.last >= horizon {
 			kept = append(kept, m)
+			continue
+		}
+		if pinInRange(pins, m.first, m.last) {
+			// Legacy JSON-lines segments are read-only artifacts; keep whole.
+			if m.legacy {
+				kept = append(kept, m)
+				continue
+			}
+			nm, err := l.rewriteSparse(m, pins)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			kept = append(kept, nm)
 			continue
 		}
 		if err := os.Remove(m.path); err != nil && !os.IsNotExist(err) {
@@ -642,10 +761,103 @@ func (l *SegmentedLog) Compact(horizon uint64) (int, error) {
 	return removed, firstErr
 }
 
+// rewriteSparse shrinks a fully-below-horizon segment down to its pinned
+// records. The replacement is written to a temp file and renamed into place;
+// when the first pinned LSN moved the file name changes and the original is
+// removed after the rename — a crash in between leaves a dense superset plus
+// a redundant sparse file, which open-time scanning deletes. On any error
+// the original segment is kept untouched.
+func (l *SegmentedLog) rewriteSparse(m segMeta, pins []uint64) (segMeta, error) {
+	recs, err := readSegmentFile(m, false)
+	if err != nil {
+		return m, fmt.Errorf("wal: sparse rewrite read %s: %w", m.path, err)
+	}
+	keep := recs[:0]
+	for _, r := range recs {
+		if pinHas(pins, r.LSN) {
+			keep = append(keep, r)
+		}
+	}
+	if len(keep) == 0 || len(keep) == len(recs) {
+		return m, nil // nothing pinned here after all, or nothing to shed
+	}
+
+	var buf []byte
+	var hdr [segHeaderSize]byte
+	copy(hdr[0:8], segMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:16], keep[0].LSN)
+	hdr[16] = m.codec.ID()
+	hdr[17] = segFlagSparse
+	buf = append(buf, hdr[:]...)
+	var scratch []byte
+	var lsnBuf [8]byte
+	for i := range keep {
+		payload, err := m.codec.Append(scratch[:0], &keep[i])
+		if err != nil {
+			return m, fmt.Errorf("wal: sparse rewrite encode %s: %w", m.path, err)
+		}
+		scratch = payload
+		binary.LittleEndian.PutUint64(lsnBuf[:], keep[i].LSN)
+		buf = append(buf, lsnBuf[:]...)
+		buf = appendFrame(buf, payload)
+	}
+
+	tmp := m.path + segTmpSuffix
+	if err := writeFileSync(tmp, buf); err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return m, fmt.Errorf("wal: sparse rewrite %s: %w", m.path, err)
+	}
+	newPath := filepath.Join(l.dir, segName(keep[0].LSN))
+	if err := os.Rename(tmp, newPath); err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return m, fmt.Errorf("wal: sparse rewrite rename %s: %w", newPath, err)
+	}
+	if newPath != m.path {
+		os.Remove(m.path) //nolint:errcheck // redundant leftover is harmless
+	}
+	SyncDir(l.dir)
+
+	l.size.Add(^uint64(m.size - 1)) // subtract
+	l.size.Add(uint64(len(buf)))
+	l.rewrites.Add(1)
+	return segMeta{
+		path:    newPath,
+		codec:   m.codec,
+		sparse:  true,
+		first:   keep[0].LSN,
+		last:    keep[len(keep)-1].LSN,
+		size:    int64(len(buf)),
+		records: len(keep),
+	}, nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // pinInRange reports whether any pinned LSN falls in [first, last].
 func pinInRange(pins []uint64, first, last uint64) bool {
 	i := sort.Search(len(pins), func(i int) bool { return pins[i] >= first })
 	return i < len(pins) && pins[i] <= last
+}
+
+// pinHas reports whether lsn is one of the (sorted) pinned LSNs.
+func pinHas(pins []uint64, lsn uint64) bool {
+	i := sort.Search(len(pins), func(i int) bool { return pins[i] >= lsn })
+	return i < len(pins) && pins[i] == lsn
 }
 
 // BatchStats implements the BatchStats interface.

@@ -19,6 +19,21 @@ var ErrClosed = errors.New("wire: peer closed")
 // goroutines and must be safe for concurrent use.
 type ServeFunc func(from model.SiteID, kind MsgKind, payload []byte) (MsgKind, any, error)
 
+// ReplyFunc sends the response for one asynchronously served request. It
+// may be called from any goroutine, exactly once; err takes precedence over
+// (kind, body) and is converted to a KindError reply exactly like a
+// ServeFunc error.
+type ReplyFunc func(kind MsgKind, body any, err error)
+
+// AsyncServeFunc is the pipelined alternative to ServeFunc: instead of
+// computing the reply on the transport goroutine, the handler may take
+// ownership of the request (returning true) and deliver the response later
+// through reply — e.g. after the request has passed through a per-shard
+// command pipeline. Returning false declines the request, which then falls
+// through to the synchronous ServeFunc; an AsyncServeFunc that returned
+// true must eventually call reply exactly once or the caller times out.
+type AsyncServeFunc func(from model.SiteID, kind MsgKind, payload []byte, reply ReplyFunc) bool
+
 // Peer layers request/response RPC over a Network endpoint. Each Rainbow
 // node (name server, site, workload driver, monitor) owns one Peer.
 //
@@ -28,6 +43,10 @@ type ServeFunc func(from model.SiteID, kind MsgKind, payload []byte) (MsgKind, a
 type Peer struct {
 	ep    Endpoint
 	serve ServeFunc
+	// async, when set, gets first claim on inbound requests (see
+	// AsyncServeFunc). Atomic because SetAsyncServe may race early inbound
+	// traffic on an already-attached endpoint.
+	async atomic.Pointer[AsyncServeFunc]
 
 	corr    atomic.Uint64
 	mu      sync.Mutex
@@ -37,10 +56,20 @@ type Peer struct {
 
 // NewPeer attaches id to the network with the given request handler.
 // serve may be nil for pure-client peers (inbound requests then get a
-// generic error reply).
+// generic error reply). On transports that deliver decoded frames in
+// slices the peer attaches its batch handler too, so reply correlation for
+// a whole frame costs one pending-map critical section.
 func NewPeer(net Network, id model.SiteID, serve ServeFunc) (*Peer, error) {
 	p := &Peer{serve: serve, pending: make(map[uint64]chan *Envelope)}
-	ep, err := net.Attach(id, p.handle)
+	var (
+		ep  Endpoint
+		err error
+	)
+	if bn, ok := net.(BatchNetwork); ok {
+		ep, err = bn.AttachBatch(id, p.handle, p.handleBatch)
+	} else {
+		ep, err = net.Attach(id, p.handle)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +153,23 @@ func (p *Peer) Cast(ctx context.Context, to model.SiteID, kind MsgKind, body any
 	return p.ep.Send(ctx, &Envelope{From: p.ep.ID(), To: to, Kind: kind, Payload: payload})
 }
 
-// handle is the transport-facing inbound handler.
+// SetAsyncServe installs the pipelined inbound handler (see
+// AsyncServeFunc). Passing nil reverts to synchronous-only serving.
+func (p *Peer) SetAsyncServe(f AsyncServeFunc) {
+	if f == nil {
+		p.async.Store(nil)
+		return
+	}
+	p.async.Store(&f)
+}
+
+// handle is the transport-facing inbound handler. It may be called from a
+// per-connection read loop (tcpnet), so only non-blocking work runs inline:
+// reply correlation is a map send, and the async path's claim is a decode
+// plus a queue submit. A synchronous serve can block arbitrarily long (CC
+// admission waits up to the lock timeout, prepares force the WAL), so it
+// gets its own goroutine — otherwise one blocked request head-of-line
+// blocks every envelope behind it on the same connection.
 func (p *Peer) handle(env *Envelope) {
 	if env.Reply {
 		p.mu.Lock()
@@ -140,13 +185,29 @@ func (p *Peer) handle(env *Envelope) {
 	}
 
 	if env.Corr == 0 {
-		// One-way cast: dispatch, discard result.
+		// One-way cast: dispatch, discard result. Casts run the same
+		// ServeFunc, so they may block just like requests.
 		if p.serve != nil {
-			p.serve(env.From, env.Kind, env.Payload) //nolint:errcheck
+			go p.serve(env.From, env.Kind, env.Payload) //nolint:errcheck
 		}
 		return
 	}
 
+	if af := p.async.Load(); af != nil {
+		from, corr := env.From, env.Corr
+		if (*af)(env.From, env.Kind, env.Payload, func(kind MsgKind, body any, err error) {
+			p.sendReply(from, corr, kind, body, err)
+		}) {
+			return // the pipeline owns the reply now
+		}
+	}
+
+	go p.serveSync(env)
+}
+
+// serveSync runs the blocking ServeFunc for one request and sends its
+// reply; always on its own goroutine (see handle).
+func (p *Peer) serveSync(env *Envelope) {
 	var (
 		kind MsgKind
 		body any
@@ -157,6 +218,36 @@ func (p *Peer) handle(env *Envelope) {
 	} else {
 		kind, body, err = p.serve(env.From, env.Kind, env.Payload)
 	}
+	p.sendReply(env.From, env.Corr, kind, body, err)
+}
+
+// handleBatch dispatches one decoded wire frame: all replies resolve in a
+// single pending-map critical section (the frame-level batching win on the
+// caller side of coalesced RPC fan-ins), then requests dispatch through the
+// normal per-envelope path.
+func (p *Peer) handleBatch(envs []*Envelope) {
+	var requests []*Envelope
+	p.mu.Lock()
+	for _, env := range envs {
+		if !env.Reply {
+			requests = append(requests, env)
+			continue
+		}
+		if ch, ok := p.pending[env.Corr]; ok {
+			delete(p.pending, env.Corr)
+			ch <- env // cap-1 buffered and only the map winner sends: never blocks
+		}
+	}
+	p.mu.Unlock()
+	for _, env := range requests {
+		p.handle(env)
+	}
+}
+
+// sendReply encodes and sends one response envelope; shared by the
+// synchronous serve path and the async ReplyFunc closures. An error is
+// converted to a KindError reply preserving its abort cause.
+func (p *Peer) sendReply(to model.SiteID, corr uint64, kind MsgKind, body any, err error) {
 	if err != nil {
 		kind = KindError
 		body = ErrorBody{Cause: model.CauseOf(err), Reason: err.Error()}
@@ -172,8 +263,8 @@ func (p *Peer) handle(env *Envelope) {
 		kind = KindError
 	}
 	reply := &Envelope{
-		From: p.ep.ID(), To: env.From, Kind: kind,
-		Corr: env.Corr, Reply: true, Payload: payload,
+		From: p.ep.ID(), To: to, Kind: kind,
+		Corr: corr, Reply: true, Payload: payload,
 	}
 	// Replies are best-effort; the caller times out on loss.
 	p.ep.Send(context.Background(), reply) //nolint:errcheck

@@ -151,6 +151,21 @@ func Unmarshal(payload []byte, out any) error {
 // goroutines; handlers must be safe for concurrent use.
 type Handler func(env *Envelope)
 
+// BatchHandler consumes the envelopes of one decoded wire frame as a
+// slice, letting the receiver amortize per-delivery work (e.g. reply
+// correlation) over the batch. Like Handler it runs on transport
+// goroutines and must be safe for concurrent use.
+type BatchHandler func(envs []*Envelope)
+
+// BatchNetwork is implemented by transports whose receive side can deliver
+// decoded envelopes in slices — one slice per multi-envelope wire frame.
+// Peers attach through it when available; connections (or transports) that
+// only carry single envelopes keep using the plain Handler.
+type BatchNetwork interface {
+	Network
+	AttachBatch(id model.SiteID, h Handler, bh BatchHandler) (Endpoint, error)
+}
+
 // Endpoint is one node's attachment to a network.
 type Endpoint interface {
 	// ID returns the node's address on the network.
