@@ -35,6 +35,7 @@ import (
 	"repro/internal/site"
 	"repro/internal/storage"
 	"repro/internal/tcpnet"
+	"repro/internal/trace"
 	"repro/internal/wal"
 	"repro/internal/wire"
 	"repro/internal/wlg"
@@ -1198,7 +1199,7 @@ func BenchmarkNetBatching(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			net := tcpnet.NewWithOptions(map[model.SiteID]string{}, mode.opts)
 			srv, err := wire.NewPeer(net, "S1",
-				func(model.SiteID, wire.MsgKind, []byte) (wire.MsgKind, any, error) {
+				func(model.SiteID, trace.ID, wire.MsgKind, []byte) (wire.MsgKind, any, error) {
 					return wire.KindOK, wire.OKBody{}, nil
 				})
 			if err != nil {

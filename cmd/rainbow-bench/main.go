@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/site"
 	"repro/internal/tcpnet"
+	"repro/internal/trace"
 	"repro/internal/wlg"
 )
 
@@ -40,6 +42,9 @@ type result struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+
+	// traceReport is the -trace output (unexported: not serialized).
+	traceReport string
 }
 
 func main() {
@@ -64,6 +69,8 @@ func main() {
 	seed := flag.Int64("seed", 619, "workload seed")
 	name := flag.String("name", "LoadZipfClosed", "benchmark name recorded in the output")
 	out := flag.String("out", "BENCH_load.json", "output JSON file (benchjson format); empty disables")
+	traceN := flag.Int("trace", 0, "print the N slowest sampled traces' collated stage breakdown after the run (0 disables tracing)")
+	traceRate := flag.Float64("trace-sample", 0.05, "fraction of transactions traced when -trace is set")
 	flag.Parse()
 
 	res, err := run(benchConfig{
@@ -74,6 +81,7 @@ func main() {
 		pipeline:  schema.PipelinePolicy{Disable: !*pipeOn, Depth: *pipeDepth, MaxBatch: *pipeBatch},
 		netOpts:   tcpnet.Options{LegacyFraming: *netLegacy, MaxBatch: *netMaxBatch, FlushDelay: *netFlushDelay},
 		seed:      *seed, name: *name,
+		traceN: *traceN, traceRate: *traceRate,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rainbow-bench:", err)
@@ -83,9 +91,14 @@ func main() {
 	fmt.Printf("%s: %d clients, %d sites, zipf %.2f, %s\n", *name, *clients, *nSites, *zipf, *duration)
 	fmt.Printf("  committed %d aborted %d  throughput %.1f tx/s\n",
 		int64(res.Metrics["committed"]), int64(res.Metrics["aborted"]), res.Metrics["tx/s"])
-	fmt.Printf("  latency p50 %.2fms p99 %.2fms\n", res.Metrics["p50-ms"], res.Metrics["p99-ms"])
+	fmt.Printf("  latency p50 %.2fms p90 %.2fms p99 %.2fms p99.9 %.2fms\n",
+		res.Metrics["p50-ms"], res.Metrics["p90-ms"], res.Metrics["p99-ms"], res.Metrics["p999-ms"])
+	fmt.Printf("  read-only tx p50 %.2fms p99 %.2fms  write tx p50 %.2fms p99 %.2fms\n",
+		res.Metrics["read-p50-ms"], res.Metrics["read-p99-ms"],
+		res.Metrics["write-p50-ms"], res.Metrics["write-p99-ms"])
 	fmt.Printf("  pipeline mean batch %.2f  net envelopes/flush %.2f\n",
 		res.Metrics["pipe-batch"], res.Metrics["net-coalesce"])
+	fmt.Print(res.traceReport)
 
 	if *out != "" {
 		if err := appendResult(*out, res); err != nil {
@@ -106,6 +119,8 @@ type benchConfig struct {
 	netOpts              tcpnet.Options
 	seed                 int64
 	name                 string
+	traceN               int
+	traceRate            float64
 }
 
 func run(bc benchConfig) (result, error) {
@@ -127,6 +142,12 @@ func run(bc benchConfig) (result, error) {
 	exp.PipelineDisable = bc.pipeline.Disable
 	exp.PipelineDepth = bc.pipeline.Depth
 	exp.PipelineMaxBatch = bc.pipeline.MaxBatch
+	if bc.traceN > 0 {
+		exp.TraceSampleRate = bc.traceRate
+		// Retain enough fragments that the slowest transactions of a multi-
+		// second run are still in the ring at report time.
+		exp.TraceRing = 4096
+	}
 	cat, err := exp.BuildCatalog()
 	if err != nil {
 		return result{}, err
@@ -172,7 +193,10 @@ func run(bc benchConfig) (result, error) {
 
 	type clientStats struct {
 		committed, aborted int64
-		lats               []time.Duration
+		// lats is split by transaction shape: read-only transactions skip
+		// pre-writes, prepare forces and the write quorum, so their latency
+		// distribution is reported separately from write transactions'.
+		readLats, writeLats []time.Duration
 	}
 	stats := make([]clientStats, bc.clients)
 	deadline := time.Now().Add(bc.duration)
@@ -184,10 +208,21 @@ func run(bc benchConfig) (result, error) {
 			cs := &stats[c]
 			for n := c; time.Now().Before(deadline); n += bc.clients {
 				ops := gen.NextTx()
+				readOnly := true
+				for _, op := range ops {
+					if op.Kind == model.OpWrite {
+						readOnly = false
+						break
+					}
+				}
 				home := sites[exp.Sites[n%len(exp.Sites)]]
 				start := time.Now()
 				outcome := home.Execute(context.Background(), ops)
-				cs.lats = append(cs.lats, time.Since(start))
+				if readOnly {
+					cs.readLats = append(cs.readLats, time.Since(start))
+				} else {
+					cs.writeLats = append(cs.writeLats, time.Since(start))
+				}
 				if outcome.Committed {
 					cs.committed++
 				} else {
@@ -199,13 +234,17 @@ func run(bc benchConfig) (result, error) {
 	wg.Wait()
 
 	var committed, aborted int64
-	var lats []time.Duration
+	var lats, readLats, writeLats []time.Duration
 	for i := range stats {
 		committed += stats[i].committed
 		aborted += stats[i].aborted
-		lats = append(lats, stats[i].lats...)
+		readLats = append(readLats, stats[i].readLats...)
+		writeLats = append(writeLats, stats[i].writeLats...)
 	}
+	lats = append(append(lats, readLats...), writeLats...)
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	sort.Slice(readLats, func(i, j int) bool { return readLats[i] < readLats[j] })
+	sort.Slice(writeLats, func(i, j int) bool { return writeLats[i] < writeLats[j] })
 
 	var totals monitor.SiteStats
 	for _, st := range siteList {
@@ -221,11 +260,51 @@ func run(bc benchConfig) (result, error) {
 		"aborted":      float64(aborted),
 		"tx/s":         float64(committed) / bc.duration.Seconds(),
 		"p50-ms":       pctlMS(lats, 0.50),
+		"p90-ms":       pctlMS(lats, 0.90),
 		"p99-ms":       pctlMS(lats, 0.99),
+		"p999-ms":      pctlMS(lats, 0.999),
+		"read-p50-ms":  pctlMS(readLats, 0.50),
+		"read-p99-ms":  pctlMS(readLats, 0.99),
+		"write-p50-ms": pctlMS(writeLats, 0.50),
+		"write-p99-ms": pctlMS(writeLats, 0.99),
 		"pipe-batch":   totals.PipeBatchSize(),
 		"net-coalesce": totals.NetCoalescing(),
 	}
-	return result{Name: bc.name, Iterations: committed + aborted, Metrics: metrics}, nil
+	res := result{Name: bc.name, Iterations: committed + aborted, Metrics: metrics}
+	if bc.traceN > 0 {
+		res.traceReport = slowTraceReport(siteList, bc.traceN)
+	}
+	return res, nil
+}
+
+// slowTraceReport collates every site's retained trace fragments by ID and
+// renders the stage breakdowns of the n slowest root traces.
+func slowTraceReport(siteList []*site.Site, n int) string {
+	fragments := make([][]trace.Trace, 0, len(siteList))
+	for _, st := range siteList {
+		fragments = append(fragments, st.Traces())
+	}
+	groups := trace.Collate(fragments...)
+	// Rank by the root fragment's end-to-end duration; fragment groups whose
+	// root was evicted from its home ring are skipped.
+	var rooted [][]trace.Trace
+	for _, g := range groups {
+		if g[0].Root {
+			rooted = append(rooted, g)
+		}
+	}
+	sort.Slice(rooted, func(i, j int) bool {
+		return rooted[i][0].Duration() > rooted[j][0].Duration()
+	})
+	if len(rooted) > n {
+		rooted = rooted[:n]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  slowest %d of %d collated traces:\n", len(rooted), len(groups))
+	for _, g := range rooted {
+		b.WriteString(trace.Format(g))
+	}
+	return b.String()
 }
 
 // pctlMS returns the q-th percentile of sorted latencies in milliseconds.

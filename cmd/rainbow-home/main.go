@@ -16,13 +16,18 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address (the paper's port 8080)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof and expvar under /debug (off by default: exposes heap contents)")
 	flag.Parse()
 
 	srv := httpapi.NewServer()
 	defer srv.Close()
+	if *pprofOn {
+		srv.EnableProfiling()
+	}
 
 	fmt.Printf("Rainbow home host listening on %s\n", *addr)
 	fmt.Println("servlets: /NSRunnerlet /NSlet /SiteRunnerlet /Sitelet /WLGlet/run /WLGlet/manual /PMlet /PMlet/render /Faultlet /Resetlet")
+	fmt.Println("observability: /metrics (Prometheus text) /site/{id}/traces (trace export)")
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "rainbow-home:", err)
 		os.Exit(1)

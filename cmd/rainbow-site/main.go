@@ -20,6 +20,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/site"
 	"repro/internal/tcpnet"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -46,6 +47,9 @@ func main() {
 	netQueue := flag.Int("net-queue", 0, "per-connection send queue bound (0 = default)")
 	netBatch := flag.Int("net-batch", 0, "largest envelope batch one transport flush carries (0 = default)")
 	netFlushDelay := flag.Duration("net-flush-delay", 0, "extra time the transport writer waits for more envelopes before flushing a non-full batch (0 = flush as soon as the queue drains)")
+	traceRate := flag.Float64("trace-sample", 0, "fraction of home transactions traced end to end (0 = only the config file's trace_sample_rate, if any)")
+	traceRing := flag.Int("trace-ring", 0, "completed-trace ring bound (0 = default or the config file's value)")
+	traceSlow := flag.Duration("trace-slow", 0, "dump the stage breakdown of root traces slower than this to stderr (0 = only the config file's trace_slow_ms, if any)")
 	flag.Parse()
 
 	if *id == "" {
@@ -123,6 +127,10 @@ func main() {
 		Pipeline: schema.PipelinePolicy{
 			Disable: !*pipeOn, Depth: *pipeDepth, MaxBatch: *pipeBatch,
 		},
+		Trace: schema.TracePolicy{
+			SampleRate: *traceRate, Ring: *traceRing,
+			SlowMS: int64(*traceSlow / time.Millisecond),
+		},
 		CatalogPoll: *catalogPoll,
 	}
 	if *cfgPath != "" {
@@ -145,6 +153,13 @@ func main() {
 		os.Exit(1)
 	}
 	defer st.Close()
+
+	// Slow-trace dumps print this site's fragment only; collating it with
+	// the other sites' /site/{id}/traces exports by ID gives the full
+	// distributed picture.
+	st.Tracer().OnSlow(func(tr trace.Trace) {
+		fmt.Fprintf(os.Stderr, "rainbow-site: slow transaction\n%s", trace.Format([]trace.Trace{tr}))
+	})
 
 	resolved, _ := net.Addr(model.SiteID(*id))
 	fmt.Printf("Rainbow site %s serving on %s (ns at %s)\n", *id, resolved, *nsAddr)

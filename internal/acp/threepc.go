@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -31,9 +32,14 @@ func (ThreePC) ThreePhase() bool { return true }
 // Commit implements Protocol.
 func (ThreePC) Commit(ctx context.Context, c Cohort, log wal.Log, opts Options, req Request, onDecision func(bool)) (bool, error) {
 	opts = opts.withDefaults()
+	act := trace.FromContext(ctx)
+	prep := act.StartSpan(trace.StagePrepare, "3pc votes")
 	commit, cohort, voteErr := collectVotes(ctx, c, opts, req, true)
+	prep.End()
 
 	if !commit {
+		dec := act.StartSpan(trace.StageDecide, "3pc abort")
+		defer dec.End()
 		// No pre-commit was ever sent, so no quorum termination can reach
 		// a commit pre-decision (commit needs a pre-committed member at
 		// the highest ballot, and none exists at any): the abort is safe
@@ -57,7 +63,10 @@ func (ThreePC) Commit(ctx context.Context, c Cohort, log wal.Log, opts Options, 
 	// Phase 2: pre-commit broadcast. An ack means the participant FORCED
 	// its pre-committed state. The electorate equals the phase-2 cohort on
 	// the all-yes path (read-only voters were excluded from both), so the
-	// quorum is counted over the cohort.
+	// quorum is counted over the cohort. The pre-commit round is part of
+	// reaching the decision, so it falls under the decide span.
+	dec := act.StartSpan(trace.StageDecide, "3pc pre-commit+decision")
+	defer dec.End()
 	acked := broadcastPreCommit(ctx, c, opts, req, cohort)
 	if quorum := len(cohort)/2 + 1; len(cohort) > 0 && acked < quorum {
 		// The commit quorum did not form — and an abort cannot be decided

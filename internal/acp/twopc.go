@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/trace"
 	"repro/internal/wal"
 	"repro/internal/wire"
 )
@@ -24,12 +25,17 @@ func (TwoPC) ThreePhase() bool { return false }
 // Commit implements Protocol.
 func (TwoPC) Commit(ctx context.Context, c Cohort, log wal.Log, opts Options, req Request, onDecision func(bool)) (bool, error) {
 	opts = opts.withDefaults()
+	act := trace.FromContext(ctx)
+	prep := act.StartSpan(trace.StagePrepare, "2pc votes")
 	commit, cohort, voteErr := collectVotes(ctx, c, opts, req, false)
+	prep.End()
 
+	dec := act.StartSpan(trace.StageDecide, "2pc decision")
 	// Force the decision record — the commit point. Under presumed abort an
 	// abort decision need not be forced, but logging it keeps the decision
 	// table complete for decision-request serving.
 	if err := log.Append(wal.Record{Type: wal.RecDecision, Tx: req.Tx, Commit: commit}); err != nil {
+		dec.End()
 		return false, fmt.Errorf("acp: 2pc decision log: %w", err)
 	}
 	if onDecision != nil {
@@ -37,6 +43,7 @@ func (TwoPC) Commit(ctx context.Context, c Cohort, log wal.Log, opts Options, re
 	}
 
 	allAcked := broadcastDecision(ctx, c, opts, req, cohort, commit)
+	dec.End()
 	if allAcked {
 		// All phase-2 participants acknowledged: no recovery work remains.
 		// The end record retires the coordinator's decision entry (via the

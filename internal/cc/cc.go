@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Manager is the per-site CCP interface.
@@ -102,6 +103,10 @@ type Options struct {
 	// Shards stripes the 2PL lock table; <= 0 selects the
 	// GOMAXPROCS-derived default (matches the storage shard knob).
 	Shards int
+	// Tracer, when set, receives lock/intent wait durations (the always-on
+	// lock_wait stage histogram) and attaches wait spans to sampled
+	// transactions; only actual waits pay for it.
+	Tracer *trace.Tracer
 }
 
 // DefaultLockTimeout is the default bound on CC waits; it doubles as the
@@ -113,6 +118,27 @@ const DefaultLockTimeout = 2 * time.Second
 // abort: the operation left no state behind and may be retried through the
 // blocking path.
 var ErrWouldBlock = errors.New("cc: would block")
+
+// waitStart stamps the beginning of an intent-gate wait when a tracer is
+// attached (zero otherwise, so the fast path never reads the clock).
+func (o Options) waitStart() time.Time {
+	if o.Tracer == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeWait records one completed intent-gate wait: the always-on
+// lock_wait histogram plus a span on the transaction's sampled trace, if
+// any. No-op when no tracer is attached.
+func (o Options) observeWait(ctx context.Context, item model.ItemID, start time.Time) {
+	if o.Tracer == nil {
+		return
+	}
+	d := time.Since(start)
+	o.Tracer.Observe(trace.StageLockWait, d)
+	trace.FromContext(ctx).Record(trace.StageLockWait, start, d, string(item))
+}
 
 // New constructs a manager by protocol name over the site's store.
 func New(name string, store *storage.Store, opts Options) (Manager, error) {

@@ -136,11 +136,14 @@ func (m *MVTSO) Read(ctx context.Context, tx model.TxID, ts model.Timestamp, ite
 			ch := it.changed
 			m.stats.Waits++
 			m.mu.Unlock()
+			park := m.opts.waitStart()
 			select {
 			case <-ch:
+				m.opts.observeWait(ctx, item, park)
 				m.mu.Lock()
 				continue
 			case <-ctx.Done():
+				m.opts.observeWait(ctx, item, park)
 				m.mu.Lock()
 				m.stats.Timeouts++
 				m.mu.Unlock()
@@ -212,14 +215,17 @@ func (m *MVTSO) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp,
 		ch := it.changed
 		m.stats.Waits++
 		m.mu.Unlock()
+		park := m.opts.waitStart()
 		select {
 		case <-ch:
+			m.opts.observeWait(ctx, item, park)
 			m.mu.Lock()
 			if it, err = m.item(item); err != nil {
 				m.mu.Unlock()
 				return 0, err
 			}
 		case <-ctx.Done():
+			m.opts.observeWait(ctx, item, park)
 			m.mu.Lock()
 			m.stats.Timeouts++
 			m.mu.Unlock()

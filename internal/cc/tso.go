@@ -110,11 +110,14 @@ func (m *TSO) Read(ctx context.Context, tx model.TxID, ts model.Timestamp, item 
 			ch := it.changed
 			m.stats.Waits++
 			m.mu.Unlock()
+			park := m.opts.waitStart()
 			select {
 			case <-ch:
+				m.opts.observeWait(ctx, item, park)
 				m.mu.Lock()
 				continue
 			case <-ctx.Done():
+				m.opts.observeWait(ctx, item, park)
 				m.mu.Lock()
 				m.stats.Timeouts++
 				m.mu.Unlock()
@@ -184,11 +187,14 @@ func (m *TSO) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp, i
 		ch := it.changed
 		m.stats.Waits++
 		m.mu.Unlock()
+		park := m.opts.waitStart()
 		select {
 		case <-ch:
+			m.opts.observeWait(ctx, item, park)
 			m.mu.Lock()
 			it = m.item(item)
 		case <-ctx.Done():
+			m.opts.observeWait(ctx, item, park)
 			m.mu.Lock()
 			m.stats.Timeouts++
 			m.mu.Unlock()

@@ -49,6 +49,7 @@ func NewTwoPL(store *storage.Store, opts Options) *TwoPL {
 			Timeout:                  opts.LockTimeout,
 			DisableDeadlockDetection: opts.DisableDeadlockDetection,
 			Shards:                   opts.Shards,
+			Tracer:                   opts.Tracer,
 		}),
 		intents: make([]intentShard, n),
 		mask:    uint32(n - 1),

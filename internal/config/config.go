@@ -70,6 +70,16 @@ type Experiment struct {
 	// PipelineMaxBatch caps one drained pipeline batch; 0/absent selects the
 	// default.
 	PipelineMaxBatch int `json:"pipeline_max_batch,omitempty"`
+	// TraceSampleRate samples this fraction of transactions for end-to-end
+	// tracing (counter-based every-Nth at Begin); 0/absent disables sampling
+	// (the always-on stage histograms still aggregate).
+	TraceSampleRate float64 `json:"trace_sample_rate,omitempty"`
+	// TraceRing bounds each site's completed-trace ring; 0/absent selects
+	// the default.
+	TraceRing int `json:"trace_ring,omitempty"`
+	// TraceSlowMS dumps root traces slower than this to the site's
+	// slow-trace sink; 0/absent disables.
+	TraceSlowMS int64 `json:"trace_slow_ms,omitempty"`
 	// CatalogPollMS makes each site probe the name server's catalog epoch
 	// at this interval and live-reconfigure when it moved; 0/absent
 	// disables polling (sites still receive the name server's push).
@@ -190,8 +200,18 @@ func (e *Experiment) BuildCatalog() (*schema.Catalog, error) {
 	cat.Shards = e.Shards
 	cat.Checkpoint = e.Checkpoint()
 	cat.Pipeline = e.Pipeline()
+	cat.Trace = e.Trace()
 	cat.Epoch = e.Epoch
 	return cat, nil
+}
+
+// Trace converts the tracing fields to a schema policy.
+func (e *Experiment) Trace() schema.TracePolicy {
+	return schema.TracePolicy{
+		SampleRate: e.TraceSampleRate,
+		Ring:       e.TraceRing,
+		SlowMS:     e.TraceSlowMS,
+	}
 }
 
 // Pipeline converts the pipeline fields to a schema policy.

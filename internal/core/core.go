@@ -48,6 +48,9 @@ type Options struct {
 	// Checkpoint sets each site's checkpoint/compaction policy; zero falls
 	// back to the catalog's policy.
 	Checkpoint schema.CheckpointPolicy
+	// Trace sets each site's transaction-tracing policy as a site-local
+	// override; zero fields fall back to the catalog's policy.
+	Trace schema.TracePolicy
 	// CatalogPoll, when positive, makes each site probe the name server's
 	// catalog epoch at this interval and live-reconfigure when it moved —
 	// the safety net under the name server's best-effort push (partitioned
@@ -112,7 +115,8 @@ func New(opts Options) (*Instance, error) {
 	for _, id := range in.ids {
 		st, err := site.New(site.Config{
 			ID: id, Net: net, Shards: opts.Shards,
-			Checkpoint: opts.Checkpoint, CatalogPoll: opts.CatalogPoll,
+			Checkpoint: opts.Checkpoint, Trace: opts.Trace,
+			CatalogPoll: opts.CatalogPoll,
 		})
 		if err != nil {
 			in.Close()

@@ -34,8 +34,10 @@ package httpapi
 
 import (
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 
 	"repro/internal/config"
@@ -47,6 +49,8 @@ import (
 
 // Server hosts one Rainbow instance behind the servlet endpoints.
 type Server struct {
+	profiling bool
+
 	mu       sync.Mutex
 	instance *core.Instance
 	exp      config.Experiment
@@ -54,6 +58,10 @@ type Server struct {
 
 // NewServer returns a server with no instance configured yet.
 func NewServer() *Server { return &Server{} }
+
+// EnableProfiling mounts net/http/pprof and expvar under /debug on the next
+// Handler call (rainbow-home -pprof). Off by default.
+func (s *Server) EnableProfiling() { s.profiling = true }
 
 // Close shuts down the hosted instance.
 func (s *Server) Close() {
@@ -80,6 +88,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /Resetlet", s.handleReset)
 	mux.HandleFunc("POST /site/{id}/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("POST /catalog", s.handleCatalogUpdate)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /site/{id}/traces", s.handleTraces)
+	if s.profiling {
+		// Opt-in only: the pprof handlers expose heap contents and expvar
+		// whatever the process published; neither belongs on by default.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		mux.Handle("GET /debug/vars", expvar.Handler())
+	}
 	return mux
 }
 

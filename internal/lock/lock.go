@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/shard"
+	"repro/internal/trace"
 )
 
 // ErrWouldBlock is returned by TryAcquire where Acquire would queue. The
@@ -74,6 +75,11 @@ type Options struct {
 	// Shards is the lock-table stripe count, rounded up to a power of two
 	// and capped at MaxShards; <= 0 selects a GOMAXPROCS-derived default.
 	Shards int
+	// Tracer, when set, receives the duration of every actual lock wait
+	// (the always-on lock_wait histogram) and attaches wait spans to
+	// sampled transactions. Only the slow path pays for it: a fast-path
+	// grant never touches the clock.
+	Tracer *trace.Tracer
 }
 
 // MaxShards bounds the stripe count; it also lets a transaction's
@@ -290,6 +296,17 @@ func (m *Manager) Acquire(ctx context.Context, tx model.TxID, item model.ItemID,
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, m.opts.Timeout)
 		defer cancel()
+	}
+
+	// Wait accounting is also slow-path-only: the clock reads and the
+	// histogram insert amortize against parking a goroutine.
+	if m.opts.Tracer != nil {
+		waitStart := time.Now()
+		defer func() {
+			d := time.Since(waitStart)
+			m.opts.Tracer.Observe(trace.StageLockWait, d)
+			trace.FromContext(ctx).Record(trace.StageLockWait, waitStart, d, string(item))
+		}()
 	}
 
 	select {

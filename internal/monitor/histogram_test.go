@@ -1,0 +1,106 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var empty Histogram
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v", q, got)
+		}
+	}
+
+	// One sample: every quantile collapses onto that sample's value — the
+	// estimate is clamped to the observed maximum, never a bucket above.
+	var one Histogram
+	one.Observe(int64(700 * time.Microsecond))
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 700*time.Microsecond {
+			t.Errorf("one-sample Quantile(%v) = %v, want 700µs", q, got)
+		}
+	}
+
+	// q=0 rounds up to rank 1 (the minimum), q=1 reaches the last occupied
+	// bucket, and the whole curve is monotone in q.
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(int64(i) * int64(time.Microsecond))
+	}
+	if lo := h.Quantile(0); lo <= 0 || lo > 10*time.Microsecond {
+		t.Errorf("Quantile(0) = %v, want a near-minimum value", lo)
+	}
+	if hi := h.Quantile(1); hi != time.Millisecond {
+		t.Errorf("Quantile(1) = %v, want the max (1ms)", hi)
+	}
+	prev := time.Duration(-1)
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile not monotone: q=%v gave %v after %v", q, cur, prev)
+		}
+		prev = cur
+	}
+
+	// A sub-microsecond population interpolates inside bucket 0, whose lower
+	// edge is zero.
+	var sub Histogram
+	for i := 0; i < 100; i++ {
+		sub.Observe(500)
+	}
+	if got := sub.Quantile(0.5); got <= 0 || got > time.Microsecond {
+		t.Errorf("sub-µs Quantile(0.5) = %v", got)
+	}
+
+	// Samples beyond the last bucket edge clamp into the last bucket and
+	// still report through MaxNS.
+	var big Histogram
+	big.Observe(int64(time.Hour) * 100)
+	if got := big.Quantile(0.99); got != 100*time.Hour {
+		t.Errorf("overflow Quantile(0.99) = %v", got)
+	}
+}
+
+func TestHistogramMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sample := func(n int) Histogram {
+		var h Histogram
+		for i := 0; i < n; i++ {
+			h.Observe(rng.Int63n(int64(50 * time.Millisecond)))
+		}
+		return h
+	}
+	a, b, c := sample(100), sample(300), sample(47)
+
+	// (a ⊕ b) ⊕ c  ==  a ⊕ (b ⊕ c)
+	left := a
+	left.Merge(b)
+	left.Merge(c)
+	bc := b
+	bc.Merge(c)
+	right := a
+	right.Merge(bc)
+	if left != right {
+		t.Fatalf("Merge not associative:\n(a+b)+c = %+v\na+(b+c) = %+v", left, right)
+	}
+
+	// Merging with the zero histogram is the identity.
+	id := a
+	id.Merge(Histogram{})
+	if id != a {
+		t.Errorf("Merge with zero changed the histogram")
+	}
+
+	// The merged aggregate equals observing the union directly.
+	rng2 := rand.New(rand.NewSource(42))
+	var union Histogram
+	for i := 0; i < 447; i++ {
+		union.Observe(rng2.Int63n(int64(50 * time.Millisecond)))
+	}
+	if left != union {
+		t.Errorf("merged sum diverges from the union histogram")
+	}
+}

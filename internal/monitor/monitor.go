@@ -63,8 +63,18 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.SumNS / h.Count)
 }
 
-// Quantile returns an upper-bound estimate of the q-quantile (0 < q ≤ 1)
-// from the bucket boundaries.
+// BucketUpperNS returns bucket b's upper edge in nanoseconds (1µs << b).
+// Exported for metrics renderers that need the exposition-format edges.
+func BucketUpperNS(b int) uint64 { return uint64(1000) << uint(b) }
+
+// NumBuckets is the fixed bucket count of every Histogram.
+const NumBuckets = histBuckets
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by locating the bucket
+// containing the target rank and interpolating linearly within it, assuming
+// samples spread uniformly across the bucket. The estimate never exceeds
+// the observed maximum, so tail quantiles of a one-sample histogram report
+// that sample's bucket-resolution value rather than a whole bucket above.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.Count == 0 {
 		return 0
@@ -75,11 +85,26 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	}
 	var cum uint64
 	for b, n := range h.Buckets {
-		cum += n
-		if cum >= target {
-			// Upper edge of bucket b: 1µs << b.
-			return time.Duration(uint64(1000) << uint(b))
+		if n == 0 {
+			continue
 		}
+		if cum+n < target {
+			cum += n
+			continue
+		}
+		// Rank `target` falls in bucket b. Interpolate between the bucket's
+		// edges; bucket 0's lower edge is 0 (it holds sub-1µs samples).
+		upper := float64(BucketUpperNS(b))
+		lower := upper / 2
+		if b == 0 {
+			lower = 0
+		}
+		frac := float64(target-cum) / float64(n)
+		est := lower + frac*(upper-lower)
+		if uint64(est) > h.MaxNS {
+			est = float64(h.MaxNS)
+		}
+		return time.Duration(est)
 	}
 	return time.Duration(h.MaxNS)
 }
@@ -178,6 +203,18 @@ type SiteStats struct {
 	NetRecvFrames    uint64
 	NetSendSheds     uint64
 	NetLegacyConns   uint64
+	// Stages holds per-stage latency histograms keyed by trace stage name
+	// (queue, admit, lock_wait, wal_fsync, prepare, net_flush, ...): the
+	// always-on aggregates plus the folded spans of sampled traces. Empty
+	// stages are omitted.
+	Stages map[string]Histogram
+	// Trace sampling gauges: transactions sampled, completed fragments
+	// retained, fragments evicted from the bounded ring, and root traces
+	// over the slow threshold.
+	TraceSampled   uint64
+	TraceFragments uint64
+	TraceEvicted   uint64
+	TraceSlow      uint64
 }
 
 // PipeBatchSize returns the mean pipeline admit-batch size (operations per
@@ -414,6 +451,18 @@ func (r Report) Totals() SiteStats {
 		out.NetRecvFrames += s.NetRecvFrames
 		out.NetSendSheds += s.NetSendSheds
 		out.NetLegacyConns += s.NetLegacyConns
+		for name, h := range s.Stages {
+			if out.Stages == nil {
+				out.Stages = make(map[string]Histogram)
+			}
+			merged := out.Stages[name]
+			merged.Merge(h)
+			out.Stages[name] = merged
+		}
+		out.TraceSampled += s.TraceSampled
+		out.TraceFragments += s.TraceFragments
+		out.TraceEvicted += s.TraceEvicted
+		out.TraceSlow += s.TraceSlow
 		out.RecoveryRecords += s.RecoveryRecords
 		if s.RecoveryNS > out.RecoveryNS {
 			out.RecoveryNS = s.RecoveryNS
@@ -521,6 +570,25 @@ func (r Report) Render() string {
 		fmt.Fprintf(&b, "net coalescing: %d envelopes / %d flushes (%.1f env/flush), %d frames in, sheds=%d legacy-conns=%d\n",
 			t.NetSentEnvelopes, t.NetSendFlushes, t.NetCoalescing(),
 			t.NetRecvFrames, t.NetSendSheds, t.NetLegacyConns)
+	}
+	if len(t.Stages) > 0 {
+		fmt.Fprintf(&b, "stages (count p50/p99/max):\n")
+		names := make([]string, 0, len(t.Stages))
+		for name := range t.Stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := t.Stages[name]
+			fmt.Fprintf(&b, "  %-10s %8d  %v / %v / %v\n", name, h.Count,
+				h.Quantile(0.50).Round(time.Microsecond),
+				h.Quantile(0.99).Round(time.Microsecond),
+				time.Duration(h.MaxNS).Round(time.Microsecond))
+		}
+	}
+	if t.TraceSampled > 0 {
+		fmt.Fprintf(&b, "traces: sampled=%d fragments=%d evicted=%d slow=%d\n",
+			t.TraceSampled, t.TraceFragments, t.TraceEvicted, t.TraceSlow)
 	}
 	fmt.Fprintf(&b, "durability: %d checkpoints (%d deltas), %d segments compacted, wal %d segments / %d bytes retained\n",
 		t.Checkpoints, t.CheckpointDeltas, t.SegmentsCompacted, t.WALSegments, t.WALBytes)

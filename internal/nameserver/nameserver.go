@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/schema"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -125,7 +126,7 @@ func (s *Server) push(c *schema.Catalog) {
 	}
 }
 
-func (s *Server) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+func (s *Server) serve(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
 	switch kind {
 	case wire.KindPing:
 		return wire.KindOK, wire.OKBody{}, nil

@@ -113,6 +113,23 @@ type PipelinePolicy struct {
 	MaxBatch int
 }
 
+// TracePolicy configures each site's transaction tracer. The zero value
+// keeps tracing off (stage histograms still accumulate; only per-transaction
+// trace capture is sampled).
+type TracePolicy struct {
+	// SampleRate is the fraction of home transactions that record a full
+	// stage-by-stage trace (0 = none, 1 = all). Sampling is counter-based
+	// (every round(1/rate)-th Begin), so any positive rate yields traces.
+	SampleRate float64
+	// Ring bounds the per-site ring of completed trace fragments; <= 0
+	// selects the default capacity.
+	Ring int
+	// SlowMS, when positive, marks any sampled transaction slower than this
+	// many milliseconds end-to-end as slow and hands its trace to the
+	// site's slow-trace hook.
+	SlowMS int64
+}
+
 // Timeouts bounds protocol waits across the instance.
 type Timeouts struct {
 	// Op bounds one remote copy operation (read / pre-write).
@@ -161,6 +178,9 @@ type Catalog struct {
 	// Pipeline is the per-site command-pipeline policy, carried in the
 	// catalog for the same reason as Shards.
 	Pipeline PipelinePolicy
+	// Trace is the per-site transaction-tracing policy, carried in the
+	// catalog for the same reason as Shards.
+	Trace TracePolicy
 	// Epoch increments on every catalog update so sites can detect staleness.
 	Epoch uint64
 }
@@ -184,6 +204,7 @@ func (c *Catalog) Clone() *Catalog {
 		Shards:     c.Shards,
 		Checkpoint: c.Checkpoint,
 		Pipeline:   c.Pipeline,
+		Trace:      c.Trace,
 		Epoch:      c.Epoch,
 	}
 	for k, v := range c.Sites {
@@ -255,20 +276,22 @@ type Diff struct {
 	Protocols bool
 	// Timeouts marks a protocol-timeout change.
 	Timeouts bool
+	// Trace marks a tracing-policy change.
+	Trace bool
 }
 
 // Material reports whether the diff changes anything a site acts on. Pure
 // site-registration changes are immaterial: they alter the name server's
 // address book, not any site-local structure.
 func (d Diff) Material() bool {
-	return d.Items || d.Shards || d.Checkpoint || d.Pipeline || d.Protocols || d.Timeouts
+	return d.Items || d.Shards || d.Checkpoint || d.Pipeline || d.Protocols || d.Timeouts || d.Trace
 }
 
 // RequiresRebuild reports whether the diff needs the full quiesce +
-// snapshot + stack-rebuild path. A timeouts-only change is material but
-// adopts in place: it touches no store, CC or checkpoint structure, and a
-// forced O(store) snapshot plus fence-aborting every in-flight transaction
-// would be pure waste for it.
+// snapshot + stack-rebuild path. Timeouts-only and trace-only changes are
+// material but adopt in place: they touch no store, CC or checkpoint
+// structure, and a forced O(store) snapshot plus fence-aborting every
+// in-flight transaction would be pure waste for them.
 func (d Diff) RequiresRebuild() bool {
 	return d.Items || d.Shards || d.Checkpoint || d.Pipeline || d.Protocols
 }
@@ -283,6 +306,7 @@ func (d Diff) String() string {
 		{d.Sites, "sites"}, {d.Items, "items"}, {d.Shards, "shards"},
 		{d.Checkpoint, "checkpoint"}, {d.Pipeline, "pipeline"},
 		{d.Protocols, "protocols"}, {d.Timeouts, "timeouts"},
+		{d.Trace, "trace"},
 	} {
 		if f.on {
 			parts = append(parts, f.name)
@@ -304,6 +328,7 @@ func (c *Catalog) DiffFrom(old *Catalog) Diff {
 		Pipeline:   c.Pipeline != old.Pipeline,
 		Protocols:  c.Protocols != old.Protocols,
 		Timeouts:   c.Timeouts != old.Timeouts,
+		Trace:      c.Trace != old.Trace,
 		Sites:      !reflect.DeepEqual(c.Sites, old.Sites),
 		Items:      !reflect.DeepEqual(c.Items, old.Items),
 	}

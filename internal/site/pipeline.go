@@ -2,12 +2,14 @@ package site
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/cc"
 	"repro/internal/model"
 	"repro/internal/pipeline"
 	"repro/internal/schema"
 	"repro/internal/shard"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -27,13 +29,17 @@ import (
 // already batch at the group-commit layer.
 
 // copyOp is one queued copy operation. Exactly one of read/write is set,
-// selected by kind.
+// selected by kind. tid carries the request's distributed-trace ID and enq
+// its submit time (UnixNano; stamped only for traced requests, so the
+// untraced hot path never reads the clock here).
 type copyOp struct {
 	from  model.SiteID
 	kind  wire.MsgKind
 	read  wire.ReadCopyReq
 	write wire.PreWriteReq
 	reply wire.ReplyFunc
+	tid   trace.ID
+	enq   int64
 }
 
 func (o *copyOp) tx() model.TxID {
@@ -66,7 +72,7 @@ type copyResult struct {
 // (false sends the transport down the synchronous serve path). Decode
 // happens here — the pipeline's first stage — on the transport goroutine,
 // so a malformed payload is refused without occupying a queue slot.
-func (s *Site) serveAsync(from model.SiteID, kind wire.MsgKind, payload []byte, reply wire.ReplyFunc) bool {
+func (s *Site) serveAsync(from model.SiteID, tid trace.ID, kind wire.MsgKind, payload []byte, reply wire.ReplyFunc) bool {
 	if kind != wire.KindReadCopy && kind != wire.KindPreWrite {
 		return false
 	}
@@ -74,7 +80,10 @@ func (s *Site) serveAsync(from model.SiteID, kind wire.MsgKind, payload []byte, 
 	if p == nil {
 		return false // pipeline disabled or not built yet
 	}
-	op := copyOp{from: from, kind: kind, reply: reply}
+	op := copyOp{from: from, kind: kind, reply: reply, tid: tid}
+	if tid != 0 {
+		op.enq = time.Now().UnixNano()
+	}
 	var item model.ItemID
 	if kind == wire.KindReadCopy {
 		if err := wire.Unmarshal(payload, &op.read); err != nil {
@@ -106,6 +115,11 @@ func (s *Site) serveAsync(from model.SiteID, kind wire.MsgKind, payload []byte, 
 // operation — the site-state snapshot under s.mu, the release-tombstone
 // lookups, the clock witness and peek — are paid once per batch.
 func (s *Site) copyBatch(_ int, batch []copyOp) {
+	// Two clock reads per BATCH (not per op) feed the always-on batch-drain
+	// histogram; the per-op cost is amortized over the whole drain.
+	batchStart := time.Now()
+	defer func() { s.tracer.Observe(trace.StageBatch, time.Since(batchStart)) }()
+
 	s.mu.Lock()
 	crashed := s.crashed
 	ccm := s.ccm
@@ -180,6 +194,19 @@ func (s *Site) copyBatch(_ int, batch []copyOp) {
 	for i := range batch {
 		op := &batch[i]
 		r := &results[i]
+		if op.tid != 0 {
+			// Traced op: record its shard-queue wait (decode to sequencer
+			// pickup) and, unless it spilled, the batched admission, as a
+			// fragment collated with the home site's trace by ID. A spilled
+			// op's admission is recorded by spillCopy on its own fragment.
+			act := s.tracer.Join(op.tid, op.tx())
+			enq := time.Unix(0, op.enq)
+			act.Record(trace.StageQueue, enq, batchStart.Sub(enq), "shard queue")
+			if !r.spilled {
+				act.Record(trace.StageAdmit, batchStart, time.Since(batchStart), "batched")
+			}
+			act.Finish()
+		}
 		switch {
 		case r.spilled:
 			s.pipeSpills.Add(1)
@@ -208,10 +235,14 @@ func (s *Site) copyBatch(_ int, batch []copyOp) {
 // time rides along: a spill that straddles a reconfiguration behaves like
 // any in-flight synchronous operation against the old incarnation.
 func (s *Site) spillCopy(op copyOp, ccm cc.Manager, runCtx context.Context, timeouts schema.Timeouts, incarnation uint64) {
-	ctx, cancel := context.WithTimeout(runCtx, timeouts.Lock)
+	act := s.tracer.Join(op.tid, op.tx())
+	defer act.Finish()
+	ctx, cancel := context.WithTimeout(trace.NewContext(runCtx, act), timeouts.Lock)
 	defer cancel()
 	if op.kind == wire.KindReadCopy {
+		sp := act.StartSpan(trace.StageSpill, "read "+string(op.read.Item))
 		v, ver, err := ccm.Read(ctx, op.read.Tx, op.read.TS, op.read.Item)
+		sp.End()
 		if err != nil {
 			op.reply(0, nil, err)
 			return
@@ -227,7 +258,9 @@ func (s *Site) spillCopy(op copyOp, ccm cc.Manager, runCtx context.Context, time
 		}, nil)
 		return
 	}
+	sp := act.StartSpan(trace.StageSpill, "pre-write "+string(op.write.Item))
 	ver, err := ccm.PreWrite(ctx, op.write.Tx, op.write.TS, op.write.Item, op.write.Value)
+	sp.End()
 	if err != nil {
 		op.reply(0, nil, err)
 		return

@@ -8,11 +8,15 @@ import (
 	"repro/internal/model"
 	"repro/internal/nameserver"
 	"repro/internal/schema"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
-// serve dispatches inbound requests. It runs on transport goroutines.
-func (s *Site) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+// serve dispatches inbound requests. It runs on transport goroutines. tid
+// is the request's distributed-trace ID (zero for the untraced common
+// case): traced copy operations and prepares record a local trace fragment
+// under it, joined with the home site's fragment by ID at collation time.
+func (s *Site) serve(from model.SiteID, tid trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
 	s.mu.Lock()
 	if s.crashed {
 		// Belt and braces: the network layer already drops traffic to a
@@ -39,7 +43,11 @@ func (s *Site) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire
 		if err := wire.Unmarshal(payload, &req); err != nil {
 			return 0, nil, err
 		}
-		resp, err := s.readCopy(ccm, runCtx, timeouts, incarnation, req)
+		act := s.tracer.Join(tid, req.Tx)
+		defer act.Finish()
+		sp := act.StartSpan(trace.StageAdmit, "read "+string(req.Item))
+		resp, err := s.readCopy(ccm, trace.NewContext(runCtx, act), timeouts, incarnation, req)
+		sp.End()
 		if err != nil {
 			return 0, nil, err
 		}
@@ -53,10 +61,14 @@ func (s *Site) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire
 		if s.isReleased(req.Tx) {
 			return 0, nil, model.Abortf(model.AbortCC, "transaction %s already released", req.Tx)
 		}
+		act := s.tracer.Join(tid, req.Tx)
+		defer act.Finish()
 		s.clock.Witness(req.TS)
-		ctx, cancel := context.WithTimeout(runCtx, timeouts.Lock)
+		ctx, cancel := context.WithTimeout(trace.NewContext(runCtx, act), timeouts.Lock)
 		defer cancel()
+		sp := act.StartSpan(trace.StageAdmit, "pre-write "+string(req.Item))
 		ver, err := ccm.PreWrite(ctx, req.Tx, req.TS, req.Item, req.Value)
+		sp.End()
 		if err != nil {
 			return 0, nil, err
 		}
@@ -81,7 +93,12 @@ func (s *Site) serve(from model.SiteID, kind wire.MsgKind, payload []byte) (wire
 			return 0, nil, err
 		}
 		s.clock.Witness(req.TS)
-		return wire.KindVote, s.votePrepare(req), nil
+		act := s.tracer.Join(tid, req.Tx)
+		sp := act.StartSpan(trace.StageWALAppend, "prepare force")
+		resp := s.votePrepare(req)
+		sp.End()
+		act.Finish()
+		return wire.KindVote, resp, nil
 
 	case wire.KindPreCommit:
 		var req wire.PreCommitReq

@@ -35,6 +35,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/storage"
 	"repro/internal/tcpnet"
+	"repro/internal/trace"
 	"repro/internal/wal"
 	"repro/internal/wire"
 )
@@ -88,6 +89,9 @@ type Config struct {
 	// epoch moved — the pull half of online reconfiguration (the push half
 	// is the name server's catalog broadcast). Zero disables polling.
 	CatalogPoll time.Duration
+	// Trace sets the per-site transaction-tracing policy; zero fields fall
+	// back to the catalog's policy.
+	Trace schema.TracePolicy
 }
 
 // Site is one Rainbow site.
@@ -102,6 +106,13 @@ type Site struct {
 	stats  *monitor.Collector
 	hist   *history.Recorder
 	shards int
+
+	// tracer owns the site's per-stage latency histograms and the sampled
+	// per-transaction trace fragments. Like the stats collector it is set
+	// once at New and survives crashes and reconfigurations; policy changes
+	// adopt in place.
+	tracer   *trace.Tracer
+	traceCfg schema.TracePolicy
 
 	// snaps is the checkpoint snapshot store; like the WAL it survives
 	// simulated crashes (set once at New).
@@ -256,11 +267,29 @@ func New(cfg Config) (*Site, error) {
 		poll:        cfg.CatalogPoll,
 		gate:        new(sync.RWMutex),
 		log:         log,
+		tracer:      trace.New(cfg.ID, trace.Policy{}),
+		traceCfg:    cfg.Trace,
 		activeCoord: make(map[model.TxID]bool),
 		released:    make(map[model.TxID]time.Time),
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
+
+	// The WAL reports per-flush force-write timings into the always-on
+	// wal_fsync stage histogram (one atomic load per flush when unobserved).
+	if ol, ok := log.(wal.Observable); ok {
+		tr := s.tracer
+		ol.SetFlushObserver(func(d time.Duration, _ uint64) {
+			tr.Observe(trace.StageWALFsync, d)
+		})
+	}
+	// Transports that understand tracing (tcpnet) attach send-queue and
+	// flush spans to in-flight envelopes via the registered tracer.
+	if rt, ok := cfg.Net.(interface {
+		RegisterTracer(model.SiteID, *trace.Tracer)
+	}); ok {
+		rt.RegisterTracer(cfg.ID, s.tracer)
+	}
 
 	peer, err := wire.NewPeer(cfg.Net, cfg.ID, s.serve)
 	if err != nil {
@@ -378,6 +407,7 @@ func (s *Site) rebuild(catalog *schema.Catalog, live bool) error {
 		LockTimeout:              timeouts.Lock,
 		DisableDeadlockDetection: catalog.Protocols.NoDeadlockDetection,
 		Shards:                   shards,
+		Tracer:                   s.tracer,
 	})
 	if err != nil {
 		return err
@@ -545,8 +575,37 @@ func (s *Site) rebuild(catalog *schema.Catalog, live bool) error {
 		pol.MaxBatch = catalog.Pipeline.MaxBatch
 	}
 	s.swapPipeline(pol, store.ShardCount())
+	s.adoptTracePolicy(catalog)
 	return nil
 }
+
+// adoptTracePolicy merges the site-local trace config over the catalog's
+// (field-wise, like the checkpoint policy) and installs it on the tracer in
+// place — no quiesce or rebuild is ever needed for a tracing change.
+func (s *Site) adoptTracePolicy(catalog *schema.Catalog) {
+	pol := s.traceCfg
+	if pol.SampleRate == 0 {
+		pol.SampleRate = catalog.Trace.SampleRate
+	}
+	if pol.Ring == 0 {
+		pol.Ring = catalog.Trace.Ring
+	}
+	if pol.SlowMS == 0 {
+		pol.SlowMS = catalog.Trace.SlowMS
+	}
+	s.tracer.SetPolicy(trace.Policy{
+		SampleRate:    pol.SampleRate,
+		Ring:          pol.Ring,
+		SlowThreshold: time.Duration(pol.SlowMS) * time.Millisecond,
+	})
+}
+
+// Tracer exposes the site's tracer (trace export, slow-trace hooks, tests).
+func (s *Site) Tracer() *trace.Tracer { return s.tracer }
+
+// Traces snapshots the site's ring of completed trace fragments,
+// oldest-first.
+func (s *Site) Traces() []trace.Trace { return s.tracer.Snapshot() }
 
 // restoreTermState re-installs a recovered 3PC transaction's logged
 // termination state (promised ballot, accepted pre-decision) so the member
@@ -615,15 +674,16 @@ func (s *Site) Reconfigure(catalog *schema.Catalog) error {
 		return nil
 	}
 	if !diff.RequiresRebuild() {
-		// Timeouts-only: adopt in place — no quiesce, no snapshot, no
-		// fence raise (nothing is wiped). New transactions pick the
-		// timeouts up at Begin; the running resolver ticker keeps its old
-		// OrphanResolve interval until the next rebuild.
+		// Timeouts and/or trace policy only: adopt in place — no quiesce,
+		// no snapshot, no fence raise (nothing is wiped). New transactions
+		// pick the timeouts up at Begin; the running resolver ticker keeps
+		// its old OrphanResolve interval until the next rebuild.
 		s.mu.Lock()
 		s.catalog = catalog
 		s.timeouts = catalog.Timeouts.WithDefaults()
 		s.reconfigures++
 		s.mu.Unlock()
+		s.adoptTracePolicy(catalog)
 		return nil
 	}
 
@@ -766,6 +826,12 @@ func (s *Site) Stats() monitor.SiteStats {
 		stats.NetSendSheds = n.SendSheds
 		stats.NetLegacyConns = n.LegacyConns
 	}
+	stats.Stages = s.tracer.StageHistograms()
+	ts := s.tracer.Stats()
+	stats.TraceSampled = ts.Sampled
+	stats.TraceFragments = ts.Fragments
+	stats.TraceEvicted = ts.Evicted
+	stats.TraceSlow = ts.Slow
 	return stats
 }
 
@@ -773,6 +839,7 @@ func (s *Site) Stats() monitor.SiteStats {
 // and per-shard counters' baselines.
 func (s *Site) ResetStats() {
 	s.stats.Reset()
+	s.tracer.ResetStages()
 	s.mu.Lock()
 	if bs, ok := s.log.(wal.BatchStats); ok {
 		s.walBaseFlushes, s.walBaseRecords = bs.BatchStats()

@@ -9,6 +9,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/rcp"
 	"repro/internal/schema"
+	"repro/internal/trace"
 )
 
 // Txn is an interactive transaction at its home site: the caller interleaves
@@ -32,6 +33,10 @@ type Txn struct {
 	reads    map[model.ItemID]int64
 	doomed   error
 	finished bool
+	// act is the transaction's sampled trace (nil for the untraced common
+	// case — every span call then no-ops without reading the clock). It
+	// rides t.ctx, so remote calls stamp its ID on their envelopes.
+	act *trace.Active
 }
 
 // Begin admits a new transaction at this home site, dedicating the calling
@@ -59,6 +64,8 @@ func (s *Site) Begin(ctx context.Context) (*Txn, error) {
 
 	t.sess = rcp.NewSession(t.tx, t.ts)
 	t.ctx, t.cancel = mergeContexts(ctx, runCtx)
+	t.act = s.tracer.Begin(t.tx)
+	t.ctx = trace.NewContext(t.ctx, t.act)
 	s.stats.TxBegin()
 	return t, nil
 }
@@ -80,7 +87,9 @@ func (t *Txn) Read(item model.ItemID) (int64, error) {
 	}
 	opCtx, cancel := context.WithTimeout(t.ctx, 3*t.timeouts.Op)
 	defer cancel()
+	sp := t.act.StartSpan(trace.StageOp, "read "+string(item))
 	v, err := t.rcpProto.Read(opCtx, t.s, t.sess, meta)
+	sp.End()
 	if err != nil {
 		t.doomed = err
 		return 0, err
@@ -101,7 +110,10 @@ func (t *Txn) Write(item model.ItemID, value int64) error {
 	}
 	opCtx, cancel := context.WithTimeout(t.ctx, 3*t.timeouts.Op)
 	defer cancel()
-	if err := t.rcpProto.Write(opCtx, t.s, t.sess, meta, value); err != nil {
+	sp := t.act.StartSpan(trace.StageOp, "write "+string(item))
+	err := t.rcpProto.Write(opCtx, t.s, t.sess, meta, value)
+	sp.End()
+	if err != nil {
 		t.doomed = err
 		return err
 	}
@@ -221,6 +233,14 @@ func (t *Txn) Abort() model.Outcome {
 func (t *Txn) outcome(committed bool, cause model.AbortCause) model.Outcome {
 	latency := time.Since(t.start)
 	t.s.stats.TxDone(committed, cause, latency)
+	if t.act != nil {
+		note := "committed"
+		if !committed {
+			note = "aborted: " + cause.String()
+		}
+		t.act.Record(trace.StageExec, t.start, latency, note)
+		t.act.Finish()
+	}
 	reads := t.reads
 	if !committed {
 		reads = nil

@@ -36,6 +36,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/schema"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 	"repro/internal/wlg"
 )
 
@@ -146,6 +147,11 @@ func Run(o Options) (Report, error) {
 			Interval: time.Duration(20+rng.Intn(20)) * time.Millisecond,
 			DeltaMax: 1 + rng.Intn(4),
 		},
+		// Trace every transaction: the workload is tiny, and a violation
+		// report can then dump the implicated transactions' full stage-level
+		// history (which sites they touched, where they waited, what the ACP
+		// did). Site-local policy, so epoch bumps cannot reconfigure it away.
+		Trace:       schema.TracePolicy{SampleRate: 1, Ring: 2048},
 		CatalogPoll: 30 * time.Millisecond,
 	})
 	if err != nil {
@@ -356,6 +362,46 @@ func dumpItem(in *core.Instance, sites []model.SiteID, item model.ItemID) string
 	return b.String()
 }
 
+// tracesOf collates the retained trace fragments of the implicated
+// transactions across every site and renders their stage breakdowns —
+// appended to invariant-violation errors so a failure shows not just the
+// divergent state but the distributed execution that produced it.
+func tracesOf(in *core.Instance, sites []model.SiteID, txs map[model.TxID]bool) string {
+	frags := make([][]trace.Trace, 0, len(sites))
+	for _, id := range sites {
+		if st, ok := in.Site(id); ok {
+			frags = append(frags, st.Tracer().TracesFor(txs))
+		}
+	}
+	groups := trace.Collate(frags...)
+	if len(groups) == 0 {
+		return "  traces: none retained for the implicated transactions\n"
+	}
+	ids := make([]trace.ID, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	b.WriteString("  traces of implicated transactions:\n")
+	for _, id := range ids {
+		b.WriteString(trace.Format(groups[id]))
+	}
+	return b.String()
+}
+
+// itemWriters returns every transaction the merged history shows writing
+// item — the implicated set for a copy-divergence or lost-write violation.
+func itemWriters(in *core.Instance, item model.ItemID) map[model.TxID]bool {
+	txs := make(map[model.TxID]bool)
+	for _, e := range in.History() {
+		if e.Item == item && e.Kind == model.OpWrite {
+			txs[e.Tx] = true
+		}
+	}
+	return txs
+}
+
 // checkInvariants audits the settled cluster. See the package comment for
 // the invariant list.
 func checkInvariants(in *core.Instance, sites []model.SiteID, itemIDs []model.ItemID) error {
@@ -367,8 +413,8 @@ func checkInvariants(in *core.Instance, sites []model.SiteID, itemIDs []model.It
 		st, _ := in.Site(id)
 		for tx, commit := range st.DecisionTable() {
 			if prev, seen := verdicts[tx]; seen && prev != commit {
-				return fmt.Errorf("decision divergence on %v: %s says commit=%v, %s says commit=%v",
-					tx, owner[tx], prev, id, commit)
+				return fmt.Errorf("decision divergence on %v: %s says commit=%v, %s says commit=%v\n%s",
+					tx, owner[tx], prev, id, commit, tracesOf(in, sites, map[model.TxID]bool{tx: true}))
 			}
 			verdicts[tx], owner[tx] = commit, id
 		}
@@ -393,8 +439,9 @@ func checkInvariants(in *core.Instance, sites []model.SiteID, itemIDs []model.It
 				byVersion[item] = make(map[model.Version]stamped)
 			}
 			if prev, seen := byVersion[item][cp.Version]; seen && prev.val != cp.Value {
-				return fmt.Errorf("copy divergence on %s@v%d: %s has %d, %s has %d\n%s",
-					item, cp.Version, prev.site, prev.val, id, cp.Value, dumpItem(in, sites, item))
+				return fmt.Errorf("copy divergence on %s@v%d: %s has %d, %s has %d\n%s%s",
+					item, cp.Version, prev.site, prev.val, id, cp.Value, dumpItem(in, sites, item),
+					tracesOf(in, sites, itemWriters(in, item)))
 			}
 			byVersion[item][cp.Version] = stamped{val: cp.Value, site: id}
 			if cur, ok := newest[item]; !ok || cp.Version > cur.ver {
@@ -413,15 +460,16 @@ func checkInvariants(in *core.Instance, sites []model.SiteID, itemIDs []model.It
 		}
 		cur, ok := newest[e.Item]
 		if !ok {
-			return fmt.Errorf("committed write lost: %s@v%d (value %d) has no surviving copy", e.Item, e.Version, e.Value)
+			return fmt.Errorf("committed write lost: %s@v%d (value %d) has no surviving copy\n%s",
+				e.Item, e.Version, e.Value, tracesOf(in, sites, map[model.TxID]bool{e.Tx: true}))
 		}
 		if e.Version > cur.ver {
-			return fmt.Errorf("committed write lost: %s@v%d (value %d) newer than every surviving copy (max v%d)",
-				e.Item, e.Version, e.Value, cur.ver)
+			return fmt.Errorf("committed write lost: %s@v%d (value %d) newer than every surviving copy (max v%d)\n%s",
+				e.Item, e.Version, e.Value, cur.ver, tracesOf(in, sites, map[model.TxID]bool{e.Tx: true}))
 		}
 		if e.Version == cur.ver && e.Value != cur.val {
-			return fmt.Errorf("committed write diverged: %s@v%d history says %d, newest copy says %d",
-				e.Item, e.Version, e.Value, cur.val)
+			return fmt.Errorf("committed write diverged: %s@v%d history says %d, newest copy says %d\n%s",
+				e.Item, e.Version, e.Value, cur.val, tracesOf(in, sites, map[model.TxID]bool{e.Tx: true}))
 		}
 	}
 
@@ -453,8 +501,8 @@ func checkInvariants(in *core.Instance, sites []model.SiteID, itemIDs []model.It
 			continue
 		}
 		if got := out.Reads[item]; got != want.val {
-			return fmt.Errorf("quorum read of %s = %d, want newest committed value %d (v%d)",
-				item, got, want.val, want.ver)
+			return fmt.Errorf("quorum read of %s = %d, want newest committed value %d (v%d)\n%s",
+				item, got, want.val, want.ver, tracesOf(in, sites, itemWriters(in, item)))
 		}
 	}
 	return nil

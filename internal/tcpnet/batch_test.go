@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -116,14 +117,14 @@ func TestLegacyFramingInterop(t *testing.T) {
 	oldNet := NewWithOptions(nil, Options{LegacyFraming: true})
 	newNet := New(nil)
 
-	oldPeer, err := wire.NewPeer(oldNet, "old", func(from model.SiteID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+	oldPeer, err := wire.NewPeer(oldNet, "old", func(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
 		return wire.KindOK, wire.OKBody{}, nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer oldPeer.Close()
-	newPeer, err := wire.NewPeer(newNet, "new", func(from model.SiteID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+	newPeer, err := wire.NewPeer(newNet, "new", func(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
 		return wire.KindOK, wire.OKBody{}, nil
 	})
 	if err != nil {
@@ -280,7 +281,7 @@ func TestSlowReaderBackpressure(t *testing.T) {
 // goroutines and the batch reply dispatch together).
 func TestBatchedRPCStress(t *testing.T) {
 	n := New(nil)
-	server, err := wire.NewPeer(n, "server", func(from model.SiteID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+	server, err := wire.NewPeer(n, "server", func(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
 		var req wire.PreWriteReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
 			return 0, nil, err

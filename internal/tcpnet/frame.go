@@ -40,7 +40,9 @@ const (
 )
 
 // appendEnvelope serializes env onto buf: uvarint-length-prefixed From, To
-// and Payload, uvarint Kind and Corr, and a flags byte (bit 0 = Reply).
+// and Payload, uvarint Kind and Corr, and a flags byte (bit 0 = Reply,
+// bit 1 = a uvarint trace ID follows). Untraced envelopes — the common
+// case — spend only the flag bit.
 func appendEnvelope(buf []byte, env *wire.Envelope) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(env.From)))
 	buf = append(buf, env.From...)
@@ -52,7 +54,13 @@ func appendEnvelope(buf []byte, env *wire.Envelope) []byte {
 	if env.Reply {
 		flags |= 1
 	}
+	if env.Trace != 0 {
+		flags |= 2
+	}
 	buf = append(buf, flags)
+	if env.Trace != 0 {
+		buf = binary.AppendUvarint(buf, env.Trace)
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(env.Payload)))
 	return append(buf, env.Payload...)
 }
@@ -100,6 +108,13 @@ func decodeEnvelope(b []byte) (*wire.Envelope, error) {
 	}
 	flags := b[0]
 	b = b[1:]
+	var traceID uint64
+	if flags&2 != 0 {
+		traceID, err = readUvarint()
+		if err != nil {
+			return nil, err
+		}
+	}
 	plen, sz := binary.Uvarint(b)
 	if sz <= 0 || uint64(len(b)-sz) < plen {
 		return nil, fmt.Errorf("tcpnet: truncated envelope payload")
@@ -109,6 +124,7 @@ func decodeEnvelope(b []byte) (*wire.Envelope, error) {
 	env.Kind = wire.MsgKind(kind)
 	env.Corr = corr
 	env.Reply = flags&1 != 0
+	env.Trace = traceID
 	if plen > 0 {
 		env.Payload = append([]byte(nil), b[sz:sz+int(plen)]...)
 	}

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -99,9 +100,10 @@ type Stats struct {
 type Net struct {
 	opts Options
 
-	mu    sync.Mutex
-	book  map[model.SiteID]string
-	nodes map[model.SiteID]*endpoint
+	mu      sync.Mutex
+	book    map[model.SiteID]string
+	nodes   map[model.SiteID]*endpoint
+	tracers map[model.SiteID]*trace.Tracer
 
 	sentEnvelopes atomic.Uint64
 	sentFlushes   atomic.Uint64
@@ -127,7 +129,27 @@ func NewWithOptions(book map[model.SiteID]string, opts Options) *Net {
 	for k, v := range book {
 		b[k] = v
 	}
-	return &Net{opts: opts.withDefaults(), book: b, nodes: make(map[model.SiteID]*endpoint)}
+	return &Net{
+		opts:    opts.withDefaults(),
+		book:    b,
+		nodes:   make(map[model.SiteID]*endpoint),
+		tracers: make(map[model.SiteID]*trace.Tracer),
+	}
+}
+
+// RegisterTracer attaches a site's tracer to its endpoint: the transport
+// then feeds flush-cycle latencies into the always-on net_flush histogram
+// and attaches send-queue spans to in-flight sampled traces. Sites probe
+// for this method through the wire.Network interface; transports without it
+// (the simulator) simply skip transport stages.
+func (n *Net) RegisterTracer(id model.SiteID, t *trace.Tracer) {
+	n.mu.Lock()
+	n.tracers[id] = t
+	ep := n.nodes[id]
+	n.mu.Unlock()
+	if ep != nil {
+		ep.tracer.Store(t)
+	}
 }
 
 // SetAddr records or updates a node's address.
@@ -199,6 +221,9 @@ func (n *Net) AttachBatch(id model.SiteID, h wire.Handler, bh wire.BatchHandler)
 	n.mu.Lock()
 	n.book[id] = ln.Addr().String()
 	n.nodes[id] = ep
+	if t := n.tracers[id]; t != nil {
+		ep.tracer.Store(t)
+	}
 	n.mu.Unlock()
 
 	go ep.acceptLoop()
@@ -211,6 +236,9 @@ type endpoint struct {
 	ln      net.Listener
 	handler wire.Handler
 	batch   wire.BatchHandler
+	// tracer, when registered, receives flush-cycle observations and
+	// send-queue spans for sampled envelopes leaving this endpoint.
+	tracer atomic.Pointer[trace.Tracer]
 
 	mu     sync.Mutex
 	conns  map[model.SiteID]*outConn
@@ -228,10 +256,18 @@ type outConn struct {
 	batched  bool // multi-envelope framing (vs legacy gob)
 	dialedTo model.SiteID
 
-	sendCh   chan *wire.Envelope
+	sendCh   chan sendItem
 	done     chan struct{}
 	killOnce sync.Once
 	dead     atomic.Bool
+}
+
+// sendItem is one queued envelope; enq carries the enqueue instant (unix
+// nanos) for sampled envelopes so the writer can close their send-queue
+// span after the flush. Zero — the untraced case — costs nothing.
+type sendItem struct {
+	env *wire.Envelope
+	enq int64
 }
 
 func (e *endpoint) newOutConn(conn net.Conn, batched bool, dialedTo model.SiteID) *outConn {
@@ -240,7 +276,7 @@ func (e *endpoint) newOutConn(conn net.Conn, batched bool, dialedTo model.SiteID
 		conn:     conn,
 		batched:  batched,
 		dialedTo: dialedTo,
-		sendCh:   make(chan *wire.Envelope, e.net.opts.SendQueue),
+		sendCh:   make(chan sendItem, e.net.opts.SendQueue),
 		done:     make(chan struct{}),
 	}
 	go c.writeLoop()
@@ -320,8 +356,12 @@ func (c *outConn) enqueue(ctx context.Context, env *wire.Envelope) error {
 	if c.dead.Load() {
 		return errConnDead
 	}
+	item := sendItem{env: env}
+	if env.Trace != 0 && c.ep.tracer.Load() != nil {
+		item.enq = time.Now().UnixNano()
+	}
 	select {
-	case c.sendCh <- env:
+	case c.sendCh <- item:
 		c.ep.net.sentEnvelopes.Add(1)
 		return nil
 	default:
@@ -330,7 +370,7 @@ func (c *outConn) enqueue(ctx context.Context, env *wire.Envelope) error {
 	stall := time.NewTimer(c.ep.net.opts.SendStall)
 	defer stall.Stop()
 	select {
-	case c.sendCh <- env:
+	case c.sendCh <- item:
 		c.ep.net.sentEnvelopes.Add(1)
 		return nil
 	case <-ctx.Done():
@@ -364,33 +404,43 @@ func (c *outConn) writeLoop() {
 			return
 		}
 	}
+	items := make([]sendItem, 0, opts.MaxBatch)
 	batch := make([]*wire.Envelope, 0, opts.MaxBatch)
 	for {
-		var env *wire.Envelope
+		var item sendItem
 		select {
-		case env = <-c.sendCh:
+		case item = <-c.sendCh:
 		case <-c.done:
 			return
 		}
-		batch = append(batch[:0], env)
+		items = append(items[:0], item)
 	drain:
-		for len(batch) < opts.MaxBatch {
+		for len(items) < opts.MaxBatch {
 			select {
 			case next := <-c.sendCh:
-				batch = append(batch, next)
+				items = append(items, next)
 			default:
-				if opts.FlushDelay <= 0 || len(batch) >= opts.MaxBatch {
+				if opts.FlushDelay <= 0 || len(items) >= opts.MaxBatch {
 					break drain
 				}
 				t := time.NewTimer(opts.FlushDelay)
 				select {
 				case next := <-c.sendCh:
 					t.Stop()
-					batch = append(batch, next)
+					items = append(items, next)
 				case <-t.C:
 					break drain
 				}
 			}
+		}
+		batch = batch[:0]
+		for _, it := range items {
+			batch = append(batch, it.env)
+		}
+		tracer := c.ep.tracer.Load()
+		var flushStart time.Time
+		if tracer != nil {
+			flushStart = time.Now()
 		}
 		if err := c.writeBatch(bw, enc, &scratch, batch); err != nil {
 			if !c.redial() {
@@ -406,9 +456,28 @@ func (c *outConn) writeLoop() {
 		n := c.ep.net
 		n.sentBatches.Add(1)
 		n.sentFlushes.Add(flushes.take())
-		if l := uint64(len(batch)); l > n.maxSendBatch.Load() {
+		if l := uint64(len(items)); l > n.maxSendBatch.Load() {
 			n.maxSendBatch.Store(l)
 		}
+		if tracer != nil {
+			c.observeFlush(tracer, flushStart, items)
+		}
+	}
+}
+
+// observeFlush records one flush cycle: the always-on net_flush histogram,
+// and a net_queue span (enqueue → flushed) attached to each sampled
+// envelope's in-flight trace.
+func (c *outConn) observeFlush(tracer *trace.Tracer, flushStart time.Time, items []sendItem) {
+	end := time.Now()
+	tracer.Observe(trace.StageNetFlush, end.Sub(flushStart))
+	for _, it := range items {
+		if it.enq == 0 {
+			continue
+		}
+		start := time.Unix(0, it.enq)
+		tracer.Lookup(trace.ID(it.env.Trace)).
+			Record(trace.StageNetQueue, start, end.Sub(start), string(it.env.To)+" "+it.env.Kind.String())
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -61,7 +62,7 @@ func TestDynamicAddressResolved(t *testing.T) {
 
 func TestRPCOverTCP(t *testing.T) {
 	n := New(nil)
-	server, err := wire.NewPeer(n, "server", func(from model.SiteID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+	server, err := wire.NewPeer(n, "server", func(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
 		var req wire.ReadCopyReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
 			return 0, nil, err
@@ -91,7 +92,7 @@ func TestRPCOverTCP(t *testing.T) {
 
 func TestConcurrentRPCOverTCP(t *testing.T) {
 	n := New(nil)
-	server, err := wire.NewPeer(n, "server", func(from model.SiteID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+	server, err := wire.NewPeer(n, "server", func(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
 		var req wire.PreWriteReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
 			return 0, nil, err

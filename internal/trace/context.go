@@ -1,0 +1,28 @@
+package trace
+
+import "context"
+
+// ctxKey is the private context key carrying the *Active span collector.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying act. A nil act returns ctx unchanged, so
+// callers can thread the result unconditionally.
+func NewContext(ctx context.Context, act *Active) context.Context {
+	if act == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, act)
+}
+
+// FromContext returns the Active carried by ctx, or nil. All Active
+// methods are nil-safe, so the result can be used without checking.
+func FromContext(ctx context.Context) *Active {
+	act, _ := ctx.Value(ctxKey{}).(*Active)
+	return act
+}
+
+// IDFromContext returns the trace ID carried by ctx (0 when untraced); the
+// wire layer stamps it onto outbound envelopes.
+func IDFromContext(ctx context.Context) ID {
+	return FromContext(ctx).ID()
+}

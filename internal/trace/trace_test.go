@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func tx(seq uint64) model.TxID { return model.TxID{Site: "S1", Seq: seq} }
+
+func TestSamplingInterval(t *testing.T) {
+	cases := []struct {
+		rate  float64
+		n     int
+		wantN int
+	}{
+		{rate: 0, n: 100, wantN: 0},
+		{rate: 1, n: 100, wantN: 100},
+		{rate: 0.25, n: 100, wantN: 25},
+		{rate: 2, n: 10, wantN: 10}, // >= 1 clamps to every transaction
+	}
+	for _, c := range cases {
+		tr := New("S1", Policy{SampleRate: c.rate})
+		got := 0
+		for i := 0; i < c.n; i++ {
+			if a := tr.Begin(tx(uint64(i))); a != nil {
+				got++
+				a.Finish()
+			}
+		}
+		if got != c.wantN {
+			t.Errorf("rate %v: sampled %d of %d, want %d", c.rate, got, c.n, c.wantN)
+		}
+	}
+}
+
+func TestNilActiveIsSafe(t *testing.T) {
+	var a *Active
+	if a.ID() != 0 {
+		t.Error("nil Active ID != 0")
+	}
+	a.Record(StageOp, time.Now(), time.Millisecond, "x")
+	a.StartSpan(StageOp, "x").End() // zero Timer no-ops
+	a.Finish()
+
+	var tr *Tracer
+	tr.Observe(StageOp, time.Millisecond)
+	if tr.Begin(tx(1)) != nil || tr.Join(7, tx(1)) != nil || tr.Lookup(7) != nil {
+		t.Error("nil Tracer produced a collector")
+	}
+	if got := tr.Snapshot(); got != nil {
+		t.Errorf("nil Tracer Snapshot = %v", got)
+	}
+}
+
+func TestJoinZeroIDIsUnsampled(t *testing.T) {
+	tr := New("S2", Policy{SampleRate: 1})
+	if a := tr.Join(0, tx(1)); a != nil {
+		t.Fatal("Join(0) must return nil")
+	}
+	if got := tr.Stats().Fragments; got != 0 {
+		t.Fatalf("fragments = %d after zero-ID join", got)
+	}
+}
+
+func TestFragmentRecordingAndLookup(t *testing.T) {
+	tr := New("S1", Policy{SampleRate: 1})
+	a := tr.Begin(tx(1))
+	if a == nil {
+		t.Fatal("rate-1 Begin did not sample")
+	}
+	if got := tr.Lookup(a.ID()); got != a {
+		t.Fatalf("Lookup(%v) = %p, want %p", a.ID(), got, a)
+	}
+	a.Record(StageOp, time.Now(), 3*time.Millisecond, "read x")
+	sp := a.StartSpan(StageLockWait, "x")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	a.Finish()
+	if tr.Lookup(a.ID()) != nil {
+		t.Error("Finish left the collector registered")
+	}
+	frags := tr.Snapshot()
+	if len(frags) != 1 {
+		t.Fatalf("snapshot = %d fragments", len(frags))
+	}
+	fr := frags[0]
+	if !fr.Root || fr.Tx != tx(1) || fr.Site != "S1" || len(fr.Spans) != 2 {
+		t.Fatalf("fragment = %+v", fr)
+	}
+	if fr.Spans[1].Dur <= 0 {
+		t.Error("timed span has no duration")
+	}
+	// Spans folded into the always-on stage histograms.
+	hs := tr.StageHistograms()
+	if hs[StageOp.String()].Count != 1 || hs[StageLockWait.String()].Count != 1 {
+		t.Errorf("stage histograms = %v", hs)
+	}
+	// Post-Finish records are dropped, and Finish is idempotent.
+	a.Record(StageOp, time.Now(), time.Millisecond, "late")
+	a.Finish()
+	if got := tr.Stats(); got.Fragments != 1 {
+		t.Errorf("fragments = %d after double Finish", got.Fragments)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New("S1", Policy{SampleRate: 1, Ring: 4})
+	for i := 0; i < 10; i++ {
+		a := tr.Begin(tx(uint64(i)))
+		a.Finish()
+	}
+	frags := tr.Snapshot()
+	if len(frags) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(frags))
+	}
+	// Oldest first, and only the newest four survive.
+	for i, fr := range frags {
+		if want := tx(uint64(6 + i)); fr.Tx != want {
+			t.Errorf("ring[%d] = %v, want %v", i, fr.Tx, want)
+		}
+	}
+	if st := tr.Stats(); st.Fragments != 10 || st.Evicted != 6 {
+		t.Errorf("stats = %+v, want 10 fragments / 6 evicted", st)
+	}
+}
+
+func TestSetPolicyResizesRing(t *testing.T) {
+	tr := New("S1", Policy{SampleRate: 1, Ring: 8})
+	for i := 0; i < 8; i++ {
+		tr.Begin(tx(uint64(i))).Finish()
+	}
+	tr.SetPolicy(Policy{SampleRate: 1, Ring: 3})
+	frags := tr.Snapshot()
+	if len(frags) != 3 {
+		t.Fatalf("after shrink: %d fragments", len(frags))
+	}
+	if frags[0].Tx != tx(5) || frags[2].Tx != tx(7) {
+		t.Errorf("shrink kept %v..%v, want newest three", frags[0].Tx, frags[2].Tx)
+	}
+	// Growing keeps retained fragments and the ring fills again.
+	tr.SetPolicy(Policy{SampleRate: 1, Ring: 16})
+	tr.Begin(tx(100)).Finish()
+	if got := len(tr.Snapshot()); got != 4 {
+		t.Errorf("after grow: %d fragments, want 4", got)
+	}
+}
+
+func TestTracesFor(t *testing.T) {
+	tr := New("S1", Policy{SampleRate: 1})
+	a := tr.Begin(tx(1))
+	a.Finish()
+	tr.Begin(tx(2)).Finish()
+	got := tr.TracesFor(map[model.TxID]bool{tx(1): true})
+	if len(got) != 1 || got[0].Tx != tx(1) {
+		t.Fatalf("TracesFor = %+v", got)
+	}
+}
+
+func TestSlowTraceSink(t *testing.T) {
+	tr := New("S1", Policy{SampleRate: 1, SlowThreshold: time.Microsecond})
+	var dumped []Trace
+	tr.OnSlow(func(fr Trace) { dumped = append(dumped, fr) })
+	a := tr.Begin(tx(1))
+	time.Sleep(2 * time.Millisecond)
+	a.Finish()
+	if len(dumped) != 1 || tr.Stats().Slow != 1 {
+		t.Fatalf("slow sink got %d dumps, stats %+v", len(dumped), tr.Stats())
+	}
+	// Remote fragments never trip the slow sink: only roots gauge the
+	// transaction end to end.
+	j := tr.Join(99, tx(2))
+	time.Sleep(2 * time.Millisecond)
+	j.Finish()
+	if len(dumped) != 1 {
+		t.Errorf("non-root fragment reached the slow sink")
+	}
+}
+
+func TestObserveAndReset(t *testing.T) {
+	tr := New("S1", Policy{})
+	tr.Observe(StageWALFsync, 5*time.Millisecond)
+	tr.Observe(StageWALFsync, 7*time.Millisecond)
+	if got := tr.StageHistograms()[StageWALFsync.String()].Count; got != 2 {
+		t.Fatalf("fsync count = %d", got)
+	}
+	tr.ResetStages()
+	if got := tr.StageHistograms(); len(got) != 0 {
+		t.Fatalf("histograms after reset = %v", got)
+	}
+}
+
+func TestCollateAndFormat(t *testing.T) {
+	home := New("H", Policy{SampleRate: 1})
+	remote := New("R", Policy{SampleRate: 1})
+	a := home.Begin(tx(1))
+	id := a.ID()
+	a.Record(StageExec, time.Now(), 10*time.Millisecond, "committed")
+	j := remote.Join(id, tx(1))
+	j.Record(StageAdmit, time.Now(), time.Millisecond, "pre-write x")
+	j.Finish()
+	a.Finish()
+
+	groups := Collate(home.Snapshot(), remote.Snapshot())
+	g, ok := groups[id]
+	if !ok || len(g) != 2 {
+		t.Fatalf("collated group = %v", groups)
+	}
+	if !g[0].Root || g[0].Site != "H" || g[1].Site != "R" {
+		t.Fatalf("group order = %+v (root must sort first)", g)
+	}
+	out := Format(g)
+	for _, want := range []string{"root", "frag", "exec", "admit", "site=H", "site=R", "committed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+	if Format(nil) != "" {
+		t.Error("Format(nil) != \"\"")
+	}
+}
+
+func TestDistinctIDsAcrossSites(t *testing.T) {
+	a := New("S1", Policy{SampleRate: 1})
+	b := New("S2", Policy{SampleRate: 1})
+	seen := make(map[ID]bool)
+	for i := 0; i < 50; i++ {
+		for _, tr := range []*Tracer{a, b} {
+			act := tr.Begin(tx(uint64(i)))
+			if seen[act.ID()] {
+				t.Fatalf("duplicate trace ID %v", act.ID())
+			}
+			seen[act.ID()] = true
+			act.Finish()
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/model"
 )
@@ -127,6 +128,7 @@ type SegmentedLog struct {
 	records   atomic.Uint64
 	compacted atomic.Uint64
 	rewrites  atomic.Uint64
+	flushObs  atomic.Pointer[FlushObserver]
 
 	reqCh  chan *segReq
 	stopCh chan struct{}
@@ -558,6 +560,10 @@ func (l *SegmentedLog) AppendBatch(recs []Record) error {
 func (l *SegmentedLog) force(payload []byte, metas []segRecMeta) error {
 	l.ioMu.Lock()
 	defer l.ioMu.Unlock()
+	if obs := l.flushObs.Load(); obs != nil {
+		start := time.Now()
+		defer func() { (*obs)(time.Since(start), uint64(len(metas))) }()
+	}
 	if l.active.records > 0 && l.active.size+int64(len(payload)) > l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			return err
@@ -863,6 +869,15 @@ func pinHas(pins []uint64, lsn uint64) bool {
 // BatchStats implements the BatchStats interface.
 func (l *SegmentedLog) BatchStats() (flushes, records uint64) {
 	return l.flushes.Load(), l.records.Load()
+}
+
+// SetFlushObserver implements Observable.
+func (l *SegmentedLog) SetFlushObserver(f FlushObserver) {
+	if f == nil {
+		l.flushObs.Store(nil)
+		return
+	}
+	l.flushObs.Store(&f)
 }
 
 // Close implements Log: stop accepting appends, drain the committer, seal

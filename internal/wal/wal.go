@@ -28,6 +28,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/model"
 )
@@ -144,6 +145,20 @@ type BatchStats interface {
 	BatchStats() (flushes, records uint64)
 }
 
+// FlushObserver receives the wall-clock duration of each force-write cycle
+// (write + flush + fsync) and the number of records the cycle carried. The
+// site's tracer feeds its wal_fsync stage histogram through it. Observers
+// run inline on the committer goroutine and must be fast and safe for
+// concurrent use; with no observer installed a flush pays one atomic load.
+type FlushObserver func(d time.Duration, records uint64)
+
+// Observable is implemented by logs that report per-flush timings (all
+// backends in this package). The wal package stays free of monitoring
+// imports; callers probe for this interface and install a closure.
+type Observable interface {
+	SetFlushObserver(FlushObserver)
+}
+
 // Compactable is implemented by logs that assign log sequence numbers and
 // support checkpoint-driven compaction (SegmentedLog and MemoryLog; the
 // legacy single-file FileLog does not). The checkpoint manager drives it:
@@ -190,6 +205,8 @@ type MemoryLog struct {
 	size     uint64
 	// pins feeds Compact's in-doubt pinning rule (shared with SegmentedLog).
 	pins pinTracker
+
+	flushObs atomic.Pointer[FlushObserver]
 }
 
 // NewMemory returns an empty in-memory log.
@@ -219,10 +236,23 @@ func (l *MemoryLog) Append(r Record) error {
 	return l.AppendBatch([]Record{r})
 }
 
+// SetFlushObserver implements Observable.
+func (l *MemoryLog) SetFlushObserver(f FlushObserver) {
+	if f == nil {
+		l.flushObs.Store(nil)
+		return
+	}
+	l.flushObs.Store(&f)
+}
+
 // AppendBatch implements Log.
 func (l *MemoryLog) AppendBatch(recs []Record) error {
 	if len(recs) == 0 {
 		return nil
+	}
+	if obs := l.flushObs.Load(); obs != nil {
+		start := time.Now()
+		defer func() { (*obs)(time.Since(start), uint64(len(recs))) }()
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -382,8 +412,9 @@ type FileLog struct {
 	stopCh chan struct{}
 	doneCh chan struct{} // closed when the committer has drained and exited
 
-	flushes atomic.Uint64
-	records atomic.Uint64
+	flushes  atomic.Uint64
+	records  atomic.Uint64
+	flushObs atomic.Pointer[FlushObserver]
 }
 
 // OpenFile opens (creating if needed) a group-committing file log at path.
@@ -521,6 +552,10 @@ func (l *FileLog) AppendBatch(recs []Record) error {
 func (l *FileLog) forceLocked(payload []byte, records uint64) error {
 	l.ioMu.Lock()
 	defer l.ioMu.Unlock()
+	if obs := l.flushObs.Load(); obs != nil {
+		start := time.Now()
+		defer func() { (*obs)(time.Since(start), records) }()
+	}
 	if _, err := l.w.Write(payload); err != nil {
 		return fmt.Errorf("wal: write %s: %w", l.path, err)
 	}
@@ -617,6 +652,15 @@ func (l *FileLog) ReadAll() ([]Record, error) {
 // BatchStats implements the BatchStats interface.
 func (l *FileLog) BatchStats() (flushes, records uint64) {
 	return l.flushes.Load(), l.records.Load()
+}
+
+// SetFlushObserver implements Observable.
+func (l *FileLog) SetFlushObserver(f FlushObserver) {
+	if f == nil {
+		l.flushObs.Store(nil)
+		return
+	}
+	l.flushObs.Store(&f)
 }
 
 // Close implements Log: it stops accepting appends, waits for the committer

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/model"
+	"repro/internal/trace"
 )
 
 // ErrClosed is returned by Peer operations after Close.
@@ -15,9 +16,11 @@ var ErrClosed = errors.New("wire: peer closed")
 
 // ServeFunc handles one inbound request and returns the response kind and
 // body. Returning an error sends a KindError reply carrying the error's
-// abort cause (if any) to the caller. ServeFunc runs on transport
-// goroutines and must be safe for concurrent use.
-type ServeFunc func(from model.SiteID, kind MsgKind, payload []byte) (MsgKind, any, error)
+// abort cause (if any) to the caller. tid is the request envelope's trace
+// ID (zero for the untraced common case); handlers doing traced work join
+// the distributed trace under it. ServeFunc runs on transport goroutines
+// and must be safe for concurrent use.
+type ServeFunc func(from model.SiteID, tid trace.ID, kind MsgKind, payload []byte) (MsgKind, any, error)
 
 // ReplyFunc sends the response for one asynchronously served request. It
 // may be called from any goroutine, exactly once; err takes precedence over
@@ -32,7 +35,7 @@ type ReplyFunc func(kind MsgKind, body any, err error)
 // command pipeline. Returning false declines the request, which then falls
 // through to the synchronous ServeFunc; an AsyncServeFunc that returned
 // true must eventually call reply exactly once or the caller times out.
-type AsyncServeFunc func(from model.SiteID, kind MsgKind, payload []byte, reply ReplyFunc) bool
+type AsyncServeFunc func(from model.SiteID, tid trace.ID, kind MsgKind, payload []byte, reply ReplyFunc) bool
 
 // Peer layers request/response RPC over a Network endpoint. Each Rainbow
 // node (name server, site, workload driver, monitor) owns one Peer.
@@ -118,7 +121,7 @@ func (p *Peer) Call(ctx context.Context, to model.SiteID, kind MsgKind, body, re
 		p.mu.Unlock()
 	}()
 
-	env := &Envelope{From: p.ep.ID(), To: to, Kind: kind, Corr: corr, Payload: payload}
+	env := &Envelope{From: p.ep.ID(), To: to, Kind: kind, Corr: corr, Payload: payload, Trace: uint64(trace.IDFromContext(ctx))}
 	if err := p.ep.Send(ctx, env); err != nil {
 		return err
 	}
@@ -150,7 +153,7 @@ func (p *Peer) Cast(ctx context.Context, to model.SiteID, kind MsgKind, body any
 	if err != nil {
 		return err
 	}
-	return p.ep.Send(ctx, &Envelope{From: p.ep.ID(), To: to, Kind: kind, Payload: payload})
+	return p.ep.Send(ctx, &Envelope{From: p.ep.ID(), To: to, Kind: kind, Payload: payload, Trace: uint64(trace.IDFromContext(ctx))})
 }
 
 // SetAsyncServe installs the pipelined inbound handler (see
@@ -188,15 +191,15 @@ func (p *Peer) handle(env *Envelope) {
 		// One-way cast: dispatch, discard result. Casts run the same
 		// ServeFunc, so they may block just like requests.
 		if p.serve != nil {
-			go p.serve(env.From, env.Kind, env.Payload) //nolint:errcheck
+			go p.serve(env.From, trace.ID(env.Trace), env.Kind, env.Payload) //nolint:errcheck
 		}
 		return
 	}
 
 	if af := p.async.Load(); af != nil {
-		from, corr := env.From, env.Corr
-		if (*af)(env.From, env.Kind, env.Payload, func(kind MsgKind, body any, err error) {
-			p.sendReply(from, corr, kind, body, err)
+		from, corr, tid := env.From, env.Corr, env.Trace
+		if (*af)(env.From, trace.ID(env.Trace), env.Kind, env.Payload, func(kind MsgKind, body any, err error) {
+			p.sendReply(from, corr, tid, kind, body, err)
 		}) {
 			return // the pipeline owns the reply now
 		}
@@ -216,9 +219,9 @@ func (p *Peer) serveSync(env *Envelope) {
 	if p.serve == nil {
 		err = fmt.Errorf("node %s does not serve requests", p.ep.ID())
 	} else {
-		kind, body, err = p.serve(env.From, env.Kind, env.Payload)
+		kind, body, err = p.serve(env.From, trace.ID(env.Trace), env.Kind, env.Payload)
 	}
-	p.sendReply(env.From, env.Corr, kind, body, err)
+	p.sendReply(env.From, env.Corr, env.Trace, kind, body, err)
 }
 
 // handleBatch dispatches one decoded wire frame: all replies resolve in a
@@ -246,8 +249,9 @@ func (p *Peer) handleBatch(envs []*Envelope) {
 
 // sendReply encodes and sends one response envelope; shared by the
 // synchronous serve path and the async ReplyFunc closures. An error is
-// converted to a KindError reply preserving its abort cause.
-func (p *Peer) sendReply(to model.SiteID, corr uint64, kind MsgKind, body any, err error) {
+// converted to a KindError reply preserving its abort cause. The request's
+// trace ID is echoed so the reply's transport hops are traceable too.
+func (p *Peer) sendReply(to model.SiteID, corr, tid uint64, kind MsgKind, body any, err error) {
 	if err != nil {
 		kind = KindError
 		body = ErrorBody{Cause: model.CauseOf(err), Reason: err.Error()}
@@ -264,7 +268,7 @@ func (p *Peer) sendReply(to model.SiteID, corr uint64, kind MsgKind, body any, e
 	}
 	reply := &Envelope{
 		From: p.ep.ID(), To: to, Kind: kind,
-		Corr: corr, Reply: true, Payload: payload,
+		Corr: corr, Reply: true, Trace: tid, Payload: payload,
 	}
 	// Replies are best-effort; the caller times out on loss.
 	p.ep.Send(context.Background(), reply) //nolint:errcheck

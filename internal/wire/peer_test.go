@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -30,7 +31,7 @@ func newPair(t *testing.T, serve wire.ServeFunc) (*wire.Peer, *wire.Peer) {
 }
 
 func TestCallRoundTrip(t *testing.T) {
-	_, client := newPair(t, func(from model.SiteID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+	_, client := newPair(t, func(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
 		var req wire.ReadCopyReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
 			return 0, nil, err
@@ -50,7 +51,7 @@ func TestCallRoundTrip(t *testing.T) {
 }
 
 func TestCallPropagatesAbortCause(t *testing.T) {
-	_, client := newPair(t, func(model.SiteID, wire.MsgKind, []byte) (wire.MsgKind, any, error) {
+	_, client := newPair(t, func(model.SiteID, trace.ID, wire.MsgKind, []byte) (wire.MsgKind, any, error) {
 		return 0, nil, model.Abortf(model.AbortCC, "timestamp too old")
 	})
 	err := client.Call(context.Background(), "server", wire.KindReadCopy, wire.ReadCopyReq{}, nil)
@@ -60,7 +61,7 @@ func TestCallPropagatesAbortCause(t *testing.T) {
 }
 
 func TestCallGenericErrorNotAbort(t *testing.T) {
-	_, client := newPair(t, func(model.SiteID, wire.MsgKind, []byte) (wire.MsgKind, any, error) {
+	_, client := newPair(t, func(model.SiteID, trace.ID, wire.MsgKind, []byte) (wire.MsgKind, any, error) {
 		return 0, nil, errors.New("disk on fire")
 	})
 	err := client.Call(context.Background(), "server", wire.KindPing, wire.PingReq{}, nil)
@@ -75,7 +76,7 @@ func TestCallGenericErrorNotAbort(t *testing.T) {
 func TestCallTimeout(t *testing.T) {
 	net := simnet.New(simnet.Config{})
 	// A server that is attached but paused never replies.
-	if _, err := wire.NewPeer(net, "server", func(model.SiteID, wire.MsgKind, []byte) (wire.MsgKind, any, error) {
+	if _, err := wire.NewPeer(net, "server", func(model.SiteID, trace.ID, wire.MsgKind, []byte) (wire.MsgKind, any, error) {
 		return wire.KindOK, wire.OKBody{}, nil
 	}); err != nil {
 		t.Fatal(err)
@@ -108,7 +109,7 @@ func TestCallToUnknownDestinationTimesOut(t *testing.T) {
 
 func TestCast(t *testing.T) {
 	var got atomic.Int64
-	_, client := newPair(t, func(from model.SiteID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+	_, client := newPair(t, func(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
 		var d wire.DecisionMsg
 		if err := wire.Unmarshal(payload, &d); err == nil && d.Commit {
 			got.Add(1)
@@ -128,7 +129,7 @@ func TestCast(t *testing.T) {
 }
 
 func TestConcurrentCalls(t *testing.T) {
-	_, client := newPair(t, func(from model.SiteID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+	_, client := newPair(t, func(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
 		var req wire.ReadCopyReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
 			return 0, nil, err
@@ -160,7 +161,7 @@ func TestConcurrentCalls(t *testing.T) {
 }
 
 func TestClosedPeerFailsCalls(t *testing.T) {
-	_, client := newPair(t, func(model.SiteID, wire.MsgKind, []byte) (wire.MsgKind, any, error) {
+	_, client := newPair(t, func(model.SiteID, trace.ID, wire.MsgKind, []byte) (wire.MsgKind, any, error) {
 		return wire.KindOK, wire.OKBody{}, nil
 	})
 	client.Close()

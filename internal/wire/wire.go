@@ -119,6 +119,12 @@ type Envelope struct {
 	Corr uint64
 	// Reply marks response envelopes.
 	Reply bool
+	// Trace is the sampled-transaction trace ID riding this request
+	// (trace.ID; zero — the overwhelmingly common case — means untraced
+	// and costs nothing on the wire: gob omits zero fields and the batched
+	// framing spends one flag bit). Receivers record their fragment of the
+	// distributed trace under this ID.
+	Trace uint64
 	// Payload is the gob-encoded body; its type is determined by Kind.
 	Payload []byte
 }
