@@ -1184,9 +1184,12 @@ func BenchmarkThreePCTermination(b *testing.B) {
 // between two peers over a real loopback socket. batch=1 flushes one
 // buffered write (≈ one syscall) per envelope — the pre-coalescing design;
 // batch=128 lets the writer goroutine drain its whole queue into
-// multi-envelope frames; legacy coalesces writes but speaks the original
-// per-envelope gob framing with no slice dispatch. env/flush is the
-// measured envelopes-per-write-syscall ratio.
+// multi-envelope frames; codec=gob is batch=128 with both sides pinned to
+// the gob body codec (the net_codec ablation — its ns/op against batch=128
+// is the end-to-end transport win of the negotiated binary codec); legacy
+// coalesces writes but speaks the original per-envelope gob framing with
+// no slice dispatch. env/flush is the measured envelopes-per-write-syscall
+// ratio.
 func BenchmarkNetBatching(b *testing.B) {
 	for _, mode := range []struct {
 		name string
@@ -1194,13 +1197,14 @@ func BenchmarkNetBatching(b *testing.B) {
 	}{
 		{"batch=1", tcpnet.Options{MaxBatch: 1}},
 		{"batch=128", tcpnet.Options{}},
+		{"codec=gob", tcpnet.Options{Codec: "gob"}},
 		{"legacy", tcpnet.Options{LegacyFraming: true}},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			net := tcpnet.NewWithOptions(map[model.SiteID]string{}, mode.opts)
 			srv, err := wire.NewPeer(net, "S1",
-				func(model.SiteID, trace.ID, wire.MsgKind, []byte) (wire.MsgKind, any, error) {
-					return wire.KindOK, wire.OKBody{}, nil
+				func(model.SiteID, trace.ID, wire.MsgKind, wire.Payload) (wire.MsgKind, wire.Body, error) {
+					return wire.KindOK, &wire.OKBody{}, nil
 				})
 			if err != nil {
 				b.Fatal(err)
@@ -1222,7 +1226,7 @@ func BenchmarkNetBatching(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
 					var resp wire.OKBody
-					if err := cli.Call(ctx, "S1", wire.KindPing, wire.PingReq{}, &resp); err != nil {
+					if err := cli.Call(ctx, "S1", wire.KindPing, &wire.PingReq{}, &resp); err != nil {
 						b.Error(err)
 						return
 					}
@@ -1230,6 +1234,97 @@ func BenchmarkNetBatching(b *testing.B) {
 			})
 			if st := net.NetStats(); st.SentFlushes > 0 {
 				b.ReportMetric(float64(st.SentEnvelopes)/float64(st.SentFlushes), "env/flush")
+				b.ReportMetric(float64(st.SentBytes)/float64(st.SentFlushes), "B/flush")
+			}
+		})
+	}
+}
+
+// BenchmarkWireCodec prices one body encode or decode per message-body
+// class, hand-rolled binary vs per-message gob (a fresh encoder/decoder
+// each call, exactly what the transport pays per envelope — gob's
+// compileDec was ~54% of transport-bench CPU before the typed codec).
+// Recorded in BENCH_baseline.json; CI gates the decode-side binary:gob
+// ratios so the codec win cannot silently erode.
+func BenchmarkWireCodec(b *testing.B) {
+	tx := model.TxID{Site: "S1", Seq: 42}
+	ts := model.Timestamp{Time: 7_000_000, Site: "S2"}
+	classes := []struct {
+		name  string
+		body  wire.Body
+		fresh func() wire.Body
+	}{
+		{"ReadCopyReq",
+			&wire.ReadCopyReq{Tx: tx, TS: ts, Item: "item-x"},
+			func() wire.Body { return &wire.ReadCopyReq{} }},
+		{"ReadCopyResp",
+			&wire.ReadCopyResp{Value: -12, Version: 3, Clock: 99, Incarnation: 4},
+			func() wire.Body { return &wire.ReadCopyResp{} }},
+		{"PreWriteReq",
+			&wire.PreWriteReq{Tx: tx, TS: ts, Item: "item-y", Value: 1 << 40},
+			func() wire.Body { return &wire.PreWriteReq{} }},
+		{"PrepareReq",
+			&wire.PrepareReq{
+				Tx: tx, TS: ts, Coordinator: "S1",
+				Writes:       []model.WriteRecord{{Item: "a", Value: 1, Version: 2}, {Item: "b", Value: -3, Version: 4}},
+				Participants: []model.SiteID{"S1", "S2", "S3"},
+				ThreePhase:   true, Epoch: 6,
+				Voters: []model.SiteID{"S1", "S2", "S3"}, Incarnation: 2,
+			},
+			func() wire.Body { return &wire.PrepareReq{} }},
+		{"VoteResp",
+			&wire.VoteResp{Yes: true},
+			func() wire.Body { return &wire.VoteResp{} }},
+		{"DecisionMsg",
+			&wire.DecisionMsg{Tx: tx, Commit: true},
+			func() wire.Body { return &wire.DecisionMsg{} }},
+		{"TermQueryResp",
+			&wire.TermQueryResp{Accepted: true, EA: model.Ballot{N: 9, Site: "S3"}, State: 2, Decided: true, Commit: true},
+			func() wire.Body { return &wire.TermQueryResp{} }},
+		{"SubmitTxResp",
+			&wire.SubmitTxResp{Outcome: model.Outcome{
+				Tx: tx, Committed: true, LatencyNS: 123456,
+				Reads:    map[model.ItemID]int64{"r1": 5, "r2": -6},
+				HomeSite: "S1",
+			}},
+			func() wire.Body { return &wire.SubmitTxResp{} }},
+	}
+	for _, c := range classes {
+		binEnc := c.body.AppendTo(nil)
+		gobEnc, err := wire.Marshal(c.body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name+"/encode-binary", func(b *testing.B) {
+			var buf []byte
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf = c.body.AppendTo(buf[:0])
+			}
+		})
+		b.Run(c.name+"/encode-gob", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.Marshal(c.body); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/decode-binary", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := c.fresh().DecodeFrom(binEnc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/decode-gob", func(b *testing.B) {
+			pay := wire.Payload{Codec: wire.CodecGob, Bytes: gobEnc}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := pay.Decode(c.fresh()); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

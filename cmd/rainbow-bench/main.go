@@ -66,6 +66,7 @@ func main() {
 	netLegacy := flag.Bool("net-legacy", false, "legacy single-envelope framing (false = coalesced frames)")
 	netMaxBatch := flag.Int("net-max-batch", 0, "envelopes per transport flush (1 = pre-coalescing one write per envelope, 0 = default)")
 	netFlushDelay := flag.Duration("net-flush-delay", 0, "transport writer linger before flushing a non-full batch")
+	netCodec := flag.String("net-codec", "", "wire body codec: binary (default: negotiated, gob fallback) or gob (pin to gob; the codec-ablation knob)")
 	seed := flag.Int64("seed", 619, "workload seed")
 	name := flag.String("name", "LoadZipfClosed", "benchmark name recorded in the output")
 	out := flag.String("out", "BENCH_load.json", "output JSON file (benchjson format); empty disables")
@@ -73,13 +74,20 @@ func main() {
 	traceRate := flag.Float64("trace-sample", 0.05, "fraction of transactions traced when -trace is set")
 	flag.Parse()
 
+	switch *netCodec {
+	case "", "binary", "gob":
+	default:
+		fmt.Fprintf(os.Stderr, "rainbow-bench: unknown -net-codec %q (want binary or gob)\n", *netCodec)
+		os.Exit(2)
+	}
+
 	res, err := run(benchConfig{
 		sites: *nSites, clients: *clients, duration: *duration,
 		zipf: *zipf, readRate: *readRate, opsPerTx: *opsPerTx,
 		items: *items, hot: *hot, shards: *shards,
 		protocols: schema.Protocols{RCP: *rcp, CCP: *ccp, ACP: *acp},
 		pipeline:  schema.PipelinePolicy{Disable: !*pipeOn, Depth: *pipeDepth, MaxBatch: *pipeBatch},
-		netOpts:   tcpnet.Options{LegacyFraming: *netLegacy, MaxBatch: *netMaxBatch, FlushDelay: *netFlushDelay},
+		netOpts:   tcpnet.Options{LegacyFraming: *netLegacy, MaxBatch: *netMaxBatch, FlushDelay: *netFlushDelay, Codec: *netCodec},
 		seed:      *seed, name: *name,
 		traceN: *traceN, traceRate: *traceRate,
 	})
@@ -96,8 +104,10 @@ func main() {
 	fmt.Printf("  read-only tx p50 %.2fms p99 %.2fms  write tx p50 %.2fms p99 %.2fms\n",
 		res.Metrics["read-p50-ms"], res.Metrics["read-p99-ms"],
 		res.Metrics["write-p50-ms"], res.Metrics["write-p99-ms"])
-	fmt.Printf("  pipeline mean batch %.2f  net envelopes/flush %.2f\n",
-		res.Metrics["pipe-batch"], res.Metrics["net-coalesce"])
+	fmt.Printf("  pipeline mean batch %.2f  net envelopes/flush %.2f (%.0f B/flush)\n",
+		res.Metrics["pipe-batch"], res.Metrics["net-coalesce"], res.Metrics["net-bytes-per-flush"])
+	fmt.Printf("  net codec: %d binary / %d gob bodies sent\n",
+		int64(res.Metrics["net-binary-bodies"]), int64(res.Metrics["net-gob-bodies"]))
 	fmt.Print(res.traceReport)
 
 	if *out != "" {
@@ -253,22 +263,28 @@ func run(bc benchConfig) (result, error) {
 		totals.PipeBatches += s.PipeBatches
 		totals.NetSentEnvelopes += s.NetSentEnvelopes
 		totals.NetSendFlushes += s.NetSendFlushes
+		totals.NetSentBytes += s.NetSentBytes
+		totals.NetBinaryBodies += s.NetBinaryBodies
+		totals.NetGobBodies += s.NetGobBodies
 	}
 
 	metrics := map[string]float64{
-		"committed":    float64(committed),
-		"aborted":      float64(aborted),
-		"tx/s":         float64(committed) / bc.duration.Seconds(),
-		"p50-ms":       pctlMS(lats, 0.50),
-		"p90-ms":       pctlMS(lats, 0.90),
-		"p99-ms":       pctlMS(lats, 0.99),
-		"p999-ms":      pctlMS(lats, 0.999),
-		"read-p50-ms":  pctlMS(readLats, 0.50),
-		"read-p99-ms":  pctlMS(readLats, 0.99),
-		"write-p50-ms": pctlMS(writeLats, 0.50),
-		"write-p99-ms": pctlMS(writeLats, 0.99),
-		"pipe-batch":   totals.PipeBatchSize(),
-		"net-coalesce": totals.NetCoalescing(),
+		"committed":           float64(committed),
+		"aborted":             float64(aborted),
+		"tx/s":                float64(committed) / bc.duration.Seconds(),
+		"p50-ms":              pctlMS(lats, 0.50),
+		"p90-ms":              pctlMS(lats, 0.90),
+		"p99-ms":              pctlMS(lats, 0.99),
+		"p999-ms":             pctlMS(lats, 0.999),
+		"read-p50-ms":         pctlMS(readLats, 0.50),
+		"read-p99-ms":         pctlMS(readLats, 0.99),
+		"write-p50-ms":        pctlMS(writeLats, 0.50),
+		"write-p99-ms":        pctlMS(writeLats, 0.99),
+		"pipe-batch":          totals.PipeBatchSize(),
+		"net-coalesce":        totals.NetCoalescing(),
+		"net-bytes-per-flush": totals.NetBytesPerFlush(),
+		"net-binary-bodies":   float64(totals.NetBinaryBodies),
+		"net-gob-bodies":      float64(totals.NetGobBodies),
 	}
 	res := result{Name: bc.name, Iterations: committed + aborted, Metrics: metrics}
 	if bc.traceN > 0 {

@@ -47,6 +47,7 @@ func main() {
 	netQueue := flag.Int("net-queue", 0, "per-connection send queue bound (0 = default)")
 	netBatch := flag.Int("net-batch", 0, "largest envelope batch one transport flush carries (0 = default)")
 	netFlushDelay := flag.Duration("net-flush-delay", 0, "extra time the transport writer waits for more envelopes before flushing a non-full batch (0 = flush as soon as the queue drains)")
+	netCodec := flag.String("net-codec", "", "wire body codec: binary (negotiated, with gob fallback for peers that don't negotiate) or gob (pin to gob; ablation). Empty defers to the config file's net_codec, default binary")
 	traceRate := flag.Float64("trace-sample", 0, "fraction of home transactions traced end to end (0 = only the config file's trace_sample_rate, if any)")
 	traceRing := flag.Int("trace-ring", 0, "completed-trace ring bound (0 = default or the config file's value)")
 	traceSlow := flag.Duration("trace-slow", 0, "dump the stage breakdown of root traces slower than this to stderr (0 = only the config file's trace_slow_ms, if any)")
@@ -54,6 +55,32 @@ func main() {
 
 	if *id == "" {
 		fmt.Fprintln(os.Stderr, "rainbow-site: -id is required")
+		os.Exit(2)
+	}
+
+	// Load the configuration (if any) before the transport: the codec
+	// selection is applied at transport creation and may come from the file.
+	var catalog *schema.Catalog
+	if *cfgPath != "" {
+		exp, err := config.Load(*cfgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rainbow-site:", err)
+			os.Exit(1)
+		}
+		catalog, err = exp.BuildCatalog()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rainbow-site:", err)
+			os.Exit(1)
+		}
+	}
+	codec := *netCodec
+	if codec == "" && catalog != nil {
+		codec = catalog.Net.Codec
+	}
+	switch codec {
+	case "", "binary", "gob":
+	default:
+		fmt.Fprintf(os.Stderr, "rainbow-site: unknown -net-codec %q (want binary or gob)\n", codec)
 		os.Exit(2)
 	}
 
@@ -76,6 +103,7 @@ func main() {
 		SendQueue:     *netQueue,
 		MaxBatch:      *netBatch,
 		FlushDelay:    *netFlushDelay,
+		Codec:         codec,
 	})
 
 	var log wal.Log
@@ -133,19 +161,7 @@ func main() {
 		},
 		CatalogPoll: *catalogPoll,
 	}
-	if *cfgPath != "" {
-		exp, err := config.Load(*cfgPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rainbow-site:", err)
-			os.Exit(1)
-		}
-		cat, err := exp.BuildCatalog()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rainbow-site:", err)
-			os.Exit(1)
-		}
-		cfg.Catalog = cat
-	}
+	cfg.Catalog = catalog
 
 	st, err := site.New(cfg)
 	if err != nil {

@@ -268,7 +268,10 @@ func (in *Instance) Report() monitor.Report {
 		rep.Sites = append(rep.Sites, in.sites[id].Stats())
 	}
 	ns := in.Net.Stats()
-	rep.Net = monitor.NetStats{Sent: ns.Sent, Delivered: ns.Delivered, Dropped: ns.Dropped, Bytes: ns.Bytes}
+	rep.Net = monitor.NetStats{
+		Sent: ns.Sent, Delivered: ns.Delivered, Dropped: ns.Dropped, Bytes: ns.Bytes,
+		CodecBinary: ns.CodecBinary, CodecGob: ns.CodecGob,
+	}
 	return rep
 }
 
@@ -339,5 +342,5 @@ func (in *Instance) Ping(ctx context.Context, id model.SiteID) error {
 		return err
 	}
 	defer probe.Close()
-	return probe.Call(ctx, id, wire.KindPing, wire.PingReq{}, nil)
+	return probe.Call(ctx, id, wire.KindPing, &wire.PingReq{}, nil)
 }

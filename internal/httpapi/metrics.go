@@ -15,10 +15,13 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/monitor"
+	"repro/internal/trace"
 )
 
 // metricName sanitizes a stage/cause label fragment into a metric-safe form.
@@ -137,6 +140,17 @@ func WriteMetrics(w io.Writer, rep monitor.Report) {
 		func(s monitor.SiteStats) uint64 { return s.NetRecvFrames })
 	counter("rainbow_net_send_sheds_total", "Sends dropped under backpressure.",
 		func(s monitor.SiteStats) uint64 { return s.NetSendSheds })
+	counter("rainbow_net_sent_bytes_total", "Bytes written by the coalescing sender.",
+		func(s monitor.SiteStats) uint64 { return s.NetSentBytes })
+
+	writeMetricHeader(w, "rainbow_net_body_codec_total", "counter",
+		"Envelope bodies sent, keyed by the wire codec that encoded them.")
+	for _, s := range rep.Sites {
+		fmt.Fprintf(w, "rainbow_net_body_codec_total{site=%q,codec=\"binary\"} %d\n",
+			string(s.Site), s.NetBinaryBodies)
+		fmt.Fprintf(w, "rainbow_net_body_codec_total{site=%q,codec=\"gob\"} %d\n",
+			string(s.Site), s.NetGobBodies)
+	}
 
 	counter("rainbow_trace_sampled_total", "Transactions sampled for tracing.",
 		func(s monitor.SiteStats) uint64 { return s.TraceSampled })
@@ -175,6 +189,10 @@ func WriteMetrics(w io.Writer, rep monitor.Report) {
 	fmt.Fprintf(w, "rainbow_net_messages_total{kind=\"dropped\"} %d\n", rep.Net.Dropped)
 	writeMetricHeader(w, "rainbow_net_bytes_total", "counter", "Network payload bytes.")
 	fmt.Fprintf(w, "rainbow_net_bytes_total %d\n", rep.Net.Bytes)
+	writeMetricHeader(w, "rainbow_net_codec", "counter",
+		"Message payloads sent per negotiated wire codec (whole instance).")
+	fmt.Fprintf(w, "rainbow_net_codec{codec=\"binary\"} %d\n", rep.Net.CodecBinary)
+	fmt.Fprintf(w, "rainbow_net_codec{codec=\"gob\"} %d\n", rep.Net.CodecGob)
 }
 
 // handleMetrics serves GET /metrics: the scrape endpoint.
@@ -189,7 +207,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTraces serves GET /site/{id}/traces: the site's retained trace
-// fragments, oldest first.
+// fragments, oldest first. Query parameters narrow the result:
+//
+//	tx      — only fragments for this transaction ID ("S1:42")
+//	min_ms  — only fragments at least this many milliseconds long
+//	limit   — keep only the newest N fragments after filtering
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	inst, err := s.current()
 	if err != nil {
@@ -203,6 +225,32 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	traces := st.Traces()
+
+	q := r.URL.Query()
+	if tx := q.Get("tx"); tx != "" {
+		traces = filterTraces(traces, func(t trace.Trace) bool { return t.Tx.String() == tx })
+	}
+	if raw := q.Get("min_ms"); raw != "" {
+		minMS, err := strconv.ParseFloat(raw, 64)
+		if err != nil || minMS < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad min_ms %q", raw))
+			return
+		}
+		minDur := time.Duration(minMS * float64(time.Millisecond))
+		traces = filterTraces(traces, func(t trace.Trace) bool { return t.Duration() >= minDur })
+	}
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", raw))
+			return
+		}
+		if n < len(traces) {
+			// Fragments are oldest-first; keep the newest n.
+			traces = traces[len(traces)-n:]
+		}
+	}
+
 	pol := st.Tracer().Policy()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"site":        id,
@@ -211,4 +259,15 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		"traces":      traces,
 		"count":       len(traces),
 	})
+}
+
+// filterTraces keeps the fragments matching keep, preserving order.
+func filterTraces(ts []trace.Trace, keep func(trace.Trace) bool) []trace.Trace {
+	out := ts[:0:0]
+	for _, t := range ts {
+		if keep(t) {
+			out = append(out, t)
+		}
+	}
+	return out
 }

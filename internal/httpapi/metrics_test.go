@@ -74,6 +74,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"rainbow_trace_sampled_total", "rainbow_trace_fragments_total",
 		"rainbow_tx_latency_seconds_bucket", "rainbow_stage_latency_seconds_bucket",
 		"rainbow_net_messages_total", "rainbow_net_bytes_total",
+		"rainbow_net_sent_bytes_total", "rainbow_net_body_codec_total",
+		`rainbow_net_codec{codec="binary"}`, `rainbow_net_codec{codec="gob"}`,
 	} {
 		if !bytes.Contains(body, []byte(family)) {
 			t.Errorf("metrics missing family %s", family)
@@ -164,6 +166,77 @@ func TestTracesEndpoint(t *testing.T) {
 
 	if resp, _ := get(t, ts.URL+"/site/ZZ/traces"); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown site = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestTracesQueryFilters(t *testing.T) {
+	_, ts := newTestServer(t)
+	startTraced(t, ts, 1024, 20)
+
+	type traceOut struct {
+		Count  int `json:"count"`
+		Traces []struct {
+			Tx struct {
+				Site string `json:"Site"`
+				Seq  uint64 `json:"Seq"`
+			} `json:"tx"`
+		} `json:"traces"`
+	}
+	fetch := func(query string) traceOut {
+		t.Helper()
+		resp, body := get(t, ts.URL+"/site/S1/traces"+query)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("traces%s: %d", query, resp.StatusCode)
+		}
+		var out traceOut
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("traces%s body: %v", query, err)
+		}
+		return out
+	}
+
+	all := fetch("")
+	if all.Count == 0 {
+		t.Fatal("no fragments to filter")
+	}
+
+	// tx: filtering by one retained transaction returns only its fragments,
+	// and at least one.
+	want := fmt.Sprintf("%s:%d", all.Traces[0].Tx.Site, all.Traces[0].Tx.Seq)
+	byTx := fetch("?tx=" + want)
+	if byTx.Count == 0 || byTx.Count > all.Count {
+		t.Fatalf("tx filter kept %d of %d fragments", byTx.Count, all.Count)
+	}
+	for _, tr := range byTx.Traces {
+		if got := fmt.Sprintf("%s:%d", tr.Tx.Site, tr.Tx.Seq); got != want {
+			t.Errorf("tx filter leaked fragment for %s (want %s)", got, want)
+		}
+	}
+	if nohit := fetch("?tx=ZZ:999999"); nohit.Count != 0 {
+		t.Errorf("unknown tx matched %d fragments", nohit.Count)
+	}
+
+	// min_ms: zero keeps everything, an absurd threshold keeps nothing.
+	if out := fetch("?min_ms=0"); out.Count != all.Count {
+		t.Errorf("min_ms=0 kept %d of %d", out.Count, all.Count)
+	}
+	if out := fetch("?min_ms=3600000"); out.Count != 0 {
+		t.Errorf("min_ms=1h kept %d fragments", out.Count)
+	}
+
+	// limit: truncates to the newest N; larger-than-count is a no-op.
+	if out := fetch("?limit=1"); out.Count != 1 {
+		t.Errorf("limit=1 returned %d fragments", out.Count)
+	}
+	if out := fetch("?limit=1000000"); out.Count != all.Count {
+		t.Errorf("limit beyond count returned %d of %d", out.Count, all.Count)
+	}
+
+	// Malformed parameters are a 400, not a silent full dump.
+	for _, q := range []string{"?min_ms=abc", "?min_ms=-1", "?limit=x", "?limit=-2"} {
+		if resp, _ := get(t, ts.URL+"/site/S1/traces"+q); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("traces%s = %d, want 400", q, resp.StatusCode)
+		}
 	}
 }
 

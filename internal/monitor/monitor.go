@@ -203,6 +203,12 @@ type SiteStats struct {
 	NetRecvFrames    uint64
 	NetSendSheds     uint64
 	NetLegacyConns   uint64
+	// NetSentBytes counts framed bytes written (the bytes/flush numerator);
+	// NetBinaryBodies/NetGobBodies split sent message bodies by the codec
+	// they were encoded with, exposing what codec negotiation settled on.
+	NetSentBytes    uint64
+	NetBinaryBodies uint64
+	NetGobBodies    uint64
 	// Stages holds per-stage latency histograms keyed by trace stage name
 	// (queue, admit, lock_wait, wal_fsync, prepare, net_flush, ...): the
 	// always-on aggregates plus the folded spans of sampled traces. Empty
@@ -233,6 +239,15 @@ func (s SiteStats) NetCoalescing() float64 {
 		return 0
 	}
 	return float64(s.NetSentEnvelopes) / float64(s.NetSendFlushes)
+}
+
+// NetBytesPerFlush returns the mean framed bytes per transport flush (how
+// full each coalesced write is).
+func (s SiteStats) NetBytesPerFlush() float64 {
+	if s.NetSendFlushes == 0 {
+		return 0
+	}
+	return float64(s.NetSentBytes) / float64(s.NetSendFlushes)
 }
 
 // ShardStat mirrors one storage shard's occupancy and traffic counters.
@@ -397,6 +412,9 @@ type NetStats struct {
 	Delivered uint64
 	Dropped   uint64
 	Bytes     uint64
+	// CodecBinary/CodecGob split sent messages by body codec.
+	CodecBinary uint64
+	CodecGob    uint64
 }
 
 // Report is the cluster-wide statistics view: the data behind the paper's
@@ -451,6 +469,9 @@ func (r Report) Totals() SiteStats {
 		out.NetRecvFrames += s.NetRecvFrames
 		out.NetSendSheds += s.NetSendSheds
 		out.NetLegacyConns += s.NetLegacyConns
+		out.NetSentBytes += s.NetSentBytes
+		out.NetBinaryBodies += s.NetBinaryBodies
+		out.NetGobBodies += s.NetGobBodies
 		for name, h := range s.Stages {
 			if out.Stages == nil {
 				out.Stages = make(map[string]Histogram)
@@ -567,9 +588,12 @@ func (r Report) Render() string {
 			t.PipeDepth, t.PipeStalls, t.PipeSpills)
 	}
 	if t.NetSendFlushes > 0 {
-		fmt.Fprintf(&b, "net coalescing: %d envelopes / %d flushes (%.1f env/flush), %d frames in, sheds=%d legacy-conns=%d\n",
-			t.NetSentEnvelopes, t.NetSendFlushes, t.NetCoalescing(),
+		fmt.Fprintf(&b, "net coalescing: %d envelopes / %d flushes (%.1f env/flush, %.0f B/flush), %d frames in, sheds=%d legacy-conns=%d\n",
+			t.NetSentEnvelopes, t.NetSendFlushes, t.NetCoalescing(), t.NetBytesPerFlush(),
 			t.NetRecvFrames, t.NetSendSheds, t.NetLegacyConns)
+	}
+	if t.NetBinaryBodies > 0 || t.NetGobBodies > 0 {
+		fmt.Fprintf(&b, "net codec: %d binary / %d gob bodies sent\n", t.NetBinaryBodies, t.NetGobBodies)
 	}
 	if len(t.Stages) > 0 {
 		fmt.Fprintf(&b, "stages (count p50/p99/max):\n")

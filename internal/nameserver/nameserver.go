@@ -39,10 +39,46 @@ type CatalogPushMsg struct {
 	Catalog schema.Catalog
 }
 
+// The catalog bodies are cold-path (poll ticks and administrator updates)
+// and wrap the deeply nested schema.Catalog, so their wire.Body
+// implementations ride the gob escape hatch instead of a hand-rolled
+// encoding (see wire.AppendGob).
+
+// Kind implements wire.Body.
+func (r *CatalogResp) Kind() wire.MsgKind { return wire.KindGetCatalog }
+
+// AppendTo implements wire.Body.
+func (r *CatalogResp) AppendTo(buf []byte) []byte { return wire.AppendGob(buf, r) }
+
+// DecodeFrom implements wire.Body.
+func (r *CatalogResp) DecodeFrom(p []byte) error { return wire.DecodeGob(p, r) }
+
+// Kind implements wire.Body.
+func (r *SetCatalogReq) Kind() wire.MsgKind { return wire.KindSetCatalog }
+
+// AppendTo implements wire.Body.
+func (r *SetCatalogReq) AppendTo(buf []byte) []byte { return wire.AppendGob(buf, r) }
+
+// DecodeFrom implements wire.Body.
+func (r *SetCatalogReq) DecodeFrom(p []byte) error { return wire.DecodeGob(p, r) }
+
+// Kind implements wire.Body.
+func (r *CatalogPushMsg) Kind() wire.MsgKind { return wire.KindCatalogPush }
+
+// AppendTo implements wire.Body.
+func (r *CatalogPushMsg) AppendTo(buf []byte) []byte { return wire.AppendGob(buf, r) }
+
+// DecodeFrom implements wire.Body.
+func (r *CatalogPushMsg) DecodeFrom(p []byte) error { return wire.DecodeGob(p, r) }
+
 func init() {
+	// gob registrations stay for interop with gob-codec peers.
 	gob.Register(CatalogResp{})
 	gob.Register(SetCatalogReq{})
 	gob.Register(CatalogPushMsg{})
+	wire.RegisterBody(wire.KindGetCatalog, true, func() wire.Body { return &CatalogResp{} })
+	wire.RegisterBody(wire.KindSetCatalog, false, func() wire.Body { return &SetCatalogReq{} })
+	wire.RegisterBody(wire.KindCatalogPush, false, func() wire.Body { return &CatalogPushMsg{} })
 }
 
 // Server is the name server node.
@@ -121,45 +157,45 @@ func (s *Server) push(c *schema.Catalog) {
 		go func(id model.SiteID) {
 			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 			defer cancel()
-			s.peer.Cast(ctx, id, wire.KindCatalogPush, CatalogPushMsg{Catalog: *c}) //nolint:errcheck // best-effort; poll catches up
+			s.peer.Cast(ctx, id, wire.KindCatalogPush, &CatalogPushMsg{Catalog: *c}) //nolint:errcheck // best-effort; poll catches up
 		}(id)
 	}
 }
 
-func (s *Server) serve(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+func (s *Server) serve(from model.SiteID, _ trace.ID, kind wire.MsgKind, pay wire.Payload) (wire.MsgKind, wire.Body, error) {
 	switch kind {
 	case wire.KindPing:
-		return wire.KindOK, wire.OKBody{}, nil
+		return wire.KindOK, &wire.OKBody{}, nil
 
 	case wire.KindGetCatalog:
 		s.mu.Lock()
 		cat := s.catalog.Clone()
 		s.mu.Unlock()
-		return wire.KindGetCatalog, CatalogResp{Catalog: *cat}, nil
+		return wire.KindGetCatalog, &CatalogResp{Catalog: *cat}, nil
 
 	case wire.KindGetEpoch:
-		return wire.KindGetEpoch, wire.EpochResp{Epoch: s.Epoch()}, nil
+		return wire.KindGetEpoch, &wire.EpochResp{Epoch: s.Epoch()}, nil
 
 	case wire.KindSetCatalog:
 		var req SetCatalogReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
 		if err := s.SetCatalog(&req.Catalog); err != nil {
 			return 0, nil, err
 		}
-		return wire.KindOK, wire.OKBody{}, nil
+		return wire.KindOK, &wire.OKBody{}, nil
 
 	case wire.KindRegisterSite:
 		var req wire.RegisterSiteReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
 		s.mu.Lock()
 		s.catalog.Sites[req.Site] = schema.SiteInfo{ID: req.Site, Addr: req.Addr}
 		s.catalog.Epoch++
 		s.mu.Unlock()
-		return wire.KindOK, wire.OKBody{}, nil
+		return wire.KindOK, &wire.OKBody{}, nil
 
 	default:
 		return 0, nil, fmt.Errorf("nameserver: unhandled message kind %s", kind)
@@ -170,8 +206,8 @@ func (s *Server) serve(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload
 
 // Fetch retrieves the catalog from the name server via peer.
 func Fetch(ctx context.Context, peer *wire.Peer) (*schema.Catalog, error) {
-	var resp CatalogResp
-	if err := peer.Call(ctx, model.NameServerID, wire.KindGetCatalog, wire.GetCatalogReq{}, &resp); err != nil {
+	resp, err := wire.Call[CatalogResp](ctx, peer, model.NameServerID, wire.KindGetCatalog, &wire.GetCatalogReq{})
+	if err != nil {
 		return nil, fmt.Errorf("nameserver: fetch catalog: %w", err)
 	}
 	return &resp.Catalog, nil
@@ -180,8 +216,8 @@ func Fetch(ctx context.Context, peer *wire.Peer) (*schema.Catalog, error) {
 // FetchEpoch retrieves just the catalog epoch — the cheap probe a site's
 // catalog-poll loop issues every tick.
 func FetchEpoch(ctx context.Context, peer *wire.Peer) (uint64, error) {
-	var resp wire.EpochResp
-	if err := peer.Call(ctx, model.NameServerID, wire.KindGetEpoch, wire.GetEpochReq{}, &resp); err != nil {
+	resp, err := wire.Call[wire.EpochResp](ctx, peer, model.NameServerID, wire.KindGetEpoch, &wire.GetEpochReq{})
+	if err != nil {
 		return 0, fmt.Errorf("nameserver: fetch epoch: %w", err)
 	}
 	return resp.Epoch, nil
@@ -192,7 +228,7 @@ func Push(ctx context.Context, peer *wire.Peer, c *schema.Catalog) error {
 	if err := c.Validate(); err != nil {
 		return err
 	}
-	if err := peer.Call(ctx, model.NameServerID, wire.KindSetCatalog, SetCatalogReq{Catalog: *c}, nil); err != nil {
+	if err := peer.Call(ctx, model.NameServerID, wire.KindSetCatalog, &SetCatalogReq{Catalog: *c}, nil); err != nil {
 		return fmt.Errorf("nameserver: push catalog: %w", err)
 	}
 	return nil
@@ -200,7 +236,7 @@ func Push(ctx context.Context, peer *wire.Peer, c *schema.Catalog) error {
 
 // Register records a site's endpoint with the name server.
 func Register(ctx context.Context, peer *wire.Peer, site model.SiteID, addr string) error {
-	req := wire.RegisterSiteReq{Site: site, Addr: addr}
+	req := &wire.RegisterSiteReq{Site: site, Addr: addr}
 	if err := peer.Call(ctx, model.NameServerID, wire.KindRegisterSite, req, nil); err != nil {
 		return fmt.Errorf("nameserver: register %s: %w", site, err)
 	}

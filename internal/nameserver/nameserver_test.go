@@ -109,14 +109,14 @@ func TestSetCatalogValidatesQuorums(t *testing.T) {
 
 func TestPing(t *testing.T) {
 	_, client := setup(t)
-	if err := client.Call(ctx(t), model.NameServerID, wire.KindPing, wire.PingReq{}, nil); err != nil {
+	if err := client.Call(ctx(t), model.NameServerID, wire.KindPing, &wire.PingReq{}, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestUnknownKindRejected(t *testing.T) {
 	_, client := setup(t)
-	err := client.Call(ctx(t), model.NameServerID, wire.KindPrepare, wire.PrepareReq{}, nil)
+	err := client.Call(ctx(t), model.NameServerID, wire.KindPrepare, &wire.PrepareReq{}, nil)
 	if err == nil {
 		t.Error("name server accepted a Prepare message")
 	}

@@ -24,8 +24,8 @@ type Client struct {
 
 // FetchStats retrieves one site's statistics snapshot.
 func (c Client) FetchStats(ctx context.Context, id model.SiteID) (monitor.SiteStats, error) {
-	var resp site.StatsResp
-	if err := c.Peer.Call(ctx, id, wire.KindGetStats, wire.PingReq{}, &resp); err != nil {
+	resp, err := wire.Call[site.StatsResp](ctx, c.Peer, id, wire.KindGetStats, &wire.PingReq{})
+	if err != nil {
 		return monitor.SiteStats{}, fmt.Errorf("pm: stats from %s: %w", id, err)
 	}
 	return resp.Stats, nil
@@ -33,8 +33,8 @@ func (c Client) FetchStats(ctx context.Context, id model.SiteID) (monitor.SiteSt
 
 // FetchHistory retrieves one site's local execution history.
 func (c Client) FetchHistory(ctx context.Context, id model.SiteID) ([]history.Event, error) {
-	var resp site.HistoryResp
-	if err := c.Peer.Call(ctx, id, wire.KindGetHistory, wire.PingReq{}, &resp); err != nil {
+	resp, err := wire.Call[site.HistoryResp](ctx, c.Peer, id, wire.KindGetHistory, &wire.PingReq{})
+	if err != nil {
 		return nil, fmt.Errorf("pm: history from %s: %w", id, err)
 	}
 	return resp.Events, nil
@@ -42,7 +42,7 @@ func (c Client) FetchHistory(ctx context.Context, id model.SiteID) ([]history.Ev
 
 // ResetStats zeroes one site's statistics window.
 func (c Client) ResetStats(ctx context.Context, id model.SiteID) error {
-	if err := c.Peer.Call(ctx, id, wire.KindResetStats, wire.PingReq{}, nil); err != nil {
+	if err := c.Peer.Call(ctx, id, wire.KindResetStats, &wire.PingReq{}, nil); err != nil {
 		return fmt.Errorf("pm: reset %s: %w", id, err)
 	}
 	return nil

@@ -92,7 +92,7 @@ func (s *Site) releaseAt(site model.SiteID, tx model.TxID) {
 	go func() {
 		for attempt := 0; attempt < 5; attempt++ {
 			ctx, cancel := context.WithTimeout(life, time.Second)
-			err := s.peer.Call(ctx, site, wire.KindReleaseTx, wire.ReleaseTxReq{Tx: tx}, nil)
+			err := s.peer.Call(ctx, site, wire.KindReleaseTx, &wire.ReleaseTxReq{Tx: tx}, nil)
 			cancel()
 			if err == nil || life.Err() != nil {
 				return
@@ -134,10 +134,9 @@ func (s *Site) ReadCopy(ctx context.Context, site model.SiteID, tx model.TxID, t
 		}
 		return v, ver, inc, err
 	}
-	var resp wire.ReadCopyResp
 	actx, cancel := s.attemptCtx(ctx)
 	defer cancel()
-	err := s.peer.Call(actx, site, wire.KindReadCopy, wire.ReadCopyReq{Tx: tx, TS: ts, Item: item}, &resp)
+	resp, err := wire.Call[wire.ReadCopyResp](actx, s.peer, site, wire.KindReadCopy, &wire.ReadCopyReq{Tx: tx, TS: ts, Item: item})
 	s.stats.AddRoundTrips(1)
 	if err != nil {
 		return 0, 0, 0, err
@@ -165,10 +164,9 @@ func (s *Site) PreWriteCopy(ctx context.Context, site model.SiteID, tx model.TxI
 		ver, err := ccm.PreWrite(ctx, tx, ts, item, value)
 		return ver, inc, err
 	}
-	var resp wire.PreWriteResp
 	actx, cancel := s.attemptCtx(ctx)
 	defer cancel()
-	err := s.peer.Call(actx, site, wire.KindPreWrite, wire.PreWriteReq{Tx: tx, TS: ts, Item: item, Value: value}, &resp)
+	resp, err := wire.Call[wire.PreWriteResp](actx, s.peer, site, wire.KindPreWrite, &wire.PreWriteReq{Tx: tx, TS: ts, Item: item, Value: value})
 	s.stats.AddRoundTrips(1)
 	if err != nil {
 		return 0, 0, err
@@ -184,10 +182,12 @@ func (s *Site) Prepare(ctx context.Context, site model.SiteID, req wire.PrepareR
 	if site == s.id {
 		return s.votePrepare(req), nil
 	}
-	var resp wire.VoteResp
-	err := s.peer.Call(ctx, site, wire.KindPrepare, req, &resp)
+	resp, err := wire.Call[wire.VoteResp](ctx, s.peer, site, wire.KindPrepare, &req)
 	s.stats.AddRoundTrips(1)
-	return resp, err
+	if err != nil {
+		return wire.VoteResp{}, err
+	}
+	return *resp, nil
 }
 
 // votePrepare validates phase 1 before handing it to the participant. Four
@@ -261,7 +261,7 @@ func (s *Site) PreCommit(ctx context.Context, site model.SiteID, tx model.TxID) 
 	if site == s.id {
 		return s.handlePreCommit(tx)
 	}
-	err := s.peer.Call(ctx, site, wire.KindPreCommit, wire.PreCommitReq{Tx: tx}, nil)
+	err := s.peer.Call(ctx, site, wire.KindPreCommit, &wire.PreCommitReq{Tx: tx}, nil)
 	s.stats.AddRoundTrips(1)
 	return err
 }
@@ -308,7 +308,7 @@ func (s *Site) Decide(ctx context.Context, site model.SiteID, tx model.TxID, com
 		s.mu.Unlock()
 		return part.HandleDecision(tx, commit)
 	}
-	err := s.peer.Call(ctx, site, wire.KindDecision, wire.DecisionMsg{Tx: tx, Commit: commit}, nil)
+	err := s.peer.Call(ctx, site, wire.KindDecision, &wire.DecisionMsg{Tx: tx, Commit: commit}, nil)
 	s.stats.AddRoundTrips(1)
 	return err
 }
@@ -325,7 +325,7 @@ func (s *Site) End(ctx context.Context, site model.SiteID, tx model.TxID) error 
 		part.Retire(tx)
 		return nil
 	}
-	return s.peer.Cast(ctx, site, wire.KindEndTx, wire.EndTxMsg{Tx: tx})
+	return s.peer.Cast(ctx, site, wire.KindEndTx, &wire.EndTxMsg{Tx: tx})
 }
 
 // ---- acp.Resolver implementation ----
@@ -336,8 +336,7 @@ func (s *Site) QueryDecision(ctx context.Context, site model.SiteID, tx model.Tx
 		commit, known := s.localDecision(tx, threePhase)
 		return known, commit, nil
 	}
-	var resp wire.DecisionResp
-	err := s.peer.Call(ctx, site, wire.KindDecisionReq, wire.DecisionReq{Tx: tx, ThreePhase: threePhase}, &resp)
+	resp, err := wire.Call[wire.DecisionResp](ctx, s.peer, site, wire.KindDecisionReq, &wire.DecisionReq{Tx: tx, ThreePhase: threePhase})
 	s.stats.AddRoundTrips(1)
 	if err != nil {
 		return false, false, err
@@ -352,13 +351,12 @@ func (s *Site) QueryTermination(ctx context.Context, site model.SiteID, tx model
 	if site == s.id {
 		return s.handleTermQuery(tx, ballot), nil
 	}
-	var resp wire.TermQueryResp
-	err := s.peer.Call(ctx, site, wire.KindTermQuery, wire.TermQueryReq{Tx: tx, Ballot: ballot}, &resp)
+	resp, err := wire.Call[wire.TermQueryResp](ctx, s.peer, site, wire.KindTermQuery, &wire.TermQueryReq{Tx: tx, Ballot: ballot})
 	s.stats.AddRoundTrips(1)
 	if err != nil {
 		return wire.TermQueryResp{}, err
 	}
-	return resp, nil
+	return *resp, nil
 }
 
 // SendPreDecide implements acp.Resolver (the pre-decision leg of quorum
@@ -367,13 +365,12 @@ func (s *Site) SendPreDecide(ctx context.Context, site model.SiteID, tx model.Tx
 	if site == s.id {
 		return s.handlePreDecide(tx, ballot, commit), nil
 	}
-	var resp wire.TermPreDecideResp
-	err := s.peer.Call(ctx, site, wire.KindTermPreDecide, wire.TermPreDecideReq{Tx: tx, Ballot: ballot, Commit: commit}, &resp)
+	resp, err := wire.Call[wire.TermPreDecideResp](ctx, s.peer, site, wire.KindTermPreDecide, &wire.TermPreDecideReq{Tx: tx, Ballot: ballot, Commit: commit})
 	s.stats.AddRoundTrips(1)
 	if err != nil {
 		return wire.TermPreDecideResp{}, err
 	}
-	return resp, nil
+	return *resp, nil
 }
 
 // SendDecision implements acp.Resolver: deliver a termination decision.

@@ -72,7 +72,7 @@ type copyResult struct {
 // (false sends the transport down the synchronous serve path). Decode
 // happens here — the pipeline's first stage — on the transport goroutine,
 // so a malformed payload is refused without occupying a queue slot.
-func (s *Site) serveAsync(from model.SiteID, tid trace.ID, kind wire.MsgKind, payload []byte, reply wire.ReplyFunc) bool {
+func (s *Site) serveAsync(from model.SiteID, tid trace.ID, kind wire.MsgKind, pay wire.Payload, reply wire.ReplyFunc) bool {
 	if kind != wire.KindReadCopy && kind != wire.KindPreWrite {
 		return false
 	}
@@ -86,13 +86,13 @@ func (s *Site) serveAsync(from model.SiteID, tid trace.ID, kind wire.MsgKind, pa
 	}
 	var item model.ItemID
 	if kind == wire.KindReadCopy {
-		if err := wire.Unmarshal(payload, &op.read); err != nil {
+		if err := pay.Decode(&op.read); err != nil {
 			reply(0, nil, err)
 			return true
 		}
 		item = op.read.Item
 	} else {
-		if err := wire.Unmarshal(payload, &op.write); err != nil {
+		if err := pay.Decode(&op.write); err != nil {
 			reply(0, nil, err)
 			return true
 		}
@@ -218,11 +218,11 @@ func (s *Site) copyBatch(_ int, batch []copyOp) {
 			op.reply(0, nil, r.err)
 		case op.kind == wire.KindReadCopy:
 			s.hist.Record(op.read.Tx, model.OpRead, op.read.Item, r.value, r.ver)
-			op.reply(wire.KindReadCopy, wire.ReadCopyResp{
+			op.reply(wire.KindReadCopy, &wire.ReadCopyResp{
 				Value: r.value, Version: r.ver, Clock: clockNow, Incarnation: incarnation,
 			}, nil)
 		default:
-			op.reply(wire.KindPreWrite, wire.PreWriteResp{
+			op.reply(wire.KindPreWrite, &wire.PreWriteResp{
 				Version: r.ver, Clock: clockNow, Incarnation: incarnation,
 			}, nil)
 		}
@@ -253,7 +253,7 @@ func (s *Site) spillCopy(op copyOp, ccm cc.Manager, runCtx context.Context, time
 			return
 		}
 		s.hist.Record(op.read.Tx, model.OpRead, op.read.Item, v, ver)
-		op.reply(wire.KindReadCopy, wire.ReadCopyResp{
+		op.reply(wire.KindReadCopy, &wire.ReadCopyResp{
 			Value: v, Version: ver, Clock: s.clock.Peek(), Incarnation: incarnation,
 		}, nil)
 		return
@@ -270,7 +270,7 @@ func (s *Site) spillCopy(op copyOp, ccm cc.Manager, runCtx context.Context, time
 		op.reply(0, nil, model.Abortf(model.AbortCC, "transaction %s already released", op.write.Tx))
 		return
 	}
-	op.reply(wire.KindPreWrite, wire.PreWriteResp{
+	op.reply(wire.KindPreWrite, &wire.PreWriteResp{
 		Version: ver, Clock: s.clock.Peek(), Incarnation: incarnation,
 	}, nil)
 }

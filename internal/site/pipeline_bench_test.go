@@ -53,7 +53,7 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 			defer st.Close()
 
 			var pending sync.WaitGroup
-			reply := func(_ wire.MsgKind, _ any, err error) {
+			reply := func(_ wire.MsgKind, _ wire.Body, err error) {
 				if err != nil {
 					b.Error(err)
 				}

@@ -16,7 +16,7 @@ import (
 // is the request's distributed-trace ID (zero for the untraced common
 // case): traced copy operations and prepares record a local trace fragment
 // under it, joined with the home site's fragment by ID at collation time.
-func (s *Site) serve(from model.SiteID, tid trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+func (s *Site) serve(from model.SiteID, tid trace.ID, kind wire.MsgKind, pay wire.Payload) (wire.MsgKind, wire.Body, error) {
 	s.mu.Lock()
 	if s.crashed {
 		// Belt and braces: the network layer already drops traffic to a
@@ -36,11 +36,11 @@ func (s *Site) serve(from model.SiteID, tid trace.ID, kind wire.MsgKind, payload
 
 	switch kind {
 	case wire.KindPing:
-		return wire.KindOK, wire.OKBody{}, nil
+		return wire.KindOK, &wire.OKBody{}, nil
 
 	case wire.KindReadCopy:
 		var req wire.ReadCopyReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
 		act := s.tracer.Join(tid, req.Tx)
@@ -51,11 +51,11 @@ func (s *Site) serve(from model.SiteID, tid trace.ID, kind wire.MsgKind, payload
 		if err != nil {
 			return 0, nil, err
 		}
-		return wire.KindReadCopy, resp, nil
+		return wire.KindReadCopy, &resp, nil
 
 	case wire.KindPreWrite:
 		var req wire.PreWriteReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
 		if s.isReleased(req.Tx) {
@@ -76,20 +76,20 @@ func (s *Site) serve(from model.SiteID, tid trace.ID, kind wire.MsgKind, payload
 			ccm.Abort(req.Tx)
 			return 0, nil, model.Abortf(model.AbortCC, "transaction %s already released", req.Tx)
 		}
-		return wire.KindPreWrite, wire.PreWriteResp{Version: ver, Clock: s.clock.Peek(), Incarnation: incarnation}, nil
+		return wire.KindPreWrite, &wire.PreWriteResp{Version: ver, Clock: s.clock.Peek(), Incarnation: incarnation}, nil
 
 	case wire.KindReleaseTx:
 		var req wire.ReleaseTxReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
 		s.tombstone(req.Tx)
 		ccm.Abort(req.Tx)
-		return wire.KindOK, wire.OKBody{}, nil
+		return wire.KindOK, &wire.OKBody{}, nil
 
 	case wire.KindPrepare:
 		var req wire.PrepareReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
 		s.clock.Witness(req.TS)
@@ -98,11 +98,11 @@ func (s *Site) serve(from model.SiteID, tid trace.ID, kind wire.MsgKind, payload
 		resp := s.votePrepare(req)
 		sp.End()
 		act.Finish()
-		return wire.KindVote, resp, nil
+		return wire.KindVote, &resp, nil
 
 	case wire.KindPreCommit:
 		var req wire.PreCommitReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
 		// The ack promises a FORCED pre-commit (the coordinator counts it
@@ -110,49 +110,51 @@ func (s *Site) serve(from model.SiteID, tid trace.ID, kind wire.MsgKind, payload
 		if err := s.handlePreCommit(req.Tx); err != nil {
 			return 0, nil, err
 		}
-		return wire.KindAck, wire.AckMsg{Tx: req.Tx}, nil
+		return wire.KindAck, &wire.AckMsg{Tx: req.Tx}, nil
 
 	case wire.KindTermQuery:
 		var req wire.TermQueryReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
-		return wire.KindTermQuery, s.handleTermQuery(req.Tx, req.Ballot), nil
+		resp := s.handleTermQuery(req.Tx, req.Ballot)
+		return wire.KindTermQuery, &resp, nil
 
 	case wire.KindTermPreDecide:
 		var req wire.TermPreDecideReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
-		return wire.KindTermPreDecide, s.handlePreDecide(req.Tx, req.Ballot, req.Commit), nil
+		resp := s.handlePreDecide(req.Tx, req.Ballot, req.Commit)
+		return wire.KindTermPreDecide, &resp, nil
 
 	case wire.KindDecision:
 		var req wire.DecisionMsg
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
 		if err := part.HandleDecision(req.Tx, req.Commit); err != nil {
 			return 0, nil, err
 		}
-		return wire.KindAck, wire.AckMsg{Tx: req.Tx}, nil
+		return wire.KindAck, &wire.AckMsg{Tx: req.Tx}, nil
 
 	case wire.KindEndTx:
 		var req wire.EndTxMsg
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
 		// The cohort fully acknowledged: the decision entry is dead weight
 		// (nobody will ask again); drop it so snapshots stop mirroring it.
 		part.Retire(req.Tx)
-		return wire.KindOK, wire.OKBody{}, nil
+		return wire.KindOK, &wire.OKBody{}, nil
 
 	case wire.KindDecisionReq:
 		var req wire.DecisionReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
 		commit, known := s.localDecision(req.Tx, req.ThreePhase)
-		return wire.KindDecision, wire.DecisionResp{Known: known, Commit: commit}, nil
+		return wire.KindDecision, &wire.DecisionResp{Known: known, Commit: commit}, nil
 
 	case wire.KindTermState:
 		// Legacy cooperative-termination probe: nothing in this version
@@ -160,22 +162,22 @@ func (s *Site) serve(from model.SiteID, tid trace.ID, kind wire.MsgKind, payload
 		// but the kind keeps its wire number and this answer keeps
 		// mixed-version peers from erroring.
 		var req wire.TermStateReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
-		return wire.KindTermState, wire.TermStateResp{State: part.HandleTermState(req.Tx)}, nil
+		return wire.KindTermState, &wire.TermStateResp{State: part.HandleTermState(req.Tx)}, nil
 
 	case wire.KindSubmitTx:
 		var req wire.SubmitTxReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
 		outcome := s.Execute(runCtx, req.Ops)
-		return wire.KindSubmitTx, wire.SubmitTxResp{Outcome: outcome}, nil
+		return wire.KindSubmitTx, &wire.SubmitTxResp{Outcome: outcome}, nil
 
 	case wire.KindCatalogPush:
 		var req nameserver.CatalogPushMsg
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
 		// Reconfigure quiesces and rebuilds; never on a transport goroutine.
@@ -183,17 +185,17 @@ func (s *Site) serve(from model.SiteID, tid trace.ID, kind wire.MsgKind, payload
 		// expected no-op; real failures surface on the next poll tick.
 		cat := req.Catalog
 		go s.Reconfigure(&cat) //nolint:errcheck
-		return wire.KindOK, wire.OKBody{}, nil
+		return wire.KindOK, &wire.OKBody{}, nil
 
 	case wire.KindGetStats:
-		return wire.KindGetStats, StatsResp{Stats: s.Stats()}, nil
+		return wire.KindGetStats, &StatsResp{Stats: s.Stats()}, nil
 
 	case wire.KindResetStats:
 		s.ResetStats()
-		return wire.KindOK, wire.OKBody{}, nil
+		return wire.KindOK, &wire.OKBody{}, nil
 
 	case wire.KindGetHistory:
-		return wire.KindGetHistory, HistoryResp{Events: s.History()}, nil
+		return wire.KindGetHistory, &HistoryResp{Events: s.History()}, nil
 
 	default:
 		return 0, nil, fmt.Errorf("site %s: unhandled message kind %s", s.id, kind)

@@ -50,9 +50,36 @@ type HistoryResp struct {
 	Events []history.Event
 }
 
+// The monitoring bodies are cold-path (one stats poll per report interval)
+// and deeply structured, so they ride the gob escape hatch rather than a
+// hand-rolled encoding: the wire.Body implementation just wraps gob bytes,
+// which keeps them off the reflection-free hot path guarantees without
+// maintaining ~60 field encoders.
+
+// Kind implements wire.Body.
+func (r *StatsResp) Kind() wire.MsgKind { return wire.KindGetStats }
+
+// AppendTo implements wire.Body.
+func (r *StatsResp) AppendTo(buf []byte) []byte { return wire.AppendGob(buf, r) }
+
+// DecodeFrom implements wire.Body.
+func (r *StatsResp) DecodeFrom(p []byte) error { return wire.DecodeGob(p, r) }
+
+// Kind implements wire.Body.
+func (r *HistoryResp) Kind() wire.MsgKind { return wire.KindGetHistory }
+
+// AppendTo implements wire.Body.
+func (r *HistoryResp) AppendTo(buf []byte) []byte { return wire.AppendGob(buf, r) }
+
+// DecodeFrom implements wire.Body.
+func (r *HistoryResp) DecodeFrom(p []byte) error { return wire.DecodeGob(p, r) }
+
 func init() {
+	// gob registrations stay for interop with gob-codec peers.
 	gob.Register(StatsResp{})
 	gob.Register(HistoryResp{})
+	wire.RegisterBody(wire.KindGetStats, true, func() wire.Body { return &StatsResp{} })
+	wire.RegisterBody(wire.KindGetHistory, true, func() wire.Body { return &HistoryResp{} })
 }
 
 // Config configures a site.
@@ -825,6 +852,9 @@ func (s *Site) Stats() monitor.SiteStats {
 		stats.NetRecvFrames = n.RecvFrames
 		stats.NetSendSheds = n.SendSheds
 		stats.NetLegacyConns = n.LegacyConns
+		stats.NetSentBytes = n.SentBytes
+		stats.NetBinaryBodies = n.SentBinaryBodies
+		stats.NetGobBodies = n.SentGobBodies
 	}
 	stats.Stages = s.tracer.StageHistograms()
 	ts := s.tracer.Stats()

@@ -27,7 +27,8 @@ func TestFrameRoundTrip(t *testing.T) {
 		{From: "site-with-long-name", To: "Z", Kind: wire.KindDecision, Corr: 0, Payload: nil},
 		{From: "", To: "", Kind: 0, Corr: 1<<64 - 1, Reply: true, Payload: []byte{}},
 	}
-	buf := appendFrame(nil, in)
+	var tmp []byte
+	buf, _, _ := appendFrame(nil, in, wire.CodecGob, &tmp)
 	out, err := decodeFrame(buf[4:]) // skip the frameLen prefix ReadFull consumes
 	if err != nil {
 		t.Fatal(err)
@@ -49,10 +50,11 @@ func TestFrameRoundTrip(t *testing.T) {
 // TestFrameDecodeRejectsCorruption feeds truncations and corruptions of a
 // valid frame to the decoder; every one must error, never panic or succeed.
 func TestFrameDecodeRejectsCorruption(t *testing.T) {
-	buf := appendFrame(nil, []*wire.Envelope{
+	var tmp []byte
+	buf, _, _ := appendFrame(nil, []*wire.Envelope{
 		{From: "a", To: "b", Kind: wire.KindPing, Corr: 7, Payload: []byte("payload")},
 		{From: "b", To: "a", Kind: wire.KindVote, Corr: 8, Payload: []byte("more")},
-	})
+	}, wire.CodecGob, &tmp)
 	body := buf[4:]
 	for cut := 0; cut < len(body); cut++ {
 		if _, err := decodeFrame(body[:cut]); err == nil {
@@ -117,15 +119,15 @@ func TestLegacyFramingInterop(t *testing.T) {
 	oldNet := NewWithOptions(nil, Options{LegacyFraming: true})
 	newNet := New(nil)
 
-	oldPeer, err := wire.NewPeer(oldNet, "old", func(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
-		return wire.KindOK, wire.OKBody{}, nil
+	oldPeer, err := wire.NewPeer(oldNet, "old", func(from model.SiteID, _ trace.ID, kind wire.MsgKind, pay wire.Payload) (wire.MsgKind, wire.Body, error) {
+		return wire.KindOK, &wire.OKBody{}, nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer oldPeer.Close()
-	newPeer, err := wire.NewPeer(newNet, "new", func(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
-		return wire.KindOK, wire.OKBody{}, nil
+	newPeer, err := wire.NewPeer(newNet, "new", func(from model.SiteID, _ trace.ID, kind wire.MsgKind, pay wire.Payload) (wire.MsgKind, wire.Body, error) {
+		return wire.KindOK, &wire.OKBody{}, nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -141,11 +143,11 @@ func TestLegacyFramingInterop(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	// old → new: the acceptor must sniff the missing magic and fall back.
-	if err := oldPeer.Call(ctx, "new", wire.KindPing, wire.OKBody{}, nil); err != nil {
+	if err := oldPeer.Call(ctx, "new", wire.KindPing, &wire.OKBody{}, nil); err != nil {
 		t.Fatalf("legacy → batched call: %v", err)
 	}
 	// new → old: the dialer must speak legacy (knob) and parse a gob reply.
-	if err := newPeer.Call(ctx, "old", wire.KindPing, wire.OKBody{}, nil); err != nil {
+	if err := newPeer.Call(ctx, "old", wire.KindPing, &wire.OKBody{}, nil); err != nil {
 		t.Fatalf("batched → legacy call: %v", err)
 	}
 	if st := newNet.NetStats(); st.LegacyConns == 0 {
@@ -281,12 +283,12 @@ func TestSlowReaderBackpressure(t *testing.T) {
 // goroutines and the batch reply dispatch together).
 func TestBatchedRPCStress(t *testing.T) {
 	n := New(nil)
-	server, err := wire.NewPeer(n, "server", func(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+	server, err := wire.NewPeer(n, "server", func(from model.SiteID, _ trace.ID, kind wire.MsgKind, pay wire.Payload) (wire.MsgKind, wire.Body, error) {
 		var req wire.PreWriteReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
-		return wire.KindPreWrite, wire.PreWriteResp{Version: model.Version(req.Value)}, nil
+		return wire.KindPreWrite, &wire.PreWriteResp{Version: model.Version(req.Value)}, nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -306,7 +308,7 @@ func TestBatchedRPCStress(t *testing.T) {
 			for i := 0; i < calls; i++ {
 				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 				var resp wire.PreWriteResp
-				err := client.Call(ctx, "server", wire.KindPreWrite, wire.PreWriteReq{Value: int64(i)}, &resp)
+				err := client.Call(ctx, "server", wire.KindPreWrite, &wire.PreWriteReq{Value: int64(i)}, &resp)
 				cancel()
 				if err != nil {
 					errCh <- fmt.Errorf("client %d call %d: %w", c, i, err)
@@ -324,5 +326,109 @@ func TestBatchedRPCStress(t *testing.T) {
 		if err := <-errCh; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// codecEchoServe is a ReadCopy echo handler for the negotiation tests: the
+// reply carries the request's sequence number back, so a codec mismatch
+// that corrupted a body would surface as a wrong value, not just an error.
+func codecEchoServe(from model.SiteID, _ trace.ID, kind wire.MsgKind, pay wire.Payload) (wire.MsgKind, wire.Body, error) {
+	var req wire.ReadCopyReq
+	if err := pay.Decode(&req); err != nil {
+		return 0, nil, err
+	}
+	return wire.KindReadCopy, &wire.ReadCopyResp{Value: int64(req.Tx.Seq), Version: 1}, nil
+}
+
+// TestCodecNegotiationUpgradesToBinary connects two current nets and
+// verifies the CodecHello handshake settles both directions on the compact
+// binary codec: after a burst of RPCs each way, both sides must have sent
+// binary-encoded bodies (only the dialer's pre-hello requests may ride the
+// gob fallback).
+func TestCodecNegotiationUpgradesToBinary(t *testing.T) {
+	aNet, bNet := New(nil), New(nil)
+	aPeer, err := wire.NewPeer(aNet, "A", codecEchoServe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aPeer.Close()
+	bPeer, err := wire.NewPeer(bNet, "B", codecEchoServe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bPeer.Close()
+	aAddr, _ := aNet.Addr("A")
+	bAddr, _ := bNet.Addr("B")
+	aNet.SetAddr("B", bAddr)
+	bNet.SetAddr("A", aAddr)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 1; i <= 8; i++ {
+		resp, err := wire.Call[wire.ReadCopyResp](ctx, aPeer, "B", wire.KindReadCopy,
+			&wire.ReadCopyReq{Tx: model.TxID{Site: "A", Seq: uint64(i)}})
+		if err != nil || resp.Value != int64(i) {
+			t.Fatalf("A→B call %d: value=%v err=%v", i, resp, err)
+		}
+		resp, err = wire.Call[wire.ReadCopyResp](ctx, bPeer, "A", wire.KindReadCopy,
+			&wire.ReadCopyReq{Tx: model.TxID{Site: "B", Seq: uint64(i)}})
+		if err != nil || resp.Value != int64(i) {
+			t.Fatalf("B→A call %d: value=%v err=%v", i, resp, err)
+		}
+	}
+	if st := aNet.NetStats(); st.SentBinaryBodies == 0 {
+		t.Errorf("A sent no binary bodies after negotiation: %+v", st)
+	}
+	if st := bNet.NetStats(); st.SentBinaryBodies == 0 {
+		t.Errorf("B sent no binary bodies after negotiation: %+v", st)
+	}
+}
+
+// TestCodecGobPinnedPeerInterop runs a mixed cluster: one peer pins the
+// gob codec (the net_codec=gob ablation — stands in for an old binary that
+// predates the CodecHello), the other negotiates. Both directions must land
+// on gob — the pinned side never offers binary, so the negotiating side
+// must never send a binary body at it — and every RPC must still round-trip
+// correct values.
+func TestCodecGobPinnedPeerInterop(t *testing.T) {
+	gobNet := NewWithOptions(nil, Options{Codec: "gob"})
+	binNet := New(nil)
+	gobPeer, err := wire.NewPeer(gobNet, "old", codecEchoServe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gobPeer.Close()
+	binPeer, err := wire.NewPeer(binNet, "new", codecEchoServe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer binPeer.Close()
+	gobAddr, _ := gobNet.Addr("old")
+	binAddr, _ := binNet.Addr("new")
+	gobNet.SetAddr("new", binAddr)
+	binNet.SetAddr("old", gobAddr)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 1; i <= 8; i++ {
+		resp, err := wire.Call[wire.ReadCopyResp](ctx, gobPeer, "new", wire.KindReadCopy,
+			&wire.ReadCopyReq{Tx: model.TxID{Site: "old", Seq: uint64(i)}})
+		if err != nil || resp.Value != int64(i) {
+			t.Fatalf("gob→binary call %d: value=%v err=%v", i, resp, err)
+		}
+		resp, err = wire.Call[wire.ReadCopyResp](ctx, binPeer, "old", wire.KindReadCopy,
+			&wire.ReadCopyReq{Tx: model.TxID{Site: "new", Seq: uint64(i)}})
+		if err != nil || resp.Value != int64(i) {
+			t.Fatalf("binary→gob call %d: value=%v err=%v", i, resp, err)
+		}
+	}
+	if st := gobNet.NetStats(); st.SentBinaryBodies != 0 || st.SentGobBodies == 0 {
+		t.Errorf("gob-pinned peer codec counters: %+v", st)
+	}
+	if st := binNet.NetStats(); st.SentBinaryBodies != 0 {
+		t.Errorf("negotiating peer sent binary bodies at a gob-pinned peer: %+v", st)
+	}
+	if st := binNet.NetStats(); st.SentGobBodies == 0 {
+		t.Errorf("negotiating peer sent no gob bodies: %+v", st)
 	}
 }

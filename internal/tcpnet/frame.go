@@ -25,6 +25,11 @@ import (
 // self-delimiting gob stream of single envelopes; receivers sniff the first
 // eight bytes to tell the two apart, so old peers interoperate (see
 // Options.LegacyFraming for the outbound half).
+//
+// Each envelope's body payload is either gob (the default every peer
+// decodes) or the compact binary codec, signalled per envelope by flag
+// bit 2 and enabled per connection by codec negotiation (the CodecHello
+// preamble envelope — see tcpnet.go and wire/codec.go).
 
 // frameMagic opens every batched connection direction. It must not be a
 // plausible gob stream prefix: gob messages start with a small uvarint
@@ -40,10 +45,14 @@ const (
 )
 
 // appendEnvelope serializes env onto buf: uvarint-length-prefixed From, To
-// and Payload, uvarint Kind and Corr, and a flags byte (bit 0 = Reply,
-// bit 1 = a uvarint trace ID follows). Untraced envelopes — the common
-// case — spend only the flag bit.
-func appendEnvelope(buf []byte, env *wire.Envelope) []byte {
+// and payload, uvarint Kind and Corr, and a flags byte (bit 0 = Reply,
+// bit 1 = a uvarint trace ID follows, bit 2 = the payload is binary-codec
+// encoded rather than gob). Untraced envelopes — the common case — spend
+// only the flag bit. payload is the encoded body (env.Payload for
+// pre-flattened envelopes); binaryBody selects flag bit 2. Pre-negotiation
+// receivers ignore unknown flag bits, which is what makes the codec flag
+// safe to send only after the peer's hello.
+func appendEnvelope(buf []byte, env *wire.Envelope, payload []byte, binaryBody bool) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(env.From)))
 	buf = append(buf, env.From...)
 	buf = binary.AppendUvarint(buf, uint64(len(env.To)))
@@ -57,12 +66,15 @@ func appendEnvelope(buf []byte, env *wire.Envelope) []byte {
 	if env.Trace != 0 {
 		flags |= 2
 	}
+	if binaryBody {
+		flags |= 4
+	}
 	buf = append(buf, flags)
 	if env.Trace != 0 {
 		buf = binary.AppendUvarint(buf, env.Trace)
 	}
-	buf = binary.AppendUvarint(buf, uint64(len(env.Payload)))
-	return append(buf, env.Payload...)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	return append(buf, payload...)
 }
 
 // decodeEnvelope parses one envelope from its frame slot. The payload is
@@ -125,25 +137,59 @@ func decodeEnvelope(b []byte) (*wire.Envelope, error) {
 	env.Corr = corr
 	env.Reply = flags&1 != 0
 	env.Trace = traceID
+	if flags&4 != 0 {
+		env.Codec = wire.CodecBinary
+	}
 	if plen > 0 {
 		env.Payload = append([]byte(nil), b[sz:sz+int(plen)]...)
 	}
 	return env, nil
 }
 
-// appendFrame frames a batch of envelopes onto buf.
-func appendFrame(buf []byte, batch []*wire.Envelope) []byte {
+// appendFrame frames a batch of envelopes onto buf, encoding each typed
+// body with codec (bodies already flattened ride as-is; a binary payload
+// bound for a gob connection is transcoded through the body registry). tmp
+// is the writer goroutine's reusable body-encode scratch, so the flush path
+// allocates neither frame nor body buffers in steady state. nbin/ngob count
+// the body encodings used, feeding the negotiated-codec stats.
+func appendFrame(buf []byte, batch []*wire.Envelope, codec wire.CodecID, tmp *[]byte) (out []byte, nbin, ngob uint64) {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0) // frameLen placeholder
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(batch)))
 	for _, env := range batch {
+		payload := env.Payload
+		binaryBody := env.Codec == wire.CodecBinary
+		if env.Body != nil {
+			if codec == wire.CodecBinary {
+				*tmp = env.Body.AppendTo((*tmp)[:0])
+				payload, binaryBody = *tmp, true
+			} else {
+				// Gob fallback. An encode error is unreachable for the
+				// registered body types; an empty payload (the receiver's
+				// decode then fails) degrades to message loss, which the
+				// unreliable-network contract allows.
+				payload, _ = wire.Marshal(env.Body)
+				binaryBody = false
+			}
+		} else if binaryBody && codec != wire.CodecBinary {
+			// Pre-flattened binary payload bound for a gob peer: transcode
+			// through the registry (same loss semantics on failure).
+			if env.Reencode(wire.CodecGob) == nil {
+				payload, binaryBody = env.Payload, false
+			}
+		}
+		if binaryBody {
+			nbin++
+		} else {
+			ngob++
+		}
 		lenAt := len(buf)
 		buf = append(buf, 0, 0, 0, 0) // envLen placeholder
-		buf = appendEnvelope(buf, env)
+		buf = appendEnvelope(buf, env, payload, binaryBody)
 		binary.LittleEndian.PutUint32(buf[lenAt:], uint32(len(buf)-lenAt-4))
 	}
 	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
-	return buf
+	return buf, nbin, ngob
 }
 
 // decodeFrame parses the body of one frame (everything after the frameLen

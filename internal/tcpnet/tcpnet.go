@@ -15,6 +15,14 @@
 // magic, so old peers interoperate (outbound legacy speak is a knob:
 // Options.LegacyFraming).
 //
+// Message bodies are encoded at flush time with a per-connection negotiated
+// codec: each batched direction opens with a wire.KindCodecHello envelope
+// right after the frame magic, and once the peer's hello confirms it
+// decodes compact binary bodies (wire.Body/codec.go) the writer stops gob-
+// encoding them. Peers that never hello — old binaries, or ones pinned by
+// the Options.Codec="gob" ablation knob — keep receiving gob, so mixed
+// clusters interoperate with zero extra round trips.
+//
 // Backpressure is by bounded queue: a Send finding the queue full blocks
 // briefly (a stall) and then sheds with an error rather than buffering
 // unboundedly behind a slow reader — the wire.Endpoint contract is
@@ -67,6 +75,14 @@ type Options struct {
 	// SendStall bounds how long a Send blocks on a full queue before
 	// shedding the envelope; <= 0 selects 1s.
 	SendStall time.Duration
+	// Codec selects the body codec offered to peers: "" or "binary" (the
+	// default) negotiates the compact binary codec per connection — each
+	// batched direction opens with a CodecHello, and bodies upgrade from
+	// gob once the peer's hello arrives (a peer that never says hello, i.e.
+	// an old binary, keeps the connection on gob). "gob" pins the legacy
+	// codec and suppresses the hello — the ablation knob, and the safe
+	// setting for clusters still rolling out negotiation-aware binaries.
+	Codec string
 }
 
 func (o Options) withDefaults() Options {
@@ -83,17 +99,22 @@ func (o Options) withDefaults() Options {
 }
 
 // Stats counts transport events; the flushes-vs-envelopes ratio is the
-// syscalls-per-operation measurement the batching exists to improve.
+// syscalls-per-operation measurement the batching exists to improve, and
+// the binary-vs-gob body split is the negotiated-codec measurement (a
+// healthy same-version cluster sends almost everything binary).
 type Stats struct {
-	SentEnvelopes uint64 // envelopes handed to the writer goroutines
-	SentFlushes   uint64 // buffered-write flushes (≈ write syscalls)
-	SentBatches   uint64 // batches encoded (== flushes unless a batch exceeded the buffer)
-	MaxSendBatch  uint64 // largest single batch
-	SendSheds     uint64 // envelopes shed on a full queue after SendStall
-	SendStalls    uint64 // Sends that found their queue full and blocked
-	RecvEnvelopes uint64 // envelopes decoded inbound
-	RecvFrames    uint64 // multi-envelope frames decoded inbound
-	LegacyConns   uint64 // inbound connections negotiated down to gob framing
+	SentEnvelopes    uint64 // envelopes handed to the writer goroutines
+	SentFlushes      uint64 // buffered-write flushes (≈ write syscalls)
+	SentBatches      uint64 // batches encoded (== flushes unless a batch exceeded the buffer)
+	SentBytes        uint64 // bytes written to sockets (bytes/flush = SentBytes/SentFlushes)
+	MaxSendBatch     uint64 // largest single batch
+	SendSheds        uint64 // envelopes shed on a full queue after SendStall
+	SendStalls       uint64 // Sends that found their queue full and blocked
+	SentBinaryBodies uint64 // bodies encoded with the negotiated binary codec
+	SentGobBodies    uint64 // bodies encoded with the gob fallback codec
+	RecvEnvelopes    uint64 // envelopes decoded inbound
+	RecvFrames       uint64 // multi-envelope frames decoded inbound
+	LegacyConns      uint64 // inbound connections negotiated down to gob framing
 }
 
 // Net is a TCP-backed wire.Network.
@@ -105,16 +126,23 @@ type Net struct {
 	nodes   map[model.SiteID]*endpoint
 	tracers map[model.SiteID]*trace.Tracer
 
-	sentEnvelopes atomic.Uint64
-	sentFlushes   atomic.Uint64
-	sentBatches   atomic.Uint64
-	maxSendBatch  atomic.Uint64
-	sendSheds     atomic.Uint64
-	sendStalls    atomic.Uint64
-	recvEnvelopes atomic.Uint64
-	recvFrames    atomic.Uint64
-	legacyConns   atomic.Uint64
+	sentEnvelopes    atomic.Uint64
+	sentFlushes      atomic.Uint64
+	sentBatches      atomic.Uint64
+	sentBytes        atomic.Uint64
+	maxSendBatch     atomic.Uint64
+	sendSheds        atomic.Uint64
+	sendStalls       atomic.Uint64
+	sentBinaryBodies atomic.Uint64
+	sentGobBodies    atomic.Uint64
+	recvEnvelopes    atomic.Uint64
+	recvFrames       atomic.Uint64
+	legacyConns      atomic.Uint64
 }
+
+// binaryBodies reports whether this net offers the binary body codec
+// (Options.Codec left at the default).
+func (n *Net) binaryBodies() bool { return n.opts.Codec != "gob" }
 
 // New builds a TCP network with the given address book and default options.
 // The book may be extended later via SetAddr (e.g. after registering with
@@ -170,15 +198,18 @@ func (n *Net) Addr(id model.SiteID) (string, bool) {
 // NetStats snapshots the transport counters.
 func (n *Net) NetStats() Stats {
 	return Stats{
-		SentEnvelopes: n.sentEnvelopes.Load(),
-		SentFlushes:   n.sentFlushes.Load(),
-		SentBatches:   n.sentBatches.Load(),
-		MaxSendBatch:  n.maxSendBatch.Load(),
-		SendSheds:     n.sendSheds.Load(),
-		SendStalls:    n.sendStalls.Load(),
-		RecvEnvelopes: n.recvEnvelopes.Load(),
-		RecvFrames:    n.recvFrames.Load(),
-		LegacyConns:   n.legacyConns.Load(),
+		SentEnvelopes:    n.sentEnvelopes.Load(),
+		SentFlushes:      n.sentFlushes.Load(),
+		SentBatches:      n.sentBatches.Load(),
+		SentBytes:        n.sentBytes.Load(),
+		MaxSendBatch:     n.maxSendBatch.Load(),
+		SendSheds:        n.sendSheds.Load(),
+		SendStalls:       n.sendStalls.Load(),
+		SentBinaryBodies: n.sentBinaryBodies.Load(),
+		SentGobBodies:    n.sentGobBodies.Load(),
+		RecvEnvelopes:    n.recvEnvelopes.Load(),
+		RecvFrames:       n.recvFrames.Load(),
+		LegacyConns:      n.legacyConns.Load(),
 	}
 }
 
@@ -255,6 +286,14 @@ type outConn struct {
 	conn     net.Conn
 	batched  bool // multi-envelope framing (vs legacy gob)
 	dialedTo model.SiteID
+
+	// peerBinary is set by the read half of this socket when the peer's
+	// CodecHello announces it accepts binary bodies; until then (and on old
+	// peers, forever) the writer encodes bodies with gob. Reset on redial:
+	// the replacement peer may be an old binary. FIFO ordering makes the
+	// upgrade safe on the accept side — the dialer's hello precedes its
+	// first request, so replies always see peerBinary already set.
+	peerBinary atomic.Bool
 
 	sendCh   chan sendItem
 	done     chan struct{}
@@ -390,7 +429,8 @@ func (c *outConn) writeLoop() {
 		flushes countingWriter
 		bw      *bufio.Writer
 		enc     *gob.Encoder // legacy framing only
-		scratch []byte
+		scratch []byte       // frame-encode scratch, reused across flushes
+		bodyTmp []byte       // body-encode scratch, reused across envelopes
 	)
 	rebind := func() {
 		flushes = countingWriter{w: c.conn}
@@ -399,7 +439,7 @@ func (c *outConn) writeLoop() {
 	}
 	rebind()
 	if c.batched {
-		if _, err := c.conn.Write(frameMagic[:]); err != nil {
+		if err := c.writePreamble(c.conn); err != nil {
 			c.kill()
 			return
 		}
@@ -442,13 +482,13 @@ func (c *outConn) writeLoop() {
 		if tracer != nil {
 			flushStart = time.Now()
 		}
-		if err := c.writeBatch(bw, enc, &scratch, batch); err != nil {
+		if err := c.writeBatch(bw, enc, &scratch, &bodyTmp, batch); err != nil {
 			if !c.redial() {
 				c.kill()
 				return
 			}
 			rebind()
-			if c.writeBatch(bw, enc, &scratch, batch) != nil {
+			if c.writeBatch(bw, enc, &scratch, &bodyTmp, batch) != nil {
 				c.kill()
 				return
 			}
@@ -456,6 +496,7 @@ func (c *outConn) writeLoop() {
 		n := c.ep.net
 		n.sentBatches.Add(1)
 		n.sentFlushes.Add(flushes.take())
+		n.sentBytes.Add(flushes.takeBytes())
 		if l := uint64(len(items)); l > n.maxSendBatch.Load() {
 			n.maxSendBatch.Store(l)
 		}
@@ -481,21 +522,61 @@ func (c *outConn) observeFlush(tracer *trace.Tracer, flushStart time.Time, items
 	}
 }
 
-// writeBatch encodes one drained batch and flushes it.
-func (c *outConn) writeBatch(bw *bufio.Writer, enc *gob.Encoder, scratch *[]byte, batch []*wire.Envelope) error {
+// writeBatch encodes one drained batch and flushes it. The body codec is
+// picked per flush: binary once this net offers it and the peer's hello
+// confirmed it, gob otherwise (legacy connections are gob by definition —
+// their whole-envelope streams predate the codec field).
+func (c *outConn) writeBatch(bw *bufio.Writer, enc *gob.Encoder, scratch, bodyTmp *[]byte, batch []*wire.Envelope) error {
+	n := c.ep.net
 	if c.batched {
-		*scratch = appendFrame((*scratch)[:0], batch)
+		codec := wire.CodecGob
+		if n.binaryBodies() && c.peerBinary.Load() {
+			codec = wire.CodecBinary
+		}
+		frame, nbin, ngob := appendFrame((*scratch)[:0], batch, codec, bodyTmp)
+		*scratch = frame
+		n.sentBinaryBodies.Add(nbin)
+		n.sentGobBodies.Add(ngob)
 		if _, err := bw.Write(*scratch); err != nil {
 			return err
 		}
 	} else {
 		for _, env := range batch {
+			// Whole-envelope gob streams carry gob payloads only: flatten
+			// the typed body (and transcode any pre-flattened binary
+			// payload) so old decoders see the historical byte stream.
+			if err := env.Flatten(wire.CodecGob); err != nil {
+				continue // encode error: drop the envelope (message loss)
+			}
+			if env.Codec == wire.CodecBinary && env.Reencode(wire.CodecGob) != nil {
+				continue
+			}
+			n.sentGobBodies.Add(1)
 			if err := enc.Encode(env); err != nil {
 				return err
 			}
 		}
 	}
 	return bw.Flush()
+}
+
+// writePreamble opens one batched connection direction: the frame magic,
+// then — unless the codec knob pins gob — a single-envelope CodecHello
+// frame announcing that this side accepts binary bodies. Old peers consume
+// the hello as an unknown-kind cast and drop it; the sender keeps encoding
+// gob toward them because their side never hellos back.
+func (c *outConn) writePreamble(w io.Writer) error {
+	buf := append([]byte(nil), frameMagic[:]...)
+	if c.ep.net.binaryBodies() {
+		hello := &wire.Envelope{
+			From: c.ep.id, To: c.dialedTo, Kind: wire.KindCodecHello,
+			Body: &wire.HelloBody{Codec: wire.CodecBinary},
+		}
+		var tmp []byte
+		buf, _, _ = appendFrame(buf, []*wire.Envelope{hello}, wire.CodecBinary, &tmp)
+	}
+	_, err := w.Write(buf)
+	return err
 }
 
 // redial replaces a failed dialed connection in place: the old socket is
@@ -524,8 +605,11 @@ func (c *outConn) redial() bool {
 	c.conn = conn
 	c.ep.mu.Unlock()
 	old.Close()
+	// The replacement peer may be an older binary: negotiation restarts
+	// from gob and upgrades again when (if) its hello arrives.
+	c.peerBinary.Store(false)
 	if c.batched {
-		if _, err := conn.Write(frameMagic[:]); err != nil {
+		if err := c.writePreamble(conn); err != nil {
 			return false
 		}
 	}
@@ -533,21 +617,60 @@ func (c *outConn) redial() bool {
 	return true
 }
 
-// countingWriter counts the writes that reach the socket (≈ syscalls).
+// countingWriter counts the writes that reach the socket (≈ syscalls) and
+// the bytes they carry (bytes/flush is a NetStats-derived metric).
 type countingWriter struct {
 	w      io.Writer
 	writes uint64
+	bytes  uint64
 }
 
 func (c *countingWriter) Write(p []byte) (int, error) {
 	c.writes++
-	return c.w.Write(p)
+	n, err := c.w.Write(p)
+	c.bytes += uint64(n)
+	return n, err
 }
 
 func (c *countingWriter) take() uint64 {
 	n := c.writes
 	c.writes = 0
 	return n
+}
+
+func (c *countingWriter) takeBytes() uint64 {
+	n := c.bytes
+	c.bytes = 0
+	return n
+}
+
+// hasHello reports whether a decoded frame carries a CodecHello. In
+// practice hellos travel alone in the first frame of a direction, so this
+// is one kind comparison per envelope on the hot path.
+func hasHello(envs []*wire.Envelope) bool {
+	for _, env := range envs {
+		if env.Kind == wire.KindCodecHello && !env.Reply {
+			return true
+		}
+	}
+	return false
+}
+
+// takeHellos applies and strips the CodecHello envelopes of one frame,
+// upgrading the paired out half when the peer accepts binary bodies.
+func (c *outConn) takeHellos(envs []*wire.Envelope) []*wire.Envelope {
+	kept := envs[:0]
+	for _, env := range envs {
+		if env.Kind != wire.KindCodecHello || env.Reply {
+			kept = append(kept, env)
+			continue
+		}
+		var hello wire.HelloBody
+		if err := (wire.Payload{Codec: env.Codec, Bytes: env.Payload}).Decode(&hello); err == nil && hello.Codec == wire.CodecBinary {
+			c.peerBinary.Store(true)
+		}
+	}
+	return kept
 }
 
 // conn returns the cached connection to `to`, dialing one if needed.
@@ -717,6 +840,16 @@ func (e *endpoint) readConn(oc *outConn, br *bufio.Reader, from model.SiteID, ba
 			e.conns[f] = oc
 			e.mu.Unlock()
 			from = f
+		}
+		if hasHello(envs) {
+			// CodecHello is transport-internal: it upgrades this socket's
+			// out half to binary bodies (the peer announced it decodes
+			// them) and never reaches the handler. It rides the normal
+			// envelope stream so route learning above still applies.
+			envs = oc.takeHellos(envs)
+			if len(envs) == 0 {
+				continue
+			}
 		}
 		e.mu.Lock()
 		closed := e.closed

@@ -62,12 +62,12 @@ func TestDynamicAddressResolved(t *testing.T) {
 
 func TestRPCOverTCP(t *testing.T) {
 	n := New(nil)
-	server, err := wire.NewPeer(n, "server", func(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+	server, err := wire.NewPeer(n, "server", func(from model.SiteID, _ trace.ID, kind wire.MsgKind, pay wire.Payload) (wire.MsgKind, wire.Body, error) {
 		var req wire.ReadCopyReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
-		return wire.KindReadCopy, wire.ReadCopyResp{Value: 7, Version: 3}, nil
+		return wire.KindReadCopy, &wire.ReadCopyResp{Value: 7, Version: 3}, nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +82,7 @@ func TestRPCOverTCP(t *testing.T) {
 	var resp wire.ReadCopyResp
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
-	if err := client.Call(ctx, "server", wire.KindReadCopy, wire.ReadCopyReq{Item: "x"}, &resp); err != nil {
+	if err := client.Call(ctx, "server", wire.KindReadCopy, &wire.ReadCopyReq{Item: "x"}, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.Value != 7 || resp.Version != 3 {
@@ -92,12 +92,12 @@ func TestRPCOverTCP(t *testing.T) {
 
 func TestConcurrentRPCOverTCP(t *testing.T) {
 	n := New(nil)
-	server, err := wire.NewPeer(n, "server", func(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+	server, err := wire.NewPeer(n, "server", func(from model.SiteID, _ trace.ID, kind wire.MsgKind, pay wire.Payload) (wire.MsgKind, wire.Body, error) {
 		var req wire.PreWriteReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
-		return wire.KindPreWrite, wire.PreWriteResp{Version: model.Version(req.Value)}, nil
+		return wire.KindPreWrite, &wire.PreWriteResp{Version: model.Version(req.Value)}, nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +119,7 @@ func TestConcurrentRPCOverTCP(t *testing.T) {
 			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 			defer cancel()
 			var resp wire.PreWriteResp
-			err := client.Call(ctx, "server", wire.KindPreWrite, wire.PreWriteReq{Value: int64(i)}, &resp)
+			err := client.Call(ctx, "server", wire.KindPreWrite, &wire.PreWriteReq{Value: int64(i)}, &resp)
 			if err == nil && resp.Version != model.Version(i) {
 				err = context.DeadlineExceeded
 			}

@@ -15,18 +15,20 @@ import (
 var ErrClosed = errors.New("wire: peer closed")
 
 // ServeFunc handles one inbound request and returns the response kind and
-// body. Returning an error sends a KindError reply carrying the error's
-// abort cause (if any) to the caller. tid is the request envelope's trace
-// ID (zero for the untraced common case); handlers doing traced work join
-// the distributed trace under it. ServeFunc runs on transport goroutines
-// and must be safe for concurrent use.
-type ServeFunc func(from model.SiteID, tid trace.ID, kind MsgKind, payload []byte) (MsgKind, any, error)
+// typed body. Returning an error sends a KindError reply carrying the
+// error's abort cause (if any) to the caller. req is the encoded request
+// payload plus the codec it arrived under; handlers decode it into the
+// typed body for the kind (req.Decode). tid is the request envelope's
+// trace ID (zero for the untraced common case); handlers doing traced work
+// join the distributed trace under it. ServeFunc runs on transport
+// goroutines and must be safe for concurrent use.
+type ServeFunc func(from model.SiteID, tid trace.ID, kind MsgKind, req Payload) (MsgKind, Body, error)
 
 // ReplyFunc sends the response for one asynchronously served request. It
 // may be called from any goroutine, exactly once; err takes precedence over
 // (kind, body) and is converted to a KindError reply exactly like a
 // ServeFunc error.
-type ReplyFunc func(kind MsgKind, body any, err error)
+type ReplyFunc func(kind MsgKind, body Body, err error)
 
 // AsyncServeFunc is the pipelined alternative to ServeFunc: instead of
 // computing the reply on the transport goroutine, the handler may take
@@ -35,7 +37,7 @@ type ReplyFunc func(kind MsgKind, body any, err error)
 // command pipeline. Returning false declines the request, which then falls
 // through to the synchronous ServeFunc; an AsyncServeFunc that returned
 // true must eventually call reply exactly once or the caller times out.
-type AsyncServeFunc func(from model.SiteID, tid trace.ID, kind MsgKind, payload []byte, reply ReplyFunc) bool
+type AsyncServeFunc func(from model.SiteID, tid trace.ID, kind MsgKind, req Payload, reply ReplyFunc) bool
 
 // Peer layers request/response RPC over a Network endpoint. Each Rainbow
 // node (name server, site, workload driver, monitor) owns one Peer.
@@ -98,12 +100,10 @@ func (p *Peer) Close() error {
 // Call sends a request to `to` and blocks until the reply arrives, ctx is
 // done, or the peer closes. The reply payload is decoded into respBody when
 // respBody is non-nil. A KindError reply is converted back into the error
-// it carries (preserving abort causes).
-func (p *Peer) Call(ctx context.Context, to model.SiteID, kind MsgKind, body, respBody any) error {
-	payload, err := Marshal(body)
-	if err != nil {
-		return err
-	}
+// it carries (preserving abort causes). The request body travels typed: the
+// transport encodes it at flush time with the connection's negotiated
+// codec. See the generic Call helper for the declare-free typed form.
+func (p *Peer) Call(ctx context.Context, to model.SiteID, kind MsgKind, body, respBody Body) error {
 	corr := p.corr.Add(1)
 	ch := make(chan *Envelope, 1)
 
@@ -121,7 +121,7 @@ func (p *Peer) Call(ctx context.Context, to model.SiteID, kind MsgKind, body, re
 		p.mu.Unlock()
 	}()
 
-	env := &Envelope{From: p.ep.ID(), To: to, Kind: kind, Corr: corr, Payload: payload, Trace: uint64(trace.IDFromContext(ctx))}
+	env := &Envelope{From: p.ep.ID(), To: to, Kind: kind, Corr: corr, Body: body, Trace: uint64(trace.IDFromContext(ctx))}
 	if err := p.ep.Send(ctx, env); err != nil {
 		return err
 	}
@@ -135,25 +135,37 @@ func (p *Peer) Call(ctx context.Context, to model.SiteID, kind MsgKind, body, re
 		}
 		if reply.Kind == KindError {
 			var eb ErrorBody
-			if err := Unmarshal(reply.Payload, &eb); err != nil {
+			if err := (Payload{Codec: reply.Codec, Bytes: reply.Payload}).Decode(&eb); err != nil {
 				return err
 			}
 			return eb.Err()
 		}
 		if respBody != nil {
-			return Unmarshal(reply.Payload, respBody)
+			return (Payload{Codec: reply.Codec, Bytes: reply.Payload}).Decode(respBody)
 		}
 		return nil
 	}
 }
 
-// Cast sends a one-way message with no reply expected.
-func (p *Peer) Cast(ctx context.Context, to model.SiteID, kind MsgKind, body any) error {
-	payload, err := Marshal(body)
-	if err != nil {
-		return err
+// Call sends req and decodes the typed response, constructing it for the
+// caller — the generic replacement for declare-a-zero-value-and-pass
+// boilerplate around Peer.Call. Resp is the response body type (named
+// explicitly at the call site; the pointer-receiver Body implementation is
+// inferred). kind stays explicit because several kinds share body types.
+func Call[Resp any, P interface {
+	*Resp
+	Body
+}](ctx context.Context, p *Peer, to model.SiteID, kind MsgKind, req Body) (*Resp, error) {
+	resp := new(Resp)
+	if err := p.Call(ctx, to, kind, req, P(resp)); err != nil {
+		return nil, err
 	}
-	return p.ep.Send(ctx, &Envelope{From: p.ep.ID(), To: to, Kind: kind, Payload: payload, Trace: uint64(trace.IDFromContext(ctx))})
+	return resp, nil
+}
+
+// Cast sends a one-way message with no reply expected.
+func (p *Peer) Cast(ctx context.Context, to model.SiteID, kind MsgKind, body Body) error {
+	return p.ep.Send(ctx, &Envelope{From: p.ep.ID(), To: to, Kind: kind, Body: body, Trace: uint64(trace.IDFromContext(ctx))})
 }
 
 // SetAsyncServe installs the pipelined inbound handler (see
@@ -191,14 +203,14 @@ func (p *Peer) handle(env *Envelope) {
 		// One-way cast: dispatch, discard result. Casts run the same
 		// ServeFunc, so they may block just like requests.
 		if p.serve != nil {
-			go p.serve(env.From, trace.ID(env.Trace), env.Kind, env.Payload) //nolint:errcheck
+			go p.serve(env.From, trace.ID(env.Trace), env.Kind, Payload{Codec: env.Codec, Bytes: env.Payload}) //nolint:errcheck
 		}
 		return
 	}
 
 	if af := p.async.Load(); af != nil {
 		from, corr, tid := env.From, env.Corr, env.Trace
-		if (*af)(env.From, trace.ID(env.Trace), env.Kind, env.Payload, func(kind MsgKind, body any, err error) {
+		if (*af)(env.From, trace.ID(env.Trace), env.Kind, Payload{Codec: env.Codec, Bytes: env.Payload}, func(kind MsgKind, body Body, err error) {
 			p.sendReply(from, corr, tid, kind, body, err)
 		}) {
 			return // the pipeline owns the reply now
@@ -213,13 +225,13 @@ func (p *Peer) handle(env *Envelope) {
 func (p *Peer) serveSync(env *Envelope) {
 	var (
 		kind MsgKind
-		body any
+		body Body
 		err  error
 	)
 	if p.serve == nil {
 		err = fmt.Errorf("node %s does not serve requests", p.ep.ID())
 	} else {
-		kind, body, err = p.serve(env.From, trace.ID(env.Trace), env.Kind, env.Payload)
+		kind, body, err = p.serve(env.From, trace.ID(env.Trace), env.Kind, Payload{Codec: env.Codec, Bytes: env.Payload})
 	}
 	p.sendReply(env.From, env.Corr, env.Trace, kind, body, err)
 }
@@ -247,28 +259,25 @@ func (p *Peer) handleBatch(envs []*Envelope) {
 	}
 }
 
-// sendReply encodes and sends one response envelope; shared by the
-// synchronous serve path and the async ReplyFunc closures. An error is
-// converted to a KindError reply preserving its abort cause. The request's
-// trace ID is echoed so the reply's transport hops are traceable too.
-func (p *Peer) sendReply(to model.SiteID, corr, tid uint64, kind MsgKind, body any, err error) {
+// sendReply sends one response envelope; shared by the synchronous serve
+// path and the async ReplyFunc closures. An error is converted to a
+// KindError reply preserving its abort cause. The request's trace ID is
+// echoed so the reply's transport hops are traceable too. The typed body
+// rides the envelope; the transport encodes it at flush time.
+func (p *Peer) sendReply(to model.SiteID, corr, tid uint64, kind MsgKind, body Body, err error) {
 	if err != nil {
 		kind = KindError
-		body = ErrorBody{Cause: model.CauseOf(err), Reason: err.Error()}
-		if model.CauseOf(err) == model.AbortClient {
+		cause := model.CauseOf(err)
+		if cause == model.AbortClient {
 			// Not a protocol abort; keep cause None so Err() re-creates a
 			// generic error rather than a spurious client abort.
-			body = ErrorBody{Cause: model.AbortNone, Reason: err.Error()}
+			cause = model.AbortNone
 		}
-	}
-	payload, merr := Marshal(body)
-	if merr != nil {
-		payload, _ = Marshal(ErrorBody{Reason: merr.Error()})
-		kind = KindError
+		body = &ErrorBody{Cause: cause, Reason: err.Error()}
 	}
 	reply := &Envelope{
 		From: p.ep.ID(), To: to, Kind: kind,
-		Corr: corr, Reply: true, Trace: tid, Payload: payload,
+		Corr: corr, Reply: true, Trace: tid, Body: body,
 	}
 	// Replies are best-effort; the caller times out on loss.
 	p.ep.Send(context.Background(), reply) //nolint:errcheck

@@ -31,17 +31,17 @@ func newPair(t *testing.T, serve wire.ServeFunc) (*wire.Peer, *wire.Peer) {
 }
 
 func TestCallRoundTrip(t *testing.T) {
-	_, client := newPair(t, func(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+	_, client := newPair(t, func(from model.SiteID, _ trace.ID, kind wire.MsgKind, pay wire.Payload) (wire.MsgKind, wire.Body, error) {
 		var req wire.ReadCopyReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
-		return wire.KindReadCopy, wire.ReadCopyResp{Value: 99, Version: model.Version(req.Tx.Seq)}, nil
+		return wire.KindReadCopy, &wire.ReadCopyResp{Value: 99, Version: model.Version(req.Tx.Seq)}, nil
 	})
 
 	var resp wire.ReadCopyResp
 	err := client.Call(context.Background(), "server", wire.KindReadCopy,
-		wire.ReadCopyReq{Tx: model.TxID{Site: "c", Seq: 5}, Item: "x"}, &resp)
+		&wire.ReadCopyReq{Tx: model.TxID{Site: "c", Seq: 5}, Item: "x"}, &resp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,20 +51,20 @@ func TestCallRoundTrip(t *testing.T) {
 }
 
 func TestCallPropagatesAbortCause(t *testing.T) {
-	_, client := newPair(t, func(model.SiteID, trace.ID, wire.MsgKind, []byte) (wire.MsgKind, any, error) {
+	_, client := newPair(t, func(model.SiteID, trace.ID, wire.MsgKind, wire.Payload) (wire.MsgKind, wire.Body, error) {
 		return 0, nil, model.Abortf(model.AbortCC, "timestamp too old")
 	})
-	err := client.Call(context.Background(), "server", wire.KindReadCopy, wire.ReadCopyReq{}, nil)
+	err := client.Call(context.Background(), "server", wire.KindReadCopy, &wire.ReadCopyReq{}, nil)
 	if model.CauseOf(err) != model.AbortCC {
 		t.Errorf("cause = %v, err = %v", model.CauseOf(err), err)
 	}
 }
 
 func TestCallGenericErrorNotAbort(t *testing.T) {
-	_, client := newPair(t, func(model.SiteID, trace.ID, wire.MsgKind, []byte) (wire.MsgKind, any, error) {
+	_, client := newPair(t, func(model.SiteID, trace.ID, wire.MsgKind, wire.Payload) (wire.MsgKind, wire.Body, error) {
 		return 0, nil, errors.New("disk on fire")
 	})
-	err := client.Call(context.Background(), "server", wire.KindPing, wire.PingReq{}, nil)
+	err := client.Call(context.Background(), "server", wire.KindPing, &wire.PingReq{}, nil)
 	if err == nil {
 		t.Fatal("want error")
 	}
@@ -76,8 +76,8 @@ func TestCallGenericErrorNotAbort(t *testing.T) {
 func TestCallTimeout(t *testing.T) {
 	net := simnet.New(simnet.Config{})
 	// A server that is attached but paused never replies.
-	if _, err := wire.NewPeer(net, "server", func(model.SiteID, trace.ID, wire.MsgKind, []byte) (wire.MsgKind, any, error) {
-		return wire.KindOK, wire.OKBody{}, nil
+	if _, err := wire.NewPeer(net, "server", func(model.SiteID, trace.ID, wire.MsgKind, wire.Payload) (wire.MsgKind, wire.Body, error) {
+		return wire.KindOK, &wire.OKBody{}, nil
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestCallTimeout(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
-	if err := client.Call(ctx, "server", wire.KindPing, wire.PingReq{}, nil); !errors.Is(err, context.DeadlineExceeded) {
+	if err := client.Call(ctx, "server", wire.KindPing, &wire.PingReq{}, nil); !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("err = %v, want deadline exceeded", err)
 	}
 }
@@ -102,21 +102,21 @@ func TestCallToUnknownDestinationTimesOut(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	if err := client.Call(ctx, "ghost", wire.KindPing, wire.PingReq{}, nil); err == nil {
+	if err := client.Call(ctx, "ghost", wire.KindPing, &wire.PingReq{}, nil); err == nil {
 		t.Error("call to unknown destination should fail")
 	}
 }
 
 func TestCast(t *testing.T) {
 	var got atomic.Int64
-	_, client := newPair(t, func(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+	_, client := newPair(t, func(from model.SiteID, _ trace.ID, kind wire.MsgKind, pay wire.Payload) (wire.MsgKind, wire.Body, error) {
 		var d wire.DecisionMsg
-		if err := wire.Unmarshal(payload, &d); err == nil && d.Commit {
+		if err := pay.Decode(&d); err == nil && d.Commit {
 			got.Add(1)
 		}
-		return wire.KindOK, wire.OKBody{}, nil
+		return wire.KindOK, &wire.OKBody{}, nil
 	})
-	if err := client.Cast(context.Background(), "server", wire.KindDecision, wire.DecisionMsg{Commit: true}); err != nil {
+	if err := client.Cast(context.Background(), "server", wire.KindDecision, &wire.DecisionMsg{Commit: true}); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(time.Second)
@@ -129,12 +129,12 @@ func TestCast(t *testing.T) {
 }
 
 func TestConcurrentCalls(t *testing.T) {
-	_, client := newPair(t, func(from model.SiteID, _ trace.ID, kind wire.MsgKind, payload []byte) (wire.MsgKind, any, error) {
+	_, client := newPair(t, func(from model.SiteID, _ trace.ID, kind wire.MsgKind, pay wire.Payload) (wire.MsgKind, wire.Body, error) {
 		var req wire.ReadCopyReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
+		if err := pay.Decode(&req); err != nil {
 			return 0, nil, err
 		}
-		return wire.KindReadCopy, wire.ReadCopyResp{Value: int64(req.Tx.Seq)}, nil
+		return wire.KindReadCopy, &wire.ReadCopyResp{Value: int64(req.Tx.Seq)}, nil
 	})
 	const n = 64
 	var wg sync.WaitGroup
@@ -145,7 +145,7 @@ func TestConcurrentCalls(t *testing.T) {
 			defer wg.Done()
 			var resp wire.ReadCopyResp
 			err := client.Call(context.Background(), "server", wire.KindReadCopy,
-				wire.ReadCopyReq{Tx: model.TxID{Site: "c", Seq: uint64(i)}}, &resp)
+				&wire.ReadCopyReq{Tx: model.TxID{Site: "c", Seq: uint64(i)}}, &resp)
 			if err == nil && resp.Value != int64(i) {
 				err = fmt.Errorf("cross-wired reply: got %d want %d", resp.Value, i)
 			}
@@ -161,11 +161,11 @@ func TestConcurrentCalls(t *testing.T) {
 }
 
 func TestClosedPeerFailsCalls(t *testing.T) {
-	_, client := newPair(t, func(model.SiteID, trace.ID, wire.MsgKind, []byte) (wire.MsgKind, any, error) {
-		return wire.KindOK, wire.OKBody{}, nil
+	_, client := newPair(t, func(model.SiteID, trace.ID, wire.MsgKind, wire.Payload) (wire.MsgKind, wire.Body, error) {
+		return wire.KindOK, &wire.OKBody{}, nil
 	})
 	client.Close()
-	if err := client.Call(context.Background(), "server", wire.KindPing, wire.PingReq{}, nil); err == nil {
+	if err := client.Call(context.Background(), "server", wire.KindPing, &wire.PingReq{}, nil); err == nil {
 		t.Error("call on closed peer should fail")
 	}
 }
@@ -181,7 +181,7 @@ func TestServerlessPeerRepliesError(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
-	if err := client.Call(ctx, "mute", wire.KindPing, wire.PingReq{}, nil); err == nil {
+	if err := client.Call(ctx, "mute", wire.KindPing, &wire.PingReq{}, nil); err == nil {
 		t.Error("peer with nil ServeFunc should return an error reply")
 	}
 }

@@ -1,14 +1,18 @@
 // Package wire defines Rainbow's wire protocol: typed message envelopes,
-// the gob body codec, the transport abstraction implemented by both the
-// simulated network (internal/simnet) and real TCP (internal/tcpnet), and a
-// request/response RPC peer with correlation IDs.
+// the body codecs (a compact hand-rolled binary codec and the legacy gob
+// fallback — see codec.go), the transport abstraction implemented by both
+// the simulated network (internal/simnet) and real TCP (internal/tcpnet),
+// and a request/response RPC peer with correlation IDs.
 //
 // Every message body — even on the in-process simulated network — is
-// gob-encoded into Envelope.Payload. This gives three properties the paper
-// depends on: (1) message sizes are real, so the "total number of messages
-// generated per time unit" and byte-traffic statistics are meaningful;
-// (2) no accidental pointer sharing between sites; (3) the simulated and
-// TCP transports carry byte-identical traffic.
+// encoded into Envelope.Payload before delivery. This gives three
+// properties the paper depends on: (1) message sizes are real, so the
+// "total number of messages generated per time unit" and byte-traffic
+// statistics are meaningful; (2) no accidental pointer sharing between
+// sites; (3) the simulated and TCP transports carry byte-identical
+// traffic. Senders attach the typed Body and let the transport encode it
+// at flush time with the codec the connection negotiated (binary between
+// current peers, gob toward old ones).
 package wire
 
 import (
@@ -73,6 +77,11 @@ const (
 	// stability).
 	KindTermQuery     // election: promise a ballot, report state + eb
 	KindTermPreDecide // elected initiator's pre-decision broadcast
+
+	// Codec negotiation (appended for wire-number stability): the first
+	// envelope of a batched connection direction announces the body codec
+	// the sender accepts (see HelloBody). Old peers drop the unknown kind.
+	KindCodecHello
 )
 
 var kindNames = map[MsgKind]string{
@@ -101,6 +110,7 @@ var kindNames = map[MsgKind]string{
 	KindResetStats:    "ResetStats",
 	KindGetHistory:    "GetHistory",
 	KindSubmitTx:      "SubmitTx",
+	KindCodecHello:    "CodecHello",
 }
 
 // String names the kind for logs and traces.
@@ -125,8 +135,20 @@ type Envelope struct {
 	// framing spends one flag bit). Receivers record their fragment of the
 	// distributed trace under this ID.
 	Trace uint64
-	// Payload is the gob-encoded body; its type is determined by Kind.
+	// Payload is the encoded body (Codec says which encoding); its type is
+	// determined by Kind. Local senders leave it nil and attach Body
+	// instead — the transport encodes at flush time with the codec the
+	// connection negotiated.
 	Payload []byte
+	// Body is the typed body before encoding. It never crosses the wire:
+	// transports flatten it into Payload (Flatten) and must nil it first on
+	// paths that gob-encode whole envelopes, so legacy streams stay
+	// byte-identical to pre-codec senders (gob omits nil/zero fields).
+	Body Body
+	// Codec identifies Payload's encoding. Zero (CodecGob) matches every
+	// envelope from pre-codec peers; the batched framing carries it in a
+	// flag bit, and legacy gob connections only ever see gob payloads.
+	Codec CodecID
 }
 
 // Size returns the approximate on-wire size of the envelope in bytes,
@@ -136,13 +158,62 @@ func (e *Envelope) Size() int {
 	return len(e.From) + len(e.To) + 2 /*kind*/ + 8 /*corr*/ + 1 /*reply*/ + len(e.Payload)
 }
 
-// Marshal gob-encodes a message body into payload bytes.
+// Flatten encodes Body into Payload with the given codec and nils Body, so
+// the envelope is safe to gob-encode whole (legacy framing) or deliver
+// across site boundaries (no pointer sharing). Envelopes without a Body —
+// pre-encoded or raw-payload ones — are left untouched.
+func (e *Envelope) Flatten(codec CodecID) error {
+	if e.Body == nil {
+		return nil
+	}
+	if codec == CodecBinary {
+		e.Payload = e.Body.AppendTo(nil)
+	} else {
+		p, err := Marshal(e.Body)
+		if err != nil {
+			return err
+		}
+		e.Payload = p
+	}
+	e.Codec = codec
+	e.Body = nil
+	return nil
+}
+
+// Reencode transcodes an already-flattened Payload to the given codec via
+// the body registry — the path for a binary-encoded envelope that must
+// leave on a gob-only connection. Envelopes already in the target codec
+// (or with nothing to transcode) are left untouched.
+func (e *Envelope) Reencode(codec CodecID) error {
+	if e.Codec == codec || len(e.Payload) == 0 {
+		return nil
+	}
+	body, ok := NewBody(e.Kind, e.Reply)
+	if !ok {
+		return fmt.Errorf("wire: no registered body for %v reply=%v", e.Kind, e.Reply)
+	}
+	if err := (Payload{Codec: e.Codec, Bytes: e.Payload}).Decode(body); err != nil {
+		return err
+	}
+	e.Body = body
+	return e.Flatten(codec)
+}
+
+// Marshal gob-encodes a message body into payload bytes — the negotiation
+// fallback codec. The encode buffer is pooled; the per-message encoder
+// (and its type-info resend) is inherent to gob and is exactly what the
+// binary codec retires from the hot path.
 func Marshal(body any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(body); err != nil {
+	buf := gobBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(body); err != nil {
+		gobBufPool.Put(buf)
 		return nil, fmt.Errorf("wire: marshal %T: %w", body, err)
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	gobBufPool.Put(buf)
+	return out, nil
 }
 
 // Unmarshal gob-decodes payload bytes into the body pointed to by out.

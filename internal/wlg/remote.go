@@ -17,8 +17,7 @@ type RemoteSubmitter struct {
 
 // Submit implements Submitter: a synchronous SubmitTx RPC to the home site.
 func (r RemoteSubmitter) Submit(ctx context.Context, home model.SiteID, ops []model.Op) model.Outcome {
-	var resp wire.SubmitTxResp
-	err := r.Peer.Call(ctx, home, wire.KindSubmitTx, wire.SubmitTxReq{Ops: ops}, &resp)
+	resp, err := wire.Call[wire.SubmitTxResp](ctx, r.Peer, home, wire.KindSubmitTx, &wire.SubmitTxReq{Ops: ops})
 	if err != nil {
 		return model.Outcome{Committed: false, Cause: model.CauseOf(err), HomeSite: home}
 	}
