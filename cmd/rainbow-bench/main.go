@@ -53,6 +53,8 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "measured load duration")
 	zipf := flag.Float64("zipf", 1.2, "Zipf s parameter for item skew (<= 1 selects uniform access)")
 	readRate := flag.Float64("read-rate", 0.75, "probability an operation is a read")
+	addRate := flag.Float64("add-rate", 0, "probability a non-read operation is a blind commutative add")
+	hotSplit := flag.Bool("hot-split", true, "2PL split execution of hot-item adds (false = cc_no_split ablation)")
 	opsPerTx := flag.Int("ops", 4, "operations per transaction")
 	items := flag.Int("items", 256, "database size (items, replicated everywhere)")
 	hot := flag.Int("hot", 0, "restrict access to the first N items (0 = all)")
@@ -83,9 +85,9 @@ func main() {
 
 	res, err := run(benchConfig{
 		sites: *nSites, clients: *clients, duration: *duration,
-		zipf: *zipf, readRate: *readRate, opsPerTx: *opsPerTx,
+		zipf: *zipf, readRate: *readRate, addRate: *addRate, opsPerTx: *opsPerTx,
 		items: *items, hot: *hot, shards: *shards,
-		protocols: schema.Protocols{RCP: *rcp, CCP: *ccp, ACP: *acp},
+		protocols: schema.Protocols{RCP: *rcp, CCP: *ccp, ACP: *acp, NoHotSplit: !*hotSplit},
 		pipeline:  schema.PipelinePolicy{Disable: !*pipeOn, Depth: *pipeDepth, MaxBatch: *pipeBatch},
 		netOpts:   tcpnet.Options{LegacyFraming: *netLegacy, MaxBatch: *netMaxBatch, FlushDelay: *netFlushDelay, Codec: *netCodec},
 		seed:      *seed, name: *name,
@@ -108,6 +110,11 @@ func main() {
 		res.Metrics["pipe-batch"], res.Metrics["net-coalesce"], res.Metrics["net-bytes-per-flush"])
 	fmt.Printf("  net codec: %d binary / %d gob bodies sent\n",
 		int64(res.Metrics["net-binary-bodies"]), int64(res.Metrics["net-gob-bodies"]))
+	if res.Metrics["cc-adds"] > 0 {
+		fmt.Printf("  hot-key split: %d adds (%d lock-free), %d splits / %d drains\n",
+			int64(res.Metrics["cc-adds"]), int64(res.Metrics["cc-split-adds"]),
+			int64(res.Metrics["cc-splits"]), int64(res.Metrics["cc-drains"]))
+	}
 	fmt.Print(res.traceReport)
 
 	if *out != "" {
@@ -119,18 +126,18 @@ func main() {
 }
 
 type benchConfig struct {
-	sites, clients       int
-	duration             time.Duration
-	zipf, readRate       float64
-	opsPerTx, items, hot int
-	shards               int
-	protocols            schema.Protocols
-	pipeline             schema.PipelinePolicy
-	netOpts              tcpnet.Options
-	seed                 int64
-	name                 string
-	traceN               int
-	traceRate            float64
+	sites, clients          int
+	duration                time.Duration
+	zipf, readRate, addRate float64
+	opsPerTx, items, hot    int
+	shards                  int
+	protocols               schema.Protocols
+	pipeline                schema.PipelinePolicy
+	netOpts                 tcpnet.Options
+	seed                    int64
+	name                    string
+	traceN                  int
+	traceRate               float64
 }
 
 func run(bc benchConfig) (result, error) {
@@ -194,9 +201,15 @@ func run(bc benchConfig) (result, error) {
 		}
 	}()
 
+	// Profile.withDefaults treats ReadFraction 0 as unset; an explicit
+	// -read-rate 0 (pure-write/add workload) must stay zero.
+	readFraction := bc.readRate
+	if readFraction == 0 {
+		readFraction = -1
+	}
 	gen := wlg.New(wlg.Profile{
 		Sites: exp.Sites, Items: itemIDs,
-		OpsPerTx: bc.opsPerTx, ReadFraction: bc.readRate,
+		OpsPerTx: bc.opsPerTx, ReadFraction: readFraction, AddFraction: bc.addRate,
 		Zipf: bc.zipf, HotItems: bc.hot, Seed: bc.seed,
 		Transactions: 1, // unused: the closed loop below is duration-bound
 	})
@@ -220,7 +233,7 @@ func run(bc benchConfig) (result, error) {
 				ops := gen.NextTx()
 				readOnly := true
 				for _, op := range ops {
-					if op.Kind == model.OpWrite {
+					if op.Kind != model.OpRead {
 						readOnly = false
 						break
 					}
@@ -266,6 +279,10 @@ func run(bc benchConfig) (result, error) {
 		totals.NetSentBytes += s.NetSentBytes
 		totals.NetBinaryBodies += s.NetBinaryBodies
 		totals.NetGobBodies += s.NetGobBodies
+		totals.CCAdds += s.CCAdds
+		totals.CCSplitAdds += s.CCSplitAdds
+		totals.CCSplits += s.CCSplits
+		totals.CCDrains += s.CCDrains
 	}
 
 	metrics := map[string]float64{
@@ -285,6 +302,10 @@ func run(bc benchConfig) (result, error) {
 		"net-bytes-per-flush": totals.NetBytesPerFlush(),
 		"net-binary-bodies":   float64(totals.NetBinaryBodies),
 		"net-gob-bodies":      float64(totals.NetGobBodies),
+		"cc-adds":             float64(totals.CCAdds),
+		"cc-split-adds":       float64(totals.CCSplitAdds),
+		"cc-splits":           float64(totals.CCSplits),
+		"cc-drains":           float64(totals.CCDrains),
 	}
 	res := result{Name: bc.name, Iterations: committed + aborted, Metrics: metrics}
 	if bc.traceN > 0 {

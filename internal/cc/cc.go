@@ -52,6 +52,20 @@ type Manager interface {
 	// TryPreWrite is PreWrite's non-blocking variant; see TryRead.
 	TryPreWrite(tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error)
 
+	// PreAdd validates a commutative blind-add intent (delta is merged into
+	// the copy at commit, never observed) and returns the copy's current
+	// version. Because blind adds commute, a manager may admit concurrent
+	// adds to the same item without mutual exclusion: 2PL's hot-item split
+	// execution admits them lock-free once an item crosses the contention
+	// threshold. The intent is buffered like a pre-write and carries the
+	// delta flag into HoldsIntents/Commit/Abort.
+	PreAdd(ctx context.Context, tx model.TxID, ts model.Timestamp, item model.ItemID, delta int64) (model.Version, error)
+
+	// TryPreAdd is PreAdd's non-blocking variant; see TryRead. Unlike
+	// TryPreWrite it may succeed under contention (split admission), which is
+	// exactly the hot-key case the pipeline sequencers care about.
+	TryPreAdd(tx model.TxID, ts model.Timestamp, item model.ItemID, delta int64) (model.Version, error)
+
 	// Commit installs the transaction's write records into the store and
 	// releases all CC state held for tx.
 	Commit(tx model.TxID, writes []model.WriteRecord) error
@@ -91,6 +105,10 @@ type Stats struct {
 	Deadlocks  uint64 // 2PL only
 	Timeouts   uint64 // lock or intent wait timeouts
 	Waits      uint64
+	Adds       uint64 // blind-add intents admitted (all managers)
+	SplitAdds  uint64 // adds admitted lock-free through a split slot (2PL)
+	Splits     uint64 // hot items moved into split execution (2PL)
+	Drains     uint64 // split items drained back to locking (2PL)
 }
 
 // Options configures manager construction.
@@ -107,6 +125,14 @@ type Options struct {
 	// lock_wait stage histogram) and attaches wait spans to sampled
 	// transactions; only actual waits pay for it.
 	Tracer *trace.Tracer
+	// NoSplit disables 2PL's hot-item split execution: blind adds then take
+	// exclusive locks exactly like absolute writes (the cc_no_split /
+	// -hot-split=false ablation baseline).
+	NoSplit bool
+	// SplitThreshold is the number of contended blind-add admissions an item
+	// must accumulate before 2PL splits it; <= 0 selects
+	// DefaultSplitThreshold.
+	SplitThreshold int
 }
 
 // DefaultLockTimeout is the default bound on CC waits; it doubles as the
@@ -118,6 +144,18 @@ const DefaultLockTimeout = 2 * time.Second
 // abort: the operation left no state behind and may be retried through the
 // blocking path.
 var ErrWouldBlock = errors.New("cc: would block")
+
+// ErrTxFinished is returned (wrapped in an AbortCC) for operations arriving
+// on behalf of a transaction this manager already committed or aborted.
+// Unlike ErrWouldBlock it is terminal: retrying through the blocking path
+// can never succeed (transaction ids are never reused), so the pipeline
+// sequencers must refuse the operation instead of spilling it to burn a
+// full lock timeout.
+var ErrTxFinished = &model.AbortError{Cause: model.AbortCC, Reason: "transaction already finished at this site"}
+
+// DefaultSplitThreshold is the contended-add count at which 2PL moves an
+// item into split execution.
+const DefaultSplitThreshold = 8
 
 // waitStart stamps the beginning of an intent-gate wait when a tracer is
 // attached (zero otherwise, so the fast path never reads the clock).

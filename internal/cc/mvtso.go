@@ -117,9 +117,14 @@ func (m *MVTSO) Read(ctx context.Context, tx model.TxID, ts model.Timestamp, ite
 		}
 		if own, ok := it.intents[tx]; ok {
 			v := it.versions[it.visible(ts)]
+			val := own.value
+			if own.delta {
+				// Delta intents merge into the chain tail at commit.
+				val += it.versions[len(it.versions)-1].value
+			}
 			m.stats.Reads++
 			m.mu.Unlock()
-			return own.value, v.ver, nil
+			return val, v.ver, nil
 		}
 		vi := it.visible(ts)
 		v := &it.versions[vi]
@@ -172,8 +177,13 @@ func (m *MVTSO) TryRead(tx model.TxID, ts model.Timestamp, item model.ItemID) (i
 	}
 	if own, ok := it.intents[tx]; ok {
 		v := it.versions[it.visible(ts)]
+		val := own.value
+		if own.delta {
+			// Delta intents merge into the chain tail at commit.
+			val += it.versions[len(it.versions)-1].value
+		}
 		m.stats.Reads++
-		return own.value, v.ver, nil
+		return val, v.ver, nil
 	}
 	vi := it.visible(ts)
 	v := &it.versions[vi]
@@ -193,6 +203,18 @@ func (m *MVTSO) TryRead(tx model.TxID, ts model.Timestamp, item model.ItemID) (i
 // per copy (wait until no foreign intent is pending) so the version numbers
 // reported to the quorum coordinator are unique.
 func (m *MVTSO) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error) {
+	return m.preWrite(ctx, tx, ts, item, value, false)
+}
+
+// PreAdd implements Manager: a blind add is a pre-write with a delta-flagged
+// intent, still serialized per copy; at commit the delta merges into the
+// chain tail (chain-local, so the committed version value stays consistent
+// with the store's delta apply).
+func (m *MVTSO) PreAdd(ctx context.Context, tx model.TxID, ts model.Timestamp, item model.ItemID, delta int64) (model.Version, error) {
+	return m.preWrite(ctx, tx, ts, item, delta, true)
+}
+
+func (m *MVTSO) preWrite(ctx context.Context, tx model.TxID, ts model.Timestamp, item model.ItemID, value int64, delta bool) (model.Version, error) {
 	ctx, cancel := context.WithTimeout(ctx, m.opts.LockTimeout)
 	defer cancel()
 	m.mu.Lock()
@@ -249,13 +271,16 @@ func (m *MVTSO) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp,
 		m.stats.Rejections++
 		return 0, model.Abortf(model.AbortCC, "mvtso: pre-write of %s at %s rejected, version read at %s", item, ts, tail.rts)
 	}
-	it.intents[tx] = tsoIntent{ts: ts, value: value}
+	mergeTSOIntent(it.intents, tx, tsoIntent{ts: ts, value: value, delta: delta})
 	if m.byTx[tx] == nil {
 		m.byTx[tx] = make(map[model.ItemID]bool)
 	}
 	m.byTx[tx][item] = true
 	m.holders.touch(tx)
 	m.stats.PreWrites++
+	if delta {
+		m.stats.Adds++
+	}
 	// Report the copy's LATEST committed store version, not the ts-visible
 	// one: the quorum coordinator derives the install version from the
 	// maximum reported base, which must exceed every version already
@@ -272,6 +297,15 @@ func (m *MVTSO) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp,
 // TryPreWrite implements Manager: PreWrite without the per-copy
 // serialization wait — any pending foreign intent answers ErrWouldBlock.
 func (m *MVTSO) TryPreWrite(tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error) {
+	return m.tryPreWrite(tx, ts, item, value, false)
+}
+
+// TryPreAdd implements Manager; see PreAdd.
+func (m *MVTSO) TryPreAdd(tx model.TxID, ts model.Timestamp, item model.ItemID, delta int64) (model.Version, error) {
+	return m.tryPreWrite(tx, ts, item, delta, true)
+}
+
+func (m *MVTSO) tryPreWrite(tx model.TxID, ts model.Timestamp, item model.ItemID, value int64, delta bool) (model.Version, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	it, err := m.item(item)
@@ -294,13 +328,16 @@ func (m *MVTSO) TryPreWrite(tx model.TxID, ts model.Timestamp, item model.ItemID
 		m.stats.Rejections++
 		return 0, model.Abortf(model.AbortCC, "mvtso: pre-write of %s at %s rejected, version read at %s", item, ts, tail.rts)
 	}
-	it.intents[tx] = tsoIntent{ts: ts, value: value}
+	mergeTSOIntent(it.intents, tx, tsoIntent{ts: ts, value: value, delta: delta})
 	if m.byTx[tx] == nil {
 		m.byTx[tx] = make(map[model.ItemID]bool)
 	}
 	m.byTx[tx][item] = true
 	m.holders.touch(tx)
 	m.stats.PreWrites++
+	if delta {
+		m.stats.Adds++
+	}
 	c, ok := m.store.Get(item)
 	if !ok {
 		delete(it.intents, tx)
@@ -331,6 +368,14 @@ func (m *MVTSO) Commit(tx model.TxID, writes []model.WriteRecord) error {
 		}
 		delete(it.intents, tx)
 		nv := mvVersion{ts: in.ts, value: in.value, ver: ver[item]}
+		if in.delta {
+			// Chain-local merge: the committed version's value is the chain
+			// tail plus the delta, mirroring the store's delta apply. (Safe
+			// to read the tail here: pre-writes serialize per copy, so no
+			// other version can have slipped in since this intent was
+			// admitted.)
+			nv.value = it.versions[len(it.versions)-1].value + in.value
+		}
 		it.versions = append(it.versions, nv)
 		sort.Slice(it.versions, func(i, j int) bool { return it.versions[i].ts.Less(it.versions[j].ts) })
 		if len(it.versions) > maxVersionChain {
@@ -390,7 +435,7 @@ func (m *MVTSO) Reinstate(tx model.TxID, ts model.Timestamp, writes []model.Writ
 		if err != nil {
 			return err
 		}
-		it.intents[tx] = tsoIntent{ts: ts, value: w.Value}
+		it.intents[tx] = tsoIntent{ts: ts, value: w.Value, delta: w.Delta}
 		if m.byTx[tx] == nil {
 			m.byTx[tx] = make(map[model.ItemID]bool)
 		}

@@ -1,0 +1,430 @@
+package cc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func addRec(item model.ItemID, delta int64, ver model.Version) model.WriteRecord {
+	return model.WriteRecord{Item: item, Value: delta, Version: ver, Delta: true}
+}
+
+// --- Conformance: blind adds on every CCP ---
+
+func TestConformanceAddCommitsDelta(t *testing.T) {
+	for name, m := range managers(t) {
+		if _, err := m.PreAdd(bg(), tx(1), ts(1), "x", 7); err != nil {
+			t.Errorf("%s: preadd: %v", name, err)
+			continue
+		}
+		if err := m.Commit(tx(1), []model.WriteRecord{addRec("x", 7, 1)}); err != nil {
+			t.Errorf("%s: commit: %v", name, err)
+			continue
+		}
+		v, _, err := m.Read(bg(), tx(2), ts(2), "x")
+		if err != nil || v != 17 {
+			t.Errorf("%s: read after add = %d (%v), want 17", name, v, err)
+		}
+		m.Abort(tx(2))
+		if m.Stats().Adds == 0 {
+			t.Errorf("%s: add not counted", name)
+		}
+	}
+}
+
+func TestConformanceAddReadYourOwnDelta(t *testing.T) {
+	for name, m := range managers(t) {
+		if _, err := m.PreAdd(bg(), tx(1), ts(1), "x", 5); err != nil {
+			t.Errorf("%s: preadd: %v", name, err)
+			continue
+		}
+		v, _, err := m.Read(bg(), tx(1), ts(1), "x")
+		if err != nil || v != 15 {
+			t.Errorf("%s: read-own-add = %d (%v), want 15", name, v, err)
+		}
+		m.Abort(tx(1))
+	}
+}
+
+func TestConformanceRepeatedAddsMerge(t *testing.T) {
+	for name, m := range managers(t) {
+		if _, err := m.PreAdd(bg(), tx(1), ts(1), "x", 3); err != nil {
+			t.Errorf("%s: preadd 1: %v", name, err)
+			continue
+		}
+		if _, err := m.PreAdd(bg(), tx(1), ts(1), "x", 4); err != nil {
+			t.Errorf("%s: preadd 2: %v", name, err)
+			continue
+		}
+		// The coordinator's session merges repeated deltas into one record.
+		if err := m.Commit(tx(1), []model.WriteRecord{addRec("x", 7, 1)}); err != nil {
+			t.Errorf("%s: commit: %v", name, err)
+			continue
+		}
+		v, _, err := m.Read(bg(), tx(2), ts(2), "x")
+		if err != nil || v != 17 {
+			t.Errorf("%s: read = %d (%v), want 17", name, v, err)
+		}
+		m.Abort(tx(2))
+	}
+}
+
+func TestConformanceAbortDiscardsAdd(t *testing.T) {
+	for name, m := range managers(t) {
+		if _, err := m.PreAdd(bg(), tx(1), ts(1), "x", 9); err != nil {
+			t.Errorf("%s: preadd: %v", name, err)
+			continue
+		}
+		m.Abort(tx(1))
+		v, _, err := m.Read(bg(), tx(2), ts(2), "x")
+		if err != nil || v != 10 {
+			t.Errorf("%s: read after aborted add = %d (%v), want 10", name, v, err)
+		}
+		m.Abort(tx(2))
+	}
+}
+
+// --- 2PL split execution ---
+
+// splitManager builds a TwoPL with a low split threshold for the tests.
+func splitManager(threshold int) *TwoPL {
+	return NewTwoPL(newStore(), Options{
+		LockTimeout:    500 * time.Millisecond,
+		SplitThreshold: threshold,
+	})
+}
+
+// heat drives item past the split threshold: while holder keeps the lock,
+// each TryPreAdd failure bumps the contention counter; after the holder
+// releases, the next attempt splits the item.
+func heat(t *testing.T, m *TwoPL, item model.ItemID, threshold int) {
+	t.Helper()
+	holder := tx(100)
+	if _, err := m.PreAdd(bg(), holder, ts(100), item, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < threshold; i++ {
+		if _, err := m.TryPreAdd(tx(101+uint64(i)), ts(101), item, 1); err != ErrWouldBlock {
+			t.Fatalf("contended TryPreAdd = %v, want ErrWouldBlock", err)
+		}
+	}
+	if err := m.Commit(holder, []model.WriteRecord{addRec(item, 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func Test2PLSplitFormsAndAdmitsLockFree(t *testing.T) {
+	m := splitManager(2)
+	heat(t, m, "x", 2)
+
+	// The next add splits the item and admits through the slot.
+	if _, err := m.TryPreAdd(tx(1), ts(1), "x", 5); err != nil {
+		t.Fatalf("post-heat TryPreAdd: %v", err)
+	}
+	s := m.Stats()
+	if s.Splits != 1 || s.SplitAdds == 0 {
+		t.Fatalf("splits=%d splitAdds=%d, want 1 and >0", s.Splits, s.SplitAdds)
+	}
+	if m.SplitItems() != 1 {
+		t.Fatalf("SplitItems = %d, want 1", m.SplitItems())
+	}
+	// Concurrent adds all admit without blocking and reconcile exactly.
+	var wg sync.WaitGroup
+	for i := uint64(2); i <= 9; i++ {
+		wg.Add(1)
+		go func(i uint64) {
+			defer wg.Done()
+			if _, err := m.PreAdd(bg(), tx(i), ts(i), "x", int64(i)); err != nil {
+				t.Errorf("concurrent add %d: %v", i, err)
+				return
+			}
+			if err := m.Commit(tx(i), []model.WriteRecord{addRec("x", int64(i), 1)}); err != nil {
+				t.Errorf("concurrent commit %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	m.Commit(tx(1), []model.WriteRecord{addRec("x", 5, 1)})
+
+	v, _, err := m.Read(bg(), tx(50), ts(50), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 initial + 1 (heat holder) + 5 (tx1) + sum(2..9)=44.
+	if v != 60 {
+		t.Fatalf("reconciled value = %d, want 60", v)
+	}
+	m.Abort(tx(50))
+}
+
+func Test2PLSplitReadDrains(t *testing.T) {
+	m := splitManager(2)
+	heat(t, m, "x", 2)
+	if _, err := m.TryPreAdd(tx(1), ts(1), "x", 5); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct {
+		v   int64
+		err error
+	}, 1)
+	go func() {
+		v, _, err := m.Read(bg(), tx(2), ts(2), "x")
+		done <- struct {
+			v   int64
+			err error
+		}{v, err}
+	}()
+	select {
+	case r := <-done:
+		t.Fatalf("reader returned %d (%v) before the slot drained", r.v, r.err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// The uncommitted slot add resolves; the drain completes and the reader
+	// sees the reconciled value.
+	if err := m.Commit(tx(1), []model.WriteRecord{addRec("x", 5, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	r := <-done
+	if r.err != nil || r.v != 16 { // 10 + 1 (heat) + 5
+		t.Fatalf("drained read = %d (%v), want 16", r.v, r.err)
+	}
+	s := m.Stats()
+	if s.Drains != 1 {
+		t.Fatalf("Drains = %d, want 1", s.Drains)
+	}
+	if m.SplitItems() != 0 {
+		t.Fatalf("SplitItems = %d after drain, want 0", m.SplitItems())
+	}
+	m.Abort(tx(2))
+}
+
+func Test2PLSplitWriteDrainsAndOverwrites(t *testing.T) {
+	m := splitManager(2)
+	heat(t, m, "x", 2)
+	if _, err := m.TryPreAdd(tx(1), ts(1), "x", 5); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx(1), []model.WriteRecord{addRec("x", 5, 1)})
+
+	// An absolute write drains the slot, then installs over the reconciled
+	// value.
+	if _, err := m.PreWrite(bg(), tx(2), ts(2), "x", 999); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(tx(2), []model.WriteRecord{rec("x", 999, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := m.Read(bg(), tx(3), ts(3), "x")
+	if err != nil || v != 999 {
+		t.Fatalf("read after write = %d (%v), want 999", v, err)
+	}
+	m.Abort(tx(3))
+}
+
+func Test2PLNoSplitAblation(t *testing.T) {
+	m := NewTwoPL(newStore(), Options{
+		LockTimeout:    500 * time.Millisecond,
+		SplitThreshold: 1,
+		NoSplit:        true,
+	})
+	holder := tx(1)
+	if _, err := m.PreAdd(bg(), holder, ts(1), "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Contended adds never split with the ablation on, no matter how hot.
+	for i := uint64(0); i < 20; i++ {
+		if _, err := m.TryPreAdd(tx(2+i), ts(2), "x", 1); err != ErrWouldBlock {
+			t.Fatalf("TryPreAdd under ablation = %v, want ErrWouldBlock", err)
+		}
+	}
+	// A blocked add behaves exactly like a blocked write: it waits for the
+	// lock and proceeds after release.
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.PreAdd(bg(), tx(50), ts(50), "x", 2)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("add not blocked under ablation (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Commit(holder, []model.WriteRecord{addRec("x", 1, 1)})
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx(50), []model.WriteRecord{addRec("x", 2, 2)})
+	s := m.Stats()
+	if s.Splits != 0 || s.SplitAdds != 0 {
+		t.Fatalf("ablation split stats: splits=%d splitAdds=%d, want 0/0", s.Splits, s.SplitAdds)
+	}
+	v, _, err := m.Read(bg(), tx(60), ts(60), "x")
+	if err != nil || v != 13 {
+		t.Fatalf("value = %d (%v), want 13", v, err)
+	}
+	m.Abort(tx(60))
+}
+
+func Test2PLPreAddRetriesUntilRelease(t *testing.T) {
+	m := splitManager(50) // high threshold: the retry admits via the lock, not a split
+	if _, err := m.PreWrite(bg(), tx(1), ts(1), "x", 11); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.PreAdd(bg(), tx(2), ts(2), "x", 3)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("add not blocked behind writer (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Commit(tx(1), []model.WriteRecord{rec("x", 11, 1)})
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx(2), []model.WriteRecord{addRec("x", 3, 1)})
+	v, _, err := m.Read(bg(), tx(3), ts(3), "x")
+	if err != nil || v != 14 {
+		t.Fatalf("value = %d (%v), want 14", v, err)
+	}
+	m.Abort(tx(3))
+}
+
+func Test2PLPreAddTimesOutUnderHeldLock(t *testing.T) {
+	m := NewTwoPL(newStore(), Options{LockTimeout: 50 * time.Millisecond, SplitThreshold: 1000})
+	if _, err := m.PreWrite(bg(), tx(1), ts(1), "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.PreAdd(bg(), tx(2), ts(2), "x", 1)
+	if model.CauseOf(err) != model.AbortCC {
+		t.Fatalf("held-lock add = %v, want CC abort", err)
+	}
+	m.Abort(tx(1))
+	m.Abort(tx(2))
+}
+
+// --- Finished-transaction fast fail (the never-spill bug) ---
+
+func Test2PLFinishedTxRefusedNotWouldBlock(t *testing.T) {
+	m := NewTwoPL(newStore(), Options{LockTimeout: time.Second})
+	if _, err := m.PreWrite(bg(), tx(1), ts(1), "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx(1), []model.WriteRecord{rec("x", 1, 1)})
+
+	// Operations for the finished transaction must fail terminally, NOT
+	// report ErrWouldBlock: the pipeline spills would-block operations to a
+	// blocking retry that burns a full lock timeout and can never succeed.
+	if _, _, err := m.TryRead(tx(1), ts(1), "x"); err != ErrTxFinished {
+		t.Errorf("TryRead after commit = %v, want ErrTxFinished", err)
+	}
+	if _, err := m.TryPreWrite(tx(1), ts(1), "x", 2); err != ErrTxFinished {
+		t.Errorf("TryPreWrite after commit = %v, want ErrTxFinished", err)
+	}
+	if _, err := m.TryPreAdd(tx(1), ts(1), "x", 2); err != ErrTxFinished {
+		t.Errorf("TryPreAdd after commit = %v, want ErrTxFinished", err)
+	}
+	// The blocking variants refuse too, and the error is a terminal CC
+	// abort so the serve path error-replies instead of retrying.
+	if _, _, err := m.Read(bg(), tx(1), ts(1), "x"); err != ErrTxFinished {
+		t.Errorf("Read after commit = %v, want ErrTxFinished", err)
+	}
+	if model.CauseOf(ErrTxFinished) != model.AbortCC {
+		t.Errorf("ErrTxFinished cause = %v, want AbortCC", model.CauseOf(ErrTxFinished))
+	}
+
+	// Aborted transactions are tombstoned the same way.
+	if _, err := m.PreWrite(bg(), tx(2), ts(2), "y", 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Abort(tx(2))
+	if _, err := m.TryPreWrite(tx(2), ts(2), "y", 2); err != ErrTxFinished {
+		t.Errorf("TryPreWrite after abort = %v, want ErrTxFinished", err)
+	}
+}
+
+// --- TSO/MVTSO delta intents ---
+
+func TestTSOAddIntentsMergeAndCommit(t *testing.T) {
+	m := NewTSO(newStore(), Options{LockTimeout: time.Second})
+	if _, err := m.PreAdd(bg(), tx(1), ts(5), "x", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PreAdd(bg(), tx(1), ts(5), "x", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(tx(1), []model.WriteRecord{addRec("x", 7, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := m.Read(bg(), tx(2), ts(10), "x")
+	if err != nil || v != 17 {
+		t.Fatalf("read = %d (%v), want 17", v, err)
+	}
+	if m.Stats().Adds != 2 {
+		t.Errorf("Adds = %d, want 2", m.Stats().Adds)
+	}
+}
+
+func TestMVTSOAddChainsOnTail(t *testing.T) {
+	m := NewMVTSO(newStore(), Options{LockTimeout: time.Second})
+	// Install an absolute write, then a later delta: the new version's value
+	// is the chain tail plus the delta.
+	if _, err := m.PreWrite(bg(), tx(1), ts(10), "x", 100); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx(1), []model.WriteRecord{rec("x", 100, 1)})
+	if _, err := m.PreAdd(bg(), tx(2), ts(20), "x", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(tx(2), []model.WriteRecord{addRec("x", 5, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, err := m.Read(bg(), tx(3), ts(30), "x"); err != nil || v != 105 {
+		t.Fatalf("tail read = %d (%v), want 105", v, err)
+	}
+	// Historical read before the delta still sees the absolute value.
+	if v, _, err := m.Read(bg(), tx(4), ts(15), "x"); err != nil || v != 100 {
+		t.Fatalf("historical read = %d (%v), want 100", v, err)
+	}
+}
+
+func TestConformanceReinstateAddProtects(t *testing.T) {
+	// Recovery reinstates an in-doubt blind add; a conflicting reader must
+	// not slip past it, and resolution reconciles the delta.
+	for name, m := range managers(t) {
+		if err := m.Reinstate(tx(1), ts(1), []model.WriteRecord{addRec("x", 4, 1)}); err != nil {
+			t.Fatalf("%s: reinstate: %v", name, err)
+		}
+		done := make(chan struct {
+			v   int64
+			err error
+		}, 1)
+		go func() {
+			v, _, err := m.Read(bg(), tx(2), ts(2), "x")
+			done <- struct {
+				v   int64
+				err error
+			}{v, err}
+		}()
+		select {
+		case r := <-done:
+			if r.err == nil {
+				t.Errorf("%s: read of in-doubt add returned %d", name, r.v)
+			}
+		case <-time.After(20 * time.Millisecond):
+			m.Commit(tx(1), []model.WriteRecord{addRec("x", 4, 1)})
+			r := <-done
+			if r.err == nil && r.v != 14 {
+				t.Errorf("%s: reader after resolution saw %d, want 14", name, r.v)
+			}
+		}
+		m.Abort(tx(2))
+		m.Abort(tx(1))
+	}
+}

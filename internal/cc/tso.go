@@ -44,6 +44,22 @@ type tsoItem struct {
 type tsoIntent struct {
 	ts    model.Timestamp
 	value int64
+	// delta marks a commutative blind-add intent: value is merged into the
+	// copy at commit instead of replacing it. TSO/MVTSO gain no concurrency
+	// from commutativity (intents still serialize per copy — the hot-item
+	// split machinery is 2PL's); the flag only rides through to the commit
+	// record so the semantics match across CCPs.
+	delta bool
+}
+
+// mergeTSOIntent buffers in, summing repeated delta intents from the same
+// transaction (a transaction may blind-add the same item more than once);
+// any other repeat overwrites, as before.
+func mergeTSOIntent(intents map[model.TxID]tsoIntent, tx model.TxID, in tsoIntent) {
+	if old, ok := intents[tx]; ok && old.delta && in.delta {
+		in.value += old.value
+	}
+	intents[tx] = in
 }
 
 // NewTSO builds the TSO manager over the site's store.
@@ -96,9 +112,13 @@ func (m *TSO) Read(ctx context.Context, tx model.TxID, ts model.Timestamp, item 
 		if own, ok := it.intents[tx]; ok {
 			// Read-your-writes on the buffered intent.
 			c, _ := m.store.Get(item)
+			val := own.value
+			if own.delta {
+				val += c.Value // delta intents merge, not replace
+			}
 			m.stats.Reads++
 			m.mu.Unlock()
-			return own.value, c.Version, nil
+			return val, c.Version, nil
 		}
 		if ts.Less(it.wts) {
 			m.stats.Rejections++
@@ -148,8 +168,12 @@ func (m *TSO) TryRead(tx model.TxID, ts model.Timestamp, item model.ItemID) (int
 	if own, ok := it.intents[tx]; ok {
 		// Read-your-writes on the buffered intent.
 		c, _ := m.store.Get(item)
+		val := own.value
+		if own.delta {
+			val += c.Value // delta intents merge, not replace
+		}
 		m.stats.Reads++
-		return own.value, c.Version, nil
+		return val, c.Version, nil
 	}
 	if ts.Less(it.wts) {
 		m.stats.Rejections++
@@ -176,6 +200,16 @@ func (m *TSO) TryRead(tx model.TxID, ts model.Timestamp, item model.ItemID) (int
 // the same base version, the coordinator would assign colliding install
 // versions, and one write would be silently lost at shared copies.
 func (m *TSO) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error) {
+	return m.preWrite(ctx, tx, ts, item, value, false)
+}
+
+// PreAdd implements Manager: a blind add is a pre-write with a delta-flagged
+// intent. TSO serializes it per copy exactly like an absolute write.
+func (m *TSO) PreAdd(ctx context.Context, tx model.TxID, ts model.Timestamp, item model.ItemID, delta int64) (model.Version, error) {
+	return m.preWrite(ctx, tx, ts, item, delta, true)
+}
+
+func (m *TSO) preWrite(ctx context.Context, tx model.TxID, ts model.Timestamp, item model.ItemID, value int64, delta bool) (model.Version, error) {
 	ctx, cancel := context.WithTimeout(ctx, m.opts.LockTimeout)
 	defer cancel()
 	m.mu.Lock()
@@ -206,7 +240,7 @@ func (m *TSO) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp, i
 		m.stats.Rejections++
 		return 0, model.Abortf(model.AbortCC, "tso: pre-write of %s at %s rejected, rts=%s wts=%s", item, ts, it.rts, it.wts)
 	}
-	it.intents[tx] = tsoIntent{ts: ts, value: value}
+	mergeTSOIntent(it.intents, tx, tsoIntent{ts: ts, value: value, delta: delta})
 	if m.byTx[tx] == nil {
 		m.byTx[tx] = make(map[model.ItemID]bool)
 	}
@@ -219,12 +253,24 @@ func (m *TSO) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp, i
 		return 0, model.Abortf(model.AbortRCP, "no copy of %s at this site", item)
 	}
 	m.stats.PreWrites++
+	if delta {
+		m.stats.Adds++
+	}
 	return c.Version, nil
 }
 
 // TryPreWrite implements Manager: PreWrite without the per-copy
 // serialization wait — any pending foreign intent answers ErrWouldBlock.
 func (m *TSO) TryPreWrite(tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error) {
+	return m.tryPreWrite(tx, ts, item, value, false)
+}
+
+// TryPreAdd implements Manager; see PreAdd.
+func (m *TSO) TryPreAdd(tx model.TxID, ts model.Timestamp, item model.ItemID, delta int64) (model.Version, error) {
+	return m.tryPreWrite(tx, ts, item, delta, true)
+}
+
+func (m *TSO) tryPreWrite(tx model.TxID, ts model.Timestamp, item model.ItemID, value int64, delta bool) (model.Version, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	it := m.item(item)
@@ -235,7 +281,7 @@ func (m *TSO) TryPreWrite(tx model.TxID, ts model.Timestamp, item model.ItemID, 
 		m.stats.Rejections++
 		return 0, model.Abortf(model.AbortCC, "tso: pre-write of %s at %s rejected, rts=%s wts=%s", item, ts, it.rts, it.wts)
 	}
-	it.intents[tx] = tsoIntent{ts: ts, value: value}
+	mergeTSOIntent(it.intents, tx, tsoIntent{ts: ts, value: value, delta: delta})
 	if m.byTx[tx] == nil {
 		m.byTx[tx] = make(map[model.ItemID]bool)
 	}
@@ -248,6 +294,9 @@ func (m *TSO) TryPreWrite(tx model.TxID, ts model.Timestamp, item model.ItemID, 
 		return 0, model.Abortf(model.AbortRCP, "no copy of %s at this site", item)
 	}
 	m.stats.PreWrites++
+	if delta {
+		m.stats.Adds++
+	}
 	return c.Version, nil
 }
 
@@ -314,7 +363,7 @@ func (m *TSO) Reinstate(tx model.TxID, ts model.Timestamp, writes []model.WriteR
 	defer m.mu.Unlock()
 	for _, w := range writes {
 		it := m.item(w.Item)
-		it.intents[tx] = tsoIntent{ts: ts, value: w.Value}
+		it.intents[tx] = tsoIntent{ts: ts, value: w.Value, delta: w.Delta}
 		if m.byTx[tx] == nil {
 			m.byTx[tx] = make(map[model.ItemID]bool)
 		}

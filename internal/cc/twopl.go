@@ -20,29 +20,96 @@ import (
 // The intent buffer is striped by item hash — the same placement math as
 // the lock table and the store — so concurrent transactions touching
 // different items never contend on a global mutex anywhere on the 2PL path.
+//
+// Hot-item split execution (Doppel-style) rides on top: blind adds
+// (PreAdd/TryPreAdd) normally take exclusive locks like writes, but an item
+// whose adds keep failing the lock fast path is moved into a split slot —
+// subsequent adds are admitted without any lock (deltas commute, so mutual
+// exclusion buys nothing), and their deltas reconcile into the canonical
+// copy through the ordinary commit path (WriteRecord.Delta). Reads and
+// absolute writes of a split item first acquire their lock, then drain the
+// slot — wait for every lock-free admission to commit or abort — restoring
+// plain 2PL for the item until adds re-heat it. The splits map is guarded
+// by one mutex, but only blind adds on split items, failed fast-path
+// acquisitions, and split-item reads/writes ever touch it; the uncontended
+// path is gated by a single atomic counter check.
 type TwoPL struct {
 	store *storage.Store
 	locks *lock.Manager
+	opts  Options
 
 	intents []intentShard
 	mask    uint32
 	holders *holderTracker
 
+	// splitMu guards splits, contended, and every splitSlot's fields. Lock
+	// order: splitMu may be held when taking a lock-table shard mutex
+	// (lock.Manager.Idle), never an intent-stripe mutex, and never the
+	// reverse.
+	splitMu   sync.Mutex
+	splits    map[model.ItemID]*splitSlot
+	contended map[model.ItemID]uint32
+	// numSplit gates every split check on the non-add paths: when zero (the
+	// common case for uniform workloads) reads and writes pay one atomic
+	// load and nothing else.
+	numSplit atomic.Int32
+
+	// finished tombstones transactions that already committed or aborted
+	// here, so late operations fail fast with ErrTxFinished instead of
+	// acquiring locks (or burning a spill goroutine's full lock timeout)
+	// for a transaction that can never prepare. Entries expire after
+	// finishedTTL; the site-level release tombstones remain the durable
+	// safety net behind this fast path.
+	finished [holderShards]struct {
+		mu sync.Mutex
+		m  map[model.TxID]time.Time
+	}
+
 	reads     atomic.Uint64
 	preWrites atomic.Uint64
+	adds      atomic.Uint64
+	splitAdds atomic.Uint64
+	splitCnt  atomic.Uint64
+	drainCnt  atomic.Uint64
+	addWaits  atomic.Uint64
+}
+
+// splitSlot tracks one split item's lock-free blind-add admissions. All
+// fields are guarded by TwoPL.splitMu.
+type splitSlot struct {
+	// active holds the transactions with an admitted, not yet finished
+	// blind-add intent on the item.
+	active map[model.TxID]bool
+	// draining is set by the first reader/writer that needs the item back
+	// under locks; admissions stop and drained closes when active empties.
+	draining bool
+	closed   bool
+	drained  chan struct{}
+}
+
+// wintent is one buffered write intent: the value (or delta), whether it is
+// a commutative blind add, and — for adds admitted lock-free — the split
+// slot that tracks it.
+type wintent struct {
+	value int64
+	delta bool
+	slot  *splitSlot
 }
 
 // intentShard is one stripe of the buffered write intents, keyed tx → item
-// → value. A transaction's intents spread over the stripes of the items it
+// → intent. A transaction's intents spread over the stripes of the items it
 // wrote.
 type intentShard struct {
 	mu      sync.Mutex
-	intents map[model.TxID]map[model.ItemID]int64
+	intents map[model.TxID]map[model.ItemID]wintent
 }
 
 // NewTwoPL builds the 2PL manager over the site's store.
 func NewTwoPL(store *storage.Store, opts Options) *TwoPL {
 	n := shard.Normalize(opts.Shards, lock.MaxShards)
+	if opts.SplitThreshold <= 0 {
+		opts.SplitThreshold = DefaultSplitThreshold
+	}
 	m := &TwoPL{
 		store: store,
 		locks: lock.New(lock.Options{
@@ -51,12 +118,18 @@ func NewTwoPL(store *storage.Store, opts Options) *TwoPL {
 			Shards:                   opts.Shards,
 			Tracer:                   opts.Tracer,
 		}),
-		intents: make([]intentShard, n),
-		mask:    uint32(n - 1),
-		holders: newHolderTracker(),
+		opts:      opts,
+		intents:   make([]intentShard, n),
+		mask:      uint32(n - 1),
+		holders:   newHolderTracker(),
+		splits:    make(map[model.ItemID]*splitSlot),
+		contended: make(map[model.ItemID]uint32),
 	}
 	for i := range m.intents {
-		m.intents[i].intents = make(map[model.TxID]map[model.ItemID]int64)
+		m.intents[i].intents = make(map[model.TxID]map[model.ItemID]wintent)
+	}
+	for i := range m.finished {
+		m.finished[i].m = make(map[model.TxID]time.Time)
 	}
 	return m
 }
@@ -68,18 +141,100 @@ func (m *TwoPL) stripeOf(item model.ItemID) *intentShard {
 // Name implements Manager.
 func (m *TwoPL) Name() string { return "2pl" }
 
-// Read implements Manager: S-lock then read the copy.
+// finishedTTL bounds how long a finished-transaction tombstone is kept: long
+// enough to cover any operation already in flight when the transaction
+// finished (a lock timeout plus slack), short enough that the maps stay
+// small under churn.
+func (m *TwoPL) finishedTTL() time.Duration { return 2 * m.opts.LockTimeout }
+
+// finishedShardOf hashes tx onto a tombstone stripe (same spread as the
+// holder tracker).
+func (m *TwoPL) finishedShardOf(tx model.TxID) *struct {
+	mu sync.Mutex
+	m  map[model.TxID]time.Time
+} {
+	h := uint32(tx.Seq)
+	for i := 0; i < len(tx.Site); i++ {
+		h = h*31 + uint32(tx.Site[i])
+	}
+	return &m.finished[h%holderShards]
+}
+
+// markFinished tombstones a committed/aborted transaction. Expired entries
+// are purged lazily whenever a stripe grows past a bound, so the maps stay
+// proportional to recent churn rather than total history.
+func (m *TwoPL) markFinished(tx model.TxID) {
+	sh := m.finishedShardOf(tx)
+	sh.mu.Lock()
+	if len(sh.m) > 4096 {
+		cutoff := time.Now().Add(-m.finishedTTL())
+		for t, at := range sh.m {
+			if at.Before(cutoff) {
+				delete(sh.m, t)
+			}
+		}
+	}
+	sh.m[tx] = time.Now()
+	sh.mu.Unlock()
+}
+
+// checkFinished returns ErrTxFinished if tx already committed or aborted
+// here (within the tombstone TTL).
+func (m *TwoPL) checkFinished(tx model.TxID) error {
+	sh := m.finishedShardOf(tx)
+	sh.mu.Lock()
+	at, ok := sh.m[tx]
+	sh.mu.Unlock()
+	if ok && time.Since(at) < m.finishedTTL() {
+		return ErrTxFinished
+	}
+	return nil
+}
+
+// isSplit reports whether item is currently split (callers gate on
+// numSplit first so the uncontended path stays lock-free).
+func (m *TwoPL) isSplit(item model.ItemID) bool {
+	m.splitMu.Lock()
+	_, ok := m.splits[item]
+	m.splitMu.Unlock()
+	return ok
+}
+
+// Read implements Manager: S-lock, drain any split, then read the copy.
 func (m *TwoPL) Read(ctx context.Context, tx model.TxID, ts model.Timestamp, item model.ItemID) (int64, model.Version, error) {
+	if err := m.checkFinished(tx); err != nil {
+		return 0, 0, err
+	}
 	if err := m.acquire(ctx, tx, item, lock.Shared); err != nil {
 		return 0, 0, err
+	}
+	if m.numSplit.Load() > 0 {
+		if err := m.drainSplit(ctx, item); err != nil {
+			return 0, 0, err
+		}
 	}
 	return m.finishRead(tx, item)
 }
 
 // TryRead implements Manager: grant the S-lock on the lock manager's fast
-// path or report would-block without queueing.
+// path or report would-block without queueing. A split item always reports
+// would-block — the blocking path must drain the slot first. (The grant, if
+// it happened, is kept: the same transaction's blocking retry re-acquires
+// it as a no-op, and commit/abort releases it either way.)
 func (m *TwoPL) TryRead(tx model.TxID, ts model.Timestamp, item model.ItemID) (int64, model.Version, error) {
+	if err := m.checkFinished(tx); err != nil {
+		return 0, 0, err
+	}
+	if m.numSplit.Load() > 0 && m.isSplit(item) {
+		return 0, 0, ErrWouldBlock
+	}
 	if err := m.locks.TryAcquire(tx, item, lock.Shared); err != nil {
+		return 0, 0, ErrWouldBlock
+	}
+	// Re-check after the grant: a split created concurrently checked the
+	// lock table for idleness, so of the two racing sides one always
+	// observes the other (see splitItemLocked).
+	if m.numSplit.Load() > 0 && m.isSplit(item) {
 		return 0, 0, ErrWouldBlock
 	}
 	m.holders.touch(tx)
@@ -98,47 +253,273 @@ func (m *TwoPL) finishRead(tx model.TxID, item model.ItemID) (int64, model.Versi
 	sh := m.stripeOf(item)
 	sh.mu.Lock()
 	if own, ok := sh.intents[tx][item]; ok {
-		val = own // read-your-writes on the buffered intent
+		if own.delta {
+			val = c.Value + own.value // own blind add folded into the copy
+		} else {
+			val = own.value // read-your-writes on the buffered intent
+		}
 	}
 	sh.mu.Unlock()
 	return val, c.Version, nil
 }
 
-// PreWrite implements Manager: X-lock, buffer the intent, report the
-// current version.
+// PreWrite implements Manager: X-lock, drain any split, buffer the intent,
+// report the current version.
 func (m *TwoPL) PreWrite(ctx context.Context, tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error) {
+	if err := m.checkFinished(tx); err != nil {
+		return 0, err
+	}
 	if err := m.acquire(ctx, tx, item, lock.Exclusive); err != nil {
 		return 0, err
 	}
-	return m.finishPreWrite(tx, item, value)
+	if m.numSplit.Load() > 0 {
+		if err := m.drainSplit(ctx, item); err != nil {
+			return 0, err
+		}
+	}
+	return m.finishPreWrite(tx, item, wintent{value: value})
 }
 
 // TryPreWrite implements Manager: grant the X-lock on the lock manager's
-// fast path or report would-block without queueing.
+// fast path or report would-block without queueing (split items always
+// would-block; see TryRead).
 func (m *TwoPL) TryPreWrite(tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, error) {
+	if err := m.checkFinished(tx); err != nil {
+		return 0, err
+	}
+	if m.numSplit.Load() > 0 && m.isSplit(item) {
+		return 0, ErrWouldBlock
+	}
 	if err := m.locks.TryAcquire(tx, item, lock.Exclusive); err != nil {
 		return 0, ErrWouldBlock
 	}
+	if m.numSplit.Load() > 0 && m.isSplit(item) {
+		return 0, ErrWouldBlock
+	}
 	m.holders.touch(tx)
-	return m.finishPreWrite(tx, item, value)
+	return m.finishPreWrite(tx, item, wintent{value: value})
 }
 
-// finishPreWrite is the post-acquire half of PreWrite: buffer the intent
-// and report the copy's current version.
-func (m *TwoPL) finishPreWrite(tx model.TxID, item model.ItemID, value int64) (model.Version, error) {
+// PreAdd implements Manager: admit a commutative blind add. Split items
+// admit lock-free; otherwise the add takes an exclusive lock like a write
+// (and its contention feeds the split decision).
+//
+// A blocked add does NOT park in the lock queue: FIFO queue hand-off would
+// keep a hot item's lock permanently non-idle, and the split — whose safety
+// check needs an idle instant — could never form. Instead the add retries
+// the non-blocking admission with backoff until it is admitted (by grant or
+// by split) or the lock timeout expires. Spinning adds are invisible to the
+// waits-for graph, so an add-add deadlock falls to the timeout; the exec
+// layer's sorted acquisition keeps multi-item transactions out of that
+// corner.
+func (m *TwoPL) PreAdd(ctx context.Context, tx model.TxID, ts model.Timestamp, item model.ItemID, delta int64) (model.Version, error) {
+	if m.opts.NoSplit {
+		// Ablation baseline: adds behave exactly like absolute writes.
+		if err := m.checkFinished(tx); err != nil {
+			return 0, err
+		}
+		if err := m.acquire(ctx, tx, item, lock.Exclusive); err != nil {
+			return 0, err
+		}
+		return m.finishPreWrite(tx, item, wintent{value: delta, delta: true})
+	}
+	ver, err := m.TryPreAdd(tx, ts, item, delta)
+	if err != ErrWouldBlock {
+		return ver, err
+	}
+	if m.opts.LockTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.opts.LockTimeout)
+		defer cancel()
+	}
+	m.addWaits.Add(1)
+	start := m.opts.waitStart()
+	backoff := 50 * time.Microsecond
+	for {
+		select {
+		case <-ctx.Done():
+			return 0, model.Abortf(model.AbortCC, "lock timeout: %s on %s(add)", tx, item)
+		case <-time.After(backoff):
+		}
+		if backoff < 2*time.Millisecond {
+			backoff *= 2
+		}
+		ver, err := m.TryPreAdd(tx, ts, item, delta)
+		if err != ErrWouldBlock {
+			if err == nil && !start.IsZero() {
+				m.opts.observeWait(ctx, item, start)
+			}
+			return ver, err
+		}
+	}
+}
+
+// TryPreAdd implements Manager. Unlike TryPreWrite it may succeed under
+// contention: the split path exists precisely so hot blind adds stop
+// queueing.
+func (m *TwoPL) TryPreAdd(tx model.TxID, ts model.Timestamp, item model.ItemID, delta int64) (model.Version, error) {
+	if err := m.checkFinished(tx); err != nil {
+		return 0, err
+	}
+	if !m.opts.NoSplit {
+		// The hotness check runs BEFORE the lock attempt: an idle lock is
+		// the only instant a split may form, and it is also exactly when
+		// TryAcquire would succeed — checked after the failure, the split
+		// condition could never hold and the item would stay a convoy
+		// forever. An already-hot item therefore splits (or admits through
+		// its open slot) here, and only cold items fall through to the lock.
+		m.splitMu.Lock()
+		if slot := m.splits[item]; slot != nil {
+			if slot.draining {
+				m.splitMu.Unlock()
+				return 0, ErrWouldBlock
+			}
+			ver, err := m.slotAdmitLocked(slot, tx, item, delta)
+			m.splitMu.Unlock()
+			return ver, err
+		}
+		if m.contended[item] >= uint32(m.opts.SplitThreshold) && m.locks.Idle(item) {
+			m.splitItemLocked(item)
+			ver, err := m.slotAdmitLocked(m.splits[item], tx, item, delta)
+			m.splitMu.Unlock()
+			return ver, err
+		}
+		m.splitMu.Unlock()
+	}
+	if err := m.locks.TryAcquire(tx, item, lock.Exclusive); err == nil {
+		m.holders.touch(tx)
+		return m.finishPreWrite(tx, item, wintent{value: delta, delta: true})
+	}
+	if m.opts.NoSplit {
+		return 0, ErrWouldBlock
+	}
+	// Contended: feed the split decision, so the retry splits the item the
+	// moment the current holder releases.
+	m.splitMu.Lock()
+	if _, ok := m.splits[item]; !ok {
+		m.contended[item]++
+	}
+	m.splitMu.Unlock()
+	return 0, ErrWouldBlock
+}
+
+// splitItemLocked moves item into split execution. The caller holds splitMu
+// and has verified the item's lock is idle: the idle check and the map
+// publication happen atomically under splitMu, and every reader/writer
+// re-checks the splits map after its lock grant, so whichever side wins the
+// race the other observes it.
+func (m *TwoPL) splitItemLocked(item model.ItemID) {
+	m.splits[item] = &splitSlot{
+		active:  make(map[model.TxID]bool),
+		drained: make(chan struct{}),
+	}
+	delete(m.contended, item)
+	m.numSplit.Add(1)
+	m.splitCnt.Add(1)
+}
+
+// slotAdmit admits a blind add through item's split slot if one is open.
+// Returns ok=false when the item is not split (or is draining) and the add
+// must go through the lock path.
+func (m *TwoPL) slotAdmit(tx model.TxID, item model.ItemID, delta int64) (model.Version, bool, error) {
+	m.splitMu.Lock()
+	slot := m.splits[item]
+	if slot == nil || slot.draining {
+		m.splitMu.Unlock()
+		return 0, false, nil
+	}
+	ver, err := m.slotAdmitLocked(slot, tx, item, delta)
+	m.splitMu.Unlock()
+	return ver, true, err
+}
+
+// slotAdmitLocked records a lock-free blind-add admission. The caller holds
+// splitMu and has checked the slot is open.
+func (m *TwoPL) slotAdmitLocked(slot *splitSlot, tx model.TxID, item model.ItemID, delta int64) (model.Version, error) {
 	c, ok := m.store.Get(item)
 	if !ok {
 		return 0, model.Abortf(model.AbortRCP, "no copy of %s at this site", item)
 	}
+	slot.active[tx] = true
+	m.bufferIntent(tx, item, wintent{value: delta, delta: true, slot: slot})
+	m.holders.touch(tx)
+	m.adds.Add(1)
+	m.splitAdds.Add(1)
+	m.preWrites.Add(1)
+	return c.Version, nil
+}
+
+// drainSplit returns item to plain locking: stop admissions, wait for every
+// lock-free add already admitted to commit or abort, then drop the slot.
+// The caller has already acquired its own lock on the item, so new adds
+// queue behind it while the drain waits. Bounded by ctx (the caller's lock
+// timeout): an add stuck in a slow commit protocol must not wedge readers
+// forever.
+func (m *TwoPL) drainSplit(ctx context.Context, item model.ItemID) error {
+	m.splitMu.Lock()
+	slot := m.splits[item]
+	if slot == nil {
+		m.splitMu.Unlock()
+		return nil
+	}
+	if !slot.draining {
+		slot.draining = true
+		if len(slot.active) == 0 && !slot.closed {
+			slot.closed = true
+			close(slot.drained)
+		}
+	}
+	m.splitMu.Unlock()
+
+	select {
+	case <-slot.drained:
+	case <-ctx.Done():
+		return model.Abortf(model.AbortCC, "timeout draining split item %s", item)
+	}
+
+	m.splitMu.Lock()
+	if m.splits[item] == slot {
+		delete(m.splits, item)
+		delete(m.contended, item)
+		m.numSplit.Add(-1)
+		m.drainCnt.Add(1)
+	}
+	m.splitMu.Unlock()
+	return nil
+}
+
+// finishPreWrite is the post-acquire half of PreWrite/PreAdd: buffer the
+// intent and report the copy's current version.
+func (m *TwoPL) finishPreWrite(tx model.TxID, item model.ItemID, in wintent) (model.Version, error) {
+	c, ok := m.store.Get(item)
+	if !ok {
+		return 0, model.Abortf(model.AbortRCP, "no copy of %s at this site", item)
+	}
+	m.bufferIntent(tx, item, in)
+	m.preWrites.Add(1)
+	if in.delta {
+		m.adds.Add(1)
+	}
+	return c.Version, nil
+}
+
+// bufferIntent records (or merges) one write intent. Repeated blind adds of
+// the same item accumulate their deltas; an absolute write replaces any
+// earlier intent.
+func (m *TwoPL) bufferIntent(tx model.TxID, item model.ItemID, in wintent) {
 	sh := m.stripeOf(item)
 	sh.mu.Lock()
 	if sh.intents[tx] == nil {
-		sh.intents[tx] = make(map[model.ItemID]int64)
+		sh.intents[tx] = make(map[model.ItemID]wintent)
 	}
-	sh.intents[tx][item] = value
+	if prev, ok := sh.intents[tx][item]; ok && prev.delta && in.delta {
+		in.value += prev.value
+		if in.slot == nil {
+			in.slot = prev.slot
+		}
+	}
+	sh.intents[tx][item] = in
 	sh.mu.Unlock()
-	m.preWrites.Add(1)
-	return c.Version, nil
 }
 
 func (m *TwoPL) acquire(ctx context.Context, tx model.TxID, item model.ItemID, mode lock.Mode) error {
@@ -149,15 +530,40 @@ func (m *TwoPL) acquire(ctx context.Context, tx model.TxID, item model.ItemID, m
 	return nil
 }
 
+// releaseSlots removes tx from the split slots of its lock-free add
+// admissions, waking drains waiting on the last one.
+func (m *TwoPL) releaseSlots(slots []*splitSlot, tx model.TxID) {
+	if len(slots) == 0 {
+		return
+	}
+	m.splitMu.Lock()
+	for _, slot := range slots {
+		delete(slot.active, tx)
+		if slot.draining && len(slot.active) == 0 && !slot.closed {
+			slot.closed = true
+			close(slot.drained)
+		}
+	}
+	m.splitMu.Unlock()
+}
+
 // clearIntents discards tx's buffered intents across all stripes (the
-// abort path, which has no write set to narrow the sweep).
-func (m *TwoPL) clearIntents(tx model.TxID) {
+// abort path, which has no write set to narrow the sweep), returning any
+// split slots the intents were admitted through.
+func (m *TwoPL) clearIntents(tx model.TxID) []*splitSlot {
+	var slots []*splitSlot
 	for i := range m.intents {
 		sh := &m.intents[i]
 		sh.mu.Lock()
+		for _, in := range sh.intents[tx] {
+			if in.slot != nil {
+				slots = append(slots, in.slot)
+			}
+		}
 		delete(sh.intents, tx)
 		sh.mu.Unlock()
 	}
+	return slots
 }
 
 // Commit implements Manager: install the final records, then release locks
@@ -168,8 +574,9 @@ func (m *TwoPL) clearIntents(tx model.TxID) {
 // is capped at lock.MaxShards = 64).
 func (m *TwoPL) Commit(tx model.TxID, writes []model.WriteRecord) error {
 	err := m.store.Apply(writes)
+	var slots []*splitSlot
 	if len(writes) == 0 {
-		m.clearIntents(tx)
+		slots = m.clearIntents(tx)
 	} else {
 		var mask uint64
 		for _, w := range writes {
@@ -181,20 +588,28 @@ func (m *TwoPL) Commit(tx model.TxID, writes []model.WriteRecord) error {
 			}
 			sh := &m.intents[i]
 			sh.mu.Lock()
+			for _, in := range sh.intents[tx] {
+				if in.slot != nil {
+					slots = append(slots, in.slot)
+				}
+			}
 			delete(sh.intents, tx)
 			sh.mu.Unlock()
 		}
 	}
+	m.releaseSlots(slots, tx)
 	m.locks.ReleaseAll(tx)
 	m.holders.drop(tx)
+	m.markFinished(tx)
 	return err
 }
 
 // Abort implements Manager.
 func (m *TwoPL) Abort(tx model.TxID) {
-	m.clearIntents(tx)
+	m.releaseSlots(m.clearIntents(tx), tx)
 	m.locks.ReleaseAll(tx)
 	m.holders.drop(tx)
+	m.markFinished(tx)
 }
 
 // Holders implements Manager.
@@ -217,8 +632,9 @@ func (m *TwoPL) HoldsIntents(tx model.TxID, items []model.ItemID) bool {
 }
 
 // Reinstate implements Manager: re-acquire exclusive locks for an in-doubt
-// transaction during recovery. Recovery runs before the site admits new
-// work, so acquisition cannot block.
+// transaction during recovery (conservative for delta records too: recovery
+// runs before the site admits new work, so nothing is split yet and
+// acquisition cannot block).
 func (m *TwoPL) Reinstate(tx model.TxID, ts model.Timestamp, writes []model.WriteRecord) error {
 	for _, w := range writes {
 		if err := m.locks.Acquire(context.Background(), tx, w.Item, lock.Exclusive); err != nil {
@@ -229,11 +645,23 @@ func (m *TwoPL) Reinstate(tx model.TxID, ts model.Timestamp, writes []model.Writ
 	return nil
 }
 
+// SplitItems reports how many items are currently in split execution.
+func (m *TwoPL) SplitItems() int {
+	return int(m.numSplit.Load())
+}
+
 // Stats implements Manager, merging lock-manager counters.
 func (m *TwoPL) Stats() Stats {
-	s := Stats{Reads: m.reads.Load(), PreWrites: m.preWrites.Load()}
+	s := Stats{
+		Reads:     m.reads.Load(),
+		PreWrites: m.preWrites.Load(),
+		Adds:      m.adds.Load(),
+		SplitAdds: m.splitAdds.Load(),
+		Splits:    m.splitCnt.Load(),
+		Drains:    m.drainCnt.Load(),
+	}
 	ls := m.locks.Stats()
-	s.Waits = ls.Waits
+	s.Waits = ls.Waits + m.addWaits.Load()
 	s.Deadlocks = ls.Deadlocks
 	s.Timeouts = ls.Timeouts
 	return s

@@ -132,6 +132,19 @@ func WriteMetrics(w io.Writer, rep monitor.Report) {
 	counter("rainbow_pipeline_spills_total", "Contended operations spilled to the blocking path.",
 		func(s monitor.SiteStats) uint64 { return s.PipeSpills })
 
+	counter("rainbow_cc_adds_total", "Blind-add intents admitted.",
+		func(s monitor.SiteStats) uint64 { return s.CCAdds })
+	counter("rainbow_cc_split_adds_total", "Adds admitted lock-free through a split slot.",
+		func(s monitor.SiteStats) uint64 { return s.CCSplitAdds })
+	counter("rainbow_cc_splits_total", "Hot items moved into split execution.",
+		func(s monitor.SiteStats) uint64 { return s.CCSplits })
+	counter("rainbow_cc_drains_total", "Split items drained back to locking.",
+		func(s monitor.SiteStats) uint64 { return s.CCDrains })
+	gauge("rainbow_cc_split_items", "Items in split execution right now.",
+		func(s monitor.SiteStats) float64 { return float64(s.SplitItems) })
+	counter("rainbow_releases_abandoned_total", "Release-retry loops that gave up and left cleanup to the janitor.",
+		func(s monitor.SiteStats) uint64 { return s.ReleasesAbandoned })
+
 	counter("rainbow_net_sent_envelopes_total", "Envelopes handed to the coalescing sender.",
 		func(s monitor.SiteStats) uint64 { return s.NetSentEnvelopes })
 	counter("rainbow_net_send_flushes_total", "Transport flush cycles (send syscalls).",

@@ -218,6 +218,19 @@ func (m *Manager) Stats() Stats {
 	}
 }
 
+// Idle reports whether item currently has no holders and no queued waiters.
+// The 2PL hot-item split machinery uses it as the safety check before moving
+// an item into lock-free blind-add admission: a split created while any
+// transaction holds (or waits for) the item's lock could commute a delta
+// past an absolute writer's exclusion or a reader's repeatability.
+func (m *Manager) Idle(item model.ItemID) bool {
+	sh := m.shardOf(item)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	il := sh.items[item]
+	return il == nil || (len(il.holders) == 0 && len(il.queue) == 0)
+}
+
 // Holding returns the mode tx holds on item (0 if none).
 func (m *Manager) Holding(tx model.TxID, item model.ItemID) Mode {
 	sh := m.shardOf(item)

@@ -114,33 +114,44 @@ type OpKind uint8
 const (
 	OpRead OpKind = iota + 1
 	OpWrite
+	// OpAdd is a blind commutative increment: add Value (the delta, possibly
+	// negative) to the item without observing it. Because blind adds commute
+	// with each other, concurrency control may admit concurrent adds to the
+	// same item without mutual exclusion (hot-item split execution); an add
+	// never returns the item's value to the client.
+	OpAdd
 )
 
-// String returns "R" or "W".
+// String returns "R", "W" or "A".
 func (k OpKind) String() string {
 	switch k {
 	case OpRead:
 		return "R"
 	case OpWrite:
 		return "W"
+	case OpAdd:
+		return "A"
 	default:
 		return "?"
 	}
 }
 
-// Op is one operation of a transaction: a read of Item, or a write of Value
-// to Item. Rainbow items hold int64 values (the original system used simple
-// scalar items configured through the GUI).
+// Op is one operation of a transaction: a read of Item, a write of Value to
+// Item, or a blind add of Value to Item. Rainbow items hold int64 values
+// (the original system used simple scalar items configured through the GUI).
 type Op struct {
 	Kind  OpKind
 	Item  ItemID
-	Value int64 // meaningful for writes only
+	Value int64 // meaningful for writes and adds only
 }
 
-// String renders the op as "R(x)" or "W(x=v)".
+// String renders the op as "R(x)", "W(x=v)" or "A(x+=d)".
 func (o Op) String() string {
-	if o.Kind == OpWrite {
+	switch o.Kind {
+	case OpWrite:
 		return fmt.Sprintf("W(%s=%d)", o.Item, o.Value)
+	case OpAdd:
+		return fmt.Sprintf("A(%s+=%d)", o.Item, o.Value)
 	}
 	return fmt.Sprintf("R(%s)", o.Item)
 }
@@ -150,6 +161,9 @@ func Read(item ItemID) Op { return Op{Kind: OpRead, Item: item} }
 
 // Write constructs a write operation.
 func Write(item ItemID, v int64) Op { return Op{Kind: OpWrite, Item: item, Value: v} }
+
+// Add constructs a blind commutative add operation.
+func Add(item ItemID, delta int64) Op { return Op{Kind: OpAdd, Item: item, Value: delta} }
 
 // Transaction is a flat list of operations executed atomically. The home
 // site assigns ID and TS on admission.
@@ -163,15 +177,22 @@ type Transaction struct {
 // order.
 func (t *Transaction) ReadSet() []ItemID { return t.itemSet(OpRead) }
 
-// WriteSet returns the distinct items written by the transaction, in
-// first-use order.
-func (t *Transaction) WriteSet() []ItemID { return t.itemSet(OpWrite) }
+// WriteSet returns the distinct items written by the transaction (absolute
+// writes and blind adds), in first-use order.
+func (t *Transaction) WriteSet() []ItemID { return t.itemSet(OpWrite, OpAdd) }
 
-func (t *Transaction) itemSet(kind OpKind) []ItemID {
+func (t *Transaction) itemSet(kinds ...OpKind) []ItemID {
 	seen := make(map[ItemID]bool, len(t.Ops))
 	var out []ItemID
 	for _, op := range t.Ops {
-		if op.Kind == kind && !seen[op.Item] {
+		match := false
+		for _, k := range kinds {
+			if op.Kind == k {
+				match = true
+				break
+			}
+		}
+		if match && !seen[op.Item] {
 			seen[op.Item] = true
 			out = append(out, op.Item)
 		}
@@ -275,8 +296,17 @@ type Outcome struct {
 
 // WriteRecord is one installed write carried through pre-write, prepare and
 // commit: the item, the value, and the version the write installs.
+//
+// Delta marks a commutative blind-add record: Value is then a delta merged
+// into the copy's current value (the store applies value += Value and bumps
+// the version by one) instead of an absolute overwrite. Delta application is
+// NOT idempotent, so every path that installs records — the decision
+// pipeline, WAL redo, checkpoint recovery — must apply each record exactly
+// once; Rainbow's participant decision table and checkpoint horizon
+// exactness already guarantee that.
 type WriteRecord struct {
 	Item    ItemID
 	Value   int64
 	Version Version
+	Delta   bool
 }

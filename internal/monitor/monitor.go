@@ -192,6 +192,19 @@ type SiteStats struct {
 	PipeMaxBatch  uint64
 	PipeStalls    uint64
 	PipeSpills    uint64
+	// Hot-key split-execution gauges (2PL only; zero elsewhere). CCAdds
+	// counts blind-add intents admitted, CCSplitAdds the subset admitted
+	// lock-free through a split slot, CCSplits/CCDrains the items moved
+	// into resp. out of split execution, and SplitItems the items split
+	// right now.
+	CCAdds      uint64
+	CCSplitAdds uint64
+	CCSplits    uint64
+	CCDrains    uint64
+	SplitItems  int
+	// ReleasesAbandoned counts release-retry loops that exhausted their
+	// attempts and left remote CC cleanup to the presumed-abort janitor.
+	ReleasesAbandoned uint64
 	// Coalescing-transport gauges (filled under the tcpnet backend; zero on
 	// the simulated network). Envelopes per flush is the send-syscall
 	// amortization; NetRecvFrames counts decoded multi-envelope frames;
@@ -463,6 +476,12 @@ func (r Report) Totals() SiteStats {
 		}
 		out.PipeStalls += s.PipeStalls
 		out.PipeSpills += s.PipeSpills
+		out.CCAdds += s.CCAdds
+		out.CCSplitAdds += s.CCSplitAdds
+		out.CCSplits += s.CCSplits
+		out.CCDrains += s.CCDrains
+		out.SplitItems += s.SplitItems
+		out.ReleasesAbandoned += s.ReleasesAbandoned
 		out.NetSentEnvelopes += s.NetSentEnvelopes
 		out.NetSendFlushes += s.NetSendFlushes
 		out.NetRecvEnvelopes += s.NetRecvEnvelopes
@@ -586,6 +605,13 @@ func (r Report) Render() string {
 		fmt.Fprintf(&b, "pipeline: %d ops / %d batches (%.1f ops/batch, max %d), depth=%d stalls=%d spills=%d\n",
 			t.PipeSubmitted, t.PipeBatches, t.PipeBatchSize(), t.PipeMaxBatch,
 			t.PipeDepth, t.PipeStalls, t.PipeSpills)
+	}
+	if t.CCAdds > 0 || t.CCSplits > 0 {
+		fmt.Fprintf(&b, "hot-key split: %d adds (%d lock-free), %d splits / %d drains, %d items split now\n",
+			t.CCAdds, t.CCSplitAdds, t.CCSplits, t.CCDrains, t.SplitItems)
+	}
+	if t.ReleasesAbandoned > 0 {
+		fmt.Fprintf(&b, "releases abandoned to janitor: %d\n", t.ReleasesAbandoned)
 	}
 	if t.NetSendFlushes > 0 {
 		fmt.Fprintf(&b, "net coalescing: %d envelopes / %d flushes (%.1f env/flush, %.0f B/flush), %d frames in, sheds=%d legacy-conns=%d\n",

@@ -103,6 +103,13 @@ func (QC) Write(ctx context.Context, acc CopyAccess, sess *Session, meta schema.
 	return nil
 }
 
+// Add implements Protocol: blind adds pre-write ALL copies, not a write
+// quorum — a quorum read resolves by version number and cannot reconstruct
+// a delta a non-member copy missed (see Protocol.Add).
+func (QC) Add(ctx context.Context, acc CopyAccess, sess *Session, meta schema.ItemMeta, delta int64) error {
+	return addAll(ctx, "qc", acc, sess, meta, delta)
+}
+
 // buildQuorum gathers `need` votes for one operation. It first picks the
 // minimal preferred vote set (assuming all sites up — this is what keeps QC
 // message counts near the quorum size, the property experiment E2

@@ -35,6 +35,9 @@ type CopyAccess interface {
 	// CCP, returning the copy's current version plus the serving site's
 	// incarnation number.
 	PreWriteCopy(ctx context.Context, site model.SiteID, tx model.TxID, ts model.Timestamp, item model.ItemID, value int64) (model.Version, uint64, error)
+	// AddCopy pre-writes a commutative blind add (delta merges into the
+	// copy at commit) through the site's CCP; same returns as PreWriteCopy.
+	AddCopy(ctx context.Context, site model.SiteID, tx model.TxID, ts model.Timestamp, item model.ItemID, delta int64) (model.Version, uint64, error)
 }
 
 // Session accumulates one transaction's replication state at its home site:
@@ -152,6 +155,25 @@ func (s *Session) RecordWrite(site model.SiteID, rec model.WriteRecord) {
 	s.writes[site][rec.Item] = rec
 }
 
+// RecordAdd merges a delta write record for site: repeated adds of the same
+// item by one transaction sum their deltas (RecordWrite's last-wins rule
+// would lose the earlier ones), keeping the larger install version.
+func (s *Session) RecordAdd(site model.SiteID, rec model.WriteRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touched[site] = true
+	if s.writes[site] == nil {
+		s.writes[site] = make(map[model.ItemID]model.WriteRecord)
+	}
+	if old, ok := s.writes[site][rec.Item]; ok && old.Delta && rec.Delta {
+		rec.Value += old.Value
+		if old.Version > rec.Version {
+			rec.Version = old.Version
+		}
+	}
+	s.writes[site][rec.Item] = rec
+}
+
 // WriteQuorum returns the sites already holding a write record for item —
 // the write quorum a previous logical write of this transaction built —
 // and that record. A repeated write MUST update exactly this set: building
@@ -222,6 +244,12 @@ type Protocol interface {
 	// Write performs a logical write: pre-writes enough copies and records
 	// the final write records (with install versions) in the session.
 	Write(ctx context.Context, acc CopyAccess, sess *Session, meta schema.ItemMeta, value int64) error
+	// Add performs a logical blind add: the delta merges into every copy at
+	// commit. BOTH protocols pre-add ALL copies: a delta missing from a copy
+	// cannot be reconstructed by a version-based quorum read (versions say
+	// which copy is newest, not which deltas it absorbed), so add
+	// availability follows ROWA's write-all rule even under QC.
+	Add(ctx context.Context, acc CopyAccess, sess *Session, meta schema.ItemMeta, delta int64) error
 }
 
 // New constructs a protocol by name.
@@ -263,4 +291,63 @@ func preferredOrder(acc CopyAccess, meta schema.ItemMeta) []model.SiteID {
 func isCC(err error) bool {
 	c := model.CauseOf(err)
 	return c == model.AbortCC || c == model.AbortACP || c == model.AbortInjected
+}
+
+// addAll pre-adds delta at EVERY copy of the item concurrently — the shared
+// body of ROWA.Add and QC.Add (see Protocol.Add for why QC cannot use a
+// quorum here). Any unreachable copy aborts with cause RCP; any CC rejection
+// propagates. The recorded install version is max(version)+1 over all
+// copies (delta applies ignore it, but it keeps version bookkeeping — and
+// quorum reads that follow a committed add — monotonic).
+func addAll(ctx context.Context, proto string, acc CopyAccess, sess *Session, meta schema.ItemMeta, delta int64) error {
+	sites := preferredOrder(acc, meta)
+	type result struct {
+		site model.SiteID
+		ver  model.Version
+		inc  uint64
+		err  error
+	}
+	results := make(chan result, len(sites))
+	for _, site := range sites {
+		sess.Attempt(site)
+		go func(site model.SiteID) {
+			ver, inc, err := acc.AddCopy(ctx, site, sess.Tx, sess.TS, meta.Item, delta)
+			results <- result{site: site, ver: ver, inc: inc, err: err}
+		}(site)
+	}
+
+	var maxVer model.Version
+	var ccErr, rcpErr error
+	for range sites {
+		r := <-results
+		switch {
+		case r.err == nil:
+			sess.SawIncarnation(r.site, r.inc)
+			sess.Touch(r.site)
+			if r.ver > maxVer {
+				maxVer = r.ver
+			}
+		case isCC(r.err):
+			sess.Touch(r.site)
+			if ccErr == nil {
+				ccErr = r.err
+			}
+		default:
+			if rcpErr == nil {
+				rcpErr = r.err
+			}
+		}
+	}
+	if ccErr != nil {
+		return ccErr
+	}
+	if rcpErr != nil {
+		return model.Abortf(model.AbortRCP, "%s: add-all of %s failed: %v", proto, meta.Item, rcpErr)
+	}
+
+	rec := model.WriteRecord{Item: meta.Item, Value: delta, Version: maxVer + 1, Delta: true}
+	for _, site := range sites {
+		sess.RecordAdd(site, rec)
+	}
+	return nil
 }

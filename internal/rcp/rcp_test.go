@@ -77,6 +77,10 @@ func (f *fakeAccess) ReadCopy(_ context.Context, site model.SiteID, _ model.TxID
 	return c.val, c.ver, fakeIncarnation, nil
 }
 
+func (f *fakeAccess) AddCopy(ctx context.Context, site model.SiteID, tx model.TxID, ts model.Timestamp, item model.ItemID, delta int64) (model.Version, uint64, error) {
+	return f.PreWriteCopy(ctx, site, tx, ts, item, delta)
+}
+
 func (f *fakeAccess) PreWriteCopy(_ context.Context, site model.SiteID, _ model.TxID, _ model.Timestamp, _ model.ItemID, _ int64) (model.Version, uint64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -98,3 +98,9 @@ func (ROWA) Write(ctx context.Context, acc CopyAccess, sess *Session, meta schem
 	}
 	return nil
 }
+
+// Add implements Protocol: blind adds pre-write all copies, exactly like
+// ROWA writes.
+func (ROWA) Add(ctx context.Context, acc CopyAccess, sess *Session, meta schema.ItemMeta, delta int64) error {
+	return addAll(ctx, "rowa", acc, sess, meta, delta)
+}

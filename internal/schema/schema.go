@@ -69,6 +69,11 @@ type Protocols struct {
 	// optimization (participants without writes vote "read" and skip
 	// phase 2) — an ablation knob for message-cost experiments.
 	NoReadOnlyOpt bool
+	// NoHotSplit disables 2PL's split execution of commutative adds
+	// (hot-item delta slots with commit-time reconciliation), forcing
+	// every add through an ordinary exclusive lock — the cc_no_split
+	// ablation knob for hot-key contention experiments.
+	NoHotSplit bool
 }
 
 // CheckpointPolicy configures each site's checkpoint & log-compaction

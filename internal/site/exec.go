@@ -2,7 +2,10 @@ package site
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"log"
+	"sort"
 	"time"
 
 	"repro/internal/model"
@@ -20,12 +23,14 @@ func (s *Site) Execute(ctx context.Context, ops []model.Op) model.Outcome {
 	if err != nil {
 		return model.Outcome{Committed: false, Cause: model.AbortClient, HomeSite: s.id}
 	}
-	for _, op := range ops {
+	for _, op := range orderedOps(ops) {
 		switch op.Kind {
 		case model.OpRead:
 			_, err = t.Read(op.Item)
 		case model.OpWrite:
 			err = t.Write(op.Item, op.Value)
+		case model.OpAdd:
+			err = t.Add(op.Item, op.Value)
 		default:
 			err = model.Abortf(model.AbortClient, "invalid op kind %d", op.Kind)
 			t.doomed = err
@@ -37,6 +42,33 @@ func (s *Site) Execute(ctx context.Context, ops []model.Op) model.Outcome {
 	return t.Commit()
 }
 
+// orderedOps reorders a one-shot batch by item ID so concurrent transactions
+// acquire contended locks in one global order — contending batches then queue
+// instead of deadlocking into lock-timeout churn. Safe only for one-shot
+// programs whose items are all distinct: a repeated item makes the program
+// order-sensitive (last write wins, read-your-writes), so those batches run
+// as submitted. The common already-sorted case returns the input unchanged.
+func orderedOps(ops []model.Op) []model.Op {
+	seen := make(map[model.ItemID]bool, len(ops))
+	sorted := true
+	for i := range ops {
+		if seen[ops[i].Item] {
+			return ops
+		}
+		seen[ops[i].Item] = true
+		if i > 0 && ops[i].Item < ops[i-1].Item {
+			sorted = false
+		}
+	}
+	if sorted {
+		return ops
+	}
+	out := make([]model.Op, len(ops))
+	copy(out, ops)
+	sort.Slice(out, func(i, j int) bool { return out[i].Item < out[j].Item })
+	return out
+}
+
 // classify maps an execution error onto the paper's abort-cause taxonomy.
 func classify(err error) model.AbortCause {
 	switch c := model.CauseOf(err); c {
@@ -44,8 +76,11 @@ func classify(err error) model.AbortCause {
 		return model.AbortClient
 	case model.AbortClient:
 		// Context timeouts during RCP ops count as replication-level
-		// failures (copies unreachable).
-		if err == context.DeadlineExceeded || err == context.Canceled {
+		// failures (copies unreachable). errors.Is, not ==: transports and
+		// RPC layers wrap the context error, and a wrapped deadline
+		// misclassified as a client abort would hide replication failures
+		// from the abort-cause statistics.
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			return model.AbortRCP
 		}
 		return model.AbortClient
@@ -103,6 +138,13 @@ func (s *Site) releaseAt(site model.SiteID, tx model.TxID) {
 			case <-time.After(time.Duration(attempt+1) * 200 * time.Millisecond):
 			}
 		}
+		// All attempts exhausted: the remote CC state is stranded until that
+		// site's CC janitor presumed-abort-queries us. Count and report it —
+		// a silently abandoned release looks exactly like a leak from the
+		// outside, and the counter is what distinguishes "the janitor is the
+		// cleanup path now" from "releases are being lost".
+		s.releasesAbandoned.Add(1)
+		log.Printf("site %s: abandoned release of %s at %s after 5 attempts (remote janitor takes over)", s.id, tx, site)
 	}()
 }
 
@@ -167,6 +209,29 @@ func (s *Site) PreWriteCopy(ctx context.Context, site model.SiteID, tx model.TxI
 	actx, cancel := s.attemptCtx(ctx)
 	defer cancel()
 	resp, err := wire.Call[wire.PreWriteResp](actx, s.peer, site, wire.KindPreWrite, &wire.PreWriteReq{Tx: tx, TS: ts, Item: item, Value: value})
+	s.stats.AddRoundTrips(1)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.clock.Witness(model.Timestamp{Time: resp.Clock, Site: site})
+	return resp.Version, resp.Incarnation, nil
+}
+
+// AddCopy implements rcp.CopyAccess: the blind-add counterpart of
+// PreWriteCopy. The remote path rides the PreWrite wire message with the
+// Add flag set (one hot-path message kind, one pipeline).
+func (s *Site) AddCopy(ctx context.Context, site model.SiteID, tx model.TxID, ts model.Timestamp, item model.ItemID, delta int64) (model.Version, uint64, error) {
+	if site == s.id {
+		s.mu.Lock()
+		ccm := s.ccm
+		inc := s.incarnation
+		s.mu.Unlock()
+		ver, err := ccm.PreAdd(ctx, tx, ts, item, delta)
+		return ver, inc, err
+	}
+	actx, cancel := s.attemptCtx(ctx)
+	defer cancel()
+	resp, err := wire.Call[wire.PreWriteResp](actx, s.peer, site, wire.KindPreWrite, &wire.PreWriteReq{Tx: tx, TS: ts, Item: item, Value: delta, Add: true})
 	s.stats.AddRoundTrips(1)
 	if err != nil {
 		return 0, 0, err

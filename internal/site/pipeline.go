@@ -165,7 +165,11 @@ func (s *Site) copyBatch(_ int, batch []copyOp) {
 			}
 			results[i] = copyResult{value: v, ver: ver, err: err, ok: err == nil}
 		} else {
-			ver, err := ccm.TryPreWrite(op.write.Tx, op.write.TS, op.write.Item, op.write.Value)
+			tryPre := ccm.TryPreWrite
+			if op.write.Add {
+				tryPre = ccm.TryPreAdd
+			}
+			ver, err := tryPre(op.write.Tx, op.write.TS, op.write.Item, op.write.Value)
 			if err == cc.ErrWouldBlock {
 				results[i].spilled = true
 				continue
@@ -258,8 +262,12 @@ func (s *Site) spillCopy(op copyOp, ccm cc.Manager, runCtx context.Context, time
 		}, nil)
 		return
 	}
-	sp := act.StartSpan(trace.StageSpill, "pre-write "+string(op.write.Item))
-	ver, err := ccm.PreWrite(ctx, op.write.Tx, op.write.TS, op.write.Item, op.write.Value)
+	label, pre := "pre-write ", ccm.PreWrite
+	if op.write.Add {
+		label, pre = "pre-add ", ccm.PreAdd
+	}
+	sp := act.StartSpan(trace.StageSpill, label+string(op.write.Item))
+	ver, err := pre(ctx, op.write.Tx, op.write.TS, op.write.Item, op.write.Value)
 	sp.End()
 	if err != nil {
 		op.reply(0, nil, err)

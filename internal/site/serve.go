@@ -66,8 +66,12 @@ func (s *Site) serve(from model.SiteID, tid trace.ID, kind wire.MsgKind, pay wir
 		s.clock.Witness(req.TS)
 		ctx, cancel := context.WithTimeout(trace.NewContext(runCtx, act), timeouts.Lock)
 		defer cancel()
-		sp := act.StartSpan(trace.StageAdmit, "pre-write "+string(req.Item))
-		ver, err := ccm.PreWrite(ctx, req.Tx, req.TS, req.Item, req.Value)
+		label, pre := "pre-write ", ccm.PreWrite
+		if req.Add {
+			label, pre = "pre-add ", ccm.PreAdd
+		}
+		sp := act.StartSpan(trace.StageAdmit, label+string(req.Item))
+		ver, err := pre(ctx, req.Tx, req.TS, req.Item, req.Value)
 		sp.End()
 		if err != nil {
 			return 0, nil, err

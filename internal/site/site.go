@@ -190,6 +190,11 @@ type Site struct {
 	// accumulated totals for ResetStats.
 	ckptAccum checkpoint.Stats
 	ckptBase  checkpoint.Stats
+	// ccAccum accumulates CC-manager counters from previous stack
+	// incarnations (every rebuild constructs a fresh manager); ccBase
+	// window-scopes the totals for ResetStats, like ckptBase.
+	ccAccum cc.Stats
+	ccBase  cc.Stats
 	// reconfigures counts completed live catalog reconfigurations.
 	reconfigures uint64
 	// incarnation identifies this protocol-stack incarnation: bumped on
@@ -223,9 +228,15 @@ type Site struct {
 	// them window-scoped like every other counter.
 	walBaseFlushes uint64
 	walBaseRecords uint64
-	crashed        bool
-	runCtx         context.Context
-	runCancel      context.CancelFunc
+	// releasesAbandoned counts release-retry loops that exhausted their
+	// attempts and gave up, leaving cleanup to the remote presumed-abort
+	// janitor. Nonzero values mean remote CC state stayed locked for a
+	// janitor sweep longer than it should have.
+	releasesAbandoned     atomic.Uint64
+	releasesAbandonedBase uint64
+	crashed               bool
+	runCtx                context.Context
+	runCancel             context.CancelFunc
 	// lifeCtx spans the site OBJECT's lifetime (cancelled by Close only,
 	// not by simulated crashes): background release retries ride it, so a
 	// crash does not silently drop an aborted transaction's pending
@@ -433,6 +444,7 @@ func (s *Site) rebuild(catalog *schema.Catalog, live bool) error {
 	ccm, err := cc.New(catalog.Protocols.CCP, store, cc.Options{
 		LockTimeout:              timeouts.Lock,
 		DisableDeadlockDetection: catalog.Protocols.NoDeadlockDetection,
+		NoSplit:                  catalog.Protocols.NoHotSplit,
 		Shards:                   shards,
 		Tracer:                   s.tracer,
 	})
@@ -564,6 +576,9 @@ func (s *Site) rebuild(catalog *schema.Catalog, live bool) error {
 		s.ckptAccum.Checkpoints += old.Checkpoints
 		s.ckptAccum.Deltas += old.Deltas
 		s.ckptAccum.SegmentsCompacted += old.SegmentsCompacted
+	}
+	if s.ccm != nil {
+		addCCStats(&s.ccAccum, s.ccm.Stats())
 	}
 	s.catalog = catalog
 	s.store = store
@@ -768,9 +783,35 @@ type applierWithHistory struct {
 
 func (a *applierWithHistory) Commit(tx model.TxID, writes []model.WriteRecord) error {
 	for _, w := range writes {
-		a.hist.Record(tx, model.OpWrite, w.Item, w.Value, w.Version)
+		// Delta records are logged as OpAdd, not OpWrite: concurrent split
+		// adds share one coordinator-assigned install version, and the MVSG
+		// checker (rightly) flags duplicate versions among ordinary writes.
+		// Adds commute, so they carry no precedence edges of their own; the
+		// checker skips OpAdd events and the delta-sum invariant tests cover
+		// their value exactness instead.
+		kind := model.OpWrite
+		if w.Delta {
+			kind = model.OpAdd
+		}
+		a.hist.Record(tx, kind, w.Item, w.Value, w.Version)
 	}
 	return a.cc.Commit(tx, writes)
+}
+
+// addCCStats accumulates a CC manager's counters into acc (managers are
+// discarded wholesale on every stack rebuild, so totals must be carried
+// across incarnations by hand, like checkpoint stats).
+func addCCStats(acc *cc.Stats, s cc.Stats) {
+	acc.Reads += s.Reads
+	acc.PreWrites += s.PreWrites
+	acc.Rejections += s.Rejections
+	acc.Deadlocks += s.Deadlocks
+	acc.Timeouts += s.Timeouts
+	acc.Waits += s.Waits
+	acc.Adds += s.Adds
+	acc.SplitAdds += s.SplitAdds
+	acc.Splits += s.Splits
+	acc.Drains += s.Drains
 }
 
 func (a *applierWithHistory) Abort(tx model.TxID) { a.cc.Abort(tx) }
@@ -787,8 +828,11 @@ func (s *Site) Stats() monitor.SiteStats {
 	store := s.store
 	log := s.log
 	ckpt := s.ckpt
+	ccm := s.ccm
 	baseFlushes, baseRecords := s.walBaseFlushes, s.walBaseRecords
 	ckptAccum, ckptBase := s.ckptAccum, s.ckptBase
+	ccAccum, ccBase := s.ccAccum, s.ccBase
+	releasesAbandonedBase := s.releasesAbandonedBase
 	recoveryRecords, recoveryNS := s.recoveryRecords, s.recoveryNS
 	var epoch uint64
 	if s.catalog != nil {
@@ -833,6 +877,18 @@ func (s *Site) Stats() monitor.SiteStats {
 	stats.Checkpoints = ckptAccum.Checkpoints - min(ckptBase.Checkpoints, ckptAccum.Checkpoints)
 	stats.CheckpointDeltas = ckptAccum.Deltas - min(ckptBase.Deltas, ckptAccum.Deltas)
 	stats.SegmentsCompacted = ckptAccum.SegmentsCompacted - min(ckptBase.SegmentsCompacted, ckptAccum.SegmentsCompacted)
+	if ccm != nil {
+		addCCStats(&ccAccum, ccm.Stats())
+		if sp, ok := ccm.(interface{ SplitItems() int }); ok {
+			stats.SplitItems = sp.SplitItems()
+		}
+	}
+	stats.CCAdds = ccAccum.Adds - min(ccBase.Adds, ccAccum.Adds)
+	stats.CCSplitAdds = ccAccum.SplitAdds - min(ccBase.SplitAdds, ccAccum.SplitAdds)
+	stats.CCSplits = ccAccum.Splits - min(ccBase.Splits, ccAccum.Splits)
+	stats.CCDrains = ccAccum.Drains - min(ccBase.Drains, ccAccum.Drains)
+	ra := s.releasesAbandoned.Load()
+	stats.ReleasesAbandoned = ra - min(releasesAbandonedBase, ra)
 	stats.RecoveryRecords = recoveryRecords
 	stats.RecoveryNS = recoveryNS
 	stats.Epoch = epoch
@@ -881,6 +937,11 @@ func (s *Site) ResetStats() {
 		s.ckptBase.Deltas += cs.Deltas
 		s.ckptBase.SegmentsCompacted += cs.SegmentsCompacted
 	}
+	s.ccBase = s.ccAccum
+	if s.ccm != nil {
+		addCCStats(&s.ccBase, s.ccm.Stats())
+	}
+	s.releasesAbandonedBase = s.releasesAbandoned.Load()
 	store := s.store
 	s.mu.Unlock()
 	if store != nil {

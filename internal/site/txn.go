@@ -27,10 +27,19 @@ type Txn struct {
 	acpProto acp.Protocol
 	timeouts schema.Timeouts
 
-	ctx      context.Context
-	cancel   context.CancelFunc
-	start    time.Time
-	reads    map[model.ItemID]int64
+	ctx    context.Context
+	cancel context.CancelFunc
+	start  time.Time
+	reads  map[model.ItemID]int64
+	// wrote/added track which items this transaction wrote resp. blind-
+	// added (lazily allocated). Mixing Add with Read/Write of the same
+	// item in one transaction is rejected: an add's delta record and a
+	// write's absolute record cannot merge in the session write set, and
+	// an add-after-read defeats the point of the blind add anyway (the
+	// read already holds the exclusive-with-readers lock — callers who
+	// read should just Write the computed value).
+	wrote    map[model.ItemID]bool
+	added    map[model.ItemID]bool
 	doomed   error
 	finished bool
 	// act is the transaction's sampled trace (nil for the untraced common
@@ -85,6 +94,10 @@ func (t *Txn) Read(item model.ItemID) (int64, error) {
 		t.doomed = model.Abortf(model.AbortClient, "unknown item %s", item)
 		return 0, t.doomed
 	}
+	if t.added[item] {
+		t.doomed = model.Abortf(model.AbortClient, "cannot read %s after blind-adding it in the same transaction", item)
+		return 0, t.doomed
+	}
 	opCtx, cancel := context.WithTimeout(t.ctx, 3*t.timeouts.Op)
 	defer cancel()
 	sp := t.act.StartSpan(trace.StageOp, "read "+string(item))
@@ -108,6 +121,10 @@ func (t *Txn) Write(item model.ItemID, value int64) error {
 		t.doomed = model.Abortf(model.AbortClient, "unknown item %s", item)
 		return t.doomed
 	}
+	if t.added[item] {
+		t.doomed = model.Abortf(model.AbortClient, "cannot write %s after blind-adding it in the same transaction", item)
+		return t.doomed
+	}
 	opCtx, cancel := context.WithTimeout(t.ctx, 3*t.timeouts.Op)
 	defer cancel()
 	sp := t.act.StartSpan(trace.StageOp, "write "+string(item))
@@ -117,6 +134,45 @@ func (t *Txn) Write(item model.ItemID, value int64) error {
 		t.doomed = err
 		return err
 	}
+	if t.wrote == nil {
+		t.wrote = make(map[model.ItemID]bool)
+	}
+	t.wrote[item] = true
+	return nil
+}
+
+// Add performs a logical blind add: delta is reconciled into the item's
+// committed value at commit time without reading it first. Adds commute, so
+// under 2PL a hot item's adds can run lock-free through split execution
+// (Doppel-style); under TSO/MVTSO they are ordinary timestamped intents.
+// Repeated adds of one item merge their deltas. Mixing Add with Read or
+// Write of the same item in one transaction is rejected with AbortClient.
+func (t *Txn) Add(item model.ItemID, delta int64) error {
+	if err := t.usable(); err != nil {
+		return err
+	}
+	meta, ok := t.catalog.Items[item]
+	if !ok {
+		t.doomed = model.Abortf(model.AbortClient, "unknown item %s", item)
+		return t.doomed
+	}
+	if _, read := t.reads[item]; read || t.wrote[item] {
+		t.doomed = model.Abortf(model.AbortClient, "cannot blind-add %s after reading or writing it in the same transaction", item)
+		return t.doomed
+	}
+	opCtx, cancel := context.WithTimeout(t.ctx, 3*t.timeouts.Op)
+	defer cancel()
+	sp := t.act.StartSpan(trace.StageOp, "add "+string(item))
+	err := t.rcpProto.Add(opCtx, t.s, t.sess, meta, delta)
+	sp.End()
+	if err != nil {
+		t.doomed = err
+		return err
+	}
+	if t.added == nil {
+		t.added = make(map[model.ItemID]bool)
+	}
+	t.added[item] = true
 	return nil
 }
 

@@ -30,6 +30,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -55,6 +56,14 @@ type Options struct {
 	TxPerRound int
 	// MPL is the workload's multiprogramming level (default 3).
 	MPL int
+	// Counters is the number of add-only counter items kept OUTSIDE the
+	// random workload's item set (default 2, negative disables). A seeded
+	// storm of blind-add transactions targets them concurrently with the
+	// fault schedule, and the audit then demands the reconciled value equal
+	// the initial value plus the EXACT sum of committed deltas — a slot
+	// delta lost or double-applied across a crash, checkpoint or epoch
+	// bump shows up as an off-by-delta here.
+	Counters int
 	// Logf, when set, receives progress lines (the replay test wires it to
 	// t.Logf so a failing seed can be studied step by step).
 	Logf func(format string, args ...any)
@@ -76,6 +85,12 @@ func (o Options) withDefaults() Options {
 	if o.MPL <= 0 {
 		o.MPL = 3
 	}
+	if o.Counters == 0 {
+		o.Counters = 2
+	}
+	if o.Counters < 0 {
+		o.Counters = 0
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -85,10 +100,18 @@ func (o Options) withDefaults() Options {
 // Report summarizes one soak run for the logs.
 type Report struct {
 	Submitted, Committed            int
+	Adds, AddsCommitted             int
 	EpochBumps, Crashes, Partitions int
 	Checkpoints                     int
 	FinalEpoch                      uint64
 	ACP                             string
+}
+
+// addOp is one planned blind-add transaction of the counter storm.
+type addOp struct {
+	home  model.SiteID
+	item  model.ItemID
+	delta int64
 }
 
 // step is one planned fault/admin event inside a round.
@@ -110,12 +133,23 @@ func Run(o Options) (Report, error) {
 	for i := range sites {
 		sites[i] = model.SiteID(fmt.Sprintf("S%d", i+1))
 	}
-	items := make(map[model.ItemID]int64, o.Items)
+	items := make(map[model.ItemID]int64, o.Items+o.Counters)
 	itemIDs := make([]model.ItemID, o.Items)
 	for i := 0; i < o.Items; i++ {
 		id := model.ItemID(fmt.Sprintf("i%d", i))
 		itemIDs[i] = id
 		items[id] = int64(100 + i)
+	}
+	// Counter items live in the catalog but not in the workload's item set:
+	// they must only ever see blind adds, so the exact-sum audit has no
+	// absolute writes to reason about.
+	counters := make([]model.ItemID, o.Counters)
+	counterInit := make(map[model.ItemID]int64, o.Counters)
+	for i := 0; i < o.Counters; i++ {
+		id := model.ItemID(fmt.Sprintf("c%d", i))
+		counters[i] = id
+		items[id] = int64(1000 * (i + 1))
+		counterInit[id] = items[id]
 	}
 	// Both protocols soak the full fault matrix. 3PC termination is
 	// quorum-based (E3PC): participants log their pre-commit/pre-abort
@@ -159,6 +193,8 @@ func Run(o Options) (Report, error) {
 	}
 	defer in.Close()
 
+	committedAdds := make(map[model.TxID]addOp)
+	var addsMu sync.Mutex
 	for round := 0; round < o.Rounds; round++ {
 		steps := planRound(rng, sites, &rep)
 		profile := wlg.Profile{
@@ -168,11 +204,39 @@ func Run(o Options) (Report, error) {
 			ReadFraction: 0.4,
 			Retries:      1,
 			RandomHomes:  true,
+			Items:        append([]model.ItemID(nil), itemIDs...),
 			Seed:         rng.Int63(),
 		}
+		// The counter storm is planned here, before any concurrency, for the
+		// same reason planRound is: all rng consumption stays deterministic.
+		storm := make([]addOp, 0, o.TxPerRound)
+		if len(counters) > 0 {
+			for i := 0; i < o.TxPerRound; i++ {
+				storm = append(storm, addOp{
+					home:  sites[rng.Intn(len(sites))],
+					item:  counters[rng.Intn(len(counters))],
+					delta: int64(1 + rng.Intn(9)),
+				})
+			}
+		}
+		rep.Adds += len(storm)
 		wctx, cancel := context.WithTimeout(context.Background(), 8*time.Second)
 		done := make(chan wlg.Result, 1)
 		go func() { done <- in.RunWorkload(wctx, profile) }()
+		stormDone := make(chan int, 1)
+		go func() {
+			ok := 0
+			for _, op := range storm {
+				out := in.Submit(wctx, op.home, []model.Op{model.Add(op.item, op.delta)})
+				if out.Committed {
+					ok++
+					addsMu.Lock()
+					committedAdds[out.Tx] = op
+					addsMu.Unlock()
+				}
+			}
+			stormDone <- ok
+		}()
 		start := time.Now()
 		for _, s := range steps {
 			if d := s.after - time.Since(start); d > 0 {
@@ -181,10 +245,13 @@ func Run(o Options) (Report, error) {
 			applyStep(in, rng, s, o.Logf)
 		}
 		res := <-done
+		addsOK := <-stormDone
 		cancel()
 		rep.Submitted += res.Submitted
 		rep.Committed += res.Committed
-		o.Logf("round %d: %d/%d committed, causes %v", round, res.Committed, res.Submitted, res.ByCause)
+		rep.AddsCommitted += addsOK
+		o.Logf("round %d: %d/%d committed, %d/%d adds, causes %v",
+			round, res.Committed, res.Submitted, addsOK, len(storm), res.ByCause)
 	}
 
 	// Settle: heal, recover everyone, converge on the catalog, drain
@@ -207,6 +274,9 @@ func Run(o Options) (Report, error) {
 	if err := checkInvariants(in, sites, itemIDs); err != nil {
 		return rep, err
 	}
+	if err := checkCounters(in, sites, counters, counterInit, committedAdds); err != nil {
+		return rep, err
+	}
 
 	// Full-restart audit: crash and recover every site, then re-check —
 	// this forces recovery through the newest checkpoint chain plus the
@@ -226,6 +296,12 @@ func Run(o Options) (Report, error) {
 		return rep, fmt.Errorf("after full restart: %d orphans remain", in.Orphans())
 	}
 	if err := checkInvariants(in, sites, itemIDs); err != nil {
+		return rep, fmt.Errorf("after full restart: %w", err)
+	}
+	// Re-running the exact-sum audit after the crash-everyone recomposition
+	// is the point of the exercise: delta WAL records and checkpoint chains
+	// must reproduce the reconciled counters to the digit.
+	if err := checkCounters(in, sites, counters, counterInit, committedAdds); err != nil {
 		return rep, fmt.Errorf("after full restart: %w", err)
 	}
 	return rep, nil
@@ -400,6 +476,82 @@ func itemWriters(in *core.Instance, item model.ItemID) map[model.TxID]bool {
 		}
 	}
 	return txs
+}
+
+// checkCounters audits the add-only counter items: the reconciled value of
+// each must equal its initial value plus the EXACT sum of committed deltas.
+// The merged history is the ground truth — every committed add is recorded
+// (as OpAdd) by each installing site, so deduping by (tx, item) yields each
+// delta exactly once — and every client-acknowledged add must appear in it.
+func checkCounters(in *core.Instance, sites []model.SiteID, counters []model.ItemID, initial map[model.ItemID]int64, acked map[model.TxID]addOp) error {
+	if len(counters) == 0 {
+		return nil
+	}
+	isCounter := make(map[model.ItemID]bool, len(counters))
+	for _, c := range counters {
+		isCounter[c] = true
+	}
+	type key struct {
+		tx   model.TxID
+		item model.ItemID
+	}
+	deltas := make(map[key]int64)
+	count := make(map[model.ItemID]int)
+	sum := make(map[model.ItemID]int64)
+	for _, e := range in.History() {
+		switch {
+		case e.Kind == model.OpAdd:
+			k := key{e.Tx, e.Item}
+			if prev, seen := deltas[k]; seen {
+				if prev != e.Value {
+					return fmt.Errorf("add divergence: tx %v on %s recorded as both +%d and +%d\n%s",
+						e.Tx, e.Item, prev, e.Value, tracesOf(in, sites, map[model.TxID]bool{e.Tx: true}))
+				}
+				continue
+			}
+			deltas[k] = e.Value
+			count[e.Item]++
+			sum[e.Item] += e.Value
+		case e.Kind == model.OpWrite && isCounter[e.Item]:
+			return fmt.Errorf("counter %s received an absolute write (tx %v v%d) — workload confinement broken",
+				e.Item, e.Tx, e.Version)
+		}
+	}
+	for tx, op := range acked {
+		got, ok := deltas[key{tx, op.item}]
+		if !ok {
+			return fmt.Errorf("acknowledged add lost: tx %v (+%d on %s) missing from the merged history\n%s",
+				tx, op.delta, op.item, tracesOf(in, sites, map[model.TxID]bool{tx: true}))
+		}
+		if got != op.delta {
+			return fmt.Errorf("acknowledged add mutated: tx %v on %s committed +%d, history says +%d",
+				tx, op.item, op.delta, got)
+		}
+	}
+	ops := make([]model.Op, 0, len(counters))
+	for _, c := range counters {
+		ops = append(ops, model.Read(c))
+	}
+	var out model.Outcome
+	deadline := time.Now().Add(12 * time.Second)
+	for {
+		out = in.Submit(context.Background(), sites[0], ops)
+		if out.Committed || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !out.Committed {
+		return fmt.Errorf("counter audit read would not commit: %+v", out)
+	}
+	for _, c := range counters {
+		want := initial[c] + sum[c]
+		if got := out.Reads[c]; got != want {
+			return fmt.Errorf("counter %s = %d, want %d (initial %d + %d committed adds summing %d)\n%s",
+				c, got, want, initial[c], count[c], sum[c], dumpItem(in, sites, c))
+		}
+	}
+	return nil
 }
 
 // checkInvariants audits the settled cluster. See the package comment for

@@ -165,6 +165,9 @@ func TestSoakReportCountsEvents(t *testing.T) {
 	if rep.Submitted == 0 || rep.Committed == 0 {
 		t.Errorf("vacuous run: %+v", rep)
 	}
+	if rep.Adds == 0 || rep.AddsCommitted == 0 {
+		t.Errorf("counter storm vacuous — the exact-sum audit checked nothing: %+v", rep)
+	}
 	if rep.EpochBumps+rep.Crashes+rep.Partitions+rep.Checkpoints == 0 {
 		t.Errorf("no faults planned: %+v", rep)
 	}

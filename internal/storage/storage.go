@@ -196,9 +196,12 @@ func (s *Store) Has(item model.ItemID) bool {
 	return ok
 }
 
-// Apply installs write records. Installation is version-guarded and
+// Apply installs write records. Absolute records are version-guarded and
 // therefore idempotent: a record only takes effect if its version exceeds
-// the copy's current version, which makes WAL replay safe to repeat.
+// the copy's current version, which makes WAL replay safe to repeat. Delta
+// records (commutative blind adds) merge value += delta at version+1 and are
+// NOT idempotent — their exactly-once contract is enforced upstream by the
+// participant's decision table and the checkpoint horizon.
 //
 // All shards touched by the write set are locked (in index order) for the
 // whole installation, so a Snapshot never observes half a transaction.
@@ -259,22 +262,36 @@ func (s *Store) applyLocked(sh *storeShard, writes []model.WriteRecord) error {
 		if !ok {
 			return fmt.Errorf("storage: no copy of %s on this site", w.Item)
 		}
-		if w.Version > c.Version {
-			if sh.sealed {
-				clone := make(map[model.ItemID]Copy, len(sh.copies))
-				for k, v := range sh.copies {
-					clone[k] = v
-				}
-				sh.copies = clone
-				sh.sealed = false
+		// Delta records merge into the current value and bump the version by
+		// one, bypassing the version guard: concurrent commutative adds may
+		// carry colliding coordinator-assigned versions (each saw the same
+		// base), yet every delta must still take effect exactly once. The
+		// at-most-once guarantee moves from the version guard to the callers
+		// (decision-table idempotency, checkpoint horizon exactness).
+		// Absolute records keep the version guard, which makes their replay
+		// idempotent.
+		var next Copy
+		if w.Delta {
+			next = Copy{Value: c.Value + w.Value, Version: c.Version + 1}
+		} else if w.Version > c.Version {
+			next = Copy{Value: w.Value, Version: w.Version}
+		} else {
+			continue
+		}
+		if sh.sealed {
+			clone := make(map[model.ItemID]Copy, len(sh.copies))
+			for k, v := range sh.copies {
+				clone[k] = v
 			}
-			sh.copies[w.Item] = Copy{Value: w.Value, Version: w.Version}
-			sh.installs.Add(1)
-			epoch := s.epoch.Load()
-			sh.dirtyEpoch.Store(epoch)
-			if sh.dirty != nil {
-				sh.dirty[w.Item] = epoch
-			}
+			sh.copies = clone
+			sh.sealed = false
+		}
+		sh.copies[w.Item] = next
+		sh.installs.Add(1)
+		epoch := s.epoch.Load()
+		sh.dirtyEpoch.Store(epoch)
+		if sh.dirty != nil {
+			sh.dirty[w.Item] = epoch
 		}
 	}
 	return nil

@@ -80,8 +80,10 @@ func appendFrame(buf, payload []byte) []byte {
 // binaryVersion is the binary record-encoding version byte. Version 2
 // appended the termination electorate (Voters) and the election Ballot;
 // version-1 records (written before quorum-based 3PC termination) decode
-// with those fields zero.
-const binaryVersion = 2
+// with those fields zero. Version 3 appended per-write delta flags
+// (commutative blind-add records); older records decode with every write
+// absolute.
+const binaryVersion = 3
 
 // BinaryCodec is the compact length-delimited binary record encoding:
 // varint-encoded integers and length-prefixed strings, roughly 3-4x smaller
@@ -133,6 +135,15 @@ func (BinaryCodec) Append(buf []byte, r *Record) ([]byte, error) {
 	}
 	buf = binary.AppendUvarint(buf, r.Ballot.N)
 	buf = appendString(buf, string(r.Ballot.Site))
+	// Version-3 fields: one delta flag per write, in write order (appended at
+	// the end so version-2 readers never see them).
+	for _, w := range r.Writes {
+		var delta byte
+		if w.Delta {
+			delta = 1
+		}
+		buf = append(buf, delta)
+	}
 	return buf, nil
 }
 
@@ -250,6 +261,11 @@ func (BinaryCodec) Decode(payload []byte) (Record, error) {
 		}
 		r.Ballot.N = d.uvarint()
 		r.Ballot.Site = model.SiteID(d.string())
+	}
+	if version >= 3 {
+		for i := range r.Writes {
+			r.Writes[i].Delta = d.byte() != 0
+		}
 	}
 	if d.err != nil {
 		return Record{}, d.err

@@ -87,6 +87,50 @@ func appendV1(buf []byte, r *Record) []byte {
 	return binary.AppendUvarint(buf, r.Horizon)
 }
 
+// appendV2 encodes a record exactly as binary version 2 did (Voters and
+// Ballot, but no per-write delta flags) — the back-compat fixture.
+func appendV2(buf []byte, r *Record) []byte {
+	buf = appendV1(buf, r)
+	buf[0] = 2
+	buf = binary.AppendUvarint(buf, uint64(len(r.Voters)))
+	for _, p := range r.Voters {
+		buf = appendString(buf, string(p))
+	}
+	buf = binary.AppendUvarint(buf, r.Ballot.N)
+	return appendString(buf, string(r.Ballot.Site))
+}
+
+// TestBinaryCodecDecodesVersion2: logs written before commutative blind
+// adds (version-2 records) still decode, with every write absolute.
+func TestBinaryCodecDecodesVersion2(t *testing.T) {
+	want := Record{
+		Type:         RecPrepared,
+		Tx:           model.TxID{Site: "S2", Seq: 11},
+		TS:           model.Timestamp{Time: 11, Site: "S2"},
+		Coordinator:  "S2",
+		Participants: []model.SiteID{"S1", "S2"},
+		Writes: []model.WriteRecord{
+			{Item: "y", Value: -4, Version: 5},
+			{Item: "z", Value: 8, Version: 6},
+		},
+		Voters: []model.SiteID{"S1", "S2"},
+		Ballot: model.Ballot{N: 3, Site: "S1"},
+	}
+	payload := appendV2(nil, &want)
+	got, err := (BinaryCodec{}).Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("v2 decode: got %+v, want %+v", got, want)
+	}
+	for i, w := range got.Writes {
+		if w.Delta {
+			t.Errorf("v2 decode invented a delta flag on write %d: %+v", i, w)
+		}
+	}
+}
+
 // TestBinaryCodecDecodesVersion1: logs written before quorum termination
 // (version-1 records) still decode, with the new fields zero.
 func TestBinaryCodecDecodesVersion1(t *testing.T) {

@@ -18,7 +18,10 @@ func sampleRecord(seq uint64) Record {
 		TS:           model.Timestamp{Time: seq, Site: "S1"},
 		Coordinator:  "S1",
 		Participants: []model.SiteID{"S1", "S2"},
-		Writes:       []model.WriteRecord{{Item: "x", Value: int64(seq), Version: model.Version(seq)}},
+		Writes: []model.WriteRecord{
+			{Item: "x", Value: int64(seq), Version: model.Version(seq)},
+			{Item: "c", Value: 3, Version: model.Version(seq + 1), Delta: true},
+		},
 	}
 }
 

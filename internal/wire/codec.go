@@ -445,20 +445,23 @@ func (b *ReadCopyResp) DecodeFrom(p []byte) error {
 func (b *PreWriteReq) Kind() MsgKind { return KindPreWrite }
 
 func (b *PreWriteReq) AppendTo(buf []byte) []byte {
-	buf = append(buf, bodyVersion)
+	// Version 2 appended Add (commutative blind-add pre-writes).
+	buf = append(buf, 2)
 	buf = appendTx(buf, b.Tx)
 	buf = appendTS(buf, b.TS)
 	buf = appendString(buf, string(b.Item))
-	return appendVarint(buf, b.Value)
+	buf = appendVarint(buf, b.Value)
+	return appendBool(buf, b.Add)
 }
 
 func (b *PreWriteReq) DecodeFrom(p []byte) error {
 	r := bodyReader{b: p}
-	r.version()
+	v := r.version()
 	b.Tx = r.tx()
 	b.TS = r.ts()
 	b.Item = model.ItemID(r.str())
 	b.Value = r.varint()
+	b.Add = v >= 2 && r.bool()
 	return r.err
 }
 
@@ -497,7 +500,9 @@ func (b *ReleaseTxReq) DecodeFrom(p []byte) error {
 func (b *PrepareReq) Kind() MsgKind { return KindPrepare }
 
 func (b *PrepareReq) AppendTo(buf []byte) []byte {
-	buf = append(buf, bodyVersion)
+	// Version 2 appended per-write delta flags (commutative blind-add
+	// records), at the end so version-1 decoders never see them.
+	buf = append(buf, 2)
 	buf = appendTx(buf, b.Tx)
 	buf = appendTS(buf, b.TS)
 	buf = appendString(buf, string(b.Coordinator))
@@ -518,12 +523,17 @@ func (b *PrepareReq) AppendTo(buf []byte) []byte {
 	for _, s := range b.Voters {
 		buf = appendString(buf, string(s))
 	}
-	return appendUvarint(buf, b.Incarnation)
+	buf = appendUvarint(buf, b.Incarnation)
+	// Version-2 fields: one delta flag per write, in write order.
+	for _, w := range b.Writes {
+		buf = appendBool(buf, w.Delta)
+	}
+	return buf
 }
 
 func (b *PrepareReq) DecodeFrom(p []byte) error {
 	r := bodyReader{b: p}
-	r.version()
+	v := r.version()
 	b.Tx = r.tx()
 	b.TS = r.ts()
 	b.Coordinator = model.SiteID(r.str())
@@ -559,6 +569,11 @@ func (b *PrepareReq) DecodeFrom(p []byte) error {
 		b.Voters = nil
 	}
 	b.Incarnation = r.uvarint()
+	if v >= 2 {
+		for i := range b.Writes {
+			b.Writes[i].Delta = r.bool()
+		}
+	}
 	return r.err
 }
 

@@ -25,12 +25,15 @@ func filledBodies() []wire.Body {
 		&wire.PingReq{},
 		&wire.ReadCopyReq{Tx: tx, TS: ts, Item: "item-x"},
 		&wire.ReadCopyResp{Value: -12, Version: 3, Clock: 99, Incarnation: 4},
-		&wire.PreWriteReq{Tx: tx, TS: ts, Item: "item-y", Value: 1 << 40},
+		&wire.PreWriteReq{Tx: tx, TS: ts, Item: "item-y", Value: 1 << 40, Add: true},
 		&wire.PreWriteResp{Version: 8, Clock: 100, Incarnation: 5},
 		&wire.ReleaseTxReq{Tx: tx},
 		&wire.PrepareReq{
 			Tx: tx, TS: ts, Coordinator: "S1",
-			Writes:        []model.WriteRecord{{Item: "a", Value: 1, Version: 2}, {Item: "b", Value: -3, Version: 4}},
+			Writes: []model.WriteRecord{
+				{Item: "a", Value: 1, Version: 2},
+				{Item: "b", Value: -3, Version: 4, Delta: true},
+			},
 			Participants:  []model.SiteID{"S1", "S2", "S3"},
 			ThreePhase:    true,
 			NoReadOnlyOpt: true,
@@ -56,6 +59,7 @@ func filledBodies() []wire.Body {
 		&wire.SubmitTxReq{Ops: []model.Op{
 			{Kind: model.OpRead, Item: "r"},
 			{Kind: model.OpWrite, Item: "w", Value: -77},
+			{Kind: model.OpAdd, Item: "a", Value: 13},
 		}},
 		&wire.SubmitTxResp{Outcome: model.Outcome{
 			Tx: tx, Committed: true, Cause: model.AbortNone, LatencyNS: 123456,

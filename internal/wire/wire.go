@@ -331,6 +331,10 @@ type PreWriteReq struct {
 	TS    model.Timestamp
 	Item  model.ItemID
 	Value int64
+	// Add marks a commutative blind-add pre-write: Value is a delta merged
+	// into the copy at commit, and the CCP may admit it without mutual
+	// exclusion (hot-item split execution).
+	Add bool
 }
 
 // PreWriteResp returns the current (pre-write) version of the copy, plus

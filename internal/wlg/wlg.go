@@ -53,6 +53,12 @@ type Profile struct {
 	// ReadFraction is the probability an operation is a read. Default 0.75.
 	ReadFraction float64
 
+	// AddFraction is the probability a non-read operation is a blind
+	// commutative add (reconciled at commit) instead of an absolute
+	// write. Hot-key add workloads are what split execution accelerates.
+	// Default 0.
+	AddFraction float64
+
 	// Zipf, when > 0, skews item access with the given Zipf s parameter
 	// (s > 1); otherwise access is uniform.
 	Zipf float64
@@ -163,16 +169,44 @@ func (g *Generator) Profile() Profile { return g.profile }
 
 // NextTx synthesizes the next transaction's operations. Writes use a value
 // derived from the generator sequence so committed values are traceable.
+// Blind adds may not mix with reads or writes of the same item inside one
+// transaction (the home site rejects that), so when the sampled kind
+// collides with the item's earlier use the op is coerced to the
+// established class — adds merge anyway, and a read that was going to be
+// an add becomes one more delta instead of an abort.
 func (g *Generator) NextTx() []model.Op {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.seq++
-	ops := make([]model.Op, 0, g.profile.OpsPerTx)
-	for i := 0; i < g.profile.OpsPerTx; i++ {
+	p := g.profile
+	ops := make([]model.Op, 0, p.OpsPerTx)
+	var added, rw map[model.ItemID]bool
+	if p.AddFraction > 0 {
+		added = make(map[model.ItemID]bool, p.OpsPerTx)
+		rw = make(map[model.ItemID]bool, p.OpsPerTx)
+	}
+	for i := 0; i < p.OpsPerTx; i++ {
 		item := g.profile.Items[g.itemPicker()]
-		if g.rng.Float64() < g.profile.ReadFraction {
+		read := g.rng.Float64() < p.ReadFraction
+		add := p.AddFraction > 0 && !read && g.rng.Float64() < p.AddFraction
+		if added != nil {
+			switch {
+			case added[item]:
+				read, add = false, true
+			case rw[item]:
+				add = false
+			case add:
+				added[item] = true
+			default:
+				rw[item] = true
+			}
+		}
+		switch {
+		case add:
+			ops = append(ops, model.Add(item, int64(i+1)))
+		case read:
 			ops = append(ops, model.Read(item))
-		} else {
+		default:
 			ops = append(ops, model.Write(item, int64(g.seq*100+i)))
 		}
 	}
@@ -329,8 +363,9 @@ func summarize(outcomes []model.Outcome, restarts int, elapsed time.Duration) Re
 }
 
 // Manual composes a single transaction from textual operation specs — the
-// manual workload generation panel (Figure A-2). Each spec is either
-// {Kind: "r", Item: "x"} or {Kind: "w", Item: "x", Value: v}.
+// manual workload generation panel (Figure A-2). Each spec is
+// {Kind: "r", Item: "x"}, {Kind: "w", Item: "x", Value: v} or
+// {Kind: "a", Item: "x", Value: delta}.
 type Manual struct {
 	Kind  string
 	Item  model.ItemID
@@ -346,8 +381,10 @@ func Compose(specs []Manual) ([]model.Op, error) {
 			ops = append(ops, model.Read(s.Item))
 		case "w", "W", "write":
 			ops = append(ops, model.Write(s.Item, s.Value))
+		case "a", "A", "add":
+			ops = append(ops, model.Add(s.Item, s.Value))
 		default:
-			return nil, model.Abortf(model.AbortClient, "manual op kind %q (want r or w)", s.Kind)
+			return nil, model.Abortf(model.AbortClient, "manual op kind %q (want r, w or a)", s.Kind)
 		}
 	}
 	return ops, nil

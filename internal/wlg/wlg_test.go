@@ -143,6 +143,58 @@ func TestOpMixRespectsReadFraction(t *testing.T) {
 	}
 }
 
+func TestAddFractionGeneratesAdds(t *testing.T) {
+	p := profile(1)
+	p.ReadFraction = 0.000001
+	p.AddFraction = 1.0
+	p.OpsPerTx = 4
+	g := New(p)
+	adds := 0
+	for i := 0; i < 50; i++ {
+		for _, op := range g.NextTx() {
+			if op.Kind == model.OpAdd {
+				adds++
+				if op.Value == 0 {
+					t.Fatal("blind add with zero delta")
+				}
+			}
+		}
+	}
+	if adds < 190 {
+		t.Errorf("adds = %d of 200 with AddFraction=1, ReadFraction≈0", adds)
+	}
+}
+
+// TestAddNeverMixesWithSameItem: a blind add may not share a transaction
+// with a read or write of the same item — the session write set cannot
+// merge a delta with an absolute record, and the site layer dooms such
+// transactions. The generator must coerce collisions, never emit them.
+func TestAddNeverMixesWithSameItem(t *testing.T) {
+	p := profile(1)
+	p.ReadFraction = 0.4
+	p.AddFraction = 0.5
+	p.OpsPerTx = 6
+	p.HotItems = 2 // force item collisions within a transaction
+	g := New(p)
+	for i := 0; i < 300; i++ {
+		ops := g.NextTx()
+		added := map[model.ItemID]bool{}
+		rw := map[model.ItemID]bool{}
+		for _, op := range ops {
+			if op.Kind == model.OpAdd {
+				added[op.Item] = true
+			} else {
+				rw[op.Item] = true
+			}
+		}
+		for item := range added {
+			if rw[item] {
+				t.Fatalf("tx %d mixes add and read/write on %s: %v", i, item, ops)
+			}
+		}
+	}
+}
+
 func TestOpsPerTx(t *testing.T) {
 	p := profile(1)
 	p.OpsPerTx = 7
@@ -279,12 +331,17 @@ func TestComposeManual(t *testing.T) {
 		{Kind: "w", Item: "y", Value: 7},
 		{Kind: "read", Item: "z"},
 		{Kind: "W", Item: "x", Value: -1},
+		{Kind: "a", Item: "cnt", Value: 5},
+		{Kind: "add", Item: "cnt", Value: -2},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ops) != 4 || ops[0].Kind != model.OpRead || ops[1].Value != 7 || ops[3].Item != "x" {
+	if len(ops) != 6 || ops[0].Kind != model.OpRead || ops[1].Value != 7 || ops[3].Item != "x" {
 		t.Errorf("ops = %v", ops)
+	}
+	if ops[4].Kind != model.OpAdd || ops[4].Value != 5 || ops[5].Kind != model.OpAdd || ops[5].Value != -2 {
+		t.Errorf("add ops = %v", ops[4:])
 	}
 	if _, err := Compose([]Manual{{Kind: "delete", Item: "x"}}); err == nil {
 		t.Error("invalid manual op accepted")

@@ -6,7 +6,8 @@
 //
 //	go run ./tools/benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json \
 //	    [-metric ns/op] [-threshold 0.25] [-match 'Recovery|WAL|Checkpoint'] \
-//	    [-ratios 'slowBench:fastBench,...'] [-ratio-threshold 0.4]
+//	    [-ratios 'slowBench:fastBench,...'] [-ratio-threshold 0.4] \
+//	    [-min-ratios 'bigBench:smallBench:minRatio,...']
 //
 // Every baseline benchmark whose name matches -match and carries the gated
 // metric must (a) still exist in the current run and (b) not exceed
@@ -26,6 +27,14 @@
 // missing from the baseline are reported as new; pairs missing from the
 // current run fail.
 //
+// -min-ratios is the absolute (baseline-free) variant for acceptance
+// criteria of the form "variant A must beat variant B by at least N×": each
+// triple names a big benchmark, a small one, and the floor their
+// metric(big)/metric(small) ratio from the CURRENT artifact alone must
+// clear. Same-run ratios cancel runner speed like -ratios does, but the
+// floor is fixed, so the gate holds even before any baseline carries the
+// pair. Either side missing from the current run fails.
+//
 // Exit status: 0 = gate passed, 1 = regression or missing benchmark,
 // 2 = usage/IO error.
 package main
@@ -37,6 +46,7 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -75,6 +85,7 @@ func main() {
 	match := flag.String("match", "Recovery|WAL|Checkpoint", "regexp selecting gated benchmark names")
 	ratios := flag.String("ratios", "", "comma-separated slow:fast benchmark pairs gated on their metric ratio (machine-invariant)")
 	ratioThreshold := flag.Float64("ratio-threshold", 0.4, "tolerated relative shrink of a slow/fast ratio (0.4 = the win may lose 40%)")
+	minRatios := flag.String("min-ratios", "", "comma-separated big:small:min triples gated on metric(big)/metric(small) >= min in the current artifact alone")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
@@ -170,6 +181,34 @@ func main() {
 					failed = true
 				}
 				fmt.Printf("%-60s %14.2f %14.2f %+7.1f%%  %s\n", label, baseRatio, curRatio, delta*100, verdict)
+			}
+		}
+	}
+
+	if *minRatios != "" {
+		fmt.Printf("\n%-60s %14s %14s\n", "ratio floor (big/small)", "current", "floor")
+		for _, triple := range strings.Split(*minRatios, ",") {
+			parts := strings.Split(strings.TrimSpace(triple), ":")
+			if len(parts) != 3 {
+				fmt.Fprintf(os.Stderr, "benchdiff: malformed -min-ratios triple %q (want big:small:min)\n", triple)
+				os.Exit(2)
+			}
+			floor, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil || floor <= 0 {
+				fmt.Fprintf(os.Stderr, "benchdiff: bad -min-ratios floor %q: %v\n", parts[2], err)
+				os.Exit(2)
+			}
+			label := parts[0] + " / " + parts[1]
+			curRatio, ok := ratioOf(cur, parts[0], parts[1], *metric)
+			switch {
+			case !ok:
+				fmt.Printf("%-60s %14s %14.2f  MISSING IN CURRENT RUN\n", label, "-", floor)
+				failed = true
+			case curRatio < floor:
+				fmt.Printf("%-60s %14.2f %14.2f  BELOW FLOOR\n", label, curRatio, floor)
+				failed = true
+			default:
+				fmt.Printf("%-60s %14.2f %14.2f  ok\n", label, curRatio, floor)
 			}
 		}
 	}
