@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -107,7 +108,7 @@ func heat(t *testing.T, m *TwoPL, item model.ItemID, threshold int) {
 		t.Fatal(err)
 	}
 	for i := 0; i < threshold; i++ {
-		if _, err := m.TryPreAdd(tx(101+uint64(i)), ts(101), item, 1); err != ErrWouldBlock {
+		if _, err := m.TryPreAdd(tx(101+uint64(i)), ts(101), item, 1); !errors.Is(err, ErrWouldBlock) {
 			t.Fatalf("contended TryPreAdd = %v, want ErrWouldBlock", err)
 		}
 	}
@@ -237,7 +238,7 @@ func Test2PLNoSplitAblation(t *testing.T) {
 	}
 	// Contended adds never split with the ablation on, no matter how hot.
 	for i := uint64(0); i < 20; i++ {
-		if _, err := m.TryPreAdd(tx(2+i), ts(2), "x", 1); err != ErrWouldBlock {
+		if _, err := m.TryPreAdd(tx(2+i), ts(2), "x", 1); !errors.Is(err, ErrWouldBlock) {
 			t.Fatalf("TryPreAdd under ablation = %v, want ErrWouldBlock", err)
 		}
 	}
@@ -321,18 +322,18 @@ func Test2PLFinishedTxRefusedNotWouldBlock(t *testing.T) {
 	// Operations for the finished transaction must fail terminally, NOT
 	// report ErrWouldBlock: the pipeline spills would-block operations to a
 	// blocking retry that burns a full lock timeout and can never succeed.
-	if _, _, err := m.TryRead(tx(1), ts(1), "x"); err != ErrTxFinished {
+	if _, _, err := m.TryRead(tx(1), ts(1), "x"); !errors.Is(err, ErrTxFinished) {
 		t.Errorf("TryRead after commit = %v, want ErrTxFinished", err)
 	}
-	if _, err := m.TryPreWrite(tx(1), ts(1), "x", 2); err != ErrTxFinished {
+	if _, err := m.TryPreWrite(tx(1), ts(1), "x", 2); !errors.Is(err, ErrTxFinished) {
 		t.Errorf("TryPreWrite after commit = %v, want ErrTxFinished", err)
 	}
-	if _, err := m.TryPreAdd(tx(1), ts(1), "x", 2); err != ErrTxFinished {
+	if _, err := m.TryPreAdd(tx(1), ts(1), "x", 2); !errors.Is(err, ErrTxFinished) {
 		t.Errorf("TryPreAdd after commit = %v, want ErrTxFinished", err)
 	}
 	// The blocking variants refuse too, and the error is a terminal CC
 	// abort so the serve path error-replies instead of retrying.
-	if _, _, err := m.Read(bg(), tx(1), ts(1), "x"); err != ErrTxFinished {
+	if _, _, err := m.Read(bg(), tx(1), ts(1), "x"); !errors.Is(err, ErrTxFinished) {
 		t.Errorf("Read after commit = %v, want ErrTxFinished", err)
 	}
 	if model.CauseOf(ErrTxFinished) != model.AbortCC {
@@ -344,7 +345,7 @@ func Test2PLFinishedTxRefusedNotWouldBlock(t *testing.T) {
 		t.Fatal(err)
 	}
 	m.Abort(tx(2))
-	if _, err := m.TryPreWrite(tx(2), ts(2), "y", 2); err != ErrTxFinished {
+	if _, err := m.TryPreWrite(tx(2), ts(2), "y", 2); !errors.Is(err, ErrTxFinished) {
 		t.Errorf("TryPreWrite after abort = %v, want ErrTxFinished", err)
 	}
 }

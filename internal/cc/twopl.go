@@ -2,6 +2,7 @@ package cc
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -324,7 +325,7 @@ func (m *TwoPL) PreAdd(ctx context.Context, tx model.TxID, ts model.Timestamp, i
 		return m.finishPreWrite(tx, item, wintent{value: delta, delta: true})
 	}
 	ver, err := m.TryPreAdd(tx, ts, item, delta)
-	if err != ErrWouldBlock {
+	if !errors.Is(err, ErrWouldBlock) {
 		return ver, err
 	}
 	if m.opts.LockTimeout > 0 {
@@ -345,7 +346,7 @@ func (m *TwoPL) PreAdd(ctx context.Context, tx model.TxID, ts model.Timestamp, i
 			backoff *= 2
 		}
 		ver, err := m.TryPreAdd(tx, ts, item, delta)
-		if err != ErrWouldBlock {
+		if !errors.Is(err, ErrWouldBlock) {
 			if err == nil && !start.IsZero() {
 				m.opts.observeWait(ctx, item, start)
 			}

@@ -96,6 +96,10 @@ func WriteMetrics(w io.Writer, rep monitor.Report) {
 		func(s monitor.SiteStats) uint64 { return s.Aborted })
 	counter("rainbow_tx_restarts_total", "Workload-level restarts after CC rejections.",
 		func(s monitor.SiteStats) uint64 { return s.Restarts })
+	counter("rainbow_round_trips_total", "Request/response exchanges the site initiated.",
+		func(s monitor.SiteStats) uint64 { return s.RoundTrips })
+	gauge("rainbow_window_seconds", "Observation window covered by the site's counters.",
+		func(s monitor.SiteStats) float64 { return float64(s.WindowNS) / 1e9 })
 
 	writeMetricHeader(w, "rainbow_tx_aborts_by_cause_total", "counter", "Aborts keyed by cause.")
 	for _, s := range rep.Sites {
@@ -120,8 +124,14 @@ func WriteMetrics(w io.Writer, rep monitor.Report) {
 		func(s monitor.SiteStats) float64 { return float64(s.WALBytes) })
 	counter("rainbow_checkpoints_total", "Completed checkpoints.",
 		func(s monitor.SiteStats) uint64 { return s.Checkpoints })
+	gauge("rainbow_recovery_seconds", "Duration of the site's last restart replay.",
+		func(s monitor.SiteStats) float64 { return float64(s.RecoveryNS) / 1e9 })
 	gauge("rainbow_catalog_epoch", "Catalog epoch the site currently runs.",
 		func(s monitor.SiteStats) float64 { return float64(s.Epoch) })
+	gauge("rainbow_shards", "Data-plane shard count (storage shards and lock stripes).",
+		func(s monitor.SiteStats) float64 { return float64(s.Shards) })
+	gauge("rainbow_store_shards", "Sharded-store shard count reporting occupancy.",
+		func(s monitor.SiteStats) float64 { return float64(len(s.StoreShards)) })
 
 	gauge("rainbow_pipeline_depth", "Operations queued across shard sequencers.",
 		func(s monitor.SiteStats) float64 { return float64(s.PipeDepth) })
@@ -149,6 +159,8 @@ func WriteMetrics(w io.Writer, rep monitor.Report) {
 		func(s monitor.SiteStats) uint64 { return s.NetSentEnvelopes })
 	counter("rainbow_net_send_flushes_total", "Transport flush cycles (send syscalls).",
 		func(s monitor.SiteStats) uint64 { return s.NetSendFlushes })
+	counter("rainbow_net_recv_envelopes_total", "Envelopes decoded from incoming frames.",
+		func(s monitor.SiteStats) uint64 { return s.NetRecvEnvelopes })
 	counter("rainbow_net_recv_frames_total", "Multi-envelope frames decoded.",
 		func(s monitor.SiteStats) uint64 { return s.NetRecvFrames })
 	counter("rainbow_net_send_sheds_total", "Sends dropped under backpressure.",

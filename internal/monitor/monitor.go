@@ -597,6 +597,7 @@ func (r Report) Render() string {
 	fmt.Fprintf(&b, "messages: sent=%d delivered=%d dropped=%d bytes=%d (%.1f msg/s, %.1f msg/commit)\n",
 		r.Net.Sent, r.Net.Delivered, r.Net.Dropped, r.Net.Bytes,
 		r.MessagesPerSecond(), r.MessagesPerCommit())
+	fmt.Fprintf(&b, "codec: binary=%d gob=%d payloads\n", r.Net.CodecBinary, r.Net.CodecGob)
 	fmt.Fprintf(&b, "round trips: %d\n", t.RoundTrips)
 	fmt.Fprintf(&b, "orphan transactions: %d\n", t.Orphans)
 	fmt.Fprintf(&b, "data plane: %d shards, wal %d records / %d flushes (%.1f recs/flush)\n",

@@ -1,0 +1,11 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain fails the suite if any sequencer goroutine outlives the tests
+// — Stop must drain and join every shard worker.
+func TestMain(m *testing.M) { testutil.VerifyMain(m) }

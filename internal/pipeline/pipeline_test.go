@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -122,7 +123,7 @@ func TestSubmitAfterCloseFails(t *testing.T) {
 	if got := handled.Load(); got != 6 {
 		t.Errorf("Close drained %d ops, want 6", got)
 	}
-	if err := p.Submit(context.Background(), 0, 9); err != ErrClosed {
+	if err := p.Submit(context.Background(), 0, 9); !errors.Is(err, ErrClosed) {
 		t.Errorf("Submit after Close = %v, want ErrClosed", err)
 	}
 }
@@ -152,7 +153,7 @@ func TestBackpressureBlocksAndCounts(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	if err := p.Submit(ctx, 0, 99); err != context.DeadlineExceeded {
+	if err := p.Submit(ctx, 0, 99); !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("Submit on full queue = %v, want deadline exceeded", err)
 	}
 	if st := p.Stats(); st.Stalls == 0 {

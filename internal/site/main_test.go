@@ -1,0 +1,11 @@
+package site
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain fails the suite if any site goroutine (janitor, checkpointer,
+// pipeline worker, transport loop) outlives the tests — Stop owns them all.
+func TestMain(m *testing.M) { testutil.VerifyMain(m) }

@@ -2,6 +2,7 @@ package site
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"repro/internal/cc"
@@ -159,7 +160,7 @@ func (s *Site) copyBatch(_ int, batch []copyOp) {
 		}
 		if op.kind == wire.KindReadCopy {
 			v, ver, err := ccm.TryRead(op.read.Tx, op.read.TS, op.read.Item)
-			if err == cc.ErrWouldBlock {
+			if errors.Is(err, cc.ErrWouldBlock) {
 				results[i].spilled = true
 				continue
 			}
@@ -170,7 +171,7 @@ func (s *Site) copyBatch(_ int, batch []copyOp) {
 				tryPre = ccm.TryPreAdd
 			}
 			ver, err := tryPre(op.write.Tx, op.write.TS, op.write.Item, op.write.Value)
-			if err == cc.ErrWouldBlock {
+			if errors.Is(err, cc.ErrWouldBlock) {
 				results[i].spilled = true
 				continue
 			}

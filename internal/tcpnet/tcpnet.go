@@ -789,11 +789,20 @@ func (e *endpoint) readConn(oc *outConn, br *bufio.Reader, from model.SiteID, ba
 	conn := oc.conn
 	defer func() {
 		e.mu.Lock()
-		if from != "" && e.conns[from] == oc && oc.conn == conn {
+		// A redial swapped in a fresh socket: this loop's exit concerns the
+		// old one only, and the outConn (with its writer) lives on.
+		stale := oc.conn != conn
+		if from != "" && e.conns[from] == oc && !stale {
 			delete(e.conns, from)
 		}
 		e.mu.Unlock()
 		conn.Close()
+		if !stale {
+			// The write half has no reason to outlive the read half: without
+			// this an accepted connection's idle writer (blocked on its send
+			// queue, never registered in conns) leaks past endpoint Close.
+			oc.kill()
+		}
 	}()
 
 	var (

@@ -163,7 +163,7 @@ func OpenSegmented(dir string, opts SegmentOptions) (*SegmentedLog, error) {
 	}
 	for i, path := range paths {
 		m, recs, err := l.scanSegment(path, i == len(paths)-1)
-		if err == errRedundantSparse {
+		if errors.Is(err, errRedundantSparse) {
 			os.Remove(path) //nolint:errcheck
 			continue
 		}
@@ -279,8 +279,10 @@ func (l *SegmentedLog) scanSegment(path string, tail bool) (segMeta, []Record, e
 			if sparse {
 				// A crash between a sparse rewrite's rename and the removal of
 				// the original left both behind; the original (scanned first —
-				// lower first LSN, lower name) is a superset of this one.
-				return m, nil, errRedundantSparse
+				// lower first LSN, lower name) is a superset of this one. The
+				// sentinel travels wrapped in segment context like every other
+				// scan error, so callers must match it with errors.Is.
+				return m, nil, fmt.Errorf("wal: segment %s: %w", path, errRedundantSparse)
 			}
 			return m, nil, fmt.Errorf("wal: segment %s: first LSN %d overlaps sequence at %d", path, first, l.nextLSN)
 		}

@@ -690,3 +690,77 @@ func TestSparseRewriteCrashLeftoverRecovered(t *testing.T) {
 		}
 	}
 }
+
+// The redundant-sparse sentinel now travels wrapped in segment context,
+// like every other scan error. The recovery path must match it with
+// errors.Is: identity comparison only ever worked because the sentinel
+// happened to be returned bare, and a reopen that misclassifies the
+// leftover refuses to open the log at all.
+func TestRedundantSparseSentinelArrivesWrapped(t *testing.T) {
+	dir := t.TempDir()
+	l := openSeg(t, dir, SegmentOptions{SegmentBytes: 256})
+	appendTxn(t, l, 1, true)
+	orphan := model.TxID{Site: "S1", Seq: 1000}
+	if err := l.Append(Record{Type: RecPrepared, Tx: orphan, Coordinator: "S2"}); err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(2); seq <= 40; seq++ {
+		appendTxn(t, l, seq, true)
+	}
+	paths, err := listSegments(dir)
+	if err != nil || len(paths) < 2 {
+		t.Fatalf("segments = %v, %v", paths, err)
+	}
+	densePath := paths[0]
+	dense, err := os.ReadFile(densePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Compact(l.DurableLSN() + 1); err != nil {
+		t.Fatal(err)
+	}
+	if l.Rewrites() != 1 {
+		t.Fatalf("Rewrites = %d, want 1", l.Rewrites())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash reconstruction: dense original back beside the sparse rewrite.
+	if err := os.WriteFile(densePath, dense, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive the scan exactly like OpenSegmented does and catch the error
+	// the redundant sparse leftover produces.
+	paths, err = listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanner := &SegmentedLog{nextLSN: 1, pins: newPinTracker()}
+	var redundantErr error
+	for i, path := range paths {
+		m, _, err := scanner.scanSegment(path, i == len(paths)-1)
+		if err != nil {
+			redundantErr = err
+			break
+		}
+		scanner.nextLSN = m.last + 1
+	}
+	if redundantErr == nil {
+		t.Fatal("no scan error; expected the sparse leftover to be reported redundant")
+	}
+	if redundantErr == errRedundantSparse { //rainbowlint:allow errcompare — this asserts the sentinel IS wrapped
+		t.Fatal("sentinel returned bare; it must be wrapped in segment context")
+	}
+	if !errors.Is(redundantErr, errRedundantSparse) {
+		t.Fatalf("scan error %v does not wrap errRedundantSparse", redundantErr)
+	}
+
+	// And the real open path classifies it correctly: the leftover is
+	// dropped and the log opens.
+	l2 := openSeg(t, dir, SegmentOptions{})
+	defer l2.Close()
+	if _, err := l2.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+}

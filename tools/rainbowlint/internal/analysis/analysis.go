@@ -1,0 +1,50 @@
+// Package analysis is a minimal, dependency-free subset of the
+// golang.org/x/tools/go/analysis API: just enough structure for rainbowlint's
+// project-specific analyzers to be written in the standard shape (an Analyzer
+// value with a Run function over a typed Pass) and driven either by the
+// unitchecker-compatible `go vet -vettool` protocol (internal/unit) or by the
+// golden-file test runner (internal/anatest). The container image pins the
+// module graph (no network), so vendoring x/tools is not an option; the
+// surface here is deliberately tiny and mirrors the upstream names so the
+// analyzers port verbatim if the real dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name is the flag/reporting name (lower-case, no spaces).
+	Name string
+	// Doc is the one-paragraph description printed by -flags usage and the
+	// README generator.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked form to an Analyzer.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic; the driver decides formatting.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,117 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/rainbowlint/internal/analysis"
+)
+
+// Errcompare flags ==/!= comparisons between an error value and a sentinel
+// error variable. Sentinels travel wrapped through fmt.Errorf("...: %w")
+// and model.AbortError causes, so identity comparison silently stops
+// matching the moment any layer adds context; errors.Is is the only form
+// that survives wrapping.
+//
+// Allowlisted: io.EOF and io.ErrUnexpectedEOF (raw reader contracts return
+// them unwrapped by definition), net.ErrClosed and http.ErrServerClosed
+// (same contract), and any comparison whose other operand is a direct
+// `x.Err()` call — context.Context.Err documents returning the sentinel
+// itself.
+var Errcompare = &analysis.Analyzer{
+	Name: "errcompare",
+	Doc: "flags ==/!= against sentinel errors where errors.Is is required\n" +
+		"Sentinel errors arrive wrapped via %w and AbortError causes; identity\n" +
+		"comparison misses them. io.EOF-style raw-reader sentinels are allowlisted.",
+	Run: runErrcompare,
+}
+
+// errcompareAllowlist names sentinels whose package contracts guarantee
+// unwrapped returns on the paths that compare them.
+var errcompareAllowlist = map[string]bool{
+	"io.EOF":               true,
+	"io.ErrUnexpectedEOF":  true,
+	"net.ErrClosed":        true,
+	"http.ErrServerClosed": true,
+}
+
+func runErrcompare(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			xs, xname := sentinelError(pass, cmp.X)
+			ys, yname := sentinelError(pass, cmp.Y)
+			if xs == nil && ys == nil {
+				return true
+			}
+			// Pick the sentinel side; the other operand must itself be an
+			// error (rules out kind == ErrKindConst-style value types).
+			sentinel, name, other := xs, xname, cmp.Y
+			if sentinel == nil {
+				sentinel, name, other = ys, yname, cmp.X
+			}
+			if errcompareAllowlist[name] {
+				return true
+			}
+			if !implementsError(pass.TypesInfo.Types[other].Type) {
+				return true
+			}
+			if isNilExpr(pass, other) {
+				return true
+			}
+			// ctx.Err()-style accessors document returning the sentinel
+			// identity; comparing their result directly is sound.
+			if methodCallName(other) == "Err" {
+				return true
+			}
+			if allowedByDirective(pass, cmp.OpPos, "errcompare") {
+				return true
+			}
+			pass.Reportf(cmp.OpPos,
+				"comparison with sentinel error %s uses %s; use errors.Is so wrapped errors still match",
+				name, cmp.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelError reports whether e refers to a package-level error variable,
+// returning the variable and its qualified name.
+func sentinelError(pass *analysis.Pass, e ast.Expr) (*types.Var, string) {
+	var id *ast.Ident
+	qualifier := ""
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		if pkg, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := pass.TypesInfo.Uses[pkg].(*types.PkgName); isPkg {
+				id = e.Sel
+				qualifier = pkg.Name + "."
+			}
+		}
+	}
+	if id == nil {
+		return nil, ""
+	}
+	obj := pass.TypesInfo.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil, ""
+	}
+	if !implementsError(v.Type()) {
+		return nil, ""
+	}
+	return v, qualifier + v.Name()
+}
+
+// isNilExpr reports whether e is the untyped nil.
+func isNilExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,248 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/rainbowlint/internal/analysis"
+)
+
+// Gateorder enforces the two lock-discipline conventions recovery
+// correctness rests on:
+//
+//  1. Checkpoint-gate discipline: in the site layer, the participant
+//     handlers that force ACP records (HandlePrepare, HandlePreCommit,
+//     HandleTermQuery, HandlePreDecide) must run under the checkpoint
+//     gate's read side — the caller takes gate.RLock() so a fuzzy
+//     checkpoint cannot capture a store the forced record contradicts.
+//     HandleDecision is exempt: decision forcing routes through the
+//     coordinator log and the participant takes the gate itself.
+//
+//  2. Sorted shard-lock order: a loop that locks shard mutexes by
+//     positions drawn from an index slice must sort that slice first
+//     (ranging over the shard slice itself is inherently ordered).
+//     Unordered multi-shard acquisition deadlocks against concurrent
+//     multi-shard commits.
+//
+// Both rules are call-pattern checks over the known entry points, not
+// whole-program lock analysis; they catch the regression that matters —
+// a new call site skipping the convention.
+var Gateorder = &analysis.Analyzer{
+	Name: "gateorder",
+	Doc: "checks checkpoint-gate discipline and sorted shard-lock order\n" +
+		"Record-forcing participant handlers need a prior gate.RLock in the\n" +
+		"site layer; index-slice lock loops need a prior sort of the slice.",
+	Run: runGateorder,
+}
+
+// gatedParticipantMethods are the acp.Participant entry points whose
+// record forcing the caller must cover with the checkpoint gate.
+var gatedParticipantMethods = map[string]bool{
+	"HandlePrepare":   true,
+	"HandlePreCommit": true,
+	"HandleTermQuery": true,
+	"HandlePreDecide": true,
+}
+
+func runGateorder(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		test := isTestFile(pass, f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// Rule 1 is a production-call-discipline rule for the site
+			// layer; tests drive handlers directly through their own
+			// fixtures and are exempt.
+			if pass.Pkg.Name() == "site" && !test {
+				checkGateDiscipline(pass, fn)
+			}
+			checkSortedLockLoops(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkGateDiscipline(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !gatedParticipantMethods[sel.Sel.Name] {
+			return true
+		}
+		recv := namedOf(pass.TypesInfo.Types[sel.X].Type)
+		if recv == nil || recv.Obj().Name() != "Participant" {
+			return true
+		}
+		if !gateHeldBefore(pass, fn, call.Pos()) {
+			pass.Reportf(call.Pos(),
+				"%s forces an ACP record and must run under the checkpoint gate; take gate.RLock() first in this function",
+				sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// gateHeldBefore reports whether fn acquires a sync.RWMutex (the
+// checkpoint gate's type) at a position before pos.
+func gateHeldBefore(pass *analysis.Pass, fn *ast.FuncDecl, pos token.Pos) bool {
+	held := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "RLock" && sel.Sel.Name != "Lock") {
+			return true
+		}
+		if isRWMutex(pass.TypesInfo.Types[sel.X].Type) {
+			held = true
+		}
+		return true
+	})
+	return held
+}
+
+func isRWMutex(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Name() == "RWMutex" &&
+		n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync"
+}
+
+// checkSortedLockLoops flags range loops over an integer index slice whose
+// body locks by the ranged element when the slice is not visibly sorted
+// earlier in the same function.
+func checkSortedLockLoops(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		idxVar := rangeElemVar(pass, rng)
+		if idxVar == nil || !isIntSlice(pass.TypesInfo.Types[rng.X].Type) {
+			return true
+		}
+		if !lockIndexedBy(pass, rng.Body, idxVar) {
+			return true
+		}
+		if !sortedBefore(pass, fn, rng.X, rng.Pos()) {
+			pass.Reportf(rng.Pos(),
+				"shard locks are taken in iteration order of %s, which is not sorted in this function; sort it first (unordered multi-shard locking deadlocks)",
+				types.ExprString(rng.X))
+		}
+		return true
+	})
+}
+
+// rangeElemVar returns the variable bound to the slice *element* in a
+// range statement (the second variable), or nil.
+func rangeElemVar(pass *analysis.Pass, rng *ast.RangeStmt) *types.Var {
+	id, ok := rng.Value.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+func isIntSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// lockIndexedBy reports whether body contains a Lock/RLock call on an
+// expression indexed by v (e.g. s.shards[idx].mu.Lock()).
+func lockIndexedBy(pass *analysis.Pass, body *ast.BlockStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		ast.Inspect(sel.X, func(m ast.Node) bool {
+			idx, ok := m.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			if usesVarExpr(pass, idx.Index, v) {
+				found = true
+			}
+			return !found
+		})
+		return true
+	})
+	return found
+}
+
+func usesVarExpr(pass *analysis.Pass, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedBefore reports whether the ranged slice expression is passed to a
+// sort.* / slices.Sort* call earlier in the function.
+func sortedBefore(pass *analysis.Pass, fn *ast.FuncDecl, ranged ast.Expr, pos token.Pos) bool {
+	want := types.ExprString(ranged)
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if _, isPkg := pass.TypesInfo.Uses[pkg].(*types.PkgName); !isPkg {
+			return true
+		}
+		if pkg.Name != "sort" && pkg.Name != "slices" {
+			return true
+		}
+		if types.ExprString(call.Args[0]) == want {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}

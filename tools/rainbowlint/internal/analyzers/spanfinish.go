@@ -1,0 +1,389 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/rainbowlint/internal/analysis"
+)
+
+// Spanfinish checks that every trace span or active trace obtained in a
+// function is finished on all paths out of it: a Timer from
+// Active.StartSpan must reach End(), an *Active from Tracer.Begin/Join
+// must reach Finish(). An unfinished span silently drops its stage sample
+// and, for actives, leaks the collation slot until eviction — the same
+// failure mode context.WithCancel has, hence the lostcancel-style shape.
+//
+// The check is conservative: a span value that escapes the function
+// (passed as an argument, stored, returned, or captured by a closure) is
+// assumed finished by its new owner, and control flow the analysis cannot
+// model (select, goto, labels) suppresses reporting rather than guessing.
+var Spanfinish = &analysis.Analyzer{
+	Name: "spanfinish",
+	Doc: "checks trace.StartSpan/Begin/Join results are finished on all paths\n" +
+		"Timers need End(), actives need Finish(); escaping values are assumed\n" +
+		"handed off and nil-guarded branches are understood (the API is nil-safe).",
+	Run: runSpanfinish,
+}
+
+// spanSource describes one tracked acquisition site.
+type spanSource struct {
+	v      *types.Var // the local the result was assigned to
+	assign *ast.AssignStmt
+	finish string // required method: "End" or "Finish"
+	what   string // human name for reports
+}
+
+func runSpanfinish(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			checkSpanBody(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSpanBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var sources []spanSource
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested functions are checked separately
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		finish, what := spanAcquisition(pass, as.Rhs[0])
+		if finish == "" {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return true
+		}
+		sources = append(sources, spanSource{v: v, assign: as, finish: finish, what: what})
+		return true
+	})
+
+	for _, src := range sources {
+		checkSpanSource(pass, body, src)
+	}
+}
+
+// spanAcquisition classifies rhs as a span-producing call, returning the
+// finisher method name ("" if not one).
+func spanAcquisition(pass *analysis.Pass, rhs ast.Expr) (finish, what string) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	named := namedOf(pass.TypesInfo.Types[call].Type)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "trace" {
+		return "", ""
+	}
+	switch {
+	case sel.Sel.Name == "StartSpan" && named.Obj().Name() == "Timer":
+		return "End", "span"
+	case (sel.Sel.Name == "Begin" || sel.Sel.Name == "Join") && named.Obj().Name() == "Active":
+		return "Finish", "active trace"
+	}
+	return "", ""
+}
+
+func checkSpanSource(pass *analysis.Pass, body *ast.BlockStmt, src spanSource) {
+	// Escape analysis: any use of the variable other than a method call on
+	// it (or its re-binding in the tracked assignment) hands it off.
+	escaped := false
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == src.v {
+			if !isReceiverUse(parents, id) && !isNilCompareUse(pass, parents, id) {
+				escaped = true
+			}
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A closure capturing the variable owns its lifetime now.
+			if usesVar(pass, n, src.v) {
+				escaped = true
+			}
+			return false
+		}
+		return true
+	})
+	if escaped {
+		return
+	}
+
+	list, idx := enclosingList(body, src.assign)
+	if list == nil {
+		return
+	}
+	c := &spanPathCheck{pass: pass, src: src}
+	ensured := c.listEnsures(list[idx+1:])
+	if c.bail {
+		return
+	}
+	// Leaking returns are real regardless of whether the fall-through path
+	// finishes: each one left the function with the span still open.
+	if len(c.leaks) > 0 {
+		for _, pos := range c.leaks {
+			pass.Reportf(pos,
+				"this return may be reached without finishing the %s started at line %d; call %s.%s()",
+				src.what, pass.Fset.Position(src.assign.Pos()).Line, src.v.Name(), src.finish)
+		}
+		return
+	}
+	if !ensured {
+		pass.Reportf(src.assign.Pos(),
+			"%s is not finished on all paths; call %s.%s() (deferring it is safest)",
+			src.what, src.v.Name(), src.finish)
+	}
+}
+
+// isReceiverUse reports whether id is used only as the receiver of a
+// method call (v.M(...)) or as the LHS of its own binding.
+func isReceiverUse(parents map[ast.Node]ast.Node, id *ast.Ident) bool {
+	sel, ok := parents[id].(*ast.SelectorExpr)
+	if ok && sel.X == id {
+		if call, ok := parents[sel].(*ast.CallExpr); ok && call.Fun == sel {
+			return true
+		}
+		return false
+	}
+	if as, ok := parents[id].(*ast.AssignStmt); ok {
+		for _, l := range as.Lhs {
+			if l == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isNilCompareUse reports whether id is one side of a ==/!= nil check —
+// a guard, not a handoff, so it must not count as an escape (it is what
+// the nilGuard path-analysis exists to understand).
+func isNilCompareUse(pass *analysis.Pass, parents map[ast.Node]ast.Node, id *ast.Ident) bool {
+	cmp, ok := parents[id].(*ast.BinaryExpr)
+	if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+		return false
+	}
+	other := cmp.X
+	if other == ast.Expr(id) {
+		other = cmp.Y
+	}
+	tv, ok := pass.TypesInfo.Types[other]
+	return ok && tv.IsNil()
+}
+
+func usesVar(pass *analysis.Pass, n ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingList finds the innermost statement list containing target and
+// its index there.
+func enclosingList(body *ast.BlockStmt, target ast.Stmt) (list []ast.Stmt, idx int) {
+	var find func(stmts []ast.Stmt) bool
+	find = func(stmts []ast.Stmt) bool {
+		for i, s := range stmts {
+			if s == target {
+				list, idx = stmts, i
+				return true
+			}
+			done := false
+			ast.Inspect(s, func(n ast.Node) bool {
+				if done {
+					return false
+				}
+				switch n := n.(type) {
+				case *ast.BlockStmt:
+					done = find(n.List)
+					return !done
+				case *ast.CaseClause:
+					done = find(n.Body)
+					return !done
+				case *ast.CommClause:
+					done = find(n.Body)
+					return !done
+				case *ast.FuncLit:
+					return false
+				}
+				return !done
+			})
+			if done {
+				return true
+			}
+		}
+		return false
+	}
+	find(body.List)
+	return list, idx
+}
+
+// spanPathCheck walks statement lists asking "does every path from here
+// finish the span before leaving the function?".
+type spanPathCheck struct {
+	pass  *analysis.Pass
+	src   spanSource
+	leaks []token.Pos
+	bail  bool // hit control flow we don't model; stay silent
+}
+
+func (c *spanPathCheck) listEnsures(list []ast.Stmt) bool {
+	for _, s := range list {
+		if c.bail {
+			return true
+		}
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if c.isFinishCall(s.X) {
+				return true
+			}
+		case *ast.DeferStmt:
+			if c.isFinishCall(s.Call) {
+				return true
+			}
+		case *ast.ReturnStmt:
+			c.leaks = append(c.leaks, s.Pos())
+			return false
+		case *ast.BranchStmt:
+			if s.Tok == token.GOTO {
+				c.bail = true
+			}
+			// break/continue leave this list; the surrounding scan covers
+			// where they land.
+			return false
+		case *ast.IfStmt:
+			thenGuarded, elseGuarded := c.nilGuard(s.Cond)
+			thenE, elseE := thenGuarded, elseGuarded
+			if !thenGuarded {
+				thenE = c.listEnsures(s.Body.List)
+			}
+			if !elseGuarded {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					elseE = c.listEnsures(e.List)
+				case *ast.IfStmt:
+					elseE = c.listEnsures([]ast.Stmt{e})
+				}
+			}
+			if thenE && elseE {
+				return true
+			}
+		case *ast.BlockStmt:
+			if c.listEnsures(s.List) {
+				return true
+			}
+		case *ast.ForStmt:
+			c.listEnsures(s.Body.List) // surface leaks at inner returns
+		case *ast.RangeStmt:
+			c.listEnsures(s.Body.List)
+		case *ast.SwitchStmt:
+			if c.switchEnsures(s.Body) {
+				return true
+			}
+		case *ast.TypeSwitchStmt:
+			if c.switchEnsures(s.Body) {
+				return true
+			}
+		case *ast.SelectStmt, *ast.LabeledStmt:
+			c.bail = true
+			return true
+		}
+	}
+	return false
+}
+
+func (c *spanPathCheck) switchEnsures(body *ast.BlockStmt) bool {
+	all, hasDefault := true, false
+	for _, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if !c.listEnsures(cc.Body) {
+			all = false
+		}
+	}
+	return all && hasDefault
+}
+
+// nilGuard recognizes `v != nil` / `v == nil` conditions: the branch where
+// the span is nil needs no finishing (the trace API is nil-safe).
+func (c *spanPathCheck) nilGuard(cond ast.Expr) (thenGuarded, elseGuarded bool) {
+	cmp, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+		return false, false
+	}
+	isV := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && c.pass.TypesInfo.Uses[id] == c.src.v
+	}
+	isNil := func(e ast.Expr) bool {
+		tv, ok := c.pass.TypesInfo.Types[ast.Unparen(e)]
+		return ok && tv.IsNil()
+	}
+	if !(isV(cmp.X) && isNil(cmp.Y) || isNil(cmp.X) && isV(cmp.Y)) {
+		return false, false
+	}
+	if cmp.Op == token.EQL {
+		return true, false // then-branch has v == nil
+	}
+	return false, true // else-branch has v == nil
+}
+
+func (c *spanPathCheck) isFinishCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != c.src.finish {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && c.pass.TypesInfo.Uses[id] == c.src.v
+}

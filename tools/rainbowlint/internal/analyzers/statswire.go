@@ -1,0 +1,216 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/tools/rainbowlint/internal/analysis"
+)
+
+// Statswire checks the cross-file consistency of the stats plumbing: a
+// counter that is collected but never surfaced is a silent hole in the
+// observability story, and nothing but convention keeps the three layers
+// aligned. Concretely:
+//
+//   - package monitor: every exported field of SiteStats and NetStats must
+//     be read somewhere in the package (Totals aggregation / Render);
+//   - package httpapi: every exported field of monitor.SiteStats and
+//     monitor.NetStats must be read in the package (the /metrics export);
+//   - package site: every field of cc.Stats must be read in the package
+//     (the addCCStats carry-over; a field missed there is lost on every
+//     stack rebuild).
+//
+// A field can opt out with a `statswire:ignore` comment on its
+// declaration line (same-package rules only; cross-package passes cannot
+// see the declaring file's comments, so their exemptions — if ever needed
+// — belong in this analyzer's table with a reason).
+var Statswire = &analysis.Analyzer{
+	Name: "statswire",
+	Doc: "checks stats struct fields are wired through render and /metrics\n" +
+		"SiteStats/NetStats fields must be read by monitor and httpapi; cc.Stats\n" +
+		"fields must be carried over by site. Opt-out: statswire:ignore comment.",
+	Run: runStatswire,
+}
+
+// statswireCrossExempt lists cross-package fields exempted from the rule,
+// keyed by "Struct.Field". Keep empty unless a field genuinely must not be
+// exported; document the reason here.
+var statswireCrossExempt = map[string]string{}
+
+func runStatswire(pass *analysis.Pass) error {
+	switch pass.Pkg.Name() {
+	case "monitor":
+		for _, name := range []string{"SiteStats", "NetStats"} {
+			checkFieldsRead(pass, localStruct(pass, name), name, "")
+		}
+	case "httpapi":
+		for _, name := range []string{"SiteStats", "NetStats"} {
+			checkFieldsRead(pass, importedStruct(pass, "monitor", name), name, "/metrics export")
+		}
+	case "site":
+		checkFieldsRead(pass, importedStruct(pass, "cc", "Stats"), "cc.Stats", "stats carry-over")
+	}
+	return nil
+}
+
+// localStruct resolves a struct type declared in the package under
+// analysis, or nil.
+func localStruct(pass *analysis.Pass, name string) *types.Named {
+	obj, _ := pass.Pkg.Scope().Lookup(name).(*types.TypeName)
+	if obj == nil {
+		return nil
+	}
+	n, _ := obj.Type().(*types.Named)
+	return n
+}
+
+// importedStruct resolves a struct type from a direct import with the
+// given package name, or nil.
+func importedStruct(pass *analysis.Pass, pkgName, name string) *types.Named {
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Name() != pkgName {
+			continue
+		}
+		obj, _ := imp.Scope().Lookup(name).(*types.TypeName)
+		if obj == nil {
+			continue
+		}
+		n, _ := obj.Type().(*types.Named)
+		return n
+	}
+	return nil
+}
+
+// checkFieldsRead reports every exported field of the struct that is
+// never read within the package under analysis.
+func checkFieldsRead(pass *analysis.Pass, named *types.Named, structName, surface string) {
+	if named == nil {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	crossPackage := named.Obj().Pkg() != pass.Pkg
+
+	fields := make(map[*types.Var]bool) // field -> read seen
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() && crossPackage {
+			continue
+		}
+		if statswireCrossExempt[structName+"."+f.Name()] != "" {
+			continue
+		}
+		if !crossPackage && fieldIgnored(pass, f) {
+			continue
+		}
+		fields[f] = false
+	}
+
+	for _, file := range pass.Files {
+		parents := buildParents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selInfo := pass.TypesInfo.Selections[sel]
+			if selInfo == nil || selInfo.Kind() != types.FieldVal {
+				return true
+			}
+			f, ok := selInfo.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if _, tracked := fields[f]; !tracked {
+				return true
+			}
+			if isPureWrite(parents, sel) {
+				return true
+			}
+			fields[f] = true
+			return true
+		})
+	}
+
+	for f, read := range fields {
+		if read {
+			continue
+		}
+		pos := f.Pos()
+		what := "read in package " + pass.Pkg.Name()
+		if surface != "" {
+			what = "wired into the " + surface
+		}
+		if crossPackage {
+			// The field is declared elsewhere; anchor the report in this
+			// package so go vet attributes it to the right unit.
+			pos = reportAnchor(pass)
+		}
+		pass.Reportf(pos, "%s.%s is collected but never %s; surface it or add a statswire exemption with a reason",
+			structName, f.Name(), what)
+	}
+}
+
+// isPureWrite reports whether sel is only being assigned (sel = x), which
+// does not count as surfacing the field. Compound assignments (+=) read.
+func isPureWrite(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	p := parents[sel]
+	// Unwrap unary &sel — taking the address is a read-ish handoff.
+	as, ok := p.(*ast.AssignStmt)
+	if !ok || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+		return false
+	}
+	for _, l := range as.Lhs {
+		if l == ast.Expr(sel) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldIgnored reports whether the field's declaration line carries a
+// statswire:ignore comment.
+func fieldIgnored(pass *analysis.Pass, f *types.Var) bool {
+	for _, file := range pass.Files {
+		if file.Pos() > f.Pos() || f.Pos() > file.End() {
+			continue
+		}
+		line := pass.Fset.Position(f.Pos()).Line
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if pass.Fset.Position(c.Pos()).Line == line &&
+					containsIgnore(c.Text) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func containsIgnore(text string) bool {
+	return strings.Contains(text, "statswire:ignore")
+}
+
+// reportAnchor picks a stable position in the analyzed package for
+// diagnostics about fields declared elsewhere: the stats-consuming
+// function if present, else the first file's package clause.
+func reportAnchor(pass *analysis.Pass) token.Pos {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok {
+				if fn.Name.Name == "WriteMetrics" || fn.Name.Name == "addCCStats" {
+					return fn.Name.Pos()
+				}
+			}
+		}
+	}
+	if len(pass.Files) > 0 {
+		return pass.Files[0].Name.Pos()
+	}
+	return token.NoPos
+}

@@ -1,0 +1,49 @@
+// Package errcmptest exercises errcompare: identity comparison against
+// sentinel errors, the io.EOF-style allowlist, the .Err() accessor
+// exemption, and the rainbowlint:allow directive.
+package errcmptest
+
+import "io"
+
+type strErr string
+
+func (e strErr) Error() string { return string(e) }
+
+var (
+	ErrGone  error = strErr("gone")
+	errLocal error = strErr("local")
+)
+
+// ErrKindConst is not an error; comparing values of non-error type to it
+// must stay silent.
+const ErrKindConst = 7
+
+type ctxLike struct{}
+
+func (ctxLike) Err() error { return ErrGone }
+
+func compare(err error, kind int) int {
+	if err == ErrGone { // want `comparison with sentinel error ErrGone uses ==; use errors.Is`
+		return 1
+	}
+	if err != errLocal { // want `comparison with sentinel error errLocal uses !=; use errors.Is`
+		return 2
+	}
+	if err == io.EOF { // allowlisted: raw readers return it unwrapped
+		return 3
+	}
+	var c ctxLike
+	if c.Err() == ErrGone { // Err() accessors document returning the identity
+		return 4
+	}
+	if err == nil {
+		return 5
+	}
+	if err == ErrGone { // rainbowlint:allow errcompare — deliberate identity assertion
+		return 6
+	}
+	if kind == ErrKindConst {
+		return 7
+	}
+	return 0
+}

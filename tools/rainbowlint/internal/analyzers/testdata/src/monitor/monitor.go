@@ -1,0 +1,25 @@
+// Package monitor exercises statswire's same-package rule: every field of
+// SiteStats and NetStats must be read somewhere in the package, pure
+// writes don't count, and statswire:ignore opts a field out.
+package monitor
+
+type SiteStats struct {
+	Committed uint64
+	Aborted   uint64
+	Forgotten uint64 // want `SiteStats.Forgotten is collected but never read in package monitor`
+	Scratch   uint64 // statswire:ignore — internal accumulator, not a surfaced stat
+}
+
+type NetStats struct {
+	Sent    uint64
+	Dropped uint64 // want `NetStats.Dropped is collected but never read in package monitor`
+}
+
+// Render reads the surfaced fields. Forgotten is only ever written (a
+// pure write is not a surface), Dropped is never touched, and Scratch
+// has opted out.
+func Render(s SiteStats, n NetStats) uint64 {
+	s.Scratch = 1
+	s.Forgotten = 2
+	return s.Committed + s.Aborted + n.Sent
+}

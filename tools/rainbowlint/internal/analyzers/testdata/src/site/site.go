@@ -1,0 +1,68 @@
+// Package site exercises gateorder: record-forcing participant handlers
+// need a prior checkpoint-gate RLock in the calling function, and lock
+// loops over an index slice need the slice sorted first.
+package site
+
+import (
+	"sort"
+	"sync"
+)
+
+type Participant struct{}
+
+func (p *Participant) HandlePrepare(tx int) error   { return nil }
+func (p *Participant) HandlePreCommit(tx int) error { return nil }
+func (p *Participant) HandleDecision(tx int)        {}
+
+type shard struct {
+	mu    sync.Mutex
+	items map[string]string
+}
+
+type Site struct {
+	gate   sync.RWMutex
+	part   *Participant
+	shards []shard
+}
+
+// prepareGated takes the checkpoint gate before forcing the record.
+func (s *Site) prepareGated(tx int) error {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	return s.part.HandlePrepare(tx)
+}
+
+// prepareUngated skips the gate: a fuzzy checkpoint could capture a store
+// the forced record contradicts.
+func (s *Site) prepareUngated(tx int) error {
+	return s.part.HandlePrepare(tx) // want `HandlePrepare forces an ACP record and must run under the checkpoint gate`
+}
+
+// decide is exempt: decision forcing routes through the coordinator log
+// and the participant takes the gate itself.
+func (s *Site) decide(tx int) {
+	s.part.HandleDecision(tx)
+}
+
+// lockSorted sorts the index slice before the acquisition loop.
+func (s *Site) lockSorted(order []int) {
+	sort.Ints(order)
+	for _, i := range order {
+		s.shards[i].mu.Lock()
+	}
+}
+
+// lockUnsorted acquires in caller-supplied order: deadlock bait against a
+// concurrent multi-shard commit.
+func (s *Site) lockUnsorted(order []int) {
+	for _, i := range order { // want `shard locks are taken in iteration order of order, which is not sorted`
+		s.shards[i].mu.Lock()
+	}
+}
+
+// lockAll ranges the shard slice itself, which is inherently ordered.
+func (s *Site) lockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+}

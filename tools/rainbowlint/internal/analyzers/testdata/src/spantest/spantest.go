@@ -1,0 +1,51 @@
+// Package spantest exercises spanfinish: spans and actives must be
+// finished on every path out of the function; escaping values are the
+// new owner's problem, and nil guards are understood.
+package spantest
+
+import "trace"
+
+// leakEarlyReturn loses the span when cond short-circuits.
+func leakEarlyReturn(a *trace.Active, cond bool) int {
+	sp := a.StartSpan("work")
+	if cond {
+		return 1 // want `this return may be reached without finishing the span`
+	}
+	sp.End()
+	return 0
+}
+
+// leakNoFinish never finishes the active anywhere.
+func leakNoFinish(tr *trace.Tracer) {
+	act := tr.Begin("tx") // want `active trace is not finished on all paths`
+	sp := act.StartSpan("stage")
+	sp.End()
+}
+
+// finishedOK covers every path; the deferred Finish is the safest form.
+func finishedOK(tr *trace.Tracer, cond bool) {
+	act := tr.Begin("tx")
+	defer act.Finish()
+	sp := act.StartSpan("stage")
+	if cond {
+		sp.End()
+		return
+	}
+	sp.End()
+}
+
+// handsOff passes the span on; the sink owns its lifetime now.
+func handsOff(a *trace.Active, sink func(trace.Timer)) {
+	sp := a.StartSpan("handoff")
+	sink(sp)
+}
+
+// nilGuarded returns early only on the nil branch, which the nil-safe
+// trace API does not require finishing.
+func nilGuarded(tr *trace.Tracer) {
+	act := tr.Join("tx")
+	if act == nil {
+		return
+	}
+	act.Finish()
+}

@@ -1,0 +1,19 @@
+// Package trace mirrors the span surface of the repo's trace package —
+// just enough type structure (package name, Timer/Active names, the
+// StartSpan/Begin/Join/End/Finish methods) for spanfinish fixtures to
+// type-check against.
+package trace
+
+type Timer struct{ active *Active }
+
+func (t Timer) End() {}
+
+type Active struct{ name string }
+
+func (a *Active) StartSpan(name string) Timer { return Timer{active: a} }
+func (a *Active) Finish()                     {}
+
+type Tracer struct{}
+
+func (tr *Tracer) Begin(name string) *Active { return &Active{name: name} }
+func (tr *Tracer) Join(name string) *Active  { return &Active{name: name} }

@@ -1,0 +1,216 @@
+// Package anatest is a minimal analysistest: it loads a fixture package
+// from testdata/src/<path>, type-checks it (resolving fixture-local
+// imports from testdata/src first and the standard library from source),
+// runs one analyzer over it, and compares the diagnostics against
+// `// want "regexp"` comments in the fixture.
+//
+// The format is the x/tools one: a comment of the form
+//
+//	// want "first diagnostic re" "second diagnostic re"
+//
+// expects exactly those diagnostics (each matching its regexp) on that
+// line. Every diagnostic must be matched by a want and every want must be
+// matched by a diagnostic, so a fixture with wants fails loudly if its
+// analyzer is disabled or regresses.
+package anatest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/tools/rainbowlint/internal/analysis"
+)
+
+// Run loads testdata/src/<pkgpath> relative to the test's working
+// directory, applies a, and reports mismatches via t.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:   fset,
+		root:   filepath.Join("testdata", "src"),
+		pkgs:   map[string]*fixturePkg{},
+		stdlib: importer.ForCompiler(fset, "source", nil),
+	}
+	fp, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Fset:      fset,
+		Files:     fp.files,
+		Pkg:       fp.pkg,
+		TypesInfo: fp.info,
+		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, pkgpath, err)
+	}
+
+	wants := collectWants(t, fset, fp.files)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want comments; it cannot catch a disabled %s", pkgpath, a.Name)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].Pos < got[j].Pos })
+	for _, d := range got {
+		p := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+		if !wants.match(key, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", p.Filename, p.Line, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %q", key, w.re)
+			}
+		}
+	}
+}
+
+// want is one expectation parsed from a comment.
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantMap map[string][]*want // "file.go:line" -> expectations
+
+func (m wantMap) match(key, msg string) bool {
+	for _, w := range m[key] {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE pulls the quoted regexps (double- or back-quoted) out of a want
+// comment.
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) wantMap {
+	t.Helper()
+	out := wantMap{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(body, "want ") {
+					continue
+				}
+				text := body[len("want "):]
+				p := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+				for _, q := range wantRE.FindAllString(text, -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					out[key] = append(out[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// fixturePkg is one loaded-and-checked fixture package.
+type fixturePkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves import paths against testdata/src first, then the
+// standard library (compiled from source; the test environment has no
+// export data for a vettool-free toolchain layout).
+type loader struct {
+	fset   *token.FileSet
+	root   string
+	pkgs   map[string]*fixturePkg
+	stdlib types.Importer
+}
+
+func (ld *loader) load(path string) (*fixturePkg, error) {
+	if fp, ok := ld.pkgs[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(ld.root, path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	cfg := &types.Config{Importer: importerFunc(ld.resolve)}
+	pkg, err := cfg.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	fp := &fixturePkg{pkg: pkg, files: files, info: info}
+	ld.pkgs[path] = fp
+	return fp, nil
+}
+
+func (ld *loader) resolve(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, err := os.Stat(filepath.Join(ld.root, path)); err == nil {
+		fp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return ld.stdlib.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

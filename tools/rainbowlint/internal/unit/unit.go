@@ -1,0 +1,210 @@
+// Package unit implements the `go vet -vettool` unit-checking protocol for
+// rainbowlint without depending on golang.org/x/tools: cmd/go hands the tool
+// a JSON config file describing one package unit (file set, import map,
+// export-data locations), the tool type-checks the unit from those inputs,
+// runs its analyzers, prints findings, and writes the (here: empty) facts
+// file cmd/go caches. The config schema below mirrors
+// x/tools/go/analysis/unitchecker.Config, which is the contract cmd/go
+// speaks; fields rainbowlint does not consume are retained so the JSON
+// decodes losslessly.
+package unit
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/tools/rainbowlint/internal/analysis"
+)
+
+// Config is one package unit as described by cmd/go's vet.cfg file.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run processes one vet.cfg unit and returns the process exit code:
+// 0 clean, 1 diagnostics found, 2 hard failure (unreadable config,
+// typecheck error without SucceedOnTypecheckFailure).
+func Run(cfgFile string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	// rainbowlint exports no facts, so a facts-only run has nothing to do
+	// beyond producing the (empty) vetx file cmd/go caches for dependents.
+	if cfg.VetxOnly {
+		if err := writeVetx(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		return 0
+	}
+
+	diags, err := analyze(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// Mirror unitchecker: e.g. tests of cmd/... with incomplete
+			// export data are vetted best-effort.
+			writeVetx(cfg) //nolint:errcheck
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	if err := writeVetx(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	return 1
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("rainbowlint: reading vet config: %v", err)
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("rainbowlint: parsing vet config %s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+// writeVetx emits the facts file cmd/go expects at cfg.VetxOutput. The
+// suite defines no facts, so the file is empty; it still must exist for the
+// vet action's result to be cacheable.
+func writeVetx(cfg *Config) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		return fmt.Errorf("rainbowlint: writing facts: %v", err)
+	}
+	return nil
+}
+
+// analyze parses and type-checks the unit, then runs every analyzer over
+// it, returning rendered diagnostics sorted by position.
+func analyze(cfg *Config, analyzers []*analysis.Analyzer) ([]string, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// Resolve import paths to export data files via the unit's map.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			if cfg.Compiler == "gccgo" && cfg.Standard[path] {
+				return nil, nil // gccgo stdlib is self-describing
+			}
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		GoVersion: goLanguageVersion(cfg.GoVersion),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	for _, a := range analyzers {
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+
+	out := make([]string, 0, len(diags))
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		out = append(out, fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Message))
+	}
+	return out, nil
+}
+
+// goLanguageVersion trims a toolchain version like "go1.24.0" to the
+// two-part language version go/types accepts.
+func goLanguageVersion(v string) string {
+	if v == "" {
+		return ""
+	}
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) >= 2 {
+		return parts[0] + "." + parts[1]
+	}
+	return v
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
